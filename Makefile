@@ -1,0 +1,22 @@
+# Convenience targets for the DISCO reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples all
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+report:
+	$(PYTHON) -m repro report --out report.md
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; echo "all examples ran"
+
+all: test bench

@@ -1,0 +1,50 @@
+"""Ablation: the error/memory trade-off across the parameter ``b``.
+
+Sweeping ``b`` on one workload shows the two quantities the parameter
+trades: average relative error (grows with ``b``, Corollary 1) and the
+largest counter value (shrinks with ``b``, Theorem 3).  ``choose_b`` picks
+the smallest ``b`` that fits a bit budget — the knee of this curve.
+"""
+
+from benchmarks.conftest import SEED
+from repro.core.analysis import cov_bound, expected_counter_upper_bound
+from repro.core.disco import DiscoSketch
+from repro.harness.formatting import render_table
+from repro.harness.runner import replay
+
+B_GRID = (1.002, 1.005, 1.01, 1.02, 1.05, 1.1)
+
+
+def compute(trace):
+    max_volume = max(trace.true_totals("volume").values())
+    rows = []
+    for b in B_GRID:
+        sketch = DiscoSketch(b=b, mode="volume", rng=SEED)
+        result = replay(sketch, trace, rng=SEED + 1)
+        rows.append({
+            "b": b,
+            "avg_error": result.summary.average,
+            "cov_bound": cov_bound(b),
+            "max_counter_bits": result.max_counter_bits,
+            "counter_bound": expected_counter_upper_bound(b, max_volume),
+        })
+    return rows
+
+
+def test_ablation_b_sweep(benchmark, nlanr_trace):
+    rows = benchmark.pedantic(lambda: compute(nlanr_trace), rounds=1, iterations=1)
+    print()
+    print("Ablation — error vs memory across b (NLANR-like trace, volume)")
+    print(render_table(
+        ["b", "avg R", "CoV bound", "max counter bits", "counter bound f^-1(max)"],
+        [[r["b"], r["avg_error"], r["cov_bound"], r["max_counter_bits"],
+          r["counter_bound"]] for r in rows],
+    ))
+    errors = [r["avg_error"] for r in rows]
+    bits = [r["max_counter_bits"] for r in rows]
+    # Larger b: larger error, smaller counters — monotone on both axes.
+    assert errors == sorted(errors)
+    assert bits == sorted(bits, reverse=True)
+    # Error stays inside the Corollary-1 envelope (average below bound).
+    for r in rows:
+        assert r["avg_error"] < r["cov_bound"]

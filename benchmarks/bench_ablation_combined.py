@@ -1,0 +1,97 @@
+"""Ablation: DISCO composed with BRICK (Section I's complementarity claim).
+
+Four ways to store per-flow volume counters for the same traffic:
+
+* a fixed array sized by the largest **exact** value (SD-style),
+* a fixed array sized by the largest **DISCO** counter value,
+* BRICK over exact values (variable-length, exact),
+* BRICK over **DISCO** values (variable-length, approximate).
+
+The composition shrinks every BRICK level because DISCO's counter values
+are logarithms of the volumes — that is the paper's "work together" claim,
+asserted here as BRICK(DISCO) < BRICK(exact) and < the exact fixed array.
+(A side observation the table makes visible: DISCO's log-compression also
+*flattens* the value distribution, so BRICK's variable-length trick has
+less skew to exploit on top of DISCO than on raw volumes.)
+"""
+
+import math
+
+from benchmarks.conftest import SEED
+from repro.core.analysis import choose_b, expected_counter_upper_bound
+from repro.counters.brick import BrickCounters, BrickDesign
+from repro.counters.combined import DiscoBrick
+from repro.harness.formatting import render_table
+from repro.harness.runner import replay
+
+BUCKET_SIZE = 64
+LOAD_SLACK = 1.15  # slot provisioning above the expected flow count
+
+
+def compute(trace):
+    truths = trace.true_totals("volume")
+    max_volume = max(truths.values())
+    num_flows = len(truths)
+    num_buckets = max(1, math.ceil(num_flows * LOAD_SLACK / BUCKET_SIZE))
+
+    # Exact values in BRICK (4-bit sub-counters, provisioned from truth).
+    exact_design = BrickDesign.for_values(
+        sorted(truths.values()), bucket_size=BUCKET_SIZE,
+        level_widths=(4,) * 12,
+    )
+    exact_brick = BrickCounters(exact_design, num_buckets, mode="volume")
+    exact_result = replay(exact_brick, trace, rng=SEED)
+
+    # DISCO values in BRICK: size the levels from per-flow counter bounds.
+    b = choose_b(12, max_volume, slack=1.5)
+    counter_values = [
+        max(1, int(expected_counter_upper_bound(b, v))) for v in truths.values()
+    ]
+    disco_design = BrickDesign.for_values(
+        counter_values + [int(expected_counter_upper_bound(b, max_volume * 1.5)) + 8],
+        bucket_size=BUCKET_SIZE,
+        level_widths=(4,) * 12,
+    )
+    disco_brick = DiscoBrick(b=b, design=disco_design, num_buckets=num_buckets,
+                             mode="volume", rng=SEED)
+    disco_result = replay(disco_brick, trace, rng=SEED)
+
+    return {
+        "full_exact_bits": max(v.bit_length() for v in truths.values()),
+        "full_disco_bits": max(v.bit_length() for v in counter_values),
+        "exact_brick_bits": exact_brick.memory_bits() / num_flows,
+        "disco_brick_bits": disco_brick.memory_bits() / num_flows,
+        "exact_avg_error": exact_result.summary.average,
+        "disco_avg_error": disco_result.summary.average,
+        "disco_b": b,
+        "bucket_full_events": exact_brick.bucket_full_events
+        + disco_brick.bucket_full_events,
+    }
+
+
+def test_ablation_combined(benchmark, nlanr_trace):
+    result = benchmark.pedantic(lambda: compute(nlanr_trace), rounds=1, iterations=1)
+    print()
+    print("Ablation — DISCO + BRICK composition (flow volume)")
+    print(render_table(
+        ["storage", "bits/flow", "avg R"],
+        [
+            ["fixed array (exact)", result["full_exact_bits"], 0.0],
+            ["fixed array (DISCO)", result["full_disco_bits"],
+             result["disco_avg_error"]],
+            ["BRICK (exact values)", result["exact_brick_bits"], 0.0],
+            ["BRICK (DISCO values)", result["disco_brick_bits"],
+             result["disco_avg_error"]],
+        ],
+    ))
+    print(f"  DISCO b: {result['disco_b']:.5f}; "
+          f"bucket-full events: {result['bucket_full_events']}")
+    # Exact-in-BRICK stays exact; DISCO's error stays at DISCO's level.
+    assert result["exact_avg_error"] == 0.0
+    assert result["disco_avg_error"] < 0.05
+    # The complementarity claim: DISCO values make the BRICK layout
+    # strictly cheaper, and the composition beats the exact fixed array.
+    assert result["disco_brick_bits"] < result["exact_brick_bits"]
+    assert result["disco_brick_bits"] < result["full_exact_bits"]
+    # Provisioning was adequate (no flows dropped by full buckets).
+    assert result["bucket_full_events"] == 0

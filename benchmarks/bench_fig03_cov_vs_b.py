@@ -1,0 +1,36 @@
+"""Figure 3: the coefficient-of-variation bound vs. the parameter ``b``.
+
+Smaller ``b`` gives a smaller relative error (at the price of a larger
+counter for the same flow).  We regenerate the bound curve and also show
+the finite-flow CoV at a fixed large traffic amount to confirm it tracks
+the bound.
+"""
+
+from repro.core.analysis import b_for_cov_bound, cov_bound, cov_for_traffic
+from repro.harness.formatting import render_series
+
+B_GRID = (1.0005, 1.001, 1.002, 1.005, 1.01, 1.02, 1.05, 1.1)
+
+
+def compute():
+    bound_curve = [(b, cov_bound(b)) for b in B_GRID]
+    finite_curve = [(b, cov_for_traffic(b, 1e7)) for b in B_GRID]
+    return bound_curve, finite_curve
+
+
+def test_fig03_bound_vs_b(benchmark):
+    bound_curve, finite_curve = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print()
+    print("Figure 3 — CoV bound vs b")
+    print(render_series("bound sqrt((b-1)/(b+1))", bound_curve))
+    print(render_series("CoV at n=1e7", finite_curve))
+    bounds = [v for _, v in bound_curve]
+    assert bounds == sorted(bounds)  # smaller b -> smaller error
+    for (b, bound), (_, finite) in zip(bound_curve, finite_curve):
+        assert finite <= bound + 1e-12
+    # The paper's marker: b=1.002 -> bound 0.0316.
+    assert abs(dict(bound_curve)[1.002] - 0.0316) < 3e-4
+    # Inverse selection: the b for a 1% error target closes the loop.
+    b_target = b_for_cov_bound(0.01)
+    assert abs(cov_bound(b_target) - 0.01) < 1e-9
+    print(f"  b for 1% bound: {b_target:.6f}")

@@ -1,0 +1,38 @@
+"""Figure 5: average relative error vs. counter size, flow volume counting.
+
+DISCO vs SAC on the NLANR-like trace.  Paper shape: both errors fall
+roughly geometrically with counter size, DISCO below SAC at every size,
+with the margin narrowing as counters grow.
+"""
+
+from repro.harness.formatting import render_table
+from repro.harness.plotting import ascii_chart
+
+
+def test_fig05_average_error(benchmark, volume_sweep):
+    rows = benchmark.pedantic(lambda: volume_sweep, rounds=1, iterations=1)
+    print()
+    print("Figure 5 — average relative error (flow volume), NLANR-like trace")
+    print(render_table(
+        ["counter bits", "DISCO avg R", "SAC avg R", "DISCO b"],
+        [[r.counter_bits, r.disco.average, r.sac.average, r.disco_b] for r in rows],
+    ))
+    print(ascii_chart(
+        {
+            "DISCO": [(r.counter_bits, r.disco.average) for r in rows],
+            "SAC": [(r.counter_bits, r.sac.average) for r in rows],
+        },
+        y_log=True, width=48, height=10,
+        title="avg relative error vs counter bits (log y)",
+    ))
+    disco = [r.disco.average for r in rows]
+    sac = [r.sac.average for r in rows]
+    # DISCO wins at every counter size.
+    for d, s in zip(disco, sac):
+        assert d < s
+    # Errors decrease with counter size for both schemes.
+    assert disco == sorted(disco, reverse=True)
+    assert sac == sorted(sac, reverse=True)
+    # Roughly halving per extra bit for DISCO (geometric descent).
+    for a, b in zip(disco, disco[1:]):
+        assert b < 0.8 * a

@@ -1,0 +1,21 @@
+"""Figure 6: maximum relative error vs. counter size, flow volume counting.
+
+Same sweep as Figure 5, worst-case view: DISCO is more accurate than SAC
+even in the worst case.
+"""
+
+from repro.harness.formatting import render_table
+
+
+def test_fig06_max_error(benchmark, volume_sweep):
+    rows = benchmark.pedantic(lambda: volume_sweep, rounds=1, iterations=1)
+    print()
+    print("Figure 6 — maximum relative error (flow volume), NLANR-like trace")
+    print(render_table(
+        ["counter bits", "DISCO max R", "SAC max R"],
+        [[r.counter_bits, r.disco.maximum, r.sac.maximum] for r in rows],
+    ))
+    for r in rows:
+        assert r.disco.maximum < r.sac.maximum
+    disco = [r.disco.maximum for r in rows]
+    assert disco == sorted(disco, reverse=True)

@@ -1,0 +1,24 @@
+"""Figure 7: 0.95-optimistic relative error vs. counter size.
+
+Same sweep as Figure 5, probabilistic-guarantee view (Eq. 26): the error of
+95% of the counters lies below the plotted value; DISCO provides the better
+guarantee at every size.
+"""
+
+from repro.harness.formatting import render_table
+
+
+def test_fig07_optimistic_error(benchmark, volume_sweep):
+    rows = benchmark.pedantic(lambda: volume_sweep, rounds=1, iterations=1)
+    print()
+    print("Figure 7 — 0.95-optimistic relative error (flow volume)")
+    print(render_table(
+        ["counter bits", "DISCO R_o(0.95)", "SAC R_o(0.95)"],
+        [[r.counter_bits, r.disco.optimistic_95, r.sac.optimistic_95] for r in rows],
+    ))
+    for r in rows:
+        assert r.disco.optimistic_95 < r.sac.optimistic_95
+        # The quantile sits between the average and the maximum.
+        assert r.disco.average <= r.disco.optimistic_95 <= r.disco.maximum
+    disco = [r.disco.optimistic_95 for r in rows]
+    assert disco == sorted(disco, reverse=True)

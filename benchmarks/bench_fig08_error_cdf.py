@@ -1,0 +1,45 @@
+"""Figure 8: CDF of relative error with 10-bit counters, flow volume.
+
+Paper numbers (their trace): under DISCO 90% of flows have error < 0.04
+and all flows < 0.15; under SAC those become 0.22 and 0.4.  We regenerate
+the two CDFs on the NLANR-like trace and assert the same qualitative gap
+(DISCO's 90th percentile and maximum are several times smaller than SAC's).
+"""
+
+from benchmarks.conftest import SEED
+from repro.harness.experiments import error_cdf_comparison
+from repro.harness.formatting import render_series
+from repro.metrics.errors import optimistic_relative_error
+
+
+def test_fig08_error_cdf(benchmark, nlanr_trace):
+    result = benchmark.pedantic(
+        lambda: error_cdf_comparison(nlanr_trace, counter_bits=10, seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Figure 8 — CDF of relative error (10-bit counters)")
+    print(render_series("DISCO", result["disco"], max_points=10))
+    print(render_series("SAC", result["sac"], max_points=10))
+
+    disco_p90 = optimistic_relative_error(result["disco_errors"], 0.90)
+    sac_p90 = optimistic_relative_error(result["sac_errors"], 0.90)
+    disco_max = max(result["disco_errors"])
+    sac_max = max(result["sac_errors"])
+    print(f"  DISCO: 90% of flows under {disco_p90:.4f}, all under {disco_max:.4f}")
+    print(f"  SAC:   90% of flows under {sac_p90:.4f}, all under {sac_max:.4f}")
+
+    # Paper's qualitative claims at this counter size.
+    assert disco_p90 < 0.06            # paper: 0.04
+    assert disco_max < 0.25            # paper: 0.15
+    # DISCO's probabilistic guarantee is clearly better than SAC's (the
+    # paper's gap is ~5x against its SAC; our SAC implementation is a
+    # fully unbiased variant, so the gap narrows but never flips).
+    assert disco_p90 < 0.75 * sac_p90
+    assert disco_max < sac_max
+    # Both CDFs are proper distributions.
+    for key in ("disco", "sac"):
+        ys = [y for _, y in result[key]]
+        assert ys == sorted(ys)
+        assert abs(ys[-1] - 1.0) < 1e-9

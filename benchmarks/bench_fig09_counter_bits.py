@@ -1,0 +1,39 @@
+"""Figure 9: counter bits required vs. flow volume.
+
+SD stores the value itself (slope one in value, log2 in bits); SAC's
+counter value grows sub-linearly; DISCO's counter value is a logarithm of
+the volume, so its bit cost is the log of a log — the flatter the curve,
+the more scalable the scheme as Internet flows keep growing.
+"""
+
+from repro.harness.experiments import counter_bits_vs_volume
+from repro.harness.formatting import render_table
+
+VOLUMES = [10**k for k in range(2, 10)]
+
+
+def test_fig09_counter_bits(benchmark):
+    rows = benchmark.pedantic(
+        lambda: counter_bits_vs_volume(VOLUMES, b=1.002), rounds=1, iterations=1
+    )
+    print()
+    print("Figure 9 — counter bits required per flow volume (b=1.002)")
+    print(render_table(
+        ["flow volume", "SD bits", "SAC bits", "DISCO bits", "DISCO counter value"],
+        [
+            [r["volume"], r["sd_bits"], r["sac_bits"], r["disco_bits"],
+             r["disco_counter_value"]]
+            for r in rows
+        ],
+    ))
+    for row in rows[3:]:  # beyond 1e5 bytes the ordering is strict
+        assert row["disco_bits"] < row["sd_bits"]
+        assert row["sac_bits"] < row["sd_bits"]
+    # Scalability: 7 decades of traffic cost SD ~23 extra bits but DISCO
+    # only a handful.
+    sd_growth = rows[-1]["sd_bits"] - rows[0]["sd_bits"]
+    disco_growth = rows[-1]["disco_bits"] - rows[0]["disco_bits"]
+    assert disco_growth < sd_growth / 2
+    # The smallest flows never cost DISCO more than a full-size counter
+    # (f(0)=0, f(1)=1).
+    assert rows[0]["disco_bits"] <= rows[0]["sd_bits"] + 1

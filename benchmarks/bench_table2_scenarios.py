@@ -1,0 +1,56 @@
+"""Table II: average relative error under different traffic scenarios.
+
+SAC vs DISCO at 8/9/10-bit counters on Scenarios 1-3 and the NLANR-like
+'real trace'.  Paper shape: accuracy improves with counter size, and DISCO
+beats SAC at every (scenario, size) cell.
+"""
+
+from benchmarks.conftest import SEED
+from repro.harness.experiments import table2
+from repro.harness.formatting import render_table
+
+PAPER_ROWS = {
+    # scenario -> {bits: (sac, disco)} from the paper's Table II
+    "scenario1": {8: (0.089, 0.052), 9: (0.045, 0.031), 10: (0.025, 0.016)},
+    "scenario2": {8: (0.177, 0.096), 9: (0.091, 0.079), 10: (0.054, 0.038)},
+    "scenario3": {8: (0.143, 0.097), 9: (0.094, 0.063), 10: (0.061, 0.041)},
+    "real trace": {8: (0.177, 0.035), 9: (0.105, 0.021), 10: (0.054, 0.012)},
+}
+
+
+def test_table2(benchmark, scenario_traces, nlanr_trace):
+    traces = dict(scenario_traces)
+    traces["real trace"] = nlanr_trace
+
+    rows = benchmark.pedantic(
+        lambda: table2(traces, counter_sizes=(8, 9, 10), seed=SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Table II — average relative error (flow volume)")
+    print(render_table(
+        ["scenario", "bits", "SAC R (paper)", "DISCO R (paper)", "SAC R", "DISCO R"],
+        [
+            [
+                r["scenario"],
+                r["counter_bits"],
+                PAPER_ROWS[r["scenario"]][r["counter_bits"]][0],
+                PAPER_ROWS[r["scenario"]][r["counter_bits"]][1],
+                r["sac_avg_error"],
+                r["disco_avg_error"],
+            ]
+            for r in rows
+        ],
+    ))
+    by_scenario = {}
+    for r in rows:
+        # DISCO beats SAC in every cell.
+        assert r["disco_avg_error"] < r["sac_avg_error"]
+        by_scenario.setdefault(r["scenario"], []).append(r["disco_avg_error"])
+        # Magnitudes in the paper's ballpark (same order of magnitude).
+        paper_disco = PAPER_ROWS[r["scenario"]][r["counter_bits"]][1]
+        assert r["disco_avg_error"] < 6 * paper_disco
+    # Accuracy improves with counter size within each scenario.
+    for scenario, errors in by_scenario.items():
+        assert errors == sorted(errors, reverse=True), scenario

@@ -1,0 +1,52 @@
+"""Table IV: execution-time ratio of ANLS-II over DISCO.
+
+ANLS-II runs one Bernoulli trial per *byte*; DISCO runs one update per
+packet.  The paper reports ratios of 10.2x-124.9x growing with the traces'
+average flow length.  We measure wall-clock on identical packet sequences.
+The flow counts are scaled down (ANLS-II is the slow thing being measured)
+but the per-trace packet-length structure is the paper's.
+"""
+
+from benchmarks.conftest import SEED
+from repro.harness.experiments import table4
+from repro.harness.formatting import render_table
+from repro.traces.nlanr import nlanr_like
+from repro.traces.synthetic import scenario1, scenario2, scenario3
+
+
+def build_traces():
+    return {
+        "scenario1": scenario1(num_flows=60, rng=SEED + 11, max_flow_packets=5_000),
+        "scenario2": scenario2(num_flows=25, rng=SEED + 12),
+        "scenario3": scenario3(num_flows=25, rng=SEED + 13),
+        "real trace": nlanr_like(num_flows=30, mean_flow_bytes=25_000,
+                                 max_flow_bytes=400_000, rng=SEED + 14),
+    }
+
+
+def test_table4(benchmark):
+    traces = build_traces()
+    rows = benchmark.pedantic(lambda: table4(traces, seed=SEED), rounds=1, iterations=1)
+    print()
+    print("Table IV — execution time ratio ANLS-II / DISCO")
+    print(render_table(
+        ["scenario", "mean pkts/flow", "mean pkt len", "DISCO s", "ANLS-II s", "ratio"],
+        [
+            [
+                r["scenario"],
+                r["mean_flow_packets"],
+                r["mean_packet_length"],
+                r["disco_seconds"],
+                r["anls2_seconds"],
+                r["ratio"],
+            ]
+            for r in rows
+        ],
+    ))
+    by_name = {r["scenario"]: r for r in rows}
+    for r in rows:
+        # ANLS-II is drastically slower everywhere.
+        assert r["ratio"] > 3.0
+    # The ratio tracks mean packet length: the real-like trace (long
+    # packets) pays far more per packet than the ~106-byte scenarios.
+    assert by_name["real trace"]["ratio"] > by_name["scenario1"]["ratio"]

@@ -1,0 +1,69 @@
+"""Theorem 1 verification: the estimator is unbiased on EVERY workload shape.
+
+Theorem 1's proof is distribution-free — unbiasedness must hold for any
+packet-length sequence, not just the uniform-increment case Theorem 2
+analyses.  This bench hammers the claim across qualitatively different
+length processes (constant, uniform, ACK/data bimodal, heavy-tailed bursts
+and adversarial alternation) and simultaneously checks Corollary 1's CoV
+bound empirically.
+"""
+
+import random
+
+from repro.core.analysis import cov_bound
+from repro.harness.formatting import render_table
+from repro.harness.montecarlo import measure_estimator
+
+B = 1.05
+REPLICAS = 600
+PACKETS = 300
+
+
+def workloads():
+    rand = random.Random(99)
+    heavy = []
+    for _ in range(PACKETS):
+        heavy.append(40 if rand.random() < 0.7
+                     else int(4.0 / (1.0 - rand.random()) ** 0.9) + 40)
+    return {
+        "constant 576B": [576] * PACKETS,
+        "uniform 40-1500": [rand.randint(40, 1500) for _ in range(PACKETS)],
+        "bimodal ACK/data": [40 if i % 3 else 1500 for i in range(PACKETS)],
+        "heavy-tailed": [min(l, 60_000) for l in heavy],
+        "alternating extremes": [40, 60_000] * (PACKETS // 2),
+    }
+
+
+def compute():
+    rows = []
+    for name, lengths in workloads().items():
+        report = measure_estimator(B, lengths, replicas=REPLICAS, rng=7)
+        rows.append({
+            "workload": name,
+            "truth": report.truth,
+            "mean_estimate": report.mean_estimate,
+            "relative_bias": report.relative_bias,
+            "cov": report.cov,
+            "significant": report.bias_significant(z=4.0),
+        })
+    return rows
+
+
+def test_theorem1_unbiasedness(benchmark):
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    bound = cov_bound(B)
+    print()
+    print(f"Theorem 1 verification — empirical bias over {REPLICAS} replicas "
+          f"(b={B}, CoV bound {bound:.4f})")
+    print(render_table(
+        ["workload", "truth", "mean estimate", "relative bias", "CoV",
+         "bias significant?"],
+        [[r["workload"], r["truth"], r["mean_estimate"], r["relative_bias"],
+          r["cov"], r["significant"]] for r in rows],
+    ))
+    for r in rows:
+        # No statistically significant bias on any workload shape.
+        assert not r["significant"], r["workload"]
+        assert abs(r["relative_bias"]) < 0.03, r["workload"]
+        # Corollary 1 holds empirically (with Monte-Carlo slack).
+        assert r["cov"] <= bound * 1.2, r["workload"]

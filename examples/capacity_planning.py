@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Capacity planning for a DISCO monitor: MEs, ring depth, offered load.
+
+Uses the scratchpad-ring model to answer: for a target line rate, how many
+MicroEngines and how much ring depth does the monitor need, and does burst
+aggregation change the answer?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.harness import render_table
+from repro.ixp import IxpConfig, RingConfig, eighty_twenty_bursts, simulate_offered_load
+
+WORKLOAD = eighty_twenty_bursts(num_packets=20_000, burst_max=8, rng=3)
+
+print("Offered-load sweep: 1 ME, no burst aggregation, ring depth 256")
+rows = []
+for gbps in (4, 8, 10, 12, 16, 24):
+    result = simulate_offered_load(WORKLOAD, offered_gbps=float(gbps))
+    rows.append([
+        gbps, result.carried_gbps, f"{result.drop_rate * 100:.1f}%",
+        result.max_occupancy, result.mean_wait_ns,
+        "OK" if result.stable else "OVERLOAD",
+    ])
+print(render_table(
+    ["offered Gbps", "carried Gbps", "drops", "max ring", "mean wait ns",
+     "verdict"],
+    rows,
+))
+
+print()
+print("Fixing 24 Gbps offered: what provisioning keeps up?")
+rows = []
+for label, config in (
+    ("1 ME", RingConfig(ixp=IxpConfig(num_mes=1))),
+    ("1 ME + burst aggregation", RingConfig(ixp=IxpConfig(num_mes=1,
+                                                          burst_aggregation=True))),
+    ("2 MEs", RingConfig(ixp=IxpConfig(num_mes=2))),
+    ("4 MEs", RingConfig(ixp=IxpConfig(num_mes=4))),
+    ("4 MEs, tiny ring (8)", RingConfig(capacity=8,
+                                        ixp=IxpConfig(num_mes=4))),
+):
+    result = simulate_offered_load(WORKLOAD, offered_gbps=24.0, config=config)
+    rows.append([
+        label, result.carried_gbps, f"{result.drop_rate * 100:.1f}%",
+        result.max_occupancy, "OK" if result.stable else "OVERLOAD",
+    ])
+print(render_table(
+    ["provisioning", "carried Gbps", "drops", "max ring", "verdict"],
+    rows,
+))
+
+print()
+print("Reading: one ME saturates near the paper's 11 Gbps; burst")
+print("aggregation nearly triples a single ME's capacity, and ring depth")
+print("only matters once the MEs are the bottleneck.")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Distributed monitoring: two taps, one answer.
+
+Two monitors observe disjoint halves of the same traffic (think: the two
+directions of a link, or two members of a LAG).  Each keeps its own DISCO
+sketch; the collector either sums their estimates per flow or folds the
+two sketches into one with the O(1) counter merge — both unbiased.
+
+Run:  python examples/distributed_monitors.py
+"""
+
+import random
+
+from repro import DiscoSketch, choose_b, merge_sketches, merged_estimate
+from repro.harness import render_table
+from repro.traces import nlanr_like
+
+trace = nlanr_like(num_flows=120, mean_flow_bytes=30_000,
+                   max_flow_bytes=600_000, rng=17)
+truths = trace.true_totals("volume")
+packets = list(trace.packet_pairs(rng=18))
+b = choose_b(12, max(truths.values()), slack=1.5)
+
+# Split packets across two monitors (ECMP-style hash on packet index).
+monitor_a = DiscoSketch(b=b, mode="volume", rng=20)
+monitor_b = DiscoSketch(b=b, mode="volume", rng=21)
+for i, (flow, length) in enumerate(packets):
+    (monitor_a if i % 2 == 0 else monitor_b).observe(flow, length)
+
+print(f"Traffic split across two monitors: "
+      f"{monitor_a.packets_observed} + {monitor_b.packets_observed} packets, "
+      f"{len(truths)} flows, b={b:.5f}")
+print()
+
+# Strategy 1: collector sums per-flow estimates.
+# Strategy 2: fold monitor B's counters into A's (one update per flow).
+merged = merge_sketches(monitor_a, monitor_b, rng=22)
+
+rows = []
+for flow in sorted(truths, key=truths.get, reverse=True)[:8]:
+    truth = truths[flow]
+    summed = merged_estimate(monitor_a.function,
+                             monitor_a.counter_value(flow),
+                             monitor_b.counter_value(flow))
+    folded = merged.estimate(flow)
+    rows.append([
+        flow, truth / 1e3, summed / 1e3, folded / 1e3,
+        abs(summed - truth) / truth, abs(folded - truth) / truth,
+    ])
+
+print("Top flows: true vs summed-estimates vs counter-merged (KB)")
+print(render_table(
+    ["flow", "true", "summed", "merged", "summed R", "merged R"],
+    rows,
+))
+
+total_true = sum(truths.values())
+total_merged = sum(merged.estimates().values())
+print()
+print(f"Link total via merged sketch: {total_merged / 1e6:.2f} MB "
+      f"(true {total_true / 1e6:.2f} MB, "
+      f"error {abs(total_merged - total_true) / total_true:.4f})")
+print()
+print("Reading: per-flow DISCO estimates compose — summing is exactly")
+print("unbiased, and the O(1) counter merge keeps a single array's memory")
+print("footprint at a small extra variance cost.")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""DISCO on the IXP2850 network-processor model (Section VI).
+
+Builds the 96 Kb Log&Exp table, runs the table-driven DISCO data path over
+the 80-20 traffic pattern on 1/2/4 MicroEngines with and without burst
+aggregation, and prints the Table V comparison: throughput scaling, the
+error column, and the memory/lookup accounting.
+
+Run:  python examples/ixp_throughput_demo.py [num_packets]
+"""
+
+import sys
+
+from repro.harness import render_table
+from repro.ixp import LogExpTable, run_one
+
+NUM_PACKETS = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+
+table = LogExpTable(1.002)
+print("Log & Exp lookup table")
+print(f"  entries           : {table.entries}")
+print(f"  word layout       : {table.power_bits}-bit power | "
+      f"{table.log_bits}-bit log")
+print(f"  memory            : {table.memory_bits()} bits "
+      f"(= {table.memory_bits() // 1024} Kb, paper: 96 Kb)")
+print(f"  power frac bits   : {table.power_frac_bits}")
+print()
+
+rows = []
+for burst_max, label in ((1, "1"), (8, "1-8")):
+    for num_mes in (1, 2, 4):
+        result = run_one(num_mes=num_mes, burst_max=burst_max,
+                         num_packets=NUM_PACKETS, rng=0)
+        rows.append([
+            label, num_mes, result.throughput_gbps,
+            result.average_relative_error,
+            result.packets, result.counter_updates,
+            result.table_lookups,
+        ])
+
+print(f"Table V reproduction ({NUM_PACKETS} packets, 2560 flows, 80-20)")
+print(render_table(
+    ["burst", "# ME", "Gbps", "avg rel err", "packets", "updates", "lookups"],
+    rows,
+))
+
+print()
+print("Paper's rows: 11.1 / 22.0 / 39.0 Gbps (burst 1) and "
+      "28.6 / 55.3 / 104.8 Gbps (burst 1-8);")
+print("burst aggregation amortises the SRAM read-modify-write across the")
+print("burst, which both raises throughput ~2.5x and halves the error")
+print("(bigger per-update amounts have lower coefficient of variation).")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A long-running monitor: exponentially-weighted totals + change alarms.
+
+Runs a DISCO sketch over many measurement intervals, decaying history at
+each boundary (``AgingDiscoSketch``), and raises error-aware change alarms
+(``ChangeDetector``) when a flow's behaviour genuinely shifts — while a
+diurnal-like wobble inside the estimator noise stays quiet.
+
+Run:  python examples/moving_average_monitor.py
+"""
+
+import random
+
+from repro.apps import ChangeDetector
+from repro.core.aging import AgingDiscoSketch
+from repro.harness import render_table
+
+B = 1.01
+GAMMA = 0.5  # half-life of one interval
+INTERVALS = 8
+rand = random.Random(99)
+
+sketch = AgingDiscoSketch(b=B, mode="volume", rng=1)
+detector = ChangeDetector(b=B, level=0.99, min_change=100_000.0)
+
+print(f"{INTERVALS} intervals, decay {GAMMA}/interval, b={B}")
+print()
+
+rows = []
+previous = {}
+alarm_log = []
+for interval in range(INTERVALS):
+    # Steady flows wobble +-10%; "burst" flow turns on in interval 5.
+    for flow in range(6):
+        base = 400 + 50 * flow
+        packets = int(200 * rand.uniform(0.9, 1.1))
+        for _ in range(packets):
+            sketch.observe(f"steady{flow}", base)
+    if interval >= 5:
+        for _ in range(800):
+            sketch.observe("burst", 1500)
+
+    current = dict(sketch.estimates())
+    changes = detector.compare(previous, current)
+    for change in changes:
+        alarm_log.append((interval, change.flow, change.change))
+    previous = current
+    total = sum(current.values())
+    rows.append([interval, len(current), total / 1e6,
+                 current.get("burst", 0.0) / 1e6,
+                 ", ".join(str(c.flow) for c in changes) or "-"])
+    pruned = sketch.age(GAMMA)
+
+print(render_table(
+    ["interval", "flows", "EWMA total MB", "burst EWMA MB", "alarms"],
+    rows,
+))
+
+print()
+burst_alarms = [a for a in alarm_log if a[1] == "burst"]
+steady_alarms = [a for a in alarm_log if str(a[1]).startswith("steady")]
+print(f"burst alarms: {len(burst_alarms)} (first at interval "
+      f"{burst_alarms[0][0] if burst_alarms else '-'}); "
+      f"steady-flow false alarms: {len(steady_alarms)}")
+print()
+print("Reading: the aged sketch keeps a bounded flow table and a recency-")
+print("weighted view; the detector's Theorem-2 noise floor lets the real")
+print("onset through while the +-10% wobble stays below the alarm bar.")

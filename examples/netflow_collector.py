@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The operational comparison: sampled NetFlow vs a DISCO monitor + collector.
+
+Runs the same backbone-like traffic through (a) a sampled NetFlow with a
+bounded flow cache and (b) a DISCO sketch whose interval exports feed a
+collector, then compares accuracy, state, and export churn — the deployed
+systems view of the paper's argument.
+
+Run:  python examples/netflow_collector.py
+"""
+
+from repro import DiscoSketch, choose_b
+from repro.counters import SampledNetflow
+from repro.export import Collector, ExportBatch
+from repro.harness import render_table
+from repro.metrics.errors import relative_errors, summarize_errors
+from repro.traces import nlanr_like
+
+trace = nlanr_like(num_flows=200, mean_flow_bytes=30_000,
+                   max_flow_bytes=800_000, rng=7)
+truths = {f: float(v) for f, v in trace.true_totals("volume").items()}
+packets = list(trace.packet_pairs(rng=8))
+print(f"Workload: {len(truths)} flows, {len(packets)} packets, "
+      f"{sum(truths.values()) / 1e6:.1f} MB")
+print()
+
+# --- DISCO monitor exporting to a collector over 3 intervals -----------------
+b = choose_b(12, max(truths.values()), slack=1.5)
+collector = Collector()
+interval_size = len(packets) // 3 + 1
+for interval in range(3):
+    sketch = DiscoSketch(b=b, mode="volume", rng=10 + interval)
+    for flow, length in packets[interval * interval_size:
+                                (interval + 1) * interval_size]:
+        sketch.observe(flow, length)
+    collector.ingest(ExportBatch.from_sketch(sketch))
+
+disco_estimates = {flow: collector.flow_total(str(flow)) for flow in truths}
+disco_summary = summarize_errors(relative_errors(disco_estimates, truths))
+
+# --- Sampled NetFlow ----------------------------------------------------------
+rows = []
+for rate_label, rate in (("1/8", 1 / 8), ("1/32", 1 / 32)):
+    nf = SampledNetflow(sampling_rate=rate, cache_entries=1024,
+                        mode="volume", rng=20)
+    for flow, length in packets:
+        nf.observe(flow, length)
+    nf.flush()
+    estimates = {flow: nf.estimate(flow) for flow in truths}
+    summary = summarize_errors(relative_errors(estimates, truths))
+    rows.append([f"NetFlow {rate_label}", summary.average, summary.maximum,
+                 len(nf.exports), "sampled, cache-managed"])
+
+rows.insert(0, ["DISCO (12-bit) + collector", disco_summary.average,
+                disco_summary.maximum, collector.intervals,
+                "per-flow counters in SRAM"])
+
+print(render_table(
+    ["system", "avg rel err", "max rel err", "exports", "state model"],
+    rows,
+))
+
+print()
+flow, total = collector.top_flows(1)[0]
+ci = collector.interval_confidence(0, flow)
+print(f"Collector view: top flow {flow!r} totals {total / 1e3:.1f} KB; "
+      f"interval-0 95% CI {ci.low / 1e3:.1f}..{ci.high / 1e3:.1f} KB")
+print()
+print("Reading: at equal (or far less) per-flow state DISCO's bounded-error")
+print("counters beat packet sampling by orders of magnitude, and exports")
+print("happen once per interval instead of churning with cache pressure.")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: count flow volume with DISCO and read unbiased estimates.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DiscoCounter, DiscoSketch, choose_b, counter_bits, cov_bound
+
+# ---------------------------------------------------------------------------
+# 1. A single discount counter (the Figure 1 example from the paper).
+# ---------------------------------------------------------------------------
+counter = DiscoCounter(b=1.08, rng=42)
+for packet_length in (81, 1420, 142, 691):
+    counter.add(packet_length)
+
+print("Single DISCO counter (b=1.08)")
+print(f"  true bytes      : {81 + 1420 + 142 + 691}")
+print(f"  counter value   : {counter.value}  ({counter.bits_used()} bits)")
+print(f"  estimate f(c)   : {counter.estimate():.1f}")
+print()
+
+# ---------------------------------------------------------------------------
+# 2. Pick b from an accuracy target, or from a memory budget.
+# ---------------------------------------------------------------------------
+# "I can afford 10-bit counters and my biggest flow is ~1 MB":
+b_budget = choose_b(counter_bits=10, max_flow_length=1_000_000)
+print(f"Smallest b fitting 1 MB flows in 10 bits : {b_budget:.5f} "
+      f"(error bound {cov_bound(b_budget):.3f})")
+
+# ---------------------------------------------------------------------------
+# 3. Per-flow statistics: one sketch, many flows, on-line reads.
+# ---------------------------------------------------------------------------
+import random
+
+sketch = DiscoSketch(b=b_budget, mode="volume", rng=7)
+rand = random.Random(0)
+truth = {}
+for _ in range(20_000):
+    flow = f"10.0.0.{rand.randrange(16)}->10.0.1.1:443"
+    length = rand.randint(40, 1500)
+    sketch.observe(flow, length)
+    truth[flow] = truth.get(flow, 0) + length
+
+print()
+print(f"Per-flow sketch: {len(sketch)} flows, "
+      f"largest counter {sketch.max_counter_value()} "
+      f"({sketch.max_counter_bits()} bits)")
+print(f"{'flow':<28} {'true bytes':>12} {'estimate':>12} {'rel err':>8}")
+for flow in sorted(truth)[:8]:
+    n = truth[flow]
+    est = sketch.estimate(flow)
+    print(f"{flow:<28} {n:>12} {est:>12.0f} {abs(est - n) / n:>8.4f}")
+
+# A full-size counter for the largest flow would need this many bits:
+largest = max(truth.values())
+print()
+print(f"Full-size counter for largest flow : {largest.bit_length()} bits")
+print(f"DISCO counter for the same flow    : {sketch.max_counter_bits()} bits")

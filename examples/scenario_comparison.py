@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Mini Table II: DISCO vs SAC across the paper's synthetic scenarios.
+
+Generates Scenario 1 (Pareto flows), Scenario 2 (exponential flows) and
+Scenario 3 (uniform flows), then sweeps counter sizes 8-10 bits and prints
+the average relative error of both schemes — the fixed-memory accuracy
+comparison at the heart of the evaluation.
+
+Run:  python examples/scenario_comparison.py
+"""
+
+from repro.harness import render_table, table2
+from repro.traces import scenario1, scenario2, scenario3
+
+print("Generating scenarios (scaled: 200/100/100 flows)...")
+traces = {
+    "scenario1 (Pareto 1.053)": scenario1(num_flows=200, rng=10,
+                                          max_flow_packets=20_000),
+    "scenario2 (Exp 800)": scenario2(num_flows=100, rng=11),
+    "scenario3 (U[2,1600])": scenario3(num_flows=100, rng=12),
+}
+for name, trace in traces.items():
+    stats = trace.stats()
+    print(f"  {name}: {stats.mean_flow_packets:.1f} pkts/flow, "
+          f"{stats.mean_flow_bytes / 1e3:.1f} KB/flow")
+print()
+
+rows = table2(traces, counter_sizes=(8, 9, 10), seed=99)
+print("Average relative error, flow volume counting")
+print(render_table(
+    ["scenario", "counter bits", "SAC", "DISCO", "DISCO wins by"],
+    [
+        [r["scenario"], r["counter_bits"], r["sac_avg_error"],
+         r["disco_avg_error"],
+         f"{r['sac_avg_error'] / r['disco_avg_error']:.2f}x"]
+        for r in rows
+    ],
+))
+
+print()
+print("Reading: with the same fixed counter width, DISCO's probabilistic")
+print("discount update tracks flow volume with roughly half SAC's error;")
+print("every extra bit of counter roughly halves both schemes' error.")

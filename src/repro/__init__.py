@@ -1,0 +1,87 @@
+"""DISCO: memory-efficient and accurate flow statistics — full reproduction.
+
+Reproduction of Hu et al., "DISCO: Memory Efficient and Accurate Flow
+Statistics for Network Measurement" (ICDCS 2010).
+
+Public API tour
+---------------
+The paper's contribution::
+
+    from repro import DiscoSketch
+    sketch = DiscoSketch(b=1.02, mode="volume", rng=42)
+    sketch.observe(flow="10.0.0.1->10.0.0.2", length=1420)
+    sketch.estimate("10.0.0.1->10.0.0.2")
+
+Baselines (:mod:`repro.counters`), workloads (:mod:`repro.traces`),
+accuracy metrics (:mod:`repro.metrics`), the theory of Section IV
+(:mod:`repro.core.analysis`), the IXP2850 implementation model
+(:mod:`repro.ixp`) and the per-figure experiment harness
+(:mod:`repro.harness`) are one import away.
+"""
+
+from repro.core import (
+    ConfidenceInterval,
+    CountingFunction,
+    DiscoCounter,
+    DiscoSketch,
+    GeometricCountingFunction,
+    HybridCountingFunction,
+    LinearCountingFunction,
+    UpdateDecision,
+    apply_update,
+    b_for_cov_bound,
+    choose_b,
+    coefficient_of_variation,
+    compute_update,
+    confidence_interval,
+    counter_bits,
+    cov_bound,
+    expected_counter_upper_bound,
+    geometric,
+    load_sketch,
+    merge_counters,
+    merge_sketches,
+    merged_estimate,
+    save_sketch,
+)
+from repro.errors import (
+    CounterOverflowError,
+    DecodingError,
+    ParameterError,
+    ReproError,
+    TraceFormatError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "DiscoCounter",
+    "DiscoSketch",
+    "CountingFunction",
+    "GeometricCountingFunction",
+    "LinearCountingFunction",
+    "HybridCountingFunction",
+    "geometric",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "save_sketch",
+    "load_sketch",
+    "merge_counters",
+    "merge_sketches",
+    "merged_estimate",
+    "UpdateDecision",
+    "compute_update",
+    "apply_update",
+    "counter_bits",
+    "coefficient_of_variation",
+    "cov_bound",
+    "b_for_cov_bound",
+    "choose_b",
+    "expected_counter_upper_bound",
+    "ReproError",
+    "ParameterError",
+    "CounterOverflowError",
+    "DecodingError",
+    "TraceFormatError",
+]

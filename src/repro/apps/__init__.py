@@ -1,0 +1,43 @@
+"""Applications built on DISCO's on-line estimates.
+
+* :mod:`repro.apps.heavyhitters` — streaming threshold detection, top-k.
+* :mod:`repro.apps.billing` — per-account usage with confidence bands.
+* :mod:`repro.apps.epochs` — measurement intervals, export, epoch diffs.
+"""
+
+from repro.apps.anomaly import ChangeDetector, TrafficChange
+from repro.apps.billing import AccountBill, UsageAccountant
+from repro.apps.distribution import Histogram, log_histogram, quantiles, tail_fraction
+from repro.apps.epochs import EpochManager, EpochRecord, epoch_delta
+from repro.apps.heavyhitters import Detection, HeavyHitterDetector, top_k
+from repro.apps.moments import (
+    ConcentrationReport,
+    concentration,
+    entropy,
+    gini,
+    second_moment,
+    top_share,
+)
+
+__all__ = [
+    "Detection",
+    "HeavyHitterDetector",
+    "top_k",
+    "AccountBill",
+    "UsageAccountant",
+    "EpochManager",
+    "EpochRecord",
+    "epoch_delta",
+    "Histogram",
+    "log_histogram",
+    "quantiles",
+    "tail_fraction",
+    "ChangeDetector",
+    "TrafficChange",
+    "ConcentrationReport",
+    "concentration",
+    "entropy",
+    "gini",
+    "second_moment",
+    "top_share",
+]

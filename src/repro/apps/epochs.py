@@ -1,0 +1,130 @@
+"""Measurement intervals: rotate sketches, export records, diff epochs.
+
+A monitoring component does not run one sketch forever — it measures in
+intervals ("epochs"), exports per-flow records at each boundary, and
+resets (the paper's counters are sized per measurement interval).  This
+module provides that lifecycle plus the classic downstream use: comparing
+consecutive epochs to spot traffic changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["EpochRecord", "EpochManager", "epoch_delta"]
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """Exported summary of one measurement interval."""
+
+    index: int
+    packets: int
+    estimates: Dict[Hashable, float]
+
+    @property
+    def flows(self) -> int:
+        return len(self.estimates)
+
+    @property
+    def total(self) -> float:
+        return sum(self.estimates.values())
+
+
+class EpochManager:
+    """Rotates a counting sketch every ``epoch_packets`` observations.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Zero-argument callable producing a fresh sketch (anything with
+        ``observe``, ``estimates`` and ``reset``).  A *factory* rather
+        than an instance so each epoch gets independent randomness if the
+        factory provides it.
+    epoch_packets:
+        Observations per epoch.
+    history:
+        Number of finished epoch records retained (older ones are
+        dropped, as a device with bounded export buffers would).
+    """
+
+    def __init__(
+        self,
+        sketch_factory: Callable[[], object],
+        epoch_packets: int,
+        history: int = 16,
+    ) -> None:
+        if epoch_packets < 1:
+            raise ParameterError(f"epoch_packets must be >= 1, got {epoch_packets!r}")
+        if history < 1:
+            raise ParameterError(f"history must be >= 1, got {history!r}")
+        self._factory = sketch_factory
+        self.epoch_packets = epoch_packets
+        self.history = history
+        self.sketch = sketch_factory()
+        self._epoch_index = 0
+        self._packets_in_epoch = 0
+        self._records: List[EpochRecord] = []
+
+    @property
+    def current_epoch(self) -> int:
+        return self._epoch_index
+
+    @property
+    def records(self) -> List[EpochRecord]:
+        """Finished epochs, oldest first (bounded by ``history``)."""
+        return list(self._records)
+
+    def observe(self, flow: Hashable, length: float = 1.0) -> Optional[EpochRecord]:
+        """Feed one packet; returns the finished record on a boundary."""
+        if hasattr(self.sketch, "flush") and self._packets_in_epoch == 0:
+            pass  # fresh epoch; nothing pending
+        self.sketch.observe(flow, length)
+        self._packets_in_epoch += 1
+        if self._packets_in_epoch < self.epoch_packets:
+            return None
+        return self.rotate()
+
+    def rotate(self) -> EpochRecord:
+        """Close the current epoch now and start a fresh sketch."""
+        if hasattr(self.sketch, "flush"):
+            self.sketch.flush()
+        record = EpochRecord(
+            index=self._epoch_index,
+            packets=self._packets_in_epoch,
+            estimates=dict(self.sketch.estimates()),
+        )
+        self._records.append(record)
+        if len(self._records) > self.history:
+            self._records.pop(0)
+        self._epoch_index += 1
+        self._packets_in_epoch = 0
+        self.sketch = self._factory()
+        return record
+
+
+def epoch_delta(
+    before: EpochRecord,
+    after: EpochRecord,
+    min_change: float = 0.0,
+) -> Dict[Hashable, float]:
+    """Per-flow estimate change between two epochs.
+
+    Positive = grew.  Flows absent from an epoch count as 0 there.
+    ``min_change`` filters noise: only flows whose absolute change is at
+    least that much are returned (set it from the sketch's error bound,
+    e.g. ``cov_bound(b) * typical_flow`` — changes inside the error bars
+    are not evidence of anything).
+    """
+    if min_change < 0:
+        raise ParameterError(f"min_change must be >= 0, got {min_change!r}")
+    flows = set(before.estimates) | set(after.estimates)
+    deltas = {}
+    for flow in flows:
+        change = after.estimates.get(flow, 0.0) - before.estimates.get(flow, 0.0)
+        if abs(change) >= min_change:
+            deltas[flow] = change
+    return deltas

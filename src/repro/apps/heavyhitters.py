@@ -1,0 +1,134 @@
+"""On-line heavy-hitter detection on top of DISCO counters.
+
+The property that distinguishes DISCO from SD (slow DRAM reads) and from
+Counter Braids (offline decode) is the **per-packet on-line read**: after
+every update the flow's estimate is one ``f(c)`` evaluation away.  This
+module builds the canonical application on that property — detecting flows
+whose size/volume crosses a threshold *while they are happening* — plus a
+top-k tracker.
+
+Detection uses the confidence machinery of :mod:`repro.core.confidence`:
+a flow is reported when the *lower* edge of its confidence interval
+crosses the threshold (few false positives) or optimistically when the
+estimate itself does (few false negatives); the policy is a parameter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.confidence import confidence_interval
+from repro.core.disco import DiscoSketch
+from repro.errors import ParameterError
+
+__all__ = ["Detection", "HeavyHitterDetector", "top_k"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One threshold crossing."""
+
+    flow: Hashable
+    estimate: float
+    packet_index: int
+    counter_value: int
+
+
+class HeavyHitterDetector:
+    """Streaming threshold detector over a :class:`DiscoSketch`.
+
+    Parameters
+    ----------
+    sketch:
+        The DISCO sketch packets are fed through (owned by the caller;
+        the detector only reads it).
+    threshold:
+        Size/volume (in the sketch's counting mode units) above which a
+        flow is a heavy hitter.
+    policy:
+        ``"estimate"`` — report when ``f(c)`` crosses the threshold;
+        ``"confident"`` — report when the *lower* confidence bound does
+        (suppresses false positives at the price of reporting later).
+    level:
+        Confidence level for the ``"confident"`` policy.
+    """
+
+    def __init__(
+        self,
+        sketch: DiscoSketch,
+        threshold: float,
+        policy: str = "estimate",
+        level: float = 0.95,
+    ) -> None:
+        if not (threshold > 0):
+            raise ParameterError(f"threshold must be > 0, got {threshold!r}")
+        if policy not in ("estimate", "confident"):
+            raise ParameterError(f"policy must be 'estimate' or 'confident', got {policy!r}")
+        b = getattr(getattr(sketch, "function", None), "b", None)
+        if b is None:
+            raise ParameterError("sketch must use a geometric counting function")
+        self.sketch = sketch
+        self.threshold = threshold
+        self.policy = policy
+        self.level = level
+        self._b = b
+        self._reported: Dict[Hashable, Detection] = {}
+        self._packets = 0
+
+    def observe(self, flow: Hashable, length: float = 1.0) -> Optional[Detection]:
+        """Feed one packet; returns a Detection the first time a flow crosses."""
+        self.sketch.observe(flow, length)
+        self._packets += 1
+        if flow in self._reported:
+            return None
+        c = self.sketch.counter_value(flow)
+        estimate = self.sketch.estimate(flow)
+        if self.policy == "estimate":
+            crossing = estimate >= self.threshold
+        else:
+            ci = confidence_interval(self._b, c, level=self.level)
+            crossing = ci.low >= self.threshold
+        if not crossing:
+            return None
+        detection = Detection(
+            flow=flow,
+            estimate=estimate,
+            packet_index=self._packets,
+            counter_value=c,
+        )
+        self._reported[flow] = detection
+        return detection
+
+    @property
+    def detections(self) -> List[Detection]:
+        """All detections so far, in report order."""
+        return sorted(self._reported.values(), key=lambda d: d.packet_index)
+
+    def evaluate(self, truths: Dict[Hashable, float]) -> Dict[str, float]:
+        """Precision/recall against ground-truth flow totals."""
+        if not truths:
+            raise ParameterError("at least one flow is required")
+        actual = {f for f, n in truths.items() if n >= self.threshold}
+        reported = set(self._reported)
+        true_positives = len(actual & reported)
+        precision = true_positives / len(reported) if reported else 1.0
+        recall = true_positives / len(actual) if actual else 1.0
+        return {
+            "precision": precision,
+            "recall": recall,
+            "reported": float(len(reported)),
+            "actual": float(len(actual)),
+        }
+
+
+def top_k(sketch, k: int) -> List[Tuple[Hashable, float]]:
+    """The k flows with the largest estimates, descending.
+
+    Works on anything exposing ``estimates() -> dict``; O(n log k).
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k!r}")
+    estimates = sketch.estimates()
+    return heapq.nlargest(k, estimates.items(), key=lambda kv: kv[1])

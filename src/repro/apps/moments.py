@@ -1,0 +1,99 @@
+"""Traffic-concentration metrics from per-flow estimates.
+
+Operators summarise a link's flow mix with scalar concentration measures:
+the normalised entropy of the traffic shares (1 = perfectly even, 0 = one
+flow owns the link), the Gini coefficient (the 80-20 rule as a number),
+the second frequency moment F2 (DDoS/scan detectors watch its spikes), and
+the top-fraction share itself.  Per-flow DISCO estimates make all of them
+one pass over ``sketch.estimates()`` — this module is that pass.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Mapping
+
+from repro.errors import ParameterError
+
+__all__ = ["ConcentrationReport", "concentration", "entropy", "gini",
+           "second_moment", "top_share"]
+
+
+def entropy(values: Mapping[Hashable, float], normalised: bool = True) -> float:
+    """Shannon entropy of the traffic shares (base 2; optionally / log2 n)."""
+    positive = [v for v in values.values() if v > 0]
+    if not positive:
+        raise ParameterError("at least one positive value is required")
+    total = sum(positive)
+    h = -sum((v / total) * math.log2(v / total) for v in positive)
+    if not normalised:
+        return h
+    if len(positive) == 1:
+        return 0.0
+    return h / math.log2(len(positive))
+
+
+def gini(values: Mapping[Hashable, float]) -> float:
+    """Gini coefficient of the per-flow totals (0 = even, ->1 = concentrated)."""
+    ordered = sorted(v for v in values.values() if v >= 0)
+    if not ordered:
+        raise ParameterError("at least one value is required")
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    n = len(ordered)
+    cumulative = 0.0
+    weighted = 0.0
+    for i, v in enumerate(ordered, start=1):
+        cumulative += v
+        weighted += cumulative
+    # Gini = 1 - 2 * (area under Lorenz curve); trapezoid form.
+    return 1.0 - (2.0 * weighted - total) / (n * total)
+
+
+def second_moment(values: Mapping[Hashable, float]) -> float:
+    """F2 = sum of squared per-flow totals."""
+    if not values:
+        raise ParameterError("at least one value is required")
+    return sum(v * v for v in values.values())
+
+
+def top_share(values: Mapping[Hashable, float], fraction: float = 0.2) -> float:
+    """Share of traffic carried by the top ``fraction`` of flows."""
+    if not values:
+        raise ParameterError("at least one value is required")
+    if not (0.0 < fraction <= 1.0):
+        raise ParameterError(f"fraction must be in (0, 1], got {fraction!r}")
+    ordered = sorted(values.values(), reverse=True)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    k = max(1, int(len(ordered) * fraction))
+    return sum(ordered[:k]) / total
+
+
+@dataclass(frozen=True)
+class ConcentrationReport:
+    """All the concentration scalars for one estimate map."""
+
+    flows: int
+    total: float
+    normalised_entropy: float
+    gini: float
+    second_moment: float
+    top20_share: float
+
+
+def concentration(values: Mapping[Hashable, float]) -> ConcentrationReport:
+    """One-pass summary of a per-flow estimate map."""
+    if not values:
+        raise ParameterError("at least one flow is required")
+    return ConcentrationReport(
+        flows=len(values),
+        total=sum(values.values()),
+        normalised_entropy=entropy(values),
+        gini=gini(values),
+        second_moment=second_moment(values),
+        top20_share=top_share(values, 0.2),
+    )

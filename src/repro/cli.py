@@ -1,0 +1,385 @@
+"""Command-line interface: generate traces, replay schemes, rerun experiments.
+
+Examples
+--------
+Generate a scaled NLANR-like trace and replay DISCO over it::
+
+    python -m repro gen-trace --kind nlanr --flows 300 --out /tmp/oc192.trace
+    python -m repro replay --trace /tmp/oc192.trace --scheme disco --bits 10
+
+Re-print a figure or table from the paper::
+
+    python -m repro figure 5
+    python -m repro table 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis import choose_b
+from repro.core.disco import DiscoSketch
+from repro.counters.anls import AnlsBytesNaive, AnlsPerUnit
+from repro.counters.exact import ExactCounters
+from repro.counters.sac import SmallActiveCounters
+from repro.counters.sd import SdCounters
+from repro.harness.experiments import (
+    bound_gap,
+    counter_bits_vs_volume,
+    error_cdf_comparison,
+    table2,
+    table3,
+    table4,
+    volume_error_vs_counter_size,
+)
+from repro.harness.formatting import render_series, render_table
+from repro.harness.runner import replay
+from repro.traces.nlanr import nlanr_like
+from repro.traces.synthetic import scenario1, scenario2, scenario3
+from repro.traces.trace_io import read_trace, write_trace
+
+__all__ = ["main", "build_parser"]
+
+TRACE_KINDS = ("nlanr", "scenario1", "scenario2", "scenario3")
+SCHEMES = ("disco", "sac", "exact", "sd", "anls1", "anls2")
+
+
+def _make_trace(kind: str, flows: int, seed: int):
+    if kind == "nlanr":
+        return nlanr_like(num_flows=flows, rng=seed)
+    if kind == "scenario1":
+        return scenario1(num_flows=flows, rng=seed)
+    if kind == "scenario2":
+        return scenario2(num_flows=flows, rng=seed)
+    if kind == "scenario3":
+        return scenario3(num_flows=flows, rng=seed)
+    raise ValueError(kind)
+
+
+def _make_scheme(name: str, bits: int, mode: str, max_length: float, seed: int):
+    if name == "disco":
+        b = choose_b(bits, max_length, slack=1.5)
+        return DiscoSketch(b=b, mode=mode, rng=seed, capacity_bits=bits)
+    if name == "sac":
+        return SmallActiveCounters(total_bits=bits, mode_bits=3, mode=mode, rng=seed)
+    if name == "exact":
+        return ExactCounters(mode=mode)
+    if name == "sd":
+        return SdCounters(sram_bits=16, mode=mode, rng=seed)
+    if name == "anls1":
+        b = choose_b(bits, max_length, slack=1.5)
+        return AnlsBytesNaive(b=b, mode="volume", rng=seed)
+    if name == "anls2":
+        b = choose_b(bits, max_length, slack=1.5)
+        return AnlsPerUnit(b=b, mode="volume", rng=seed)
+    raise ValueError(name)
+
+
+# -- subcommand handlers -------------------------------------------------------
+
+
+def _read_any_trace(path: str):
+    """Dispatch trace loading by file suffix (.pcap vs native format)."""
+    if str(path).endswith(".pcap"):
+        from repro.traces.pcap import read_pcap
+
+        return read_pcap(path)
+    return read_trace(path)
+
+
+def cmd_gen_trace(args: argparse.Namespace) -> int:
+    trace = _make_trace(args.kind, args.flows, args.seed)
+    if str(args.out).endswith(".pcap"):
+        from repro.traces.pcap import write_pcap
+
+        count = write_pcap(trace, args.out, order=args.order, seed=args.seed)
+    else:
+        count = write_trace(trace, args.out, order=args.order, seed=args.seed)
+    stats = trace.stats()
+    print(f"wrote {count} packets, {stats.num_flows} flows to {args.out}")
+    print(f"  mean flow: {stats.mean_flow_packets:.1f} pkts / "
+          f"{stats.mean_flow_bytes / 1e3:.1f} KB")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    trace = _read_any_trace(args.trace)
+    truths = trace.true_totals(args.mode)
+    max_length = max(truths.values())
+    scheme = _make_scheme(args.scheme, args.bits, args.mode, max_length, args.seed)
+    result = replay(scheme, trace, rng=args.seed + 1)
+    print(f"scheme={result.scheme_name} trace={result.trace_name} "
+          f"mode={result.mode}")
+    print(render_table(
+        ["packets", "flows", "avg R", "max R", "R_o(0.95)", "counter bits",
+         "seconds"],
+        [[result.packets, len(result.truths), result.summary.average,
+          result.summary.maximum, result.summary.optimistic_95,
+          result.max_counter_bits, result.elapsed_seconds]],
+    ))
+    return 0
+
+
+def _default_trace(args: argparse.Namespace):
+    return nlanr_like(num_flows=args.flows, mean_flow_bytes=30_000,
+                      max_flow_bytes=3_000_000, rng=args.seed)
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    fig = args.id
+    if fig in (2, 3):
+        from repro.core.analysis import cov_bound, cov_for_traffic
+
+        if fig == 2:
+            for theta in (1.0, 100.0, 500.0, 1000.0):
+                series = [(10**k, cov_for_traffic(1.002, float(10**k), theta))
+                          for k in range(2, 9)]
+                print(render_series(f"theta={int(theta)}", series))
+        else:
+            series = [(b, cov_bound(b))
+                      for b in (1.0005, 1.001, 1.002, 1.005, 1.01, 1.05, 1.1)]
+            print(render_series("CoV bound vs b", series))
+        return 0
+    if fig == 4:
+        rows = bound_gap(b=1.02, runs=args.runs, seed=args.seed)
+        print(render_table(
+            ["flow length", "bound", "mean counter", "abs gap", "rel gap"],
+            [[r["flow_length"], r["bound"], r["mean_counter"],
+              r["absolute_gap"], r["relative_gap"]] for r in rows],
+        ))
+        return 0
+    if fig in (5, 6, 7):
+        trace = _default_trace(args)
+        rows = volume_error_vs_counter_size(trace, seed=args.seed)
+        metric = {5: "average", 6: "maximum", 7: "optimistic_95"}[fig]
+        print(render_table(
+            ["counter bits", f"DISCO {metric} R", f"SAC {metric} R"],
+            [[r.counter_bits, getattr(r.disco, metric), getattr(r.sac, metric)]
+             for r in rows],
+        ))
+        return 0
+    if fig == 8:
+        trace = _default_trace(args)
+        result = error_cdf_comparison(trace, counter_bits=10, seed=args.seed)
+        print(render_series("DISCO CDF", result["disco"], max_points=10))
+        print(render_series("SAC CDF", result["sac"], max_points=10))
+        return 0
+    if fig == 9:
+        rows = counter_bits_vs_volume([10**k for k in range(2, 10)], b=1.002)
+        print(render_table(
+            ["volume", "SD bits", "SAC bits", "DISCO bits"],
+            [[r["volume"], r["sd_bits"], r["sac_bits"], r["disco_bits"]]
+             for r in rows],
+        ))
+        return 0
+    if fig == 10:
+        from repro.harness.experiments import flow_size_per_flow_error
+
+        trace = _default_trace(args)
+        result = flow_size_per_flow_error(trace, counter_bits=10, seed=args.seed)
+        for scheme in ("disco", "sac"):
+            errors = [e for _, e in result[scheme]]
+            print(f"{scheme}: avg R = {sum(errors) / len(errors):.4f}, "
+                  f"max R = {max(errors):.4f} over {len(errors)} flows")
+        return 0
+    print(f"unknown figure {fig}; figures 2-10 are available", file=sys.stderr)
+    return 2
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    if args.id == 2:
+        traces = {
+            "scenario1": scenario1(num_flows=args.flows, rng=args.seed,
+                                   max_flow_packets=20_000),
+            "scenario2": scenario2(num_flows=max(20, args.flows // 3),
+                                   rng=args.seed + 1),
+            "scenario3": scenario3(num_flows=max(20, args.flows // 3),
+                                   rng=args.seed + 2),
+            "real trace": _default_trace(args),
+        }
+        rows = table2(traces, seed=args.seed)
+        print(render_table(
+            ["scenario", "bits", "SAC R", "DISCO R"],
+            [[r["scenario"], r["counter_bits"], r["sac_avg_error"],
+              r["disco_avg_error"]] for r in rows],
+        ))
+        return 0
+    if args.id == 3:
+        traces = {"real trace": _default_trace(args)}
+        rows = table3(traces, seed=args.seed)
+        print(render_table(
+            ["scenario", "var>10 frac", "ANLS-I R"],
+            [[r["scenario"], r["length_variance_over_10_fraction"],
+              r["anls1_avg_error"]] for r in rows],
+        ))
+        return 0
+    if args.id == 4:
+        traces = {"real trace": nlanr_like(num_flows=max(10, args.flows // 10),
+                                           mean_flow_bytes=25_000,
+                                           max_flow_bytes=400_000,
+                                           rng=args.seed)}
+        rows = table4(traces, seed=args.seed)
+        print(render_table(
+            ["scenario", "DISCO s", "ANLS-II s", "ratio"],
+            [[r["scenario"], r["disco_seconds"], r["anls2_seconds"],
+              r["ratio"]] for r in rows],
+        ))
+        return 0
+    if args.id == 5:
+        from repro.ixp.throughput import run_table5
+
+        rows = run_table5(num_packets=args.packets, seed=args.seed)
+        print(render_table(
+            ["burst", "# ME", "error", "Gbps"],
+            [[r.burst_description, r.num_mes, r.error, r.throughput_gbps]
+             for r in rows],
+        ))
+        return 0
+    print(f"unknown table {args.id}; tables 2-5 are available", file=sys.stderr)
+    return 2
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Replay a trace through DISCO and write a flow-record export."""
+    from repro.export.records import ExportBatch, write_export
+
+    trace = _read_any_trace(args.trace)
+    truths = trace.true_totals(args.mode)
+    scheme = _make_scheme("disco", args.bits, args.mode,
+                          max(truths.values()), args.seed)
+    replay(scheme, trace, rng=args.seed + 1)
+    batch = ExportBatch.from_sketch(scheme)
+    written = write_export(batch, args.out)
+    print(f"wrote {len(batch)} records ({written} bytes) to {args.out}")
+    return 0
+
+
+def cmd_inspect_export(args: argparse.Namespace) -> int:
+    """Print a flow-record export's contents."""
+    from repro.export.records import read_export
+
+    batch = read_export(args.path)
+    print(f"mode={batch.mode} b={batch.b:.6f} records={len(batch)} "
+          f"total={batch.total:.1f}")
+    top = sorted(batch.records, key=lambda r: r.estimate, reverse=True)
+    print(render_table(
+        ["flow", "counter", "estimate"],
+        [[r.key, r.counter_value, r.estimate] for r in top[: args.top]],
+    ))
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Replay a trace through DISCO and checkpoint the sketch state."""
+    from repro.core.checkpoint import save_sketch
+
+    trace = _read_any_trace(args.trace)
+    truths = trace.true_totals(args.mode)
+    scheme = _make_scheme("disco", args.bits, args.mode,
+                          max(truths.values()), args.seed)
+    replay(scheme, trace, rng=args.seed + 1)
+    written = save_sketch(scheme, args.out)
+    print(f"checkpointed {len(scheme)} flows ({written} bytes) to {args.out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import ReportConfig, write_report
+
+    config = ReportConfig(
+        nlanr_flows=args.flows,
+        scenario_flows=args.scenario_flows,
+        ixp_packets=args.packets,
+        seed=args.seed,
+        include_ixp=not args.no_ixp,
+    )
+    path = write_report(args.out, config)
+    print(f"wrote {path}")
+    return 0
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DISCO (ICDCS 2010) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-trace", help="generate a synthetic trace file")
+    p.add_argument("--kind", choices=TRACE_KINDS, default="nlanr")
+    p.add_argument("--flows", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--order", choices=("shuffled", "sequential", "roundrobin"),
+                   default="shuffled")
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_gen_trace)
+
+    p = sub.add_parser("replay", help="replay a trace through a counting scheme")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--scheme", choices=SCHEMES, default="disco")
+    p.add_argument("--bits", type=int, default=10)
+    p.add_argument("--mode", choices=("volume", "size"), default="volume")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("figure", help="regenerate a figure's data series")
+    p.add_argument("id", type=int)
+    p.add_argument("--flows", type=int, default=300)
+    p.add_argument("--runs", type=int, default=50)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("table", help="regenerate a table's rows")
+    p.add_argument("id", type=int)
+    p.add_argument("--flows", type=int, default=300)
+    p.add_argument("--packets", type=int, default=60_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("export", help="replay DISCO over a trace, write flow records")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--bits", type=int, default=12)
+    p.add_argument("--mode", choices=("volume", "size"), default="volume")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("inspect-export", help="print a flow-record export")
+    p.add_argument("path")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_inspect_export)
+
+    p = sub.add_parser("checkpoint", help="replay DISCO over a trace, save sketch state")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--out", required=True)
+    p.add_argument("--bits", type=int, default=12)
+    p.add_argument("--mode", choices=("volume", "size"), default="volume")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser("report", help="rerun the evaluation, write a markdown report")
+    p.add_argument("--out", required=True)
+    p.add_argument("--flows", type=int, default=400)
+    p.add_argument("--scenario-flows", type=int, default=150)
+    p.add_argument("--packets", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--no-ixp", action="store_true")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

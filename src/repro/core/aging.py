@@ -1,0 +1,95 @@
+"""Counter aging: exponentially-weighted DISCO statistics.
+
+Long-running monitors often want *recent* traffic to dominate — an
+exponentially-weighted moving total rather than an all-time one.  With a
+plain counter that means multiplying by a decay factor ``gamma`` at each
+interval boundary; with DISCO the counter lives in log space, but the same
+trick works through the estimator: choose the aged counter ``c'`` so that
+
+    E[f(c')] = gamma * f(c)
+
+Exactly like Algorithm 1, the target ``f^{-1}(gamma * f(c))`` is generally
+not an integer, and deterministic rounding would accumulate bias across
+intervals.  :func:`age_counter` therefore picks between the two
+neighbouring integers with the probability that makes the identity exact —
+the same two-point unbiased rounding the update rule uses, run in reverse.
+
+:class:`AgingDiscoSketch` packages it: observe packets as usual, call
+``age(gamma)`` at every interval boundary, and ``estimate`` reads the
+exponentially-weighted total.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Hashable, Union
+
+from repro.core.disco import DiscoSketch
+from repro.core.functions import CountingFunction
+from repro.errors import ParameterError
+
+__all__ = ["age_counter", "AgingDiscoSketch"]
+
+
+def age_counter(
+    fn: CountingFunction,
+    c: int,
+    gamma: float,
+    rng: Union[None, int, random.Random] = None,
+) -> int:
+    """Scale a counter's *estimate* by ``gamma`` without bias.
+
+    Returns the aged integer counter ``c'`` with
+    ``E[f(c')] = gamma * f(c)`` exactly.  ``gamma`` in ``(0, 1]`` decays;
+    values above 1 are allowed (useful in tests and for unit conversions).
+    """
+    if c < 0:
+        raise ParameterError(f"counter value must be >= 0, got {c!r}")
+    if not (gamma > 0) or not math.isfinite(gamma):
+        raise ParameterError(f"gamma must be finite and > 0, got {gamma!r}")
+    if c == 0 or gamma == 1.0:
+        return c
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    target = gamma * fn.value(c)
+    x = fn.inverse(target)
+    low = int(math.floor(x))
+    if low < 0:
+        low = 0
+    f_low = fn.value(low)
+    gap = fn.gap(low)  # f(low + 1) - f(low)
+    if gap <= 0:
+        return low
+    p = (target - f_low) / gap
+    if p <= 0.0:
+        return low
+    if p >= 1.0:
+        return low + 1
+    return low + 1 if rand.random() < p else low
+
+
+class AgingDiscoSketch(DiscoSketch):
+    """A DISCO sketch whose history decays at interval boundaries.
+
+    Use like :class:`~repro.core.disco.DiscoSketch`; call :meth:`age` once
+    per interval with the decay factor (e.g. ``0.5`` halves the weight of
+    everything seen so far).  Flows whose aged counter reaches 0 are
+    dropped — the mechanism that keeps a long-running sketch's flow table
+    from accumulating dead flows.
+    """
+
+    name = "disco-aging"
+
+    def age(self, gamma: float, prune: bool = True) -> int:
+        """Decay every counter; returns the number of flows pruned."""
+        self.flush()
+        pruned = 0
+        aged: Dict[Hashable, int] = {}
+        for flow, c in self._counters.items():
+            new_value = age_counter(self.function, c, gamma, rng=self._rng)
+            if new_value == 0 and prune:
+                pruned += 1
+                continue
+            aged[flow] = new_value
+        self._counters = aged
+        return pruned

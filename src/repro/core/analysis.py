@@ -1,0 +1,196 @@
+"""Theoretical results from Section IV of the paper.
+
+Implements:
+
+* Theorem 2 — the coefficient of variation of ``T(S)`` (the traffic needed
+  to drive a counter to value ``S``) under uniform increments ``theta``,
+  for both the ``theta = 1`` and ``theta > 1`` cases (Eq. 14).
+* Corollary 1 — the ``sqrt((b-1)/(b+1))`` bound, and its inverse
+  (pick ``b`` for a target relative-error bound).
+* Theorem 3 — the ``f^{-1}(n)`` upper bound on the expected counter value,
+  and the derived memory-cost helpers (expected counter bits for a flow of
+  length ``n``).
+* ``choose_b`` — parameter selection: the smallest ``b`` (hence the smallest
+  error, by Figure 3) whose counter for a given maximum flow length still
+  fits in a given number of bits.
+"""
+
+from __future__ import annotations
+
+import math
+from repro.core.functions import GeometricCountingFunction
+from repro.errors import ParameterError
+
+__all__ = [
+    "coefficient_of_variation",
+    "cov_for_traffic",
+    "cov_bound",
+    "b_for_cov_bound",
+    "expected_counter_upper_bound",
+    "counter_bits_upper_bound",
+    "choose_b",
+    "relative_error_prediction",
+]
+
+
+def _check_b(b: float) -> None:
+    if not (b > 1.0) or not math.isfinite(b):
+        raise ParameterError(f"DISCO requires b > 1, got b={b!r}")
+
+
+def coefficient_of_variation(b: float, counter_value: int, theta: float = 1.0) -> float:
+    """Theorem 2: coefficient of variation of ``T(S)`` (Eq. 14).
+
+    Parameters
+    ----------
+    b:
+        DISCO growth base.
+    counter_value:
+        The target counter value ``S``.
+    theta:
+        The uniform per-packet traffic increment.  ``theta = 1`` is
+        flow-size counting; larger values model constant-length packets in
+        flow-volume counting.
+    """
+    _check_b(b)
+    if counter_value < 0:
+        raise ParameterError(f"counter value must be >= 0, got {counter_value!r}")
+    if not (theta > 0):
+        raise ParameterError(f"theta must be > 0, got {theta!r}")
+    s = counter_value
+    ln_b = math.log(b)
+    if s == 0:
+        return 0.0
+    if theta == 1.0:
+        # e^2 = (b-1)(b^S - b) / ((b+1)(b^S - 1)); divide through by b^S so
+        # only non-positive exponents are evaluated (b^S overflows doubles
+        # for large counters long before the ratio stops being finite).
+        num = (b - 1.0) * (1.0 - math.exp((1.0 - s) * ln_b))
+        den = (b + 1.0) * (1.0 - math.exp(-s * ln_b))
+        if num <= 0.0:
+            return 0.0
+        return math.sqrt(num / den)
+    # theta > 1: the counter lands at x after the first packet, where
+    # f(x) <= theta <= f(x+1).  Expanding Eq. 20 and dividing numerator and
+    # denominator by b^{2S} keeps every exponent non-positive:
+    #   num = (b-1)[b^{2S} - b^{2x} - theta (b+1)(b^S - b^x)]
+    #   den = (b+1)[b^S - b^x + (b-1) theta]^2
+    fn = GeometricCountingFunction(b)
+    x = int(math.floor(fn.inverse(theta)))
+    if x >= s:
+        # The very first packet already reaches S deterministically-ish;
+        # the variation of T(S) is then zero under the theorem's model.
+        return 0.0
+    e_2x = math.exp((2 * x - 2 * s) * ln_b)      # b^{2x-2S}
+    e_x = math.exp((x - 2 * s) * ln_b)           # b^{x-2S}
+    e_s = math.exp(-s * ln_b)                    # b^{-S}
+    e_xs = math.exp((x - s) * ln_b)              # b^{x-S}
+    num = (b - 1.0) * (1.0 - e_2x - theta * (b + 1.0) * (e_s - e_x))
+    den = (b + 1.0) * (1.0 - e_xs + (b - 1.0) * theta * e_s) ** 2
+    if num <= 0.0:
+        return 0.0
+    return math.sqrt(num / den)
+
+
+def cov_for_traffic(b: float, traffic: float, theta: float = 1.0) -> float:
+    """Coefficient of variation as a function of *traffic*, not counter value.
+
+    Figure 2 plots the coefficient of variation against the total traffic
+    amount; this maps traffic ``n`` to ``S = round(f^{-1}(n))`` and applies
+    Theorem 2.
+    """
+    fn = GeometricCountingFunction(b)
+    s = int(round(fn.inverse(traffic)))
+    return coefficient_of_variation(b, s, theta)
+
+
+def cov_bound(b: float) -> float:
+    """Corollary 1: the asymptotic bound ``sqrt((b-1)/(b+1))`` on the CoV."""
+    _check_b(b)
+    return math.sqrt((b - 1.0) / (b + 1.0))
+
+
+def b_for_cov_bound(e: float) -> float:
+    """Inverse of Corollary 1: the ``b`` whose CoV bound equals ``e``.
+
+    Solving ``e = sqrt((b-1)/(b+1))`` gives ``b = (1+e^2)/(1-e^2)``.
+    """
+    if not (0.0 < e < 1.0):
+        raise ParameterError(f"target CoV bound must be in (0, 1), got {e!r}")
+    e2 = e * e
+    return (1.0 + e2) / (1.0 - e2)
+
+
+def expected_counter_upper_bound(b: float, n: float) -> float:
+    """Theorem 3: ``E[c(n)] <= f^{-1}(n)``."""
+    _check_b(b)
+    return GeometricCountingFunction(b).inverse(n)
+
+
+def counter_bits_upper_bound(b: float, n: float) -> int:
+    """Bits sufficient (in expectation) for a flow of length ``n``.
+
+    Theorem 3 bounds the *expected* counter at ``f^{-1}(n)``; the concrete
+    counter concentrates tightly around it (Figure 4), so the paper sizes
+    arrays from this quantity.
+    """
+    bound = expected_counter_upper_bound(b, n)
+    return max(1, int(math.ceil(bound)).bit_length())
+
+
+def choose_b(
+    counter_bits: int,
+    max_flow_length: float,
+    slack: float = 1.0,
+) -> float:
+    """Smallest ``b`` whose counter for ``max_flow_length`` fits in ``counter_bits``.
+
+    The counter must be able to represent ``S_max = 2**counter_bits - 1``;
+    requiring ``f(S_max) >= max_flow_length * slack`` and solving
+    ``(b^{S_max} - 1)/(b - 1) = max_flow_length * slack`` by bisection gives
+    the smallest admissible ``b``, which by Figure 3 minimises the error.
+
+    ``slack > 1`` leaves headroom above the largest expected flow (the
+    counter value is random, so a small margin avoids saturation).
+    """
+    if counter_bits < 1:
+        raise ParameterError(f"counter_bits must be >= 1, got {counter_bits!r}")
+    if not (max_flow_length > 0):
+        raise ParameterError(f"max_flow_length must be > 0, got {max_flow_length!r}")
+    if not (slack > 0):
+        raise ParameterError(f"slack must be > 0, got {slack!r}")
+    target = max_flow_length * slack
+    s_max = (1 << counter_bits) - 1
+    if target <= s_max:
+        # Even a nearly linear counter fits; return a b barely above 1.
+        return 1.0 + 1e-9
+
+    def capacity(b: float) -> float:
+        return GeometricCountingFunction(b).value(s_max)
+
+    lo, hi = 1.0 + 1e-12, 2.0
+    while capacity(hi) < target:
+        hi *= 2.0
+        if hi > 1e6:  # pragma: no cover - absurd parameters
+            raise ParameterError("cannot find b: target flow length too large")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if capacity(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-15 * hi:
+            break
+    return hi
+
+
+def relative_error_prediction(b: float, n: float, theta: float = 1.0) -> float:
+    """Predicted relative error (CoV) for a flow of length ``n``.
+
+    Maps the flow length to its expected counter value via Theorem 3 and
+    evaluates Theorem 2 there.  Used for sanity-checking the simulated
+    error curves.
+    """
+    fn = GeometricCountingFunction(b)
+    s = int(round(fn.inverse(n)))
+    return coefficient_of_variation(b, s, theta)

@@ -1,0 +1,125 @@
+"""Sketch checkpointing: save and restore DISCO state across restarts.
+
+A monitor that reboots mid-interval must not lose its counters.  The
+checkpoint carries everything needed to resume: the counting function
+(geometric or hybrid), the mode, the capacity, and every (flow, counter)
+pair.  RNG state is deliberately *not* checkpointed — the update rule only
+needs fresh i.i.d. uniforms, so resuming with a new stream is statistically
+identical.
+
+Wire format v1 (big-endian)::
+
+    header: magic "DSKP" | u8 version | u8 mode | u8 function_kind
+            f64 b | u32 knee | u32 capacity_bits (0 = none) | u32 flows
+    entry:  u16 key_length | key utf-8 | u32 counter_value
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Union
+
+from repro.core.disco import DiscoSketch
+from repro.core.functions import GeometricCountingFunction
+from repro.core.hybrid import HybridCountingFunction
+from repro.errors import ParameterError, TraceFormatError
+
+__all__ = ["save_sketch", "load_sketch"]
+
+_MAGIC = b"DSKP"
+_VERSION = 1
+_HEADER = struct.Struct(">4sBBBdIII")
+_KEY_LEN = struct.Struct(">H")
+_COUNTER = struct.Struct(">I")
+
+_MODES = ("volume", "size")
+_KIND_GEOMETRIC = 0
+_KIND_HYBRID = 1
+
+
+def _function_fields(sketch: DiscoSketch):
+    fn = sketch.function
+    if isinstance(fn, HybridCountingFunction):
+        return _KIND_HYBRID, fn.b, fn.knee
+    if isinstance(fn, GeometricCountingFunction):
+        return _KIND_GEOMETRIC, fn.b, 0
+    raise ParameterError(
+        f"cannot checkpoint a sketch with function {type(fn).__name__}"
+    )
+
+
+def save_sketch(sketch: DiscoSketch, target: Union[str, Path, BinaryIO]) -> int:
+    """Write a sketch checkpoint; returns bytes written.
+
+    Pending burst accumulators are flushed first (the checkpoint must be
+    self-contained).
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as fh:
+            return save_sketch(sketch, fh)
+    sketch.flush()
+    kind, b, knee = _function_fields(sketch)
+    entries = [(str(flow), sketch.counter_value(flow)) for flow in sketch.flows()]
+    stream = target
+    stream.write(_HEADER.pack(
+        _MAGIC, _VERSION, _MODES.index(sketch.mode), kind, b, knee,
+        sketch.capacity_bits or 0, len(entries),
+    ))
+    written = _HEADER.size
+    for key, counter in entries:
+        raw = key.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise TraceFormatError(f"flow key too long ({len(raw)} bytes)")
+        stream.write(_KEY_LEN.pack(len(raw)))
+        stream.write(raw)
+        stream.write(_COUNTER.pack(counter))
+        written += _KEY_LEN.size + len(raw) + _COUNTER.size
+    return written
+
+
+def _read_exact(stream: BinaryIO, n: int, what: str) -> bytes:
+    data = stream.read(n)
+    if len(data) != n:
+        raise TraceFormatError(f"truncated checkpoint while reading {what}")
+    return data
+
+
+def load_sketch(source: Union[str, Path, BinaryIO], rng=None) -> DiscoSketch:
+    """Restore a sketch from a checkpoint.
+
+    Flow keys come back as strings (checkpointing stringifies keys); pass
+    a fresh ``rng`` seed for the resumed update stream.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as fh:
+            return load_sketch(fh, rng=rng)
+    stream = source
+    magic, version, mode_index, kind, b, knee, capacity_bits, count = \
+        _HEADER.unpack(_read_exact(stream, _HEADER.size, "header"))
+    if magic != _MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise TraceFormatError(f"unsupported version {version}")
+    if mode_index >= len(_MODES):
+        raise TraceFormatError(f"unknown mode index {mode_index}")
+    if kind == _KIND_GEOMETRIC:
+        function = GeometricCountingFunction(b)
+    elif kind == _KIND_HYBRID:
+        function = HybridCountingFunction(b, knee)
+    else:
+        raise TraceFormatError(f"unknown function kind {kind}")
+    sketch = DiscoSketch(
+        function=function,
+        mode=_MODES[mode_index],
+        rng=rng,
+        capacity_bits=capacity_bits or None,
+    )
+    for i in range(count):
+        (key_len,) = _KEY_LEN.unpack(_read_exact(stream, _KEY_LEN.size, "key length"))
+        key = _read_exact(stream, key_len, f"key {i}").decode("utf-8")
+        (counter,) = _COUNTER.unpack(_read_exact(stream, _COUNTER.size, f"entry {i}"))
+        sketch._counters[key] = counter
+    if stream.read(1):
+        raise TraceFormatError("trailing bytes after last entry")
+    return sketch

@@ -1,0 +1,159 @@
+"""Confidence intervals and error predictions for DISCO estimates.
+
+Section IV's Theorem 2 gives the coefficient of variation of the traffic
+``T(S)`` needed to reach counter value ``S``.  Conditional on the counter
+reading ``c``, the estimator ``f(c)`` therefore carries a relative standard
+deviation of at most ``e(c)`` (monotone in ``c``, bounded by Corollary 1),
+and ``T(c)`` concentrates well enough for large counters that a normal
+interval is the standard engineering read-out.  This module packages that:
+
+* :func:`relative_stddev` — Theorem 2 evaluated at the counter value;
+* :func:`confidence_interval` — a two-sided normal interval for the true
+  flow length given a counter reading;
+* :func:`counter_for_error` — the counter value beyond which the relative
+  error exceeds a target (useful for deciding when to widen counters).
+
+These are exactly the quantities an operator needs to put error bars on a
+monitoring dashboard fed by DISCO counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.analysis import coefficient_of_variation, cov_bound
+from repro.core.functions import GeometricCountingFunction
+from repro.errors import ParameterError
+
+__all__ = [
+    "relative_stddev",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "counter_for_error",
+    "z_for_confidence",
+]
+
+# Two-sided standard-normal quantiles for the confidence levels operators
+# actually use; intermediate levels are interpolated (the curve is smooth
+# and the interval is advisory, not a proof).
+_Z_TABLE = [
+    (0.50, 0.6745),
+    (0.80, 1.2816),
+    (0.90, 1.6449),
+    (0.95, 1.9600),
+    (0.98, 2.3263),
+    (0.99, 2.5758),
+    (0.995, 2.8070),
+    (0.999, 3.2905),
+]
+
+
+def z_for_confidence(level: float) -> float:
+    """Two-sided standard-normal quantile for a confidence level."""
+    if not (0.0 < level < 1.0):
+        raise ParameterError(f"confidence level must be in (0, 1), got {level!r}")
+    if level <= _Z_TABLE[0][0]:
+        return _Z_TABLE[0][1] * level / _Z_TABLE[0][0]
+    for (lo, z_lo), (hi, z_hi) in zip(_Z_TABLE, _Z_TABLE[1:]):
+        if level <= hi:
+            t = (level - lo) / (hi - lo)
+            return z_lo + t * (z_hi - z_lo)
+    return _Z_TABLE[-1][1]
+
+
+def relative_stddev(b: float, counter_value: int, theta: float = 1.0) -> float:
+    """Relative standard deviation of the estimate at counter value ``c``.
+
+    Theorem 2's coefficient of variation of ``T(c)``; 0 for ``c <= 1``
+    (those readings are exact under unit increments).
+    """
+    return coefficient_of_variation(b, counter_value, theta)
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided interval around a DISCO estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    level: float
+    relative_stddev: float
+
+    @property
+    def half_width_relative(self) -> float:
+        """Half-width as a fraction of the estimate."""
+        if self.estimate == 0:
+            return 0.0
+        return (self.high - self.low) / (2.0 * self.estimate)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def confidence_interval(
+    b: float,
+    counter_value: int,
+    level: float = 0.95,
+    theta: float = 1.0,
+) -> ConfidenceInterval:
+    """Normal-approximation interval for the true flow length.
+
+    Parameters
+    ----------
+    b:
+        DISCO growth base the counter was run with.
+    counter_value:
+        The counter reading ``c``.
+    level:
+        Two-sided confidence level (default 95%).
+    theta:
+        Uniform increment size assumption for Theorem 2 (1 = flow-size
+        counting; for volume counting the *average* packet length is the
+        conservative choice — larger theta only shrinks the interval).
+    """
+    if counter_value < 0:
+        raise ParameterError(f"counter value must be >= 0, got {counter_value!r}")
+    fn = GeometricCountingFunction(b)
+    estimate = fn.value(counter_value)
+    sigma = relative_stddev(b, counter_value, theta)
+    z = z_for_confidence(level)
+    half = z * sigma * estimate
+    return ConfidenceInterval(
+        estimate=estimate,
+        low=max(0.0, estimate - half),
+        high=estimate + half,
+        level=level,
+        relative_stddev=sigma,
+    )
+
+
+def counter_for_error(b: float, target_relative_error: float,
+                      theta: float = 1.0) -> Optional[int]:
+    """Largest counter value whose CoV stays below a target.
+
+    Returns ``None`` when even unbounded counters stay below the target
+    (i.e. the target exceeds the Corollary-1 bound), which is the usual
+    well-provisioned case.  Otherwise returns the last counter value ``c``
+    with ``e(c) <= target`` — beyond it, this ``b`` cannot meet the target
+    and the deployment should switch to a smaller ``b``.
+    """
+    if not (target_relative_error > 0):
+        raise ParameterError(
+            f"target error must be > 0, got {target_relative_error!r}"
+        )
+    if target_relative_error >= cov_bound(b):
+        return None
+    lo, hi = 0, 1
+    while coefficient_of_variation(b, hi, theta) <= target_relative_error:
+        hi *= 2
+        if hi > 1 << 40:  # pragma: no cover - absurd parameters
+            raise ParameterError("no finite counter bound found")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if coefficient_of_variation(b, mid, theta) <= target_relative_error:
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,196 @@
+"""Counting-regulation functions.
+
+DISCO regulates the relationship between a counter value ``c`` and the true
+flow length ``n`` through an increasing convex function ``n = f(c)``
+(equivalently an increasing *concave* ``c = f^{-1}(n)``).  The paper fixes
+
+    f(c) = (b^c - 1) / (b - 1),      b > 1                        (Eq. 1)
+
+This module provides that function in a numerically careful form, plus the
+small protocol the rest of the package codes against so alternative
+regulators (including the degenerate linear one, which turns DISCO into an
+exact counter) can be plugged in.
+
+All the quantities the update rule needs are expressed relative to the
+current counter value, so that nothing ever has to evaluate ``f(c)`` at
+magnitudes where a double loses integer resolution:
+
+* ``gap(c)       = f(c+1) - f(c)``
+* ``growth(c,d)  = f(c+d) - f(c)``
+* ``headroom(c,l) = f^{-1}(l + f(c)) - c``
+
+For the geometric function these reduce to ``b^c``,
+``b^c * expm1(d ln b) / (b-1)`` and ``log1p(l (b-1) b^{-c}) / ln b``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "CountingFunction",
+    "GeometricCountingFunction",
+    "LinearCountingFunction",
+    "geometric",
+]
+
+
+def _exp_saturating(x: float) -> float:
+    """``exp(x)`` saturating to ``inf`` instead of raising OverflowError."""
+    try:
+        return math.exp(x)
+    except OverflowError:
+        return math.inf
+
+
+def _expm1_saturating(x: float) -> float:
+    """``expm1(x)`` saturating to ``inf`` instead of raising OverflowError."""
+    try:
+        return math.expm1(x)
+    except OverflowError:
+        return math.inf
+
+
+class CountingFunction(abc.ABC):
+    """Protocol for a counting-regulation function ``f``.
+
+    Implementations must be increasing and convex on ``c >= 0`` with
+    ``f(0) = 0``; the paper additionally uses ``f(1) = 1`` so that the
+    smallest flow costs exactly one counter unit.
+    """
+
+    @abc.abstractmethod
+    def value(self, c: float) -> float:
+        """Return ``f(c)`` — the unbiased flow-length estimate for counter ``c``."""
+
+    @abc.abstractmethod
+    def inverse(self, n: float) -> float:
+        """Return ``f^{-1}(n)`` — the (real-valued) counter position for length ``n``."""
+
+    @abc.abstractmethod
+    def gap(self, c: float) -> float:
+        """Return ``f(c+1) - f(c)``."""
+
+    @abc.abstractmethod
+    def growth(self, c: float, d: float) -> float:
+        """Return ``f(c+d) - f(c)`` without evaluating either endpoint."""
+
+    @abc.abstractmethod
+    def headroom(self, c: float, l: float) -> float:
+        """Return ``f^{-1}(l + f(c)) - c``.
+
+        This is the real-valued counter advance produced by adding ``l``
+        units of traffic at counter value ``c``; the probabilistic update
+        rounds it to one of the two neighbouring integers.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class GeometricCountingFunction(CountingFunction):
+    """The paper's regulator ``f(c) = (b^c - 1)/(b - 1)`` (Eq. 1).
+
+    Parameters
+    ----------
+    b:
+        The growth base, strictly greater than 1.  Smaller ``b`` gives a
+        smaller relative error (Corollary 1 bounds the coefficient of
+        variation by ``sqrt((b-1)/(b+1))``) but a larger counter for the
+        same flow length.
+    """
+
+    __slots__ = ("b", "_ln_b", "_bm1")
+
+    def __init__(self, b: float) -> None:
+        if not (b > 1.0) or not math.isfinite(b):
+            raise ParameterError(f"DISCO requires b > 1, got b={b!r}")
+        self.b = float(b)
+        self._ln_b = math.log(self.b)
+        self._bm1 = self.b - 1.0
+
+    def value(self, c: float) -> float:
+        if c < 0:
+            raise ParameterError(f"counter value must be >= 0, got {c!r}")
+        return _expm1_saturating(c * self._ln_b) / self._bm1
+
+    def inverse(self, n: float) -> float:
+        if n < 0:
+            raise ParameterError(f"flow length must be >= 0, got {n!r}")
+        return math.log1p(n * self._bm1) / self._ln_b
+
+    def gap(self, c: float) -> float:
+        return _exp_saturating(c * self._ln_b)
+
+    def growth(self, c: float, d: float) -> float:
+        if d < 0:
+            raise ParameterError(f"growth step must be >= 0, got {d!r}")
+        if d == 0:
+            return 0.0  # avoids inf * 0 when b^c saturates to inf
+        return _exp_saturating(c * self._ln_b) * _expm1_saturating(d * self._ln_b) / self._bm1
+
+    def headroom(self, c: float, l: float) -> float:
+        if l < 0:
+            raise ParameterError(f"traffic amount must be >= 0, got {l!r}")
+        # May underflow to exactly 0.0 for astronomically large counters;
+        # callers treat that as "no measurable advance" (p_d stays positive
+        # through the gap() path, so progress remains possible).
+        return math.log1p(l * self._bm1 * math.exp(-c * self._ln_b)) / self._ln_b
+
+    def __repr__(self) -> str:
+        return f"GeometricCountingFunction(b={self.b!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GeometricCountingFunction) and other.b == self.b
+
+    def __hash__(self) -> int:
+        return hash((GeometricCountingFunction, self.b))
+
+
+class LinearCountingFunction(CountingFunction):
+    """Degenerate regulator ``f(c) = c``.
+
+    With this function DISCO's update becomes deterministic (``delta = l``,
+    ``p_d`` irrelevant) and the counter is an exact full-size counter.  It is
+    the ``b -> 1`` limit of :class:`GeometricCountingFunction` and is useful
+    as a ground-truth plug-in and in tests.
+    """
+
+    __slots__ = ()
+
+    def value(self, c: float) -> float:
+        if c < 0:
+            raise ParameterError(f"counter value must be >= 0, got {c!r}")
+        return float(c)
+
+    def inverse(self, n: float) -> float:
+        if n < 0:
+            raise ParameterError(f"flow length must be >= 0, got {n!r}")
+        return float(n)
+
+    def gap(self, c: float) -> float:
+        return 1.0
+
+    def growth(self, c: float, d: float) -> float:
+        if d < 0:
+            raise ParameterError(f"growth step must be >= 0, got {d!r}")
+        return float(d)
+
+    def headroom(self, c: float, l: float) -> float:
+        if l < 0:
+            raise ParameterError(f"traffic amount must be >= 0, got {l!r}")
+        return float(l)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LinearCountingFunction)
+
+    def __hash__(self) -> int:
+        return hash(LinearCountingFunction)
+
+
+def geometric(b: float) -> GeometricCountingFunction:
+    """Shorthand constructor for the paper's function with base ``b``."""
+    return GeometricCountingFunction(b)

@@ -1,0 +1,120 @@
+"""Hybrid exact/discount counting function.
+
+The paper's regulator starts discounting immediately (`f(1) = 1` but
+`f'` grows from the first packet).  A practical deployment often wants
+*exact* counts for small flows — mice are the majority of flows, their
+absolute counts are tiny, and billing/accounting wants them perfect —
+and discounted counting only where it pays: the elephants.
+
+:class:`HybridCountingFunction` is linear up to a knee ``k`` and
+geometric beyond it::
+
+    f(c) = c                                   for c <= k
+    f(c) = k + (b^(c-k) - 1) / (b - 1)          for c >  k
+
+It is continuous, increasing and convex (the linear piece has slope 1,
+the geometric piece starts at slope ``>= 1``), so it satisfies everything
+Algorithm 1 and Theorem 1 need — DISCO's update rule and unbiasedness
+work unchanged through the :class:`~repro.core.functions.CountingFunction`
+protocol.  Flows up to ``k`` are counted exactly (every update advances
+the counter deterministically by the full amount); the error of larger
+flows is bounded by the same ``sqrt((b-1)/(b+1))`` since the random part
+of the counter is purely geometric.
+
+This is the kind of extension the protocol exists for; a dedicated
+benchmark (`bench_ablation_hybrid`) quantifies the trade:
+exact mice at the price of ``k`` extra counter values of headroom.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.functions import CountingFunction, _exp_saturating, _expm1_saturating
+from repro.errors import ParameterError
+
+__all__ = ["HybridCountingFunction"]
+
+
+class HybridCountingFunction(CountingFunction):
+    """Linear up to ``knee``, geometric with base ``b`` beyond it.
+
+    Parameters
+    ----------
+    b:
+        Growth base of the geometric region (``b > 1``).
+    knee:
+        Largest exactly-counted value ``k`` (``>= 0``).  ``knee=0``
+        reduces to the paper's function; ``knee -> inf`` is exact
+        counting.
+    """
+
+    __slots__ = ("b", "knee", "_ln_b", "_bm1")
+
+    def __init__(self, b: float, knee: int) -> None:
+        if not (b > 1.0) or not math.isfinite(b):
+            raise ParameterError(f"requires b > 1, got {b!r}")
+        if knee < 0:
+            raise ParameterError(f"knee must be >= 0, got {knee!r}")
+        self.b = float(b)
+        self.knee = int(knee)
+        self._ln_b = math.log(self.b)
+        self._bm1 = self.b - 1.0
+
+    def value(self, c: float) -> float:
+        if c < 0:
+            raise ParameterError(f"counter value must be >= 0, got {c!r}")
+        if c <= self.knee:
+            return float(c)
+        return self.knee + _expm1_saturating((c - self.knee) * self._ln_b) / self._bm1
+
+    def inverse(self, n: float) -> float:
+        if n < 0:
+            raise ParameterError(f"flow length must be >= 0, got {n!r}")
+        if n <= self.knee:
+            return float(n)
+        return self.knee + math.log1p((n - self.knee) * self._bm1) / self._ln_b
+
+    def gap(self, c: float) -> float:
+        if c + 1 <= self.knee:
+            return 1.0
+        if c >= self.knee:
+            return _exp_saturating((c - self.knee) * self._ln_b)
+        # The straddling step k-1 -> k never occurs for integer counters
+        # with integer knee, but handle real c for protocol completeness.
+        return self.value(c + 1) - self.value(c)
+
+    def growth(self, c: float, d: float) -> float:
+        if d < 0:
+            raise ParameterError(f"growth step must be >= 0, got {d!r}")
+        if d == 0:
+            return 0.0  # avoids inf * 0 when b^(c-knee) saturates to inf
+        if c >= self.knee:
+            # Both endpoints geometric: factor out b^(c-knee) so large
+            # counters never evaluate an overflowing f().
+            return (_exp_saturating((c - self.knee) * self._ln_b)
+                    * _expm1_saturating(d * self._ln_b) / self._bm1)
+        return self.value(c + d) - self.value(c)
+
+    def headroom(self, c: float, l: float) -> float:
+        if l < 0:
+            raise ParameterError(f"traffic amount must be >= 0, got {l!r}")
+        if c >= self.knee:
+            # Shifted stable form (same algebra as the pure geometric
+            # function, with the origin moved to the knee).
+            x = (c - self.knee) * self._ln_b
+            return math.log1p(l * self._bm1 * math.exp(-x)) / self._ln_b
+        return self.inverse(l + self.value(c)) - c
+
+    def __repr__(self) -> str:
+        return f"HybridCountingFunction(b={self.b!r}, knee={self.knee})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, HybridCountingFunction)
+            and other.b == self.b
+            and other.knee == self.knee
+        )
+
+    def __hash__(self) -> int:
+        return hash((HybridCountingFunction, self.b, self.knee))

@@ -1,0 +1,97 @@
+"""Merging DISCO state from multiple monitors (distributed measurement).
+
+Two monitors observing *disjoint* packets of the same flow (two
+directions of a link, two sampled line cards, two measurement intervals)
+each hold a counter.  Merging their knowledge has two shapes:
+
+* :func:`merged_estimate` — the collector-side read: the sum of the two
+  unbiased estimates is unbiased for the union, with variances adding.
+* :func:`merge_counters` — the counter-side write: fold counter ``c2``'s
+  traffic into counter ``c1`` by running one Algorithm-1 update with
+  amount ``f(c2)``.  The result is a single DISCO counter whose estimate
+  is unbiased for the union (by Theorem 1: the expected estimator advance
+  of the update equals its input amount, and that amount is itself an
+  unbiased estimate — the tower rule does the rest).  This is what a
+  device does when compacting per-port counters into a per-link one.
+
+:func:`merge_sketches` lifts the counter merge to whole sketches.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+from repro.core.disco import DiscoSketch
+from repro.core.update import compute_update
+from repro.errors import ParameterError
+
+__all__ = ["merged_estimate", "merge_counters", "merge_sketches"]
+
+
+def merged_estimate(fn, *counter_values: int) -> float:
+    """Unbiased estimate of the union of disjointly-counted traffic."""
+    if not counter_values:
+        raise ParameterError("at least one counter value is required")
+    total = 0.0
+    for c in counter_values:
+        if c < 0:
+            raise ParameterError(f"counter value must be >= 0, got {c!r}")
+        total += fn.value(c)
+    return total
+
+
+def merge_counters(
+    fn,
+    c1: int,
+    c2: int,
+    rng: Union[None, int, random.Random] = None,
+) -> int:
+    """Fold counter ``c2`` into ``c1``; returns the merged counter value.
+
+    Both counters must have been driven with the same counting function.
+    The merge is one probabilistic update of amount ``f(c2)`` applied at
+    state ``c1`` — O(1), like every other DISCO operation.
+    """
+    for c in (c1, c2):
+        if c < 0:
+            raise ParameterError(f"counter value must be >= 0, got {c!r}")
+    if c2 == 0:
+        return c1
+    if c1 == 0:
+        return c2  # exact: adopt the other counter wholesale
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    amount = fn.value(c2)
+    decision = compute_update(fn, c1, amount)
+    advance = decision.delta + (1 if rand.random() < decision.probability else 0)
+    return c1 + advance
+
+
+def merge_sketches(
+    a: DiscoSketch,
+    b: DiscoSketch,
+    rng: Union[None, int, random.Random] = None,
+) -> DiscoSketch:
+    """Merge two sketches into a new one (inputs untouched).
+
+    Requires matching counting functions and modes.  Flows present in both
+    are counter-merged; flows in one survive unchanged.
+    """
+    if a.function != b.function:
+        raise ParameterError("sketches use different counting functions")
+    if a.mode != b.mode:
+        raise ParameterError(f"mode mismatch: {a.mode!r} vs {b.mode!r}")
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    merged = DiscoSketch(function=a.function, mode=a.mode, rng=rand,
+                         capacity_bits=a.capacity_bits)
+    for flow in a.flows():
+        merged._counters[flow] = a.counter_value(flow)
+    for flow in b.flows():
+        if flow in merged._counters:
+            merged._counters[flow] = merge_counters(
+                a.function, merged._counters[flow], b.counter_value(flow),
+                rng=rand,
+            )
+        else:
+            merged._counters[flow] = b.counter_value(flow)
+    return merged

@@ -1,0 +1,120 @@
+"""The DISCO counter-update rule (Algorithm 1 of the paper).
+
+Given the current integer counter value ``c`` and an incoming traffic amount
+``l`` (1 for flow-size counting, the packet length in bytes for flow-volume
+counting), DISCO advances the counter by
+
+* ``delta(c, l) + 1``  with probability ``p_d(c, l)``        (Eq. 2, Eq. 3)
+* ``delta(c, l)``      with probability ``1 - p_d(c, l)``
+
+where ``delta(c, l) = ceil(f^{-1}(l + f(c)) - c) - 1`` and ``p_d`` is chosen
+so that the *expected* estimator advance equals ``l`` exactly, which is what
+makes ``f(c)`` unbiased (Theorem 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from repro.core.functions import CountingFunction
+from repro.errors import ParameterError
+
+__all__ = ["UpdateDecision", "compute_update", "apply_update", "expected_increment"]
+
+# Headroom values within this tolerance of an integer are treated as exact;
+# this only matters for protecting ceil() against float noise at exact hits
+# (e.g. the very first packet of a size-counted flow, where headroom is 1.0).
+_INTEGER_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class UpdateDecision:
+    """The two possible counter advances for one packet and their probability.
+
+    Attributes
+    ----------
+    delta:
+        The smaller advance (Eq. 2); the counter moves by ``delta`` with
+        probability ``1 - probability`` and by ``delta + 1`` otherwise.
+    probability:
+        ``p_d(c, l)`` from Eq. 3, clamped to ``[0, 1]`` against float noise.
+    """
+
+    delta: int
+    probability: float
+
+    @property
+    def expected_advance(self) -> float:
+        """Mean counter advance ``delta + p_d``."""
+        return self.delta + self.probability
+
+
+def compute_update(fn: CountingFunction, c: int, l: float) -> UpdateDecision:
+    """Compute ``delta(c, l)`` and ``p_d(c, l)`` for one incoming packet.
+
+    Parameters
+    ----------
+    fn:
+        The counting-regulation function ``f``.
+    c:
+        Current integer counter value (``>= 0``).
+    l:
+        Traffic amount carried by the packet (``> 0``).
+
+    Returns
+    -------
+    UpdateDecision
+        The advance pair.  ``compute_update`` is deterministic; drawing the
+        random bit is :func:`apply_update`'s job, which keeps this function
+        easy to test exhaustively.
+    """
+    if c < 0:
+        raise ParameterError(f"counter value must be >= 0, got {c!r}")
+    if not (l > 0) or not math.isfinite(l):
+        raise ParameterError(f"traffic amount must be finite and > 0, got {l!r}")
+
+    headroom = fn.headroom(c, l)
+    # delta = ceil(headroom) - 1, guarding against headroom being an exact
+    # integer that float noise nudged a hair upward (which would overshoot
+    # delta by one and produce p_d ~= 0 instead of p_d = 1: harmless for the
+    # expectation but needlessly noisy).
+    nearest = round(headroom)
+    if nearest > 0 and abs(headroom - nearest) <= _INTEGER_TOLERANCE * nearest:
+        delta = int(nearest) - 1
+    else:
+        delta = int(math.ceil(headroom)) - 1
+    if delta < 0:
+        delta = 0
+
+    # p_d = (l + f(c) - f(c + delta)) / (f(c + delta + 1) - f(c + delta))
+    #     = (l - growth(c, delta)) / gap(c + delta)
+    numerator = l - fn.growth(c, delta)
+    probability = numerator / fn.gap(c + delta)
+    if probability < 0.0:
+        probability = 0.0
+    elif probability > 1.0:
+        probability = 1.0
+    return UpdateDecision(delta=delta, probability=probability)
+
+
+def apply_update(fn: CountingFunction, c: int, l: float, u: float) -> int:
+    """Return the new counter value after one packet, given a uniform draw.
+
+    ``u`` must be a uniform random variate on ``[0, 1)``; passing it in
+    (rather than drawing here) keeps the update pure and lets callers share
+    one seeded generator or supply pre-drawn vectors.
+    """
+    decision = compute_update(fn, c, l)
+    if u < decision.probability:
+        return c + decision.delta + 1
+    return c + decision.delta
+
+
+def expected_increment(fn: CountingFunction, c: int, l: float) -> float:
+    """Mean counter advance at state ``c`` for a packet of amount ``l``.
+
+    Equals ``f^{-1}(l + f(c)) - c`` only when that quantity is an integer;
+    in general it is ``delta + p_d``, which is what the unbiasedness proof
+    actually uses.
+    """
+    return compute_update(fn, c, l).expected_advance

@@ -1,0 +1,62 @@
+"""Baseline counting schemes the paper compares against (plus ground truth).
+
+* :class:`ExactCounters` — full-size exact counters (ground truth; SD line).
+* :class:`SdCounters` — hybrid SRAM/DRAM architecture with an LCF CMA.
+* :class:`SmallActiveCounters` — SAC, the main accuracy baseline.
+* :class:`SampledCounters` / :class:`PerUnitSampledCounters` — fixed-rate
+  sampling and its E1/E2 byte extensions.
+* :class:`Anls` / :class:`AnlsBytesNaive` / :class:`AnlsPerUnit` — ANLS and
+  the ANLS-I / ANLS-II straw men from Tables III and IV.
+* :class:`BrickCounters` / :class:`CounterBraids` / :class:`DiscoBrick` —
+  the complementary variable-length architectures and the composition.
+"""
+
+from repro.counters.anls import Anls, AnlsBytesNaive, AnlsPerUnit
+from repro.counters.base import CountingScheme
+from repro.counters.brick import BrickCounters, BrickDesign
+from repro.counters.cma import (
+    CounterManagementAlgorithm,
+    LargestCounterFirst,
+    RoundRobin,
+    ThresholdLcf,
+    make_cma,
+)
+from repro.counters.combined import DiscoBrick
+from repro.counters.countmin import CountMin, DiscoCountMin
+from repro.counters.counterbraids import CounterBraids, DecodeResult, decode_layer
+from repro.counters.exact import ExactCounters
+from repro.counters.hardware import HardwareDiscoSketch
+from repro.counters.netflow import NetflowRecordOut, SampledNetflow
+from repro.counters.sac import SmallActiveCounters
+from repro.counters.sampling import PerUnitSampledCounters, SampledCounters
+from repro.counters.spacesaving import SpaceSaving
+from repro.counters.sd import SdCounters
+
+__all__ = [
+    "CountingScheme",
+    "ExactCounters",
+    "SdCounters",
+    "SmallActiveCounters",
+    "SampledCounters",
+    "PerUnitSampledCounters",
+    "Anls",
+    "AnlsBytesNaive",
+    "AnlsPerUnit",
+    "BrickCounters",
+    "BrickDesign",
+    "CounterBraids",
+    "DecodeResult",
+    "decode_layer",
+    "DiscoBrick",
+    "HardwareDiscoSketch",
+    "CounterManagementAlgorithm",
+    "LargestCounterFirst",
+    "ThresholdLcf",
+    "RoundRobin",
+    "make_cma",
+    "SampledNetflow",
+    "NetflowRecordOut",
+    "CountMin",
+    "DiscoCountMin",
+    "SpaceSaving",
+]

@@ -1,0 +1,109 @@
+"""Common interface for per-flow counting schemes.
+
+Every scheme in :mod:`repro.counters` (and :class:`repro.core.DiscoSketch`)
+exposes the same small surface so the experiment harness can drive them
+interchangeably:
+
+* ``observe(flow, length)`` — record one packet;
+* ``estimate(flow)`` — current estimate of the flow's size or volume;
+* ``flows()`` — iterator over observed flows;
+* ``max_counter_bits()`` — the paper's fixed-array sizing metric (bits of
+  the largest counter, or the fixed width for fixed-width schemes).
+
+Schemes are constructed in one of two counting modes, matching the paper:
+``"size"`` (count packets; each observation contributes 1) or ``"volume"``
+(count bytes; each observation contributes the packet length).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Hashable, Iterator, Union
+
+from repro.errors import ParameterError
+
+__all__ = ["CountingScheme", "resolve_rng", "check_mode", "effective_amount"]
+
+FlowKey = Hashable
+
+
+def resolve_rng(rng: Union[None, int, random.Random]) -> random.Random:
+    """Normalise a seed / generator argument into a ``random.Random``."""
+    return rng if isinstance(rng, random.Random) else random.Random(rng)
+
+
+def check_mode(mode: str) -> str:
+    if mode not in ("volume", "size"):
+        raise ParameterError(f"mode must be 'volume' or 'size', got {mode!r}")
+    return mode
+
+
+def effective_amount(mode: str, length: float) -> float:
+    """Traffic amount contributed by one packet under the given mode."""
+    if not (length > 0):
+        raise ParameterError(f"packet length must be > 0, got {length!r}")
+    return 1.0 if mode == "size" else float(length)
+
+
+class CountingScheme(abc.ABC):
+    """Abstract base for per-flow counting schemes.
+
+    Concrete schemes store whatever per-flow state they need in
+    ``self._state`` (keyed by flow) and implement the three hooks below.
+    """
+
+    #: Human-readable scheme name used in experiment reports.
+    name: str = "scheme"
+
+    def __init__(self, mode: str = "volume",
+                 rng: Union[None, int, random.Random] = None) -> None:
+        self.mode = check_mode(mode)
+        self._rng = resolve_rng(rng)
+        self._state: Dict[FlowKey, object] = {}
+        self.packets_observed = 0
+
+    # -- hooks ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def _update(self, flow: FlowKey, amount: float) -> None:
+        """Apply one observation of ``amount`` traffic units to ``flow``."""
+
+    @abc.abstractmethod
+    def estimate(self, flow: FlowKey) -> float:
+        """Current estimate of the flow's total (0.0 for unseen flows)."""
+
+    @abc.abstractmethod
+    def max_counter_bits(self) -> int:
+        """Counter width this scheme requires (paper's sizing metric)."""
+
+    # -- shared driver ---------------------------------------------------
+
+    def observe(self, flow: FlowKey, length: float = 1.0) -> None:
+        """Record one packet of ``length`` bytes for ``flow``."""
+        self.packets_observed += 1
+        self._update(flow, effective_amount(self.mode, length))
+
+    def observe_many(self, packets) -> None:
+        """Record an iterable of ``(flow, length)`` pairs."""
+        for flow, length in packets:
+            self.observe(flow, length)
+
+    def flows(self) -> Iterator[FlowKey]:
+        return iter(self._state)
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    def __contains__(self, flow: FlowKey) -> bool:
+        return flow in self._state
+
+    def estimates(self) -> Dict[FlowKey, float]:
+        return {flow: self.estimate(flow) for flow in self._state}
+
+    def reset(self) -> None:
+        self._state.clear()
+        self.packets_observed = 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mode={self.mode!r}, flows={len(self)})"

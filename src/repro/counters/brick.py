@@ -1,0 +1,251 @@
+"""BRICK — Bucketized Rank-Indexed Counters (Hua et al., ANCS 2008).
+
+BRICK is an *exact* variable-length counter architecture the DISCO paper
+cites as complementary related work: counters are grouped into fixed-size
+buckets, and each counter is stored as a chain of small sub-counters across
+"levels".  Level 1 holds one sub-counter per flow; higher levels hold fewer
+sub-counters, claimed on demand (via a rank-indexed bitmap) by the counters
+that grow large.  Because only a statistical minority of counters is ever
+large, total memory is far below ``num_flows * full_width``.
+
+This implementation keeps the exact values (BRICK is exact by design) and
+faithfully accounts for the memory layout and its failure mode: if more
+counters in a bucket need a level-``j`` extension than the level has
+sub-counters, the bucket overflows (a real device would re-bucket or fall
+back; we count the events and keep counting exactly so accuracy experiments
+stay meaningful).
+
+The point of carrying BRICK in a DISCO repository is Section I's claim that
+the two compose: storing DISCO's *compressed* counter values inside BRICK
+shrinks every level — see :mod:`repro.counters.combined`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.counters.base import CountingScheme
+from repro.errors import ParameterError
+from repro.flows.hashing import stable_hash
+
+__all__ = ["BrickDesign", "BrickCounters"]
+
+
+@dataclass(frozen=True)
+class BrickDesign:
+    """Static layout of a BRICK bucket.
+
+    Attributes
+    ----------
+    bucket_size:
+        Number of flows (level-1 sub-counters) per bucket, ``h``.
+    level_widths:
+        Bits of the sub-counter at each level, ``k_1 .. k_L``.  A counter
+        whose value needs ``K`` bits occupies levels ``1..j`` where
+        ``k_1 + ... + k_j >= K``.
+    level_capacities:
+        Sub-counters available at each level, ``n_1 .. n_L`` with
+        ``n_1 == bucket_size`` and ``n_j`` non-increasing.
+    """
+
+    bucket_size: int
+    level_widths: Tuple[int, ...]
+    level_capacities: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.bucket_size < 1:
+            raise ParameterError(f"bucket_size must be >= 1, got {self.bucket_size!r}")
+        if not self.level_widths:
+            raise ParameterError("at least one level is required")
+        if len(self.level_widths) != len(self.level_capacities):
+            raise ParameterError("level_widths and level_capacities must have equal length")
+        if any(w < 1 for w in self.level_widths):
+            raise ParameterError(f"level widths must be >= 1, got {self.level_widths!r}")
+        if self.level_capacities[0] != self.bucket_size:
+            raise ParameterError("level 1 must have one sub-counter per bucket slot")
+        for a, b in zip(self.level_capacities, self.level_capacities[1:]):
+            if b > a:
+                raise ParameterError("level capacities must be non-increasing")
+
+    @property
+    def levels(self) -> int:
+        return len(self.level_widths)
+
+    @property
+    def total_width(self) -> int:
+        """Maximum representable counter width in bits."""
+        return sum(self.level_widths)
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.total_width) - 1
+
+    def levels_needed(self, value: int) -> int:
+        """How many levels a counter holding ``value`` occupies."""
+        if value < 0:
+            raise ParameterError(f"value must be >= 0, got {value!r}")
+        bits = max(1, value.bit_length())
+        cumulative = 0
+        for j, width in enumerate(self.level_widths, start=1):
+            cumulative += width
+            if bits <= cumulative:
+                return j
+        raise ParameterError(
+            f"value {value} needs {bits} bits; design holds {self.total_width}"
+        )
+
+    def bits_per_bucket(self) -> int:
+        """Memory of one bucket: sub-counter arrays plus rank bitmaps.
+
+        Every level except the last carries a bitmap with one bit per
+        sub-counter marking "extends into the next level"; rank over that
+        bitmap is the next level's index (the rank-indexing trick).
+        """
+        array_bits = sum(n * k for n, k in zip(self.level_capacities, self.level_widths))
+        bitmap_bits = sum(self.level_capacities[:-1])
+        return array_bits + bitmap_bits
+
+    @classmethod
+    def for_values(
+        cls,
+        values: Sequence[int],
+        bucket_size: int = 64,
+        level_widths: Sequence[int] = (4, 4, 6, 8, 10),
+        safety: float = 3.0,
+    ) -> "BrickDesign":
+        """Size level capacities from an (expected) counter-value sample.
+
+        For each level ``j >= 2``, the fraction ``p_j`` of sample values
+        needing that level is measured and the capacity is provisioned at
+        the binomial mean plus ``safety`` standard deviations — the same
+        tail-probability provisioning argument as the BRICK paper, with the
+        empirical sample standing in for the assumed distribution.
+        """
+        if not values:
+            raise ParameterError("a non-empty value sample is required")
+        widths = tuple(int(w) for w in level_widths)
+        max_bits = max(max(1, int(v).bit_length()) for v in values)
+        # Trim unused trailing levels but keep enough for the sample's max.
+        cumulative, needed_levels = 0, len(widths)
+        for j, w in enumerate(widths, start=1):
+            cumulative += w
+            if cumulative >= max_bits:
+                needed_levels = j
+                break
+        else:
+            raise ParameterError(
+                f"sample needs {max_bits} bits; widths {widths!r} hold {cumulative}"
+            )
+        widths = widths[:needed_levels]
+        capacities: List[int] = [bucket_size]
+        total = len(values)
+        prefix = 0
+        for j in range(1, needed_levels):
+            prefix += widths[j - 1]
+            p = sum(1 for v in values if max(1, int(v).bit_length()) > prefix) / total
+            mean = bucket_size * p
+            std = math.sqrt(max(bucket_size * p * (1.0 - p), 0.0))
+            cap = min(bucket_size, max(1, int(math.ceil(mean + safety * std))))
+            capacities.append(min(cap, capacities[-1]))
+        return cls(bucket_size=bucket_size, level_widths=widths,
+                   level_capacities=tuple(capacities))
+
+
+class _Bucket:
+    """One BRICK bucket: slot assignment plus per-level occupancy."""
+
+    __slots__ = ("slots", "values")
+
+    def __init__(self) -> None:
+        self.slots: Dict[Hashable, int] = {}
+        self.values: List[int] = []
+
+    def slot_for(self, flow: Hashable, capacity: int) -> int:
+        slot = self.slots.get(flow)
+        if slot is not None:
+            return slot
+        if len(self.slots) >= capacity:
+            return -1
+        slot = len(self.values)
+        self.slots[flow] = slot
+        self.values.append(0)
+        return slot
+
+
+class BrickCounters(CountingScheme):
+    """Exact per-flow counters stored in a BRICK layout.
+
+    Parameters
+    ----------
+    design:
+        Bucket layout (see :class:`BrickDesign`).
+    num_buckets:
+        Buckets in the array; flows are assigned by hash.  Size it at
+        roughly ``expected_flows / bucket_size * 1.2`` — bucket-full events
+        are counted in :attr:`bucket_full_events`.
+    """
+
+    name = "brick"
+
+    def __init__(self, design: BrickDesign, num_buckets: int,
+                 mode: str = "volume", rng=None) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if num_buckets < 1:
+            raise ParameterError(f"num_buckets must be >= 1, got {num_buckets!r}")
+        self.design = design
+        self.num_buckets = num_buckets
+        self._buckets: List[_Bucket] = [_Bucket() for _ in range(num_buckets)]
+        self.bucket_full_events = 0
+        self.level_overflow_events = 0
+        self.value_overflow_events = 0
+
+    def _bucket_of(self, flow: Hashable) -> _Bucket:
+        return self._buckets[stable_hash(flow) % self.num_buckets]
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        bucket = self._bucket_of(flow)
+        slot = bucket.slot_for(flow, self.design.bucket_size)
+        if slot < 0:
+            self.bucket_full_events += 1
+            return
+        self._state.setdefault(flow, True)  # membership for flows()/len()
+        old = bucket.values[slot]
+        new = old + int(amount)
+        if new > self.design.max_value:
+            self.value_overflow_events += 1
+            new = self.design.max_value
+        # Level occupancy check: would this counter's extension exceed the
+        # level's sub-counter pool?
+        new_levels = self.design.levels_needed(new)
+        old_levels = self.design.levels_needed(old) if old else 1
+        if new_levels > old_levels:
+            for level in range(old_levels + 1, new_levels + 1):
+                occupancy = sum(
+                    1 for v in bucket.values if self.design.levels_needed(v) >= level
+                )
+                if occupancy + 1 > self.design.level_capacities[level - 1]:
+                    self.level_overflow_events += 1
+        bucket.values[slot] = new
+
+    def estimate(self, flow: Hashable) -> float:
+        bucket = self._bucket_of(flow)
+        slot = bucket.slots.get(flow)
+        if slot is None:
+            return 0.0
+        return float(bucket.values[slot])
+
+    def max_counter_bits(self) -> int:
+        """Full chain width — what a naive fixed array would need."""
+        return self.design.total_width
+
+    def memory_bits(self) -> int:
+        """Total structure memory: all buckets at the static design size."""
+        return self.num_buckets * self.design.bits_per_bucket()
+
+    def bits_per_flow(self) -> float:
+        """Amortised memory per observed flow."""
+        if not self._state:
+            return float(self.memory_bits())
+        return self.memory_bits() / len(self._state)

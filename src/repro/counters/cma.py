@@ -1,0 +1,132 @@
+"""Counter Management Algorithms for the hybrid SRAM/DRAM architecture.
+
+The SD literature's central design question (Section II-A of the DISCO
+paper) is *which* SRAM counter to flush when a DRAM write slot opens:
+
+* **LCF** — Largest Counter First (Shah et al., IEEE Micro 2002): flush
+  the fullest counter; optimal SRAM width up to constants, but needs a
+  priority structure.
+* **LCF-with-threshold** (Ramabhadran & Varghese, SIGCOMM 2003 style):
+  track only counters above a threshold; pick the largest tracked one,
+  falling back to a round-robin scan — cheaper state, near-LCF behaviour.
+* **Round-robin** — flush counters cyclically regardless of value; the
+  trivial CMA, needs the widest SRAM counters to stay safe.
+
+All policies see the same interface: the per-flow SRAM values, and return
+which flow to flush.  They are deliberately *advisory* — the SD array
+counts overflows either way, so the ablation benchmark can show the policy
+quality difference the literature is about.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Hashable, List, Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["CounterManagementAlgorithm", "LargestCounterFirst",
+           "ThresholdLcf", "RoundRobin", "make_cma"]
+
+
+class CounterManagementAlgorithm(abc.ABC):
+    """Strategy deciding which SRAM counter a DRAM write slot evicts."""
+
+    name: str = "cma"
+
+    @abc.abstractmethod
+    def choose(self, sram: Dict[Hashable, int]) -> Optional[Hashable]:
+        """Return the flow whose counter should be flushed (None = skip)."""
+
+    def notify_update(self, flow: Hashable, value: int) -> None:
+        """Called after every SRAM counter update (hook for tracking)."""
+
+    def notify_flush(self, flow: Hashable) -> None:
+        """Called after a counter was flushed to DRAM."""
+
+
+class LargestCounterFirst(CounterManagementAlgorithm):
+    """Scan for the largest counter (the reference LCF)."""
+
+    name = "lcf"
+
+    def choose(self, sram: Dict[Hashable, int]) -> Optional[Hashable]:
+        if not sram:
+            return None
+        flow = max(sram, key=sram.get)
+        return flow if sram[flow] > 0 else None
+
+
+class ThresholdLcf(CounterManagementAlgorithm):
+    """LCF over a tracked set of above-threshold counters.
+
+    Counters crossing ``threshold`` enter the tracked set on update;
+    flushes pick the largest tracked counter without scanning the whole
+    array.  When nothing is tracked, a round-robin fallback keeps small
+    counters from silting up.
+    """
+
+    name = "threshold-lcf"
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 1:
+            raise ParameterError(f"threshold must be >= 1, got {threshold!r}")
+        self.threshold = threshold
+        self._tracked: Dict[Hashable, int] = {}
+        self._fallback = RoundRobin()
+
+    def notify_update(self, flow: Hashable, value: int) -> None:
+        if value >= self.threshold:
+            self._tracked[flow] = value
+        else:
+            self._tracked.pop(flow, None)
+
+    def notify_flush(self, flow: Hashable) -> None:
+        self._tracked.pop(flow, None)
+        self._fallback.notify_flush(flow)
+
+    def choose(self, sram: Dict[Hashable, int]) -> Optional[Hashable]:
+        if self._tracked:
+            return max(self._tracked, key=self._tracked.get)
+        return self._fallback.choose(sram)
+
+
+class RoundRobin(CounterManagementAlgorithm):
+    """Cycle through flows in insertion order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._order: List[Hashable] = []
+        self._seen: set = set()
+        self._cursor = 0
+
+    def notify_update(self, flow: Hashable, value: int) -> None:
+        if flow not in self._seen:
+            self._seen.add(flow)
+            self._order.append(flow)
+
+    def choose(self, sram: Dict[Hashable, int]) -> Optional[Hashable]:
+        if not self._order:
+            # Flows observed before this CMA was attached.
+            for flow in sram:
+                self.notify_update(flow, sram[flow])
+            if not self._order:
+                return None
+        for _ in range(len(self._order)):
+            flow = self._order[self._cursor % len(self._order)]
+            self._cursor += 1
+            if sram.get(flow, 0) > 0:
+                return flow
+        return None
+
+
+def make_cma(name: str, threshold: int = 64) -> CounterManagementAlgorithm:
+    """Factory by policy name: ``lcf``, ``threshold-lcf`` or ``round-robin``."""
+    if name == "lcf":
+        return LargestCounterFirst()
+    if name == "threshold-lcf":
+        return ThresholdLcf(threshold)
+    if name == "round-robin":
+        return RoundRobin()
+    raise ParameterError(f"unknown CMA {name!r}")

@@ -1,0 +1,83 @@
+"""DISCO composed with variable-length counter storage (BRICK).
+
+Section I of the paper: "BRICK/CB and the method proposed in this paper are
+complementary to each other and can work together to achieve further
+reduction on counter size."  The composition is direct: DISCO's update rule
+decides *what value* each flow's counter holds (a compressed, slowly-growing
+integer), and BRICK decides *how those integers are laid out in memory*
+(variable-length sub-counter chains).  Because DISCO counter values are
+exponentially smaller than true flow volumes, every BRICK level shrinks.
+
+:class:`DiscoBrick` runs Algorithm 1 against values stored in a BRICK
+layout and exposes both the DISCO estimate and the combined memory
+accounting, which the ``bench_ablation_combined`` benchmark compares with
+exact-values-in-BRICK and with fixed-array DISCO.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.counters.base import CountingScheme
+from repro.counters.brick import BrickCounters, BrickDesign
+from repro.core.functions import CountingFunction, GeometricCountingFunction
+from repro.core.update import compute_update
+
+__all__ = ["DiscoBrick"]
+
+
+class DiscoBrick(CountingScheme):
+    """DISCO counters stored in a BRICK bucket layout.
+
+    Parameters
+    ----------
+    b:
+        DISCO growth base.
+    design:
+        BRICK layout sized for *DISCO counter values* (not raw volumes);
+        use :meth:`BrickDesign.for_values` on a sample of DISCO counters.
+    num_buckets:
+        BRICK bucket count.
+    """
+
+    name = "disco+brick"
+
+    def __init__(self, b: float, design: BrickDesign, num_buckets: int,
+                 mode: str = "volume", rng=None) -> None:
+        super().__init__(mode=mode, rng=rng)
+        self.function: CountingFunction = GeometricCountingFunction(b)
+        # The BRICK store holds raw integers; we drive it with DISCO advances.
+        self._store = BrickCounters(design, num_buckets, mode=mode)
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        self._state.setdefault(flow, True)
+        c = int(self._store.estimate(flow))
+        decision = compute_update(self.function, c, amount)
+        advance = decision.delta
+        if self._rng.random() < decision.probability:
+            advance += 1
+        if advance:
+            # BrickCounters applies integer increments; reuse its layout and
+            # overflow accounting.
+            self._store._update(flow, float(advance))
+
+    def estimate(self, flow: Hashable) -> float:
+        return self.function.value(int(self._store.estimate(flow)))
+
+    def counter_value(self, flow: Hashable) -> int:
+        return int(self._store.estimate(flow))
+
+    def max_counter_bits(self) -> int:
+        return self._store.max_counter_bits()
+
+    def memory_bits(self) -> int:
+        """Combined structure memory (BRICK layout over DISCO values)."""
+        return self._store.memory_bits()
+
+    @property
+    def bucket_full_events(self) -> int:
+        return self._store.bucket_full_events
+
+    @property
+    def level_overflow_events(self) -> int:
+        return self._store.level_overflow_events

@@ -1,0 +1,304 @@
+"""Counter Braids (Lu et al., SIGMETRICS 2008) — braided counters with
+offline message-passing decoding.
+
+The second "complementary" architecture the DISCO paper cites (as CB, [14]).
+Flows are hashed to ``k`` counters in a shared layer-1 array; each counter
+accumulates the *sum* of its flows.  Layer-1 counters are narrow; when one
+overflows, the carry is braided into a smaller layer-2 array (each layer-1
+counter hashes to ``k2`` layer-2 counters).  Per-flow values are not
+readable online — they are recovered after the measurement interval by an
+iterative message-passing decoder over the bipartite flow/counter graph.
+
+This gives the opposite trade-off from DISCO: CB is (whp) *exact* but
+offline-only, while DISCO is approximate but readable per packet.  The
+combination benchmark shows DISCO compressing CB's layer-1 load.
+
+Decoder
+-------
+The standard CB decoder.  With counter values ``c_a`` and messages
+``mu_{f->a}`` (flow to counter) and ``nu_{a->f}`` (counter to flow):
+
+    nu_{a->f} = max(0, c_a - sum_{f' in a, f' != f} mu_{f'->a})
+    mu_{f->a} = min_{a' in f, a' != a} nu_{a'->f}      (clamped at >= floor)
+
+iterated from ``mu = 0``; the per-flow estimate alternates between lower
+and upper bounds and the decoder stops when consecutive iterations agree
+(or after ``max_iterations``, reporting non-convergence).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.counters.base import CountingScheme
+from repro.errors import DecodingError, ParameterError
+
+__all__ = ["CounterBraids", "decode_layer", "DecodeResult"]
+
+
+def _hash_indices(key: Hashable, k: int, size: int, salt: str) -> Tuple[int, ...]:
+    """``k`` distinct array indices for ``key`` via salted SHA-256 draws."""
+    indices: List[int] = []
+    attempt = 0
+    while len(indices) < k:
+        digest = hashlib.sha256(f"{salt}:{attempt}:{key!r}".encode()).digest()
+        index = int.from_bytes(digest[:8], "big") % size
+        if index not in indices:
+            indices.append(index)
+        attempt += 1
+        if attempt > 64 * k:  # pragma: no cover - only tiny arrays
+            raise ParameterError(
+                f"cannot draw {k} distinct indices from an array of {size}"
+            )
+    return tuple(indices)
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of a message-passing decode.
+
+    Attributes
+    ----------
+    estimates:
+        Per-flow decoded values, in the order the flows were supplied.
+    iterations:
+        Iterations executed.
+    converged:
+        Whether upper and lower bounds met for every flow.
+    """
+
+    estimates: List[float]
+    iterations: int
+    converged: bool
+    max_residual: float = 0.0
+
+
+def decode_layer(
+    counter_values: Sequence[float],
+    flow_edges: Sequence[Sequence[int]],
+    max_iterations: int = 200,
+    floor: float = 0.0,
+) -> DecodeResult:
+    """Message-passing decode of one braid layer.
+
+    Parameters
+    ----------
+    counter_values:
+        The counter array after the measurement interval.
+    flow_edges:
+        For each flow, the indices of the counters it hashes to.
+    max_iterations:
+        Bound on decoder iterations.
+    floor:
+        Known lower bound on any flow's value (0 for "flows may be absent",
+        1 when every listed flow was seen at least once).
+    """
+    num_flows = len(flow_edges)
+    if num_flows == 0:
+        return DecodeResult(estimates=[], iterations=0, converged=True)
+    stable = False
+    counters_to_flows: Dict[int, List[int]] = {}
+    for f, edges in enumerate(flow_edges):
+        if not edges:
+            raise ParameterError(f"flow {f} has no counter edges")
+        for a in edges:
+            counters_to_flows.setdefault(a, []).append(f)
+
+    # mu[f][j]: message from flow f along its j-th edge; start at floor.
+    mu = [[float(floor)] * len(edges) for edges in flow_edges]
+    previous: Optional[List[float]] = None
+    estimates = [float(floor)] * num_flows
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iterations + 1):
+        # Counter sums of incoming flow messages (for fast exclusion).
+        incoming: Dict[int, float] = {a: 0.0 for a in counters_to_flows}
+        for f, edges in enumerate(flow_edges):
+            for j, a in enumerate(edges):
+                incoming[a] += mu[f][j]
+        # nu_{a->f} and new flow messages.
+        new_mu = [[0.0] * len(edges) for edges in flow_edges]
+        for f, edges in enumerate(flow_edges):
+            nu = [
+                max(0.0, counter_values[a] - (incoming[a] - mu[f][j]))
+                for j, a in enumerate(edges)
+            ]
+            for j in range(len(edges)):
+                others = [nu[j2] for j2 in range(len(edges)) if j2 != j]
+                value = min(others) if others else nu[j]
+                new_mu[f][j] = max(float(floor), value)
+            estimates[f] = max(float(floor), min(nu))
+        mu = new_mu
+        if previous is not None and all(
+            abs(a - b) < 1e-9 for a, b in zip(previous, estimates)
+        ):
+            stable = True
+            break
+        previous = list(estimates)
+    # A stable fixed point can still be a *wrong* decode on an overloaded
+    # graph, so convergence additionally requires the estimates to explain
+    # every counter exactly (each counter's value equals the sum of its
+    # flows' estimates).
+    sums: Dict[int, float] = {a: 0.0 for a in counters_to_flows}
+    for f, edges in enumerate(flow_edges):
+        est = estimates[f]
+        for a in set(edges):
+            sums[a] += est
+    max_residual = max(
+        (abs(counter_values[a] - s) for a, s in sums.items()), default=0.0
+    )
+    scale = max(1.0, max((abs(counter_values[a]) for a in sums), default=1.0))
+    converged = stable and max_residual <= 1e-6 * scale
+    return DecodeResult(
+        estimates=estimates,
+        iterations=iterations,
+        converged=converged,
+        max_residual=max_residual,
+    )
+
+
+class CounterBraids(CountingScheme):
+    """Two-layer Counter Braids with message-passing decoding.
+
+    Parameters
+    ----------
+    layer1_size, layer1_bits:
+        Layer-1 array length and counter width.  Layer-1 counters wrap on
+        overflow; each overflow sends a carry into layer 2.
+    layer2_size, layer2_bits:
+        Layer-2 array; sized so carries essentially never overflow.
+    hashes, layer2_hashes:
+        Edges per flow into layer 1 (``k``, default 3) and per layer-1
+        counter into layer 2 (default 2, following the CB paper).
+    """
+
+    name = "counter-braids"
+
+    def __init__(
+        self,
+        layer1_size: int,
+        layer1_bits: int = 8,
+        layer2_size: Optional[int] = None,
+        layer2_bits: int = 56,
+        hashes: int = 3,
+        layer2_hashes: int = 2,
+        mode: str = "volume",
+        rng=None,
+        salt: str = "cb",
+    ) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if layer1_size < hashes:
+            raise ParameterError("layer1_size must be >= number of hashes")
+        if layer1_bits < 1 or layer2_bits < 1:
+            raise ParameterError("counter widths must be >= 1")
+        if hashes < 1 or layer2_hashes < 1:
+            raise ParameterError("hash counts must be >= 1")
+        self.layer1_size = layer1_size
+        self.layer1_bits = layer1_bits
+        self._layer1_wrap = 1 << layer1_bits
+        self.layer2_size = layer2_size if layer2_size is not None else max(
+            layer2_hashes, layer1_size // 8
+        )
+        self.layer2_bits = layer2_bits
+        self.hashes = hashes
+        self.layer2_hashes = layer2_hashes
+        self.salt = salt
+        self.layer1 = [0] * self.layer1_size
+        self.layer2 = [0] * self.layer2_size
+        self._flow_edges: Dict[Hashable, Tuple[int, ...]] = {}
+        self._layer2_edges: List[Tuple[int, ...]] = [
+            _hash_indices(i, layer2_hashes, self.layer2_size, salt + ":l2")
+            for i in range(self.layer1_size)
+        ]
+        self.layer1_overflows = 0
+        # Status bits: which layer-1 counters ever overflowed into layer 2.
+        # (Real CB keeps one bit per counter; decode only consults these.)
+        self._overflowed: set = set()
+        self._decoded: Optional[Dict[Hashable, float]] = None
+
+    def _edges_for(self, flow: Hashable) -> Tuple[int, ...]:
+        edges = self._flow_edges.get(flow)
+        if edges is None:
+            edges = _hash_indices(flow, self.hashes, self.layer1_size, self.salt)
+            self._flow_edges[flow] = edges
+        return edges
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        self._state.setdefault(flow, True)
+        self._decoded = None
+        for a in self._edges_for(flow):
+            value = self.layer1[a] + int(amount)
+            if value >= self._layer1_wrap:
+                carry, value = divmod(value, self._layer1_wrap)
+                self.layer1_overflows += carry
+                self._overflowed.add(a)
+                for b in self._layer2_edges[a]:
+                    self.layer2[b] += carry
+            self.layer1[a] = value
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, max_iterations: int = 200, strict: bool = False) -> Dict[Hashable, float]:
+        """Run the two-stage decode and return per-flow estimates.
+
+        Stage 1 recovers each layer-1 counter's overflow count from layer 2;
+        stage 2 reconstructs full layer-1 values and decodes flows from them.
+        With ``strict`` the decoder raises
+        :class:`~repro.errors.DecodingError` on non-convergence instead of
+        returning best-effort estimates.
+        """
+        flows = list(self._state)
+        if not flows:
+            self._decoded = {}
+            return {}
+        # Stage 1: layer-1 counters whose status bit is set are the "flows"
+        # of layer 2 (their true value is their overflow count); counters
+        # that never overflowed are known to carry zero.
+        overflow_counts = [0] * self.layer1_size
+        if self._overflowed:
+            overflowed = sorted(self._overflowed)
+            overflow_result = decode_layer(
+                self.layer2,
+                [self._layer2_edges[i] for i in overflowed],
+                max_iterations=max_iterations,
+                floor=1.0,
+            )
+            if strict and not overflow_result.converged:
+                raise DecodingError("layer-2 decode did not converge")
+            for i, estimate in zip(overflowed, overflow_result.estimates):
+                overflow_counts[i] = round(estimate)
+        full_layer1 = [
+            self.layer1[i] + overflow_counts[i] * self._layer1_wrap
+            for i in range(self.layer1_size)
+        ]
+        # Stage 2: decode flows from reconstructed layer-1 values.
+        edge_list = [self._flow_edges[f] for f in flows]
+        flow_result = decode_layer(
+            full_layer1,
+            edge_list,
+            max_iterations=max_iterations,
+            floor=1.0,
+        )
+        if strict and not flow_result.converged:
+            raise DecodingError("layer-1 decode did not converge")
+        self._decoded = {f: flow_result.estimates[i] for i, f in enumerate(flows)}
+        return dict(self._decoded)
+
+    def estimate(self, flow: Hashable) -> float:
+        """Decoded estimate (runs/reuses the offline decode — CB has no
+        online read, which is exactly the contrast with DISCO)."""
+        if flow not in self._state:
+            return 0.0
+        if self._decoded is None:
+            self.decode()
+        assert self._decoded is not None
+        return self._decoded.get(flow, 0.0)
+
+    def max_counter_bits(self) -> int:
+        return max(self.layer1_bits, self.layer2_bits)
+
+    def memory_bits(self) -> int:
+        """Total braid memory (both layers)."""
+        return self.layer1_size * self.layer1_bits + self.layer2_size * self.layer2_bits

@@ -1,0 +1,151 @@
+"""Count-Min sketches — the keyless alternative to per-flow counters.
+
+DISCO (like SAC/SD/BRICK) keeps one counter *per flow*, which requires a
+flow table.  The Count-Min family instead shares a small 2-D counter array
+among all flows via hashing: no keys, bounded memory, but estimates carry
+a positive *collision* bias (`estimate >= truth`, within ``eps * total``
+with probability ``1 - delta`` for width ``e/eps`` and depth ``ln(1/δ)``).
+
+Three variants are provided:
+
+* :class:`CountMin` — the textbook sketch (Cormode & Muthukrishnan 2005);
+* conservative update (``conservative=True``) — only raise the counters
+  that must rise; strictly less overestimation, same reads;
+* :class:`DiscoCountMin` — each array cell is a **DISCO** counter driven
+  by Algorithm 1, composing the two orthogonal memory levers: hashing
+  shares cells across flows, discounting compresses each cell's width.
+  The read-out is ``min`` over the rows' ``f(c)`` values; it inherits
+  CM's overestimation and DISCO's randomisation.
+
+The equal-memory comparison against per-flow DISCO lives in
+``bench_baseline_countmin``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List
+
+from repro.counters.base import CountingScheme
+from repro.core.disco import counter_bits
+from repro.core.functions import GeometricCountingFunction
+from repro.core.update import compute_update
+from repro.errors import ParameterError
+from repro.flows.hashing import encode_key, fnv1a64
+
+__all__ = ["CountMin", "DiscoCountMin"]
+
+_ROW_SALTS = [b"cm0", b"cm1", b"cm2", b"cm3", b"cm4", b"cm5", b"cm6", b"cm7"]
+
+
+def _row_index(flow: Hashable, row: int, width: int) -> int:
+    if row >= len(_ROW_SALTS):
+        raise ParameterError(f"at most {len(_ROW_SALTS)} rows supported")
+    return fnv1a64(_ROW_SALTS[row] + encode_key(flow)) % width
+
+
+class CountMin(CountingScheme):
+    """Classic Count-Min sketch with optional conservative update.
+
+    Parameters
+    ----------
+    width, depth:
+        Array geometry: ``depth`` rows of ``width`` counters.
+    conservative:
+        Use conservative update (increment only rows at the current
+        minimum, up to the new minimum).
+    """
+
+    name = "count-min"
+
+    def __init__(self, width: int, depth: int = 3, conservative: bool = False,
+                 mode: str = "volume", rng=None) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if width < 1:
+            raise ParameterError(f"width must be >= 1, got {width!r}")
+        if not (1 <= depth <= len(_ROW_SALTS)):
+            raise ParameterError(
+                f"depth must be in 1..{len(_ROW_SALTS)}, got {depth!r}"
+            )
+        self.width = width
+        self.depth = depth
+        self.conservative = conservative
+        self.rows: List[List[int]] = [[0] * width for _ in range(depth)]
+
+    def _cells(self, flow: Hashable) -> List[int]:
+        return [_row_index(flow, r, self.width) for r in range(self.depth)]
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        self._state.setdefault(flow, True)
+        cells = self._cells(flow)
+        increment = int(amount)
+        if not self.conservative:
+            for r, i in enumerate(cells):
+                self.rows[r][i] += increment
+            return
+        current = min(self.rows[r][i] for r, i in enumerate(cells))
+        target = current + increment
+        for r, i in enumerate(cells):
+            if self.rows[r][i] < target:
+                self.rows[r][i] = target
+
+    def estimate(self, flow: Hashable) -> float:
+        return float(min(self.rows[r][i]
+                         for r, i in enumerate(self._cells(flow))))
+
+    def max_counter_bits(self) -> int:
+        largest = max((max(row) for row in self.rows), default=0)
+        return counter_bits(largest)
+
+    def memory_bits(self) -> int:
+        """Array memory at the width the largest cell needs."""
+        return self.width * self.depth * self.max_counter_bits()
+
+
+class DiscoCountMin(CountingScheme):
+    """Count-Min whose cells are DISCO counters (Algorithm 1 per cell).
+
+    Each packet drives the flow's ``depth`` cells through the DISCO
+    update with the packet's amount; the estimate is the minimum of the
+    cells' ``f(c)``.  Memory = ``width * depth`` cells of
+    ``ceil(log2(f^{-1}(max cell traffic)))`` bits — both levers at once.
+    """
+
+    name = "disco-cm"
+
+    def __init__(self, b: float, width: int, depth: int = 3,
+                 mode: str = "volume", rng=None) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if width < 1:
+            raise ParameterError(f"width must be >= 1, got {width!r}")
+        if not (1 <= depth <= len(_ROW_SALTS)):
+            raise ParameterError(
+                f"depth must be in 1..{len(_ROW_SALTS)}, got {depth!r}"
+            )
+        self.function = GeometricCountingFunction(b)
+        self.width = width
+        self.depth = depth
+        self.rows: List[List[int]] = [[0] * width for _ in range(depth)]
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        self._state.setdefault(flow, True)
+        for r in range(self.depth):
+            i = _row_index(flow, r, self.width)
+            c = self.rows[r][i]
+            decision = compute_update(self.function, c, amount)
+            advance = decision.delta
+            if self._rng.random() < decision.probability:
+                advance += 1
+            self.rows[r][i] = c + advance
+
+    def estimate(self, flow: Hashable) -> float:
+        return min(
+            self.function.value(self.rows[r][_row_index(flow, r, self.width)])
+            for r in range(self.depth)
+        )
+
+    def max_counter_bits(self) -> int:
+        largest = max((max(row) for row in self.rows), default=0)
+        return counter_bits(largest)
+
+    def memory_bits(self) -> int:
+        return self.width * self.depth * self.max_counter_bits()

@@ -1,0 +1,157 @@
+"""Hardware-faithful DISCO deployment: fixed flow table, fixed-width counters.
+
+The accuracy experiments follow the paper in assuming one counter per flow;
+a line card, however, has a fixed SRAM array indexed by a hash of the flow
+key.  :class:`HardwareDiscoSketch` composes the DISCO update rule with the
+:class:`~repro.flows.flowtable.FlowTable` substrate so deployments can be
+sized realistically:
+
+* ``slots`` counters of ``counter_bits`` each, plus a key tag per slot;
+* bounded linear probing — flows that cannot be placed are *unaccounted*
+  (counted, and charged as estimate 0 by the error metrics, exactly what a
+  real device would suffer);
+* saturating counters (saturation events counted).
+
+``memory_bits()`` reports the full SRAM budget, which is the number to
+compare against the paper's "implementable in SRAM" claim.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterator, Union
+
+from repro.core.functions import CountingFunction, GeometricCountingFunction
+from repro.core.update import compute_update
+from repro.errors import ParameterError
+from repro.flows.flowtable import FlowTable
+
+__all__ = ["HardwareDiscoSketch"]
+
+
+class HardwareDiscoSketch:
+    """DISCO counters in a fixed-size open-addressing SRAM table.
+
+    Parameters
+    ----------
+    b:
+        DISCO growth base.
+    slots:
+        Counter array length (rounded up to a power of two).
+    counter_bits:
+        Width of each counter; values saturate at ``2^bits - 1``.
+    tag_bits:
+        Bits of flow-key tag stored per slot (for key disambiguation);
+        only affects the memory accounting.
+    max_probes:
+        Probe bound of the flow table.
+    mode:
+        ``"volume"`` or ``"size"``.
+    """
+
+    name = "disco-hw"
+
+    def __init__(
+        self,
+        b: float,
+        slots: int,
+        counter_bits: int = 10,
+        tag_bits: int = 16,
+        max_probes: int = 8,
+        mode: str = "volume",
+        rng: Union[None, int, random.Random] = None,
+    ) -> None:
+        if mode not in ("volume", "size"):
+            raise ParameterError(f"mode must be 'volume' or 'size', got {mode!r}")
+        if counter_bits < 1:
+            raise ParameterError(f"counter_bits must be >= 1, got {counter_bits!r}")
+        if tag_bits < 0:
+            raise ParameterError(f"tag_bits must be >= 0, got {tag_bits!r}")
+        self.function: CountingFunction = GeometricCountingFunction(b)
+        self.mode = mode
+        self.counter_bits = counter_bits
+        self.tag_bits = tag_bits
+        self._max_value = (1 << counter_bits) - 1
+        self._table: FlowTable = FlowTable(slots, max_probes=max_probes)
+        self._rng = rng if isinstance(rng, random.Random) else random.Random(rng)
+        self.unaccounted_packets = 0
+        self.saturation_events = 0
+        self.packets_observed = 0
+
+    # -- ingestion ----------------------------------------------------------
+
+    def observe(self, flow: Hashable, length: float = 1.0) -> bool:
+        """Record one packet; returns False when the flow has no slot."""
+        if not (length > 0):
+            raise ParameterError(f"packet length must be > 0, got {length!r}")
+        self.packets_observed += 1
+        amount = 1.0 if self.mode == "size" else float(length)
+        current, _ = self._table.get_or_insert(flow, 0)
+        if current is None:
+            self.unaccounted_packets += 1
+            return False
+        decision = compute_update(self.function, current, amount)
+        advance = decision.delta
+        if self._rng.random() < decision.probability:
+            advance += 1
+        new_value = current + advance
+        if new_value > self._max_value:
+            self.saturation_events += 1
+            new_value = self._max_value
+        self._table.put(flow, new_value)
+        return True
+
+    def observe_many(self, packets) -> None:
+        for flow, length in packets:
+            self.observe(flow, length)
+
+    # -- read-out -------------------------------------------------------------
+
+    def counter_value(self, flow: Hashable) -> int:
+        value = self._table.get(flow)
+        return 0 if value is None else int(value)
+
+    def estimate(self, flow: Hashable) -> float:
+        return self.function.value(self.counter_value(flow))
+
+    def flows(self) -> Iterator[Hashable]:
+        return self._table.keys()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, flow: Hashable) -> bool:
+        return flow in self._table
+
+    def max_counter_bits(self) -> int:
+        return self.counter_bits
+
+    # -- provisioning metrics ---------------------------------------------------
+
+    @property
+    def load_factor(self) -> float:
+        return self._table.load_factor
+
+    @property
+    def insert_failures(self) -> int:
+        return self._table.stats.insert_failures
+
+    @property
+    def mean_probe_length(self) -> float:
+        return self._table.stats.mean_probe_length
+
+    def memory_bits(self) -> int:
+        """Total SRAM: every slot carries a tag and a counter."""
+        return self._table.capacity * (self.counter_bits + self.tag_bits)
+
+    def reset(self) -> None:
+        self._table.clear()
+        self.unaccounted_packets = 0
+        self.saturation_events = 0
+        self.packets_observed = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"HardwareDiscoSketch(slots={self._table.capacity}, "
+            f"counter_bits={self.counter_bits}, load={self.load_factor:.2f})"
+        )

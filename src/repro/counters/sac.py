@@ -1,0 +1,159 @@
+"""Small Active Counters (SAC) — Stanojevic, INFOCOM 2007.
+
+SAC is the paper's main SRAM-only comparison point: the only prior scheme
+that supports both flow-size and flow-volume counting with on-line reads.
+
+Each q-bit counter is split into an estimation part ``A`` (``k`` bits) and
+an exponent part ``mode`` (``s`` bits), with a *global* scaling parameter
+``r`` shared by every counter.  The estimator is ``A * 2^(r*mode)``.  When a
+packet of ``l`` bytes arrives, ``A`` is increased by ``l / 2^(r*mode)``
+using probabilistic rounding (which keeps the estimator unbiased).  If ``A``
+overflows its ``k`` bits, ``mode`` is incremented and ``A`` is renormalised
+(divided by ``2^r``, again with probabilistic rounding).  If ``mode``
+overflows its ``s`` bits, the *global* ``r`` is incremented and **all**
+counters are renormalised — the costly operation the DISCO paper criticises;
+this implementation counts those events so experiments can report them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Tuple
+
+from repro.counters.base import CountingScheme
+from repro.errors import ParameterError
+
+__all__ = ["SmallActiveCounters"]
+
+
+class SmallActiveCounters(CountingScheme):
+    """Per-flow SAC counter array.
+
+    Parameters
+    ----------
+    total_bits:
+        Counter width ``q = k + s``.  The evaluation section of the DISCO
+        paper fixes one part at 3 bits and grows the other with the counter
+        size; here the exponent part defaults to 3 bits.
+    mode_bits:
+        Bits of the exponent part ``s``.
+    mode, rng:
+        As for every :class:`~repro.counters.base.CountingScheme`.
+    initial_r:
+        Starting value of the global scale parameter (must be >= 1 so that
+        renormalisation actually shrinks ``A``).
+    """
+
+    name = "sac"
+
+    def __init__(
+        self,
+        total_bits: int,
+        mode_bits: int = 3,
+        mode: str = "volume",
+        rng=None,
+        initial_r: int = 1,
+    ) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if mode_bits < 1:
+            raise ParameterError(f"mode_bits must be >= 1, got {mode_bits!r}")
+        if total_bits <= mode_bits:
+            raise ParameterError(
+                f"total_bits ({total_bits}) must exceed mode_bits ({mode_bits})"
+            )
+        if initial_r < 1:
+            raise ParameterError(f"initial_r must be >= 1, got {initial_r!r}")
+        self.total_bits = total_bits
+        self.mode_bits = mode_bits
+        self.estimation_bits = total_bits - mode_bits
+        self._a_limit = 1 << self.estimation_bits
+        self._mode_limit = 1 << self.mode_bits
+        self.r = initial_r
+        self.global_renormalizations = 0
+        self.counter_renormalizations = 0
+
+    # -- internals -------------------------------------------------------
+
+    def _prob_round(self, x: float) -> int:
+        """Unbiased integer rounding: floor(x) + Bernoulli(frac(x))."""
+        base = math.floor(x)
+        frac = x - base
+        if frac > 0.0 and self._rng.random() < frac:
+            base += 1
+        return int(base)
+
+    def _fit(self, value: float) -> Tuple[int, int]:
+        """Re-encode a raw value as ``(A, mode)`` under the current ``r``.
+
+        Picks the smallest ``mode`` whose scaled mantissa fits in ``k``
+        bits, using probabilistic rounding for the mantissa.
+        """
+        mode = 0
+        while mode < self._mode_limit - 1 and value / (1 << (self.r * mode)) >= self._a_limit:
+            mode += 1
+        a = self._prob_round(value / (1 << (self.r * mode)))
+        if a >= self._a_limit:
+            # Rounding pushed the mantissa over; bump the exponent once more
+            # if possible, else saturate.
+            if mode < self._mode_limit - 1:
+                mode += 1
+                a = self._prob_round(value / (1 << (self.r * mode)))
+            a = min(a, self._a_limit - 1)
+        return a, mode
+
+    def _increase_r(self) -> None:
+        """Global renormalisation: grow ``r`` and re-encode every counter."""
+        values = [(flow, self._decode(state)) for flow, state in self._state.items()]
+        self.r += 1
+        self.global_renormalizations += 1
+        for flow, value in values:
+            self._state[flow] = self._fit(value)
+
+    def _decode(self, state: Tuple[int, int]) -> float:
+        a, mode = state
+        return a * float(1 << (self.r * mode))
+
+    # -- CountingScheme hooks ---------------------------------------------
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        a, mode = self._state.get(flow, (0, 0))
+        a += self._prob_round(amount / (1 << (self.r * mode)))
+        while a >= self._a_limit:
+            if mode + 1 >= self._mode_limit:
+                # mode would overflow: raise the global scale and re-encode
+                # this counter's current value, then re-check.
+                self._state[flow] = (min(a, self._a_limit - 1), mode)
+                value = a * float(1 << (self.r * mode))
+                self._increase_r()
+                a, mode = self._fit(value)
+                continue
+            mode += 1
+            self.counter_renormalizations += 1
+            a = self._prob_round(a / (1 << self.r))
+        self._state[flow] = (a, mode)
+
+    def estimate(self, flow: Hashable) -> float:
+        state = self._state.get(flow)
+        if state is None:
+            return 0.0
+        return self._decode(state)
+
+    def max_counter_bits(self) -> int:
+        """SAC is a fixed-width scheme: every counter costs ``k + s`` bits."""
+        return self.total_bits
+
+    def bits_required_for(self, value: float) -> int:
+        """Bits a SAC counter needs to represent ``value`` without a global
+        ``r`` change — the Figure 9 accounting.
+
+        The mantissa always costs ``k`` bits; the exponent must reach
+        ``mode = ceil(log2(value / 2^k) / r)`` and costs its bit-length.
+        """
+        if value < 0:
+            raise ParameterError(f"value must be >= 0, got {value!r}")
+        if value < self._a_limit:
+            needed_mode = 0
+        else:
+            needed_mode = math.ceil(math.log2(value / (self._a_limit - 1)) / self.r)
+        mode_bits = max(1, needed_mode.bit_length() if needed_mode else 1)
+        return self.estimation_bits + mode_bits

@@ -1,0 +1,93 @@
+"""Fixed-rate packet sampling (NetFlow-style) and its byte extensions.
+
+Sampling with rate ``p`` counts each packet with probability ``p``; the
+unbiased flow-size estimate is ``c / p``.  Section II of the paper discusses
+two ways to extend this to flow-volume counting:
+
+* **E1** — add the sampled packet's *length* to the counter (estimate
+  ``c / p``).  Unbiased, but the variance blows up with intra-flow
+  packet-length variation; this is the failure mode Table III demonstrates
+  for the ANLS analogue.
+* **E2** — treat a packet of ``l`` bytes as ``l`` independent unit packets
+  and run the Bernoulli trial ``l`` times.  Accuracy matches unit-packet
+  sampling but per-packet cost is O(l); see
+  :class:`repro.counters.anls.AnlsPerUnit` for the measured version.
+
+:class:`SampledCounters` implements plain sampling for size mode and E1 for
+volume mode (selected by the scheme's counting mode).  E2 for plain
+sampling is :class:`PerUnitSampledCounters`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.counters.base import CountingScheme
+from repro.core.disco import counter_bits
+from repro.errors import ParameterError
+
+__all__ = ["SampledCounters", "PerUnitSampledCounters"]
+
+
+class SampledCounters(CountingScheme):
+    """Classic fixed-probability packet sampling.
+
+    In ``"size"`` mode each sampled packet adds 1 (standard sampled
+    NetFlow); in ``"volume"`` mode each sampled packet adds its length
+    (extension E1).  The estimator is ``counter / p`` in both cases.
+    """
+
+    name = "sampled"
+
+    def __init__(self, probability: float, mode: str = "volume", rng=None) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if not (0.0 < probability <= 1.0):
+            raise ParameterError(f"sampling probability must be in (0, 1], got {probability!r}")
+        self.probability = probability
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        current = self._state.setdefault(flow, 0)
+        if self._rng.random() < self.probability:
+            self._state[flow] = current + int(amount)
+
+    def estimate(self, flow: Hashable) -> float:
+        return self._state.get(flow, 0) / self.probability
+
+    def max_counter_bits(self) -> int:
+        largest = max(self._state.values(), default=0)
+        return counter_bits(int(largest))
+
+
+class PerUnitSampledCounters(CountingScheme):
+    """Extension E2: sample every *byte* independently.
+
+    A packet of ``l`` bytes triggers ``l`` Bernoulli(``p``) trials; the
+    counter adds the number of successes and the estimator is ``c / p``.
+    Statistically identical to unit-packet sampling over the byte stream,
+    but O(l) work per packet — the processing-cost objection from
+    Section II.  The implementation uses a binomial draw, which is exact
+    and keeps tests fast; :class:`~repro.counters.anls.AnlsPerUnit` keeps
+    the naive loop because its *cost* is the measured quantity.
+    """
+
+    name = "sampled-per-unit"
+
+    def __init__(self, probability: float, mode: str = "volume", rng=None) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if not (0.0 < probability <= 1.0):
+            raise ParameterError(f"sampling probability must be in (0, 1], got {probability!r}")
+        self.probability = probability
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        trials = int(amount)
+        successes = sum(
+            1 for _ in range(trials) if self._rng.random() < self.probability
+        )
+        self._state[flow] = self._state.get(flow, 0) + successes
+
+    def estimate(self, flow: Hashable) -> float:
+        return self._state.get(flow, 0) / self.probability
+
+    def max_counter_bits(self) -> int:
+        largest = max(self._state.values(), default=0)
+        return counter_bits(int(largest))

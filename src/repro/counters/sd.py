@@ -1,0 +1,153 @@
+"""Hybrid SRAM/DRAM (SD) full-size counter architecture.
+
+The first solution family from Section II: small ``w``-bit counters in SRAM
+absorb line-rate increments, and a Counter Management Algorithm (CMA)
+periodically flushes SRAM counters into full-size DRAM counters before they
+overflow.  We implement the classic Largest Counter First (LCF) CMA of
+Shah et al. (IEEE Micro 2002): whenever the (slower) DRAM can accept a
+write — modelled as once every ``dram_access_ratio`` packet updates — the
+SRAM counter with the largest value is flushed.
+
+The scheme is *exact* as long as no SRAM counter overflows between
+flushes; LCF guarantees that for ``w >= log2(ln(N) * ratio ...)`` under
+adversarial inputs, but this simulation simply *counts* overflow events so
+experiments can explore under-provisioned configurations.  It also accounts
+for the SRAM-to-DRAM bus traffic, the cost the DISCO paper calls out as the
+architecture's bottleneck, and for the fact that reads must consult DRAM
+(the slow-read limitation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+from repro.counters.base import CountingScheme
+from repro.counters.cma import CounterManagementAlgorithm, LargestCounterFirst
+from repro.core.disco import counter_bits
+from repro.errors import ParameterError
+
+__all__ = ["SdCounters"]
+
+
+class SdCounters(CountingScheme):
+    """SD hybrid counter array with an LCF counter-management algorithm.
+
+    Parameters
+    ----------
+    sram_bits:
+        Width ``w`` of each SRAM counter; it saturates at ``2^w - 1`` and a
+        saturated-increment is recorded as lost traffic (an overflow event).
+    dram_access_ratio:
+        Number of SRAM update opportunities per DRAM write slot — the
+        DRAM/SRAM speed ratio (typically 10-20; the paper's IXP figures give
+        roughly 12x for commodity parts).
+    """
+
+    name = "sd"
+
+    def __init__(
+        self,
+        sram_bits: int = 8,
+        dram_access_ratio: int = 12,
+        mode: str = "volume",
+        rng=None,
+        cma: Optional[CounterManagementAlgorithm] = None,
+    ) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if sram_bits < 1:
+            raise ParameterError(f"sram_bits must be >= 1, got {sram_bits!r}")
+        if dram_access_ratio < 1:
+            raise ParameterError(f"dram_access_ratio must be >= 1, got {dram_access_ratio!r}")
+        self.sram_bits = sram_bits
+        self._sram_max = (1 << sram_bits) - 1
+        self.dram_access_ratio = dram_access_ratio
+        self.cma = cma if cma is not None else LargestCounterFirst()
+        # _state maps flow -> sram value; DRAM is a separate full-size map.
+        self._dram: Dict[Hashable, int] = {}
+        self._updates_since_flush = 0
+        self.flushes = 0
+        self.bus_bits_transferred = 0
+        self.overflow_events = 0
+        self.lost_traffic = 0
+        self.dram_reads = 0
+
+    # -- CMA ---------------------------------------------------------------
+
+    def _flush_largest(self) -> None:
+        """Commit the CMA's chosen SRAM counter to DRAM.
+
+        (Named for the default Largest-Counter-First policy; the choice is
+        delegated to :attr:`cma`.)
+        """
+        if not self._state:
+            return
+        flow = self.cma.choose(self._state)
+        if flow is None:
+            return
+        value = self._state.get(flow, 0)
+        if value == 0:
+            return
+        self._dram[flow] = self._dram.get(flow, 0) + value
+        self._state[flow] = 0
+        self.cma.notify_flush(flow)
+        self.flushes += 1
+        # One flush moves a w-bit value plus the counter index across the
+        # bus; index width is the table's address width (approximated by the
+        # current flow count's bit length).
+        self.bus_bits_transferred += self.sram_bits + max(1, len(self._state).bit_length())
+
+    # -- CountingScheme hooks ----------------------------------------------
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        current = self._state.get(flow, 0)
+        if flow not in self._dram:
+            self._dram[flow] = 0
+        new_value = current + int(amount)
+        if new_value > self._sram_max:
+            # The SRAM counter cannot hold the increment: saturation, with
+            # the excess traffic lost (an under-provisioned configuration).
+            self.overflow_events += 1
+            self.lost_traffic += new_value - self._sram_max
+            new_value = self._sram_max
+        self._state[flow] = new_value
+        self.cma.notify_update(flow, new_value)
+        self._updates_since_flush += 1
+        if self._updates_since_flush >= self.dram_access_ratio:
+            self._updates_since_flush = 0
+            self._flush_largest()
+
+    def estimate(self, flow: Hashable) -> float:
+        """Exact total (modulo overflow loss).  Requires a DRAM read."""
+        self.dram_reads += 1
+        return float(self._dram.get(flow, 0) + self._state.get(flow, 0))
+
+    def drain(self) -> None:
+        """Flush every SRAM counter to DRAM (end of measurement interval)."""
+        for flow in list(self._state):
+            value = self._state[flow]
+            if value:
+                self._dram[flow] = self._dram.get(flow, 0) + value
+                self._state[flow] = 0
+                self.flushes += 1
+                self.bus_bits_transferred += self.sram_bits + max(
+                    1, len(self._state).bit_length()
+                )
+
+    def max_counter_bits(self) -> int:
+        """Full-size accounting: the DRAM counter must hold the true total."""
+        totals = [self._dram.get(f, 0) + self._state.get(f, 0) for f in self._dram]
+        return counter_bits(int(max(totals, default=0)))
+
+    def sram_counter_bits(self) -> int:
+        """The fast-path SRAM width (fixed by construction)."""
+        return self.sram_bits
+
+    def reset(self) -> None:
+        super().reset()
+        self._dram.clear()
+        self._updates_since_flush = 0
+        self.flushes = 0
+        self.bus_bits_transferred = 0
+        self.overflow_events = 0
+        self.lost_traffic = 0
+        self.dram_reads = 0

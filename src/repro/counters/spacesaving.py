@@ -1,0 +1,100 @@
+"""Space-Saving — the bounded-entry heavy-hitter structure.
+
+Metwally, Agrawal & El Abbadi (ICDT 2005).  Where DISCO keeps one
+(compressed) counter per flow, Space-Saving keeps only ``k`` entries and
+*reassigns* the minimum entry to each unmatched arrival, inheriting its
+count.  Guarantees: every flow with true total above ``TOTAL / k`` is in
+the table, and each entry overestimates its flow by at most the minimum
+counter (tracked per entry as ``error``).
+
+Included as the canonical alternative for the heavy-hitter application
+(`repro.apps.heavyhitters` rides a full DISCO sketch instead): the bench
+trade is k entries of exact-ish top-k versus per-flow estimates for
+*every* flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.counters.base import CountingScheme
+from repro.core.disco import counter_bits
+from repro.errors import ParameterError
+
+__all__ = ["SpaceSaving"]
+
+
+@dataclass
+class _Entry:
+    count: int
+    error: int  # upper bound on overestimation inherited at takeover
+
+
+class SpaceSaving(CountingScheme):
+    """Space-Saving with ``capacity`` monitored entries.
+
+    ``estimate`` returns the entry count (an upper bound on the flow's
+    true total) or 0 for unmonitored flows; ``guaranteed(flow)`` returns
+    the lower bound ``count - error``.
+    """
+
+    name = "space-saving"
+
+    def __init__(self, capacity: int, mode: str = "volume", rng=None) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity!r}")
+        self.capacity = capacity
+        self._state: Dict[Hashable, _Entry] = {}
+        self.total = 0
+        self.takeovers = 0
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        increment = int(amount)
+        self.total += increment
+        entry = self._state.get(flow)
+        if entry is not None:
+            entry.count += increment
+            return
+        if len(self._state) < self.capacity:
+            self._state[flow] = _Entry(count=increment, error=0)
+            return
+        # Take over the minimum entry: inherit its count as error bound.
+        victim = min(self._state, key=lambda f: self._state[f].count)
+        inherited = self._state.pop(victim).count
+        self._state[flow] = _Entry(count=inherited + increment, error=inherited)
+        self.takeovers += 1
+
+    def estimate(self, flow: Hashable) -> float:
+        entry = self._state.get(flow)
+        return float(entry.count) if entry is not None else 0.0
+
+    def guaranteed(self, flow: Hashable) -> float:
+        """Lower bound on the flow's true total (0 if unmonitored)."""
+        entry = self._state.get(flow)
+        return float(entry.count - entry.error) if entry is not None else 0.0
+
+    def top_k(self, k: int) -> List[Tuple[Hashable, float]]:
+        """The k largest monitored entries by count, descending."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k!r}")
+        ranked = sorted(self._state.items(), key=lambda kv: kv[1].count,
+                        reverse=True)
+        return [(flow, float(entry.count)) for flow, entry in ranked[:k]]
+
+    def error_bound(self) -> float:
+        """Worst-case overestimation: TOTAL / capacity (the classic bound)."""
+        return self.total / self.capacity
+
+    def max_counter_bits(self) -> int:
+        largest = max((e.count for e in self._state.values()), default=0)
+        return counter_bits(largest)
+
+    def memory_entries(self) -> int:
+        return self.capacity
+
+    def reset(self) -> None:
+        super().reset()
+        self.total = 0
+        self.takeovers = 0

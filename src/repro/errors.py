@@ -1,0 +1,21 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter is outside its valid domain (e.g. ``b <= 1``)."""
+
+
+class CounterOverflowError(ReproError, OverflowError):
+    """A fixed-width counter exceeded its capacity and saturation is disabled."""
+
+
+class DecodingError(ReproError):
+    """An offline decoder (e.g. Counter Braids) failed to converge."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace file or record stream is malformed."""

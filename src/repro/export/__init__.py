@@ -1,0 +1,13 @@
+"""Flow-record export: versioned binary format plus collector-side queries."""
+
+from repro.export.collector import Collector, FlowSeries
+from repro.export.records import ExportBatch, FlowRecord, read_export, write_export
+
+__all__ = [
+    "FlowRecord",
+    "ExportBatch",
+    "write_export",
+    "read_export",
+    "Collector",
+    "FlowSeries",
+]

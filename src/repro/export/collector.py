@@ -1,0 +1,106 @@
+"""Collector-side processing of flow-record exports.
+
+A collector receives one export batch per monitor per interval and turns
+them into answers: merged totals across intervals, per-flow time series,
+and re-derived confidence intervals (possible because exports carry the
+raw counter value and ``b``, not just the point estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.confidence import confidence_interval
+from repro.errors import ParameterError, TraceFormatError
+from repro.export.records import ExportBatch
+
+__all__ = ["Collector", "FlowSeries"]
+
+
+@dataclass
+class FlowSeries:
+    """Per-interval estimates of one flow, in arrival order."""
+
+    key: str
+    estimates: List[float] = field(default_factory=list)
+
+    @property
+    def total(self) -> float:
+        return sum(self.estimates)
+
+    @property
+    def intervals(self) -> int:
+        return len(self.estimates)
+
+
+class Collector:
+    """Accumulates export batches and answers queries over them.
+
+    All ingested batches must agree on the counting mode; ``b`` may vary
+    between batches (a monitor may re-tune), which is why intervals are
+    kept separately rather than merged at the counter level.
+    """
+
+    def __init__(self) -> None:
+        self._batches: List[ExportBatch] = []
+        self._series: Dict[str, FlowSeries] = {}
+        self.mode: Optional[str] = None
+
+    def ingest(self, batch: ExportBatch) -> None:
+        """Add one interval's export."""
+        if self.mode is None:
+            self.mode = batch.mode
+        elif batch.mode != self.mode:
+            raise TraceFormatError(
+                f"mode mismatch: collector holds {self.mode!r}, batch is "
+                f"{batch.mode!r}"
+            )
+        self._batches.append(batch)
+        for record in batch.records:
+            series = self._series.setdefault(record.key, FlowSeries(record.key))
+            series.estimates.append(record.estimate)
+
+    @property
+    def intervals(self) -> int:
+        return len(self._batches)
+
+    def flows(self) -> List[str]:
+        return list(self._series)
+
+    def series(self, key: str) -> FlowSeries:
+        series = self._series.get(key)
+        if series is None:
+            return FlowSeries(key=key)
+        return series
+
+    def flow_total(self, key: str) -> float:
+        """Flow total across all ingested intervals."""
+        return self.series(key).total
+
+    def interval_totals(self) -> List[float]:
+        """Link-total estimate per interval."""
+        return [batch.total for batch in self._batches]
+
+    def top_flows(self, k: int) -> List[Tuple[str, float]]:
+        """k largest flows by all-interval total, descending."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k!r}")
+        totals = [(key, s.total) for key, s in self._series.items()]
+        totals.sort(key=lambda kv: kv[1], reverse=True)
+        return totals[:k]
+
+    def interval_confidence(self, interval: int, key: str, level: float = 0.95):
+        """Recomputed confidence interval for one flow in one interval.
+
+        Possible because the export carries the raw counter value and the
+        monitor's ``b`` — the collector does not need to trust the point
+        estimate's error silently.
+        """
+        if not (0 <= interval < len(self._batches)):
+            raise ParameterError(f"interval {interval} out of range")
+        batch = self._batches[interval]
+        record = next((r for r in batch.records if r.key == key), None)
+        if record is None:
+            return None
+        return confidence_interval(batch.b, record.counter_value, level=level)

@@ -1,0 +1,152 @@
+"""Flow-record export format — the NetFlow-shaped output of a monitor.
+
+A measurement interval ends with the monitor exporting one record per
+flow: flow key, estimated total, counting mode, and enough metadata to
+interpret the estimate (the DISCO parameter ``b`` and the raw counter
+value, so collectors can recompute confidence intervals).  This module
+defines the record, a compact binary wire format (struct-packed, versioned
+header, length-prefixed keys), and a text (CSV) format for debugging.
+
+Wire format v1 (big-endian)::
+
+    header:  magic "DSCX" | u8 version | u8 mode (0=volume 1=size)
+             f64 b | u32 record_count
+    record:  u16 key_length | key bytes (utf-8) | u32 counter_value
+             f64 estimate
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Union
+
+from repro.errors import TraceFormatError
+
+__all__ = ["FlowRecord", "ExportBatch", "write_export", "read_export"]
+
+_MAGIC = b"DSCX"
+_VERSION = 1
+_HEADER = struct.Struct(">4sBBdI")
+_RECORD_FIXED = struct.Struct(">Id")
+_KEY_LEN = struct.Struct(">H")
+
+_MODES = ("volume", "size")
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One exported flow."""
+
+    key: str
+    counter_value: int
+    estimate: float
+
+    def __post_init__(self) -> None:
+        if self.counter_value < 0:
+            raise TraceFormatError(f"negative counter value: {self.counter_value}")
+        if self.estimate < 0:
+            raise TraceFormatError(f"negative estimate: {self.estimate}")
+
+
+@dataclass(frozen=True)
+class ExportBatch:
+    """A full export: interval metadata plus the records."""
+
+    mode: str
+    b: float
+    records: List[FlowRecord]
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise TraceFormatError(f"unknown mode {self.mode!r}")
+        if not (self.b > 1.0):
+            raise TraceFormatError(f"b must be > 1, got {self.b!r}")
+
+    @classmethod
+    def from_sketch(cls, sketch) -> "ExportBatch":
+        """Snapshot a DISCO-style sketch into an export batch."""
+        b = getattr(getattr(sketch, "function", None), "b", None)
+        if b is None:
+            raise TraceFormatError("sketch does not expose a geometric function")
+        records = [
+            FlowRecord(
+                key=str(flow),
+                counter_value=sketch.counter_value(flow),
+                estimate=sketch.estimate(flow),
+            )
+            for flow in sketch.flows()
+        ]
+        return cls(mode=sketch.mode, b=float(b), records=records)
+
+    def estimates(self) -> Dict[str, float]:
+        return {r.key: r.estimate for r in self.records}
+
+    @property
+    def total(self) -> float:
+        return sum(r.estimate for r in self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _write_stream(batch: ExportBatch, stream: BinaryIO) -> int:
+    stream.write(_HEADER.pack(
+        _MAGIC, _VERSION, _MODES.index(batch.mode), batch.b, len(batch.records)
+    ))
+    written = _HEADER.size
+    for record in batch.records:
+        key = record.key.encode("utf-8")
+        if len(key) > 0xFFFF:
+            raise TraceFormatError(f"flow key too long ({len(key)} bytes)")
+        stream.write(_KEY_LEN.pack(len(key)))
+        stream.write(key)
+        stream.write(_RECORD_FIXED.pack(record.counter_value, record.estimate))
+        written += _KEY_LEN.size + len(key) + _RECORD_FIXED.size
+    return written
+
+
+def write_export(batch: ExportBatch, target: Union[str, Path, BinaryIO]) -> int:
+    """Write a batch to a path or binary stream; returns bytes written."""
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as fh:
+            return _write_stream(batch, fh)
+    return _write_stream(batch, target)
+
+
+def _read_exact(stream: BinaryIO, n: int, what: str) -> bytes:
+    data = stream.read(n)
+    if len(data) != n:
+        raise TraceFormatError(f"truncated export while reading {what}")
+    return data
+
+
+def read_export(source: Union[str, Path, BinaryIO]) -> ExportBatch:
+    """Parse an export written by :func:`write_export`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as fh:
+            return read_export(fh)
+    stream = source
+    magic, version, mode_index, b, count = _HEADER.unpack(
+        _read_exact(stream, _HEADER.size, "header")
+    )
+    if magic != _MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r}")
+    if version != _VERSION:
+        raise TraceFormatError(f"unsupported version {version}")
+    if mode_index >= len(_MODES):
+        raise TraceFormatError(f"unknown mode index {mode_index}")
+    records: List[FlowRecord] = []
+    for i in range(count):
+        (key_len,) = _KEY_LEN.unpack(_read_exact(stream, _KEY_LEN.size, "key length"))
+        key = _read_exact(stream, key_len, f"key of record {i}").decode("utf-8")
+        counter_value, estimate = _RECORD_FIXED.unpack(
+            _read_exact(stream, _RECORD_FIXED.size, f"record {i}")
+        )
+        records.append(FlowRecord(key=key, counter_value=counter_value,
+                                  estimate=estimate))
+    trailing = stream.read(1)
+    if trailing:
+        raise TraceFormatError("trailing bytes after last record")
+    return ExportBatch(mode=_MODES[mode_index], b=b, records=records)

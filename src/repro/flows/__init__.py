@@ -1,0 +1,17 @@
+"""Flow and packet substrate: keys, hashing, packet records, flow tables."""
+
+from repro.flows.flowtable import FlowTable, FlowTableStats
+from repro.flows.hashing import crc32_pair, encode_key, fnv1a64, stable_hash
+from repro.flows.packet import FiveTuple, FlowKey, Packet
+
+__all__ = [
+    "FiveTuple",
+    "FlowKey",
+    "Packet",
+    "FlowTable",
+    "FlowTableStats",
+    "stable_hash",
+    "fnv1a64",
+    "crc32_pair",
+    "encode_key",
+]

@@ -1,0 +1,159 @@
+"""A fixed-size, open-addressing flow table.
+
+A monitoring line card does not get a resizable hash map: it gets a fixed
+array of counters indexed by a hash of the flow key.  This module models
+that constraint so experiments can account for collisions and table
+occupancy, while the pure-accuracy experiments (which assume one counter
+per flow, as the paper does) can simply use a dict.
+
+The table uses linear probing with a bounded probe sequence; when the probe
+bound is exhausted the insertion is refused and recorded as an eviction
+event (real devices would fall back to a slow path or drop the flow from
+accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.errors import ParameterError
+from repro.flows.hashing import stable_hash
+
+__all__ = ["FlowTable", "FlowTableStats"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_EMPTY = object()
+
+
+class FlowTableStats:
+    """Occupancy and collision accounting for a :class:`FlowTable`."""
+
+    __slots__ = ("lookups", "probes", "insert_failures")
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.probes = 0
+        self.insert_failures = 0
+
+    @property
+    def mean_probe_length(self) -> float:
+        """Average number of probes per lookup (1.0 means no collisions)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.probes / self.lookups
+
+
+class FlowTable(Generic[K, V]):
+    """Fixed-capacity open-addressing hash table keyed by flow.
+
+    Parameters
+    ----------
+    slots:
+        Number of array slots.  Sized as a power of two internally for
+        cheap masking; the requested count is rounded up.
+    max_probes:
+        Probe-sequence bound; lookups and inserts touch at most this many
+        slots.  Defaults to 8, a common hardware choice.
+    hash_function:
+        Key-to-integer hash.  Defaults to the deterministic
+        :func:`~repro.flows.hashing.stable_hash` so table placement (and
+        hence collision behaviour) reproduces across processes; pass
+        ``hash`` to get Python's salted built-in instead.
+    """
+
+    def __init__(self, slots: int, max_probes: int = 8,
+                 hash_function: Callable[[Hashable], int] = stable_hash) -> None:
+        if slots < 1:
+            raise ParameterError(f"slots must be >= 1, got {slots!r}")
+        if max_probes < 1:
+            raise ParameterError(f"max_probes must be >= 1, got {max_probes!r}")
+        self._hash = hash_function
+        size = 1
+        while size < slots:
+            size <<= 1
+        self._mask = size - 1
+        self._keys: List[object] = [_EMPTY] * size
+        self._values: List[Optional[V]] = [None] * size
+        self._count = 0
+        self.max_probes = max_probes
+        self.stats = FlowTableStats()
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots in the backing array."""
+        return self._mask + 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self.capacity
+
+    def _slot_for(self, key: K, inserting: bool) -> Optional[int]:
+        index = self._hash(key) & self._mask
+        self.stats.lookups += 1
+        for probe in range(self.max_probes):
+            slot = (index + probe) & self._mask
+            self.stats.probes += 1
+            stored = self._keys[slot]
+            if stored is _EMPTY:
+                return slot if inserting else None
+            if stored == key:
+                return slot
+        return None
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        slot = self._slot_for(key, inserting=False)
+        if slot is None:
+            return default
+        return self._values[slot]
+
+    def __contains__(self, key: K) -> bool:
+        return self._slot_for(key, inserting=False) is not None
+
+    def put(self, key: K, value: V) -> bool:
+        """Insert or update; returns False (and counts a failure) when full."""
+        slot = self._slot_for(key, inserting=True)
+        if slot is None:
+            self.stats.insert_failures += 1
+            return False
+        if self._keys[slot] is _EMPTY:
+            self._count += 1
+            self._keys[slot] = key
+        self._values[slot] = value
+        return True
+
+    def get_or_insert(self, key: K, default: V) -> Tuple[Optional[V], bool]:
+        """Return ``(value, fresh)``; inserts ``default`` when absent.
+
+        ``value`` is ``None`` when the table refused the insertion.
+        """
+        slot = self._slot_for(key, inserting=True)
+        if slot is None:
+            self.stats.insert_failures += 1
+            return None, False
+        if self._keys[slot] is _EMPTY:
+            self._keys[slot] = key
+            self._values[slot] = default
+            self._count += 1
+            return default, True
+        return self._values[slot], False
+
+    def items(self) -> Iterator[Tuple[K, V]]:
+        for key, value in zip(self._keys, self._values):
+            if key is not _EMPTY:
+                yield key, value  # type: ignore[misc]
+
+    def keys(self) -> Iterator[K]:
+        for key, _ in self.items():
+            yield key
+
+    def clear(self) -> None:
+        for i in range(self.capacity):
+            self._keys[i] = _EMPTY
+            self._values[i] = None
+        self._count = 0
+        self.stats = FlowTableStats()

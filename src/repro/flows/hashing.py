@@ -1,0 +1,87 @@
+"""Deterministic flow-key hashing.
+
+Python's built-in ``hash`` is salted per process for str/bytes keys, so a
+flow table seeded with it places flows differently on every run — fine for
+dict semantics, wrong for an artifact that promises reproducible
+experiments and for modelling a hardware hash unit (the IXP has a
+dedicated one).  This module provides stable 64-bit hashes:
+
+* :func:`fnv1a64` — FNV-1a over the key's canonical byte encoding; the
+  default everywhere reproducibility matters;
+* :func:`crc32_pair` — a CRC32-based 64-bit composite closer to what a
+  hardware hash unit computes;
+* :func:`stable_hash` — dispatch over the key types the library uses
+  (str, bytes, int, tuples thereof, and
+  :class:`~repro.flows.packet.FiveTuple`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Hashable
+
+from repro.errors import ParameterError
+
+__all__ = ["fnv1a64", "crc32_pair", "stable_hash", "encode_key"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a64(data: bytes) -> int:
+    """64-bit FNV-1a of ``data``."""
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def crc32_pair(data: bytes) -> int:
+    """A 64-bit hash from two salted CRC32 passes (hardware-unit flavour)."""
+    high = zlib.crc32(data)
+    low = zlib.crc32(b"\x5a" + data)
+    return (high << 32) | low
+
+
+def encode_key(key: Hashable) -> bytes:
+    """Canonical byte encoding of a flow key.
+
+    Supports the key shapes the library produces: str, bytes, int, and
+    (nested) tuples of those.  Encodings are prefix-free per type so
+    distinct keys never collide structurally.
+    """
+    if isinstance(key, bytes):
+        return b"b" + len(key).to_bytes(4, "big") + key
+    if isinstance(key, str):
+        raw = key.encode("utf-8")
+        return b"s" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(key, bool):  # before int: bool is an int subtype
+        return b"B" + (b"\x01" if key else b"\x00")
+    if isinstance(key, int):
+        raw = key.to_bytes((key.bit_length() + 8) // 8 + 1, "big", signed=True)
+        return b"i" + len(raw).to_bytes(2, "big") + raw
+    if isinstance(key, tuple):
+        parts = b"".join(encode_key(item) for item in key)
+        return b"t" + len(key).to_bytes(2, "big") + parts
+    # FiveTuple and other dataclasses with astuple-able fields.
+    fields = getattr(key, "__dataclass_fields__", None)
+    if fields is not None:
+        return encode_key(tuple(getattr(key, name) for name in fields))
+    raise ParameterError(
+        f"cannot canonically encode flow key of type {type(key).__name__}"
+    )
+
+
+def stable_hash(key: Hashable, algorithm: str = "fnv") -> int:
+    """Deterministic 64-bit hash of a flow key.
+
+    ``algorithm`` is ``"fnv"`` (default) or ``"crc"``.
+    """
+    data = encode_key(key)
+    if algorithm == "fnv":
+        return fnv1a64(data)
+    if algorithm == "crc":
+        return crc32_pair(data)
+    raise ParameterError(f"unknown hash algorithm {algorithm!r}")

@@ -1,0 +1,58 @@
+"""Packet and flow-key primitives shared by traces, counters and the NP model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["FiveTuple", "Packet", "FlowKey"]
+
+FlowKey = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """Classic transport five-tuple identifying a flow.
+
+    The simulators mostly use opaque integer flow IDs for speed; this type
+    exists for realistic examples and for the trace file format.
+    """
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not (0 <= port <= 0xFFFF):
+                raise ParameterError(f"port out of range: {port!r}")
+        if not (0 <= self.protocol <= 0xFF):
+            raise ParameterError(f"protocol out of range: {self.protocol!r}")
+
+    def reversed(self) -> "FiveTuple":
+        """The reverse-direction flow key (for bidirectional pairing)."""
+        return FiveTuple(self.dst_ip, self.src_ip, self.dst_port, self.src_port, self.protocol)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet observation: which flow it belongs to and how long it is.
+
+    ``length`` is the wire length in bytes.  ``timestamp`` is optional and
+    only used by the network-processor model's arrival process.
+    """
+
+    flow: FlowKey
+    length: int
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ParameterError(f"packet length must be > 0, got {self.length!r}")
+
+    def as_tuple(self) -> Tuple[FlowKey, int]:
+        return (self.flow, self.length)

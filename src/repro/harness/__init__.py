@@ -1,0 +1,61 @@
+"""Experiment harness: replay driver, per-figure experiments, rendering."""
+
+from repro.harness.experiments import (
+    SizeComparisonRow,
+    bound_gap,
+    counter_bits_vs_volume,
+    error_cdf_comparison,
+    flow_size_per_flow_error,
+    make_disco,
+    make_sac,
+    table2,
+    table3,
+    table4,
+    volume_error_vs_counter_size,
+)
+from repro.harness.formatting import format_number, render_series, render_table
+from repro.harness.montecarlo import (
+    BiasVarianceReport,
+    convergence_table,
+    measure_estimator,
+)
+from repro.harness.ci import collect_metrics, compare, save_baseline
+from repro.harness.parallel import ReplayJob, replay_parallel
+from repro.harness.plotting import ascii_chart
+from repro.harness.report import ReportConfig, generate_report, write_report
+from repro.harness.runner import RunResult, replay, replay_stream
+from repro.harness.sweep import Sweep, SweepPoint
+
+__all__ = [
+    "RunResult",
+    "replay",
+    "SizeComparisonRow",
+    "volume_error_vs_counter_size",
+    "error_cdf_comparison",
+    "counter_bits_vs_volume",
+    "flow_size_per_flow_error",
+    "table2",
+    "table3",
+    "table4",
+    "bound_gap",
+    "make_disco",
+    "make_sac",
+    "render_table",
+    "render_series",
+    "format_number",
+    "BiasVarianceReport",
+    "measure_estimator",
+    "convergence_table",
+    "ReportConfig",
+    "generate_report",
+    "write_report",
+    "Sweep",
+    "SweepPoint",
+    "ascii_chart",
+    "replay_stream",
+    "ReplayJob",
+    "replay_parallel",
+    "collect_metrics",
+    "save_baseline",
+    "compare",
+]

@@ -1,0 +1,129 @@
+"""Metric regression gate: compare key reproduction metrics to a baseline.
+
+The benchmarks assert *shapes*; this module pins *numbers*.  A baseline
+JSON stores named metrics with per-metric tolerances; `compare` re-derives
+them and reports drifts.  `collect_metrics` computes a small, fast set of
+headline metrics (deterministic seeds) so the gate runs in seconds —
+suitable for CI on every commit, unlike the full benchmark suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ParameterError
+
+__all__ = ["MetricDrift", "collect_metrics", "save_baseline", "compare"]
+
+#: Relative tolerance per metric; metrics not listed use DEFAULT_TOLERANCE.
+TOLERANCES: Dict[str, float] = {
+    "ixp_gbps_1me": 0.02,          # deterministic model
+    "fig01_counter_b101": 0.05,    # Monte-Carlo mean over fixed seeds
+    "disco_avg_error_10bit": 0.25,  # statistical, fixed seeds
+    "sac_avg_error_10bit": 0.25,
+    "theorem2_bound_b1002": 1e-6,   # analytic
+}
+DEFAULT_TOLERANCE = 0.10
+
+
+def collect_metrics() -> Dict[str, float]:
+    """Recompute the headline metrics with pinned seeds (fast: ~5 s)."""
+    import statistics
+
+    from repro.core.analysis import choose_b, cov_bound
+    from repro.core.disco import DiscoCounter, DiscoSketch
+    from repro.counters.sac import SmallActiveCounters
+    from repro.harness.runner import replay
+    from repro.ixp.throughput import run_one
+    from repro.traces.nlanr import nlanr_like
+
+    metrics: Dict[str, float] = {}
+    metrics["theorem2_bound_b1002"] = cov_bound(1.002)
+
+    counters = []
+    for seed in range(100):
+        counter = DiscoCounter(b=1.01, rng=seed)
+        counter.add_many(float(l) for l in (81, 1420, 142, 691))
+        counters.append(counter.value)
+    metrics["fig01_counter_b101"] = statistics.mean(counters)
+
+    trace = nlanr_like(num_flows=150, mean_flow_bytes=25_000,
+                       max_flow_bytes=1_000_000, rng=404)
+    truths = trace.true_totals("volume")
+    b = choose_b(10, max(truths.values()), slack=1.5)
+    disco = DiscoSketch(b=b, mode="volume", rng=405, capacity_bits=10)
+    sac = SmallActiveCounters(total_bits=10, mode_bits=3, mode="volume",
+                              rng=406)
+    metrics["disco_avg_error_10bit"] = replay(
+        disco, trace, rng=407
+    ).summary.average
+    metrics["sac_avg_error_10bit"] = replay(
+        sac, trace, rng=407
+    ).summary.average
+
+    metrics["ixp_gbps_1me"] = run_one(
+        num_mes=1, burst_max=1, num_packets=4000, rng=0
+    ).throughput_gbps
+    return metrics
+
+
+@dataclass(frozen=True)
+class MetricDrift:
+    """One metric's deviation from the baseline."""
+
+    name: str
+    baseline: float
+    current: float
+    tolerance: float
+
+    @property
+    def relative_drift(self) -> float:
+        if self.baseline == 0:
+            return 0.0 if self.current == 0 else float("inf")
+        return abs(self.current - self.baseline) / abs(self.baseline)
+
+    @property
+    def within_tolerance(self) -> bool:
+        return self.relative_drift <= self.tolerance
+
+
+def save_baseline(path: Union[str, Path],
+                  metrics: Optional[Dict[str, float]] = None) -> Path:
+    """Write (or refresh) the baseline file."""
+    path = Path(path)
+    payload = metrics if metrics is not None else collect_metrics()
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True),
+                    encoding="utf-8")
+    return path
+
+
+def compare(path: Union[str, Path],
+            metrics: Optional[Dict[str, float]] = None) -> List[MetricDrift]:
+    """Compare current metrics to the stored baseline.
+
+    Raises :class:`ParameterError` if the baseline is missing a metric or
+    contains unknown ones (the baseline must be regenerated deliberately,
+    never silently partial).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ParameterError(f"no baseline at {path}; run save_baseline first")
+    baseline = json.loads(path.read_text(encoding="utf-8"))
+    current = metrics if metrics is not None else collect_metrics()
+    if set(baseline) != set(current):
+        raise ParameterError(
+            f"baseline/current metric sets differ: "
+            f"{sorted(set(baseline) ^ set(current))}"
+        )
+    return [
+        MetricDrift(
+            name=name,
+            baseline=float(baseline[name]),
+            current=float(current[name]),
+            tolerance=TOLERANCES.get(name, DEFAULT_TOLERANCE),
+        )
+        for name in sorted(baseline)
+    ]

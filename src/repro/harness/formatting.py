@@ -1,0 +1,63 @@
+"""ASCII rendering of experiment output — the rows/series the paper prints."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "format_number"]
+
+
+def format_number(value) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-4:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    materialized: List[List[str]] = [
+        [format_number(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    label: str, points: Sequence[Tuple[float, float]], max_points: int = 12
+) -> str:
+    """Render an (x, y) series as a compact one-liner-per-point block.
+
+    Long series are decimated to ``max_points`` — enough to read a curve's
+    shape off a terminal.
+    """
+    if len(points) > max_points:
+        step = (len(points) - 1) / (max_points - 1)
+        indices = sorted({int(round(i * step)) for i in range(max_points)})
+        shown = [points[i] for i in indices]
+    else:
+        shown = list(points)
+    lines = [f"[{label}]"]
+    for x, y in shown:
+        lines.append(f"  x={format_number(x):>12}  y={format_number(y)}")
+    return "\n".join(lines)

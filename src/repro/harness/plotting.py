@@ -1,0 +1,105 @@
+"""Terminal plotting: ASCII line charts for experiment series.
+
+The benchmarks print the paper's figures as data tables; for a quick look
+at *shape* (convergence to a bound, crossovers, error descent) an ASCII
+chart in the terminal beats scanning numbers.  No external dependencies,
+log-scale support, multiple series with distinct markers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int, log: bool) -> int:
+    if hi <= lo:
+        return 0
+    if log:
+        value, lo, hi = math.log10(value), math.log10(lo), math.log10(hi)
+    fraction = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, int(round(fraction * (steps - 1)))))
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    x_log: bool = False,
+    y_log: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label to point list.  Each series gets the next marker
+        from ``* o + x ...``; collisions show the later series' marker.
+    width, height:
+        Plot area in characters.
+    x_log, y_log:
+        Logarithmic axes (all coordinates must then be positive).
+    """
+    if not series:
+        raise ParameterError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ParameterError("chart must be at least 8x4")
+    if len(series) > len(_MARKERS):
+        raise ParameterError(f"at most {len(_MARKERS)} series supported")
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ParameterError("series contain no points")
+    if (x_log and any(x <= 0 for x, _ in points)) or (
+        y_log and any(y <= 0 for _, y in points)
+    ):
+        raise ParameterError("log axes need strictly positive coordinates")
+
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, pts) in zip(_MARKERS, series.items()):
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width, x_log)
+            row = height - 1 - _scale(y, y_lo, y_hi, height, y_log)
+            grid[row][col] = marker
+
+    def fmt(v: float) -> str:
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e4 or abs(v) < 1e-3:
+            return f"{v:.1e}"
+        return f"{v:.4g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{marker}={label}" for marker, label in zip(_MARKERS, series)
+    )
+    lines.append(legend)
+    y_label_width = max(len(fmt(y_hi)), len(fmt(y_lo)))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = fmt(y_hi).rjust(y_label_width)
+        elif i == height - 1:
+            label = fmt(y_lo).rjust(y_label_width)
+        else:
+            label = " " * y_label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{' ' * y_label_width} +{'-' * width}+"
+    lines.append(x_axis)
+    lines.append(
+        f"{' ' * y_label_width}  {fmt(x_lo)}"
+        f"{' ' * max(1, width - len(fmt(x_lo)) - len(fmt(x_hi)))}{fmt(x_hi)}"
+    )
+    return "\n".join(lines)

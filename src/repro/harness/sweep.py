@@ -1,0 +1,114 @@
+"""Generic parameter-sweep runner.
+
+The evaluation is full of grids — counter sizes x schemes, b x workloads,
+MEs x burst modes.  ``Sweep`` runs a callable over the cartesian product
+of named parameter axes, collects per-point results, and renders/filters
+them, so ad-hoc experiment scripts don't each reinvent the three nested
+loops and the result table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ParameterError
+from repro.harness.formatting import render_table
+
+__all__ = ["SweepPoint", "Sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the parameters used and what the run returned."""
+
+    params: Dict[str, Any]
+    result: Any
+
+    def __getitem__(self, key: str) -> Any:
+        return self.params[key]
+
+
+class Sweep:
+    """Cartesian-product experiment runner.
+
+    Parameters
+    ----------
+    axes:
+        Mapping of parameter name to the values it sweeps over.
+    runner:
+        Callable invoked with one keyword argument per axis; its return
+        value is stored verbatim in the corresponding
+        :class:`SweepPoint`.
+
+    Examples
+    --------
+    >>> sweep = Sweep(
+    ...     axes={"bits": [8, 10], "scheme": ["disco", "sac"]},
+    ...     runner=lambda bits, scheme: bits if scheme == "disco" else -bits,
+    ... )
+    >>> len(sweep.run())
+    4
+    """
+
+    def __init__(
+        self,
+        axes: Mapping[str, Sequence[Any]],
+        runner: Callable[..., Any],
+    ) -> None:
+        if not axes:
+            raise ParameterError("at least one axis is required")
+        for name, values in axes.items():
+            if not list(values):
+                raise ParameterError(f"axis {name!r} has no values")
+        self.axes = {name: list(values) for name, values in axes.items()}
+        self.runner = runner
+        self._points: List[SweepPoint] = []
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def run(self, progress: Optional[Callable[[SweepPoint], None]] = None
+            ) -> List[SweepPoint]:
+        """Execute the full grid; returns (and stores) the points."""
+        names = list(self.axes)
+        self._points = []
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            params = dict(zip(names, combo))
+            point = SweepPoint(params=params, result=self.runner(**params))
+            self._points.append(point)
+            if progress is not None:
+                progress(point)
+        return self._points
+
+    @property
+    def points(self) -> List[SweepPoint]:
+        return list(self._points)
+
+    def where(self, **fixed: Any) -> List[SweepPoint]:
+        """Points whose parameters match every given value."""
+        return [
+            p for p in self._points
+            if all(p.params.get(k) == v for k, v in fixed.items())
+        ]
+
+    def column(self, extract: Callable[[Any], Any], **fixed: Any) -> List[Any]:
+        """Extract one value per matching point, in run order."""
+        return [extract(p.result) for p in self.where(**fixed)]
+
+    def table(self, columns: Mapping[str, Callable[[SweepPoint], Any]]) -> str:
+        """Render all points with the axis values plus derived columns."""
+        if not self._points:
+            raise ParameterError("run() the sweep first")
+        names = list(self.axes)
+        headers = names + list(columns)
+        rows = [
+            [p.params[n] for n in names] + [fn(p) for fn in columns.values()]
+            for p in self._points
+        ]
+        return render_table(headers, rows)

@@ -1,0 +1,43 @@
+"""Network-processor substrate: the IXP2850 implementation model (Section VI).
+
+* :class:`LogExpTable` — the 96 Kb fixed-point Log & Exp lookup table.
+* :class:`FixedPointDisco` — Algorithm 1 implemented against the table.
+* :class:`IxpSimulator` / :class:`IxpConfig` — the discrete-event
+  MicroEngine/ring/SRAM model calibrated from the paper's own latencies.
+* :func:`eighty_twenty_bursts` — the Section-VI traffic pattern.
+* :func:`run_table5` — the Table V experiment.
+"""
+
+from repro.ixp.engine import IxpConfig, IxpResult, IxpSimulator
+from repro.ixp.fixedpoint import FixedPointDisco, FixedPointUpdate
+from repro.ixp.logexp import LogExpTable
+from repro.ixp.isa import CostModel
+from repro.ixp.validate import ModelComparison, cross_validate
+from repro.ixp.ring import RingConfig, RingResult, simulate_offered_load
+from repro.ixp.threads import ThreadedMeConfig, ThreadedMeResult, ThreadedMicroEngine
+from repro.ixp.throughput import Table5Row, run_one, run_table5
+from repro.ixp.workload import EIGHTY_TWENTY, Burst, eighty_twenty_bursts
+
+__all__ = [
+    "LogExpTable",
+    "FixedPointDisco",
+    "FixedPointUpdate",
+    "IxpConfig",
+    "IxpResult",
+    "IxpSimulator",
+    "Burst",
+    "eighty_twenty_bursts",
+    "EIGHTY_TWENTY",
+    "Table5Row",
+    "run_one",
+    "run_table5",
+    "RingConfig",
+    "RingResult",
+    "simulate_offered_load",
+    "ThreadedMeConfig",
+    "ThreadedMeResult",
+    "ThreadedMicroEngine",
+    "CostModel",
+    "ModelComparison",
+    "cross_validate",
+]

@@ -1,0 +1,114 @@
+"""Table-driven DISCO update — the arithmetic an IXP MicroEngine runs.
+
+The MicroEngine implementation of Algorithm 1 cannot call ``log``/``exp``;
+it reads the :class:`~repro.ixp.logexp.LogExpTable` instead.  This module
+reproduces that data path:
+
+* ``delta`` comes from a table logarithm of ``z = b^c + l(b-1)`` (the
+  shifted form of ``f^{-1}(l + f(c))``), with shift-and-sum for values
+  beyond the table;
+* ``p_d`` comes from table powers at ``c`` and ``c + delta``;
+* the estimator ``f(c)`` comes from a table power.
+
+All quantisation error therefore flows from the table's 20/12-bit fields,
+exactly as on the hardware.  Each operation reports how many table words it
+read, which the discrete-event engine charges as memory accesses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.ixp.logexp import LogExpTable
+
+__all__ = ["FixedPointDisco", "FixedPointUpdate"]
+
+
+@dataclass(frozen=True)
+class FixedPointUpdate:
+    """Result of one table-driven update."""
+
+    new_value: int
+    delta: int
+    probability: float
+    table_lookups: int
+
+
+class FixedPointDisco:
+    """DISCO update/estimate implemented against a Log&Exp table.
+
+    Parameters
+    ----------
+    table:
+        A :class:`LogExpTable` built for the deployment's ``b``.
+    """
+
+    def __init__(self, table: LogExpTable) -> None:
+        self.table = table
+        self.b = table.b
+        self._bm1 = table.b - 1.0
+        self.total_lookups = 0
+
+    # -- pieces --------------------------------------------------------------
+
+    def _headroom(self, c: int, l: float) -> "tuple[float, int]":
+        """Table-quantised ``f^{-1}(l + f(c)) - c``; returns (value, lookups)."""
+        power_fixed, frac = self.table.power_fixed(c)
+        lookups = 1 + max(0, (c // max(1, self.table.power_segment)))
+        power_scale = 2.0 ** frac
+        z_fixed = power_fixed + int(round(l * self._bm1 * power_scale))
+        if z_fixed < 1:
+            z_fixed = 1
+        log_fixed = self.table.log_fixed(z_fixed)
+        lookups += 1
+        # log_b(z) = log_b(z_fixed) - frac * log_b(2); log_b(2) is a constant
+        # register on the ME, not a lookup.
+        log_b2 = math.log(2.0) / math.log(self.b)
+        value = log_fixed / (2.0 ** self.table.log_frac_bits) - frac * log_b2 - c
+        return value, lookups
+
+    def compute(self, c: int, l: float) -> "tuple[int, float, int]":
+        """Table-driven ``(delta, p_d, lookups)`` for counter ``c``, amount ``l``."""
+        if c < 0:
+            raise ParameterError(f"counter value must be >= 0, got {c!r}")
+        if not (l > 0):
+            raise ParameterError(f"amount must be > 0, got {l!r}")
+        headroom, lookups = self._headroom(c, l)
+        delta = int(math.ceil(headroom - 1e-9)) - 1
+        if delta < 0:
+            delta = 0
+        p1, frac1 = self.table.power_fixed(c)
+        p2, frac2 = self.table.power_fixed(c + delta)
+        lookups += 2
+        gap = p2 / (2.0 ** frac2)  # b^(c+delta)
+        growth = (p2 / (2.0 ** frac2) - p1 / (2.0 ** frac1)) / self._bm1
+        probability = (l - growth) / gap if gap > 0 else 1.0
+        probability = min(1.0, max(0.0, probability))
+        return delta, probability, lookups
+
+    # -- public operations -----------------------------------------------------
+
+    def update(self, c: int, l: float, u: float) -> FixedPointUpdate:
+        """Apply one packet (or burst total) of amount ``l`` at counter ``c``.
+
+        ``u`` is the uniform variate (the ME reads a hardware RNG register).
+        """
+        delta, probability, lookups = self.compute(c, l)
+        new_value = c + delta + (1 if u < probability else 0)
+        self.total_lookups += lookups
+        return FixedPointUpdate(
+            new_value=new_value,
+            delta=delta,
+            probability=probability,
+            table_lookups=lookups,
+        )
+
+    def estimate(self, c: int) -> float:
+        """Table-quantised estimator ``f(c) = (b^c - 1)/(b - 1)``."""
+        if c < 0:
+            raise ParameterError(f"counter value must be >= 0, got {c!r}")
+        mantissa, frac = self.table.power_fixed(c)
+        self.total_lookups += 1
+        return (mantissa / (2.0 ** frac) - 1.0) / self._bm1

@@ -1,0 +1,185 @@
+"""The 96 Kb fixed-point "Log & Exp" lookup table (Section VI).
+
+The IXP2850 has no logarithm or power instructions, so the paper
+precomputes ``b^X`` and ``log_b(X)`` into one combined table: 3 K entries of
+32 bits, the leftmost 20 bits holding the power value and the rightmost 12
+bits the logarithm — 3072 x 32 bits = 96 Kb of on-chip memory, the number
+the paper reports.  Values beyond the table range are reached "with simple
+shift and sum operations":
+
+* ``log_b(X)`` for large ``X``: halve ``X`` (a right shift) until it lands
+  in the table, then add back ``k * log_b(2)`` (a precomputed constant) —
+  a shift-and-sum.
+* ``b^X`` for large ``X``: split the exponent, ``b^X = b^{X - s} * b^s``
+  with ``s`` the largest exponent whose power fits the 20-bit field — a
+  fixed-point multiply per split.
+
+The paper's field widths are tuned to ``b = 1.002`` (``log_b(3071) = 4013``
+just fits 12 bits; ``b^3071 = 464`` leaves 11 fractional bits in 20).  For
+other bases the same layout is kept and the fixed-point scales adapt:
+
+* the power field only stores exponents up to the largest one whose value
+  fits 20 bits (the rest of the 3 K entries saturate and are never read;
+  larger exponents chain through the multiply path), and
+* the log scale may become *negative* fractional bits (values stored
+  coarser than integers) when ``log_b`` of the table range overflows 12
+  bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["LogExpTable"]
+
+
+class LogExpTable:
+    """Combined power / logarithm lookup table in fixed point.
+
+    Parameters
+    ----------
+    b:
+        DISCO growth base (``b > 1``).
+    entries:
+        Table length; the paper uses 3 K (3072).
+    power_bits, log_bits:
+        Field widths inside each 32-bit word (paper: 20 and 12).
+    """
+
+    #: Minimum fractional bits preserved for in-table power entries.
+    _MIN_POWER_FRAC_BITS = 8
+
+    def __init__(self, b: float, entries: int = 3072,
+                 power_bits: int = 20, log_bits: int = 12) -> None:
+        if not (b > 1.0) or not math.isfinite(b):
+            raise ParameterError(f"requires b > 1, got {b!r}")
+        if entries < 4:
+            raise ParameterError(f"entries must be >= 4, got {entries!r}")
+        if power_bits < 2 or log_bits < 2:
+            raise ParameterError("field widths must be >= 2 bits")
+        self.b = float(b)
+        self.entries = entries
+        self.power_bits = power_bits
+        self.log_bits = log_bits
+        self._ln_b = math.log(b)
+
+        power_max_field = (1 << power_bits) - 1
+        log_max_field = (1 << log_bits) - 1
+
+        # Largest exponent whose power the field can hold while keeping at
+        # least _MIN_POWER_FRAC_BITS of fractional precision (so small
+        # entries like b^1 are not destroyed by rounding); chaining covers
+        # everything beyond it.
+        max_power_target = power_max_field / (1 << self._MIN_POWER_FRAC_BITS)
+        self.power_segment = min(
+            entries - 1,
+            max(1, int(math.floor(math.log(max_power_target) / self._ln_b))),
+        )
+        max_power = math.exp(self.power_segment * self._ln_b)
+        self.power_frac_bits = int(math.floor(math.log2(power_max_field / max_power)))
+        self._power_scale = 2.0 ** self.power_frac_bits
+
+        # Log field scale; may be negative fractional bits for very small b
+        # (where log_b of the table range exceeds the field).
+        max_log = math.log(entries - 1) / self._ln_b
+        self.log_frac_bits = int(math.floor(math.log2(log_max_field / max_log)))
+        self._log_scale = 2.0 ** self.log_frac_bits
+        self._log2_b_fixed = int(round((math.log(2.0) / self._ln_b) * self._log_scale))
+
+        self._words: List[int] = []
+        for x in range(entries):
+            if x <= self.power_segment:
+                power_fixed = int(round(math.exp(x * self._ln_b) * self._power_scale))
+                power_fixed = min(power_fixed, power_max_field)
+            else:
+                power_fixed = power_max_field  # saturated; never consulted
+            if x == 0:
+                log_fixed = 0  # log_b(0) is undefined; entry 0 stores 0.
+            else:
+                log_fixed = int(round((math.log(x) / self._ln_b) * self._log_scale))
+                log_fixed = min(log_fixed, log_max_field)
+            self._words.append((power_fixed << log_bits) | log_fixed)
+
+    # -- raw table access (what an ME would do) ------------------------------
+
+    def word(self, x: int) -> int:
+        """The raw 32-bit table word for in-range ``x``."""
+        if not (0 <= x < self.entries):
+            raise ParameterError(f"index {x} outside table range [0, {self.entries})")
+        return self._words[x]
+
+    def memory_bits(self) -> int:
+        """Total table memory — 96 Kb for the paper's configuration."""
+        return self.entries * (self.power_bits + self.log_bits)
+
+    # -- fixed-point math ----------------------------------------------------
+
+    def power_fixed(self, x: int) -> Tuple[int, int]:
+        """``b^x`` as ``(mantissa, frac_bits)`` fixed point, any ``x >= 0``.
+
+        In-segment values are one lookup; larger exponents are assembled by
+        fixed-point multiplication of table segments (additivity in the
+        exponent domain).  The returned ``frac_bits`` always equals
+        :attr:`power_frac_bits`; intermediate products are wider than the
+        field, as they would be in an ME's 64-bit multiply-accumulate.
+        """
+        if x < 0:
+            raise ParameterError(f"exponent must be >= 0, got {x!r}")
+        frac = self.power_frac_bits
+        segment = self.power_segment
+
+        def entry(i: int) -> int:
+            return self._words[i] >> self.log_bits
+
+        if x <= segment:
+            return entry(x), frac
+
+        def rescale(product: int) -> int:
+            # product carries 2*frac fractional bits; bring it back to frac
+            # with round-to-nearest (bias-free over long chains).
+            if frac > 0:
+                return (product + (1 << (frac - 1))) >> frac
+            return product << (-frac)
+
+        result = entry(segment)
+        remaining = x - segment
+        while remaining > segment:
+            result = rescale(result * entry(segment))
+            remaining -= segment
+        if remaining:
+            result = rescale(result * entry(remaining))
+        return result, frac
+
+    def power(self, x: int) -> float:
+        """``b^x`` as a float (via the table — carries its quantisation)."""
+        mantissa, _ = self.power_fixed(x)
+        return mantissa / self._power_scale
+
+    def log_fixed(self, value: int) -> int:
+        """``log_b(value)`` for integer ``value >= 1``, fixed point
+        (:attr:`log_frac_bits` fractional bits, possibly negative).
+
+        Values beyond the table are shifted down and compensated with
+        ``k * log_b(2)`` — the paper's shift-and-sum.
+        """
+        if value < 1:
+            raise ParameterError(f"log argument must be >= 1, got {value!r}")
+        shifts = 0
+        while value >= self.entries:
+            value >>= 1
+            shifts += 1
+        return (self._words[value] & ((1 << self.log_bits) - 1)) \
+            + shifts * self._log2_b_fixed
+
+    def log(self, value: int) -> float:
+        """``log_b(value)`` as a float (via the table)."""
+        return self.log_fixed(value) / self._log_scale
+
+    def __repr__(self) -> str:
+        return (
+            f"LogExpTable(b={self.b}, entries={self.entries}, "
+            f"memory={self.memory_bits()} bits)"
+        )

@@ -1,0 +1,162 @@
+"""Scratchpad-ring and arrival-driven simulation (Fig. 11 fidelity).
+
+:mod:`repro.ixp.engine` measures *peak* throughput by keeping the DISCO
+MEs saturated, which is how Table V is produced.  This module models the
+other half of Fig. 11 — the traffic-generator MEs pushing packet handlers
+into a finite scratchpad ring — so deployments can answer the operational
+question: *at a given offered load, does the ring stay shallow or does it
+overflow?*
+
+The ring is a FIFO of packet handlers with a hardware capacity (IXP2850
+scratchpad rings hold 128/256/512 32-bit words; a handler of flow ID +
+length is one word).  Arrivals that find the ring full are dropped and
+counted — exactly the failure mode an under-provisioned monitor exhibits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.ixp.engine import IxpConfig
+from repro.ixp.workload import Burst
+
+__all__ = ["RingConfig", "RingResult", "simulate_offered_load"]
+
+
+@dataclass(frozen=True)
+class RingConfig:
+    """Ring sizing and the ME service model behind it."""
+
+    capacity: int = 256
+    ixp: IxpConfig = IxpConfig()
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {self.capacity!r}")
+
+
+@dataclass
+class RingResult:
+    """Outcome of an arrival-driven run."""
+
+    offered_gbps: float
+    carried_gbps: float
+    packets_offered: int
+    packets_dropped: int
+    max_occupancy: int
+    mean_occupancy: float
+    mean_wait_ns: float
+    max_wait_ns: float
+
+    @property
+    def drop_rate(self) -> float:
+        if self.packets_offered == 0:
+            return 0.0
+        return self.packets_dropped / self.packets_offered
+
+    @property
+    def stable(self) -> bool:
+        """True when the monitor kept up (no drops, bounded queue)."""
+        return self.packets_dropped == 0
+
+
+def _service_times_ns(config: IxpConfig, unit: Burst) -> float:
+    """Core + SRAM time one work unit occupies an ME (matches engine.py)."""
+    return (config.base_ns * unit.packets + config.update_core_ns
+            + config.sram_latency_ns)
+
+
+def simulate_offered_load(
+    bursts: Sequence[Burst],
+    offered_gbps: float,
+    config: RingConfig = RingConfig(),
+) -> RingResult:
+    """Feed the workload at a fixed offered line rate through the ring.
+
+    Arrival times are derived from the offered rate and the cumulative
+    packet bytes (a handler arrives when its packet has been received from
+    the wire).  Each work unit is a burst when burst aggregation is on,
+    otherwise one packet.
+    """
+    if not (offered_gbps > 0):
+        raise ParameterError(f"offered_gbps must be > 0, got {offered_gbps!r}")
+    ixp = config.ixp
+    units: List[Burst] = []
+    if ixp.burst_aggregation:
+        units = list(bursts)
+    else:
+        for burst in bursts:
+            units.extend(Burst(burst.flow, (l,)) for l in burst.lengths)
+    if not units:
+        return RingResult(offered_gbps, 0.0, 0, 0, 0, 0.0, 0.0, 0.0)
+
+    ns_per_byte = 8.0 / offered_gbps  # Gbps == bits/ns
+    # Arrival time of each unit = when its last byte has arrived.
+    arrivals: List[float] = []
+    elapsed_bytes = 0
+    for unit in units:
+        elapsed_bytes += unit.total_bytes
+        arrivals.append(elapsed_bytes * ns_per_byte)
+
+    me_free = [(0.0, me) for me in range(ixp.num_mes)]
+    heapq.heapify(me_free)
+    channel_free = 0.0
+    # Pending units in the ring: (arrival_time,) in FIFO order; a unit
+    # leaves the ring when an ME dequeues it (service start).
+    ring: deque = deque()
+    dropped = 0
+    accepted_bytes = 0
+    waits: List[float] = []
+    occupancy_sum = 0.0
+    occupancy_max = 0
+    last_event = 0.0
+    finish_last = 0.0
+
+    def drain_ready(now: float) -> None:
+        """Start service for ring-head units whose turn has come."""
+        nonlocal channel_free, finish_last
+        while ring and me_free and me_free[0][0] <= now:
+            start_free, me = heapq.heappop(me_free)
+            arrival, unit = ring.popleft()
+            start = max(arrival, start_free)
+            waits.append(start - arrival)
+            core_done = start + ixp.base_ns * unit.packets + ixp.update_core_ns
+            sram_start = max(core_done, channel_free)
+            channel_free = sram_start + (ixp.sram_accesses_per_update
+                                         * ixp.sram_channel_ns_per_access)
+            finish = sram_start + ixp.sram_latency_ns
+            finish_last = max(finish_last, finish)
+            heapq.heappush(me_free, (finish, me))
+
+    for arrival, unit in zip(arrivals, units):
+        drain_ready(arrival)
+        occupancy_sum += len(ring) * max(0.0, arrival - last_event)
+        last_event = arrival
+        if len(ring) >= config.capacity:
+            dropped += unit.packets
+            continue
+        ring.append((arrival, unit))
+        occupancy_max = max(occupancy_max, len(ring))
+        accepted_bytes += unit.total_bytes
+
+    # Drain the tail.
+    while ring:
+        drain_ready(me_free[0][0])
+
+    horizon = max(finish_last, arrivals[-1])
+    packets_offered = sum(u.packets for u in units)
+    carried_gbps = accepted_bytes * 8.0 / horizon if horizon > 0 else 0.0
+    return RingResult(
+        offered_gbps=offered_gbps,
+        carried_gbps=carried_gbps,
+        packets_offered=packets_offered,
+        packets_dropped=dropped,
+        max_occupancy=occupancy_max,
+        mean_occupancy=occupancy_sum / horizon if horizon > 0 else 0.0,
+        mean_wait_ns=sum(waits) / len(waits) if waits else 0.0,
+        max_wait_ns=max(waits) if waits else 0.0,
+    )

@@ -1,0 +1,84 @@
+"""Table V: throughput and accuracy of DISCO on the IXP model.
+
+Reproduces both halves of the table — burst length 1 with {4, 2, 1} MEs and
+burst length 1-8 with {4, 2, 1} MEs — from a single calibrated model (see
+:mod:`repro.ixp.engine`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.ixp.engine import IxpConfig, IxpResult, IxpSimulator
+from repro.ixp.workload import eighty_twenty_bursts
+
+__all__ = ["Table5Row", "run_table5", "run_one"]
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One row of Table V."""
+
+    burst_description: str
+    packet_length_description: str
+    num_mes: int
+    error: float
+    throughput_gbps: float
+
+    def as_tuple(self):
+        return (
+            self.burst_description,
+            self.packet_length_description,
+            self.num_mes,
+            round(self.error, 3),
+            round(self.throughput_gbps, 1),
+        )
+
+
+def run_one(
+    num_mes: int,
+    burst_max: int,
+    num_packets: int = 40_000,
+    rng: Union[None, int, random.Random] = None,
+    b: float = 1.002,
+) -> IxpResult:
+    """Simulate one Table V configuration."""
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    bursts = eighty_twenty_bursts(
+        num_packets=num_packets, burst_max=burst_max, rng=rand
+    )
+    config = IxpConfig(num_mes=num_mes, burst_aggregation=burst_max > 1, b=b)
+    simulator = IxpSimulator(config, rng=rand)
+    return simulator.run(bursts)
+
+
+def run_table5(
+    num_packets: int = 40_000,
+    seed: int = 20100401,
+    b: float = 1.002,
+    me_counts: Optional[List[int]] = None,
+) -> List[Table5Row]:
+    """Produce all rows of Table V (paper order: 4, 2, 1 MEs per burst mode)."""
+    me_counts = me_counts or [4, 2, 1]
+    rows: List[Table5Row] = []
+    for burst_max, burst_label in ((1, "1"), (8, "1-8")):
+        for num_mes in me_counts:
+            result = run_one(
+                num_mes=num_mes,
+                burst_max=burst_max,
+                num_packets=num_packets,
+                rng=random.Random(seed),
+                b=b,
+            )
+            rows.append(
+                Table5Row(
+                    burst_description=burst_label,
+                    packet_length_description="64-1kB",
+                    num_mes=num_mes,
+                    error=result.average_relative_error,
+                    throughput_gbps=result.throughput_gbps,
+                )
+            )
+    return rows

@@ -1,0 +1,90 @@
+"""Cross-validation of the three IXP model layers.
+
+The repository models the Table V data path three times at different
+abstraction levels:
+
+1. :mod:`repro.ixp.isa` — microcode cycle budgets (per packet / update);
+2. :mod:`repro.ixp.threads` — an 8-context pipeline executing those
+   budgets with memory parking;
+3. :mod:`repro.ixp.engine` — the aggregate single-server model Table V
+   uses (with multi-ME SRAM contention).
+
+They were calibrated against one anchor (11.1 Gbps, 1 ME, burst 1); this
+module checks they stay mutually consistent *away* from the anchor —
+across burst lengths — which is the guard against the layers silently
+drifting apart as parameters are edited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ParameterError
+from repro.ixp.engine import IxpConfig, IxpSimulator
+from repro.ixp.isa import CostModel
+from repro.ixp.threads import ThreadedMicroEngine
+from repro.ixp.workload import Burst, eighty_twenty_bursts
+
+__all__ = ["ModelComparison", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Per-packet cost of the three layers at one burst length."""
+
+    burst_max: int
+    isa_ns_per_packet: float
+    threaded_ns_per_packet: float
+    engine_ns_per_packet: float
+
+    @property
+    def max_disagreement(self) -> float:
+        """Largest pairwise relative difference between the layers."""
+        values = (self.isa_ns_per_packet, self.threaded_ns_per_packet,
+                  self.engine_ns_per_packet)
+        lo, hi = min(values), max(values)
+        if lo <= 0:
+            return float("inf")
+        return (hi - lo) / lo
+
+
+def cross_validate(
+    burst_lengths: Sequence[int] = (1, 4, 8),
+    num_packets: int = 12_000,
+    seed: int = 0,
+) -> List[ModelComparison]:
+    """Compare the three layers' ns/packet across burst lengths."""
+    if not burst_lengths:
+        raise ParameterError("at least one burst length is required")
+    model = CostModel()
+    rows: List[ModelComparison] = []
+    for burst_max in burst_lengths:
+        if burst_max < 1:
+            raise ParameterError(f"burst lengths must be >= 1, got {burst_max!r}")
+        bursts = eighty_twenty_bursts(num_packets, burst_max=burst_max, rng=seed)
+        mean_burst = sum(b.packets for b in bursts) / len(bursts)
+
+        # Layer 1: analytic budget at the workload's mean burst length.
+        isa_ns = model.packet_budget_ns(1) if burst_max == 1 else (
+            model.per_packet_ns + model.per_update_ns / mean_burst
+        )
+
+        # Layer 2: threaded pipeline over the actual units.
+        units = list(bursts) if burst_max > 1 else [
+            Burst(b.flow, (l,)) for b in bursts for l in b.lengths
+        ]
+        threaded = ThreadedMicroEngine(model.threaded_config()).run(units)
+
+        # Layer 3: aggregate engine (1 ME, no contention effects).
+        engine = IxpSimulator(
+            IxpConfig(num_mes=1, burst_aggregation=burst_max > 1), rng=seed
+        ).run(bursts)
+
+        rows.append(ModelComparison(
+            burst_max=burst_max,
+            isa_ns_per_packet=isa_ns,
+            threaded_ns_per_packet=threaded.ns_per_packet,
+            engine_ns_per_packet=engine.makespan_ns / engine.packets,
+        ))
+    return rows

@@ -1,0 +1,87 @@
+"""Traffic patterns for the IXP performance tests (Section VI).
+
+The paper's test bench generates *packet handlers* (flow ID + length, no
+payload) for 2560 flows where 20% of the flows carry 80% of the traffic,
+with packet lengths uniform between 64 B and 1 KB.  Two arrival patterns
+are tested: burst length fixed at 1 (any two packets of a flow are
+separated by other flows' packets) and burst length uniform 1-8 (back-to-
+back same-flow packets, enabling the burst-aggregation optimisation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.errors import ParameterError
+
+__all__ = ["Burst", "eighty_twenty_bursts", "EIGHTY_TWENTY"]
+
+#: The "80-20" rule parameters used in Section VI.
+EIGHTY_TWENTY = {"heavy_flow_fraction": 0.2, "heavy_traffic_fraction": 0.8}
+
+
+@dataclass(frozen=True)
+class Burst:
+    """A run of back-to-back packets from one flow."""
+
+    flow: int
+    lengths: Tuple[int, ...]
+
+    @property
+    def packets(self) -> int:
+        return len(self.lengths)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.lengths)
+
+
+def eighty_twenty_bursts(
+    num_packets: int,
+    num_flows: int = 2560,
+    burst_max: int = 1,
+    min_length: int = 64,
+    max_length: int = 1024,
+    rng: Union[None, int, random.Random] = None,
+    heavy_flow_fraction: float = 0.2,
+    heavy_traffic_fraction: float = 0.8,
+) -> List[Burst]:
+    """Generate the Section-VI traffic pattern as a list of bursts.
+
+    Packets are produced until at least ``num_packets`` have been emitted
+    (the final burst is not truncated).  Each burst picks a flow — a heavy
+    flow with probability ``heavy_traffic_fraction`` — then a burst length
+    uniform on ``[1, burst_max]`` and i.i.d. uniform packet lengths.
+    """
+    if num_packets < 1:
+        raise ParameterError(f"num_packets must be >= 1, got {num_packets!r}")
+    if num_flows < 2:
+        raise ParameterError(f"num_flows must be >= 2, got {num_flows!r}")
+    if burst_max < 1:
+        raise ParameterError(f"burst_max must be >= 1, got {burst_max!r}")
+    if not (0 < min_length <= max_length):
+        raise ParameterError(
+            f"need 0 < min_length <= max_length, got {min_length!r}, {max_length!r}"
+        )
+    if not (0.0 < heavy_flow_fraction < 1.0):
+        raise ParameterError(f"heavy_flow_fraction must be in (0,1), got {heavy_flow_fraction!r}")
+    if not (0.0 < heavy_traffic_fraction < 1.0):
+        raise ParameterError(
+            f"heavy_traffic_fraction must be in (0,1), got {heavy_traffic_fraction!r}"
+        )
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    heavy_count = max(1, int(num_flows * heavy_flow_fraction))
+    bursts: List[Burst] = []
+    emitted = 0
+    while emitted < num_packets:
+        if rand.random() < heavy_traffic_fraction:
+            flow = rand.randrange(heavy_count)
+        else:
+            flow = heavy_count + rand.randrange(num_flows - heavy_count)
+        burst_len = rand.randint(1, burst_max)
+        lengths = tuple(rand.randint(min_length, max_length) for _ in range(burst_len))
+        bursts.append(Burst(flow=flow, lengths=lengths))
+        emitted += burst_len
+    return bursts

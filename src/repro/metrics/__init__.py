@@ -1,0 +1,46 @@
+"""Accuracy and memory metrics used across the evaluation."""
+
+from repro.metrics.errors import (
+    ErrorSummary,
+    average_relative_error,
+    error_cdf,
+    max_relative_error,
+    optimistic_relative_error,
+    relative_error,
+    relative_errors,
+    summarize_errors,
+)
+from repro.metrics.calibration import CalibrationReport, calibrate
+from repro.metrics.weighted import (
+    SubpopulationEstimate,
+    subpopulation_estimate,
+    weighted_average_relative_error,
+)
+from repro.metrics.memory import (
+    disco_counter_bits,
+    disco_counter_value,
+    full_counter_bits,
+    sac_counter_bits,
+    sac_counter_value,
+)
+
+__all__ = [
+    "relative_error",
+    "relative_errors",
+    "average_relative_error",
+    "max_relative_error",
+    "optimistic_relative_error",
+    "error_cdf",
+    "ErrorSummary",
+    "summarize_errors",
+    "full_counter_bits",
+    "sac_counter_bits",
+    "sac_counter_value",
+    "disco_counter_bits",
+    "disco_counter_value",
+    "SubpopulationEstimate",
+    "subpopulation_estimate",
+    "weighted_average_relative_error",
+    "CalibrationReport",
+    "calibrate",
+]

@@ -1,0 +1,87 @@
+"""Calibration of error models: do the error bars mean what they say?
+
+A confidence interval is only useful if its coverage matches its label —
+a "95%" interval that covers the truth 70% of the time is worse than no
+interval.  This module measures that: given per-flow (estimate, truth,
+sigma) triples, it reports the fraction of flows inside the 1σ/2σ/z bands
+and the empirical coverage of a stated confidence level, plus a z-score
+summary that should look standard-normal when the model is right.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.confidence import z_for_confidence
+from repro.errors import ParameterError
+
+__all__ = ["CalibrationReport", "calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Empirical quality of an error model over many flows."""
+
+    flows: int
+    coverage_1sigma: float
+    coverage_2sigma: float
+    coverage_at_level: float
+    level: float
+    mean_z: float
+    rms_z: float
+
+    @property
+    def well_calibrated(self) -> bool:
+        """Loose gate: stated-level coverage within 7 points of the label
+        and the z-scores roughly standard (|mean| < 0.3, RMS in [0.6, 1.6]).
+        """
+        return (
+            abs(self.coverage_at_level - self.level) < 0.07
+            and abs(self.mean_z) < 0.3
+            and 0.6 <= self.rms_z <= 1.6
+        )
+
+
+def calibrate(
+    samples: Sequence[Tuple[float, float, float]],
+    level: float = 0.95,
+) -> CalibrationReport:
+    """Measure error-model calibration over ``(estimate, truth, sigma)``.
+
+    Flows with ``sigma == 0`` must be exact (they count as covered only if
+    ``estimate == truth``); they are included — a model that claims
+    certainty it doesn't have should fail calibration.
+    """
+    if not samples:
+        raise ParameterError("at least one sample is required")
+    z_level = z_for_confidence(level)
+    in_1 = in_2 = in_level = 0
+    z_scores: List[float] = []
+    for estimate, truth, sigma in samples:
+        error = estimate - truth
+        if sigma <= 0:
+            z = 0.0 if error == 0 else math.inf
+        else:
+            z = error / sigma
+        z_scores.append(z)
+        if abs(z) <= 1.0:
+            in_1 += 1
+        if abs(z) <= 2.0:
+            in_2 += 1
+        if abs(z) <= z_level:
+            in_level += 1
+    n = len(samples)
+    finite = [z for z in z_scores if math.isfinite(z)]
+    mean_z = sum(finite) / len(finite) if finite else 0.0
+    rms_z = math.sqrt(sum(z * z for z in finite) / len(finite)) if finite else 0.0
+    return CalibrationReport(
+        flows=n,
+        coverage_1sigma=in_1 / n,
+        coverage_2sigma=in_2 / n,
+        coverage_at_level=in_level / n,
+        level=level,
+        mean_z=mean_z,
+        rms_z=rms_z,
+    )

@@ -1,0 +1,142 @@
+"""Accuracy metrics from Section V-A.
+
+Relative error of one flow:  ``R = |n_hat - n| / n``.
+
+Aggregates over a set of flows:
+
+* average relative error  (Fig. 5, Table II),
+* maximum relative error  (Fig. 6),
+* α-optimistic relative error ``R_o(α) = sup { r : Pr[R <= r] >= α }``
+  (Eq. 26, Fig. 7) — operationally the α-quantile of the error sample,
+* the empirical CDF of relative error (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, List, Mapping, Sequence, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "relative_error",
+    "relative_errors",
+    "average_relative_error",
+    "max_relative_error",
+    "optimistic_relative_error",
+    "error_cdf",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``|estimate - truth| / truth``; ``truth`` must be positive."""
+    if not (truth > 0):
+        raise ParameterError(f"true flow length must be > 0, got {truth!r}")
+    return abs(estimate - truth) / truth
+
+
+def relative_errors(
+    estimates: Mapping[Hashable, float], truths: Mapping[Hashable, float]
+) -> List[float]:
+    """Per-flow relative errors over all flows present in ``truths``.
+
+    Flows absent from ``estimates`` count as estimate 0 (a scheme that
+    dropped a flow is charged full error for it, as a real evaluation
+    would).
+    """
+    if not truths:
+        raise ParameterError("at least one flow is required")
+    return [relative_error(estimates.get(flow, 0.0), truth)
+            for flow, truth in truths.items()]
+
+
+def average_relative_error(errors: Sequence[float]) -> float:
+    """Mean of per-flow relative errors (``R-bar`` in the paper)."""
+    if not errors:
+        raise ParameterError("at least one error value is required")
+    return sum(errors) / len(errors)
+
+
+def max_relative_error(errors: Sequence[float]) -> float:
+    """Worst-case per-flow relative error (``R_max``)."""
+    if not errors:
+        raise ParameterError("at least one error value is required")
+    return max(errors)
+
+
+def optimistic_relative_error(errors: Sequence[float], alpha: float = 0.95) -> float:
+    """α-optimistic relative error ``R_o(α)`` (Eq. 26).
+
+    The largest ``r`` such that at least a fraction ``α`` of flows have
+    ``R <= r`` — i.e. the ⌈α·N⌉-th smallest error.
+    """
+    if not errors:
+        raise ParameterError("at least one error value is required")
+    if not (0.0 < alpha <= 1.0):
+        raise ParameterError(f"alpha must be in (0, 1], got {alpha!r}")
+    ordered = sorted(errors)
+    index = max(0, math.ceil(alpha * len(ordered)) - 1)
+    return ordered[index]
+
+
+def error_cdf(errors: Sequence[float], points: int = 200) -> List[Tuple[float, float]]:
+    """Empirical CDF of the error sample as ``(r, Pr[R <= r])`` pairs.
+
+    Returns ``points`` evenly spaced thresholds from 0 to the maximum
+    error (plus the exact maximum), which is the shape Figure 8 plots.
+    """
+    if not errors:
+        raise ParameterError("at least one error value is required")
+    if points < 2:
+        raise ParameterError(f"points must be >= 2, got {points!r}")
+    import bisect
+
+    ordered = sorted(errors)
+    n = len(ordered)
+    top = ordered[-1]
+    cdf: List[Tuple[float, float]] = []
+    for i in range(points - 1):
+        r = top * i / (points - 1)
+        count = bisect.bisect_right(ordered, r)
+        cdf.append((r, count / n))
+    # The last point is the exact maximum (float rounding of top*i/(points-1)
+    # must not shave off the largest sample).
+    cdf.append((top, 1.0))
+    return cdf
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """All of Section V-A's aggregates for one scheme on one workload."""
+
+    count: int
+    average: float
+    maximum: float
+    optimistic_95: float
+    median: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"avg={self.average:.4f} max={self.maximum:.4f} "
+            f"R_o(0.95)={self.optimistic_95:.4f} median={self.median:.4f} "
+            f"(n={self.count})"
+        )
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Compute the standard aggregate set over a per-flow error sample."""
+    if not errors:
+        raise ParameterError("at least one error value is required")
+    ordered = sorted(errors)
+    n = len(ordered)
+    median = ordered[n // 2] if n % 2 else 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+    return ErrorSummary(
+        count=n,
+        average=sum(ordered) / n,
+        maximum=ordered[-1],
+        optimistic_95=optimistic_relative_error(ordered, 0.95),
+        median=median,
+    )

@@ -1,0 +1,66 @@
+"""Memory accounting helpers — the Figure 9 comparison.
+
+Figure 9 plots, for a single flow of volume ``n``, the counter bits each
+architecture needs:
+
+* **SD / full-size**: the counter stores ``n`` itself — ``ceil(log2(n+1))``
+  bits (linear counter *value*, slope one).
+* **SAC**: a fixed ``k``-bit mantissa plus however many exponent bits reach
+  ``n`` at scale ``r`` — sub-linear counter value.
+* **DISCO**: the counter value is ``~f^{-1}(n)``, a logarithm of ``n``; its
+  bit cost is a log of a log.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.analysis import expected_counter_upper_bound
+from repro.errors import ParameterError
+
+__all__ = [
+    "full_counter_bits",
+    "sac_counter_bits",
+    "disco_counter_bits",
+    "disco_counter_value",
+    "sac_counter_value",
+]
+
+
+def full_counter_bits(n: float) -> int:
+    """Bits of a full-size (SD-style) counter holding ``n``."""
+    if n < 0:
+        raise ParameterError(f"flow length must be >= 0, got {n!r}")
+    return max(1, int(n).bit_length())
+
+
+def sac_counter_value(n: float, estimation_bits: int = 5, r: int = 1) -> float:
+    """SAC's stored 'value' proxy for Figure 9: mantissa plus exponent reach.
+
+    SAC stores ``(A, mode)`` with ``n ~= A * 2^(r*mode)``; the quantity that
+    grows with ``n`` is ``mode``.  Returns the minimal ``mode`` needed.
+    """
+    if n < 0:
+        raise ParameterError(f"flow length must be >= 0, got {n!r}")
+    a_max = (1 << estimation_bits) - 1
+    if n <= a_max:
+        return 0.0
+    return math.ceil(math.log2(n / a_max) / r)
+
+
+def sac_counter_bits(n: float, estimation_bits: int = 5, r: int = 1) -> int:
+    """Bits a SAC counter needs for value ``n`` (mantissa + exponent bits)."""
+    mode = int(sac_counter_value(n, estimation_bits, r))
+    mode_bits = max(1, mode.bit_length())
+    return estimation_bits + mode_bits
+
+
+def disco_counter_value(n: float, b: float) -> float:
+    """Expected DISCO counter value for a flow of length ``n`` (Theorem 3)."""
+    return expected_counter_upper_bound(b, n)
+
+
+def disco_counter_bits(n: float, b: float) -> int:
+    """Bits a DISCO counter needs for a flow of length ``n``."""
+    value = int(math.ceil(disco_counter_value(n, b)))
+    return max(1, value.bit_length())

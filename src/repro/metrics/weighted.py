@@ -1,0 +1,118 @@
+"""Traffic-weighted metrics and subpopulation aggregates.
+
+The intro of the paper motivates per-flow counters with *flow-specific*
+queries: the size of one flow, or of a subpopulation (all flows of one
+customer, one prefix, one application).  Because DISCO estimates are
+unbiased and flows are independent, subpopulation totals are just sums of
+per-flow estimates, with variance the sum of per-flow variances — this
+module packages those aggregates plus byte-weighted error summaries (an
+average that weights elephants by their traffic, which is what usage-based
+billing cares about).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.core.analysis import coefficient_of_variation
+from repro.errors import ParameterError
+
+__all__ = [
+    "weighted_average_relative_error",
+    "SubpopulationEstimate",
+    "subpopulation_estimate",
+]
+
+
+def weighted_average_relative_error(
+    estimates: Mapping[Hashable, float],
+    truths: Mapping[Hashable, float],
+) -> float:
+    """Byte-weighted mean relative error: sum(w_f * R_f) / sum(w_f).
+
+    Weights are the true per-flow totals, so a 1 GB elephant mis-estimated
+    by 5% matters 10^6 times more than a 1 KB mouse mis-estimated by 5%.
+    """
+    if not truths:
+        raise ParameterError("at least one flow is required")
+    weighted = 0.0
+    total = 0.0
+    for flow, truth in truths.items():
+        if not (truth > 0):
+            raise ParameterError(f"true total must be > 0, got {truth!r} for {flow!r}")
+        estimate = estimates.get(flow, 0.0)
+        weighted += truth * abs(estimate - truth) / truth
+        total += truth
+    return weighted / total
+
+
+@dataclass(frozen=True)
+class SubpopulationEstimate:
+    """Aggregate estimate over a set of flows with an error bar."""
+
+    total: float
+    stddev: float
+    flows: int
+
+    @property
+    def relative_stddev(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.stddev / self.total
+
+    def interval(self, z: float = 1.96) -> "tuple[float, float]":
+        """Two-sided normal interval at ``z`` standard deviations."""
+        half = z * self.stddev
+        return (max(0.0, self.total - half), self.total + half)
+
+
+def subpopulation_estimate(
+    sketch,
+    flows: Iterable[Hashable],
+    theta: float = 1.0,
+) -> SubpopulationEstimate:
+    """Sum a DISCO sketch's estimates over a flow subpopulation.
+
+    Parameters
+    ----------
+    sketch:
+        Anything exposing ``estimate(flow)``, ``counter_value(flow)`` and a
+        ``function`` with a ``b`` attribute (``DiscoSketch``,
+        ``HardwareDiscoSketch``, ``DiscoBrick``).
+    flows:
+        The subpopulation (e.g. all flows of one prefix).  Unseen flows
+        contribute zero with zero variance.
+    theta:
+        Increment-size assumption for the per-flow variance (Theorem 2);
+        1 is the conservative choice.
+
+    Notes
+    -----
+    Per-flow estimates are independent (each counter has its own random
+    stream in expectation), so variances add.  The per-flow variance is
+    the sketch's *tracked* variance when it was built with
+    ``track_variance=True`` (sequence-exact), falling back to Theorem 2's
+    ``(e(c) * f(c))^2`` model otherwise.
+    """
+    b = getattr(getattr(sketch, "function", None), "b", None)
+    if b is None:
+        raise ParameterError("sketch does not expose a geometric counting function")
+    tracked = getattr(sketch, "track_variance", False)
+    total = 0.0
+    variance = 0.0
+    count = 0
+    for flow in flows:
+        count += 1
+        c = sketch.counter_value(flow)
+        if c <= 0:
+            continue
+        estimate = sketch.estimate(flow)
+        total += estimate
+        if tracked:
+            variance += sketch.variance_of(flow)
+        else:
+            cov = coefficient_of_variation(b, c, theta)
+            variance += (cov * estimate) ** 2
+    return SubpopulationEstimate(total=total, stddev=math.sqrt(variance), flows=count)

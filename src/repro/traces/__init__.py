@@ -1,0 +1,65 @@
+"""Workload substrate: distributions, synthetic scenarios, NLANR-like trace, I/O."""
+
+from repro.traces.distributions import (
+    Constant,
+    Exponential,
+    Pareto,
+    Sampler,
+    TruncatedExponential,
+    UniformInt,
+)
+from repro.traces.arrival import constant_rate, on_off, poisson
+from repro.traces.mixer import (
+    attack_overlay,
+    filter_flows,
+    merge,
+    relabel,
+    scale_volume,
+)
+from repro.traces.nlanr import NLANR_PROFILE_MIX, nlanr_like
+from repro.traces.pcap import iter_pcap_packets, read_pcap, write_pcap
+from repro.traces.synthetic import (
+    generate_flows,
+    packet_length_sampler,
+    scenario1,
+    scenario2,
+    scenario3,
+)
+from repro.traces.trace import Trace, TraceStats
+from repro.traces.zipf import ZipfPopularity, zipf_packets, zipf_trace
+from repro.traces.trace_io import iter_trace_packets, read_trace, write_trace
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "Pareto",
+    "Exponential",
+    "UniformInt",
+    "TruncatedExponential",
+    "Constant",
+    "Sampler",
+    "generate_flows",
+    "scenario1",
+    "scenario2",
+    "scenario3",
+    "packet_length_sampler",
+    "nlanr_like",
+    "NLANR_PROFILE_MIX",
+    "read_trace",
+    "write_trace",
+    "iter_trace_packets",
+    "constant_rate",
+    "poisson",
+    "on_off",
+    "merge",
+    "relabel",
+    "scale_volume",
+    "filter_flows",
+    "attack_overlay",
+    "ZipfPopularity",
+    "zipf_packets",
+    "zipf_trace",
+    "write_pcap",
+    "read_pcap",
+    "iter_pcap_packets",
+]

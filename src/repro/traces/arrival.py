@@ -1,0 +1,101 @@
+"""Arrival-time models: turn a packet sequence into a timed arrival process.
+
+The throughput experiments (Table V) run at saturation, but the ring
+stability analysis (:mod:`repro.ixp.ring`) and latency questions need
+*when* packets arrive.  This module provides the standard models:
+
+* **constant-rate** — back-to-back at a line rate (what the paper's TGEN
+  produces);
+* **Poisson** — exponential inter-arrivals at a mean rate;
+* **on-off (MMPP-2)** — bursty traffic alternating between an ON state
+  (transmitting at peak rate) and silent OFF periods, the classic model
+  for self-similar-ish backbone load.
+
+All models are seedable and yield ``(timestamp_ns, flow, length)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, Tuple, Union
+
+from repro.errors import ParameterError
+
+__all__ = ["constant_rate", "poisson", "on_off"]
+
+TimedPacket = Tuple[float, object, int]
+
+
+def _as_rng(rng: Union[None, int, random.Random]) -> random.Random:
+    return rng if isinstance(rng, random.Random) else random.Random(rng)
+
+
+def constant_rate(
+    packets: Iterable[Tuple[object, int]],
+    gbps: float,
+) -> Iterator[TimedPacket]:
+    """Packets arrive back-to-back at the line rate ``gbps``.
+
+    A packet's timestamp is when its *last* byte arrives — the moment the
+    monitor can process it.
+    """
+    if not (gbps > 0):
+        raise ParameterError(f"gbps must be > 0, got {gbps!r}")
+    ns_per_byte = 8.0 / gbps
+    now = 0.0
+    for flow, length in packets:
+        now += length * ns_per_byte
+        yield now, flow, length
+
+
+def poisson(
+    packets: Iterable[Tuple[object, int]],
+    mean_pps: float,
+    rng: Union[None, int, random.Random] = None,
+) -> Iterator[TimedPacket]:
+    """Poisson arrivals at ``mean_pps`` packets per second."""
+    if not (mean_pps > 0):
+        raise ParameterError(f"mean_pps must be > 0, got {mean_pps!r}")
+    rand = _as_rng(rng)
+    mean_gap_ns = 1e9 / mean_pps
+    now = 0.0
+    for flow, length in packets:
+        now += rand.expovariate(1.0 / mean_gap_ns)
+        yield now, flow, length
+
+
+def on_off(
+    packets: Iterable[Tuple[object, int]],
+    peak_gbps: float,
+    mean_on_ns: float,
+    mean_off_ns: float,
+    rng: Union[None, int, random.Random] = None,
+) -> Iterator[TimedPacket]:
+    """Two-state on-off arrivals.
+
+    During an ON period (exponential, mean ``mean_on_ns``) packets flow
+    back-to-back at ``peak_gbps``; OFF periods (exponential, mean
+    ``mean_off_ns``) are silent.  The long-run average rate is
+    ``peak_gbps * on / (on + off)``.
+    """
+    if not (peak_gbps > 0):
+        raise ParameterError(f"peak_gbps must be > 0, got {peak_gbps!r}")
+    if not (mean_on_ns > 0) or not (mean_off_ns >= 0):
+        raise ParameterError("mean_on_ns must be > 0 and mean_off_ns >= 0")
+    rand = _as_rng(rng)
+    ns_per_byte = 8.0 / peak_gbps
+    now = 0.0
+    on_remaining = rand.expovariate(1.0 / mean_on_ns)
+    for flow, length in packets:
+        transmit = length * ns_per_byte
+        while transmit > on_remaining:
+            # The ON period ends mid-packet: the residual transmits after
+            # the OFF gap (store-and-forward at the source).
+            transmit -= on_remaining
+            now += on_remaining
+            if mean_off_ns > 0:
+                now += rand.expovariate(1.0 / mean_off_ns)
+            on_remaining = rand.expovariate(1.0 / mean_on_ns)
+        on_remaining -= transmit
+        now += transmit
+        yield now, flow, length

@@ -1,0 +1,99 @@
+"""Trace composition: merge, scale and relabel traces.
+
+Experiments routinely need composites — a backbone baseline plus an
+attack overlay, the same workload at twice the volume, two scenarios
+side by side.  These helpers build them from existing :class:`Trace`
+objects without touching the generators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.errors import ParameterError
+from repro.traces.trace import Trace
+
+__all__ = ["merge", "relabel", "scale_volume", "filter_flows", "attack_overlay"]
+
+
+def relabel(trace: Trace, prefix: str) -> Trace:
+    """Prefix every flow key (stringified) — namespacing before a merge."""
+    return Trace(
+        {f"{prefix}{flow}": lengths for flow, lengths in trace.flows.items()},
+        name=f"{prefix}{trace.name}",
+    )
+
+
+def merge(traces: Sequence[Trace], name: str = "merged") -> Trace:
+    """Union of several traces; flow keys must not collide."""
+    if not traces:
+        raise ParameterError("at least one trace is required")
+    flows: Dict[Hashable, List[int]] = {}
+    for trace in traces:
+        for flow, lengths in trace.flows.items():
+            if flow in flows:
+                raise ParameterError(
+                    f"flow key collision on {flow!r}; relabel() the inputs"
+                )
+            flows[flow] = list(lengths)
+    return Trace(flows, name=name)
+
+
+def scale_volume(trace: Trace, factor: float) -> Trace:
+    """Repeat (or thin) each flow's packets to scale its volume ~``factor``.
+
+    ``factor >= 1`` repeats the packet list (fractional remainders take a
+    prefix); ``factor < 1`` keeps a prefix.  Packet sizes are untouched, so
+    per-flow length statistics (the Table III variance predicate) survive.
+    """
+    if not (factor > 0):
+        raise ParameterError(f"factor must be > 0, got {factor!r}")
+    flows: Dict[Hashable, List[int]] = {}
+    for flow, lengths in trace.flows.items():
+        target = max(1, int(round(len(lengths) * factor)))
+        repeated: List[int] = []
+        while len(repeated) < target:
+            take = min(len(lengths), target - len(repeated))
+            repeated.extend(lengths[:take])
+        flows[flow] = repeated
+    return Trace(flows, name=f"{trace.name}:x{factor:g}")
+
+
+def filter_flows(trace: Trace, predicate: Callable[[Hashable, List[int]], bool],
+                 name: Optional[str] = None) -> Trace:
+    """Keep only flows satisfying ``predicate(flow, lengths)``."""
+    flows = {
+        flow: lengths
+        for flow, lengths in trace.flows.items()
+        if predicate(flow, lengths)
+    }
+    if not flows:
+        raise ParameterError("predicate removed every flow")
+    return Trace(flows, name=name or f"{trace.name}:filtered")
+
+
+def attack_overlay(
+    base: Trace,
+    num_attack_flows: int,
+    packets_per_flow: int = 1,
+    packet_length: int = 40,
+    name: str = "attacked",
+) -> Trace:
+    """Overlay a flow-spray attack: many tiny flows on top of a baseline.
+
+    The classic stressor for per-flow state (flow-table exhaustion): each
+    attack flow carries ``packets_per_flow`` packets of ``packet_length``
+    bytes under keys ``('atk', i)``.
+    """
+    if num_attack_flows < 1:
+        raise ParameterError(f"num_attack_flows must be >= 1, got {num_attack_flows!r}")
+    if packets_per_flow < 1:
+        raise ParameterError(f"packets_per_flow must be >= 1, got {packets_per_flow!r}")
+    if packet_length < 1:
+        raise ParameterError(f"packet_length must be >= 1, got {packet_length!r}")
+    flows: Dict[Hashable, List[int]] = {
+        f"base/{flow}": list(lengths) for flow, lengths in base.flows.items()
+    }
+    for i in range(num_attack_flows):
+        flows[("atk", i)] = [packet_length] * packets_per_flow
+    return Trace(flows, name=name)

@@ -1,0 +1,186 @@
+"""Minimal libpcap interop: export traces as .pcap, import .pcap as traces.
+
+Real monitoring pipelines speak pcap.  This module writes classic
+little-endian libpcap files (magic 0xA1B2C3D4, microsecond timestamps,
+LINKTYPE_ETHERNET) synthesising Ethernet/IPv4/UDP framing around each
+packet of a :class:`~repro.traces.trace.Trace`, and reads pcap files back
+into traces keyed by the IPv4/UDP five-tuple.  Pure stdlib; no scapy.
+
+Framing notes
+-------------
+* A flow's key is mapped deterministically to a synthetic five-tuple
+  (10.x.y.z source derived from the flow's stable hash, fixed collector
+  address, UDP).
+* ``length`` in a Trace is the IP-payload-carrying wire length; frames
+  shorter than the 42-byte Ethernet+IPv4+UDP header overhead are padded
+  up to it (and recovered as their on-wire length when read back).
+* Reading honours the per-record *original length* field, truncated
+  captures (``snaplen``) included.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.errors import TraceFormatError
+from repro.flows.hashing import stable_hash
+from repro.traces.trace import Trace
+
+__all__ = ["write_pcap", "read_pcap", "iter_pcap_packets", "HEADER_OVERHEAD"]
+
+_MAGIC_US_LE = 0xA1B2C3D4
+_GLOBAL = struct.Struct("<IHHiIII")
+_RECORD = struct.Struct("<IIII")
+_ETH = struct.Struct("!6s6sH")
+_IPV4 = struct.Struct("!BBHHHBBH4s4s")
+_UDP = struct.Struct("!HHHH")
+
+#: Ethernet (14) + IPv4 (20) + UDP (8) bytes wrapped around each payload.
+HEADER_OVERHEAD = _ETH.size + _IPV4.size + _UDP.size
+
+_COLLECTOR_IP = bytes([10, 255, 0, 1])
+_COLLECTOR_PORT = 4739  # IPFIX, for flavour
+_SRC_MAC = b"\x02\x44\x49\x53\x43\x4f"  # locally administered, "DISCO"
+_DST_MAC = b"\x02\x43\x4f\x4c\x4c\x30"
+
+
+def _flow_endpoint(flow) -> Tuple[bytes, int]:
+    """Deterministic (source IP, source port) for a flow key."""
+    digest = stable_hash(flow)
+    ip = bytes([10, (digest >> 16) & 0xFF, (digest >> 8) & 0xFF,
+                digest & 0xFF])
+    port = 1024 + ((digest >> 24) % 60000)
+    return ip, port
+
+
+def _ipv4_checksum(header: bytes) -> int:
+    total = 0
+    for i in range(0, len(header), 2):
+        total += (header[i] << 8) | header[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _frame(flow, wire_length: int) -> bytes:
+    """Synthesise one Ethernet/IPv4/UDP frame of ``wire_length`` bytes."""
+    length = max(wire_length, HEADER_OVERHEAD)
+    payload_len = length - HEADER_OVERHEAD
+    src_ip, src_port = _flow_endpoint(flow)
+    ip_total = _IPV4.size + _UDP.size + payload_len
+    ip_header = _IPV4.pack(
+        0x45, 0, ip_total, 0, 0, 64, 17, 0, src_ip, _COLLECTOR_IP
+    )
+    checksum = _ipv4_checksum(ip_header)
+    ip_header = _IPV4.pack(
+        0x45, 0, ip_total, 0, 0, 64, 17, checksum, src_ip, _COLLECTOR_IP
+    )
+    udp_header = _UDP.pack(src_port, _COLLECTOR_PORT,
+                           _UDP.size + payload_len, 0)
+    eth_header = _ETH.pack(_DST_MAC, _SRC_MAC, 0x0800)
+    return eth_header + ip_header + udp_header + bytes(payload_len)
+
+
+def write_pcap(
+    trace: Trace,
+    path: Union[str, Path],
+    order: str = "shuffled",
+    seed: int = 0,
+    gbps: float = 10.0,
+    snaplen: int = 96,
+) -> int:
+    """Write ``trace`` as a pcap file; returns packets written.
+
+    Timestamps follow back-to-back arrival at ``gbps``; frames are
+    truncated to ``snaplen`` on disk (headers survive; padding does not),
+    with the true wire length recorded per pcap semantics.
+    """
+    if not (gbps > 0):
+        raise TraceFormatError(f"gbps must be > 0, got {gbps!r}")
+    if snaplen < HEADER_OVERHEAD:
+        raise TraceFormatError(
+            f"snaplen must cover the {HEADER_OVERHEAD}-byte headers"
+        )
+    ns_per_byte = 8.0 / gbps
+    count = 0
+    now_ns = 0.0
+    with open(path, "wb") as fh:
+        fh.write(_GLOBAL.pack(_MAGIC_US_LE, 2, 4, 0, 0, snaplen, 1))
+        for flow, length in trace.packet_pairs(order=order, rng=seed):
+            frame = _frame(flow, length)
+            now_ns += len(frame) * ns_per_byte
+            captured = frame[:snaplen]
+            seconds, micros = divmod(int(now_ns / 1000), 1_000_000)
+            fh.write(_RECORD.pack(seconds, micros, len(captured), len(frame)))
+            fh.write(captured)
+            count += 1
+    return count
+
+
+def iter_pcap_packets(
+    path: Union[str, Path],
+) -> Iterator[Tuple[Tuple[str, str, int, int, int], int, float]]:
+    """Stream ``(five_tuple, wire_length, timestamp_s)`` from a pcap file.
+
+    Non-IPv4 or non-UDP/TCP frames are skipped.  The five-tuple is
+    ``(src_ip, dst_ip, src_port, dst_port, protocol)`` with dotted-quad
+    strings.
+    """
+    with open(path, "rb") as fh:
+        header = fh.read(_GLOBAL.size)
+        if len(header) != _GLOBAL.size:
+            raise TraceFormatError(f"{path}: truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic != _MAGIC_US_LE:
+            raise TraceFormatError(f"{path}: unsupported pcap magic {magic:#x}")
+        _, _, _, _, _, snaplen, linktype = _GLOBAL.unpack(header)
+        if linktype != 1:
+            raise TraceFormatError(f"{path}: only LINKTYPE_ETHERNET supported")
+        while True:
+            record = fh.read(_RECORD.size)
+            if not record:
+                return
+            if len(record) != _RECORD.size:
+                raise TraceFormatError(f"{path}: truncated record header")
+            seconds, micros, captured_len, wire_len = _RECORD.unpack(record)
+            data = fh.read(captured_len)
+            if len(data) != captured_len:
+                raise TraceFormatError(f"{path}: truncated packet data")
+            if captured_len < _ETH.size + _IPV4.size:
+                continue
+            ethertype = struct.unpack("!H", data[12:14])[0]
+            if ethertype != 0x0800:
+                continue
+            ip = data[_ETH.size:_ETH.size + _IPV4.size]
+            version_ihl = ip[0]
+            if version_ihl >> 4 != 4:
+                continue
+            ihl = (version_ihl & 0xF) * 4
+            protocol = ip[9]
+            src_ip = ".".join(str(b) for b in ip[12:16])
+            dst_ip = ".".join(str(b) for b in ip[16:20])
+            src_port = dst_port = 0
+            if protocol in (6, 17):
+                l4_offset = _ETH.size + ihl
+                if captured_len >= l4_offset + 4:
+                    src_port, dst_port = struct.unpack(
+                        "!HH", data[l4_offset:l4_offset + 4]
+                    )
+            yield ((src_ip, dst_ip, src_port, dst_port, protocol),
+                   wire_len, seconds + micros / 1e6)
+
+
+def read_pcap(path: Union[str, Path], name: str = "") -> Trace:
+    """Load a pcap into a :class:`Trace` keyed by five-tuple strings."""
+    flows: Dict[str, List[int]] = {}
+    for five_tuple, wire_len, _ in iter_pcap_packets(path):
+        key = "{}:{}->{}:{}/{}".format(
+            five_tuple[0], five_tuple[2], five_tuple[1], five_tuple[3],
+            five_tuple[4],
+        )
+        flows.setdefault(key, []).append(wire_len)
+    if not flows:
+        raise TraceFormatError(f"{path}: no IPv4 packets found")
+    return Trace(flows, name=name or Path(path).stem)

@@ -1,0 +1,91 @@
+"""Streaming trace file I/O.
+
+A trace file is a UTF-8 text file with one packet per line::
+
+    # disco-trace v1
+    <flow_id>,<length>
+
+Lines starting with ``#`` are comments; the first line carries the format
+tag.  Files ending in ``.gz`` are transparently gzip-compressed.  The
+format is deliberately trivial — it exists so experiments can persist and
+share workloads, and so the replay path can stream packets without holding
+a trace in memory.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.errors import TraceFormatError
+from repro.traces.trace import Trace
+
+__all__ = ["write_trace", "read_trace", "iter_trace_packets", "FORMAT_TAG"]
+
+FORMAT_TAG = "# disco-trace v1"
+
+
+def _open_text(path: Union[str, Path], mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_trace(trace: Trace, path: Union[str, Path], order: str = "shuffled",
+                seed: int = 0) -> int:
+    """Write ``trace`` to ``path`` in replay order; returns packets written."""
+    count = 0
+    with _open_text(path, "w") as fh:
+        fh.write(FORMAT_TAG + "\n")
+        fh.write(f"# name={trace.name}\n")
+        for flow, length in trace.packet_pairs(order=order, rng=seed):
+            fh.write(f"{flow},{length}\n")
+            count += 1
+    return count
+
+
+def iter_trace_packets(path: Union[str, Path]) -> Iterator[Tuple[str, int]]:
+    """Stream ``(flow_id, length)`` pairs from a trace file.
+
+    Flow IDs are returned as strings (they are opaque keys); lengths are
+    validated positive integers.  Raises
+    :class:`~repro.errors.TraceFormatError` on malformed input.
+    """
+    with _open_text(path, "r") as fh:
+        first = fh.readline()
+        if not first.startswith(FORMAT_TAG):
+            raise TraceFormatError(
+                f"{path}: missing format tag {FORMAT_TAG!r} (got {first[:40]!r})"
+            )
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise TraceFormatError(f"{path}:{line_no}: expected 'flow,length', got {line!r}")
+            flow, raw_length = parts
+            try:
+                length = int(raw_length)
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}:{line_no}: bad length {raw_length!r}") from exc
+            if length <= 0:
+                raise TraceFormatError(f"{path}:{line_no}: non-positive length {length}")
+            yield flow, length
+
+
+def read_trace(path: Union[str, Path], name: str = "") -> Trace:
+    """Load a whole trace file into a :class:`Trace`.
+
+    Packet order within each flow follows file order; cross-flow arrival
+    order is not preserved by the in-memory representation (replay order is
+    chosen at :meth:`Trace.packets` time).
+    """
+    flows: Dict[str, List[int]] = {}
+    for flow, length in iter_trace_packets(path):
+        flows.setdefault(flow, []).append(length)
+    if not flows:
+        raise TraceFormatError(f"{path}: trace contains no packets")
+    return Trace(flows, name=name or Path(path).stem)

@@ -1,0 +1,94 @@
+"""Zipf-popularity workloads.
+
+Measurement papers (and the 80-20 rule the IXP test bench invokes) model
+flow popularity as Zipfian: the k-th most popular flow receives traffic
+proportional to ``1/k^alpha``.  This generator produces packet streams and
+traces under that law — the standard skew knob for stress-testing per-flow
+structures (flow tables, CMAs, heavy-hitter detectors).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.errors import ParameterError
+from repro.traces.trace import Trace
+
+__all__ = ["ZipfPopularity", "zipf_packets", "zipf_trace"]
+
+
+class ZipfPopularity:
+    """Samples flow indices ``0..n-1`` with probability ∝ ``1/(k+1)^alpha``."""
+
+    def __init__(self, num_flows: int, alpha: float = 1.0) -> None:
+        if num_flows < 1:
+            raise ParameterError(f"num_flows must be >= 1, got {num_flows!r}")
+        if alpha < 0:
+            raise ParameterError(f"alpha must be >= 0, got {alpha!r}")
+        self.num_flows = num_flows
+        self.alpha = alpha
+        weights = [1.0 / (k + 1) ** alpha for k in range(num_flows)]
+        total = sum(weights)
+        self._cumulative: List[float] = list(
+            itertools.accumulate(w / total for w in weights)
+        )
+        self._cumulative[-1] = 1.0
+
+    def probability(self, rank: int) -> float:
+        """Probability of the flow at popularity rank ``rank`` (0-based)."""
+        if not (0 <= rank < self.num_flows):
+            raise ParameterError(f"rank {rank} out of range")
+        previous = self._cumulative[rank - 1] if rank else 0.0
+        return self._cumulative[rank] - previous
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cumulative, rng.random())
+
+    def top_share(self, fraction: float) -> float:
+        """Traffic share of the top ``fraction`` of flows (the 80-20 check)."""
+        if not (0.0 < fraction <= 1.0):
+            raise ParameterError(f"fraction must be in (0, 1], got {fraction!r}")
+        k = max(1, int(self.num_flows * fraction))
+        return self._cumulative[k - 1]
+
+
+def zipf_packets(
+    num_packets: int,
+    num_flows: int,
+    alpha: float = 1.0,
+    min_length: int = 40,
+    max_length: int = 1500,
+    rng: Union[None, int, random.Random] = None,
+) -> Iterator[Tuple[int, int]]:
+    """Stream ``(flow, length)`` pairs under Zipf(``alpha``) popularity."""
+    if num_packets < 1:
+        raise ParameterError(f"num_packets must be >= 1, got {num_packets!r}")
+    if not (0 < min_length <= max_length):
+        raise ParameterError("need 0 < min_length <= max_length")
+    rand = rng if isinstance(rng, random.Random) else random.Random(rng)
+    popularity = ZipfPopularity(num_flows, alpha)
+    for _ in range(num_packets):
+        yield popularity.sample(rand), rand.randint(min_length, max_length)
+
+
+def zipf_trace(
+    num_packets: int,
+    num_flows: int,
+    alpha: float = 1.0,
+    min_length: int = 40,
+    max_length: int = 1500,
+    rng: Union[None, int, random.Random] = None,
+) -> Trace:
+    """Materialise a Zipf stream as a :class:`Trace`.
+
+    Flows that receive no packets are absent from the trace (matching how
+    a monitor would see the world).
+    """
+    flows: Dict[int, List[int]] = {}
+    for flow, length in zipf_packets(num_packets, num_flows, alpha,
+                                     min_length, max_length, rng):
+        flows.setdefault(flow, []).append(length)
+    return Trace(flows, name=f"zipf(a={alpha:g},n={num_flows})")

@@ -1,0 +1,107 @@
+"""Tests for flow-size distribution estimation."""
+
+import random
+
+import pytest
+
+from repro.apps.distribution import Histogram, log_histogram, quantiles, tail_fraction
+from repro.core.disco import DiscoSketch
+from repro.errors import ParameterError
+
+
+class TestHistogram:
+    def test_shape_validation(self):
+        with pytest.raises(ParameterError):
+            Histogram(edges=(1.0, 10.0), counts=(1, 2))
+
+    def test_fractions(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0), counts=(3, 1))
+        assert h.total == 4
+        assert h.fractions() == [0.75, 0.25]
+
+    def test_bin_of(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0), counts=(3, 1))
+        assert h.bin_of(0.5) == 0
+        assert h.bin_of(5.0) == 0
+        assert h.bin_of(50.0) == 1
+        assert h.bin_of(1e9) == 1
+
+
+class TestLogHistogram:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            log_histogram({})
+        with pytest.raises(ParameterError):
+            log_histogram({"a": 1.0}, bins_per_decade=0)
+        with pytest.raises(ParameterError):
+            log_histogram({"a": 0.0})
+
+    def test_counts_everything(self):
+        values = {i: float(10**(i % 4 + 1)) for i in range(40)}
+        h = log_histogram(values)
+        assert h.total == 40
+
+    def test_bins_cover_range(self):
+        values = {"a": 5.0, "b": 50_000.0}
+        h = log_histogram(values, bins_per_decade=1)
+        assert h.edges[0] <= 5.0
+        assert h.edges[-1] >= 50_000.0
+
+    def test_heavy_tail_shape_detected(self):
+        # Pareto-ish sample: early bins dominate.
+        rand = random.Random(0)
+        values = {i: 4.0 / (1.0 - rand.random()) ** (1 / 1.1)
+                  for i in range(2000)}
+        h = log_histogram(values, bins_per_decade=1)
+        fractions = h.fractions()
+        assert fractions[0] + fractions[1] > 0.5
+
+
+class TestQuantilesAndTail:
+    def test_quantiles(self):
+        values = {i: float(i + 1) for i in range(100)}  # 1..100
+        q = quantiles(values, probs=(0.5, 0.9, 1.0))
+        assert q[0.5] == 50.0
+        assert q[0.9] == 90.0
+        assert q[1.0] == 100.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ParameterError):
+            quantiles({})
+        with pytest.raises(ParameterError):
+            quantiles({"a": 1.0}, probs=(0.0,))
+
+    def test_tail_fraction(self):
+        values = {i: float(i) for i in range(1, 11)}
+        assert tail_fraction(values, threshold=8.0) == pytest.approx(0.3)
+        with pytest.raises(ParameterError):
+            tail_fraction({}, threshold=1.0)
+
+
+class TestFromSketch:
+    def test_estimated_distribution_tracks_truth(self):
+        rand = random.Random(1)
+        sketch = DiscoSketch(b=1.005, mode="volume", rng=2)
+        truth = {}
+        for flow in range(80):
+            volume = int(10 ** rand.uniform(2, 5))
+            total = 0
+            while total < volume:
+                l = min(1500, volume - total) or 40
+                l = max(40, l)
+                sketch.observe(flow, l)
+                total += l
+            truth[flow] = total
+        est_q = quantiles(sketch.estimates(), probs=(0.5, 0.9))
+        true_q = quantiles({f: float(v) for f, v in truth.items()},
+                           probs=(0.5, 0.9))
+        assert est_q[0.5] == pytest.approx(true_q[0.5], rel=0.2)
+        assert est_q[0.9] == pytest.approx(true_q[0.9], rel=0.2)
+        # Histogram shares agree bin-for-bin within a few percent of mass.
+        est_h = log_histogram(sketch.estimates(), bins_per_decade=1)
+        true_h = log_histogram({f: float(v) for f, v in truth.items()},
+                               bins_per_decade=1)
+        if est_h.edges == true_h.edges:
+            diffs = [abs(a - b) for a, b in
+                     zip(est_h.fractions(), true_h.fractions())]
+            assert max(diffs) < 0.15

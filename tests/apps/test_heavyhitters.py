@@ -1,0 +1,123 @@
+"""Tests for on-line heavy-hitter detection."""
+
+import random
+
+import pytest
+
+from repro.apps.heavyhitters import HeavyHitterDetector, top_k
+from repro.core.disco import DiscoSketch
+from repro.errors import ParameterError
+
+
+def feed(detector, packets):
+    detections = []
+    for flow, length in packets:
+        d = detector.observe(flow, length)
+        if d:
+            detections.append(d)
+    return detections
+
+
+def elephant_mice_stream(seed=0, elephants=3, mice=40, elephant_packets=400,
+                         mouse_packets=5):
+    rand = random.Random(seed)
+    packets = []
+    for e in range(elephants):
+        packets += [(f"E{e}", rand.randint(800, 1500))
+                    for _ in range(elephant_packets)]
+    for m in range(mice):
+        packets += [(f"m{m}", rand.randint(40, 200))
+                    for _ in range(mouse_packets)]
+    rand.shuffle(packets)
+    truth = {}
+    for flow, length in packets:
+        truth[flow] = truth.get(flow, 0) + length
+    return packets, truth
+
+
+class TestValidation:
+    def test_threshold(self):
+        sketch = DiscoSketch(b=1.01, rng=0)
+        with pytest.raises(ParameterError):
+            HeavyHitterDetector(sketch, threshold=0)
+
+    def test_policy(self):
+        sketch = DiscoSketch(b=1.01, rng=0)
+        with pytest.raises(ParameterError):
+            HeavyHitterDetector(sketch, threshold=10, policy="maybe")
+
+    def test_needs_geometric_sketch(self):
+        with pytest.raises(ParameterError):
+            HeavyHitterDetector(object(), threshold=10)
+
+
+class TestDetection:
+    def test_elephants_detected_mice_ignored(self):
+        packets, truth = elephant_mice_stream()
+        sketch = DiscoSketch(b=1.01, mode="volume", rng=1)
+        detector = HeavyHitterDetector(sketch, threshold=100_000)
+        feed(detector, packets)
+        metrics = detector.evaluate(truth)
+        assert metrics["recall"] == 1.0
+        assert metrics["precision"] > 0.7
+
+    def test_reports_once_per_flow(self):
+        sketch = DiscoSketch(b=1.01, mode="volume", rng=2)
+        detector = HeavyHitterDetector(sketch, threshold=5000)
+        detections = feed(detector, [("f", 1500)] * 50)
+        assert len(detections) == 1
+        assert detections[0].flow == "f"
+
+    def test_detection_is_online(self):
+        # The crossing is reported mid-stream, not at the end.
+        sketch = DiscoSketch(b=1.01, mode="volume", rng=3)
+        detector = HeavyHitterDetector(sketch, threshold=10_000)
+        detections = feed(detector, [("f", 1500)] * 100)
+        assert detections[0].packet_index < 100
+
+    def test_confident_policy_reports_later_but_cleaner(self):
+        packets, truth = elephant_mice_stream(seed=4)
+        eager = HeavyHitterDetector(
+            DiscoSketch(b=1.05, mode="volume", rng=5), threshold=100_000,
+            policy="estimate",
+        )
+        careful = HeavyHitterDetector(
+            DiscoSketch(b=1.05, mode="volume", rng=5), threshold=100_000,
+            policy="confident",
+        )
+        feed(eager, packets)
+        feed(careful, packets)
+        eager_metrics = eager.evaluate(truth)
+        careful_metrics = careful.evaluate(truth)
+        assert careful_metrics["precision"] >= eager_metrics["precision"]
+        # Confident detections come no earlier than eager ones per flow.
+        eager_by_flow = {d.flow: d.packet_index for d in eager.detections}
+        for d in careful.detections:
+            if d.flow in eager_by_flow:
+                assert d.packet_index >= eager_by_flow[d.flow]
+
+    def test_evaluate_requires_truth(self):
+        sketch = DiscoSketch(b=1.01, rng=0)
+        detector = HeavyHitterDetector(sketch, threshold=10)
+        with pytest.raises(ParameterError):
+            detector.evaluate({})
+
+
+class TestTopK:
+    def test_orders_descending(self):
+        sketch = DiscoSketch(b=1.01, mode="volume", rng=6)
+        for flow, count in (("big", 500), ("mid", 100), ("small", 10)):
+            for _ in range(count):
+                sketch.observe(flow, 1000)
+        ranked = top_k(sketch, 3)
+        assert [flow for flow, _ in ranked] == ["big", "mid", "small"]
+
+    def test_k_larger_than_flows(self):
+        sketch = DiscoSketch(b=1.01, rng=0)
+        sketch.observe("only", 100)
+        assert len(top_k(sketch, 10)) == 1
+
+    def test_validation(self):
+        sketch = DiscoSketch(b=1.01, rng=0)
+        with pytest.raises(ParameterError):
+            top_k(sketch, 0)

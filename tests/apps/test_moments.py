@@ -1,0 +1,101 @@
+"""Tests for traffic-concentration metrics."""
+
+import random
+
+import pytest
+
+from repro.apps.moments import (
+    concentration,
+    entropy,
+    gini,
+    second_moment,
+    top_share,
+)
+from repro.errors import ParameterError
+
+
+EVEN = {f: 100.0 for f in range(10)}
+SKEWED = {0: 1_000_000.0, **{f: 10.0 for f in range(1, 10)}}
+
+
+class TestEntropy:
+    def test_even_is_one(self):
+        assert entropy(EVEN) == pytest.approx(1.0)
+
+    def test_single_flow_is_zero(self):
+        assert entropy({"only": 500.0}) == 0.0
+
+    def test_skew_lowers_entropy(self):
+        assert entropy(SKEWED) < 0.1
+
+    def test_unnormalised(self):
+        assert entropy(EVEN, normalised=False) == pytest.approx(
+            pytest.approx(3.3219, abs=1e-3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            entropy({"a": 0.0})
+
+
+class TestGini:
+    def test_even_is_zero(self):
+        assert gini(EVEN) == pytest.approx(0.0, abs=1e-9)
+
+    def test_skew_near_one(self):
+        assert gini(SKEWED) > 0.85
+
+    def test_known_two_point(self):
+        # {0, x}: Gini = 1 - (2*x - x)/(2x) = 0.5.
+        assert gini({"a": 0.0, "b": 100.0}) == pytest.approx(0.5)
+
+    def test_all_zero(self):
+        assert gini({"a": 0.0, "b": 0.0}) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            gini({})
+
+
+class TestMomentsAndShare:
+    def test_second_moment(self):
+        assert second_moment({"a": 3.0, "b": 4.0}) == pytest.approx(25.0)
+
+    def test_top_share_even(self):
+        assert top_share(EVEN, 0.2) == pytest.approx(0.2)
+
+    def test_top_share_skewed(self):
+        assert top_share(SKEWED, 0.1) > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            top_share({}, 0.2)
+        with pytest.raises(ParameterError):
+            top_share(EVEN, 0.0)
+
+
+class TestConcentration:
+    def test_report_fields(self):
+        report = concentration(SKEWED)
+        assert report.flows == 10
+        assert report.total == pytest.approx(sum(SKEWED.values()))
+        assert report.gini > 0.85
+        assert report.normalised_entropy < 0.1
+        assert report.top20_share > 0.99
+
+    def test_from_disco_estimates_matches_truth(self):
+        from repro.core.disco import DiscoSketch
+        from repro.traces.zipf import zipf_trace
+
+        trace = zipf_trace(15_000, 150, alpha=1.1, rng=8)
+        truths = {f: float(v) for f, v in trace.true_totals("volume").items()}
+        sketch = DiscoSketch(b=1.005, mode="volume", rng=9)
+        for flow, length in trace.packet_pairs(rng=10):
+            sketch.observe(flow, length)
+        est = concentration(sketch.estimates())
+        true = concentration(truths)
+        assert est.normalised_entropy == pytest.approx(
+            true.normalised_entropy, abs=0.02
+        )
+        assert est.gini == pytest.approx(true.gini, abs=0.02)
+        assert est.top20_share == pytest.approx(true.top20_share, abs=0.03)

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.traces.trace import Trace
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded generator."""
+    return random.Random(0xD15C0)
+
+
+@pytest.fixture
+def tiny_trace():
+    """A hand-written 3-flow trace with known truths."""
+    return Trace(
+        {
+            "a": [100, 200, 300],          # 3 packets, 600 bytes
+            "b": [1500] * 10,              # 10 packets, 15000 bytes
+            "c": [40],                     # 1 packet, 40 bytes
+        },
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def small_trace():
+    """A reproducible ~60-flow mixed trace for integration tests."""
+    rand = random.Random(42)
+    flows = {}
+    for i in range(60):
+        count = rand.randint(1, 120)
+        flows[f"f{i}"] = [rand.randint(40, 1500) for _ in range(count)]
+    return Trace(flows, name="small")

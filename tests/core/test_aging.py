@@ -1,0 +1,110 @@
+"""Tests for counter aging / exponentially-weighted statistics."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.aging import AgingDiscoSketch, age_counter
+from repro.core.functions import GeometricCountingFunction
+from repro.errors import ParameterError
+
+
+class TestAgeCounter:
+    def test_validation(self):
+        fn = GeometricCountingFunction(1.1)
+        with pytest.raises(ParameterError):
+            age_counter(fn, -1, 0.5)
+        with pytest.raises(ParameterError):
+            age_counter(fn, 10, 0.0)
+        with pytest.raises(ParameterError):
+            age_counter(fn, 10, float("nan"))
+
+    def test_identity_cases(self):
+        fn = GeometricCountingFunction(1.1)
+        assert age_counter(fn, 0, 0.5, rng=0) == 0
+        assert age_counter(fn, 37, 1.0, rng=0) == 37
+
+    def test_decay_reduces_counter(self):
+        fn = GeometricCountingFunction(1.05)
+        for c in (10, 50, 200):
+            aged = age_counter(fn, c, 0.5, rng=1)
+            assert 0 <= aged < c
+
+    def test_growth_factor_increases(self):
+        fn = GeometricCountingFunction(1.05)
+        assert age_counter(fn, 50, 2.0, rng=2) > 50
+
+    def test_two_point_identity_exact(self):
+        # The aged counter takes one of two neighbouring values whose
+        # expectation is exactly gamma * f(c).
+        fn = GeometricCountingFunction(1.07)
+        c, gamma = 80, 0.37
+        values = {age_counter(fn, c, gamma, rng=seed) for seed in range(200)}
+        assert len(values) <= 2
+        assert max(values) - min(values) <= 1
+
+    def test_unbiased_monte_carlo(self):
+        fn = GeometricCountingFunction(1.07)
+        c, gamma = 80, 0.37
+        target = gamma * fn.value(c)
+        estimates = [fn.value(age_counter(fn, c, gamma, rng=seed))
+                     for seed in range(4000)]
+        assert statistics.mean(estimates) == pytest.approx(target, rel=0.01)
+
+    def test_repeated_decay_drives_to_zero(self):
+        fn = GeometricCountingFunction(1.1)
+        c = 100
+        rand = random.Random(3)
+        for _ in range(200):
+            c = age_counter(fn, c, 0.5, rng=rand)
+        assert c == 0
+
+
+class TestAgingSketch:
+    def test_age_decays_estimates(self):
+        sketch = AgingDiscoSketch(b=1.02, mode="volume", rng=4)
+        for _ in range(300):
+            sketch.observe("f", 1000)
+        before = sketch.estimate("f")
+        sketch.age(0.5)
+        after = sketch.estimate("f")
+        assert after == pytest.approx(0.5 * before, rel=0.15)
+
+    def test_pruning_dead_flows(self):
+        sketch = AgingDiscoSketch(b=1.1, mode="volume", rng=5)
+        sketch.observe("tiny", 40)
+        for _ in range(500):
+            sketch.observe("big", 1500)
+        pruned_total = 0
+        for _ in range(30):
+            pruned_total += sketch.age(0.3)
+        assert "big" not in sketch or sketch.counter_value("big") >= 0
+        assert pruned_total >= 1
+        assert "tiny" not in sketch
+
+    def test_no_prune_option(self):
+        sketch = AgingDiscoSketch(b=1.1, mode="volume", rng=6)
+        sketch.observe("f", 40)
+        for _ in range(50):
+            sketch.age(0.1, prune=False)
+        assert "f" in sketch
+        assert sketch.counter_value("f") == 0
+
+    def test_ewma_tracks_recent_traffic(self):
+        # Two intervals: flow A active only in the first, B only in the
+        # second; after aging, B dominates the read-out.
+        sketch = AgingDiscoSketch(b=1.01, mode="volume", rng=7)
+        for _ in range(200):
+            sketch.observe("A", 1000)
+        sketch.age(0.25)
+        for _ in range(200):
+            sketch.observe("B", 1000)
+        assert sketch.estimate("B") > 2 * sketch.estimate("A")
+
+    def test_burst_accumulator_flushed_before_age(self):
+        sketch = AgingDiscoSketch(b=1.02, mode="volume", rng=8,
+                                  burst_capacity=1e9)
+        sketch.observe("f", 5000)
+        sketch.age(0.5)
+        assert sketch.estimate("f") > 0

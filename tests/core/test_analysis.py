@@ -1,0 +1,198 @@
+"""Tests for the Section IV theory: Theorems 2-3, Corollary 1, choose_b."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    b_for_cov_bound,
+    choose_b,
+    coefficient_of_variation,
+    counter_bits_upper_bound,
+    cov_bound,
+    cov_for_traffic,
+    expected_counter_upper_bound,
+    relative_error_prediction,
+)
+from repro.core.fastsim import traffic_to_reach
+from repro.core.functions import GeometricCountingFunction
+from repro.errors import ParameterError
+
+
+class TestCoefficientOfVariation:
+    def test_zero_counter_zero_variation(self):
+        assert coefficient_of_variation(1.01, 0) == 0.0
+
+    def test_counter_one_zero_variation_theta_1(self):
+        # T(1) is deterministic for theta=1 (first packet always increments):
+        # e(1) has b^S - b = 0.
+        assert coefficient_of_variation(1.05, 1) == 0.0
+
+    def test_monotone_in_counter_value(self):
+        values = [coefficient_of_variation(1.002, s) for s in (10, 100, 1000, 3000)]
+        assert values == sorted(values)
+
+    def test_bounded_by_corollary_1(self):
+        b = 1.002
+        bound = cov_bound(b)
+        for s in (10, 100, 1000, 5000):
+            for theta in (1.0, 100.0, 1000.0):
+                assert coefficient_of_variation(b, s, theta) <= bound + 1e-12
+
+    def test_approaches_bound_for_large_counters(self):
+        b = 1.002
+        assert coefficient_of_variation(b, 20_000) == pytest.approx(
+            cov_bound(b), rel=1e-3
+        )
+
+    def test_paper_figure_2_bound_value(self):
+        # b = 1.002 -> bound 0.0316 (Section IV-A text).
+        assert cov_bound(1.002) == pytest.approx(0.0316, abs=2e-4)
+
+    def test_theta_greater_than_one_reduces_small_flow_variation(self):
+        # Figure 2: larger increments have lower CoV early on.
+        b = 1.002
+        s = 2000
+        e1 = coefficient_of_variation(b, s, theta=1.0)
+        e500 = coefficient_of_variation(b, s, theta=500.0)
+        assert e500 <= e1
+
+    def test_theta_first_jump_covers_target(self):
+        # theta so large the first packet reaches S: no variation.
+        assert coefficient_of_variation(1.2, 5, theta=10_000.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            coefficient_of_variation(1.0, 10)
+        with pytest.raises(ParameterError):
+            coefficient_of_variation(1.1, -1)
+        with pytest.raises(ParameterError):
+            coefficient_of_variation(1.1, 10, theta=0.0)
+
+    def test_matches_monte_carlo_theta_1(self):
+        b, s = 1.3, 10
+        samples = [traffic_to_reach(GeometricCountingFunction(b), s, rng=i)
+                   for i in range(800)]
+        mean = statistics.mean(samples)
+        empirical = statistics.pstdev(samples) / mean
+        assert empirical == pytest.approx(coefficient_of_variation(b, s), rel=0.15)
+
+    def test_matches_monte_carlo_theta_large(self):
+        # Parameters inside the theorem's validity regime (theta <= b^c over
+        # most of the climb: the model treats each theta-trial as a
+        # Bernoulli step, which needs the counter gap to exceed theta).
+        b, s, theta = 1.02, 300, 8.0
+        samples = [
+            traffic_to_reach(GeometricCountingFunction(b), s, theta=theta, rng=i)
+            for i in range(800)
+        ]
+        mean = statistics.mean(samples)
+        empirical = statistics.pstdev(samples) / mean
+        assert empirical == pytest.approx(
+            coefficient_of_variation(b, s, theta=theta), rel=0.1
+        )
+
+    def test_cov_for_traffic_maps_through_inverse(self):
+        b = 1.01
+        fn = GeometricCountingFunction(b)
+        traffic = fn.value(500)
+        assert cov_for_traffic(b, traffic) == pytest.approx(
+            coefficient_of_variation(b, 500)
+        )
+
+
+class TestCorollaryBound:
+    @given(b=st.floats(min_value=1.0001, max_value=3.0, allow_nan=False))
+    @settings(max_examples=100)
+    def test_bound_formula(self, b):
+        assert cov_bound(b) == pytest.approx(math.sqrt((b - 1) / (b + 1)))
+
+    def test_bound_increases_with_b(self):
+        # Figure 3's message: smaller b, smaller error.
+        bs = [1.0005, 1.002, 1.01, 1.05, 1.1]
+        bounds = [cov_bound(b) for b in bs]
+        assert bounds == sorted(bounds)
+
+    @given(e=st.floats(min_value=1e-4, max_value=0.9, allow_nan=False))
+    @settings(max_examples=100)
+    def test_inverse_roundtrip(self, e):
+        assert cov_bound(b_for_cov_bound(e)) == pytest.approx(e, rel=1e-9)
+
+    def test_b_for_cov_bound_validation(self):
+        with pytest.raises(ParameterError):
+            b_for_cov_bound(0.0)
+        with pytest.raises(ParameterError):
+            b_for_cov_bound(1.0)
+
+
+class TestTheorem3:
+    def test_bound_equals_inverse(self):
+        b, n = 1.02, 50_000
+        assert expected_counter_upper_bound(b, n) == pytest.approx(
+            GeometricCountingFunction(b).inverse(n)
+        )
+
+    def test_counter_bits_upper_bound(self):
+        b = 1.02
+        n = 50_000
+        bound = expected_counter_upper_bound(b, n)
+        assert counter_bits_upper_bound(b, n) == int(math.ceil(bound)).bit_length()
+
+    def test_empirical_mean_below_bound(self):
+        # 50-run empirical check, as in Figure 4.
+        from repro.core.fastsim import simulate_uniform_stream
+
+        b, n = 1.05, 5000
+        fn = GeometricCountingFunction(b)
+        runs = [simulate_uniform_stream(fn, 1.0, n, rng=s) for s in range(50)]
+        assert statistics.mean(runs) <= fn.inverse(n) + 0.2
+
+
+class TestChooseB:
+    def test_capacity_constraint_met(self):
+        bits, n_max = 10, 1_000_000
+        b = choose_b(bits, n_max)
+        fn = GeometricCountingFunction(b)
+        assert fn.value((1 << bits) - 1) >= n_max
+
+    def test_minimality(self):
+        bits, n_max = 10, 1_000_000
+        b = choose_b(bits, n_max)
+        slightly_smaller = 1.0 + (b - 1.0) * 0.999
+        fn = GeometricCountingFunction(slightly_smaller)
+        assert fn.value((1 << bits) - 1) < n_max
+
+    def test_tiny_flows_get_near_linear_b(self):
+        b = choose_b(16, 1000.0)
+        assert b < 1.0001
+
+    def test_more_bits_smaller_b(self):
+        n_max = 10_000_000
+        bs = [choose_b(bits, n_max) for bits in (8, 10, 12, 14)]
+        assert bs == sorted(bs, reverse=True)
+
+    def test_slack_increases_b(self):
+        assert choose_b(10, 1e6, slack=2.0) > choose_b(10, 1e6, slack=1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            choose_b(0, 100)
+        with pytest.raises(ParameterError):
+            choose_b(8, 0)
+        with pytest.raises(ParameterError):
+            choose_b(8, 100, slack=0)
+
+
+class TestRelativeErrorPrediction:
+    def test_bounded_and_positive(self):
+        b = 1.01
+        e = relative_error_prediction(b, 100_000)
+        assert 0.0 < e <= cov_bound(b) + 1e-12
+
+    def test_grows_with_flow_length(self):
+        b = 1.01
+        errors = [relative_error_prediction(b, n) for n in (100, 10_000, 1_000_000)]
+        assert errors == sorted(errors)

@@ -1,0 +1,133 @@
+"""Tests for sketch checkpointing."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import load_sketch, save_sketch
+from repro.core.disco import DiscoSketch
+from repro.core.functions import LinearCountingFunction
+from repro.core.hybrid import HybridCountingFunction
+from repro.errors import ParameterError, TraceFormatError
+
+
+def loaded_sketch(**kwargs):
+    sketch = DiscoSketch(**kwargs)
+    rand = random.Random(1)
+    for _ in range(500):
+        sketch.observe(f"flow{rand.randrange(12)}", rand.randint(40, 1500))
+    return sketch
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        sketch = loaded_sketch(b=1.02, mode="volume", rng=0)
+        path = tmp_path / "sketch.ckpt"
+        written = save_sketch(sketch, path)
+        assert path.stat().st_size == written
+        restored = load_sketch(path, rng=99)
+        assert restored.mode == "volume"
+        assert len(restored) == len(sketch)
+        for flow in sketch.flows():
+            assert restored.counter_value(str(flow)) == sketch.counter_value(flow)
+            assert restored.estimate(str(flow)) == sketch.estimate(flow)
+
+    def test_stream_roundtrip(self):
+        sketch = loaded_sketch(b=1.05, mode="size", rng=2)
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        buffer.seek(0)
+        restored = load_sketch(buffer)
+        assert restored.mode == "size"
+        assert restored.function == sketch.function
+
+    def test_capacity_bits_preserved(self):
+        sketch = loaded_sketch(b=1.05, rng=3, capacity_bits=10)
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        buffer.seek(0)
+        assert load_sketch(buffer).capacity_bits == 10
+
+    def test_hybrid_function_preserved(self):
+        sketch = DiscoSketch(function=HybridCountingFunction(1.03, knee=40),
+                             rng=4)
+        sketch.observe("f", 1000)
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        buffer.seek(0)
+        restored = load_sketch(buffer)
+        assert restored.function == HybridCountingFunction(1.03, knee=40)
+
+    def test_pending_burst_flushed(self):
+        sketch = DiscoSketch(b=1.05, rng=5, burst_capacity=1e9)
+        sketch.observe("f", 1000)  # sits in the burst accumulator
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        buffer.seek(0)
+        assert load_sketch(buffer).counter_value("f") > 0
+
+    def test_resume_counting_after_restore(self):
+        sketch = loaded_sketch(b=1.02, rng=6)
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        buffer.seek(0)
+        restored = load_sketch(buffer, rng=7)
+        before = restored.estimate("flow0")
+        restored.observe("flow0", 1500)
+        assert restored.estimate("flow0") >= before
+
+
+class TestPropertyRoundtrip:
+    @given(
+        counters=st.dictionaries(
+            st.text(min_size=1, max_size=20),
+            st.integers(min_value=0, max_value=100_000),
+            max_size=20,
+        ),
+        b=st.floats(min_value=1.001, max_value=1.9, allow_nan=False),
+        mode=st.sampled_from(["volume", "size"]),
+    )
+    @settings(max_examples=60)
+    def test_arbitrary_state_roundtrips(self, counters, b, mode):
+        sketch = DiscoSketch(b=b, mode=mode, rng=0)
+        sketch._counters.update(counters)
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        buffer.seek(0)
+        restored = load_sketch(buffer)
+        assert restored.mode == mode
+        assert dict(restored._counters) == counters
+        assert restored.function == sketch.function
+
+
+class TestErrors:
+    def test_unsupported_function(self):
+        sketch = DiscoSketch(function=LinearCountingFunction(), rng=0)
+        with pytest.raises(ParameterError):
+            save_sketch(sketch, io.BytesIO())
+
+    def test_bad_magic(self):
+        sketch = loaded_sketch(b=1.02, rng=8)
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        data = bytearray(buffer.getvalue())
+        data[0] = 0
+        with pytest.raises(TraceFormatError):
+            load_sketch(io.BytesIO(bytes(data)))
+
+    def test_truncated(self):
+        sketch = loaded_sketch(b=1.02, rng=9)
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        with pytest.raises(TraceFormatError):
+            load_sketch(io.BytesIO(buffer.getvalue()[:-2]))
+
+    def test_trailing_garbage(self):
+        sketch = loaded_sketch(b=1.02, rng=10)
+        buffer = io.BytesIO()
+        save_sketch(sketch, buffer)
+        with pytest.raises(TraceFormatError):
+            load_sketch(io.BytesIO(buffer.getvalue() + b"!"))

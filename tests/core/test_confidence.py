@@ -1,0 +1,107 @@
+"""Tests for confidence intervals on DISCO estimates."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.analysis import cov_bound
+from repro.core.confidence import (
+    ConfidenceInterval,
+    confidence_interval,
+    counter_for_error,
+    relative_stddev,
+    z_for_confidence,
+)
+from repro.core.fastsim import simulate_uniform_stream
+from repro.core.functions import GeometricCountingFunction
+from repro.errors import ParameterError
+
+
+class TestZ:
+    def test_table_points(self):
+        assert z_for_confidence(0.95) == pytest.approx(1.96, abs=1e-3)
+        assert z_for_confidence(0.99) == pytest.approx(2.5758, abs=1e-3)
+
+    def test_interpolation_monotone(self):
+        levels = [0.5, 0.7, 0.9, 0.95, 0.99, 0.999]
+        zs = [z_for_confidence(l) for l in levels]
+        assert zs == sorted(zs)
+
+    def test_validation(self):
+        for level in (0.0, 1.0, -1, 2):
+            with pytest.raises(ParameterError):
+                z_for_confidence(level)
+
+
+class TestRelativeStddev:
+    def test_zero_for_tiny_counters(self):
+        assert relative_stddev(1.01, 0) == 0.0
+        assert relative_stddev(1.01, 1) == 0.0
+
+    def test_bounded(self):
+        b = 1.01
+        assert relative_stddev(b, 100_000) <= cov_bound(b)
+
+
+class TestConfidenceInterval:
+    def test_brackets_estimate(self):
+        ci = confidence_interval(1.02, 500)
+        assert ci.low <= ci.estimate <= ci.high
+        assert ci.level == 0.95
+
+    def test_zero_counter(self):
+        ci = confidence_interval(1.02, 0)
+        assert ci.estimate == 0.0
+        assert ci.low == 0.0 and ci.high == 0.0
+
+    def test_higher_level_wider(self):
+        narrow = confidence_interval(1.02, 500, level=0.80)
+        wide = confidence_interval(1.02, 500, level=0.99)
+        assert wide.high - wide.low > narrow.high - narrow.low
+
+    def test_smaller_b_tighter(self):
+        loose = confidence_interval(1.05, 500)
+        tight = confidence_interval(1.005, 500)
+        assert tight.half_width_relative < loose.half_width_relative
+
+    def test_contains(self):
+        ci = ConfidenceInterval(estimate=100, low=90, high=110, level=0.95,
+                                relative_stddev=0.05)
+        assert ci.contains(100) and ci.contains(90) and not ci.contains(80)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            confidence_interval(1.02, -1)
+
+    def test_empirical_coverage(self):
+        # Run many flows of a known length; the 95% interval built from the
+        # final counter should cover the truth ~95% of the time.
+        b, n = 1.05, 3000
+        fn = GeometricCountingFunction(b)
+        covered = 0
+        runs = 400
+        for seed in range(runs):
+            c = simulate_uniform_stream(fn, 1.0, n, rng=seed)
+            ci = confidence_interval(b, c, level=0.95)
+            if ci.contains(n):
+                covered += 1
+        assert covered / runs > 0.88  # normal approx + discrete counter
+
+
+class TestCounterForError:
+    def test_none_when_target_above_bound(self):
+        assert counter_for_error(1.002, 0.05) is None
+
+    def test_threshold_found(self):
+        b, target = 1.01, 0.03
+        threshold = counter_for_error(b, target)
+        assert threshold is not None
+        from repro.core.analysis import coefficient_of_variation
+
+        assert coefficient_of_variation(b, threshold) <= target
+        assert coefficient_of_variation(b, threshold + 1) > target
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            counter_for_error(1.01, 0.0)

@@ -1,0 +1,107 @@
+"""Tests for the memoized DISCO fast path."""
+
+import random
+import statistics
+import time
+
+import pytest
+
+from repro.core.disco import DiscoSketch
+from repro.core.fastpath import FastDiscoSketch, UpdateCache
+from repro.core.functions import GeometricCountingFunction
+from repro.core.update import compute_update
+from repro.errors import ParameterError
+
+
+class TestUpdateCache:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            UpdateCache(GeometricCountingFunction(1.1), max_entries=0)
+
+    def test_exactness(self):
+        fn = GeometricCountingFunction(1.02)
+        cache = UpdateCache(fn)
+        for c, l in [(0, 64.0), (100, 1500.0), (100, 1500.0)]:
+            delta, p = cache.decision(c, l)
+            exact = compute_update(fn, c, l)
+            assert (delta, p) == (exact.delta, exact.probability)
+
+    def test_hit_accounting(self):
+        cache = UpdateCache(GeometricCountingFunction(1.02))
+        cache.decision(5, 100.0)
+        cache.decision(5, 100.0)
+        cache.decision(6, 100.0)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_bounded(self):
+        cache = UpdateCache(GeometricCountingFunction(1.02), max_entries=4)
+        for c in range(20):
+            cache.decision(c, 100.0)
+        assert len(cache._cache) <= 4
+
+
+class TestFastDiscoSketch:
+    def test_mode_validation(self):
+        with pytest.raises(ParameterError):
+            FastDiscoSketch(b=1.1, mode="bytes")
+
+    def test_rejects_bad_length(self):
+        sketch = FastDiscoSketch(b=1.1)
+        with pytest.raises(ParameterError):
+            sketch.observe("f", 0)
+
+    def test_identical_trajectory_to_reference(self):
+        # Same seed, same packets: the cached path must take the exact
+        # same random decisions as DiscoSketch.
+        rand = random.Random(3)
+        packets = [(rand.randrange(6), rand.choice([40, 576, 1500]))
+                   for _ in range(3000)]
+        reference = DiscoSketch(b=1.02, mode="volume", rng=9)
+        fast = FastDiscoSketch(b=1.02, mode="volume", rng=9)
+        for flow, length in packets:
+            reference.observe(flow, length)
+            fast.observe(flow, length)
+        for flow in range(6):
+            assert fast.counter_value(flow) == reference.counter_value(flow)
+
+    def test_high_hit_rate_on_realistic_lengths(self):
+        rand = random.Random(4)
+        sketch = FastDiscoSketch(b=1.01, mode="volume", rng=5)
+        for _ in range(20_000):
+            sketch.observe(rand.randrange(4), rand.choice([40, 576, 1500]))
+        assert sketch.cache.hit_rate > 0.8
+
+    def test_size_mode_hit_rate_near_one(self):
+        sketch = FastDiscoSketch(b=1.02, mode="size", rng=6)
+        for _ in range(5000):
+            sketch.observe("f", 1234)
+        # l is always 1: one miss per distinct counter value only.
+        assert sketch.cache.hit_rate > 0.9
+
+    def test_faster_than_reference_on_cached_workload(self):
+        rand = random.Random(7)
+        packets = [("f", rand.choice([40, 1500])) for _ in range(30_000)]
+
+        fast = FastDiscoSketch(b=1.002, mode="volume", rng=8)
+        start = time.perf_counter()
+        fast.observe_many(packets)
+        fast_time = time.perf_counter() - start
+
+        reference = DiscoSketch(b=1.002, mode="volume", rng=8)
+        start = time.perf_counter()
+        reference.observe_many(packets)
+        reference_time = time.perf_counter() - start
+
+        assert fast_time < reference_time
+
+    def test_readout_surface(self):
+        sketch = FastDiscoSketch(b=1.05, rng=0)
+        sketch.observe_many([("a", 100), ("b", 1000)])
+        assert len(sketch) == 2
+        assert set(sketch.flows()) == {"a", "b"}
+        assert sketch.estimate("a") > 0
+        assert sketch.estimates()["b"] == sketch.estimate("b")
+        assert sketch.max_counter_bits() >= 1
+        assert sketch.counter_value("zzz") == 0

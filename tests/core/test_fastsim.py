@@ -1,0 +1,106 @@
+"""Tests for the geometric-jump fast simulator."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.fastsim import simulate_packets, simulate_uniform_stream, traffic_to_reach
+from repro.core.functions import GeometricCountingFunction
+from repro.errors import ParameterError
+
+
+class TestSimulatePackets:
+    def test_empty_stream(self):
+        fn = GeometricCountingFunction(1.1)
+        assert simulate_packets(fn, [], rng=0) == 0
+
+    def test_single_unit(self):
+        fn = GeometricCountingFunction(1.1)
+        assert simulate_packets(fn, [1.0], rng=0) == 1
+
+    def test_respects_start(self):
+        fn = GeometricCountingFunction(1.1)
+        assert simulate_packets(fn, [], rng=0, start=10) == 10
+
+
+class TestSimulateUniformStream:
+    def test_zero_count(self):
+        fn = GeometricCountingFunction(1.1)
+        assert simulate_uniform_stream(fn, 1.0, 0, rng=0) == 0
+
+    def test_validation(self):
+        fn = GeometricCountingFunction(1.1)
+        with pytest.raises(ParameterError):
+            simulate_uniform_stream(fn, 0.0, 10)
+        with pytest.raises(ParameterError):
+            simulate_uniform_stream(fn, 1.0, -1)
+
+    def test_agrees_with_reference_distribution_theta_1(self):
+        # Fast path and per-packet path must produce the same counter law.
+        fn = GeometricCountingFunction(1.3)
+        count = 300
+        fast = [simulate_uniform_stream(fn, 1.0, count, rng=s) for s in range(250)]
+        slow = [
+            simulate_packets(fn, [1.0] * count, rng=10_000 + s) for s in range(250)
+        ]
+        assert statistics.mean(fast) == pytest.approx(statistics.mean(slow), rel=0.03)
+        assert statistics.pstdev(fast) == pytest.approx(
+            statistics.pstdev(slow), rel=0.35, abs=0.3
+        )
+
+    def test_agrees_with_reference_distribution_large_theta(self):
+        fn = GeometricCountingFunction(1.05)
+        theta, count = 500.0, 60
+        fast = [simulate_uniform_stream(fn, theta, count, rng=s) for s in range(250)]
+        slow = [
+            simulate_packets(fn, [theta] * count, rng=20_000 + s) for s in range(250)
+        ]
+        assert statistics.mean(fast) == pytest.approx(statistics.mean(slow), rel=0.03)
+
+    def test_estimator_unbiased_via_fast_path(self):
+        fn = GeometricCountingFunction(1.1)
+        count = 500
+        estimates = [
+            fn.value(simulate_uniform_stream(fn, 1.0, count, rng=s)) for s in range(400)
+        ]
+        assert statistics.mean(estimates) == pytest.approx(count, rel=0.05)
+
+    def test_counter_below_inverse_bound(self):
+        # Theorem 3: E[c] <= f^{-1}(n); a single run should not exceed it by
+        # more than sampling noise allows over many runs on average.
+        fn = GeometricCountingFunction(1.05)
+        count = 10_000
+        runs = [simulate_uniform_stream(fn, 1.0, count, rng=s) for s in range(100)]
+        assert statistics.mean(runs) <= fn.inverse(count) + 0.5
+
+
+class TestTrafficToReach:
+    def test_validation(self):
+        fn = GeometricCountingFunction(1.1)
+        with pytest.raises(ParameterError):
+            traffic_to_reach(fn, -1)
+        with pytest.raises(ParameterError):
+            traffic_to_reach(fn, 10, theta=0.0)
+
+    def test_zero_target_needs_no_traffic(self):
+        fn = GeometricCountingFunction(1.1)
+        assert traffic_to_reach(fn, 0, rng=0) == 0.0
+
+    def test_mean_matches_theorem_2_expectation(self):
+        # E[T(S)] = f(S) for theta = 1 (Eq. 15).
+        fn = GeometricCountingFunction(1.3)
+        target = 12
+        samples = [traffic_to_reach(fn, target, rng=s) for s in range(500)]
+        assert statistics.mean(samples) == pytest.approx(fn.value(target), rel=0.05)
+
+    def test_theta_gt_one_mean(self):
+        # E[T(S)] = theta + b^x (b^{S-x} - 1)/(b - 1) (Eq. 18).
+        import math
+
+        b, theta, target = 1.2, 10.0, 14
+        fn = GeometricCountingFunction(b)
+        x = int(math.floor(fn.inverse(theta)))
+        expected = theta + (b**x) * (b ** (target - x) - 1.0) / (b - 1.0)
+        samples = [traffic_to_reach(fn, target, theta=theta, rng=s) for s in range(600)]
+        assert statistics.mean(samples) == pytest.approx(expected, rel=0.05)

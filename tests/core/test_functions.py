@@ -1,0 +1,168 @@
+"""Tests for the counting-regulation functions (Eq. 1)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.functions import (
+    GeometricCountingFunction,
+    LinearCountingFunction,
+    geometric,
+)
+from repro.errors import ParameterError
+
+BASES = st.floats(min_value=1.0001, max_value=2.0, allow_nan=False)
+COUNTERS = st.integers(min_value=0, max_value=2000)
+AMOUNTS = st.floats(min_value=1e-6, max_value=1e9, allow_nan=False)
+
+
+class TestGeometricBasics:
+    def test_f_of_zero_is_zero(self):
+        assert GeometricCountingFunction(1.05).value(0) == 0.0
+
+    def test_f_of_one_is_one(self):
+        # The paper requires f(1) = 1 so the smallest flow costs one unit.
+        assert GeometricCountingFunction(1.05).value(1) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # b=2: f(c) = 2^c - 1.
+        fn = GeometricCountingFunction(2.0)
+        assert fn.value(10) == pytest.approx(1023.0)
+
+    def test_inverse_known_value(self):
+        fn = GeometricCountingFunction(2.0)
+        assert fn.inverse(1023.0) == pytest.approx(10.0)
+
+    def test_gap_is_b_to_the_c(self):
+        fn = GeometricCountingFunction(1.3)
+        for c in (0, 1, 5, 17):
+            assert fn.gap(c) == pytest.approx(1.3**c)
+
+    def test_gap_matches_value_difference(self):
+        fn = GeometricCountingFunction(1.07)
+        for c in (0, 3, 11, 40):
+            assert fn.gap(c) == pytest.approx(fn.value(c + 1) - fn.value(c), rel=1e-9)
+
+    def test_growth_matches_value_difference(self):
+        fn = GeometricCountingFunction(1.07)
+        assert fn.growth(5, 7) == pytest.approx(fn.value(12) - fn.value(5), rel=1e-9)
+
+    def test_growth_zero_step(self):
+        assert GeometricCountingFunction(1.1).growth(9, 0) == 0.0
+
+    def test_headroom_matches_inverse_form(self):
+        fn = GeometricCountingFunction(1.02)
+        c, l = 50, 700.0
+        expected = fn.inverse(l + fn.value(c)) - c
+        assert fn.headroom(c, l) == pytest.approx(expected, rel=1e-9)
+
+    def test_headroom_stable_for_huge_counters(self):
+        # f(c) would overflow a double here; headroom must stay finite.
+        fn = GeometricCountingFunction(1.5)
+        value = fn.headroom(5000, 1500.0)
+        assert value >= 0.0
+        assert math.isfinite(value)
+
+    def test_repr_and_eq(self):
+        assert GeometricCountingFunction(1.2) == GeometricCountingFunction(1.2)
+        assert GeometricCountingFunction(1.2) != GeometricCountingFunction(1.3)
+        assert "1.2" in repr(GeometricCountingFunction(1.2))
+
+    def test_hashable(self):
+        s = {GeometricCountingFunction(1.2), GeometricCountingFunction(1.2)}
+        assert len(s) == 1
+
+    def test_geometric_shorthand(self):
+        assert geometric(1.01) == GeometricCountingFunction(1.01)
+
+
+class TestGeometricValidation:
+    @pytest.mark.parametrize("b", [1.0, 0.5, 0.0, -3.0, float("nan"), float("inf")])
+    def test_rejects_bad_base(self, b):
+        with pytest.raises(ParameterError):
+            GeometricCountingFunction(b)
+
+    def test_rejects_negative_counter(self):
+        with pytest.raises(ParameterError):
+            GeometricCountingFunction(1.1).value(-1)
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ParameterError):
+            GeometricCountingFunction(1.1).inverse(-1)
+
+    def test_rejects_negative_headroom_amount(self):
+        with pytest.raises(ParameterError):
+            GeometricCountingFunction(1.1).headroom(0, -5)
+
+    def test_rejects_negative_growth_step(self):
+        with pytest.raises(ParameterError):
+            GeometricCountingFunction(1.1).growth(3, -1)
+
+
+class TestGeometricProperties:
+    @given(b=BASES, c=COUNTERS)
+    @settings(max_examples=200)
+    def test_inverse_roundtrip(self, b, c):
+        fn = GeometricCountingFunction(b)
+        n = fn.value(c)
+        assume(math.isfinite(n))  # f(c) saturates to inf past double range
+        assert fn.inverse(n) == pytest.approx(c, abs=1e-6)
+
+    @given(b=BASES, c=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=100)
+    def test_value_strictly_increasing(self, b, c):
+        fn = GeometricCountingFunction(b)
+        assert fn.value(c + 1) > fn.value(c)
+
+    @given(b=BASES, c=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=100)
+    def test_convexity_of_gaps(self, b, c):
+        # f convex <=> successive gaps non-decreasing.
+        fn = GeometricCountingFunction(b)
+        assert fn.gap(c + 1) > fn.gap(c)
+
+    @given(b=BASES, c=COUNTERS, l=AMOUNTS)
+    @settings(max_examples=200)
+    def test_headroom_nonnegative(self, b, c, l):
+        # Strictly positive mathematically, but may underflow to 0.0 when
+        # l*(b-1) is negligible against b^c.
+        fn = GeometricCountingFunction(b)
+        assert fn.headroom(c, l) >= 0.0
+
+    @given(b=BASES, c=COUNTERS, l=AMOUNTS)
+    @settings(max_examples=200)
+    def test_headroom_decreasing_in_counter(self, b, c, l):
+        # Larger counters discount the same traffic more (concavity).
+        fn = GeometricCountingFunction(b)
+        assert fn.headroom(c + 1, l) <= fn.headroom(c, l) + 1e-12
+
+
+class TestLinear:
+    def test_identity_value(self):
+        fn = LinearCountingFunction()
+        assert fn.value(17) == 17.0
+        assert fn.inverse(17.0) == 17.0
+
+    def test_gap_and_growth(self):
+        fn = LinearCountingFunction()
+        assert fn.gap(100) == 1.0
+        assert fn.growth(4, 9) == 9.0
+
+    def test_headroom_is_amount(self):
+        assert LinearCountingFunction().headroom(123, 456.0) == 456.0
+
+    def test_equality(self):
+        assert LinearCountingFunction() == LinearCountingFunction()
+
+    def test_validation(self):
+        fn = LinearCountingFunction()
+        with pytest.raises(ParameterError):
+            fn.value(-1)
+        with pytest.raises(ParameterError):
+            fn.inverse(-1)
+        with pytest.raises(ParameterError):
+            fn.growth(0, -1)
+        with pytest.raises(ParameterError):
+            fn.headroom(0, -1)

@@ -1,0 +1,145 @@
+"""Tests for the hybrid exact/discount counting function."""
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.disco import DiscoCounter, DiscoSketch
+from repro.core.functions import GeometricCountingFunction
+from repro.core.hybrid import HybridCountingFunction
+from repro.core.update import compute_update
+from repro.errors import ParameterError
+
+BASES = st.floats(min_value=1.001, max_value=1.8, allow_nan=False)
+KNEES = st.integers(min_value=0, max_value=500)
+COUNTERS = st.integers(min_value=0, max_value=1500)
+LENGTHS = st.integers(min_value=1, max_value=100_000)
+
+
+class TestShape:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HybridCountingFunction(1.0, 10)
+        with pytest.raises(ParameterError):
+            HybridCountingFunction(1.1, -1)
+
+    def test_linear_region_is_identity(self):
+        fn = HybridCountingFunction(1.05, knee=100)
+        for c in (0, 1, 50, 100):
+            assert fn.value(c) == float(c)
+            assert fn.inverse(float(c)) == float(c)
+            if c < 100:
+                assert fn.gap(c) == 1.0
+
+    def test_continuous_at_knee(self):
+        fn = HybridCountingFunction(1.05, knee=100)
+        assert fn.value(100) == 100.0
+        assert fn.value(101) == pytest.approx(101.0)  # f(k+1) = k + 1
+
+    def test_knee_zero_matches_geometric(self):
+        hybrid = HybridCountingFunction(1.07, knee=0)
+        geometric = GeometricCountingFunction(1.07)
+        for c in (0, 1, 10, 100):
+            assert hybrid.value(c) == pytest.approx(geometric.value(c), rel=1e-12)
+            assert hybrid.gap(c) == pytest.approx(geometric.gap(c), rel=1e-12)
+
+    def test_geometric_region_matches_shifted_geometric(self):
+        fn = HybridCountingFunction(1.1, knee=50)
+        geometric = GeometricCountingFunction(1.1)
+        for c in (50, 60, 100):
+            assert fn.value(c) == pytest.approx(50 + geometric.value(c - 50))
+
+    def test_equality_and_hash(self):
+        a = HybridCountingFunction(1.1, 10)
+        assert a == HybridCountingFunction(1.1, 10)
+        assert a != HybridCountingFunction(1.1, 11)
+        assert len({a, HybridCountingFunction(1.1, 10)}) == 1
+
+    def test_stable_for_huge_counters(self):
+        fn = HybridCountingFunction(1.5, knee=100)
+        assert math.isfinite(fn.headroom(50_000, 1500.0))
+        assert fn.headroom(50_000, 1500.0) >= 0.0
+
+
+class TestProtocolProperties:
+    @given(b=BASES, knee=KNEES, c=COUNTERS)
+    @settings(max_examples=150)
+    def test_inverse_roundtrip(self, b, knee, c):
+        fn = HybridCountingFunction(b, knee)
+        n = fn.value(c)
+        assume(math.isfinite(n))
+        assert fn.inverse(n) == pytest.approx(c, abs=1e-6)
+
+    @given(b=BASES, knee=KNEES, c=st.integers(min_value=0, max_value=600))
+    @settings(max_examples=150)
+    def test_convex_gaps(self, b, knee, c):
+        fn = HybridCountingFunction(b, knee)
+        assert fn.gap(c + 1) >= fn.gap(c) - 1e-12
+
+    @given(b=BASES, knee=KNEES, c=COUNTERS, l=LENGTHS)
+    @settings(max_examples=200)
+    def test_unbiasedness_identity(self, b, knee, c, l):
+        # The Theorem-1 identity holds for ANY convex regulator, the
+        # hybrid included: p*growth(c,d+1) + (1-p)*growth(c,d) == l.
+        fn = HybridCountingFunction(b, knee)
+        decision = compute_update(fn, c, float(l))
+        d, p = decision.delta, decision.probability
+        # Beyond double range (gap(c) = inf) the identity degenerates to
+        # 0 * inf; the update itself is still sane (p = 0, delta = 0).
+        assume(math.isfinite(fn.growth(c, d + 1)))
+        advance = p * fn.growth(c, d + 1) + (1.0 - p) * fn.growth(c, d)
+        assert advance == pytest.approx(float(l), rel=1e-6)
+
+    @given(b=BASES, knee=KNEES, c=COUNTERS)
+    @settings(max_examples=100)
+    def test_gap_matches_value_difference(self, b, knee, c):
+        fn = HybridCountingFunction(b, knee)
+        expected = fn.value(c + 1) - fn.value(c)
+        assume(math.isfinite(expected))
+        assert fn.gap(c) == pytest.approx(expected, rel=1e-9)
+
+
+class TestCountingBehaviour:
+    def test_small_flows_counted_exactly(self):
+        # Below the knee every size-counting update is deterministic.
+        fn = HybridCountingFunction(1.05, knee=200)
+        counter = DiscoCounter(function=fn, rng=0)
+        for _ in range(150):
+            counter.add(1.0)
+        assert counter.value == 150
+        assert counter.estimate() == 150.0
+
+    def test_small_volumes_counted_exactly(self):
+        fn = HybridCountingFunction(1.05, knee=10_000)
+        counter = DiscoCounter(function=fn, rng=0)
+        for l in (81, 1420, 142, 691):
+            counter.add(float(l))
+        assert counter.estimate() == 2334.0
+
+    def test_large_flows_discounted_and_unbiased(self):
+        fn_args = dict(b=1.05, knee=100)
+        lengths = [64, 1500, 576] * 50
+        truth = sum(lengths)
+        estimates = []
+        for seed in range(200):
+            counter = DiscoCounter(function=HybridCountingFunction(**fn_args),
+                                   rng=seed)
+            counter.add_many(float(l) for l in lengths)
+            estimates.append(counter.estimate())
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.03)
+        # And the counter is genuinely compressed.
+        assert counter.value < truth / 5
+
+    def test_sketch_integration(self):
+        fn = HybridCountingFunction(1.02, knee=50)
+        sketch = DiscoSketch(function=fn, mode="size", rng=1)
+        for _ in range(40):
+            sketch.observe("mouse", 1500)
+        for _ in range(5000):
+            sketch.observe("elephant", 1500)
+        assert sketch.estimate("mouse") == 40.0          # exact below knee
+        assert sketch.estimate("elephant") == pytest.approx(5000, rel=0.2)

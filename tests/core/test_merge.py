@@ -1,0 +1,112 @@
+"""Tests for distributed counter/sketch merging."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.disco import DiscoCounter, DiscoSketch
+from repro.core.functions import GeometricCountingFunction
+from repro.core.merge import merge_counters, merge_sketches, merged_estimate
+from repro.errors import ParameterError
+
+
+class TestMergedEstimate:
+    def test_sums_estimates(self):
+        fn = GeometricCountingFunction(1.1)
+        assert merged_estimate(fn, 5, 7) == pytest.approx(
+            fn.value(5) + fn.value(7)
+        )
+
+    def test_validation(self):
+        fn = GeometricCountingFunction(1.1)
+        with pytest.raises(ParameterError):
+            merged_estimate(fn)
+        with pytest.raises(ParameterError):
+            merged_estimate(fn, -1)
+
+
+class TestMergeCounters:
+    def test_zero_cases(self):
+        fn = GeometricCountingFunction(1.1)
+        assert merge_counters(fn, 10, 0, rng=0) == 10
+        assert merge_counters(fn, 0, 10, rng=0) == 10
+
+    def test_validation(self):
+        fn = GeometricCountingFunction(1.1)
+        with pytest.raises(ParameterError):
+            merge_counters(fn, -1, 5)
+
+    def test_merged_counter_unbiased(self):
+        # Split one flow's packets across two counters, merge, and check
+        # the merged estimator mean equals the full traffic.
+        fn = GeometricCountingFunction(1.08)
+        rand = random.Random(3)
+        lengths = [rand.randint(40, 1500) for _ in range(200)]
+        truth = sum(lengths)
+        half = len(lengths) // 2
+        estimates = []
+        for seed in range(400):
+            a = DiscoCounter(function=GeometricCountingFunction(1.08), rng=seed)
+            b = DiscoCounter(function=GeometricCountingFunction(1.08),
+                             rng=10_000 + seed)
+            a.add_many(float(l) for l in lengths[:half])
+            b.add_many(float(l) for l in lengths[half:])
+            merged = merge_counters(fn, a.value, b.value, rng=20_000 + seed)
+            estimates.append(fn.value(merged))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.03)
+
+    def test_merge_bounded_growth(self):
+        # The merged counter stays near f^{-1}(f(c1)+f(c2)).
+        fn = GeometricCountingFunction(1.05)
+        merged = merge_counters(fn, 80, 80, rng=1)
+        expected = fn.inverse(fn.value(80) * 2)
+        assert abs(merged - expected) <= 2
+
+
+class TestMergeSketches:
+    def _sketch(self, seed, flows):
+        sketch = DiscoSketch(b=1.05, mode="volume", rng=seed)
+        rand = random.Random(seed + 1)
+        truth = {}
+        for flow in flows:
+            truth[flow] = 0
+            for _ in range(100):
+                l = rand.randint(40, 1500)
+                sketch.observe(flow, l)
+                truth[flow] += l
+        return sketch, truth
+
+    def test_disjoint_flows_union(self):
+        a, truth_a = self._sketch(1, ["x", "y"])
+        b, truth_b = self._sketch(2, ["z"])
+        merged = merge_sketches(a, b, rng=3)
+        assert set(merged.flows()) == {"x", "y", "z"}
+        assert merged.counter_value("x") == a.counter_value("x")
+        assert merged.counter_value("z") == b.counter_value("z")
+
+    def test_shared_flows_merged(self):
+        a, truth_a = self._sketch(4, ["shared"])
+        b, truth_b = self._sketch(5, ["shared"])
+        merged = merge_sketches(a, b, rng=6)
+        total = truth_a["shared"] + truth_b["shared"]
+        assert merged.estimate("shared") == pytest.approx(total, rel=0.35)
+
+    def test_inputs_untouched(self):
+        a, _ = self._sketch(7, ["f"])
+        b, _ = self._sketch(8, ["f"])
+        before_a = a.counter_value("f")
+        merge_sketches(a, b, rng=9)
+        assert a.counter_value("f") == before_a
+
+    def test_mismatched_functions_rejected(self):
+        a = DiscoSketch(b=1.05, rng=0)
+        b = DiscoSketch(b=1.06, rng=0)
+        with pytest.raises(ParameterError):
+            merge_sketches(a, b)
+
+    def test_mismatched_modes_rejected(self):
+        a = DiscoSketch(b=1.05, mode="size", rng=0)
+        b = DiscoSketch(b=1.05, mode="volume", rng=0)
+        with pytest.raises(ParameterError):
+            merge_sketches(a, b)

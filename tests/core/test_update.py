@@ -1,0 +1,155 @@
+"""Tests for the DISCO update rule (Algorithm 1, Eqs. 2-3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.functions import GeometricCountingFunction, LinearCountingFunction
+from repro.core.update import apply_update, compute_update, expected_increment
+from repro.errors import ParameterError
+
+BASES = st.floats(min_value=1.001, max_value=1.8, allow_nan=False)
+COUNTERS = st.integers(min_value=0, max_value=800)
+LENGTHS = st.integers(min_value=1, max_value=100_000)
+
+
+class TestComputeUpdate:
+    def test_first_unit_packet_always_increments(self):
+        # c=0, l=1: headroom is exactly 1, so delta=0 and p_d=1.
+        fn = GeometricCountingFunction(1.05)
+        decision = compute_update(fn, 0, 1.0)
+        assert decision.delta == 0
+        assert decision.probability == pytest.approx(1.0)
+
+    def test_size_counting_reduces_to_anls(self):
+        # Section IV-C: with l=1, delta=0 and p_d = b^{-c}.
+        fn = GeometricCountingFunction(1.2)
+        for c in (0, 1, 5, 20, 100):
+            decision = compute_update(fn, c, 1.0)
+            assert decision.delta == 0
+            assert decision.probability == pytest.approx(1.2 ** (-c), rel=1e-9)
+
+    def test_exact_integer_headroom_gives_probability_one(self):
+        # l = f(c+k) - f(c) lands exactly on integer k: deterministic jump.
+        fn = GeometricCountingFunction(1.5)
+        c, k = 4, 3
+        l = fn.value(c + k) - fn.value(c)
+        decision = compute_update(fn, c, l)
+        assert decision.delta == k - 1
+        assert decision.probability == pytest.approx(1.0, abs=1e-9)
+
+    def test_larger_counter_smaller_increment(self):
+        # "the larger the counter value ... the smaller the increase".
+        fn = GeometricCountingFunction(1.05)
+        l = 500.0
+        advances = [compute_update(fn, c, l).expected_advance for c in (0, 20, 60, 120)]
+        assert advances == sorted(advances, reverse=True)
+
+    def test_example_from_figure_1_is_discounted(self):
+        # The counter advance is always strictly below the packet length
+        # once the counter is warm (compression), and never above l.
+        fn = GeometricCountingFunction(1.1)
+        c = 10
+        for l in (81, 1420, 142, 691):
+            decision = compute_update(fn, c, float(l))
+            assert decision.delta + 1 < l
+
+    def test_validation(self):
+        fn = GeometricCountingFunction(1.1)
+        with pytest.raises(ParameterError):
+            compute_update(fn, -1, 10.0)
+        with pytest.raises(ParameterError):
+            compute_update(fn, 0, 0.0)
+        with pytest.raises(ParameterError):
+            compute_update(fn, 0, -5.0)
+        with pytest.raises(ParameterError):
+            compute_update(fn, 0, float("inf"))
+
+    def test_linear_function_is_exact_counting(self):
+        fn = LinearCountingFunction()
+        decision = compute_update(fn, 7, 42.0)
+        # headroom = 42 exactly: delta = 41, p_d = 1 -> advance 42 always.
+        assert decision.delta == 41
+        assert decision.probability == pytest.approx(1.0)
+
+
+class TestUnbiasednessIdentity:
+    """The exact algebraic identity behind Theorem 1:
+
+    p_d * f(c + delta + 1) + (1 - p_d) * f(c + delta) - f(c) == l
+    """
+
+    @given(b=BASES, c=COUNTERS, l=LENGTHS)
+    @settings(max_examples=300)
+    def test_expected_estimator_advance_equals_length(self, b, c, l):
+        fn = GeometricCountingFunction(b)
+        decision = compute_update(fn, c, float(l))
+        d, p = decision.delta, decision.probability
+        advance = p * fn.growth(c, d + 1) + (1.0 - p) * fn.growth(c, d)
+        assert advance == pytest.approx(float(l), rel=1e-6)
+
+    @given(b=BASES, c=COUNTERS, l=LENGTHS)
+    @settings(max_examples=300)
+    def test_probability_in_unit_interval(self, b, c, l):
+        decision = compute_update(GeometricCountingFunction(b), c, float(l))
+        assert 0.0 <= decision.probability <= 1.0
+
+    @given(b=BASES, c=COUNTERS, l=LENGTHS)
+    @settings(max_examples=300)
+    def test_delta_nonnegative(self, b, c, l):
+        decision = compute_update(GeometricCountingFunction(b), c, float(l))
+        assert decision.delta >= 0
+
+    @given(b=BASES, c=COUNTERS, l=LENGTHS)
+    @settings(max_examples=200)
+    def test_delta_brackets_headroom(self, b, c, l):
+        # delta < headroom <= delta + 1 (Eq. 2), modulo float tolerance.
+        fn = GeometricCountingFunction(b)
+        decision = compute_update(fn, c, float(l))
+        headroom = fn.headroom(c, float(l))
+        assert decision.delta <= headroom + 1e-6
+        assert headroom <= decision.delta + 1 + 1e-6
+
+
+class TestApplyUpdate:
+    def test_low_draw_takes_big_step(self):
+        fn = GeometricCountingFunction(1.3)
+        decision = compute_update(fn, 5, 100.0)
+        assert 0.0 < decision.probability < 1.0
+        big = apply_update(fn, 5, 100.0, u=0.0)
+        small = apply_update(fn, 5, 100.0, u=0.999999)
+        assert big == 5 + decision.delta + 1
+        assert small == 5 + decision.delta
+
+    def test_expected_increment_matches_decision(self):
+        fn = GeometricCountingFunction(1.1)
+        decision = compute_update(fn, 3, 64.0)
+        assert expected_increment(fn, 3, 64.0) == pytest.approx(
+            decision.delta + decision.probability
+        )
+
+    def test_counter_never_decreases(self):
+        fn = GeometricCountingFunction(1.02)
+        c = 0
+        for u in (0.1, 0.9, 0.5, 0.3):
+            new = apply_update(fn, c, 1000.0, u)
+            assert new >= c
+            c = new
+
+
+class TestEmpiricalUnbiasedness:
+    def test_monte_carlo_mean_matches_length(self):
+        # E[f(c_after)] - f(c_before) should equal l over many draws.
+        import random
+
+        fn = GeometricCountingFunction(1.15)
+        rand = random.Random(99)
+        c0, l = 12, 777.0
+        total = 0.0
+        runs = 4000
+        for _ in range(runs):
+            c1 = apply_update(fn, c0, l, rand.random())
+            total += fn.value(c1) - fn.value(c0)
+        assert total / runs == pytest.approx(l, rel=0.02)

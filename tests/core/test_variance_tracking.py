@@ -1,0 +1,135 @@
+"""Tests for online estimator-variance tracking."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.disco import DiscoCounter
+from repro.errors import ParameterError
+
+
+class TestApi:
+    def test_disabled_by_default(self):
+        counter = DiscoCounter(b=1.1, rng=0)
+        counter.add(100.0)
+        with pytest.raises(ParameterError):
+            _ = counter.variance_estimate
+
+    def test_zero_before_updates(self):
+        counter = DiscoCounter(b=1.1, rng=0, track_variance=True)
+        assert counter.variance_estimate == 0.0
+        assert counter.stddev_estimate == 0.0
+        assert counter.relative_error_estimate == 0.0
+
+    def test_reset_clears(self):
+        counter = DiscoCounter(b=1.1, rng=0, track_variance=True)
+        counter.add(1000.0)
+        counter.add(1000.0)
+        assert counter.variance_estimate > 0.0
+        counter.reset()
+        assert counter.variance_estimate == 0.0
+
+    def test_deterministic_updates_add_no_variance(self):
+        # l = 1 at c = 0 always increments: p = 1, contribution 0.
+        counter = DiscoCounter(b=1.5, rng=0, track_variance=True)
+        counter.add(1.0)
+        assert counter.variance_estimate == 0.0
+
+
+class TestSketchVariance:
+    def test_requires_flag(self):
+        from repro.core.disco import DiscoSketch
+
+        sketch = DiscoSketch(b=1.1, rng=0)
+        sketch.observe("f", 100)
+        with pytest.raises(ParameterError):
+            sketch.variance_of("f")
+
+    def test_per_flow_accumulation(self):
+        from repro.core.disco import DiscoSketch
+
+        sketch = DiscoSketch(b=1.1, rng=0, track_variance=True)
+        for _ in range(50):
+            sketch.observe("a", 1000)
+        sketch.observe("b", 40)
+        assert sketch.variance_of("a") > 0.0
+        assert sketch.variance_of("unseen") == 0.0
+        sketch.reset()
+        assert sketch.variance_of("a") == 0.0
+
+    def test_tracked_variance_feeds_subpopulation(self):
+        from repro.core.disco import DiscoSketch
+        from repro.metrics.weighted import subpopulation_estimate
+
+        rand = random.Random(9)
+        tracked = DiscoSketch(b=1.05, rng=1, track_variance=True)
+        plain = DiscoSketch(b=1.05, rng=1)
+        for _ in range(500):
+            flow = rand.randrange(4)
+            l = rand.randint(40, 1500)
+            tracked.observe(flow, l)
+            plain.observe(flow, l)
+        with_tracked = subpopulation_estimate(tracked, range(4))
+        with_model = subpopulation_estimate(plain, range(4))
+        assert with_tracked.total == pytest.approx(with_model.total)
+        # Both produce positive, same-order error bars.
+        assert with_tracked.stddev > 0
+        assert 0.2 < with_tracked.stddev / with_model.stddev < 5.0
+
+
+class TestCalibration:
+    def _run_once(self, lengths, seed, b=1.1):
+        counter = DiscoCounter(b=b, rng=seed, track_variance=True)
+        counter.add_many(float(l) for l in lengths)
+        return counter.estimate(), counter.variance_estimate
+
+    def test_tracked_variance_matches_empirical(self):
+        rand = random.Random(5)
+        lengths = [rand.randint(40, 1500) for _ in range(150)]
+        estimates, tracked = [], []
+        for seed in range(500):
+            est, var = self._run_once(lengths, seed)
+            estimates.append(est)
+            tracked.append(var)
+        empirical_var = statistics.pvariance(estimates)
+        mean_tracked = statistics.mean(tracked)
+        assert mean_tracked == pytest.approx(empirical_var, rel=0.25)
+
+    def test_relative_error_estimate_tracks_true_error(self):
+        rand = random.Random(6)
+        lengths = [rand.randint(40, 1500) for _ in range(200)]
+        truth = sum(lengths)
+        rel_estimates, actual_errors = [], []
+        for seed in range(300):
+            counter = DiscoCounter(b=1.1, rng=seed, track_variance=True)
+            counter.add_many(float(l) for l in lengths)
+            rel_estimates.append(counter.relative_error_estimate)
+            actual_errors.append(abs(counter.estimate() - truth) / truth)
+        # The mean tracked sigma should be close to the RMS actual error.
+        rms_actual = statistics.mean(e * e for e in actual_errors) ** 0.5
+        assert statistics.mean(rel_estimates) == pytest.approx(
+            rms_actual, rel=0.3
+        )
+
+    def test_variance_grows_with_traffic(self):
+        counter = DiscoCounter(b=1.05, rng=1, track_variance=True)
+        checkpoints = []
+        for _ in range(5):
+            for _ in range(100):
+                counter.add(500.0)
+            checkpoints.append(counter.variance_estimate)
+        assert checkpoints == sorted(checkpoints)
+
+    def test_smaller_b_smaller_variance(self):
+        lengths = [500.0] * 200
+
+        def mean_tracked(b):
+            values = []
+            for seed in range(50):
+                counter = DiscoCounter(b=b, rng=seed, track_variance=True)
+                counter.add_many(lengths)
+                values.append(counter.relative_error_estimate)
+            return statistics.mean(values)
+
+        assert mean_tracked(1.01) < mean_tracked(1.2)

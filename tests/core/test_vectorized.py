@@ -1,0 +1,110 @@
+"""Tests for the vectorised Monte-Carlo DISCO engine."""
+
+import random
+import statistics
+
+import numpy as np
+import pytest
+
+from repro.core.fastsim import simulate_packets, simulate_uniform_stream
+from repro.core.functions import GeometricCountingFunction
+from repro.core.vectorized import VectorDisco, simulate_replicas, simulate_uniform_flows
+from repro.errors import ParameterError
+
+
+class TestVectorDisco:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            VectorDisco(1.0, 4)
+        with pytest.raises(ParameterError):
+            VectorDisco(1.1, 0)
+
+    def test_first_unit_packet_all_lanes(self):
+        state = VectorDisco(1.1, 8, rng=0)
+        state.step(1.0)
+        assert (state.counters == 1).all()
+
+    def test_rejects_nonpositive_lengths(self):
+        state = VectorDisco(1.1, 4, rng=0)
+        with pytest.raises(ParameterError):
+            state.step(0.0)
+
+    def test_mask_freezes_lanes(self):
+        state = VectorDisco(1.1, 4, rng=0)
+        state.step(100.0, mask=np.array([True, True, False, False]))
+        assert (state.counters[:2] > 0).all()
+        assert (state.counters[2:] == 0).all()
+
+    def test_per_lane_lengths(self):
+        state = VectorDisco(1.1, 2, rng=0)
+        state.step(np.array([1.0, 10_000.0]))
+        assert state.counters[1] > state.counters[0]
+
+    def test_estimates_match_f(self):
+        state = VectorDisco(1.3, 3, rng=0)
+        state.counters[:] = [0, 5, 10]
+        fn = GeometricCountingFunction(1.3)
+        expected = [fn.value(c) for c in state.counters]
+        assert np.allclose(state.estimates(), expected)
+
+
+class TestSimulateReplicas:
+    def test_shape(self):
+        counters = simulate_replicas(1.1, [100, 200], replicas=16, rng=0)
+        assert counters.shape == (16,)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            simulate_replicas(1.1, [100], replicas=0)
+
+    def test_matches_scalar_reference_distribution(self):
+        b = 1.1
+        rand = random.Random(1)
+        lengths = [rand.randint(40, 1500) for _ in range(80)]
+        vector = simulate_replicas(b, lengths, replicas=500, rng=2)
+        fn = GeometricCountingFunction(b)
+        scalar = [simulate_packets(fn, lengths, rng=s) for s in range(500)]
+        assert statistics.mean(vector.tolist()) == pytest.approx(
+            statistics.mean(scalar), rel=0.02
+        )
+        assert statistics.pstdev(vector.tolist()) == pytest.approx(
+            statistics.pstdev(scalar), rel=0.35, abs=0.3
+        )
+
+    def test_unbiased(self):
+        b = 1.05
+        lengths = [64, 1500, 576] * 30
+        truth = sum(lengths)
+        counters = simulate_replicas(b, lengths, replicas=800, rng=3)
+        fn = GeometricCountingFunction(b)
+        estimates = [fn.value(int(c)) for c in counters]
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.03)
+
+
+class TestSimulateUniformFlows:
+    def test_empty(self):
+        assert simulate_uniform_flows(1.1, []).shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            simulate_uniform_flows(1.1, [-1])
+        with pytest.raises(ParameterError):
+            simulate_uniform_flows(1.1, [5], theta=0)
+
+    def test_zero_size_flow_stays_zero(self):
+        counters = simulate_uniform_flows(1.1, [0, 10], rng=0)
+        assert counters[0] == 0
+        assert counters[1] > 0
+
+    def test_matches_scalar_reference(self):
+        b, size = 1.2, 400
+        vector = simulate_uniform_flows(b, [size] * 400, rng=1)
+        fn = GeometricCountingFunction(b)
+        scalar = [simulate_uniform_stream(fn, 1.0, size, rng=s) for s in range(400)]
+        assert statistics.mean(vector.tolist()) == pytest.approx(
+            statistics.mean(scalar), rel=0.02
+        )
+
+    def test_monotone_in_flow_size(self):
+        counters = simulate_uniform_flows(1.05, [10, 100, 1000, 10_000], rng=2)
+        assert list(counters) == sorted(counters)

@@ -1,0 +1,143 @@
+"""Tests for ANLS and the ANLS-I / ANLS-II extensions."""
+
+import random
+import statistics
+import time
+
+import pytest
+
+from repro.core.disco import DiscoSketch
+from repro.counters.anls import Anls, AnlsBytesNaive, AnlsPerUnit
+from repro.errors import ParameterError
+
+
+class TestAnls:
+    def test_rejects_volume_mode(self):
+        with pytest.raises(ParameterError):
+            Anls(b=1.1, mode="volume")
+
+    def test_estimator_unbiased(self):
+        n = 400
+        estimates = []
+        for seed in range(300):
+            anls = Anls(b=1.05, rng=seed)
+            for _ in range(n):
+                anls.observe("f", 1)
+            estimates.append(anls.estimate("f"))
+        assert statistics.mean(estimates) == pytest.approx(n, rel=0.05)
+
+    def test_counter_compressed(self):
+        anls = Anls(b=1.1, rng=0)
+        for _ in range(2000):
+            anls.observe("f", 1)
+        assert anls.counter_value("f") < 200
+
+    def test_equivalent_to_disco_size_counting(self):
+        # Section IV-C: same counter distribution as DISCO with l = 1.
+        n = 300
+        b = 1.2
+        anls_counters = []
+        disco_counters = []
+        for seed in range(300):
+            anls = Anls(b=b, rng=seed)
+            disco = DiscoSketch(b=b, mode="size", rng=10_000 + seed)
+            for _ in range(n):
+                anls.observe("f", 1)
+                disco.observe("f", 1)
+            anls_counters.append(anls.counter_value("f"))
+            disco_counters.append(disco.counter_value("f"))
+        assert statistics.mean(anls_counters) == pytest.approx(
+            statistics.mean(disco_counters), rel=0.03
+        )
+        assert statistics.pstdev(anls_counters) == pytest.approx(
+            statistics.pstdev(disco_counters), rel=0.4, abs=0.3
+        )
+
+
+class TestAnlsBytesNaive:
+    def test_rejects_size_mode(self):
+        with pytest.raises(ParameterError):
+            AnlsBytesNaive(b=1.1, mode="size")
+
+    def test_large_error_with_varying_lengths(self):
+        # The Table III failure mode: mixed 40/1500-byte flows blow up the
+        # relative error to order 1 and beyond.
+        rand = random.Random(4)
+        lengths = [rand.choice([40, 1500]) for _ in range(500)]
+        truth = sum(lengths)
+        errors = []
+        for seed in range(100):
+            anls1 = AnlsBytesNaive(b=1.02, rng=seed)
+            for l in lengths:
+                anls1.observe("f", l)
+            errors.append(abs(anls1.estimate("f") - truth) / truth)
+        assert statistics.mean(errors) > 0.5
+
+    def test_unit_lengths_degenerate_to_anls(self):
+        # With l = 1 for every packet ANLS-I *is* ANLS: unbiased and tight.
+        n = 500
+        errors = []
+        for seed in range(100):
+            anls1 = AnlsBytesNaive(b=1.02, rng=seed)
+            for _ in range(n):
+                anls1.observe("f", 1)
+            errors.append(abs(anls1.estimate("f") - n) / n)
+        assert statistics.mean(errors) < 0.1
+
+    def test_large_error_even_with_constant_large_lengths(self):
+        # Adding l >> 1 per sample leaps over the geometry's granularity:
+        # the error is big even with zero length variance — the extension
+        # is broken beyond the variance argument.
+        lengths = [100] * 500
+        truth = sum(lengths)
+        errors = []
+        for seed in range(100):
+            anls1 = AnlsBytesNaive(b=1.02, rng=seed)
+            for l in lengths:
+                anls1.observe("f", l)
+            errors.append(abs(anls1.estimate("f") - truth) / truth)
+        assert statistics.mean(errors) > 0.5
+
+
+class TestAnlsPerUnit:
+    def test_rejects_size_mode(self):
+        with pytest.raises(ParameterError):
+            AnlsPerUnit(b=1.1, mode="size")
+
+    def test_accuracy_matches_disco(self):
+        # E2 is statistically equivalent to DISCO on the byte stream.
+        rand = random.Random(8)
+        lengths = [rand.randint(40, 300) for _ in range(60)]
+        truth = sum(lengths)
+        anls2_est, disco_est = [], []
+        for seed in range(120):
+            anls2 = AnlsPerUnit(b=1.05, rng=seed)
+            disco = DiscoSketch(b=1.05, mode="volume", rng=50_000 + seed)
+            for l in lengths:
+                anls2.observe("f", l)
+                disco.observe("f", l)
+            anls2_est.append(anls2.estimate("f"))
+            disco_est.append(disco.estimate("f"))
+        assert statistics.mean(anls2_est) == pytest.approx(truth, rel=0.05)
+        assert statistics.mean(anls2_est) == pytest.approx(
+            statistics.mean(disco_est), rel=0.05
+        )
+
+    def test_slower_than_disco(self):
+        # The Table IV point: per-byte trials make ANLS-II much slower.
+        rand = random.Random(9)
+        packets = [rand.randint(400, 1500) for _ in range(300)]
+
+        disco = DiscoSketch(b=1.02, mode="volume", rng=1)
+        start = time.perf_counter()
+        for l in packets:
+            disco.observe("f", l)
+        disco_time = time.perf_counter() - start
+
+        anls2 = AnlsPerUnit(b=1.02, rng=1)
+        start = time.perf_counter()
+        for l in packets:
+            anls2.observe("f", l)
+        anls2_time = time.perf_counter() - start
+
+        assert anls2_time > 3.0 * disco_time

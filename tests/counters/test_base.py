@@ -1,0 +1,84 @@
+"""Tests for the CountingScheme shared machinery."""
+
+import pytest
+
+from repro.counters.base import CountingScheme, check_mode, effective_amount, resolve_rng
+from repro.errors import ParameterError
+
+
+class _Recorder(CountingScheme):
+    """Minimal concrete scheme that records raw update amounts."""
+
+    name = "recorder"
+
+    def _update(self, flow, amount):
+        self._state.setdefault(flow, []).append(amount)
+
+    def estimate(self, flow):
+        return float(sum(self._state.get(flow, [])))
+
+    def max_counter_bits(self):
+        return 1
+
+
+class TestHelpers:
+    def test_check_mode(self):
+        assert check_mode("size") == "size"
+        assert check_mode("volume") == "volume"
+        with pytest.raises(ParameterError):
+            check_mode("packets")
+
+    def test_effective_amount_size(self):
+        assert effective_amount("size", 1500) == 1.0
+
+    def test_effective_amount_volume(self):
+        assert effective_amount("volume", 1500) == 1500.0
+
+    def test_effective_amount_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            effective_amount("volume", 0)
+
+    def test_resolve_rng_seed_deterministic(self):
+        assert resolve_rng(5).random() == resolve_rng(5).random()
+
+    def test_resolve_rng_passthrough(self):
+        import random
+
+        r = random.Random(1)
+        assert resolve_rng(r) is r
+
+
+class TestSchemeDriver:
+    def test_size_mode_feeds_ones(self):
+        scheme = _Recorder(mode="size")
+        scheme.observe("f", 1500)
+        scheme.observe("f", 40)
+        assert scheme._state["f"] == [1.0, 1.0]
+
+    def test_volume_mode_feeds_lengths(self):
+        scheme = _Recorder(mode="volume")
+        scheme.observe("f", 1500)
+        assert scheme._state["f"] == [1500.0]
+
+    def test_observe_many_and_len(self):
+        scheme = _Recorder()
+        scheme.observe_many([("a", 1), ("b", 2), ("a", 3)])
+        assert len(scheme) == 2
+        assert scheme.packets_observed == 3
+        assert "a" in scheme and "c" not in scheme
+
+    def test_estimates_covers_all_flows(self):
+        scheme = _Recorder()
+        scheme.observe("a", 10)
+        scheme.observe("b", 20)
+        assert scheme.estimates() == {"a": 10.0, "b": 20.0}
+
+    def test_reset(self):
+        scheme = _Recorder()
+        scheme.observe("a", 10)
+        scheme.reset()
+        assert len(scheme) == 0
+        assert scheme.packets_observed == 0
+
+    def test_repr_mentions_mode(self):
+        assert "size" in repr(_Recorder(mode="size"))

@@ -1,0 +1,145 @@
+"""Tests for the BRICK variable-length counter layout."""
+
+import random
+
+import pytest
+
+from repro.counters.brick import BrickCounters, BrickDesign
+from repro.errors import ParameterError
+
+
+def small_design(**overrides):
+    params = dict(
+        bucket_size=8,
+        level_widths=(4, 4, 6),
+        level_capacities=(8, 4, 2),
+    )
+    params.update(overrides)
+    return BrickDesign(**params)
+
+
+class TestBrickDesign:
+    def test_total_width_and_max(self):
+        design = small_design()
+        assert design.total_width == 14
+        assert design.max_value == (1 << 14) - 1
+        assert design.levels == 3
+
+    def test_levels_needed(self):
+        design = small_design()
+        assert design.levels_needed(0) == 1
+        assert design.levels_needed(15) == 1       # 4 bits
+        assert design.levels_needed(16) == 2       # 5 bits
+        assert design.levels_needed(255) == 2      # 8 bits
+        assert design.levels_needed(256) == 3      # 9 bits
+        assert design.levels_needed(design.max_value) == 3
+
+    def test_levels_needed_overflow(self):
+        with pytest.raises(ParameterError):
+            small_design().levels_needed(1 << 20)
+
+    def test_bits_per_bucket(self):
+        design = small_design()
+        # arrays: 8*4 + 4*4 + 2*6 = 60; bitmaps: 8 + 4 = 12.
+        assert design.bits_per_bucket() == 72
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            small_design(bucket_size=0)
+        with pytest.raises(ParameterError):
+            small_design(level_capacities=(8, 4))  # length mismatch
+        with pytest.raises(ParameterError):
+            small_design(level_capacities=(4, 4, 2))  # level 1 != bucket size
+        with pytest.raises(ParameterError):
+            small_design(level_capacities=(8, 2, 4))  # not non-increasing
+        with pytest.raises(ParameterError):
+            small_design(level_widths=(0, 4, 6))
+
+    def test_for_values_covers_sample(self):
+        rand = random.Random(0)
+        values = [rand.randint(1, 100_000) for _ in range(500)]
+        design = BrickDesign.for_values(values, bucket_size=64)
+        assert design.max_value >= max(values)
+        assert design.level_capacities[0] == 64
+
+    def test_for_values_capacities_shrink(self):
+        rand = random.Random(1)
+        # Mostly small values, a few big ones: upper levels should be thin.
+        values = [rand.randint(1, 10) for _ in range(950)]
+        values += [rand.randint(100_000, 500_000) for _ in range(50)]
+        design = BrickDesign.for_values(values, bucket_size=64)
+        assert design.level_capacities[-1] < 64
+
+    def test_for_values_validation(self):
+        with pytest.raises(ParameterError):
+            BrickDesign.for_values([])
+        with pytest.raises(ParameterError):
+            BrickDesign.for_values([1 << 40], level_widths=(4, 4))
+
+
+class TestBrickCounters:
+    def test_exact_counting(self):
+        design = BrickDesign.for_values([100_000], bucket_size=16)
+        brick = BrickCounters(design, num_buckets=8, mode="volume")
+        rand = random.Random(2)
+        truth = {}
+        for _ in range(1000):
+            flow = rand.randrange(40)
+            length = rand.randint(40, 1500)
+            brick.observe(flow, length)
+            truth[flow] = truth.get(flow, 0) + length
+        for flow, total in truth.items():
+            assert brick.estimate(flow) == float(total)
+
+    def test_unseen_flow(self):
+        brick = BrickCounters(small_design(), num_buckets=4)
+        assert brick.estimate("nope") == 0.0
+
+    def test_bucket_full_events(self):
+        # 1 bucket of 8 slots, 20 distinct flows: slots run out.
+        brick = BrickCounters(small_design(), num_buckets=1)
+        for flow in range(20):
+            brick.observe(flow, 40)
+        assert brick.bucket_full_events > 0
+        assert len(brick) <= 8
+
+    def test_value_overflow_saturates(self):
+        design = small_design()
+        brick = BrickCounters(design, num_buckets=1, mode="volume")
+        for _ in range(100):
+            brick.observe("f", 1500)
+        assert brick.value_overflow_events > 0
+        assert brick.estimate("f") == float(design.max_value)
+
+    def test_level_overflow_detected(self):
+        # Capacity 1 at level 2; grow two flows past level 1.
+        design = BrickDesign(bucket_size=4, level_widths=(4, 8),
+                             level_capacities=(4, 1))
+        brick = BrickCounters(design, num_buckets=1, mode="volume")
+        brick.observe("a", 100)
+        brick.observe("b", 100)
+        assert brick.level_overflow_events > 0
+
+    def test_memory_accounting(self):
+        design = small_design()
+        brick = BrickCounters(design, num_buckets=10)
+        assert brick.memory_bits() == 10 * design.bits_per_bucket()
+        brick.observe("a", 40)
+        brick.observe("b", 40)
+        assert brick.bits_per_flow() == brick.memory_bits() / 2
+
+    def test_memory_far_below_full_width_array(self):
+        # The point of BRICK: amortised bits/flow << full chain width when
+        # levels are provisioned from the value distribution.
+        rand = random.Random(5)
+        values = [rand.randint(1, 50) for _ in range(950)]
+        values += [rand.randint(10_000, 60_000) for _ in range(50)]
+        design = BrickDesign.for_values(values, bucket_size=64)
+        brick = BrickCounters(design, num_buckets=20, mode="volume")
+        for i, v in enumerate(values[:1000]):
+            brick.observe(i, v)
+        assert brick.bits_per_flow() < design.total_width
+
+    def test_num_buckets_validation(self):
+        with pytest.raises(ParameterError):
+            BrickCounters(small_design(), num_buckets=0)

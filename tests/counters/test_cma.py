@@ -1,0 +1,127 @@
+"""Tests for the Counter Management Algorithm policies."""
+
+import random
+
+import pytest
+
+from repro.counters.cma import (
+    LargestCounterFirst,
+    RoundRobin,
+    ThresholdLcf,
+    make_cma,
+)
+from repro.counters.sd import SdCounters
+from repro.errors import ParameterError
+
+
+class TestLcf:
+    def test_chooses_largest(self):
+        cma = LargestCounterFirst()
+        assert cma.choose({"a": 3, "b": 9, "c": 1}) == "b"
+
+    def test_empty_and_all_zero(self):
+        cma = LargestCounterFirst()
+        assert cma.choose({}) is None
+        assert cma.choose({"a": 0}) is None
+
+
+class TestThresholdLcf:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ThresholdLcf(threshold=0)
+
+    def test_tracks_above_threshold(self):
+        cma = ThresholdLcf(threshold=10)
+        cma.notify_update("small", 3)
+        cma.notify_update("big", 50)
+        cma.notify_update("bigger", 80)
+        assert cma.choose({"small": 3, "big": 50, "bigger": 80}) == "bigger"
+
+    def test_untracks_after_flush(self):
+        cma = ThresholdLcf(threshold=10)
+        cma.notify_update("big", 50)
+        cma.notify_flush("big")
+        # Falls back to round robin over the array.
+        assert cma.choose({"big": 0, "other": 4}) == "other"
+
+    def test_untracks_when_value_drops(self):
+        cma = ThresholdLcf(threshold=10)
+        cma.notify_update("f", 50)
+        cma.notify_update("f", 2)
+        assert "f" not in cma._tracked
+
+    def test_fallback_when_nothing_tracked(self):
+        cma = ThresholdLcf(threshold=1000)
+        cma.notify_update("a", 5)
+        assert cma.choose({"a": 5}) == "a"
+
+
+class TestRoundRobin:
+    def test_cycles(self):
+        cma = RoundRobin()
+        for flow in ("a", "b", "c"):
+            cma.notify_update(flow, 1)
+        sram = {"a": 1, "b": 1, "c": 1}
+        picks = [cma.choose(sram) for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_skips_zero_counters(self):
+        cma = RoundRobin()
+        for flow in ("a", "b"):
+            cma.notify_update(flow, 1)
+        assert cma.choose({"a": 0, "b": 5}) == "b"
+
+    def test_bootstraps_from_sram(self):
+        cma = RoundRobin()
+        assert cma.choose({"x": 2}) == "x"
+
+    def test_all_zero(self):
+        cma = RoundRobin()
+        cma.notify_update("a", 1)
+        assert cma.choose({"a": 0}) is None
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_cma("lcf").name == "lcf"
+        assert make_cma("threshold-lcf", threshold=8).name == "threshold-lcf"
+        assert make_cma("round-robin").name == "round-robin"
+
+    def test_unknown(self):
+        with pytest.raises(ParameterError):
+            make_cma("magic")
+
+
+class TestSdIntegration:
+    def _run(self, cma, seed=0, sram_bits=7):
+        sd = SdCounters(sram_bits=sram_bits, dram_access_ratio=8,
+                        mode="volume", cma=cma)
+        rand = random.Random(seed)
+        truth = {}
+        for _ in range(3000):
+            flow = rand.randrange(30)
+            length = rand.randint(1, 100)
+            sd.observe(flow, length)
+            truth[flow] = truth.get(flow, 0) + length
+        sd.drain()
+        return sd, truth
+
+    def test_all_policies_conserve_when_provisioned(self):
+        for name in ("lcf", "threshold-lcf", "round-robin"):
+            sd, truth = self._run(make_cma(name, threshold=32), sram_bits=12)
+            assert sd.overflow_events == 0, name
+            for flow, total in truth.items():
+                assert sd.estimate(flow) == float(total), name
+
+    def test_lcf_beats_round_robin_under_pressure(self):
+        # Narrow SRAM counters: LCF protects the hot counters; blind
+        # round-robin lets them overflow more.
+        lcf_sd, _ = self._run(make_cma("lcf"), sram_bits=7)
+        rr_sd, _ = self._run(make_cma("round-robin"), sram_bits=7)
+        assert lcf_sd.lost_traffic <= rr_sd.lost_traffic
+
+    def test_threshold_lcf_close_to_lcf(self):
+        lcf_sd, _ = self._run(make_cma("lcf"), sram_bits=7)
+        thr_sd, _ = self._run(make_cma("threshold-lcf", threshold=64),
+                              sram_bits=7)
+        assert thr_sd.lost_traffic <= max(4 * lcf_sd.lost_traffic, 2000)

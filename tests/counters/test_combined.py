@@ -1,0 +1,80 @@
+"""Tests for the DISCO + BRICK composition."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.analysis import expected_counter_upper_bound
+from repro.counters.brick import BrickDesign
+from repro.counters.combined import DiscoBrick
+
+
+def design_for_disco(b, max_volume, bucket_size=16):
+    """Size a BRICK layout from DISCO's counter-value bound."""
+    bound = int(expected_counter_upper_bound(b, max_volume)) + 4
+    return BrickDesign.for_values([1, bound // 2, bound], bucket_size=bucket_size)
+
+
+class TestDiscoBrick:
+    def test_estimates_track_truth(self):
+        b = 1.01
+        design = design_for_disco(b, 2_000_000)
+        scheme = DiscoBrick(b=b, design=design, num_buckets=8, mode="volume", rng=0)
+        rand = random.Random(1)
+        truth = {}
+        for _ in range(3000):
+            flow = rand.randrange(20)
+            length = rand.randint(40, 1500)
+            scheme.observe(flow, length)
+            truth[flow] = truth.get(flow, 0) + length
+        for flow, total in truth.items():
+            assert scheme.estimate(flow) == pytest.approx(total, rel=0.25)
+
+    def test_roughly_unbiased(self):
+        b = 1.02
+        design = design_for_disco(b, 1_000_000)
+        lengths = [64, 1500, 576, 40] * 40
+        truth = sum(lengths)
+        estimates = []
+        for seed in range(150):
+            scheme = DiscoBrick(b=b, design=design, num_buckets=4,
+                                mode="volume", rng=seed)
+            for l in lengths:
+                scheme.observe("f", l)
+            estimates.append(scheme.estimate("f"))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_stored_values_are_compressed(self):
+        b = 1.02
+        design = design_for_disco(b, 10_000_000)
+        scheme = DiscoBrick(b=b, design=design, num_buckets=4, mode="volume", rng=0)
+        total = 0
+        for _ in range(500):
+            scheme.observe("f", 1500)
+            total += 1500
+        assert scheme.counter_value("f") < total / 10
+
+    def test_memory_below_exact_brick(self):
+        # The composition claim: DISCO values need narrower BRICK chains
+        # than exact values for the same traffic.
+        b = 1.02
+        max_volume = 10_000_000
+        disco_design = design_for_disco(b, max_volume)
+        exact_design = BrickDesign.for_values(
+            [1, max_volume // 2, max_volume], bucket_size=16,
+            level_widths=(4, 4, 6, 8, 10, 12),
+        )
+        assert disco_design.bits_per_bucket() < exact_design.bits_per_bucket()
+
+    def test_scheme_surface(self):
+        b = 1.05
+        design = design_for_disco(b, 100_000)
+        scheme = DiscoBrick(b=b, design=design, num_buckets=2, rng=0)
+        scheme.observe("a", 100)
+        assert "a" in scheme
+        assert scheme.estimate("zzz") == 0.0
+        assert scheme.max_counter_bits() == design.total_width
+        assert scheme.memory_bits() == 2 * design.bits_per_bucket()
+        assert scheme.bucket_full_events == 0
+        assert scheme.level_overflow_events >= 0

@@ -1,0 +1,140 @@
+"""Tests for Counter Braids and its message-passing decoder."""
+
+import random
+
+import pytest
+
+from repro.counters.counterbraids import CounterBraids, decode_layer
+from repro.errors import DecodingError, ParameterError
+
+
+class TestDecodeLayer:
+    def test_empty(self):
+        result = decode_layer([], [])
+        assert result.estimates == []
+        assert result.converged
+
+    def test_single_flow_single_counter(self):
+        result = decode_layer([42.0], [[0]])
+        assert result.estimates == [42.0]
+
+    def test_two_flows_disjoint_counters(self):
+        result = decode_layer([10.0, 10.0, 20.0, 20.0], [[0, 1], [2, 3]])
+        assert result.estimates[0] == pytest.approx(10.0)
+        assert result.estimates[1] == pytest.approx(20.0)
+
+    def test_shared_counter_resolved(self):
+        # counters: c0 = f0, c1 = f0 + f1, c2 = f1.
+        f0, f1 = 7.0, 12.0
+        result = decode_layer([f0, f0 + f1, f1], [[0, 1], [1, 2]])
+        assert result.estimates[0] == pytest.approx(f0)
+        assert result.estimates[1] == pytest.approx(f1)
+        assert result.converged
+
+    def test_floor_respected(self):
+        result = decode_layer([5.0], [[0]], floor=1.0)
+        assert result.estimates[0] >= 1.0
+
+    def test_flow_without_edges_rejected(self):
+        with pytest.raises(ParameterError):
+            decode_layer([1.0], [[]])
+
+    def test_random_sparse_instance_exact(self):
+        # Enough counters per flow: decoding recovers all values exactly.
+        rand = random.Random(3)
+        num_flows, num_counters, k = 30, 120, 3
+        truths = [rand.randint(1, 1000) for _ in range(num_flows)]
+        edges = []
+        counters = [0.0] * num_counters
+        for f in range(num_flows):
+            chosen = rand.sample(range(num_counters), k)
+            edges.append(chosen)
+            for a in chosen:
+                counters[a] += truths[f]
+        result = decode_layer(counters, edges, floor=1.0)
+        assert result.converged
+        for est, truth in zip(result.estimates, truths):
+            assert est == pytest.approx(truth, abs=1e-6)
+
+
+class TestCounterBraids:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            CounterBraids(layer1_size=2, hashes=3)
+        with pytest.raises(ParameterError):
+            CounterBraids(layer1_size=16, layer1_bits=0)
+        with pytest.raises(ParameterError):
+            CounterBraids(layer1_size=16, hashes=0)
+
+    def test_decode_recovers_small_instance(self):
+        cb = CounterBraids(layer1_size=150, layer1_bits=32, hashes=3, mode="size")
+        rand = random.Random(1)
+        truth = {}
+        for flow in range(25):
+            count = rand.randint(1, 50)
+            truth[flow] = count
+            for _ in range(count):
+                cb.observe(flow, 100)
+        decoded = cb.decode()
+        for flow, count in truth.items():
+            assert decoded[flow] == pytest.approx(count, abs=1e-6)
+
+    def test_estimate_runs_decode_lazily(self):
+        cb = CounterBraids(layer1_size=60, layer1_bits=32, mode="size")
+        cb.observe("f", 1)
+        assert cb.estimate("f") >= 1.0
+        assert cb.estimate("unknown") == 0.0
+
+    def test_layer1_overflow_carries_to_layer2(self):
+        cb = CounterBraids(
+            layer1_size=16, layer1_bits=4, layer2_size=8, layer2_bits=32,
+            hashes=2, mode="volume",
+        )
+        for _ in range(10):
+            cb.observe("f", 1000)
+        assert cb.layer1_overflows > 0
+        assert sum(cb.layer2) > 0
+
+    def test_two_layer_decode_with_overflow(self):
+        # Narrow layer 1 forces overflows; decode must still recover totals.
+        cb = CounterBraids(
+            layer1_size=200, layer1_bits=6, layer2_size=120, layer2_bits=32,
+            hashes=3, layer2_hashes=3, mode="size",
+        )
+        rand = random.Random(4)
+        truth = {}
+        for flow in range(20):
+            count = rand.randint(1, 300)
+            truth[flow] = count
+            for _ in range(count):
+                cb.observe(flow, 1)
+        decoded = cb.decode()
+        recovered = sum(
+            1 for f, c in truth.items() if abs(decoded[f] - c) < 0.5
+        )
+        assert recovered >= 18  # near-exact recovery
+
+    def test_strict_decode_raises_on_hopeless_instance(self):
+        # Far more flows than counters, with distinct counts: the message
+        # passing cannot explain the counters and strict mode must raise.
+        cb = CounterBraids(layer1_size=4, layer1_bits=32, hashes=2, mode="size")
+        rand = random.Random(0)
+        for flow in range(40):
+            for _ in range(rand.randint(1, 60)):
+                cb.observe(flow, 1)
+        with pytest.raises(DecodingError):
+            cb.decode(max_iterations=5, strict=True)
+
+    def test_memory_accounting(self):
+        cb = CounterBraids(layer1_size=100, layer1_bits=8,
+                           layer2_size=20, layer2_bits=56)
+        assert cb.memory_bits() == 100 * 8 + 20 * 56
+        assert cb.max_counter_bits() == 56
+
+    def test_update_invalidates_decode_cache(self):
+        cb = CounterBraids(layer1_size=60, layer1_bits=32, mode="size")
+        cb.observe("f", 1)
+        first = cb.estimate("f")
+        cb.observe("f", 1)
+        second = cb.estimate("f")
+        assert second > first

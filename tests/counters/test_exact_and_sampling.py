@@ -1,0 +1,111 @@
+"""Tests for exact counters and the sampling baselines."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.counters.exact import ExactCounters
+from repro.counters.sampling import PerUnitSampledCounters, SampledCounters
+from repro.errors import ParameterError
+
+
+class TestExactCounters:
+    def test_volume_mode(self):
+        scheme = ExactCounters(mode="volume")
+        scheme.observe("f", 100)
+        scheme.observe("f", 200)
+        assert scheme.estimate("f") == 300.0
+        assert scheme.true_total("f") == 300
+
+    def test_size_mode(self):
+        scheme = ExactCounters(mode="size")
+        scheme.observe("f", 100)
+        scheme.observe("f", 200)
+        assert scheme.estimate("f") == 2.0
+
+    def test_unseen_flow(self):
+        assert ExactCounters().estimate("nope") == 0.0
+
+    def test_max_counter_bits(self):
+        scheme = ExactCounters()
+        scheme.observe("f", 1023)
+        assert scheme.max_counter_bits() == 10
+
+    def test_empty_bits(self):
+        assert ExactCounters().max_counter_bits() == 1
+
+    def test_zero_error_against_itself(self, tiny_trace):
+        from repro.harness.runner import replay
+
+        result = replay(ExactCounters(mode="volume"), tiny_trace, rng=0)
+        assert result.summary.maximum == 0.0
+
+
+class TestSampledCounters:
+    def test_probability_validation(self):
+        for p in (0.0, -0.1, 1.5):
+            with pytest.raises(ParameterError):
+                SampledCounters(probability=p)
+
+    def test_p_one_is_exact(self):
+        scheme = SampledCounters(probability=1.0, mode="volume", rng=0)
+        scheme.observe("f", 100)
+        scheme.observe("f", 250)
+        assert scheme.estimate("f") == 350.0
+
+    def test_size_mode_unbiased(self):
+        n = 300
+        estimates = []
+        for seed in range(300):
+            scheme = SampledCounters(probability=0.25, mode="size", rng=seed)
+            for _ in range(n):
+                scheme.observe("f", 700)
+            estimates.append(scheme.estimate("f"))
+        assert statistics.mean(estimates) == pytest.approx(n, rel=0.05)
+
+    def test_volume_mode_e1_unbiased_but_noisy(self):
+        # E1 is unbiased in expectation; its variance is the problem.
+        rand = random.Random(3)
+        lengths = [rand.choice([40, 1500]) for _ in range(400)]
+        truth = sum(lengths)
+        estimates = []
+        for seed in range(400):
+            scheme = SampledCounters(probability=0.2, mode="volume", rng=seed)
+            for l in lengths:
+                scheme.observe("f", l)
+            estimates.append(scheme.estimate("f"))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.05)
+        # The noise E1 carries: spread is a noticeable fraction of the truth.
+        assert statistics.pstdev(estimates) > 0.01 * truth
+
+    def test_counter_smaller_than_truth(self):
+        scheme = SampledCounters(probability=0.1, mode="size", rng=1)
+        for _ in range(1000):
+            scheme.observe("f", 100)
+        assert scheme._state["f"] < 1000
+        assert scheme.max_counter_bits() <= 10
+
+
+class TestPerUnitSampledCounters:
+    def test_probability_validation(self):
+        with pytest.raises(ParameterError):
+            PerUnitSampledCounters(probability=0.0)
+
+    def test_matches_unit_sampling_statistics(self):
+        # E2 over packets == unit sampling over the byte stream.
+        lengths = [40, 1500, 576] * 30
+        truth = sum(lengths)
+        p = 0.05
+        estimates = []
+        for seed in range(200):
+            scheme = PerUnitSampledCounters(probability=p, mode="volume", rng=seed)
+            for l in lengths:
+                scheme.observe("f", l)
+            estimates.append(scheme.estimate("f"))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_bits_accounting(self):
+        scheme = PerUnitSampledCounters(probability=0.5, mode="volume", rng=0)
+        scheme.observe("f", 1000)
+        assert scheme.max_counter_bits() >= 1

@@ -1,0 +1,97 @@
+"""Tests for the hardware-constrained DISCO sketch."""
+
+import random
+
+import pytest
+
+from repro.counters.hardware import HardwareDiscoSketch
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HardwareDiscoSketch(b=1.1, slots=16, mode="bytes")
+        with pytest.raises(ParameterError):
+            HardwareDiscoSketch(b=1.1, slots=16, counter_bits=0)
+        with pytest.raises(ParameterError):
+            HardwareDiscoSketch(b=1.1, slots=16, tag_bits=-1)
+
+    def test_memory_accounting(self):
+        sketch = HardwareDiscoSketch(b=1.1, slots=100, counter_bits=10, tag_bits=16)
+        # 100 slots round up to 128; each slot holds tag + counter.
+        assert sketch.memory_bits() == 128 * 26
+
+
+class TestCounting:
+    def test_estimates_track_truth(self):
+        sketch = HardwareDiscoSketch(b=1.01, slots=64, counter_bits=14, rng=0)
+        rand = random.Random(1)
+        truth = {}
+        for _ in range(5000):
+            flow = rand.randrange(20)
+            length = rand.randint(40, 1500)
+            assert sketch.observe(flow, length)
+            truth[flow] = truth.get(flow, 0) + length
+        for flow, total in truth.items():
+            assert sketch.estimate(flow) == pytest.approx(total, rel=0.2)
+
+    def test_size_mode(self):
+        sketch = HardwareDiscoSketch(b=1.02, slots=8, mode="size", rng=0)
+        for _ in range(300):
+            sketch.observe("f", 1500)
+        assert sketch.estimate("f") == pytest.approx(300, rel=0.2)
+
+    def test_unknown_flow(self):
+        sketch = HardwareDiscoSketch(b=1.1, slots=8)
+        assert sketch.estimate("nope") == 0.0
+        assert sketch.counter_value("nope") == 0
+        assert "nope" not in sketch
+
+    def test_rejects_bad_length(self):
+        sketch = HardwareDiscoSketch(b=1.1, slots=8)
+        with pytest.raises(ParameterError):
+            sketch.observe("f", 0)
+
+    def test_saturation(self):
+        sketch = HardwareDiscoSketch(b=1.0001, slots=8, counter_bits=4, rng=0)
+        for _ in range(200):
+            sketch.observe("f", 1500)
+        assert sketch.saturation_events > 0
+        assert sketch.counter_value("f") == 15
+
+
+class TestOverflowBehaviour:
+    def test_unplaceable_flows_counted(self):
+        sketch = HardwareDiscoSketch(b=1.1, slots=4, max_probes=4, rng=0)
+        for flow in range(100):
+            sketch.observe(flow, 100)
+        assert sketch.unaccounted_packets > 0
+        assert len(sketch) <= 4
+        assert sketch.insert_failures > 0
+
+    def test_observe_returns_false_when_dropped(self):
+        sketch = HardwareDiscoSketch(b=1.1, slots=1, max_probes=1, rng=0)
+        placed = [sketch.observe(flow, 100) for flow in range(10)]
+        assert placed.count(True) >= 1
+        assert placed.count(False) >= 1
+
+    def test_load_and_probe_metrics(self):
+        sketch = HardwareDiscoSketch(b=1.1, slots=32, rng=0)
+        for flow in range(16):
+            sketch.observe(flow, 100)
+        assert 0.0 < sketch.load_factor <= 1.0
+        assert sketch.mean_probe_length >= 1.0
+
+    def test_reset(self):
+        sketch = HardwareDiscoSketch(b=1.1, slots=8, rng=0)
+        sketch.observe("f", 100)
+        sketch.reset()
+        assert len(sketch) == 0
+        assert sketch.packets_observed == 0
+
+    def test_observe_many_and_flows(self):
+        sketch = HardwareDiscoSketch(b=1.1, slots=16, rng=0)
+        sketch.observe_many([("a", 10), ("b", 20)])
+        assert set(sketch.flows()) == {"a", "b"}
+        assert sketch.max_counter_bits() == 10

@@ -1,0 +1,111 @@
+"""Tests for the sampled-NetFlow flow-cache baseline."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.counters.netflow import SampledNetflow
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SampledNetflow(sampling_rate=0.0)
+        with pytest.raises(ParameterError):
+            SampledNetflow(sampling_rate=0.5, cache_entries=0)
+        with pytest.raises(ParameterError):
+            SampledNetflow(sampling_rate=0.5, inactive_timeout=0)
+
+
+class TestSamplingEstimator:
+    def test_rate_one_exact_after_flush(self):
+        nf = SampledNetflow(sampling_rate=1.0, mode="volume", rng=0)
+        nf.observe_at("f", 100, 0.0)
+        nf.observe_at("f", 200, 0.1)
+        nf.flush()
+        assert nf.estimate("f") == 300.0
+
+    def test_unbiased_at_low_rate(self):
+        estimates = []
+        for seed in range(300):
+            nf = SampledNetflow(sampling_rate=0.25, mode="size", rng=seed)
+            for i in range(400):
+                nf.observe_at("f", 700, i * 0.001)
+            nf.flush()
+            estimates.append(nf.estimate("f"))
+        assert statistics.mean(estimates) == pytest.approx(400, rel=0.05)
+
+    def test_timestamps_must_not_go_backward(self):
+        nf = SampledNetflow(sampling_rate=1.0, rng=0)
+        nf.observe_at("f", 100, 5.0)
+        with pytest.raises(ParameterError):
+            nf.observe_at("f", 100, 4.0)
+
+    def test_untimed_observe_advances_clock(self):
+        nf = SampledNetflow(sampling_rate=1.0, rng=0)
+        nf.observe("f", 100)
+        nf.observe("f", 100)
+        assert nf._now > 0
+
+
+class TestExpiry:
+    def test_inactive_timeout_exports(self):
+        nf = SampledNetflow(sampling_rate=1.0, inactive_timeout=10.0, rng=0)
+        nf.observe_at("quiet", 500, 0.0)
+        nf.observe_at("other", 100, 20.0)  # triggers expiry sweep
+        reasons = [r.reason for r in nf.exports]
+        assert "inactive" in reasons
+        assert nf.exports[0].flow == "quiet"
+        # The estimate survives the export (collector re-aggregation).
+        assert nf.estimate("quiet") == 500.0
+
+    def test_active_age_timeout(self):
+        nf = SampledNetflow(sampling_rate=1.0, inactive_timeout=1e9,
+                            active_timeout=60.0, rng=0)
+        for i in range(100):
+            nf.observe_at("longlived", 100, i * 1.0)
+        assert any(r.reason == "active-age" for r in nf.exports)
+        nf.flush()
+        assert nf.estimate("longlived") == 100 * 100.0
+
+    def test_flush_exports_remainder(self):
+        nf = SampledNetflow(sampling_rate=1.0, rng=0)
+        nf.observe_at("f", 100, 0.0)
+        nf.flush()
+        assert [r.reason for r in nf.exports] == ["final"]
+        assert len(nf._state) == 0
+
+
+class TestCachePressure:
+    def test_eviction_on_full_cache(self):
+        nf = SampledNetflow(sampling_rate=1.0, cache_entries=4, rng=0)
+        for i in range(20):
+            nf.observe_at(f"f{i}", 100, i * 0.001)
+        assert nf.cache_evictions > 0
+        assert len(nf._state) <= 4
+        nf.flush()
+        # Nothing is lost: every flow's total survives via exports.
+        for i in range(20):
+            assert nf.estimate(f"f{i}") == 100.0
+
+    def test_eviction_prefers_stalest(self):
+        nf = SampledNetflow(sampling_rate=1.0, cache_entries=2, rng=0)
+        nf.observe_at("old", 100, 0.0)
+        nf.observe_at("fresh", 100, 1.0)
+        nf.observe_at("new", 100, 2.0)  # must evict "old"
+        assert nf.exports[0].flow == "old"
+
+    def test_bits_accounting(self):
+        nf = SampledNetflow(sampling_rate=1.0, rng=0)
+        nf.observe_at("f", 1000, 0.0)
+        assert nf.max_counter_bits() >= 10
+
+    def test_reset(self):
+        nf = SampledNetflow(sampling_rate=1.0, rng=0)
+        nf.observe_at("f", 100, 0.0)
+        nf.reset()
+        assert len(nf) == 0
+        assert nf.exports == []
+        assert nf.estimate("f") == 0.0

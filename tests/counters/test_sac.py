@@ -1,0 +1,123 @@
+"""Tests for Small Active Counters."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.counters.sac import SmallActiveCounters
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_bit_split(self):
+        sac = SmallActiveCounters(total_bits=10, mode_bits=3)
+        assert sac.estimation_bits == 7
+        assert sac.max_counter_bits() == 10
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SmallActiveCounters(total_bits=3, mode_bits=3)
+        with pytest.raises(ParameterError):
+            SmallActiveCounters(total_bits=8, mode_bits=0)
+        with pytest.raises(ParameterError):
+            SmallActiveCounters(total_bits=8, initial_r=0)
+
+
+class TestSmallValues:
+    def test_small_counts_exact(self):
+        # While the value fits in the estimation part (mode 0), SAC is exact.
+        sac = SmallActiveCounters(total_bits=10, mode_bits=3, mode="size", rng=0)
+        for _ in range(50):
+            sac.observe("f", 1)
+        assert sac.estimate("f") == 50.0
+
+    def test_unseen_flow(self):
+        assert SmallActiveCounters(total_bits=10).estimate("nope") == 0.0
+
+    def test_state_is_a_mode_pair(self):
+        sac = SmallActiveCounters(total_bits=10, rng=0)
+        sac.observe("f", 5)
+        a, mode = sac._state["f"]
+        assert a == 5 and mode == 0
+
+
+class TestRenormalization:
+    def test_mode_grows_on_overflow(self):
+        sac = SmallActiveCounters(total_bits=8, mode_bits=3, mode="volume", rng=0)
+        for _ in range(100):
+            sac.observe("f", 1500)
+        _, mode = sac._state["f"]
+        assert mode > 0
+        assert sac.counter_renormalizations > 0
+
+    def test_a_part_stays_in_range(self):
+        sac = SmallActiveCounters(total_bits=8, mode_bits=3, mode="volume", rng=1)
+        rand = random.Random(2)
+        for _ in range(500):
+            sac.observe("f", rand.randint(40, 1500))
+        a, mode = sac._state["f"]
+        assert 0 <= a < (1 << sac.estimation_bits)
+        assert 0 <= mode < (1 << sac.mode_bits)
+
+    def test_global_renormalization_triggers_and_preserves_values(self):
+        # Tiny mode field so the global r must grow; estimates must survive.
+        sac = SmallActiveCounters(total_bits=6, mode_bits=1, mode="volume", rng=3)
+        truth = 0
+        for _ in range(400):
+            sac.observe("f", 1500)
+            truth += 1500
+        assert sac.global_renormalizations > 0
+        assert sac.estimate("f") == pytest.approx(truth, rel=0.5)
+
+    def test_r_monotone(self):
+        sac = SmallActiveCounters(total_bits=6, mode_bits=1, mode="volume", rng=3)
+        r0 = sac.r
+        for _ in range(400):
+            sac.observe("f", 1500)
+        assert sac.r >= r0
+
+
+class TestAccuracy:
+    def test_roughly_unbiased(self):
+        lengths = [64, 1500, 576, 40] * 50
+        truth = sum(lengths)
+        estimates = []
+        for seed in range(300):
+            sac = SmallActiveCounters(total_bits=10, mode_bits=3, mode="volume", rng=seed)
+            for l in lengths:
+                sac.observe("f", l)
+            estimates.append(sac.estimate("f"))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_error_shrinks_with_counter_size(self):
+        rand = random.Random(7)
+        lengths = [rand.randint(40, 1500) for _ in range(600)]
+        truth = sum(lengths)
+
+        def mean_abs_error(bits):
+            errs = []
+            for seed in range(60):
+                sac = SmallActiveCounters(total_bits=bits, mode_bits=3,
+                                          mode="volume", rng=seed)
+                for l in lengths:
+                    sac.observe("f", l)
+                errs.append(abs(sac.estimate("f") - truth) / truth)
+            return statistics.mean(errs)
+
+        assert mean_abs_error(11) < mean_abs_error(7)
+
+    def test_bits_required_for(self):
+        sac = SmallActiveCounters(total_bits=8, mode_bits=3)
+        small = sac.bits_required_for(10)
+        large = sac.bits_required_for(10_000_000)
+        assert small < large
+        with pytest.raises(ParameterError):
+            sac.bits_required_for(-1)
+
+    def test_size_mode(self):
+        sac = SmallActiveCounters(total_bits=10, mode_bits=3, mode="size", rng=0)
+        for _ in range(500):
+            sac.observe("f", 9999)
+        assert sac.estimate("f") == pytest.approx(500, rel=0.3)

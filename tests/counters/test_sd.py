@@ -1,0 +1,91 @@
+"""Tests for the hybrid SRAM/DRAM counter architecture."""
+
+import random
+
+import pytest
+
+from repro.counters.sd import SdCounters
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SdCounters(sram_bits=0)
+        with pytest.raises(ParameterError):
+            SdCounters(dram_access_ratio=0)
+
+
+class TestExactness:
+    def test_exact_when_provisioned(self):
+        # Wide-enough SRAM counters + LCF: totals are exact after drain.
+        sd = SdCounters(sram_bits=16, dram_access_ratio=8, mode="volume")
+        rand = random.Random(0)
+        truth = {}
+        for _ in range(2000):
+            flow = rand.randrange(20)
+            length = rand.randint(40, 1500)
+            sd.observe(flow, length)
+            truth[flow] = truth.get(flow, 0) + length
+        sd.drain()
+        assert sd.overflow_events == 0
+        for flow, total in truth.items():
+            assert sd.estimate(flow) == float(total)
+
+    def test_size_mode(self):
+        sd = SdCounters(sram_bits=16, mode="size")
+        for _ in range(10):
+            sd.observe("f", 1500)
+        sd.drain()
+        assert sd.estimate("f") == 10.0
+
+    def test_unseen_flow(self):
+        assert SdCounters().estimate("nope") == 0.0
+
+
+class TestCmaAndOverflow:
+    def test_flushes_happen(self):
+        sd = SdCounters(sram_bits=16, dram_access_ratio=4, mode="size")
+        for i in range(100):
+            sd.observe(i % 5, 100)
+        assert sd.flushes > 0
+        assert sd.bus_bits_transferred > 0
+
+    def test_lcf_prefers_largest(self):
+        sd = SdCounters(sram_bits=16, dram_access_ratio=1000, mode="volume")
+        sd.observe("small", 40)
+        sd.observe("big", 1500)
+        sd._flush_largest()
+        assert sd._dram["big"] == 1500
+        assert sd._dram.get("small", 0) == 0
+
+    def test_underprovisioned_sram_overflows(self):
+        # 4-bit SRAM counters cannot hold byte counts between rare flushes.
+        sd = SdCounters(sram_bits=4, dram_access_ratio=100, mode="volume")
+        for _ in range(200):
+            sd.observe("f", 1500)
+        assert sd.overflow_events > 0
+        assert sd.lost_traffic > 0
+
+    def test_read_hits_dram(self):
+        sd = SdCounters()
+        sd.observe("f", 100)
+        before = sd.dram_reads
+        sd.estimate("f")
+        assert sd.dram_reads == before + 1
+
+    def test_reset(self):
+        sd = SdCounters()
+        sd.observe("f", 100)
+        sd.reset()
+        assert len(sd) == 0
+        assert sd.flushes == 0
+        assert sd.estimate("f") == 0.0
+        # estimate() above counted one read on the fresh state
+        assert sd.dram_reads == 1
+
+    def test_full_size_bits_accounting(self):
+        sd = SdCounters(sram_bits=16, mode="volume")
+        sd.observe("f", 1023)
+        sd.drain()
+        assert sd.max_counter_bits() == 10

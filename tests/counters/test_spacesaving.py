@@ -1,0 +1,111 @@
+"""Tests for the Space-Saving heavy-hitter structure."""
+
+import random
+
+import pytest
+
+from repro.counters.spacesaving import SpaceSaving
+from repro.errors import ParameterError
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SpaceSaving(capacity=0)
+        ss = SpaceSaving(capacity=4)
+        with pytest.raises(ParameterError):
+            ss.top_k(0)
+
+    def test_exact_under_capacity(self):
+        ss = SpaceSaving(capacity=8, mode="volume", rng=0)
+        ss.observe("a", 100)
+        ss.observe("a", 50)
+        ss.observe("b", 30)
+        assert ss.estimate("a") == 150.0
+        assert ss.guaranteed("a") == 150.0
+        assert ss.takeovers == 0
+
+    def test_unmonitored_flow_zero(self):
+        ss = SpaceSaving(capacity=2, rng=0)
+        assert ss.estimate("nope") == 0.0
+        assert ss.guaranteed("nope") == 0.0
+
+    def test_size_mode(self):
+        ss = SpaceSaving(capacity=4, mode="size", rng=0)
+        for _ in range(10):
+            ss.observe("f", 1500)
+        assert ss.estimate("f") == 10.0
+
+
+class TestTakeover:
+    def test_eviction_inherits_minimum(self):
+        ss = SpaceSaving(capacity=2, mode="size", rng=0)
+        ss.observe("a", 1)   # a: 1
+        ss.observe("b", 1)   # b: 1
+        ss.observe("c", 1)   # evicts min (a or b), inherits count 1
+        assert ss.takeovers == 1
+        assert ss.estimate("c") == 2.0
+        assert ss.guaranteed("c") == 1.0
+
+    def test_never_underestimates_monitored(self):
+        ss = SpaceSaving(capacity=16, mode="volume", rng=0)
+        rand = random.Random(1)
+        truth = {}
+        for _ in range(5000):
+            flow = rand.randrange(100)
+            length = rand.randint(40, 1500)
+            ss.observe(flow, length)
+            truth[flow] = truth.get(flow, 0) + length
+        for flow, entry_count in ss.top_k(16):
+            assert entry_count >= truth[flow]
+            assert ss.guaranteed(flow) <= truth[flow]
+
+    def test_classic_error_bound(self):
+        ss = SpaceSaving(capacity=16, mode="volume", rng=0)
+        rand = random.Random(2)
+        truth = {}
+        for _ in range(5000):
+            flow = rand.randrange(200)
+            length = rand.randint(40, 1500)
+            ss.observe(flow, length)
+            truth[flow] = truth.get(flow, 0) + length
+        bound = ss.error_bound()
+        for flow, entry_count in ss.top_k(16):
+            assert entry_count - truth[flow] <= bound + 1e-9
+
+
+class TestHeavyHitterGuarantee:
+    def test_elephants_always_monitored(self):
+        # Flows above TOTAL/capacity must be in the table.
+        ss = SpaceSaving(capacity=10, mode="volume", rng=0)
+        rand = random.Random(3)
+        truth = {}
+        packets = []
+        for e in range(3):
+            packets += [(f"E{e}", 1500)] * 500
+        for m in range(200):
+            packets += [(f"m{m}", rand.randint(40, 200))] * 3
+        rand.shuffle(packets)
+        for flow, length in packets:
+            ss.observe(flow, length)
+            truth[flow] = truth.get(flow, 0) + length
+        threshold = ss.total / ss.capacity
+        monitored = {flow for flow, _ in ss.top_k(10)}
+        for flow, total in truth.items():
+            if total > threshold:
+                assert flow in monitored, flow
+
+    def test_top_k_ordering(self):
+        ss = SpaceSaving(capacity=8, mode="size", rng=0)
+        for flow, count in (("big", 50), ("mid", 20), ("small", 5)):
+            for _ in range(count):
+                ss.observe(flow, 1)
+        ranked = ss.top_k(3)
+        assert [f for f, _ in ranked] == ["big", "mid", "small"]
+
+    def test_reset(self):
+        ss = SpaceSaving(capacity=4, rng=0)
+        ss.observe("f", 100)
+        ss.reset()
+        assert ss.total == 0
+        assert len(ss) == 0

@@ -1,0 +1,96 @@
+"""Tests for collector-side export processing."""
+
+import pytest
+
+from repro.core.disco import DiscoSketch
+from repro.errors import ParameterError, TraceFormatError
+from repro.export.collector import Collector
+from repro.export.records import ExportBatch, FlowRecord
+
+
+def batch(mode="volume", base=1.05, **flows):
+    return ExportBatch(mode=mode, b=base, records=[
+        FlowRecord(key, counter, estimate)
+        for key, (counter, estimate) in flows.items()
+    ])
+
+
+class TestIngest:
+    def test_mode_lock(self):
+        collector = Collector()
+        collector.ingest(batch(mode="volume"))
+        with pytest.raises(TraceFormatError):
+            collector.ingest(batch(mode="size"))
+
+    def test_intervals_counted(self):
+        collector = Collector()
+        collector.ingest(batch(a=(1, 10.0)))
+        collector.ingest(batch(a=(2, 20.0)))
+        assert collector.intervals == 2
+
+
+class TestQueries:
+    def _loaded(self):
+        collector = Collector()
+        collector.ingest(batch(a=(10, 100.0), b=(5, 50.0)))
+        collector.ingest(batch(a=(20, 300.0), c=(1, 1.0)))
+        return collector
+
+    def test_series(self):
+        collector = self._loaded()
+        series = collector.series("a")
+        assert series.estimates == [100.0, 300.0]
+        assert series.total == 400.0
+        assert series.intervals == 2
+
+    def test_missing_flow_empty_series(self):
+        collector = self._loaded()
+        assert collector.series("zzz").total == 0.0
+        assert collector.flow_total("zzz") == 0.0
+
+    def test_interval_totals(self):
+        collector = self._loaded()
+        assert collector.interval_totals() == [150.0, 301.0]
+
+    def test_top_flows(self):
+        collector = self._loaded()
+        assert collector.top_flows(2) == [("a", 400.0), ("b", 50.0)]
+        with pytest.raises(ParameterError):
+            collector.top_flows(0)
+
+    def test_interval_confidence_recomputed(self):
+        collector = Collector()
+        sketch = DiscoSketch(b=1.02, mode="volume", rng=0)
+        for _ in range(200):
+            sketch.observe("f", 1000)
+        collector.ingest(ExportBatch.from_sketch(sketch))
+        ci = collector.interval_confidence(0, "f")
+        assert ci is not None
+        assert ci.low <= sketch.estimate("f") <= ci.high
+
+    def test_interval_confidence_missing_flow(self):
+        collector = self._loaded()
+        assert collector.interval_confidence(0, "zzz") is None
+        with pytest.raises(ParameterError):
+            collector.interval_confidence(9, "a")
+
+
+class TestEndToEnd:
+    def test_monitor_export_collect_cycle(self, tmp_path):
+        from repro.export.records import read_export, write_export
+
+        collector = Collector()
+        truth_total = 0
+        for interval in range(3):
+            sketch = DiscoSketch(b=1.01, mode="volume", rng=interval)
+            for i in range(300):
+                sketch.observe(f"flow{i % 10}", 500)
+                truth_total += 500
+            path = tmp_path / f"interval{interval}.bin"
+            write_export(ExportBatch.from_sketch(sketch), path)
+            collector.ingest(read_export(path))
+        assert collector.intervals == 3
+        assert sum(collector.interval_totals()) == pytest.approx(
+            truth_total, rel=0.05
+        )
+        assert len(collector.flows()) == 10

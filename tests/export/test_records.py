@@ -1,0 +1,121 @@
+"""Tests for the flow-record export format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.disco import DiscoSketch
+from repro.errors import TraceFormatError
+from repro.export.records import ExportBatch, FlowRecord, read_export, write_export
+
+KEYS = st.text(min_size=1, max_size=40)
+RECORDS = st.lists(
+    st.builds(
+        FlowRecord,
+        key=KEYS,
+        counter_value=st.integers(min_value=0, max_value=2**31 - 1),
+        estimate=st.floats(min_value=0, max_value=1e15, allow_nan=False),
+    ),
+    max_size=30,
+)
+
+
+class TestTypes:
+    def test_record_validation(self):
+        with pytest.raises(TraceFormatError):
+            FlowRecord(key="f", counter_value=-1, estimate=1.0)
+        with pytest.raises(TraceFormatError):
+            FlowRecord(key="f", counter_value=1, estimate=-1.0)
+
+    def test_batch_validation(self):
+        with pytest.raises(TraceFormatError):
+            ExportBatch(mode="bytes", b=1.1, records=[])
+        with pytest.raises(TraceFormatError):
+            ExportBatch(mode="volume", b=1.0, records=[])
+
+    def test_from_sketch(self):
+        sketch = DiscoSketch(b=1.05, mode="volume", rng=0)
+        sketch.observe("a", 1000)
+        sketch.observe("b", 500)
+        batch = ExportBatch.from_sketch(sketch)
+        assert batch.mode == "volume"
+        assert batch.b == 1.05
+        assert len(batch) == 2
+        assert batch.estimates()["a"] == sketch.estimate("a")
+        assert batch.total == pytest.approx(
+            sketch.estimate("a") + sketch.estimate("b")
+        )
+
+    def test_from_sketch_requires_geometric(self):
+        with pytest.raises(TraceFormatError):
+            ExportBatch.from_sketch(object())
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        batch = ExportBatch(mode="size", b=1.02, records=[
+            FlowRecord("flow/1", 100, 171.5),
+            FlowRecord("flow/2", 0, 0.0),
+        ])
+        path = tmp_path / "export.bin"
+        written = write_export(batch, path)
+        assert path.stat().st_size == written
+        loaded = read_export(path)
+        assert loaded == batch
+
+    def test_stream_roundtrip(self):
+        batch = ExportBatch(mode="volume", b=1.002, records=[
+            FlowRecord("k", 42, 900.25),
+        ])
+        buffer = io.BytesIO()
+        write_export(batch, buffer)
+        buffer.seek(0)
+        assert read_export(buffer) == batch
+
+    @given(records=RECORDS, b=st.floats(min_value=1.0001, max_value=2.0))
+    @settings(max_examples=60)
+    def test_property_roundtrip(self, records, b):
+        batch = ExportBatch(mode="volume", b=b, records=records)
+        buffer = io.BytesIO()
+        write_export(batch, buffer)
+        buffer.seek(0)
+        assert read_export(buffer) == batch
+
+    def test_unicode_keys(self):
+        batch = ExportBatch(mode="size", b=1.1, records=[
+            FlowRecord("流量/πρöver", 7, 7.0),
+        ])
+        buffer = io.BytesIO()
+        write_export(batch, buffer)
+        buffer.seek(0)
+        assert read_export(buffer).records[0].key == "流量/πρöver"
+
+
+class TestMalformed:
+    def _bytes_for(self, batch):
+        buffer = io.BytesIO()
+        write_export(batch, buffer)
+        return buffer.getvalue()
+
+    def test_bad_magic(self):
+        data = self._bytes_for(ExportBatch("size", 1.1, []))
+        with pytest.raises(TraceFormatError):
+            read_export(io.BytesIO(b"XXXX" + data[4:]))
+
+    def test_truncated(self):
+        data = self._bytes_for(ExportBatch("size", 1.1, [FlowRecord("k", 1, 1.0)]))
+        with pytest.raises(TraceFormatError):
+            read_export(io.BytesIO(data[:-3]))
+
+    def test_trailing_garbage(self):
+        data = self._bytes_for(ExportBatch("size", 1.1, []))
+        with pytest.raises(TraceFormatError):
+            read_export(io.BytesIO(data + b"\x00"))
+
+    def test_bad_version(self):
+        data = bytearray(self._bytes_for(ExportBatch("size", 1.1, [])))
+        data[4] = 99
+        with pytest.raises(TraceFormatError):
+            read_export(io.BytesIO(bytes(data)))

@@ -1,0 +1,111 @@
+"""Tests for the fixed-size open-addressing flow table."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.flows.flowtable import FlowTable
+
+
+class TestBasics:
+    def test_capacity_rounds_to_power_of_two(self):
+        assert FlowTable(slots=100).capacity == 128
+        assert FlowTable(slots=128).capacity == 128
+        assert FlowTable(slots=1).capacity == 1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            FlowTable(slots=0)
+        with pytest.raises(ParameterError):
+            FlowTable(slots=8, max_probes=0)
+
+    def test_put_get(self):
+        table = FlowTable(slots=16)
+        assert table.put("a", 1)
+        assert table.get("a") == 1
+        assert table.get("b") is None
+        assert table.get("b", default=-1) == -1
+
+    def test_update_in_place(self):
+        table = FlowTable(slots=16)
+        table.put("a", 1)
+        table.put("a", 2)
+        assert table.get("a") == 2
+        assert len(table) == 1
+
+    def test_contains_and_len(self):
+        table = FlowTable(slots=16)
+        table.put("a", 1)
+        table.put("b", 2)
+        assert "a" in table and "c" not in table
+        assert len(table) == 2
+        assert table.load_factor == pytest.approx(2 / 16)
+
+    def test_get_or_insert(self):
+        table = FlowTable(slots=16)
+        value, fresh = table.get_or_insert("a", 7)
+        assert value == 7 and fresh
+        value, fresh = table.get_or_insert("a", 99)
+        assert value == 7 and not fresh
+
+    def test_items_and_keys(self):
+        table = FlowTable(slots=16)
+        table.put("a", 1)
+        table.put("b", 2)
+        assert dict(table.items()) == {"a": 1, "b": 2}
+        assert set(table.keys()) == {"a", "b"}
+
+    def test_clear(self):
+        table = FlowTable(slots=16)
+        table.put("a", 1)
+        table.clear()
+        assert len(table) == 0
+        assert table.get("a") is None
+
+
+class TestOverflow:
+    def test_insert_failure_when_saturated(self):
+        table = FlowTable(slots=4, max_probes=4)
+        inserted = sum(1 for i in range(50) if table.put(i, i))
+        assert inserted <= 4
+        assert table.stats.insert_failures > 0
+
+    def test_get_or_insert_failure(self):
+        table = FlowTable(slots=2, max_probes=2)
+        results = [table.get_or_insert(i, i) for i in range(20)]
+        failures = [r for r in results if r[0] is None]
+        assert failures
+
+    def test_probe_stats(self):
+        table = FlowTable(slots=4, max_probes=4)
+        for i in range(10):
+            table.put(i, i)
+        assert table.stats.lookups >= 10
+        assert table.stats.mean_probe_length >= 1.0
+
+    def test_empty_stats(self):
+        assert FlowTable(slots=4).stats.mean_probe_length == 0.0
+
+
+class TestAgainstDictModel:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=50),
+                      st.integers(min_value=0, max_value=1000)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100)
+    def test_matches_dict_when_not_full(self, ops):
+        # With ample capacity the table behaves exactly like a dict.
+        table = FlowTable(slots=256, max_probes=256)
+        model = {}
+        for key, value in ops:
+            assert table.put(key, value)
+            model[key] = value
+        for key, value in model.items():
+            assert table.get(key) == value
+        assert len(table) == len(model)

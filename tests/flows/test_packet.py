@@ -1,0 +1,58 @@
+"""Tests for packet and flow-key primitives."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.flows.packet import FiveTuple, Packet
+
+
+class TestFiveTuple:
+    def test_construction_and_fields(self):
+        ft = FiveTuple("10.0.0.1", "10.0.0.2", 1234, 80, 6)
+        assert ft.src_port == 1234
+        assert ft.protocol == 6
+
+    def test_hashable_and_equal(self):
+        a = FiveTuple("a", "b", 1, 2, 6)
+        b = FiveTuple("a", "b", 1, 2, 6)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_reversed(self):
+        ft = FiveTuple("a", "b", 1, 2, 6)
+        rev = ft.reversed()
+        assert rev.src_ip == "b" and rev.dst_ip == "a"
+        assert rev.src_port == 2 and rev.dst_port == 1
+        assert rev.reversed() == ft
+
+    @pytest.mark.parametrize("port", [-1, 70000])
+    def test_port_validation(self, port):
+        with pytest.raises(ParameterError):
+            FiveTuple("a", "b", port, 80, 6)
+
+    def test_protocol_validation(self):
+        with pytest.raises(ParameterError):
+            FiveTuple("a", "b", 1, 2, 300)
+
+    def test_orderable(self):
+        assert FiveTuple("a", "b", 1, 2, 6) < FiveTuple("b", "a", 1, 2, 6)
+
+
+class TestPacket:
+    def test_fields(self):
+        p = Packet(flow="f", length=64, timestamp=1.5)
+        assert p.as_tuple() == ("f", 64)
+        assert p.timestamp == 1.5
+
+    def test_default_timestamp(self):
+        assert Packet(flow="f", length=64).timestamp == 0.0
+
+    @pytest.mark.parametrize("length", [0, -5])
+    def test_length_validation(self, length):
+        with pytest.raises(ParameterError):
+            Packet(flow="f", length=length)
+
+    def test_frozen(self):
+        p = Packet(flow="f", length=64)
+        with pytest.raises(Exception):
+            p.length = 100

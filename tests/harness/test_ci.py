@@ -1,0 +1,70 @@
+"""Tests for the metric regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.harness.ci import MetricDrift, collect_metrics, compare, save_baseline
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return collect_metrics()
+
+
+class TestCollect:
+    def test_metrics_present_and_plausible(self, metrics):
+        assert metrics["theorem2_bound_b1002"] == pytest.approx(0.0316, abs=1e-3)
+        assert 250 < metrics["fig01_counter_b101"] < 400     # paper: ~321
+        assert metrics["disco_avg_error_10bit"] < metrics["sac_avg_error_10bit"]
+        assert 10.0 < metrics["ixp_gbps_1me"] < 12.0          # paper: 11.1
+
+    def test_deterministic(self, metrics):
+        assert collect_metrics() == metrics
+
+
+class TestGate:
+    def test_roundtrip_within_tolerance(self, metrics, tmp_path):
+        path = save_baseline(tmp_path / "baseline.json", metrics)
+        drifts = compare(path, metrics)
+        assert all(d.within_tolerance for d in drifts)
+        assert {d.name for d in drifts} == set(metrics)
+
+    def test_detects_drift(self, metrics, tmp_path):
+        path = save_baseline(tmp_path / "baseline.json", metrics)
+        broken = dict(metrics)
+        broken["ixp_gbps_1me"] *= 1.5
+        drifts = {d.name: d for d in compare(path, broken)}
+        assert not drifts["ixp_gbps_1me"].within_tolerance
+        assert drifts["theorem2_bound_b1002"].within_tolerance
+
+    def test_missing_baseline(self, tmp_path):
+        with pytest.raises(ParameterError):
+            compare(tmp_path / "nope.json")
+
+    def test_metric_set_mismatch(self, metrics, tmp_path):
+        path = tmp_path / "baseline.json"
+        partial = dict(metrics)
+        partial.pop("ixp_gbps_1me")
+        path.write_text(json.dumps(partial))
+        with pytest.raises(ParameterError):
+            compare(path, metrics)
+
+    def test_drift_math(self):
+        drift = MetricDrift(name="x", baseline=10.0, current=11.0,
+                            tolerance=0.05)
+        assert drift.relative_drift == pytest.approx(0.1)
+        assert not drift.within_tolerance
+
+
+class TestShippedBaseline:
+    def test_repo_baseline_holds(self, metrics):
+        # The committed baseline must match a fresh recomputation.
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parents[2] / "benchmarks" / "baseline.json"
+        drifts = compare(baseline, metrics)
+        for drift in drifts:
+            assert drift.within_tolerance, (drift.name, drift.baseline,
+                                            drift.current)

@@ -1,0 +1,155 @@
+"""Integration tests for the per-figure experiment functions.
+
+These run on deliberately small workloads; the benchmarks run the
+paper-scale versions.  The assertions target the *qualitative* shape each
+figure/table demonstrates.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    bound_gap,
+    counter_bits_vs_volume,
+    error_cdf_comparison,
+    flow_size_per_flow_error,
+    make_disco,
+    make_sac,
+    table2,
+    table3,
+    table4,
+    volume_error_vs_counter_size,
+)
+from repro.traces.nlanr import nlanr_like
+from repro.traces.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return nlanr_like(num_flows=120, mean_flow_bytes=15_000, rng=11)
+
+
+class TestFactories:
+    def test_make_disco_fits_budget(self, trace):
+        max_volume = max(trace.true_totals("volume").values())
+        sketch = make_disco(10, max_volume, "volume", seed=0)
+        assert sketch.capacity_bits == 10
+        # f(2^10 - 1) must cover the largest flow (with slack).
+        assert sketch.function.value(1023) >= max_volume
+
+    def test_make_sac_split(self):
+        sac = make_sac(10, "volume", seed=0)
+        assert sac.total_bits == 10
+        assert sac.mode_bits == 3
+
+
+class TestFigures5to7:
+    def test_disco_beats_sac_everywhere(self, trace):
+        rows = volume_error_vs_counter_size(trace, counter_sizes=(8, 10), seed=5)
+        for row in rows:
+            assert row.disco.average < row.sac.average
+            assert row.disco.optimistic_95 < row.sac.optimistic_95
+
+    def test_error_decreases_with_counter_size(self, trace):
+        rows = volume_error_vs_counter_size(trace, counter_sizes=(8, 9, 10), seed=5)
+        averages = [row.disco.average for row in rows]
+        assert averages == sorted(averages, reverse=True)
+
+    def test_row_metadata(self, trace):
+        rows = volume_error_vs_counter_size(trace, counter_sizes=(9,), seed=5)
+        assert rows[0].counter_bits == 9
+        assert rows[0].disco_b > 1.0
+
+
+class TestFigure8:
+    def test_cdf_shapes(self, trace):
+        result = error_cdf_comparison(trace, counter_bits=10, seed=5, points=50)
+        disco_cdf, sac_cdf = result["disco"], result["sac"]
+        assert disco_cdf[-1][1] == pytest.approx(1.0)
+        assert sac_cdf[-1][1] == pytest.approx(1.0)
+        # DISCO's whole error support ends earlier than SAC's.
+        assert max(r for r, _ in disco_cdf) < max(r for r, _ in sac_cdf)
+
+
+class TestFigure9:
+    def test_ordering_for_large_flows(self):
+        rows = counter_bits_vs_volume([10**5, 10**6, 10**7, 10**8], b=1.002)
+        for row in rows:
+            assert row["disco_bits"] < row["sd_bits"]
+            assert row["sac_bits"] < row["sd_bits"]
+
+    def test_sd_slope_one_in_value(self):
+        rows = counter_bits_vs_volume([2**10, 2**20], b=1.002)
+        assert rows[0]["sd_bits"] == 11
+        assert rows[1]["sd_bits"] == 21
+
+    def test_disco_counter_value_concave(self):
+        rows = counter_bits_vs_volume([10**4, 10**5, 10**6], b=1.002)
+        values = [r["disco_counter_value"] for r in rows]
+        # 10x traffic never 10x counter.
+        assert values[1] < 10 * values[0]
+        assert values[2] < 10 * values[1]
+
+
+class TestFigure10:
+    def test_scatter_structure_and_sane_errors(self, trace):
+        # The paper's ordering (DISCO < SAC) emerges at its trace's flow
+        # depth (sizes up to ~1e5 packets); that run lives in the Figure 10
+        # benchmark.  Here we check the experiment itself on a shallow
+        # trace: both schemes produce bounded per-flow size errors.
+        result = flow_size_per_flow_error(trace, counter_bits=10, seed=5)
+        for scheme in ("disco", "sac"):
+            errors = [e for _, e in result[scheme]]
+            assert errors
+            assert max(errors) < 0.5
+            assert sum(errors) / len(errors) < 0.1
+
+    def test_pairs_sorted_by_size(self, trace):
+        result = flow_size_per_flow_error(trace, counter_bits=10, seed=5)
+        sizes = [s for s, _ in result["disco"]]
+        assert sizes == sorted(sizes)
+
+    def test_disco_beats_sac_on_deep_flows(self):
+        # Deterministic miniature of the Figure 10 setting: log-spread flow
+        # sizes reaching 1e4.5 packets stress SAC's exponent field enough
+        # for DISCO's bounded CoV to win on the worst case.
+        import random
+
+        rand = random.Random(0)
+        flows = {
+            i: [100] * int(10 ** rand.uniform(2, 4.2)) for i in range(25)
+        }
+        deep = Trace(flows, name="deep")
+        result = flow_size_per_flow_error(deep, counter_bits=9, seed=5)
+        disco_max = max(e for _, e in result["disco"])
+        sac_max = max(e for _, e in result["sac"])
+        assert disco_max < sac_max
+
+
+class TestTables:
+    def test_table2_structure_and_ordering(self, trace):
+        rows = table2({"real-like": trace}, counter_sizes=(8, 10), seed=5)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["disco_avg_error"] < row["sac_avg_error"]
+
+    def test_table3_anls1_catastrophic(self, trace):
+        rows = table3({"real-like": trace}, seed=5)
+        row = rows[0]
+        # ANLS-I's error is orders of magnitude above DISCO's ~0.01.
+        assert row["anls1_avg_error"] > 1.0
+        assert 0.0 <= row["length_variance_over_10_fraction"] <= 1.0
+
+    def test_table4_anls2_slower(self):
+        # Tiny trace keeps the wall-clock measurement fast.
+        small = nlanr_like(num_flows=25, mean_flow_bytes=8_000, rng=3)
+        rows = table4({"small": small}, seed=5)
+        assert rows[0]["ratio"] > 3.0
+
+
+class TestFigure4:
+    def test_bound_gap_small_and_positive_mean(self):
+        rows = bound_gap(b=1.02, flow_lengths=(1000, 10_000), runs=30, seed=5)
+        for row in rows:
+            assert row["bound"] >= row["mean_counter"] - 1.0
+            # Paper: relative gap ~1e-4 or below.
+            assert abs(row["relative_gap"]) < 2e-2

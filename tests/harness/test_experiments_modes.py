@@ -1,0 +1,44 @@
+"""Extra coverage for experiment-function parameters."""
+
+import pytest
+
+from repro.harness.experiments import (
+    DEFAULT_SLACK,
+    SAC_MODE_BITS,
+    make_disco,
+    make_sac,
+    volume_error_vs_counter_size,
+)
+from repro.traces.synthetic import scenario3
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return scenario3(num_flows=30, rng=44)
+
+
+class TestModes:
+    def test_size_mode_sweep(self, trace):
+        rows = volume_error_vs_counter_size(
+            trace, counter_sizes=(8, 10), seed=3, mode="size"
+        )
+        assert len(rows) == 2
+        for row in rows:
+            # Size counting on this trace: both schemes well under 20%.
+            assert row.disco.average < 0.2
+            assert row.sac.average < 0.2
+        assert rows[1].disco.average <= rows[0].disco.average
+
+    def test_constants_documented_values(self):
+        assert DEFAULT_SLACK == 1.5
+        assert SAC_MODE_BITS == 3
+
+    def test_make_disco_slack_parameter(self, trace):
+        tight = make_disco(10, 10_000, "volume", seed=0, slack=1.0)
+        loose = make_disco(10, 10_000, "volume", seed=0, slack=3.0)
+        assert loose.function.b > tight.function.b
+
+    def test_make_sac_mode(self):
+        sac = make_sac(9, "size", seed=1)
+        assert sac.mode == "size"
+        assert sac.total_bits == 9

@@ -1,0 +1,71 @@
+"""Tests for the Monte-Carlo measurement toolkit."""
+
+import pytest
+
+from repro.core.analysis import cov_bound
+from repro.errors import ParameterError
+from repro.harness.montecarlo import (
+    BiasVarianceReport,
+    convergence_table,
+    cov_within_bound,
+    measure_estimator,
+)
+
+
+class TestReport:
+    def test_derived_quantities(self):
+        report = BiasVarianceReport(
+            truth=100.0, replicas=400, mean_estimate=102.0,
+            variance=25.0, mean_counter=10.0,
+        )
+        assert report.bias == pytest.approx(2.0)
+        assert report.relative_bias == pytest.approx(0.02)
+        assert report.cov == pytest.approx(5.0 / 102.0)
+        assert report.bias_stderr == pytest.approx(0.25)
+        assert report.bias_significant(z=3.0)  # 2.0 > 3 * 0.25
+
+    def test_insignificant_bias(self):
+        report = BiasVarianceReport(
+            truth=100.0, replicas=4, mean_estimate=101.0,
+            variance=100.0, mean_counter=10.0,
+        )
+        assert not report.bias_significant(z=3.0)
+
+
+class TestMeasure:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            measure_estimator(1.1, [100.0], replicas=1)
+        with pytest.raises(ParameterError):
+            measure_estimator(1.1, [], replicas=10)
+
+    def test_unbiased_on_mixed_lengths(self):
+        lengths = [64.0, 1500.0, 576.0] * 40
+        report = measure_estimator(1.08, lengths, replicas=500, rng=1)
+        assert report.truth == sum(lengths)
+        assert abs(report.relative_bias) < 0.02
+        assert not report.bias_significant(z=4.0)
+
+    def test_cov_within_corollary_bound(self):
+        lengths = [500.0] * 300
+        report = measure_estimator(1.1, lengths, replicas=500, rng=2)
+        assert cov_within_bound(report, 1.1)
+        assert report.cov <= cov_bound(1.1) * 1.15
+
+    def test_counter_mean_reported(self):
+        report = measure_estimator(1.1, [100.0] * 50, replicas=50, rng=3)
+        assert 0 < report.mean_counter < 5000
+
+
+class TestConvergence:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            convergence_table(1.1, [100.0], replica_counts=[])
+
+    def test_stderr_shrinks(self):
+        lengths = [300.0] * 100
+        reports = convergence_table(1.1, lengths,
+                                    replica_counts=(50, 800), rng=4)
+        assert reports[0].replicas == 50
+        assert reports[1].replicas == 800
+        assert reports[1].bias_stderr < reports[0].bias_stderr

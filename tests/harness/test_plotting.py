@@ -1,0 +1,78 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.harness.plotting import ascii_chart
+
+
+def simple_series():
+    return {"line": [(0.0, 0.0), (5.0, 5.0), (10.0, 10.0)]}
+
+
+class TestValidation:
+    def test_empty(self):
+        with pytest.raises(ParameterError):
+            ascii_chart({})
+        with pytest.raises(ParameterError):
+            ascii_chart({"s": []})
+
+    def test_too_small(self):
+        with pytest.raises(ParameterError):
+            ascii_chart(simple_series(), width=4)
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [(0.0, float(i))] for i in range(20)}
+        with pytest.raises(ParameterError):
+            ascii_chart(series)
+
+    def test_log_needs_positive(self):
+        with pytest.raises(ParameterError):
+            ascii_chart({"s": [(0.0, 1.0)]}, x_log=True)
+        with pytest.raises(ParameterError):
+            ascii_chart({"s": [(1.0, -1.0)]}, y_log=True)
+
+
+class TestRendering:
+    def test_dimensions(self):
+        text = ascii_chart(simple_series(), width=40, height=10)
+        plot_rows = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_rows) == 10
+        assert all(len(l.split("|")[1]) == 40 for l in plot_rows)
+
+    def test_title_and_legend(self):
+        text = ascii_chart(simple_series(), title="My chart")
+        assert text.splitlines()[0] == "My chart"
+        assert "*=line" in text
+
+    def test_monotone_line_occupies_diagonal(self):
+        text = ascii_chart(simple_series(), width=20, height=10)
+        rows = [l.split("|")[1] for l in text.splitlines() if "|" in l]
+        # Top row holds the max point at the right; bottom the min at left.
+        assert rows[0].rstrip().endswith("*")
+        assert rows[-1].lstrip().startswith("*")
+
+    def test_multiple_series_markers(self):
+        text = ascii_chart({
+            "a": [(0.0, 1.0)],
+            "b": [(1.0, 0.0)],
+        })
+        assert "*" in text and "o" in text
+        assert "*=a" in text and "o=b" in text
+
+    def test_axis_labels_present(self):
+        text = ascii_chart({"s": [(2.0, 30.0), (8.0, 90.0)]})
+        assert "30" in text and "90" in text
+        assert "2" in text and "8" in text
+
+    def test_log_axes(self):
+        series = {"curve": [(10.0**k, 10.0**k) for k in range(1, 6)]}
+        text = ascii_chart(series, x_log=True, y_log=True, width=20, height=10)
+        rows = [l.split("|")[1] for l in text.splitlines() if "|" in l]
+        # Log-log straight line: one marker per ~equal step down the rows.
+        marked_rows = [i for i, r in enumerate(rows) if "*" in r]
+        assert len(marked_rows) >= 4
+
+    def test_flat_series(self):
+        text = ascii_chart({"flat": [(0.0, 5.0), (10.0, 5.0)]})
+        assert "*" in text

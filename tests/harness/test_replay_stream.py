@@ -1,0 +1,50 @@
+"""Tests for the streaming replay path."""
+
+import pytest
+
+from repro.core.disco import DiscoSketch
+from repro.counters.exact import ExactCounters
+from repro.harness.runner import replay, replay_stream
+from repro.traces.trace_io import iter_trace_packets, write_trace
+
+
+class TestReplayStream:
+    def test_exact_zero_error(self, tiny_trace):
+        result = replay_stream(ExactCounters(mode="volume"),
+                               tiny_trace.packet_pairs(order="sequential"))
+        assert result.summary.maximum == 0.0
+        assert result.packets == tiny_trace.num_packets
+        assert result.trace_name == "stream"
+
+    def test_matches_trace_replay(self, small_trace):
+        streamed = replay_stream(
+            DiscoSketch(b=1.01, mode="volume", rng=5),
+            small_trace.packet_pairs(order="shuffled", rng=6),
+        )
+        traced = replay(
+            DiscoSketch(b=1.01, mode="volume", rng=5),
+            small_trace, order="shuffled", rng=6,
+        )
+        assert streamed.truths == traced.truths
+        assert streamed.estimates == traced.estimates
+
+    def test_size_mode_truths(self, tiny_trace):
+        result = replay_stream(ExactCounters(mode="size"),
+                               tiny_trace.packet_pairs(order="sequential"))
+        assert result.truths == tiny_trace.true_totals("size")
+
+    def test_streams_a_trace_file(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(tiny_trace, path, order="sequential")
+        result = replay_stream(ExactCounters(mode="volume"),
+                               iter_trace_packets(path),
+                               trace_name="from-file")
+        assert result.trace_name == "from-file"
+        assert result.summary.maximum == 0.0
+        assert result.packets == tiny_trace.num_packets
+
+    def test_burst_sketch_flushed(self, tiny_trace):
+        sketch = DiscoSketch(b=1.01, mode="volume", rng=1, burst_capacity=1e9)
+        result = replay_stream(sketch,
+                               tiny_trace.packet_pairs(order="sequential"))
+        assert all(v > 0 for v in result.estimates.values())

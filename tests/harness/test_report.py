@@ -1,0 +1,60 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.harness.report import ReportConfig, generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    config = ReportConfig(
+        nlanr_flows=60,
+        scenario_flows=25,
+        counter_sizes=(8, 10),
+        ixp_packets=3000,
+        seed=3,
+    )
+    return generate_report(config)
+
+
+class TestGenerate:
+    def test_contains_all_sections(self, quick_report):
+        for heading in (
+            "# DISCO reproduction report",
+            "## Error vs counter size (Figures 5-7)",
+            "## Error CDF at 10 bits (Figure 8)",
+            "## Average error per scenario (Table II)",
+            "## ANLS-I failure (Table III)",
+            "## Counter bits vs flow volume (Figure 9)",
+            "## Error-bar calibration (95% band)",
+            "## IXP throughput (Table V)",
+        ):
+            assert heading in quick_report
+
+    def test_tables_are_markdown(self, quick_report):
+        assert "| bits | DISCO avg |" in quick_report
+        assert "|---|" in quick_report
+
+    def test_scenarios_listed(self, quick_report):
+        for name in ("scenario1", "scenario2", "scenario3", "real-like"):
+            assert name in quick_report
+
+    def test_ixp_optional(self):
+        config = ReportConfig(nlanr_flows=40, scenario_flows=15,
+                              counter_sizes=(8,), include_ixp=False, seed=4)
+        text = generate_report(config)
+        assert "IXP throughput" not in text
+
+    def test_deterministic(self):
+        config = ReportConfig(nlanr_flows=40, scenario_flows=15,
+                              counter_sizes=(8,), include_ixp=False, seed=5)
+        assert generate_report(config) == generate_report(config)
+
+
+class TestWrite:
+    def test_writes_file(self, tmp_path):
+        config = ReportConfig(nlanr_flows=40, scenario_flows=15,
+                              counter_sizes=(8,), include_ixp=False, seed=6)
+        path = write_report(tmp_path / "report.md", config)
+        assert path.exists()
+        assert path.read_text().startswith("# DISCO reproduction report")

@@ -1,0 +1,84 @@
+"""Tests for the replay driver and ASCII rendering."""
+
+import pytest
+
+from repro.core.disco import DiscoSketch
+from repro.counters.exact import ExactCounters
+from repro.harness.formatting import format_number, render_series, render_table
+from repro.harness.runner import replay
+
+
+class TestReplay:
+    def test_exact_scheme_zero_error(self, tiny_trace):
+        result = replay(ExactCounters(mode="volume"), tiny_trace, rng=0)
+        assert result.summary.maximum == 0.0
+        assert result.packets == tiny_trace.num_packets
+        assert result.trace_name == "tiny"
+        assert result.scheme_name == "exact"
+
+    def test_truths_match_trace(self, tiny_trace):
+        result = replay(ExactCounters(mode="size"), tiny_trace, rng=0)
+        assert result.truths == tiny_trace.true_totals("size")
+
+    def test_disco_small_error(self, small_trace):
+        sketch = DiscoSketch(b=1.005, mode="volume", rng=1)
+        result = replay(sketch, small_trace, rng=2)
+        assert result.summary.average < 0.05
+        assert result.max_counter_bits >= 1
+
+    def test_flush_called_for_burst_sketch(self, tiny_trace):
+        sketch = DiscoSketch(b=1.01, mode="volume", rng=1, burst_capacity=1e9)
+        result = replay(sketch, tiny_trace, order="sequential")
+        # Without the flush the last flow's burst would be missing entirely.
+        assert all(e > 0 for e in result.estimates.values())
+
+    def test_elapsed_positive(self, tiny_trace):
+        result = replay(ExactCounters(), tiny_trace)
+        assert result.elapsed_seconds > 0.0
+
+
+class TestFormatNumber:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, "0"), (42, "42"), (0.5, "0.5"), (True, "True"), ("x", "x")],
+    )
+    def test_cases(self, value, expected):
+        assert format_number(value) == expected
+
+    def test_large_float_scientific(self):
+        assert "e" in format_number(1.23e7)
+
+    def test_small_float_scientific(self):
+        assert "e" in format_number(1.23e-6)
+
+    def test_mid_float(self):
+        assert format_number(123.456) == "123.5"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [3, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+
+    def test_alignment(self):
+        text = render_table(["col"], [["averyverylongcell"], ["x"]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[2]) == len(lines[3])
+
+
+class TestRenderSeries:
+    def test_contains_label_and_points(self):
+        text = render_series("curve", [(1.0, 2.0), (3.0, 4.0)])
+        assert "[curve]" in text
+        assert "x=" in text and "y=" in text
+
+    def test_decimation(self):
+        points = [(float(i), float(i)) for i in range(100)]
+        text = render_series("long", points, max_points=10)
+        assert len(text.splitlines()) <= 11
+        # First and last points survive decimation.
+        assert "x=           0" in text or "x=          0" in text
+        assert "99" in text

@@ -1,0 +1,78 @@
+"""Tests for the parameter-sweep runner."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.harness.sweep import Sweep, SweepPoint
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Sweep(axes={}, runner=lambda: None)
+        with pytest.raises(ParameterError):
+            Sweep(axes={"a": []}, runner=lambda a: None)
+
+    def test_size(self):
+        sweep = Sweep(axes={"a": [1, 2, 3], "b": ["x", "y"]},
+                      runner=lambda a, b: None)
+        assert sweep.size == 6
+
+
+class TestRun:
+    def test_full_grid_in_order(self):
+        sweep = Sweep(axes={"a": [1, 2], "b": [10, 20]},
+                      runner=lambda a, b: a * b)
+        points = sweep.run()
+        assert [(p["a"], p["b"], p.result) for p in points] == [
+            (1, 10, 10), (1, 20, 20), (2, 10, 20), (2, 20, 40),
+        ]
+
+    def test_progress_callback(self):
+        seen = []
+        sweep = Sweep(axes={"a": [1, 2]}, runner=lambda a: a)
+        sweep.run(progress=seen.append)
+        assert len(seen) == 2
+        assert all(isinstance(p, SweepPoint) for p in seen)
+
+    def test_where_and_column(self):
+        sweep = Sweep(axes={"a": [1, 2], "b": [10, 20]},
+                      runner=lambda a, b: a * b)
+        sweep.run()
+        assert [p.result for p in sweep.where(a=2)] == [20, 40]
+        assert sweep.column(lambda r: r + 1, b=10) == [11, 21]
+        assert sweep.where(a=99) == []
+
+    def test_table(self):
+        sweep = Sweep(axes={"a": [1, 2]}, runner=lambda a: a * a)
+        sweep.run()
+        text = sweep.table({"square": lambda p: p.result})
+        assert "square" in text
+        assert "4" in text
+
+    def test_table_before_run_rejected(self):
+        sweep = Sweep(axes={"a": [1]}, runner=lambda a: a)
+        with pytest.raises(ParameterError):
+            sweep.table({})
+
+
+class TestRealisticUse:
+    def test_error_vs_bits_sweep(self):
+        # A miniature of the Figure 5 grid driven through Sweep.
+        from repro.core.analysis import choose_b
+        from repro.core.disco import DiscoSketch
+        from repro.harness.runner import replay
+        from repro.traces.synthetic import scenario3
+
+        trace = scenario3(num_flows=20, rng=1)
+        max_volume = max(trace.true_totals("volume").values())
+
+        def run(bits):
+            sketch = DiscoSketch(b=choose_b(bits, max_volume, slack=1.5),
+                                 mode="volume", rng=2)
+            return replay(sketch, trace, rng=3).summary.average
+
+        sweep = Sweep(axes={"bits": [8, 12]}, runner=run)
+        sweep.run()
+        errors = sweep.column(lambda r: r)
+        assert errors[1] < errors[0]  # more bits, less error

@@ -1,0 +1,110 @@
+"""Failure-injection integration tests.
+
+A production counter subsystem must degrade *visibly*: saturation,
+table overflow, decoder overload and renormalisation storms all have to
+be observable and bounded, never silent corruption.
+"""
+
+import random
+
+import pytest
+
+from repro.core.disco import DiscoSketch
+from repro.counters.counterbraids import CounterBraids
+from repro.counters.hardware import HardwareDiscoSketch
+from repro.counters.sac import SmallActiveCounters
+from repro.counters.sd import SdCounters
+from repro.errors import DecodingError
+
+
+class TestCounterSaturation:
+    def test_saturated_disco_underestimates_but_reports(self):
+        # 6-bit counters cannot follow a 10 MB flow; the sketch must count
+        # the saturation events and the estimate must clamp, not wrap.
+        sketch = DiscoSketch(b=1.05, mode="volume", rng=0, capacity_bits=6)
+        truth = 0
+        for _ in range(10_000):
+            sketch.observe("f", 1500)
+            truth += 1500
+        assert sketch.saturation_events > 0
+        assert sketch.counter_value("f") == 63
+        assert sketch.estimate("f") < truth  # clamped, never inflated
+
+    def test_saturation_does_not_leak_across_flows(self):
+        sketch = DiscoSketch(b=1.05, mode="volume", rng=1, capacity_bits=6)
+        for _ in range(5000):
+            sketch.observe("elephant", 1500)
+        sketch.observe("mouse", 40)
+        assert sketch.estimate("mouse") == pytest.approx(40.0, rel=0.5)
+
+
+class TestTableOverflowUnderAttack:
+    def test_flow_flood(self):
+        # An attacker spraying one-packet flows fills the table; the
+        # monitor must keep serving the flows it holds and count the rest.
+        sketch = HardwareDiscoSketch(b=1.01, slots=64, max_probes=8, rng=2)
+        for flow in range(10_000):
+            sketch.observe(("attack", flow), 40)
+        victims_before = len(sketch)
+        sketch.observe("legit", 1500)  # likely rejected, but never crashes
+        assert sketch.unaccounted_packets > 0
+        assert len(sketch) >= victims_before  # held flows are not evicted
+
+    def test_held_flows_stay_accurate_during_flood(self):
+        sketch = HardwareDiscoSketch(b=1.005, slots=64, counter_bits=14,
+                                     max_probes=8, rng=3)
+        truth = 0
+        rand = random.Random(4)
+        for _ in range(500):
+            l = rand.randint(40, 1500)
+            sketch.observe("legit", l)
+            truth += l
+        for flow in range(5000):
+            sketch.observe(("attack", flow), 40)
+        assert sketch.estimate("legit") == pytest.approx(truth, rel=0.2)
+
+
+class TestSacRenormStorm:
+    def test_many_global_renormalisations_remain_bounded(self):
+        # A tiny mode field forces repeated global renormalisation; the
+        # values must survive each storm within a bounded multiplicative
+        # error rather than collapsing.
+        sac = SmallActiveCounters(total_bits=6, mode_bits=1, mode="volume", rng=5)
+        truth = {}
+        rand = random.Random(6)
+        for _ in range(5000):
+            flow = rand.randrange(8)
+            l = rand.randint(40, 1500)
+            sac.observe(flow, l)
+            truth[flow] = truth.get(flow, 0) + l
+        assert sac.global_renormalizations >= 1
+        for flow, n in truth.items():
+            assert sac.estimate(flow) == pytest.approx(n, rel=1.0)
+
+
+class TestSdUnderProvisioning:
+    def test_slow_dram_loses_traffic_visibly(self):
+        sd = SdCounters(sram_bits=6, dram_access_ratio=64, mode="volume")
+        for _ in range(2000):
+            sd.observe("f", 1500)
+        sd.drain()
+        assert sd.overflow_events > 0
+        assert sd.lost_traffic > 0
+        # Conservation: estimate + reported loss equals the truth.
+        assert sd.estimate("f") + sd.lost_traffic == pytest.approx(
+            2000 * 1500
+        )
+
+
+class TestCounterBraidsOverload:
+    def test_overloaded_braid_flags_nonconvergence(self):
+        cb = CounterBraids(layer1_size=16, layer1_bits=32, hashes=3, mode="size")
+        rand = random.Random(7)
+        for flow in range(200):
+            for _ in range(rand.randint(1, 30)):
+                cb.observe(flow, 1)
+        with pytest.raises(DecodingError):
+            cb.decode(max_iterations=20, strict=True)
+        # Non-strict mode still returns best-effort numbers.
+        decoded = cb.decode(max_iterations=20, strict=False)
+        assert len(decoded) == 200

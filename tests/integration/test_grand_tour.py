@@ -1,0 +1,96 @@
+"""The grand tour: one narrative through the whole system.
+
+Synthetic backbone trace -> pcap on disk -> streamed into a
+hardware-constrained DISCO monitor with online heavy-hitter detection ->
+interval export -> collector with recomputed confidence intervals ->
+checkpoint/restore -> second monitor merged in -> billing with error bars.
+Every arrow is the real implementation; the assertions are end-to-end
+truths that any refactor must preserve.
+"""
+
+import pytest
+
+from repro.apps.billing import UsageAccountant
+from repro.apps.heavyhitters import HeavyHitterDetector
+from repro.core.analysis import choose_b
+from repro.core.checkpoint import load_sketch, save_sketch
+from repro.core.disco import DiscoSketch
+from repro.core.merge import merge_sketches
+from repro.export.collector import Collector
+from repro.export.records import ExportBatch, read_export, write_export
+from repro.traces.nlanr import nlanr_like
+from repro.traces.pcap import iter_pcap_packets, write_pcap
+
+
+def test_grand_tour(tmp_path):
+    # 1. Workload: a scaled backbone trace, written to a pcap.
+    trace = nlanr_like(num_flows=80, mean_flow_bytes=20_000,
+                       max_flow_bytes=400_000, rng=1234)
+    pcap_path = tmp_path / "capture.pcap"
+    packets_written = write_pcap(trace, pcap_path, order="shuffled", seed=1)
+    assert packets_written == trace.num_packets
+
+    # 2. Monitor: DISCO keyed by the pcap's five-tuples, with an online
+    #    heavy-hitter detector riding along.
+    stream = list(iter_pcap_packets(pcap_path))
+    total_bytes = sum(wire for _, wire, _ in stream)
+    b = choose_b(12, total_bytes, slack=1.5)  # generous upper bound
+    monitor = DiscoSketch(b=b, mode="volume", rng=2, track_variance=True)
+    detector = HeavyHitterDetector(monitor, threshold=total_bytes / 20)
+    for five_tuple, wire, _ in stream:
+        detector.observe(five_tuple, wire)
+    assert len(monitor) == len(trace)
+
+    # Ground truth per five-tuple (the pcap reader is the arbiter).
+    truths = {}
+    for five_tuple, wire, _ in stream:
+        truths[five_tuple] = truths.get(five_tuple, 0) + wire
+
+    # 3. Detection quality: every flow above the threshold was flagged.
+    flagged = {d.flow for d in detector.detections}
+    for flow, total in truths.items():
+        if total >= total_bytes / 10:  # clear elephants
+            assert flow in flagged
+
+    # 4. Export -> collector; confidence intervals recomputed remotely.
+    export_path = tmp_path / "interval0.bin"
+    write_export(ExportBatch.from_sketch(monitor), export_path)
+    collector = Collector()
+    collector.ingest(read_export(export_path))
+    assert collector.intervals == 1
+    covered = 0
+    for flow, total in truths.items():
+        ci = collector.interval_confidence(0, str(flow), level=0.95)
+        assert ci is not None
+        if ci.contains(total):
+            covered += 1
+    assert covered / len(truths) > 0.85
+
+    # 5. Checkpoint / restore: the monitor survives a reboot bit-exact.
+    ckpt = tmp_path / "monitor.ckpt"
+    save_sketch(monitor, ckpt)
+    restored = load_sketch(ckpt, rng=3)
+    assert len(restored) == len(monitor)
+    sample = next(iter(truths))
+    assert restored.counter_value(str(sample)) == monitor.counter_value(sample)
+
+    # 6. A second monitor saw a disjoint replay; merge the two.
+    second = DiscoSketch(b=b, mode="volume", rng=4)
+    for five_tuple, wire, _ in stream[: len(stream) // 3]:
+        second.observe(str(five_tuple), wire)
+    merged = merge_sketches(restored, second, rng=5)
+    assert len(merged) == len(restored)
+    merged_total = sum(merged.estimates().values())
+    expected_total = total_bytes + sum(
+        wire for _, wire, _ in stream[: len(stream) // 3]
+    )
+    assert merged_total == pytest.approx(expected_total, rel=0.05)
+
+    # 7. Billing off the restored monitor, with error bars that bracket
+    #    the truth.
+    accountant = UsageAccountant(
+        restored, account_of=lambda key: key.split(",")[0]
+    )
+    link = accountant.total_traffic(level=0.99)
+    assert link.low <= total_bytes <= link.high
+    assert link.relative_half_width < 0.05

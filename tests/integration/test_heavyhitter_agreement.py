@@ -1,0 +1,79 @@
+"""Cross-structure agreement: three heavy-hitter mechanisms, one workload.
+
+A DISCO-sketch detector, Space-Saving, and exact ground truth must agree
+on who the elephants are — the structures differ in state and error model,
+not in what the traffic contains.
+"""
+
+import pytest
+
+from repro.apps.heavyhitters import HeavyHitterDetector, top_k
+from repro.core.analysis import choose_b
+from repro.core.disco import DiscoSketch
+from repro.counters.spacesaving import SpaceSaving
+from repro.traces.zipf import zipf_trace
+
+
+@pytest.fixture(scope="module")
+def workload():
+    trace = zipf_trace(30_000, 400, alpha=1.1, rng=55)
+    truths = trace.true_totals("volume")
+    packets = list(trace.packet_pairs(rng=56))
+    return packets, truths
+
+
+class TestAgreement:
+    K = 10
+
+    def _true_top(self, truths):
+        ranked = sorted(truths.items(), key=lambda kv: kv[1], reverse=True)
+        return [flow for flow, _ in ranked[: self.K]]
+
+    def test_three_structures_agree_on_elephants(self, workload):
+        packets, truths = workload
+        b = choose_b(12, max(truths.values()), slack=1.5)
+
+        disco = DiscoSketch(b=b, mode="volume", rng=57, capacity_bits=12)
+        ss = SpaceSaving(capacity=64, mode="volume", rng=58)
+        for flow, length in packets:
+            disco.observe(flow, length)
+            ss.observe(flow, length)
+
+        true_top = set(self._true_top(truths))
+        disco_top = {f for f, _ in top_k(disco, self.K)}
+        ss_top = {f for f, _ in ss.top_k(self.K)}
+        assert len(true_top & disco_top) >= self.K - 1
+        assert len(true_top & ss_top) >= self.K - 2
+        # Pairwise agreement follows.
+        assert len(disco_top & ss_top) >= self.K - 3
+
+    def test_online_detector_consistent_with_final_topk(self, workload):
+        packets, truths = workload
+        b = choose_b(12, max(truths.values()), slack=1.5)
+        threshold = sorted(truths.values(), reverse=True)[self.K - 1]
+
+        sketch = DiscoSketch(b=b, mode="volume", rng=59)
+        detector = HeavyHitterDetector(sketch, threshold=threshold * 0.9)
+        for flow, length in packets:
+            detector.observe(flow, length)
+        detected = {d.flow for d in detector.detections}
+        # Every true top-K flow crossed the (slightly lowered) threshold
+        # online.
+        for flow in self._true_top(truths):
+            assert flow in detected
+
+    def test_space_saving_bounds_bracket_disco_estimates(self, workload):
+        packets, truths = workload
+        b = choose_b(12, max(truths.values()), slack=1.5)
+        disco = DiscoSketch(b=b, mode="volume", rng=60)
+        ss = SpaceSaving(capacity=64, mode="volume", rng=61)
+        for flow, length in packets:
+            disco.observe(flow, length)
+            ss.observe(flow, length)
+        for flow, _ in ss.top_k(5):
+            lower = ss.guaranteed(flow)
+            upper = ss.estimate(flow)
+            disco_estimate = disco.estimate(flow)
+            # DISCO's estimate sits inside Space-Saving's certainty band
+            # (inflated slightly for DISCO's own relative error).
+            assert lower * 0.85 <= disco_estimate <= upper * 1.15

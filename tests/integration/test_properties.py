@@ -1,0 +1,109 @@
+"""Cross-cutting property-based tests over the counting schemes.
+
+Each property is one the schemes' *users* rely on implicitly; hypothesis
+searches parameter corners the example-based tests don't reach.
+"""
+
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.disco import DiscoSketch
+from repro.core.functions import GeometricCountingFunction
+from repro.core.merge import merge_counters
+from repro.counters.countmin import CountMin
+from repro.counters.sac import SmallActiveCounters
+
+PACKETS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=8),
+              st.integers(min_value=1, max_value=1500)),
+    min_size=1, max_size=60,
+)
+BASES = st.floats(min_value=1.005, max_value=1.5, allow_nan=False)
+
+
+class TestDiscoProperties:
+    @given(packets=PACKETS, b=BASES, seed=st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_counter_bounded_by_inverse_plus_slack(self, packets, b, seed):
+        sketch = DiscoSketch(b=b, mode="volume", rng=seed)
+        totals = {}
+        for flow, length in packets:
+            sketch.observe(flow, length)
+            totals[flow] = totals.get(flow, 0) + length
+        fn = sketch.function
+        for flow, total in totals.items():
+            assert sketch.counter_value(flow) <= fn.inverse(total) + 3
+
+    @given(packets=PACKETS, b=BASES, seed=st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_estimate_zero_iff_unseen(self, packets, b, seed):
+        sketch = DiscoSketch(b=b, mode="volume", rng=seed)
+        for flow, length in packets:
+            sketch.observe(flow, length)
+        for flow, _ in packets:
+            assert sketch.estimate(flow) > 0.0
+        assert sketch.estimate("never-seen") == 0.0
+
+    @given(b=BASES, c1=st.integers(0, 200), c2=st.integers(0, 200),
+           seed=st.integers(0, 100))
+    @settings(max_examples=150)
+    def test_merge_monotone_and_bounded(self, b, c1, c2, seed):
+        fn = GeometricCountingFunction(b)
+        merged = merge_counters(fn, c1, c2, rng=seed)
+        assert merged >= max(c1, c2)
+        # Merged counter never exceeds the inverse of the summed estimates
+        # by more than one probabilistic step.
+        assert merged <= fn.inverse(fn.value(c1) + fn.value(c2)) + 1
+
+
+class TestSacProperties:
+    @given(packets=PACKETS, seed=st.integers(0, 1000),
+           bits=st.integers(min_value=6, max_value=12))
+    @settings(max_examples=100)
+    def test_state_always_within_field_widths(self, packets, seed, bits):
+        sac = SmallActiveCounters(total_bits=bits, mode_bits=3,
+                                  mode="volume", rng=seed)
+        for flow, length in packets:
+            sac.observe(flow, length)
+        for a, mode in sac._state.values():
+            assert 0 <= a < (1 << sac.estimation_bits)
+            assert 0 <= mode < (1 << sac.mode_bits)
+
+    @given(packets=PACKETS, seed=st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_estimates_nonnegative(self, packets, seed):
+        sac = SmallActiveCounters(total_bits=10, mode="volume", rng=seed)
+        for flow, length in packets:
+            sac.observe(flow, length)
+        for flow, _ in packets:
+            assert sac.estimate(flow) >= 0.0
+
+
+class TestCountMinProperties:
+    @given(packets=PACKETS, width=st.integers(4, 64),
+           conservative=st.booleans())
+    @settings(max_examples=100)
+    def test_never_underestimates(self, packets, width, conservative):
+        cm = CountMin(width=width, depth=3, conservative=conservative,
+                      mode="volume", rng=0)
+        totals = {}
+        for flow, length in packets:
+            cm.observe(flow, length)
+            totals[flow] = totals.get(flow, 0) + length
+        for flow, total in totals.items():
+            assert cm.estimate(flow) >= total
+
+    @given(packets=PACKETS, width=st.integers(4, 64))
+    @settings(max_examples=60)
+    def test_conservative_dominates_plain(self, packets, width):
+        plain = CountMin(width=width, depth=3, mode="volume", rng=0)
+        cons = CountMin(width=width, depth=3, conservative=True,
+                        mode="volume", rng=0)
+        for flow, length in packets:
+            plain.observe(flow, length)
+            cons.observe(flow, length)
+        for flow, _ in packets:
+            assert cons.estimate(flow) <= plain.estimate(flow)

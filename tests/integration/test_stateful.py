@@ -1,0 +1,116 @@
+"""Hypothesis stateful (model-based) tests for the mutable structures.
+
+The rule-based machines below drive a structure through arbitrary
+interleavings of operations while a pure-Python model tracks the intended
+semantics — the strongest generic defence against state-machine bugs
+(stale caches, missed resets, eviction corruption).
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.disco import DiscoSketch
+from repro.flows.flowtable import FlowTable
+
+KEYS = st.integers(min_value=0, max_value=30)
+VALUES = st.integers(min_value=0, max_value=10_000)
+LENGTHS = st.integers(min_value=1, max_value=1500)
+
+
+class FlowTableMachine(RuleBasedStateMachine):
+    """FlowTable must behave exactly like a dict while under capacity."""
+
+    def __init__(self):
+        super().__init__()
+        # Large capacity + probe bound: inserts never fail, so the dict
+        # model is exact.
+        self.table = FlowTable(slots=256, max_probes=256)
+        self.model = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        assert self.table.put(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def get(self, key):
+        assert self.table.get(key) == self.model.get(key)
+
+    @rule(key=KEYS, default=VALUES)
+    def get_or_insert(self, key, default):
+        value, fresh = self.table.get_or_insert(key, default)
+        if key in self.model:
+            assert not fresh
+            assert value == self.model[key]
+        else:
+            assert fresh
+            assert value == default
+            self.model[key] = default
+
+    @rule()
+    def clear(self):
+        self.table.clear()
+        self.model.clear()
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def contents_agree(self):
+        assert dict(self.table.items()) == self.model
+
+
+class DiscoSketchMachine(RuleBasedStateMachine):
+    """DiscoSketch invariants under arbitrary operation interleavings."""
+
+    def __init__(self):
+        super().__init__()
+        self.sketch = DiscoSketch(b=1.05, mode="volume",
+                                  rng=random.Random(1234))
+        self.true_totals = {}
+        self.last_counters = {}
+
+    @rule(flow=KEYS, length=LENGTHS)
+    def observe(self, flow, length):
+        self.sketch.observe(flow, length)
+        self.true_totals[flow] = self.true_totals.get(flow, 0) + length
+
+    @rule()
+    def reset(self):
+        self.sketch.reset()
+        self.true_totals.clear()
+        self.last_counters.clear()
+
+    @invariant()
+    def flows_match(self):
+        assert set(self.sketch.flows()) == set(self.true_totals)
+
+    @invariant()
+    def counters_monotone(self):
+        for flow in self.true_totals:
+            current = self.sketch.counter_value(flow)
+            assert current >= self.last_counters.get(flow, 0)
+            self.last_counters[flow] = current
+
+    @invariant()
+    def estimates_nonnegative_and_finite(self):
+        for flow in self.true_totals:
+            estimate = self.sketch.estimate(flow)
+            assert estimate >= 0.0
+            # The counter never overshoots the inverse-bound by more than
+            # a few probabilistic rounding steps (each update adds < 1
+            # counter unit beyond the real-valued advance).
+            bound = self.sketch.function.inverse(self.true_totals[flow])
+            assert self.sketch.counter_value(flow) <= bound + 3
+
+
+TestFlowTableMachine = FlowTableMachine.TestCase
+TestFlowTableMachine.settings = settings(max_examples=40,
+                                         stateful_step_count=30)
+TestDiscoSketchMachine = DiscoSketchMachine.TestCase
+TestDiscoSketchMachine.settings = settings(max_examples=40,
+                                           stateful_step_count=30)

@@ -1,0 +1,111 @@
+"""Tests for the IXP discrete-event model and the Table V experiment."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ixp.engine import IxpConfig, IxpSimulator
+from repro.ixp.throughput import run_one, run_table5
+from repro.ixp.workload import Burst, eighty_twenty_bursts
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            IxpConfig(num_mes=0)
+        with pytest.raises(ParameterError):
+            IxpConfig(base_ns=-1)
+        with pytest.raises(ParameterError):
+            IxpConfig(sram_accesses_per_update=0)
+
+
+class TestSimulator:
+    def test_empty_workload(self):
+        result = IxpSimulator(IxpConfig(), rng=0).run([])
+        assert result.packets == 0
+        assert result.throughput_gbps == 0.0
+
+    def test_single_packet_latency(self):
+        config = IxpConfig(num_mes=1)
+        result = IxpSimulator(config, rng=0).run([Burst(flow=0, lengths=(544,))])
+        expected = config.base_ns + config.update_core_ns + config.sram_latency_ns
+        assert result.makespan_ns == pytest.approx(expected)
+        assert result.packets == 1
+        assert result.counter_updates == 1
+
+    def test_calibration_anchor_one_me(self):
+        # The paper's anchor: 1 ME, burst 1 -> ~11.1 Gbps.
+        result = run_one(num_mes=1, burst_max=1, num_packets=15_000, rng=0)
+        assert result.throughput_gbps == pytest.approx(11.1, rel=0.05)
+
+    def test_near_linear_me_scaling(self):
+        results = {
+            m: run_one(num_mes=m, burst_max=1, num_packets=15_000, rng=0)
+            for m in (1, 2, 4)
+        }
+        t1 = results[1].throughput_gbps
+        assert results[2].throughput_gbps == pytest.approx(2 * t1, rel=0.1)
+        # 4 MEs: close to 4x but visibly below it (SRAM channel contention).
+        assert 3.0 * t1 < results[4].throughput_gbps < 4.0 * t1
+
+    def test_burst_aggregation_speedup(self):
+        # Bursts 1-8 raise throughput ~2.5x (Section VI).
+        base = run_one(num_mes=1, burst_max=1, num_packets=15_000, rng=0)
+        burst = run_one(num_mes=1, burst_max=8, num_packets=15_000, rng=0)
+        ratio = burst.throughput_gbps / base.throughput_gbps
+        assert 2.0 <= ratio <= 3.2
+
+    def test_burst_aggregation_reduces_updates_and_error(self):
+        base = run_one(num_mes=1, burst_max=1, num_packets=60_000, rng=1)
+        burst = run_one(num_mes=1, burst_max=8, num_packets=60_000, rng=1)
+        assert burst.counter_updates < base.counter_updates
+        assert burst.average_relative_error < base.average_relative_error
+
+    def test_accuracy_reasonable(self):
+        result = run_one(num_mes=1, burst_max=1, num_packets=40_000, rng=2)
+        # b=1.002: per-flow CoV bounded by 0.0316; the average must sit
+        # well inside it and the max must stay moderate.
+        assert result.average_relative_error < 0.02
+        assert result.max_relative_error < 0.25
+
+    def test_table_memory_is_96kb(self):
+        result = run_one(num_mes=1, burst_max=1, num_packets=1000, rng=0)
+        assert result.table_memory_bits == 96 * 1024
+
+    def test_sram_accesses_accounted(self):
+        result = run_one(num_mes=1, burst_max=1, num_packets=2000, rng=0)
+        assert result.sram_accesses == 2 * result.counter_updates
+        assert result.table_lookups >= result.counter_updates
+
+    def test_me_utilisation_reported(self):
+        one = run_one(num_mes=1, burst_max=1, num_packets=3000, rng=0)
+        assert len(one.me_utilisation) == 1
+        assert one.me_utilisation[0] > 0.95  # saturated single engine
+        four = run_one(num_mes=4, burst_max=1, num_packets=3000, rng=0)
+        assert len(four.me_utilisation) == 4
+        # At 4 MEs the SRAM channel bites: engines spend part of the time
+        # queued behind it but are still the ones holding the units.
+        assert all(0.5 < u <= 1.0 for u in four.me_utilisation)
+
+
+class TestTable5:
+    def test_row_structure(self):
+        rows = run_table5(num_packets=4000)
+        assert len(rows) == 6
+        assert [r.num_mes for r in rows] == [4, 2, 1, 4, 2, 1]
+        assert {r.burst_description for r in rows} == {"1", "1-8"}
+
+    def test_paper_shape(self):
+        rows = run_table5(num_packets=15_000)
+        by_key = {(r.burst_description, r.num_mes): r for r in rows}
+        # Monotone in MEs within each burst mode.
+        for burst in ("1", "1-8"):
+            gbps = [by_key[(burst, m)].throughput_gbps for m in (1, 2, 4)]
+            assert gbps == sorted(gbps)
+        # Burst mode faster than non-burst at equal MEs.
+        for m in (1, 2, 4):
+            assert by_key[("1-8", m)].throughput_gbps > by_key[("1", m)].throughput_gbps
+
+    def test_as_tuple(self):
+        row = run_table5(num_packets=2000)[0]
+        burst, lengths, mes, error, gbps = row.as_tuple()
+        assert burst == "1" and lengths == "64-1kB" and mes == 4

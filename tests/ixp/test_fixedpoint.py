@@ -1,0 +1,108 @@
+"""Tests for the table-driven (fixed-point) DISCO update."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.functions import GeometricCountingFunction
+from repro.core.update import compute_update
+from repro.errors import ParameterError
+from repro.ixp.fixedpoint import FixedPointDisco
+from repro.ixp.logexp import LogExpTable
+
+
+@pytest.fixture(scope="module")
+def fp():
+    return FixedPointDisco(LogExpTable(1.002))
+
+
+class TestCompute:
+    def test_matches_exact_math_closely(self, fp):
+        fn = GeometricCountingFunction(1.002)
+        for c, l in [(0, 64), (100, 1500), (1000, 500), (2500, 1024)]:
+            delta_fp, p_fp, _ = fp.compute(c, float(l))
+            exact = compute_update(fn, c, float(l))
+            # The 12-bit log field quantises the advance; the expected
+            # advance must agree to ~1% relative (plus sub-step slack).
+            tolerance = max(0.15, 0.01 * exact.expected_advance)
+            assert abs((delta_fp + p_fp) - exact.expected_advance) < tolerance
+
+    def test_probability_in_unit_interval(self, fp):
+        rand = random.Random(0)
+        for _ in range(200):
+            c = rand.randrange(0, 3000)
+            l = rand.randint(40, 8192)
+            _, p, _ = fp.compute(c, float(l))
+            assert 0.0 <= p <= 1.0
+
+    def test_validation(self, fp):
+        with pytest.raises(ParameterError):
+            fp.compute(-1, 10.0)
+        with pytest.raises(ParameterError):
+            fp.compute(0, 0.0)
+
+    def test_lookups_counted(self):
+        fp_local = FixedPointDisco(LogExpTable(1.002))
+        before = fp_local.total_lookups
+        fp_local.update(100, 500.0, 0.5)
+        assert fp_local.total_lookups > before
+
+
+class TestUpdate:
+    def test_first_unit_increments(self, fp):
+        result = fp.update(0, 1.0, u=0.5)
+        assert result.new_value == 1
+
+    def test_u_controls_branch(self, fp):
+        delta, p, _ = fp.compute(500, 777.0)
+        if 0.0 < p < 1.0:
+            assert fp.update(500, 777.0, u=0.0).new_value == 500 + delta + 1
+            assert fp.update(500, 777.0, u=0.9999).new_value == 500 + delta
+
+    def test_counter_monotone(self, fp):
+        c = 0
+        rand = random.Random(1)
+        for _ in range(300):
+            c_new = fp.update(c, float(rand.randint(40, 1500)), rand.random()).new_value
+            assert c_new >= c
+            c = c_new
+
+    def test_roughly_unbiased_end_to_end(self):
+        # Quantisation keeps the estimator within a small bias (the 96 Kb
+        # table is what bounds the hardware's accuracy).
+        table = LogExpTable(1.002)
+        lengths = [64, 1500, 576, 1024] * 25
+        truth = sum(lengths)
+        estimates = []
+        for seed in range(60):
+            fp_local = FixedPointDisco(table)
+            rand = random.Random(seed)
+            c = 0
+            for l in lengths:
+                c = fp_local.update(c, float(l), rand.random()).new_value
+            estimates.append(fp_local.estimate(c))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+
+class TestEstimate:
+    def test_zero(self, fp):
+        assert fp.estimate(0) == pytest.approx(0.0, abs=1.0)
+
+    def test_matches_exact_f(self, fp):
+        # The 20-bit power field gives ~2^-11 absolute resolution on b^c,
+        # i.e. ~0.25 counter units of absolute estimator error; relative
+        # accuracy kicks in once the counter is warm.
+        fn = GeometricCountingFunction(1.002)
+        for c in (10, 500, 2000, 3000):
+            exact = fn.value(c)
+            error = abs(fp.estimate(c) - exact)
+            assert error < max(0.5, 5e-3 * exact)
+
+    def test_beyond_table(self, fp):
+        fn = GeometricCountingFunction(1.002)
+        assert fp.estimate(5000) == pytest.approx(fn.value(5000), rel=2e-2)
+
+    def test_negative_rejected(self, fp):
+        with pytest.raises(ParameterError):
+            fp.estimate(-1)

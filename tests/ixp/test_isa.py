@@ -1,0 +1,66 @@
+"""Tests for the microcode cost model."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ixp.isa import DEFAULT_PER_UPDATE, CostModel
+from repro.ixp.threads import ThreadedMicroEngine
+from repro.ixp.workload import Burst, eighty_twenty_bursts
+
+
+class TestBudgets:
+    def test_matches_threaded_model_calibration(self):
+        model = CostModel()
+        assert model.per_packet_cycles == 116
+        assert model.per_update_cycles == 430
+
+    def test_packet_budget_matches_table5_anchor(self):
+        # 546 cycles at 1.4 GHz = 390 ns/packet -> 11.2 Gbps at 544 B.
+        model = CostModel()
+        assert model.packet_budget_ns(1) == pytest.approx(390.0, rel=0.01)
+
+    def test_burst_amortisation(self):
+        model = CostModel()
+        assert model.packet_budget_ns(8) < 0.4 * model.packet_budget_ns(1)
+
+    def test_burst_validation(self):
+        with pytest.raises(ParameterError):
+            CostModel().packet_budget_ns(0)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ParameterError):
+            CostModel(per_packet_ops=("teleport",))
+
+    def test_clock_validation(self):
+        with pytest.raises(ParameterError):
+            CostModel(clock_ghz=0)
+
+
+class TestBreakdown:
+    def test_breakdown_covers_total(self):
+        model = CostModel()
+        assert sum(c for _, c in model.breakdown()) == model.per_update_cycles
+
+    def test_breakdown_sorted(self):
+        cycles = [c for _, c in CostModel().breakdown()]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_update_path_contains_the_algorithm(self):
+        # The itemised sequence must include the table reads, the PRNG and
+        # both SRAM commands — the ops Algorithm 1 cannot do without.
+        assert DEFAULT_PER_UPDATE.count("local_mem_read") >= 3
+        assert "prng" in DEFAULT_PER_UPDATE
+        assert DEFAULT_PER_UPDATE.count("sram_issue") == 2
+
+
+class TestIntegrationWithThreadedModel:
+    def test_threaded_config_roundtrip(self):
+        config = CostModel().threaded_config()
+        assert config.base_cycles == 116
+        assert config.update_cycles == 430
+
+    def test_derived_config_reproduces_throughput(self):
+        bursts = eighty_twenty_bursts(6000, burst_max=1, rng=0)
+        units = [Burst(b.flow, (l,)) for b in bursts for l in b.lengths]
+        result = ThreadedMicroEngine(CostModel().threaded_config()).run(units)
+        assert result.throughput_gbps == pytest.approx(11.1, rel=0.07)

@@ -1,0 +1,91 @@
+"""Tests for the fixed-point Log & Exp table."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ixp.logexp import LogExpTable
+
+
+class TestConstruction:
+    def test_paper_memory_budget(self):
+        # 3K entries x 32 bits = 96 Kb (Section VI).
+        table = LogExpTable(1.002)
+        assert table.memory_bits() == 3072 * 32 == 96 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            LogExpTable(1.0)
+        with pytest.raises(ParameterError):
+            LogExpTable(1.002, entries=2)
+        with pytest.raises(ParameterError):
+            LogExpTable(1.002, power_bits=1)
+
+    def test_word_fields_within_widths(self):
+        table = LogExpTable(1.002)
+        for x in (0, 1, 100, 3071):
+            word = table.word(x)
+            assert 0 <= word < (1 << 32)
+            assert (word >> 12) < (1 << 20)
+            assert (word & 0xFFF) < (1 << 12)
+
+    def test_word_range_check(self):
+        table = LogExpTable(1.002)
+        with pytest.raises(ParameterError):
+            table.word(3072)
+        with pytest.raises(ParameterError):
+            table.word(-1)
+
+
+class TestPower:
+    def test_power_zero_is_one(self):
+        assert LogExpTable(1.002).power(0) == pytest.approx(1.0, rel=1e-3)
+
+    def test_in_table_accuracy(self):
+        table = LogExpTable(1.002)
+        for x in (1, 50, 500, 3000):
+            assert table.power(x) == pytest.approx(1.002**x, rel=2e-3)
+
+    def test_beyond_table_shift_and_sum(self):
+        table = LogExpTable(1.002)
+        for x in (3100, 6000, 10_000):
+            assert table.power(x) == pytest.approx(1.002**x, rel=5e-3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            LogExpTable(1.002).power_fixed(-1)
+
+
+class TestLog:
+    def test_log_of_one_is_zero(self):
+        assert LogExpTable(1.002).log(1) == pytest.approx(0.0, abs=1.0)
+
+    def test_in_table_accuracy(self):
+        table = LogExpTable(1.002)
+        for value in (2, 100, 1000, 3000):
+            expected = math.log(value) / math.log(1.002)
+            assert table.log(value) == pytest.approx(expected, rel=5e-3)
+
+    def test_beyond_table_shift_and_sum(self):
+        table = LogExpTable(1.002)
+        for value in (5000, 100_000, 10**7):
+            expected = math.log(value) / math.log(1.002)
+            assert table.log(value) == pytest.approx(expected, rel=5e-3)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            LogExpTable(1.002).log_fixed(0)
+
+
+class TestOtherBases:
+    @pytest.mark.parametrize("b", [1.001, 1.01, 1.05])
+    def test_scales_adapt_to_base(self, b):
+        table = LogExpTable(b)
+        # Quantisation must stay small regardless of b.
+        assert table.power(2000) == pytest.approx(b**2000, rel=0.02)
+        expected_log = math.log(2000) / math.log(b)
+        assert table.log(2000) == pytest.approx(expected_log, rel=0.02)
+
+    def test_repr(self):
+        assert "96" in repr(LogExpTable(1.002)) or "bits" in repr(LogExpTable(1.002))

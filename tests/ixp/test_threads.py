@@ -1,0 +1,108 @@
+"""Tests for the per-thread MicroEngine model."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ixp.threads import ThreadedMeConfig, ThreadedMicroEngine
+from repro.ixp.workload import Burst, eighty_twenty_bursts
+
+
+def units(packets=8000, burst_max=1, seed=0):
+    return eighty_twenty_bursts(packets, burst_max=burst_max, rng=seed)
+
+
+def flatten(bursts):
+    return [Burst(b.flow, (l,)) for b in bursts for l in b.lengths]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ThreadedMeConfig(threads=0)
+        with pytest.raises(ParameterError):
+            ThreadedMeConfig(clock_ghz=0)
+        with pytest.raises(ParameterError):
+            ThreadedMeConfig(base_cycles=-1)
+        with pytest.raises(ParameterError):
+            ThreadedMeConfig(sram_read_ns=-1)
+
+    def test_cycle_time(self):
+        assert ThreadedMeConfig(clock_ghz=2.0).cycle_ns == pytest.approx(0.5)
+
+
+class TestCalibration:
+    def test_matches_table5_single_me(self):
+        # 8 threads, per-packet units: ~390 ns/packet -> ~11 Gbps on the
+        # 544 B average workload, agreeing with the aggregate engine.
+        me = ThreadedMicroEngine()
+        result = me.run(flatten(units()))
+        assert result.throughput_gbps == pytest.approx(11.1, rel=0.07)
+        assert result.ns_per_packet == pytest.approx(390.0, rel=0.05)
+
+    def test_pipeline_is_the_bottleneck_with_8_threads(self):
+        me = ThreadedMicroEngine()
+        result = me.run(flatten(units()))
+        assert result.pipeline_utilisation > 0.95
+
+    def test_memory_hidden_behind_threads(self):
+        # Parked time far exceeds makespan headroom yet throughput stays
+        # pipeline-bound: the parking is overlapped.
+        me = ThreadedMicroEngine()
+        result = me.run(flatten(units()))
+        assert result.memory_parked_ns > 0.3 * result.makespan_ns
+
+
+class TestThreadScaling:
+    def test_single_thread_pays_the_memory_wait(self):
+        single = ThreadedMicroEngine(ThreadedMeConfig(threads=1)).run(
+            flatten(units())
+        )
+        eight = ThreadedMicroEngine(ThreadedMeConfig(threads=8)).run(
+            flatten(units())
+        )
+        # 1 thread: compute + 186 ns RMW serialised -> ~576 ns/packet.
+        assert single.ns_per_packet == pytest.approx(576.0, rel=0.05)
+        assert eight.throughput_gbps > 1.3 * single.throughput_gbps
+
+    def test_two_threads_already_hide_most(self):
+        two = ThreadedMicroEngine(ThreadedMeConfig(threads=2)).run(
+            flatten(units())
+        )
+        eight = ThreadedMicroEngine(ThreadedMeConfig(threads=8)).run(
+            flatten(units())
+        )
+        # RMW (186 ns) < compute (390 ns): two threads suffice to hide it.
+        assert two.throughput_gbps == pytest.approx(
+            eight.throughput_gbps, rel=0.05
+        )
+
+
+class TestBurstAggregation:
+    def test_burst_units_amortise_update_cycles(self):
+        bursts = units(burst_max=8, seed=1)
+        flat = ThreadedMicroEngine().run(flatten(bursts))
+        aggregated = ThreadedMicroEngine().run(list(bursts))
+        ratio = aggregated.throughput_gbps / flat.throughput_gbps
+        assert 2.0 < ratio < 3.2  # the Table V burst gain
+
+    def test_empty_run(self):
+        result = ThreadedMicroEngine().run([])
+        assert result.packets == 0
+        assert result.throughput_gbps == 0.0
+
+
+class TestPerFlowSerialisation:
+    def test_hot_flow_with_cheap_compute_serialises_on_rmw(self):
+        # Make compute negligible so the RMW chain dominates: a single hot
+        # flow then caps at one update per 186 ns.
+        config = ThreadedMeConfig(base_cycles=1, update_cycles=1)
+        hot = [Burst(0, (500,)) for _ in range(2000)]
+        result = ThreadedMicroEngine(config).run(hot)
+        assert result.ns_per_packet == pytest.approx(186.0, rel=0.05)
+
+    def test_disabling_serialisation_removes_the_cap(self):
+        config = ThreadedMeConfig(base_cycles=1, update_cycles=1,
+                                  per_flow_serialisation=False)
+        hot = [Burst(0, (500,)) for _ in range(2000)]
+        result = ThreadedMicroEngine(config).run(hot)
+        assert result.ns_per_packet < 100.0

@@ -1,0 +1,32 @@
+"""Tests for the cross-model consistency check."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ixp.validate import cross_validate
+
+
+class TestCrossValidate:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            cross_validate(burst_lengths=[])
+        with pytest.raises(ParameterError):
+            cross_validate(burst_lengths=[0])
+
+    def test_layers_agree_at_the_anchor(self):
+        rows = cross_validate(burst_lengths=(1,), num_packets=6000)
+        row = rows[0]
+        assert row.isa_ns_per_packet == pytest.approx(390.0, rel=0.01)
+        assert row.max_disagreement < 0.05
+
+    def test_layers_agree_under_bursting(self):
+        rows = cross_validate(burst_lengths=(4, 8), num_packets=8000)
+        for row in rows:
+            assert row.max_disagreement < 0.10, row
+
+    def test_bursting_reduces_cost_consistently(self):
+        rows = {r.burst_max: r for r in
+                cross_validate(burst_lengths=(1, 8), num_packets=8000)}
+        for attr in ("isa_ns_per_packet", "threaded_ns_per_packet",
+                     "engine_ns_per_packet"):
+            assert getattr(rows[8], attr) < 0.5 * getattr(rows[1], attr)

@@ -1,0 +1,67 @@
+"""Tests for the 80-20 IXP traffic pattern."""
+
+import statistics
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ixp.workload import Burst, eighty_twenty_bursts
+
+
+class TestBurst:
+    def test_properties(self):
+        burst = Burst(flow=3, lengths=(64, 128, 256))
+        assert burst.packets == 3
+        assert burst.total_bytes == 448
+
+
+class TestGenerator:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            eighty_twenty_bursts(0)
+        with pytest.raises(ParameterError):
+            eighty_twenty_bursts(10, num_flows=1)
+        with pytest.raises(ParameterError):
+            eighty_twenty_bursts(10, burst_max=0)
+        with pytest.raises(ParameterError):
+            eighty_twenty_bursts(10, min_length=0)
+        with pytest.raises(ParameterError):
+            eighty_twenty_bursts(10, min_length=100, max_length=50)
+        with pytest.raises(ParameterError):
+            eighty_twenty_bursts(10, heavy_flow_fraction=0.0)
+        with pytest.raises(ParameterError):
+            eighty_twenty_bursts(10, heavy_traffic_fraction=1.0)
+
+    def test_packet_budget_met(self):
+        bursts = eighty_twenty_bursts(5000, rng=0)
+        total = sum(b.packets for b in bursts)
+        assert total >= 5000
+
+    def test_burst_1_means_singletons(self):
+        bursts = eighty_twenty_bursts(2000, burst_max=1, rng=1)
+        assert all(b.packets == 1 for b in bursts)
+
+    def test_burst_lengths_in_range(self):
+        bursts = eighty_twenty_bursts(5000, burst_max=8, rng=2)
+        sizes = [b.packets for b in bursts]
+        assert min(sizes) >= 1 and max(sizes) <= 8
+        assert statistics.mean(sizes) == pytest.approx(4.5, rel=0.1)
+
+    def test_packet_lengths_in_range(self):
+        bursts = eighty_twenty_bursts(3000, rng=3)
+        lengths = [l for b in bursts for l in b.lengths]
+        assert min(lengths) >= 64 and max(lengths) <= 1024
+
+    def test_eighty_twenty_split(self):
+        # 20% of flows (IDs < 512 of 2560) should carry ~80% of the bytes.
+        bursts = eighty_twenty_bursts(30_000, rng=4)
+        heavy = sum(b.total_bytes for b in bursts if b.flow < 512)
+        total = sum(b.total_bytes for b in bursts)
+        assert heavy / total == pytest.approx(0.8, abs=0.03)
+
+    def test_flow_ids_in_range(self):
+        bursts = eighty_twenty_bursts(2000, num_flows=100, rng=5)
+        assert all(0 <= b.flow < 100 for b in bursts)
+
+    def test_deterministic(self):
+        assert eighty_twenty_bursts(500, rng=6) == eighty_twenty_bursts(500, rng=6)

@@ -1,0 +1,53 @@
+"""Tests for error-model calibration."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics.calibration import calibrate
+
+
+class TestCalibrate:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            calibrate([])
+
+    def test_perfect_gaussian_model(self):
+        rand = random.Random(0)
+        samples = []
+        for _ in range(4000):
+            sigma = rand.uniform(1.0, 10.0)
+            error = rand.gauss(0.0, sigma)
+            samples.append((100.0 + error, 100.0, sigma))
+        report = calibrate(samples, level=0.95)
+        assert report.coverage_1sigma == pytest.approx(0.683, abs=0.03)
+        assert report.coverage_2sigma == pytest.approx(0.954, abs=0.02)
+        assert report.coverage_at_level == pytest.approx(0.95, abs=0.02)
+        assert abs(report.mean_z) < 0.05
+        assert report.rms_z == pytest.approx(1.0, abs=0.05)
+        assert report.well_calibrated
+
+    def test_overconfident_model_flagged(self):
+        # Claimed sigma half the real one: coverage collapses.
+        rand = random.Random(1)
+        samples = [(100.0 + rand.gauss(0, 10.0), 100.0, 5.0)
+                   for _ in range(2000)]
+        report = calibrate(samples)
+        assert report.coverage_at_level < 0.80
+        assert not report.well_calibrated
+
+    def test_underconfident_model_flagged(self):
+        rand = random.Random(2)
+        samples = [(100.0 + rand.gauss(0, 2.0), 100.0, 10.0)
+                   for _ in range(2000)]
+        report = calibrate(samples)
+        assert report.rms_z < 0.5
+        assert not report.well_calibrated
+
+    def test_zero_sigma_handling(self):
+        exact = calibrate([(5.0, 5.0, 0.0)] * 10)
+        assert exact.coverage_at_level == 1.0
+        wrong = calibrate([(6.0, 5.0, 0.0)] * 10)
+        assert wrong.coverage_at_level == 0.0
+        assert not wrong.well_calibrated

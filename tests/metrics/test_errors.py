@@ -1,0 +1,118 @@
+"""Tests for the accuracy metrics (Section V-A)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.metrics.errors import (
+    average_relative_error,
+    error_cdf,
+    max_relative_error,
+    optimistic_relative_error,
+    relative_error,
+    relative_errors,
+    summarize_errors,
+)
+
+ERRORS = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=1, max_size=80
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(0.1)
+        assert relative_error(100, 100) == 0.0
+
+    def test_requires_positive_truth(self):
+        with pytest.raises(ParameterError):
+            relative_error(1.0, 0.0)
+
+    def test_relative_errors_charges_missing_flows(self):
+        errors = relative_errors({"a": 100.0}, {"a": 100, "b": 50})
+        assert errors == [0.0, 1.0]
+
+    def test_relative_errors_requires_flows(self):
+        with pytest.raises(ParameterError):
+            relative_errors({}, {})
+
+
+class TestAggregates:
+    def test_average_and_max(self):
+        errors = [0.1, 0.2, 0.3]
+        assert average_relative_error(errors) == pytest.approx(0.2)
+        assert max_relative_error(errors) == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        for fn in (average_relative_error, max_relative_error,
+                   optimistic_relative_error, summarize_errors):
+            with pytest.raises(ParameterError):
+                fn([])
+
+    def test_optimistic_is_quantile(self):
+        errors = [i / 100 for i in range(100)]  # 0.00 .. 0.99
+        assert optimistic_relative_error(errors, 0.95) == pytest.approx(0.94)
+        assert optimistic_relative_error(errors, 1.0) == pytest.approx(0.99)
+
+    def test_optimistic_alpha_validation(self):
+        with pytest.raises(ParameterError):
+            optimistic_relative_error([0.1], 0.0)
+        with pytest.raises(ParameterError):
+            optimistic_relative_error([0.1], 1.5)
+
+    @given(errors=ERRORS, alpha=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=150)
+    def test_optimistic_definition(self, errors, alpha):
+        # At least alpha of the sample must lie at or below R_o(alpha).
+        r = optimistic_relative_error(errors, alpha)
+        covered = sum(1 for e in errors if e <= r) / len(errors)
+        assert covered >= alpha - 1e-9
+
+    @given(errors=ERRORS)
+    @settings(max_examples=100)
+    def test_ordering_of_aggregates(self, errors):
+        summary = summarize_errors(errors)
+        assert summary.median <= summary.maximum + 1e-12
+        assert summary.average <= summary.maximum + 1e-12
+        assert summary.optimistic_95 <= summary.maximum + 1e-12
+
+
+class TestCdf:
+    def test_cdf_reaches_one(self):
+        cdf = error_cdf([0.0, 0.1, 0.2, 0.3], points=10)
+        assert cdf[-1][1] == pytest.approx(1.0)
+
+    def test_cdf_monotone(self):
+        cdf = error_cdf([0.05, 0.2, 0.01, 0.4, 0.4], points=50)
+        ys = [y for _, y in cdf]
+        assert ys == sorted(ys)
+
+    def test_cdf_point_count(self):
+        assert len(error_cdf([0.1, 0.2], points=25)) == 25
+
+    def test_cdf_validation(self):
+        with pytest.raises(ParameterError):
+            error_cdf([])
+        with pytest.raises(ParameterError):
+            error_cdf([0.1], points=1)
+
+    def test_degenerate_all_zero(self):
+        cdf = error_cdf([0.0, 0.0], points=5)
+        assert all(y == 1.0 for _, y in cdf)
+
+
+class TestSummary:
+    def test_values(self):
+        summary = summarize_errors([0.1, 0.3, 0.2, 0.4])
+        assert summary.count == 4
+        assert summary.average == pytest.approx(0.25)
+        assert summary.maximum == pytest.approx(0.4)
+        assert summary.median == pytest.approx(0.25)
+
+    def test_str_contains_fields(self):
+        text = str(summarize_errors([0.5]))
+        assert "avg=" in text and "max=" in text

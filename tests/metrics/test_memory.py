@@ -1,0 +1,71 @@
+"""Tests for the Figure 9 memory accounting."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics.memory import (
+    disco_counter_bits,
+    disco_counter_value,
+    full_counter_bits,
+    sac_counter_bits,
+    sac_counter_value,
+)
+
+
+class TestFullCounter:
+    def test_bits(self):
+        assert full_counter_bits(0) == 1
+        assert full_counter_bits(255) == 8
+        assert full_counter_bits(256) == 9
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            full_counter_bits(-1)
+
+
+class TestSacAccounting:
+    def test_small_value_fits_mantissa(self):
+        assert sac_counter_value(10, estimation_bits=5) == 0.0
+        assert sac_counter_bits(10, estimation_bits=5) == 6  # 5 + 1 mode bit
+
+    def test_mode_grows_logarithmically(self):
+        small = sac_counter_value(1_000, estimation_bits=5)
+        large = sac_counter_value(1_000_000, estimation_bits=5)
+        assert large > small
+        # Mode grows by ~log2 of the ratio.
+        assert large - small == pytest.approx(10, abs=2)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            sac_counter_value(-1)
+
+
+class TestDiscoAccounting:
+    def test_counter_value_is_theorem3_bound(self):
+        from repro.core.analysis import expected_counter_upper_bound
+
+        assert disco_counter_value(10_000, 1.01) == expected_counter_upper_bound(
+            1.01, 10_000
+        )
+
+    def test_bits_grow_slowest(self):
+        # Figure 9's ordering for large flows: DISCO < SAC < SD in bits.
+        b = 1.002
+        for n in (10**5, 10**6, 10**7, 10**8):
+            disco = disco_counter_bits(n, b)
+            sac = sac_counter_bits(n, estimation_bits=5)
+            sd = full_counter_bits(n)
+            assert disco <= sd
+            assert sac <= sd
+
+    def test_disco_scales_sublinearly(self):
+        b = 1.002
+        bits_small = disco_counter_bits(10**4, b)
+        bits_huge = disco_counter_bits(10**8, b)
+        # Four orders of magnitude of traffic cost only a few extra bits.
+        assert bits_huge - bits_small <= 6
+
+    def test_smallest_flow_costs_no_more_than_full(self):
+        # f(0)=0, f(1)=1: DISCO never exceeds a full counter (Section V-B).
+        for n in (1, 2, 5, 10):
+            assert disco_counter_bits(n, 1.02) <= max(1, full_counter_bits(n))

@@ -1,0 +1,93 @@
+"""Tests for traffic-weighted metrics and subpopulation estimates."""
+
+import random
+
+import pytest
+
+from repro.core.disco import DiscoSketch
+from repro.errors import ParameterError
+from repro.metrics.weighted import (
+    SubpopulationEstimate,
+    subpopulation_estimate,
+    weighted_average_relative_error,
+)
+
+
+class TestWeightedError:
+    def test_equal_weights_match_plain_average(self):
+        estimates = {"a": 110.0, "b": 90.0}
+        truths = {"a": 100, "b": 100}
+        assert weighted_average_relative_error(estimates, truths) == pytest.approx(0.1)
+
+    def test_elephant_dominates(self):
+        estimates = {"mouse": 2.0, "elephant": 1_000_000.0}
+        truths = {"mouse": 1, "elephant": 1_000_000}
+        # Mouse has 100% error but ~zero weight.
+        assert weighted_average_relative_error(estimates, truths) < 1e-4
+
+    def test_missing_flow_charged(self):
+        value = weighted_average_relative_error({}, {"a": 100})
+        assert value == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            weighted_average_relative_error({}, {})
+        with pytest.raises(ParameterError):
+            weighted_average_relative_error({"a": 1.0}, {"a": 0})
+
+
+class TestSubpopulation:
+    def test_interval_and_relative(self):
+        est = SubpopulationEstimate(total=1000.0, stddev=50.0, flows=10)
+        low, high = est.interval()
+        assert low < 1000.0 < high
+        assert est.relative_stddev == pytest.approx(0.05)
+
+    def test_zero_total(self):
+        est = SubpopulationEstimate(total=0.0, stddev=0.0, flows=0)
+        assert est.relative_stddev == 0.0
+        assert est.interval() == (0.0, 0.0)
+
+    def test_requires_geometric_sketch(self):
+        with pytest.raises(ParameterError):
+            subpopulation_estimate(object(), ["a"])
+
+    def test_sums_member_estimates(self):
+        sketch = DiscoSketch(b=1.01, mode="volume", rng=0)
+        rand = random.Random(1)
+        truth = {}
+        for flow in ("a", "b", "c", "d"):
+            truth[flow] = 0
+            for _ in range(100):
+                l = rand.randint(40, 1500)
+                sketch.observe(flow, l)
+                truth[flow] += l
+        subpop = subpopulation_estimate(sketch, ["a", "b"])
+        expected = sketch.estimate("a") + sketch.estimate("b")
+        assert subpop.total == pytest.approx(expected)
+        assert subpop.flows == 2
+        assert subpop.stddev > 0.0
+        # Truth inside a few sigma.
+        low, high = subpop.interval(z=4.0)
+        assert low <= truth["a"] + truth["b"] <= high
+
+    def test_unseen_flows_contribute_zero(self):
+        sketch = DiscoSketch(b=1.01, mode="volume", rng=0)
+        sketch.observe("a", 1000)
+        subpop = subpopulation_estimate(sketch, ["a", "ghost"])
+        assert subpop.flows == 2
+        assert subpop.total == pytest.approx(sketch.estimate("a"))
+
+    def test_relative_stddev_shrinks_with_aggregation(self):
+        # Summing many independent flows averages out the per-flow noise.
+        sketch = DiscoSketch(b=1.05, mode="volume", rng=0)
+        rand = random.Random(2)
+        flows = []
+        for i in range(50):
+            flow = f"f{i}"
+            flows.append(flow)
+            for _ in range(50):
+                sketch.observe(flow, rand.randint(40, 1500))
+        single = subpopulation_estimate(sketch, flows[:1])
+        many = subpopulation_estimate(sketch, flows)
+        assert many.relative_stddev < single.relative_stddev

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gen_trace_defaults(self):
+        args = build_parser().parse_args(["gen-trace", "--out", "/tmp/x.trace"])
+        assert args.kind == "nlanr"
+        assert args.flows == 300
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--trace", "t", "--scheme", "bogus"])
+
+
+class TestGenAndReplay:
+    def test_gen_then_replay_roundtrip(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.trace")
+        assert main(["gen-trace", "--kind", "scenario3", "--flows", "20",
+                     "--seed", "1", "--out", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "20 flows" in out
+
+        assert main(["replay", "--trace", trace_path, "--scheme", "disco",
+                     "--bits", "10", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme=disco" in out
+        assert "avg R" in out
+
+    def test_replay_exact_zero_error(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.trace")
+        main(["gen-trace", "--kind", "scenario3", "--flows", "10",
+              "--seed", "3", "--out", trace_path])
+        capsys.readouterr()
+        assert main(["replay", "--trace", trace_path, "--scheme", "exact"]) == 0
+        out = capsys.readouterr().out
+        assert "scheme=exact" in out
+
+    @pytest.mark.parametrize("scheme", ["sac", "sd", "anls1"])
+    def test_other_schemes_run(self, scheme, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.trace")
+        main(["gen-trace", "--kind", "scenario3", "--flows", "8",
+              "--seed", "4", "--out", trace_path])
+        capsys.readouterr()
+        assert main(["replay", "--trace", trace_path, "--scheme", scheme]) == 0
+
+
+class TestFigures:
+    @pytest.mark.parametrize("fig", [2, 3, 9])
+    def test_analytic_figures(self, fig, capsys):
+        assert main(["figure", str(fig)]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_figure_4(self, capsys):
+        assert main(["figure", "4", "--runs", "5"]) == 0
+        assert "bound" in capsys.readouterr().out
+
+    def test_figure_5_small(self, capsys):
+        assert main(["figure", "5", "--flows", "40", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "DISCO" in out and "SAC" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "99"]) == 2
+
+
+class TestTables:
+    def test_table_5_small(self, capsys):
+        assert main(["table", "5", "--packets", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "Gbps" in out
+
+    def test_table_3_small(self, capsys):
+        assert main(["table", "3", "--flows", "30", "--seed", "1"]) == 0
+        assert "ANLS-I" in capsys.readouterr().out
+
+    def test_unknown_table(self, capsys):
+        assert main(["table", "42"]) == 2

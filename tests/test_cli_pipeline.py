@@ -1,0 +1,105 @@
+"""Tests for the CLI's export / checkpoint / report pipeline commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.checkpoint import load_sketch
+from repro.export.records import read_export
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = str(tmp_path / "t.trace")
+    assert main(["gen-trace", "--kind", "scenario3", "--flows", "15",
+                 "--seed", "1", "--out", path]) == 0
+    return path
+
+
+class TestExportCommand:
+    def test_export_then_inspect(self, trace_path, tmp_path, capsys):
+        export_path = str(tmp_path / "records.bin")
+        assert main(["export", "--trace", trace_path, "--out", export_path,
+                     "--bits", "12", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 15 records" in out
+
+        batch = read_export(export_path)
+        assert len(batch) == 15
+        assert batch.mode == "volume"
+
+        assert main(["inspect-export", export_path, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "records=15" in out
+        assert "estimate" in out
+
+    def test_export_size_mode(self, trace_path, tmp_path, capsys):
+        export_path = str(tmp_path / "records.bin")
+        assert main(["export", "--trace", trace_path, "--out", export_path,
+                     "--mode", "size"]) == 0
+        assert read_export(export_path).mode == "size"
+
+
+class TestCheckpointCommand:
+    def test_checkpoint_restorable(self, trace_path, tmp_path, capsys):
+        ckpt = str(tmp_path / "sketch.ckpt")
+        assert main(["checkpoint", "--trace", trace_path, "--out", ckpt,
+                     "--bits", "12", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed 15 flows" in out
+        sketch = load_sketch(ckpt, rng=9)
+        assert len(sketch) == 15
+        assert all(sketch.estimate(f) > 0 for f in sketch.flows())
+
+
+class TestPcapPath:
+    def test_gen_and_replay_pcap(self, tmp_path, capsys):
+        path = str(tmp_path / "t.pcap")
+        assert main(["gen-trace", "--kind", "scenario3", "--flows", "8",
+                     "--seed", "2", "--out", path]) == 0
+        capsys.readouterr()
+        assert main(["replay", "--trace", path, "--scheme", "disco",
+                     "--bits", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "flows" in out and "avg R" in out
+
+
+class TestReportCommand:
+    def test_report_written(self, tmp_path, capsys):
+        report_path = str(tmp_path / "report.md")
+        assert main(["report", "--out", report_path, "--flows", "40",
+                     "--scenario-flows", "15", "--packets", "2000",
+                     "--seed", "4"]) == 0
+        text = open(report_path).read()
+        assert text.startswith("# DISCO reproduction report")
+        assert "IXP throughput" in text
+
+    def test_report_no_ixp(self, tmp_path):
+        report_path = str(tmp_path / "report.md")
+        assert main(["report", "--out", report_path, "--flows", "40",
+                     "--scenario-flows", "15", "--seed", "5",
+                     "--no-ixp"]) == 0
+        assert "IXP throughput" not in open(report_path).read()
+
+
+class TestRemainingFigures:
+    @pytest.mark.parametrize("fig", [6, 7])
+    def test_sweep_views(self, fig, capsys):
+        assert main(["figure", str(fig), "--flows", "30", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "DISCO" in out
+
+    def test_figure_8(self, capsys):
+        assert main(["figure", "8", "--flows", "30", "--seed", "2"]) == 0
+        assert "CDF" in capsys.readouterr().out
+
+    def test_figure_10(self, capsys):
+        assert main(["figure", "10", "--flows", "30", "--seed", "2"]) == 0
+        assert "avg R" in capsys.readouterr().out
+
+    def test_table_2(self, capsys):
+        assert main(["table", "2", "--flows", "30", "--seed", "2"]) == 0
+        assert "scenario1" in capsys.readouterr().out
+
+    def test_table_4(self, capsys):
+        assert main(["table", "4", "--flows", "60", "--seed", "2"]) == 0
+        assert "ratio" in capsys.readouterr().out

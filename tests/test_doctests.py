@@ -1,0 +1,24 @@
+"""Run the doctests embedded in module docstrings.
+
+Docstring examples are documentation that can rot; this keeps the ones we
+ship executable.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.disco
+import repro.harness.sweep
+
+MODULES = [
+    repro.core.disco,
+    repro.harness.sweep,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests?"
+    assert results.failed == 0

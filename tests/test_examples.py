@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are user-facing documentation; a broken one is a broken README.
+Each runs in a subprocess with a small argument where the script accepts
+one, and must exit 0 with non-trivial output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+# script name -> extra argv (small scales for test speed)
+EXAMPLES = {
+    "quickstart.py": [],
+    "flow_volume_monitor.py": ["60"],
+    "scenario_comparison.py": [],
+    "ixp_throughput_demo.py": ["8000"],
+    "parameter_tuning.py": [],
+    "usage_billing.py": [],
+    "capacity_planning.py": [],
+    "netflow_collector.py": [],
+    "distributed_monitors.py": [],
+    "moving_average_monitor.py": [],
+}
+
+
+@pytest.mark.parametrize("script,args", sorted(EXAMPLES.items()))
+def test_example_runs(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert len(result.stdout.strip()) > 100  # produced a real report
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples/ and the smoke-test table are out of sync"
+    )

@@ -1,0 +1,92 @@
+"""Public-API integrity: every exported name exists and imports cleanly.
+
+A stale ``__all__`` entry (renamed function, deleted class) otherwise only
+surfaces when a user's `from repro.x import y` fails.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.counters",
+    "repro.flows",
+    "repro.traces",
+    "repro.metrics",
+    "repro.ixp",
+    "repro.harness",
+    "repro.apps",
+    "repro.export",
+]
+
+MODULES = [
+    "repro.cli",
+    "repro.errors",
+    "repro.core.functions",
+    "repro.core.update",
+    "repro.core.disco",
+    "repro.core.fastsim",
+    "repro.core.fastpath",
+    "repro.core.analysis",
+    "repro.core.confidence",
+    "repro.core.checkpoint",
+    "repro.core.merge",
+    "repro.core.hybrid",
+    "repro.core.vectorized",
+    "repro.counters.base",
+    "repro.counters.spacesaving",
+    "repro.counters.countmin",
+    "repro.counters.netflow",
+    "repro.counters.cma",
+    "repro.flows.hashing",
+    "repro.traces.pcap",
+    "repro.traces.arrival",
+    "repro.traces.mixer",
+    "repro.traces.zipf",
+    "repro.ixp.isa",
+    "repro.ixp.validate",
+    "repro.ixp.threads",
+    "repro.ixp.ring",
+    "repro.harness.sweep",
+    "repro.harness.montecarlo",
+    "repro.harness.plotting",
+    "repro.harness.report",
+    "repro.apps.anomaly",
+    "repro.apps.heavyhitters",
+    "repro.apps.billing",
+    "repro.apps.epochs",
+    "repro.apps.distribution",
+    "repro.export.records",
+    "repro.export.collector",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_resolve(package):
+    module = importlib.import_module(package)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{package} has no __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{package}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_no_duplicate_all_entries(package):
+    module = importlib.import_module(package)
+    exported = list(getattr(module, "__all__", []))
+    assert len(exported) == len(set(exported)), f"duplicates in {package}.__all__"
+
+
+@pytest.mark.parametrize("module", MODULES)
+def test_modules_import(module):
+    importlib.import_module(module)
+
+
+def test_top_level_docstrings():
+    for package in PACKAGES + MODULES:
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip(), (
+            f"{package} lacks a module docstring"
+        )

@@ -1,0 +1,116 @@
+"""Tests for the workload distribution samplers."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.traces.distributions import (
+    Constant,
+    Exponential,
+    Pareto,
+    TruncatedExponential,
+    UniformInt,
+)
+
+
+def draw(sampler, n, seed=0):
+    rand = random.Random(seed)
+    return [sampler(rand) for _ in range(n)]
+
+
+class TestPareto:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Pareto(shape=0, scale=1)
+        with pytest.raises(ParameterError):
+            Pareto(shape=1, scale=0)
+
+    def test_minimum_is_scale(self):
+        samples = draw(Pareto(shape=2.0, scale=4.0), 2000)
+        assert min(samples) >= 4
+
+    def test_mean_for_finite_mean_shape(self):
+        # shape=3, scale=6 -> mean = 9.
+        samples = draw(Pareto(shape=3.0, scale=6.0), 20_000)
+        assert statistics.mean(samples) == pytest.approx(9.0, rel=0.1)
+
+    def test_heavy_tail(self):
+        # shape close to 1: sample max dwarfs the median.
+        samples = draw(Pareto(shape=1.053, scale=4.0), 5000)
+        assert max(samples) > 50 * statistics.median(samples)
+
+    def test_deterministic_given_seed(self):
+        assert draw(Pareto(2, 4), 10, seed=5) == draw(Pareto(2, 4), 10, seed=5)
+
+
+class TestExponential:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Exponential(mean=0)
+
+    def test_mean(self):
+        samples = draw(Exponential(mean=800.0), 20_000)
+        assert statistics.mean(samples) == pytest.approx(800.0, rel=0.05)
+
+    def test_at_least_one(self):
+        samples = draw(Exponential(mean=0.5), 1000)
+        assert min(samples) >= 1
+
+
+class TestUniformInt:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            UniformInt(10, 5)
+        with pytest.raises(ParameterError):
+            UniformInt(0, 5)
+
+    def test_range_and_mean(self):
+        samples = draw(UniformInt(2, 1600), 20_000)
+        assert min(samples) >= 2 and max(samples) <= 1600
+        assert statistics.mean(samples) == pytest.approx(801.0, rel=0.05)
+
+
+class TestTruncatedExponential:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TruncatedExponential(scale=0)
+        with pytest.raises(ParameterError):
+            TruncatedExponential(scale=100, low=0)
+        with pytest.raises(ParameterError):
+            TruncatedExponential(scale=100, low=50, high=40)
+        with pytest.raises(ParameterError):
+            TruncatedExponential(scale=100, style="reject")
+
+    def test_clamp_range(self):
+        samples = draw(TruncatedExponential(scale=100.0, low=40, high=1500), 5000)
+        assert min(samples) >= 40 and max(samples) <= 1500
+
+    def test_clamp_mean_matches_analytic(self):
+        sampler = TruncatedExponential(scale=100.0, low=40, high=1500)
+        samples = draw(sampler, 40_000)
+        assert statistics.mean(samples) == pytest.approx(sampler.mean(), rel=0.03)
+
+    def test_clamp_mean_matches_paper_packet_average(self):
+        # Section V-B's scenarios report ~106 bytes/packet on average.
+        sampler = TruncatedExponential(scale=100.0, low=40, high=1500)
+        assert sampler.mean() == pytest.approx(106.0, abs=5.0)
+
+    def test_conditional_style(self):
+        sampler = TruncatedExponential(scale=100.0, low=40, high=1500,
+                                       style="conditional")
+        samples = draw(sampler, 5000)
+        assert min(samples) >= 40 and max(samples) <= 1500
+        # Conditional mean is higher than clamped (no mass piled at 40).
+        clamp_mean = TruncatedExponential(scale=100.0, low=40, high=1500).mean()
+        assert statistics.mean(samples) > clamp_mean
+
+
+class TestConstant:
+    def test_value(self):
+        assert draw(Constant(64), 5) == [64] * 5
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Constant(0)

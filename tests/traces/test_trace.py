@@ -1,0 +1,92 @@
+"""Tests for the Trace container and its statistics."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.traces.trace import Trace
+
+
+class TestTruth:
+    def test_sizes_and_volumes(self, tiny_trace):
+        assert tiny_trace.true_size("a") == 3
+        assert tiny_trace.true_volume("a") == 600
+        assert tiny_trace.true_size("b") == 10
+        assert tiny_trace.true_volume("b") == 15000
+
+    def test_true_totals_modes(self, tiny_trace):
+        assert tiny_trace.true_totals("size") == {"a": 3, "b": 10, "c": 1}
+        assert tiny_trace.true_totals("volume")["c"] == 40
+        with pytest.raises(ParameterError):
+            tiny_trace.true_totals("bytes")
+
+    def test_len_and_contains(self, tiny_trace):
+        assert len(tiny_trace) == 3
+        assert "a" in tiny_trace and "z" not in tiny_trace
+        assert tiny_trace.num_packets == 14
+
+    def test_empty_flow_rejected(self):
+        with pytest.raises(ParameterError):
+            Trace({"empty": []})
+
+
+class TestReplay:
+    def test_sequential_order(self, tiny_trace):
+        packets = list(tiny_trace.packets(order="sequential"))
+        assert [p.length for p in packets[:3]] == [100, 200, 300]
+        assert len(packets) == 14
+
+    def test_shuffled_preserves_multiset(self, tiny_trace):
+        packets = list(tiny_trace.packets(order="shuffled", rng=0))
+        assert len(packets) == 14
+        assert sorted(p.length for p in packets) == sorted(
+            l for ls in tiny_trace.flows.values() for l in ls
+        )
+
+    def test_shuffled_deterministic_with_seed(self, tiny_trace):
+        a = [p.as_tuple() for p in tiny_trace.packets(order="shuffled", rng=3)]
+        b = [p.as_tuple() for p in tiny_trace.packets(order="shuffled", rng=3)]
+        assert a == b
+
+    def test_roundrobin_interleaves(self, tiny_trace):
+        packets = list(tiny_trace.packets(order="roundrobin"))
+        first_round_flows = {p.flow for p in packets[:3]}
+        assert first_round_flows == {"a", "b", "c"}
+        assert len(packets) == 14
+
+    def test_invalid_order(self, tiny_trace):
+        with pytest.raises(ParameterError):
+            list(tiny_trace.packets(order="sorted"))
+
+    def test_packet_pairs(self, tiny_trace):
+        pairs = list(tiny_trace.packet_pairs(order="sequential"))
+        assert pairs[0] == ("a", 100)
+
+
+class TestStats:
+    def test_length_variance(self, tiny_trace):
+        assert tiny_trace.length_variance("b") == 0.0
+        # flow a: lengths 100,200,300 -> population variance 6666.67
+        assert tiny_trace.length_variance("a") == pytest.approx(6666.67, rel=1e-3)
+
+    def test_stats_aggregates(self, tiny_trace):
+        stats = tiny_trace.stats()
+        assert stats.num_flows == 3
+        assert stats.num_packets == 14
+        assert stats.total_bytes == 600 + 15000 + 40
+        assert stats.mean_flow_packets == pytest.approx(14 / 3)
+        assert stats.mean_packet_length == pytest.approx(15640 / 14)
+        # Only flow "a" has variance > 10.
+        assert stats.length_variance_over_10_fraction == pytest.approx(1 / 3)
+
+    def test_subsample(self, small_trace):
+        sub = small_trace.subsample(10, rng=1)
+        assert len(sub) == 10
+        for flow in sub.flows:
+            assert sub.flows[flow] == small_trace.flows[flow]
+
+    def test_subsample_no_op_when_large(self, tiny_trace):
+        sub = tiny_trace.subsample(100)
+        assert len(sub) == 3
+
+    def test_repr(self, tiny_trace):
+        assert "tiny" in repr(tiny_trace)

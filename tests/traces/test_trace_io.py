@@ -1,0 +1,87 @@
+"""Tests for the trace file format."""
+
+import gzip
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.trace import Trace
+from repro.traces.trace_io import FORMAT_TAG, iter_trace_packets, read_trace, write_trace
+
+
+class TestRoundtrip:
+    def test_write_read_plain(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        count = write_trace(tiny_trace, path, seed=1)
+        assert count == tiny_trace.num_packets
+        loaded = read_trace(path)
+        assert loaded.true_totals("volume") == {
+            str(f): v for f, v in tiny_trace.true_totals("volume").items()
+        }
+
+    def test_write_read_gzip(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace.gz"
+        write_trace(tiny_trace, path, seed=1)
+        # File really is gzip.
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith(FORMAT_TAG)
+        loaded = read_trace(path)
+        assert loaded.num_packets == tiny_trace.num_packets
+
+    def test_sequential_order_preserved_per_flow(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(tiny_trace, path, order="sequential")
+        loaded = read_trace(path)
+        assert loaded.flows["a"] == tiny_trace.flows["a"]
+
+    def test_name_default_is_stem(self, tiny_trace, tmp_path):
+        path = tmp_path / "mytrace.trace"
+        write_trace(tiny_trace, path)
+        assert read_trace(path).name == "mytrace"
+        assert read_trace(path, name="x").name == "x"
+
+
+class TestStreaming:
+    def test_iter_yields_pairs(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(tiny_trace, path, order="sequential")
+        pairs = list(iter_trace_packets(path))
+        assert len(pairs) == tiny_trace.num_packets
+        assert all(isinstance(l, int) and l > 0 for _, l in pairs)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(f"{FORMAT_TAG}\n# hello\nf1,100\n\nf2,200\n")
+        assert list(iter_trace_packets(path)) == [("f1", 100), ("f2", 200)]
+
+
+class TestMalformed:
+    def test_missing_tag(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("f1,100\n")
+        with pytest.raises(TraceFormatError):
+            list(iter_trace_packets(path))
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{FORMAT_TAG}\nf1,100,extra\n")
+        with pytest.raises(TraceFormatError):
+            list(iter_trace_packets(path))
+
+    def test_non_integer_length(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{FORMAT_TAG}\nf1,abc\n")
+        with pytest.raises(TraceFormatError):
+            list(iter_trace_packets(path))
+
+    def test_non_positive_length(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{FORMAT_TAG}\nf1,0\n")
+        with pytest.raises(TraceFormatError):
+            list(iter_trace_packets(path))
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text(f"{FORMAT_TAG}\n")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)

@@ -1,0 +1,76 @@
+"""Tests for the Zipf popularity workload."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.traces.zipf import ZipfPopularity, zipf_packets, zipf_trace
+
+
+class TestPopularity:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            ZipfPopularity(0)
+        with pytest.raises(ParameterError):
+            ZipfPopularity(10, alpha=-1)
+
+    def test_probabilities_sum_to_one(self):
+        pop = ZipfPopularity(50, alpha=1.1)
+        total = sum(pop.probability(k) for k in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_rank_ordering(self):
+        pop = ZipfPopularity(20, alpha=1.0)
+        probs = [pop.probability(k) for k in range(20)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_alpha_zero_is_uniform(self):
+        pop = ZipfPopularity(10, alpha=0.0)
+        assert pop.probability(0) == pytest.approx(pop.probability(9))
+
+    def test_top_share_grows_with_alpha(self):
+        flat = ZipfPopularity(1000, alpha=0.5).top_share(0.2)
+        skewed = ZipfPopularity(1000, alpha=1.2).top_share(0.2)
+        assert skewed > flat
+
+    def test_rank_validation(self):
+        pop = ZipfPopularity(5)
+        with pytest.raises(ParameterError):
+            pop.probability(5)
+        with pytest.raises(ParameterError):
+            pop.top_share(0.0)
+
+    def test_empirical_frequencies_match(self):
+        pop = ZipfPopularity(20, alpha=1.0)
+        rand = random.Random(0)
+        counts = Counter(pop.sample(rand) for _ in range(40_000))
+        assert counts[0] / 40_000 == pytest.approx(pop.probability(0), rel=0.1)
+
+
+class TestStreams:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            list(zipf_packets(0, 10))
+        with pytest.raises(ParameterError):
+            list(zipf_packets(10, 10, min_length=0))
+
+    def test_stream_shape(self):
+        packets = list(zipf_packets(1000, 50, rng=1))
+        assert len(packets) == 1000
+        assert all(0 <= f < 50 for f, _ in packets)
+        assert all(40 <= l <= 1500 for _, l in packets)
+
+    def test_trace_materialisation(self):
+        trace = zipf_trace(2000, 100, alpha=1.0, rng=2)
+        assert trace.num_packets == 2000
+        assert len(trace) <= 100
+        # Rank-0 flow should dominate.
+        volumes = trace.true_totals("volume")
+        assert volumes[0] == max(volumes.values())
+
+    def test_deterministic(self):
+        a = zipf_trace(500, 20, rng=3)
+        b = zipf_trace(500, 20, rng=3)
+        assert a.flows == b.flows
