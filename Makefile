@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples all
+.PHONY: install test bench bench-gate report examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -12,6 +12,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+bench-gate:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_gate.py
 
 report:
 	$(PYTHON) -m repro report --out report.md

@@ -14,7 +14,8 @@ from repro.metrics.errors import optimistic_relative_error
 
 def test_fig08_error_cdf(benchmark, nlanr_trace):
     result = benchmark.pedantic(
-        lambda: error_cdf_comparison(nlanr_trace, counter_bits=10, seed=SEED),
+        lambda: error_cdf_comparison(nlanr_trace, counter_bits=10, seed=SEED,
+                                     engine="vector"),
         rounds=1,
         iterations=1,
     )

@@ -27,7 +27,8 @@ def test_fig10_flow_size_error(benchmark):
     trace = deep_size_trace()
 
     result = benchmark.pedantic(
-        lambda: flow_size_per_flow_error(trace, counter_bits=10, seed=99),
+        lambda: flow_size_per_flow_error(trace, counter_bits=10, seed=99,
+                                         engine="vector"),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,183 @@
+"""Replay-engine throughput gate: measure, record trajectory, fail on regression.
+
+Times the three replay engines (``python``, ``fast``, ``vector``) on one
+fixed seeded NLANR-like trace and
+
+1. appends a trajectory entry to ``BENCH_perf.json`` (a growing history,
+   one entry per run, so throughput over the repo's life is plottable),
+2. compares the engine *speedups* — vector/python and fast/python ratios,
+   which are stable across machines, unlike absolute packets/second —
+   against the ``perf_`` keys in ``benchmarks/baseline.json`` and exits
+   non-zero if any ratio regressed by more than 20%.
+
+Run it directly (``make bench-gate``)::
+
+    python benchmarks/perf_gate.py                  # measure + gate
+    python benchmarks/perf_gate.py --update-baseline  # accept current ratios
+
+Absolute throughputs are recorded in both files for context but never
+gated: CI machines differ.  The accuracy gate (`repro.harness.ci`)
+ignores every ``perf_``-prefixed key for the same reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
+ROOT = Path(__file__).resolve().parent
+BASELINE_PATH = ROOT / "baseline.json"
+HISTORY_PATH = ROOT.parent / "BENCH_perf.json"
+
+#: Speedup ratios gated against the baseline (machine-portable).
+GATE_KEYS = ("perf_vector_speedup", "perf_fast_speedup")
+#: Maximum tolerated relative drop of a gated ratio.
+REGRESSION_TOLERANCE = 0.20
+
+#: Fixed gate workload: seeded, heavy-tailed, ~100k packets — big enough
+#: that engine differences dominate noise, small enough for every commit.
+TRACE_FLOWS = 2500
+TRACE_MEAN_BYTES = 12_000
+TRACE_MAX_BYTES = 400_000
+TRACE_SEED = 20100621
+DISCO_B = 1.02
+REPEATS = 3
+
+
+def build_trace():
+    from repro.traces.nlanr import nlanr_like
+
+    return nlanr_like(num_flows=TRACE_FLOWS, mean_flow_bytes=TRACE_MEAN_BYTES,
+                      max_flow_bytes=TRACE_MAX_BYTES, rng=TRACE_SEED)
+
+
+def measure(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
+    """Time each engine on the gate trace; return the ``perf_`` metric set.
+
+    Each engine gets ``repeats`` runs (distinct scheme seeds — the law is
+    seed-independent) and the best one counts, which discards scheduler
+    noise the same way timeit does.
+    """
+    from repro.core.disco import DiscoSketch
+    from repro.harness.runner import replay
+    from repro.traces.compiled import compile_trace
+
+    if trace is None:
+        trace = build_trace()
+    compiled = compile_trace(trace)  # compile outside the timed region
+
+    def best_elapsed(engine: str) -> float:
+        elapsed = []
+        for seed in range(repeats):
+            sketch = DiscoSketch(b=DISCO_B, mode="volume", rng=seed)
+            result = replay(sketch, compiled, order="asis", engine=engine)
+            elapsed.append(result.elapsed_seconds)
+        return min(elapsed)
+
+    packets = compiled.num_packets
+    python_s = best_elapsed("python")
+    fast_s = best_elapsed("fast")
+    vector_s = best_elapsed("vector")
+    return {
+        "perf_trace_packets": float(packets),
+        "perf_python_pps": packets / python_s,
+        "perf_fast_pps": packets / fast_s,
+        "perf_vector_pps": packets / vector_s,
+        "perf_fast_speedup": python_s / fast_s,
+        "perf_vector_speedup": python_s / vector_s,
+    }
+
+
+def append_history(metrics: Dict[str, float],
+                   path: Path = HISTORY_PATH) -> None:
+    """Append one trajectory entry to the throughput history file."""
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text(encoding="utf-8"))
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "metrics": {k: round(v, 3) for k, v in metrics.items()},
+    })
+    path.write_text(json.dumps(history, indent=1) + "\n", encoding="utf-8")
+
+
+def check_regression(metrics: Dict[str, float],
+                     baseline: Dict[str, float],
+                     tolerance: float = REGRESSION_TOLERANCE):
+    """Gated ratios that fell more than ``tolerance`` below baseline.
+
+    Returns a list of ``(key, baseline, current)`` failures; empty means
+    the gate passes.  Missing baseline keys fail loudly — a gate that
+    has nothing to compare against must not pass silently.
+    """
+    failures = []
+    for key in GATE_KEYS:
+        if key not in baseline:
+            failures.append((key, float("nan"), metrics[key]))
+            continue
+        floor = baseline[key] * (1.0 - tolerance)
+        if metrics[key] < floor:
+            failures.append((key, baseline[key], metrics[key]))
+    return failures
+
+
+def update_baseline(metrics: Dict[str, float],
+                    path: Path = BASELINE_PATH) -> None:
+    """Write the ``perf_`` keys into the shared baseline, keeping the rest."""
+    baseline = {}
+    if path.exists():
+        baseline = json.loads(path.read_text(encoding="utf-8"))
+    baseline.update({k: round(v, 3) for k, v in metrics.items()})
+    path.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept the measured ratios as the new baseline")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    metrics = measure()
+    print("replay-engine throughput (gate trace: "
+          f"{TRACE_FLOWS} flows, {int(metrics['perf_trace_packets'])} packets)")
+    for engine in ("python", "fast", "vector"):
+        pps = metrics[f"perf_{engine}_pps"]
+        line = f"  {engine:>7}: {pps / 1e6:6.2f} Mpps"
+        if engine != "python":
+            line += f"   ({metrics[f'perf_{engine}_speedup']:.1f}x python)"
+        print(line)
+
+    if not args.no_history:
+        append_history(metrics)
+        print(f"history appended to {HISTORY_PATH}")
+    if args.update_baseline:
+        update_baseline(metrics)
+        print(f"baseline updated at {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8")) \
+        if BASELINE_PATH.exists() else {}
+    failures = check_regression(metrics, baseline)
+    if failures:
+        print("PERF GATE FAILED (>20% regression):", file=sys.stderr)
+        for key, base, cur in failures:
+            print(f"  {key}: baseline {base:.2f} -> current {cur:.2f}",
+                  file=sys.stderr)
+        return 1
+    print("perf gate passed "
+          f"(vector {metrics['perf_vector_speedup']:.1f}x, "
+          f"fast {metrics['perf_fast_speedup']:.1f}x; "
+          f"tolerance {REGRESSION_TOLERANCE:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(ROOT.parent / "src"))
+    raise SystemExit(main())

@@ -109,9 +109,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
     truths = trace.true_totals(args.mode)
     max_length = max(truths.values())
     scheme = _make_scheme(args.scheme, args.bits, args.mode, max_length, args.seed)
-    result = replay(scheme, trace, rng=args.seed + 1)
+    result = replay(scheme, trace, rng=args.seed + 1, engine=args.engine)
     print(f"scheme={result.scheme_name} trace={result.trace_name} "
-          f"mode={result.mode}")
+          f"mode={result.mode} engine={result.engine}")
     print(render_table(
         ["packets", "flows", "avg R", "max R", "R_o(0.95)", "counter bits",
          "seconds"],
@@ -325,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=10)
     p.add_argument("--mode", choices=("volume", "size"), default="volume")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", choices=("auto", "python", "fast", "vector"),
+                   default="auto",
+                   help="replay engine (vector = array-native batch replay)")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("figure", help="regenerate a figure's data series")

@@ -16,6 +16,12 @@ analysis
     Theorems 2-3, Corollary 1, and parameter selection.
 """
 
+from repro.core.batchreplay import (
+    BatchReplayResult,
+    VectorSpec,
+    replay_batch,
+    vector_spec,
+)
 from repro.core.analysis import (
     b_for_cov_bound,
     choose_b,
@@ -76,4 +82,8 @@ __all__ = [
     "UpdateCache",
     "AgingDiscoSketch",
     "age_counter",
+    "BatchReplayResult",
+    "VectorSpec",
+    "replay_batch",
+    "vector_spec",
 ]

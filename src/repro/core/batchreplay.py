@@ -1,0 +1,314 @@
+"""Array-native whole-trace DISCO replay.
+
+The per-packet replay drives one ``observe()`` call per packet — fine for
+laptop-scale traces, the dominant cost of the whole suite at NLANR scale
+(100k+ flows, millions of packets).  But DISCO's counters are per-flow
+independent and the Algorithm-1 decision is an elementwise function of
+``(counter, length)``, so packets of *different* flows can be processed
+in lockstep.  This engine compiles the trace to struct-of-arrays form
+(:mod:`repro.traces.compiled`), sorts flows by descending packet budget,
+and replays column-by-column: step ``t`` feeds the ``t``-th packet of
+every still-active flow to one vectorised
+:meth:`~repro.core.vectorized.VectorDisco.step_active` call.  Flows
+retire as their budgets drain, and because the flows are budget-sorted
+the active set is always a contiguous prefix — a slice, not a gather
+mask.  That turns ``N_packets`` Python iterations into at most
+``max_flow_packets`` vector steps.
+
+Heavy-tailed traces leave a long thin tail: a handful of elephant flows
+with orders of magnitude more packets than the rest.  Columns with only
+a few active lanes pay NumPy's fixed per-call overhead without the width
+to amortise it, so once the prefix narrows below ``min_lanes`` the
+engine hands the surviving flows to a scalar tail with two regimes:
+
+* while ``gap(c) = b^c`` can still be jumped over by one packet, the
+  memoized fast path (:class:`~repro.core.fastpath.UpdateCache`) replays
+  full Algorithm-1 decisions;
+* once ``b^c`` exceeds the flow's largest remaining packet, every
+  decision is ``delta = 0`` with ``p = l / b^c``, and ``u < l / b^c`` is
+  equivalent to ``c < (ln l - ln u) / ln b``.  The engine precomputes
+  those thresholds for all remaining packets in one vectorised log and
+  the per-packet work collapses to a float comparison — elephants spend
+  nearly their whole life in this dwell regime.
+
+The replay is **distributionally equivalent** to the scalar engines —
+the same Algorithm-1 advances with the same probabilities, hence the
+same estimator law (Theorem 1 unbiasedness, Theorem 2/3 moments) — but
+not bit-identical: it consumes a ``numpy.random.Generator`` stream
+column-major instead of a ``random.Random`` stream packet-major.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.fastpath import UpdateCache
+from repro.core.functions import GeometricCountingFunction
+from repro.core.vectorized import VectorDisco
+from repro.errors import ParameterError
+from repro.traces.compiled import CompiledTrace, compile_trace
+from repro.traces.trace import Trace
+
+__all__ = ["BatchReplayResult", "replay_batch", "as_generator",
+           "VectorSpec", "vector_spec", "DEFAULT_MIN_LANES"]
+
+#: Below this many active lanes a NumPy column step costs more than the
+#: scalar tail; the engine switches to the cached/dwell tail phase.
+#: Tuned empirically across b in [1.002, 1.1] on heavy-tailed traces:
+#: large b favours a wider threshold (the dwell regime starts early and
+#: beats column steps), small b a narrower one (the memoized phase rules
+#: until counters climb past log_b(maxlen)); 128 is the best all-rounder.
+DEFAULT_MIN_LANES = 128
+
+
+def as_generator(
+    rng: Union[None, int, random.Random, np.random.Generator],
+) -> np.random.Generator:
+    """Coerce any of the repo's rng conventions to a ``numpy`` Generator.
+
+    A ``random.Random`` is consumed for one 128-bit seed, so a seeded
+    scheme deterministically seeds its vector replay too.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, random.Random):
+        return np.random.default_rng(rng.getrandbits(128))
+    return np.random.default_rng(rng)
+
+
+@dataclass(frozen=True)
+class VectorSpec:
+    """The parameters under which a scheme's replay can be vectorised."""
+
+    b: float
+    mode: str
+    capacity_bits: Optional[int]
+
+
+def vector_spec(scheme) -> Optional[VectorSpec]:
+    """Return the scheme's :class:`VectorSpec`, or ``None`` if ineligible.
+
+    The batch engine reproduces exactly the plain per-flow DISCO law:
+    geometric counting function, no burst aggregation, no variance
+    tracking, and a fresh sketch (pre-existing counters would be
+    ignored).  Capacity clamping *is* supported — the engine saturates
+    lanes the same way :class:`~repro.core.disco.DiscoSketch` does.
+    """
+    from repro.core.disco import DiscoSketch
+    from repro.core.fastpath import FastDiscoSketch
+
+    function = getattr(scheme, "function", None)
+    if not isinstance(function, GeometricCountingFunction):
+        return None
+    if len(scheme) != 0:
+        return None
+    if isinstance(scheme, DiscoSketch):
+        if type(scheme) is not DiscoSketch:
+            return None  # subclasses (e.g. aging) may hook the update path
+        if scheme.burst_capacity is not None or scheme.track_variance:
+            return None
+        return VectorSpec(b=function.b, mode=scheme.mode,
+                          capacity_bits=scheme.capacity_bits)
+    if isinstance(scheme, FastDiscoSketch):
+        return VectorSpec(b=function.b, mode=scheme.mode, capacity_bits=None)
+    return None
+
+
+@dataclass(frozen=True)
+class BatchReplayResult:
+    """Outcome of one array-native replay, aligned with the compiled trace.
+
+    ``counters[i]``, ``estimates[i]`` and ``truths[i]`` all describe
+    ``compiled.keys[i]``.
+    """
+
+    compiled: CompiledTrace
+    counters: np.ndarray
+    estimates: np.ndarray
+    truths: np.ndarray
+    elapsed_seconds: float
+    packets: int
+    vector_steps: int
+    tail_packets: int
+    saturation_events: int
+
+    @property
+    def keys(self):
+        return self.compiled.keys
+
+    def estimates_dict(self):
+        """Estimates keyed by original flow key."""
+        return {k: float(e) for k, e in zip(self.compiled.keys, self.estimates)}
+
+    def counters_dict(self):
+        """Final integer counters keyed by original flow key."""
+        return {k: int(c) for k, c in zip(self.compiled.keys, self.counters)}
+
+
+def replay_batch(
+    trace: Union[Trace, CompiledTrace],
+    b: float,
+    mode: str = "volume",
+    rng: Union[None, int, random.Random, np.random.Generator] = None,
+    capacity_bits: Optional[int] = None,
+    min_lanes: int = DEFAULT_MIN_LANES,
+) -> BatchReplayResult:
+    """Replay the whole trace through DISCO, all flows in lockstep.
+
+    Parameters
+    ----------
+    trace:
+        A :class:`Trace` (compiled on the fly, cached) or an already
+        compiled trace.
+    b:
+        Geometric growth base (``b > 1``).
+    mode:
+        ``"volume"`` drives counters with packet lengths, ``"size"`` with
+        a uniform increment of 1.
+    rng:
+        Seed, ``random.Random`` or ``numpy`` Generator; one shared stream
+        drives every lane.
+    capacity_bits:
+        Optional fixed counter width; counters saturate at
+        ``2**capacity_bits - 1`` exactly as
+        :class:`~repro.core.disco.DiscoSketch` clamps them.
+    min_lanes:
+        Active-prefix width below which the engine switches from column
+        steps to the memoized scalar tail.
+
+    ``elapsed_seconds`` covers the update work only (column loop plus
+    scalar tail), matching the per-packet engines' timing contract.
+    """
+    if mode not in ("volume", "size"):
+        raise ParameterError(f"mode must be 'volume' or 'size', got {mode!r}")
+    if min_lanes < 1:
+        raise ParameterError(f"min_lanes must be >= 1, got {min_lanes!r}")
+    if capacity_bits is not None and capacity_bits < 1:
+        raise ParameterError(f"capacity_bits must be >= 1, got {capacity_bits!r}")
+    compiled = compile_trace(trace)
+    gen = as_generator(rng)
+    num_flows = compiled.num_flows
+    state = VectorDisco(b, max(num_flows, 1), rng=gen)  # validates b
+    max_value = (1 << capacity_bits) - 1 if capacity_bits else None
+
+    sizes = compiled.sizes
+    offsets = compiled.offsets
+    lengths = compiled.lengths
+    columns = compiled.max_flow_packets
+    saturations = 0
+    vector_steps = 0
+    tail_packets = 0
+
+    start = time.perf_counter()
+    t = 0
+    active = num_flows
+    # -- columnar phase: one vector step per packet column ------------------
+    while t < columns:
+        active = compiled.active_prefix(t)
+        if active < min_lanes:
+            break
+        if mode == "volume":
+            column = lengths[offsets[:active] + t]
+        else:
+            column = 1.0
+        state.step_active(column, slice(0, active))
+        if max_value is not None:
+            over = state.counters[:active] > max_value
+            saturations += int(np.count_nonzero(over))
+            np.minimum(state.counters[:active], max_value,
+                       out=state.counters[:active])
+        vector_steps += 1
+        t += 1
+
+    # -- scalar tail: the few flows that outlive the wide columns -----------
+    if t < columns and active > 0:
+        cache = UpdateCache(GeometricCountingFunction(b))
+        # A Mersenne scalar draw is ~10x cheaper than a NumPy Generator
+        # scalar call; seed it from the shared stream so the replay stays
+        # a deterministic function of one seed.
+        draw = random.Random(int(gen.integers(1 << 63))).random
+        decision = cache.decision
+        ln_b = float(np.log(b))
+        counters = state.counters
+        for i in range(active):
+            budget = int(sizes[i])
+            if budget <= t:
+                continue
+            c = int(counters[i])
+            base = int(offsets[i])
+            n = budget - t
+            if mode == "volume":
+                lens = lengths[base + t:base + budget]
+                maxlen = float(lens.max())
+            else:
+                lens = None
+                maxlen = 1.0
+            # Smallest counter value whose gap b^c exceeds every remaining
+            # packet: past it, Algorithm 1 degenerates to delta = 0 with
+            # p = l / b^c (the dwell regime).
+            c_star = max(1, int(np.ceil(np.log(maxlen) / ln_b)))
+            while b ** c_star <= maxlen:
+                c_star += 1
+            idx = 0
+            if c < c_star:
+                # General phase: memoized full decisions.  Bulk-convert to
+                # Python floats once; per-element NumPy scalar unboxing
+                # would dominate the loop.
+                py_lens = lens.tolist() if lens is not None else None
+                while idx < n and c < c_star:
+                    l = py_lens[idx] if py_lens is not None else 1.0
+                    delta, p = decision(c, l)
+                    c += delta + (1 if draw() < p else 0)
+                    if max_value is not None and c > max_value:
+                        saturations += 1
+                        c = max_value
+                    idx += 1
+            k = n - idx
+            if k:
+                # Dwell phase: u < l / b^c  <=>  c < (ln l - ln u) / ln b.
+                # One vectorised log per flow; the loop is a bare compare.
+                # (u = 0.0 gives T = +inf = guaranteed advance, matching
+                # u < p for any p > 0.)
+                u = gen.random(k)
+                with np.errstate(divide="ignore"):
+                    if lens is not None:
+                        thresholds = (np.log(lens[idx:]) - np.log(u)) / ln_b
+                    else:
+                        thresholds = -np.log(u) / ln_b
+                cc = float(c)
+                if max_value is None:
+                    for t_i in thresholds.tolist():
+                        if t_i > cc:
+                            cc += 1.0
+                else:
+                    cap = float(max_value)
+                    for t_i in thresholds.tolist():
+                        if t_i > cc:
+                            if cc >= cap:
+                                saturations += 1
+                            else:
+                                cc += 1.0
+                c = int(cc)
+            tail_packets += n
+            counters[i] = c
+    elapsed = time.perf_counter() - start
+
+    final = state.counters[:num_flows].copy()
+    ln_b = np.log(b)
+    estimates = np.expm1(final * ln_b) / (b - 1.0)
+    return BatchReplayResult(
+        compiled=compiled,
+        counters=final,
+        estimates=estimates,
+        truths=compiled.true_totals_array(mode),
+        elapsed_seconds=elapsed,
+        packets=compiled.num_packets,
+        vector_steps=vector_steps,
+        tail_packets=tail_packets,
+        saturation_events=saturations,
+    )

@@ -43,6 +43,11 @@ class UpdateCache:
         self._cache: Dict[Tuple[int, float], Tuple[int, float]] = {}
         self.hits = 0
         self.misses = 0
+        #: Number of wholesale resets taken when ``max_entries`` was hit.
+        #: A climbing count means the working set outgrows the cache and
+        #: the hit rate is being rebuilt from scratch each time — raise
+        #: ``max_entries`` rather than trusting ``hit_rate`` alone.
+        self.clears = 0
 
     def decision(self, c: int, l: float) -> Tuple[int, float]:
         key = (c, l)
@@ -54,6 +59,7 @@ class UpdateCache:
         decision = compute_update(self.function, c, l)
         if len(self._cache) >= self.max_entries:
             self._cache.clear()
+            self.clears += 1
         value = (decision.delta, decision.probability)
         self._cache[key] = value
         return value
@@ -62,6 +68,17 @@ class UpdateCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Accounting snapshot: hits, misses, hit rate, resets, occupancy."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "clears": self.clears,
+            "entries": len(self._cache),
+            "max_entries": self.max_entries,
+        }
 
 
 class FastDiscoSketch:
@@ -99,6 +116,11 @@ class FastDiscoSketch:
     def observe_many(self, packets: Iterable) -> None:
         for flow, length in packets:
             self.observe(flow, length)
+
+    @property
+    def cache_stats(self) -> Dict[str, float]:
+        """The shared decision cache's accounting (see ``UpdateCache.stats``)."""
+        return self.cache.stats()
 
     def counter_value(self, flow: Hashable) -> int:
         return self._counters.get(flow, 0)

@@ -55,18 +55,13 @@ class VectorDisco:
     def lanes(self) -> int:
         return len(self.counters)
 
-    def step(self, lengths: Union[float, np.ndarray],
-             mask: Optional[np.ndarray] = None) -> None:
-        """Advance every (unmasked) lane by one packet of the given length.
+    def _advance(self, c: np.ndarray, l: np.ndarray) -> np.ndarray:
+        """Algorithm-1 advances for float counters ``c`` and amounts ``l``.
 
-        ``lengths`` may be a scalar (same packet in every lane — the
-        replica use-case) or a per-lane vector.  ``mask`` selects active
-        lanes (True = update).
+        The elementwise kernel shared by :meth:`step` and
+        :meth:`step_active`; draws one uniform variate per element from the
+        instance's single :class:`~numpy.random.Generator`.
         """
-        c = self.counters.astype(np.float64)
-        l = np.broadcast_to(np.asarray(lengths, dtype=np.float64), c.shape)
-        if np.any(l <= 0):
-            raise ParameterError("packet lengths must be > 0")
         # headroom = log1p(l (b-1) b^-c) / ln b  (the stable shifted form)
         headroom = np.log1p(l * self._bm1 * np.exp(-c * self._ln_b)) / self._ln_b
         # delta = ceil(headroom) - 1, guarding exact-integer hits.
@@ -79,11 +74,44 @@ class VectorDisco:
         growth = np.exp(c * self._ln_b) * np.expm1(delta * self._ln_b) / self._bm1
         gap = np.exp((c + delta) * self._ln_b)
         p = np.clip((l - growth) / gap, 0.0, 1.0)
-        advance = delta.astype(np.int64) \
+        return delta.astype(np.int64) \
             + (self._rng.random(c.shape) < p).astype(np.int64)
+
+    def step(self, lengths: Union[float, np.ndarray],
+             mask: Optional[np.ndarray] = None) -> None:
+        """Advance every (unmasked) lane by one packet of the given length.
+
+        ``lengths`` may be a scalar (same packet in every lane — the
+        replica use-case) or a per-lane vector.  ``mask`` selects active
+        lanes (True = update).
+        """
+        c = self.counters.astype(np.float64)
+        l = np.broadcast_to(np.asarray(lengths, dtype=np.float64), c.shape)
+        if np.any(l <= 0):
+            raise ParameterError("packet lengths must be > 0")
+        advance = self._advance(c, l)
         if mask is not None:
             advance = np.where(mask, advance, 0)
         self.counters += advance
+
+    def step_active(self, lengths: Union[float, np.ndarray],
+                    active: Union[slice, np.ndarray]) -> None:
+        """Advance only the lanes selected by ``active``.
+
+        Unlike :meth:`step` with a mask — which evaluates the update math
+        for *every* lane and then discards the masked ones — this computes
+        on the compressed active set only, so the per-step cost shrinks as
+        lanes retire.  ``active`` is a slice (contiguous lanes, the
+        sorted-by-budget replay case) or an integer index array;
+        ``lengths`` is a scalar or a vector of the active set's size.
+        Heterogeneous per-lane lengths are the point: this is the kernel
+        the batch replay engine drives with one trace column at a time.
+        """
+        c = self.counters[active].astype(np.float64)
+        l = np.broadcast_to(np.asarray(lengths, dtype=np.float64), c.shape)
+        if np.any(l <= 0):
+            raise ParameterError("packet lengths must be > 0")
+        self.counters[active] += self._advance(c, l)
 
     def estimates(self) -> np.ndarray:
         """Unbiased estimates ``f(c)`` per lane."""

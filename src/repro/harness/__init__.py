@@ -23,7 +23,7 @@ from repro.harness.ci import collect_metrics, compare, save_baseline
 from repro.harness.parallel import ReplayJob, replay_parallel
 from repro.harness.plotting import ascii_chart
 from repro.harness.report import ReportConfig, generate_report, write_report
-from repro.harness.runner import RunResult, replay, replay_stream
+from repro.harness.runner import ENGINES, RunResult, replay, replay_stream, resolve_engine
 from repro.harness.sweep import Sweep, SweepPoint
 
 __all__ = [
@@ -58,4 +58,6 @@ __all__ = [
     "collect_metrics",
     "save_baseline",
     "compare",
+    "ENGINES",
+    "resolve_engine",
 ]

@@ -106,13 +106,18 @@ def compare(path: Union[str, Path],
 
     Raises :class:`ParameterError` if the baseline is missing a metric or
     contains unknown ones (the baseline must be regenerated deliberately,
-    never silently partial).
+    never silently partial).  Keys starting with ``perf_`` are throughput
+    numbers owned by the *performance* gate (``benchmarks/perf_gate.py``)
+    — they share the baseline file but are machine-dependent, so this
+    accuracy gate skips them on both sides.
     """
     path = Path(path)
     if not path.exists():
         raise ParameterError(f"no baseline at {path}; run save_baseline first")
     baseline = json.loads(path.read_text(encoding="utf-8"))
+    baseline = {k: v for k, v in baseline.items() if not k.startswith("perf_")}
     current = metrics if metrics is not None else collect_metrics()
+    current = {k: v for k, v in current.items() if not k.startswith("perf_")}
     if set(baseline) != set(current):
         raise ParameterError(
             f"baseline/current metric sets differ: "

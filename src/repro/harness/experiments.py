@@ -79,8 +79,15 @@ def volume_error_vs_counter_size(
     counter_sizes: Sequence[int] = (8, 9, 10, 11, 12),
     seed: int = 7,
     mode: str = "volume",
+    engine: str = "auto",
 ) -> List[SizeComparisonRow]:
-    """Figures 5-7 / Table II core: error vs counter size, DISCO vs SAC."""
+    """Figures 5-7 / Table II core: error vs counter size, DISCO vs SAC.
+
+    ``engine`` selects the DISCO replay engine (the comparison baselines
+    always use the per-packet path); ``"vector"`` keeps the estimator law
+    but replays array-natively — results are statistically, not
+    bit-for-bit, identical to the scalar engines.
+    """
     truths = trace.true_totals(mode)
     max_length = max(truths.values())
     rows: List[SizeComparisonRow] = []
@@ -88,7 +95,7 @@ def volume_error_vs_counter_size(
         b = choose_b(bits, max_length, slack=DEFAULT_SLACK)
         disco = DiscoSketch(b=b, mode=mode, rng=seed, capacity_bits=bits)
         sac = make_sac(bits, mode, seed=seed + 1)
-        disco_result = replay(disco, trace, rng=seed + 2)
+        disco_result = replay(disco, trace, rng=seed + 2, engine=engine)
         sac_result = replay(sac, trace, rng=seed + 2)
         rows.append(
             SizeComparisonRow(
@@ -107,13 +114,14 @@ def error_cdf_comparison(
     seed: int = 7,
     points: int = 200,
     mode: str = "volume",
+    engine: str = "auto",
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Figure 8: empirical CDF of relative error at a fixed counter size."""
     truths = trace.true_totals(mode)
     max_length = max(truths.values())
     disco = make_disco(counter_bits, max_length, mode, seed=seed)
     sac = make_sac(counter_bits, mode, seed=seed + 1)
-    disco_result = replay(disco, trace, rng=seed + 2)
+    disco_result = replay(disco, trace, rng=seed + 2, engine=engine)
     sac_result = replay(sac, trace, rng=seed + 2)
     return {
         "disco": _error_cdf(disco_result.errors, points=points),
@@ -147,6 +155,7 @@ def flow_size_per_flow_error(
     trace: Trace,
     counter_bits: int = 10,
     seed: int = 7,
+    engine: str = "auto",
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Figure 10: per-flow relative error for flow **size** counting.
 
@@ -157,7 +166,7 @@ def flow_size_per_flow_error(
     max_length = max(truths.values())
     disco = make_disco(counter_bits, max_length, "size", seed=seed)
     sac = make_sac(counter_bits, "size", seed=seed + 1)
-    disco_result = replay(disco, trace, rng=seed + 2)
+    disco_result = replay(disco, trace, rng=seed + 2, engine=engine)
     sac_result = replay(sac, trace, rng=seed + 2)
 
     def scatter(result: RunResult) -> List[Tuple[int, float]]:
@@ -174,12 +183,13 @@ def table2(
     traces: Dict[str, Trace],
     counter_sizes: Sequence[int] = (8, 9, 10),
     seed: int = 7,
+    engine: str = "auto",
 ) -> List[Dict[str, object]]:
     """Table II: average relative error per scenario and counter size."""
     rows: List[Dict[str, object]] = []
     for name, trace in traces.items():
         comparison = volume_error_vs_counter_size(
-            trace, counter_sizes=counter_sizes, seed=seed
+            trace, counter_sizes=counter_sizes, seed=seed, engine=engine
         )
         for row in comparison:
             rows.append(

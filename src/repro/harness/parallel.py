@@ -10,16 +10,23 @@ Jobs are specified as (factory, trace, kwargs) with a *callable factory*
 rather than a live scheme so that each worker constructs its own scheme
 (schemes hold ``random.Random`` state; building in-worker keeps the
 parent's objects untouched and the pickling surface tiny).
+
+For full-scale traces, pass a :class:`~repro.traces.compiled.CompiledTrace`
+(from :func:`~repro.traces.compiled.compile_trace`) as the job's trace:
+it pickles as a few NumPy buffers instead of per-flow Python lists, so
+fanning one big trace out to many workers stops re-serialising packet
+lists, and ``engine="vector"`` jobs replay the shipped arrays directly.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.errors import ParameterError
 from repro.harness.runner import RunResult, replay
+from repro.traces.compiled import CompiledTrace
 from repro.traces.trace import Trace
 
 __all__ = ["ReplayJob", "replay_parallel"]
@@ -30,14 +37,16 @@ class ReplayJob:
     """One replay to run: a scheme factory, a trace, and replay options."""
 
     scheme_factory: Callable[[], object]
-    trace: Trace
+    trace: Union[Trace, CompiledTrace]
     order: str = "shuffled"
     rng: Optional[int] = None
+    engine: str = "auto"
 
 
 def _run_job(job: ReplayJob) -> RunResult:
     scheme = job.scheme_factory()
-    return replay(scheme, job.trace, order=job.order, rng=job.rng)
+    return replay(scheme, job.trace, order=job.order, rng=job.rng,
+                  engine=job.engine)
 
 
 def replay_parallel(

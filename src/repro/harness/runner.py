@@ -1,4 +1,27 @@
-"""Replay driver: push a trace through a counting scheme and score it."""
+"""Replay driver: push a trace through a counting scheme and score it.
+
+Three engines drive the same replay contract:
+
+``"python"``
+    The reference per-packet ``observe()`` loop.  Works for every scheme.
+``"fast"``
+    The same loop with Algorithm-1 decisions memoized behind an exact
+    :class:`~repro.core.fastpath.UpdateCache` — bit-for-bit identical
+    trajectories, only the transcendental math is skipped.  DISCO
+    sketches only.
+``"vector"``
+    The array-native engine (:mod:`repro.core.batchreplay`): the trace is
+    compiled to struct-of-arrays form once and all flows advance in
+    lockstep NumPy column steps.  Distributionally equivalent to the
+    scalar engines (same estimator law — unbiased mean, Theorem 2/3
+    moments) but *not* bit-identical: it consumes a NumPy random stream
+    column-major.  Plain fresh DISCO sketches only; arrival ``order`` is
+    ignored because per-flow counters are order-independent across flows.
+``"auto"``
+    ``"fast"`` when the scheme supports the exact cache, else
+    ``"python"``.  Never silently picks ``"vector"``, so seeded results
+    stay reproducible unless a caller opts in.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +30,23 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Union
 
-from repro.metrics.errors import ErrorSummary, relative_errors, summarize_errors
+from repro.errors import ParameterError
+from repro.metrics.errors import (
+    ErrorSummary,
+    relative_errors,
+    relative_errors_array,
+    summarize_errors,
+    summarize_errors_array,
+)
+from repro.traces.compiled import CompiledTrace
 from repro.traces.trace import Trace
 
-__all__ = ["RunResult", "replay", "replay_stream"]
+__all__ = ["RunResult", "replay", "replay_stream", "resolve_engine", "ENGINES"]
+
+#: Valid values of the ``engine`` parameter.
+ENGINES = ("auto", "python", "fast", "vector")
+
+AnyTrace = Union[Trace, CompiledTrace]
 
 
 @dataclass
@@ -27,25 +63,83 @@ class RunResult:
     max_counter_bits: int
     elapsed_seconds: float
     packets: int
+    engine: str = "python"
+
+
+def resolve_engine(engine: str, scheme) -> str:
+    """Map an ``engine`` request to the concrete engine used for ``scheme``.
+
+    ``"auto"`` degrades gracefully; explicit requests are strict — asking
+    for ``"fast"`` or ``"vector"`` with an unsupported scheme raises, so
+    a benchmark never silently times the wrong path.
+    """
+    from repro.core.batchreplay import vector_spec
+    from repro.core.disco import DiscoSketch
+    from repro.core.fastpath import FastDiscoSketch
+
+    if engine not in ENGINES:
+        raise ParameterError(
+            f"engine must be one of {', '.join(ENGINES)}, got {engine!r}"
+        )
+    cacheable = isinstance(scheme, (DiscoSketch, FastDiscoSketch))
+    if engine == "auto":
+        return "fast" if cacheable else "python"
+    if engine == "fast" and not cacheable:
+        raise ParameterError(
+            f"engine='fast' needs a DISCO sketch, got {type(scheme).__name__}"
+        )
+    if engine == "vector" and vector_spec(scheme) is None:
+        raise ParameterError(
+            f"engine='vector' needs a fresh plain DISCO sketch with a "
+            f"geometric counting function, got {type(scheme).__name__} "
+            f"(burst aggregation, variance tracking, pre-observed flows "
+            f"and custom functions are scalar-only)"
+        )
+    return engine
 
 
 def replay(
     scheme,
-    trace: Trace,
+    trace: AnyTrace,
     order: str = "shuffled",
     rng: Union[None, int, random.Random] = None,
+    engine: str = "auto",
 ) -> RunResult:
     """Feed every packet of ``trace`` to ``scheme`` and score the estimates.
 
     The scheme's ``mode`` attribute is used to pick the matching ground
     truth (packets for ``"size"``, bytes for ``"volume"``).  Wall-clock time
     covers only the per-packet update loop — the quantity Table IV compares.
+    ``trace`` may be a :class:`~repro.traces.trace.Trace` or an
+    already-compiled :class:`~repro.traces.compiled.CompiledTrace`.
+
+    ``engine`` selects the replay implementation (see the module
+    docstring).  ``rng`` seeds the arrival shuffle for the per-packet
+    engines; the vector engine derives its NumPy stream from the scheme's
+    own generator, so a seeded scheme gives a deterministic replay.
     """
-    packets = list(trace.packet_pairs(order=order, rng=rng))
+    engine = resolve_engine(engine, scheme)
+    if engine == "vector":
+        return _replay_vector(scheme, trace)
+    if engine == "fast" and hasattr(scheme, "enable_update_cache"):
+        scheme.enable_update_cache()
+
+    if order == "shuffled":
+        # Materialised up front so shuffle cost stays out of the timing.
+        packets = list(trace.packet_pairs(order=order, rng=rng))
+        count = len(packets)
+    else:
+        # Order-preserving iterations ("asis"/"sequential"/"roundrobin")
+        # stream straight off the trace: no second copy of the packet
+        # list, which halves peak memory on full-scale replays.
+        packets = trace.packet_pairs(order=order, rng=rng)
+        count = None
     start = time.perf_counter()
     observe = scheme.observe
+    n = 0
     for flow, length in packets:
         observe(flow, length)
+        n += 1
     if hasattr(scheme, "flush"):
         scheme.flush()
     elapsed = time.perf_counter() - start
@@ -63,7 +157,47 @@ def replay(
         truths=truths,
         max_counter_bits=scheme.max_counter_bits(),
         elapsed_seconds=elapsed,
-        packets=len(packets),
+        packets=count if count is not None else n,
+        engine=engine,
+    )
+
+
+def _replay_vector(scheme, trace: AnyTrace) -> RunResult:
+    """Array-native replay; leaves ``scheme`` holding the final counters."""
+    from repro.core.batchreplay import replay_batch, vector_spec
+    from repro.core.disco import DiscoSketch
+
+    spec = vector_spec(scheme)
+    result = replay_batch(
+        trace,
+        spec.b,
+        mode=spec.mode,
+        rng=scheme._rng,
+        capacity_bits=spec.capacity_bits,
+    )
+    # Hand the counters back so the scheme's read-out surface (estimate /
+    # flows / max_counter_bits) reflects the replay, as it would have
+    # after a per-packet run.
+    scheme._counters = result.counters_dict()
+    if isinstance(scheme, DiscoSketch):
+        scheme.packets_observed += result.packets
+        scheme.saturation_events += result.saturation_events
+
+    errors_arr = relative_errors_array(result.estimates, result.truths)
+    estimates = result.estimates_dict()
+    truths = {k: int(t) for k, t in zip(result.keys, result.truths)}
+    return RunResult(
+        scheme_name=getattr(scheme, "name", type(scheme).__name__),
+        trace_name=trace.name,
+        mode=spec.mode,
+        errors=[float(e) for e in errors_arr],
+        summary=summarize_errors_array(errors_arr),
+        estimates=estimates,
+        truths=truths,
+        max_counter_bits=scheme.max_counter_bits(),
+        elapsed_seconds=result.elapsed_seconds,
+        packets=result.packets,
+        engine="vector",
     )
 
 
@@ -71,9 +205,10 @@ def replay_stream(scheme, packets, trace_name: str = "stream") -> RunResult:
     """Feed a ``(flow, length)`` iterable to ``scheme`` without a Trace.
 
     For trace files too large to hold in memory: pair it with
-    :func:`repro.traces.trace_io.iter_trace_packets`.  Ground truth is
-    accumulated on the fly, so the memory footprint is one counter plus
-    one truth integer per *flow*, never per packet.
+    :func:`repro.traces.trace_io.iter_trace_packets`.  Packets are
+    consumed strictly one at a time — nothing is buffered — and ground
+    truth is accumulated on the fly, so the memory footprint is one
+    counter plus one truth integer per *flow*, never per packet.
     """
     truths: Dict[Hashable, int] = {}
     count = 0
@@ -100,4 +235,5 @@ def replay_stream(scheme, packets, trace_name: str = "stream") -> RunResult:
         max_counter_bits=scheme.max_counter_bits(),
         elapsed_seconds=elapsed,
         packets=count,
+        engine="python",
     )

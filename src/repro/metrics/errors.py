@@ -22,12 +22,14 @@ from repro.errors import ParameterError
 __all__ = [
     "relative_error",
     "relative_errors",
+    "relative_errors_array",
     "average_relative_error",
     "max_relative_error",
     "optimistic_relative_error",
     "error_cdf",
     "ErrorSummary",
     "summarize_errors",
+    "summarize_errors_array",
 ]
 
 
@@ -51,6 +53,30 @@ def relative_errors(
         raise ParameterError("at least one flow is required")
     return [relative_error(estimates.get(flow, 0.0), truth)
             for flow, truth in truths.items()]
+
+
+def relative_errors_array(estimates, truths) -> "numpy.ndarray":  # noqa: F821
+    """Vectorised per-flow relative errors for aligned arrays.
+
+    ``estimates`` and ``truths`` are equal-length array-likes for the
+    *same* flows in the same order (the shape the batch replay engine
+    produces).  One NumPy expression instead of a Python loop: on a
+    100k-flow replay this keeps scoring negligible next to the update
+    loop.
+    """
+    import numpy as np
+
+    est = np.asarray(estimates, dtype=np.float64)
+    tru = np.asarray(truths, dtype=np.float64)
+    if est.shape != tru.shape:
+        raise ParameterError(
+            f"estimates and truths must align, got {est.shape} vs {tru.shape}"
+        )
+    if tru.size == 0:
+        raise ParameterError("at least one flow is required")
+    if not np.all(tru > 0):
+        raise ParameterError("true flow lengths must be > 0")
+    return np.abs(est - tru) / tru
 
 
 def average_relative_error(errors: Sequence[float]) -> float:
@@ -138,5 +164,31 @@ def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
         average=sum(ordered) / n,
         maximum=ordered[-1],
         optimistic_95=optimistic_relative_error(ordered, 0.95),
+        median=median,
+    )
+
+
+def summarize_errors_array(errors) -> ErrorSummary:
+    """:func:`summarize_errors` for an error *array*, computed in NumPy.
+
+    Uses the same order statistics (identical quantile indexing and
+    median convention), so it agrees with the list version up to float
+    summation order in the mean.
+    """
+    import numpy as np
+
+    sample = np.asarray(errors, dtype=np.float64)
+    if sample.size == 0:
+        raise ParameterError("at least one error value is required")
+    ordered = np.sort(sample)
+    n = int(ordered.size)
+    median = float(ordered[n // 2]) if n % 2 \
+        else 0.5 * float(ordered[n // 2 - 1] + ordered[n // 2])
+    optimistic_index = max(0, math.ceil(0.95 * n) - 1)
+    return ErrorSummary(
+        count=n,
+        average=float(ordered.mean()),
+        maximum=float(ordered[-1]),
+        optimistic_95=float(ordered[optimistic_index]),
         median=median,
     )

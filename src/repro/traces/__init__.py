@@ -16,6 +16,7 @@ from repro.traces.mixer import (
     relabel,
     scale_volume,
 )
+from repro.traces.compiled import CompiledTrace, clear_compile_cache, compile_trace
 from repro.traces.nlanr import NLANR_PROFILE_MIX, nlanr_like
 from repro.traces.pcap import iter_pcap_packets, read_pcap, write_pcap
 from repro.traces.synthetic import (
@@ -32,6 +33,9 @@ from repro.traces.trace_io import iter_trace_packets, read_trace, write_trace
 __all__ = [
     "Trace",
     "TraceStats",
+    "CompiledTrace",
+    "compile_trace",
+    "clear_compile_cache",
     "Pareto",
     "Exponential",
     "UniformInt",

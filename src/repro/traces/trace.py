@@ -99,9 +99,13 @@ class Trace:
           expectation, matching the paper's non-bursty arrival pattern);
         * ``"sequential"`` — all packets of a flow back-to-back (maximum
           burstiness; exercises burst aggregation);
+        * ``"asis"`` — the trace's stored order, verbatim.  For this
+          flow-keyed representation that coincides with ``"sequential"``,
+          but it never buffers: packets stream straight out of the flow
+          lists, which is what large replays want;
         * ``"roundrobin"`` — one packet per flow per round.
         """
-        if order == "sequential":
+        if order in ("sequential", "asis"):
             for flow, lengths in self.flows.items():
                 for length in lengths:
                     yield Packet(flow=flow, length=length)
@@ -130,7 +134,8 @@ class Trace:
                     del iterators[flow]
             return
         raise ParameterError(
-            f"order must be 'shuffled', 'sequential' or 'roundrobin', got {order!r}"
+            f"order must be 'shuffled', 'sequential', 'asis' or 'roundrobin', "
+            f"got {order!r}"
         )
 
     def packet_pairs(

@@ -41,6 +41,26 @@ class TestUpdateCache:
             cache.decision(c, 100.0)
         assert len(cache._cache) <= 4
 
+    def test_clears_counted(self):
+        cache = UpdateCache(GeometricCountingFunction(1.02), max_entries=4)
+        assert cache.clears == 0
+        for c in range(20):
+            cache.decision(c, 100.0)
+        # 20 distinct keys through a 4-entry cache: cleared on every 4th.
+        assert cache.clears == 4
+
+    def test_stats_snapshot(self):
+        cache = UpdateCache(GeometricCountingFunction(1.02))
+        cache.decision(5, 100.0)
+        cache.decision(5, 100.0)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["clears"] == 0
+        assert stats["entries"] == 1
+        assert stats["max_entries"] == cache.max_entries
+
 
 class TestFastDiscoSketch:
     def test_mode_validation(self):
@@ -105,3 +125,12 @@ class TestFastDiscoSketch:
         assert sketch.estimates()["b"] == sketch.estimate("b")
         assert sketch.max_counter_bits() >= 1
         assert sketch.counter_value("zzz") == 0
+
+    def test_cache_stats_surface(self):
+        sketch = FastDiscoSketch(b=1.05, rng=0)
+        sketch.observe_many([("a", 100)] * 50)
+        stats = sketch.cache_stats
+        assert stats == sketch.cache.stats()
+        assert stats["hits"] + stats["misses"] == 50
+        assert stats["clears"] == 0
+        assert 0.0 <= stats["hit_rate"] <= 1.0

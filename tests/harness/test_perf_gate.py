@@ -1,0 +1,107 @@
+"""Tests for the benchmark regression gate (benchmarks/perf_gate.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GATE_PATH = (Path(__file__).resolve().parents[2]
+             / "benchmarks" / "perf_gate.py")
+
+spec = importlib.util.spec_from_file_location("perf_gate", GATE_PATH)
+perf_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(perf_gate)
+
+
+GOOD = {
+    "perf_trace_packets": 50_000.0,
+    "perf_python_pps": 1e5,
+    "perf_fast_pps": 3e5,
+    "perf_vector_pps": 1.2e6,
+    "perf_fast_speedup": 3.0,
+    "perf_vector_speedup": 12.0,
+}
+BASELINE = {"perf_fast_speedup": 3.0, "perf_vector_speedup": 12.0,
+            "disco_avg_error_10bit": 0.05}
+
+
+class TestCheckRegression:
+    def test_passes_at_baseline(self):
+        assert perf_gate.check_regression(GOOD, BASELINE) == []
+
+    def test_passes_within_tolerance(self):
+        current = dict(GOOD, perf_vector_speedup=12.0 * 0.85)
+        assert perf_gate.check_regression(current, BASELINE) == []
+
+    def test_fails_beyond_20_percent_regression(self):
+        current = dict(GOOD, perf_vector_speedup=12.0 * 0.75)
+        failures = perf_gate.check_regression(current, BASELINE)
+        assert [f[0] for f in failures] == ["perf_vector_speedup"]
+        _, base, cur = failures[0]
+        assert base == 12.0 and cur == pytest.approx(9.0)
+
+    def test_improvement_never_fails(self):
+        current = dict(GOOD, perf_vector_speedup=40.0)
+        assert perf_gate.check_regression(current, BASELINE) == []
+
+    def test_missing_baseline_key_fails_loudly(self):
+        failures = perf_gate.check_regression(GOOD, {"perf_fast_speedup": 3.0})
+        assert [f[0] for f in failures] == ["perf_vector_speedup"]
+
+    def test_custom_tolerance(self):
+        current = dict(GOOD, perf_fast_speedup=3.0 * 0.85)
+        assert perf_gate.check_regression(current, BASELINE, tolerance=0.10)
+
+
+class TestHistoryAndBaseline:
+    def test_append_history_creates_and_appends(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        perf_gate.append_history(GOOD, path=path)
+        perf_gate.append_history(GOOD, path=path)
+        history = json.loads(path.read_text())
+        assert len(history) == 2
+        assert history[0]["metrics"]["perf_vector_speedup"] == 12.0
+        assert "timestamp" in history[1]
+
+    def test_update_baseline_merges_keeping_accuracy_keys(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"disco_avg_error_10bit": 0.05,
+                                    "perf_vector_speedup": 5.0}))
+        perf_gate.update_baseline(GOOD, path=path)
+        merged = json.loads(path.read_text())
+        assert merged["disco_avg_error_10bit"] == 0.05  # untouched
+        assert merged["perf_vector_speedup"] == 12.0    # refreshed
+
+    def test_update_baseline_creates_file(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        perf_gate.update_baseline(GOOD, path=path)
+        assert json.loads(path.read_text())["perf_fast_speedup"] == 3.0
+
+
+class TestMeasure:
+    def test_measure_end_to_end_on_small_trace(self):
+        from repro.traces.nlanr import nlanr_like
+
+        trace = nlanr_like(num_flows=60, mean_flow_bytes=3_000, rng=5)
+        metrics = perf_gate.measure(trace=trace, repeats=1)
+        assert set(metrics) == {
+            "perf_trace_packets", "perf_python_pps", "perf_fast_pps",
+            "perf_vector_pps", "perf_fast_speedup", "perf_vector_speedup",
+        }
+        assert metrics["perf_trace_packets"] == trace.num_packets
+        assert all(v > 0 for v in metrics.values())
+
+
+class TestShippedPerfBaseline:
+    def test_committed_baseline_holds_gate_keys(self):
+        baseline = json.loads(
+            (GATE_PATH.parent / "baseline.json").read_text()
+        )
+        for key in perf_gate.GATE_KEYS:
+            assert key in baseline, f"{key} missing — run perf_gate.py "
+            f"--update-baseline"
+        # The acceptance criterion: vector engine is >= 10x pure Python
+        # on the gate trace (measured on the machine that set the
+        # baseline; the gate itself tracks relative drift thereafter).
+        assert baseline["perf_vector_speedup"] >= 10.0
