@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-gate report examples all
+.PHONY: install test bench bench-gate bench-gate-quick report examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -15,6 +15,9 @@ bench:
 
 bench-gate:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_gate.py
+
+bench-gate-quick:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf_gate.py --quick
 
 report:
 	$(PYTHON) -m repro report --out report.md

@@ -1,23 +1,31 @@
 """Replay-engine throughput gate: measure, record trajectory, fail on regression.
 
-Times the three replay engines (``python``, ``fast``, ``vector``) on one
-fixed seeded NLANR-like trace and
+Times the three DISCO replay engines (``python``, ``fast``, ``vector``)
+on one fixed seeded NLANR-like trace, plus each comparator scheme's
+columnar kernel (SAC, ANLS-I, ANLS-II, SD) against its pure-Python
+``observe()`` loop on a smaller fixed comparator trace, and
 
-1. appends a trajectory entry to ``BENCH_perf.json`` (a growing history,
-   one entry per run, so throughput over the repo's life is plottable),
-2. compares the engine *speedups* — vector/python and fast/python ratios,
-   which are stable across machines, unlike absolute packets/second —
-   against the ``perf_`` keys in ``benchmarks/baseline.json`` and exits
-   non-zero if any ratio regressed by more than 20%.
+1. appends a trajectory entry to ``BENCH_perf.json`` (a rolling history,
+   pruned to the last :data:`HISTORY_LIMIT` runs, so throughput over the
+   repo's recent life is plottable without unbounded file growth),
+2. compares the engine *speedups* — vector/python ratios, which are
+   stable across machines, unlike absolute packets/second — against the
+   ``perf_`` keys in ``benchmarks/baseline.json`` and exits non-zero if
+   any ratio regressed by more than 20%.
 
-Run it directly (``make bench-gate``)::
+Run it directly (``make bench-gate`` / ``make bench-gate-quick``)::
 
     python benchmarks/perf_gate.py                  # measure + gate
+    python benchmarks/perf_gate.py --quick          # comparator kernels only,
+                                                    # < ~30 s
     python benchmarks/perf_gate.py --update-baseline  # accept current ratios
 
-Absolute throughputs are recorded in both files for context but never
-gated: CI machines differ.  The accuracy gate (`repro.harness.ci`)
-ignores every ``perf_``-prefixed key for the same reason.
+``--quick`` skips the large DISCO trace and gates only the comparator
+ratios; both modes measure the comparators on the *same* small trace, so
+their baseline keys mean the same thing regardless of mode.  Absolute
+throughputs are recorded in both files for context but never gated: CI
+machines differ.  The accuracy gate (`repro.harness.ci`) ignores every
+``perf_``-prefixed key for the same reason.
 """
 
 from __future__ import annotations
@@ -33,10 +41,19 @@ ROOT = Path(__file__).resolve().parent
 BASELINE_PATH = ROOT / "baseline.json"
 HISTORY_PATH = ROOT.parent / "BENCH_perf.json"
 
-#: Speedup ratios gated against the baseline (machine-portable).
-GATE_KEYS = ("perf_vector_speedup", "perf_fast_speedup")
+#: Comparator schemes with columnar kernels, gated python-vs-vector.
+COMPARATOR_NAMES = ("sac", "anls1", "anls2", "sd")
+
+#: Speedup ratios gated against the baseline (machine-portable).  A key
+#: is only enforced when the run actually measured it (``--quick`` skips
+#: the DISCO trace), but every key must exist in the committed baseline.
+GATE_KEYS = ("perf_vector_speedup", "perf_fast_speedup") + tuple(
+    f"perf_{name}_speedup" for name in COMPARATOR_NAMES
+)
 #: Maximum tolerated relative drop of a gated ratio.
 REGRESSION_TOLERANCE = 0.20
+#: BENCH_perf.json keeps at most this many trajectory entries.
+HISTORY_LIMIT = 50
 
 #: Fixed gate workload: seeded, heavy-tailed, ~100k packets — big enough
 #: that engine differences dominate noise, small enough for every commit.
@@ -47,12 +64,47 @@ TRACE_SEED = 20100621
 DISCO_B = 1.02
 REPEATS = 3
 
+#: Comparator gate workload: many short flows — wide packet columns are
+#: what the columnar kernels amortise their per-step dispatch over, while
+#: short flows keep the pure-Python reference loops (the slow side of
+#: each ratio, O(bytes) for ANLS-II) affordable.  The same trace serves
+#: full and ``--quick`` runs so the baseline keys are comparable.
+COMPARATOR_FLOWS = 8000
+COMPARATOR_MEAN_BYTES = 6_000
+COMPARATOR_MAX_BYTES = 120_000
+COMPARATOR_SEED = TRACE_SEED + 1
+
 
 def build_trace():
     from repro.traces.nlanr import nlanr_like
 
     return nlanr_like(num_flows=TRACE_FLOWS, mean_flow_bytes=TRACE_MEAN_BYTES,
                       max_flow_bytes=TRACE_MAX_BYTES, rng=TRACE_SEED)
+
+
+def build_comparator_trace():
+    from repro.traces.nlanr import nlanr_like
+
+    return nlanr_like(num_flows=COMPARATOR_FLOWS,
+                      mean_flow_bytes=COMPARATOR_MEAN_BYTES,
+                      max_flow_bytes=COMPARATOR_MAX_BYTES,
+                      rng=COMPARATOR_SEED)
+
+
+def _comparator_schemes(seed: int):
+    """Fresh comparator instances, one per gated kernel."""
+    from repro.counters.anls import AnlsBytesNaive, AnlsPerUnit
+    from repro.counters.sac import SmallActiveCounters
+    from repro.counters.sd import SdCounters
+
+    return {
+        "sac": SmallActiveCounters(total_bits=10, mode_bits=3,
+                                   mode="volume", rng=seed),
+        "anls1": AnlsBytesNaive(b=DISCO_B, mode="volume", rng=seed),
+        "anls2": AnlsPerUnit(b=DISCO_B, mode="volume", rng=seed),
+        "sd": SdCounters(sram_bits=12, dram_access_ratio=12,
+                         mode="volume", rng=seed),
+    }
 
 
 def measure(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
@@ -92,9 +144,47 @@ def measure(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
     }
 
 
+def measure_comparators(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
+    """Time each comparator kernel against its pure-Python reference loop.
+
+    Produces ``perf_{name}_{python_pps,vector_pps,speedup}`` for every
+    scheme in :data:`COMPARATOR_NAMES`.  Both engines replay the same
+    compiled comparator trace; the update laws are identical, only the
+    execution strategy differs, so the ratio is a pure dispatch-overhead
+    measurement.
+    """
+    from repro.harness.runner import replay
+    from repro.traces.compiled import compile_trace
+
+    if trace is None:
+        trace = build_comparator_trace()
+    compiled = compile_trace(trace)
+    packets = compiled.num_packets
+
+    metrics: Dict[str, float] = {"perf_comparator_packets": float(packets)}
+    for name in COMPARATOR_NAMES:
+        timings: Dict[str, float] = {}
+        for engine in ("python", "vector"):
+            # ANLS-II's reference loop is O(packet bytes) — seconds per
+            # run, long enough that scheduler noise is already averaged
+            # out and best-of-N repeats would triple the gate's runtime.
+            runs = 1 if (name == "anls2" and engine == "python") else repeats
+            elapsed = []
+            for seed in range(runs):
+                scheme = _comparator_schemes(seed)[name]
+                result = replay(scheme, compiled, order="asis", engine=engine)
+                elapsed.append(result.elapsed_seconds)
+            timings[engine] = min(elapsed)
+        metrics[f"perf_{name}_python_pps"] = packets / timings["python"]
+        metrics[f"perf_{name}_vector_pps"] = packets / timings["vector"]
+        metrics[f"perf_{name}_speedup"] = timings["python"] / timings["vector"]
+    return metrics
+
+
 def append_history(metrics: Dict[str, float],
-                   path: Path = HISTORY_PATH) -> None:
-    """Append one trajectory entry to the throughput history file."""
+                   path: Path = HISTORY_PATH,
+                   limit: int = HISTORY_LIMIT) -> None:
+    """Append one trajectory entry, pruning to the last ``limit`` runs."""
     history = []
     if path.exists():
         history = json.loads(path.read_text(encoding="utf-8"))
@@ -102,6 +192,7 @@ def append_history(metrics: Dict[str, float],
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "metrics": {k: round(v, 3) for k, v in metrics.items()},
     })
+    history = history[-limit:]
     path.write_text(json.dumps(history, indent=1) + "\n", encoding="utf-8")
 
 
@@ -111,11 +202,15 @@ def check_regression(metrics: Dict[str, float],
     """Gated ratios that fell more than ``tolerance`` below baseline.
 
     Returns a list of ``(key, baseline, current)`` failures; empty means
-    the gate passes.  Missing baseline keys fail loudly — a gate that
-    has nothing to compare against must not pass silently.
+    the gate passes.  Only keys this run actually measured are enforced
+    (``--quick`` runs measure the comparator ratios only), but a measured
+    key missing from the baseline fails loudly — a gate that has nothing
+    to compare against must not pass silently.
     """
     failures = []
     for key in GATE_KEYS:
+        if key not in metrics:
+            continue
         if key not in baseline:
             failures.append((key, float("nan"), metrics[key]))
             continue
@@ -142,17 +237,32 @@ def main(argv=None) -> int:
                         help="accept the measured ratios as the new baseline")
     parser.add_argument("--no-history", action="store_true",
                         help="skip appending to BENCH_perf.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="comparator kernels only (skips the large "
+                             "DISCO gate trace)")
     args = parser.parse_args(argv)
 
-    metrics = measure()
-    print("replay-engine throughput (gate trace: "
-          f"{TRACE_FLOWS} flows, {int(metrics['perf_trace_packets'])} packets)")
-    for engine in ("python", "fast", "vector"):
-        pps = metrics[f"perf_{engine}_pps"]
-        line = f"  {engine:>7}: {pps / 1e6:6.2f} Mpps"
-        if engine != "python":
-            line += f"   ({metrics[f'perf_{engine}_speedup']:.1f}x python)"
-        print(line)
+    metrics: Dict[str, float] = {}
+    if not args.quick:
+        metrics.update(measure())
+        print("replay-engine throughput (gate trace: "
+              f"{TRACE_FLOWS} flows, "
+              f"{int(metrics['perf_trace_packets'])} packets)")
+        for engine in ("python", "fast", "vector"):
+            pps = metrics[f"perf_{engine}_pps"]
+            line = f"  {engine:>7}: {pps / 1e6:6.2f} Mpps"
+            if engine != "python":
+                line += f"   ({metrics[f'perf_{engine}_speedup']:.1f}x python)"
+            print(line)
+
+    metrics.update(measure_comparators())
+    print("comparator-kernel throughput (comparator trace: "
+          f"{COMPARATOR_FLOWS} flows, "
+          f"{int(metrics['perf_comparator_packets'])} packets)")
+    for name in COMPARATOR_NAMES:
+        pps = metrics[f"perf_{name}_vector_pps"]
+        print(f"  {name:>7}: {pps / 1e6:6.2f} Mpps"
+              f"   ({metrics[f'perf_{name}_speedup']:.1f}x python)")
 
     if not args.no_history:
         append_history(metrics)
@@ -171,9 +281,13 @@ def main(argv=None) -> int:
             print(f"  {key}: baseline {base:.2f} -> current {cur:.2f}",
                   file=sys.stderr)
         return 1
-    print("perf gate passed "
-          f"(vector {metrics['perf_vector_speedup']:.1f}x, "
-          f"fast {metrics['perf_fast_speedup']:.1f}x; "
+    gated = [k for k in GATE_KEYS if k in metrics]
+    summary = ", ".join(
+        f"{k.removeprefix('perf_').removesuffix('_speedup')} "
+        f"{metrics[k]:.1f}x"
+        for k in gated
+    )
+    print(f"perf gate passed ({summary}; "
           f"tolerance {REGRESSION_TOLERANCE:.0%})")
     return 0
 

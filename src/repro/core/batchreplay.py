@@ -1,68 +1,80 @@
-"""Array-native whole-trace DISCO replay.
+"""Array-native whole-trace replay: a columnar driver over scheme kernels.
 
 The per-packet replay drives one ``observe()`` call per packet — fine for
 laptop-scale traces, the dominant cost of the whole suite at NLANR scale
-(100k+ flows, millions of packets).  But DISCO's counters are per-flow
-independent and the Algorithm-1 decision is an elementwise function of
-``(counter, length)``, so packets of *different* flows can be processed
-in lockstep.  This engine compiles the trace to struct-of-arrays form
-(:mod:`repro.traces.compiled`), sorts flows by descending packet budget,
-and replays column-by-column: step ``t`` feeds the ``t``-th packet of
-every still-active flow to one vectorised
-:meth:`~repro.core.vectorized.VectorDisco.step_active` call.  Flows
-retire as their budgets drain, and because the flows are budget-sorted
-the active set is always a contiguous prefix — a slice, not a gather
-mask.  That turns ``N_packets`` Python iterations into at most
+(100k+ flows, millions of packets).  But every counting scheme here keeps
+per-flow independent state, and each scheme's per-packet decision is an
+elementwise function of ``(state, length)``, so packets of *different*
+flows can be processed in lockstep.  This driver compiles the trace to
+struct-of-arrays form (:mod:`repro.traces.compiled`), sorts flows by
+descending packet budget, and replays column-by-column: step ``t`` feeds
+the ``t``-th packet of every still-active flow to one vectorised
+:meth:`~repro.core.kernels.SchemeKernel.step_column` call.  Flows retire
+as their budgets drain, and because the flows are budget-sorted the
+active set is always a contiguous prefix — a slice, not a gather mask.
+That turns ``N_packets`` Python iterations into at most
 ``max_flow_packets`` vector steps.
 
 Heavy-tailed traces leave a long thin tail: a handful of elephant flows
 with orders of magnitude more packets than the rest.  Columns with only
 a few active lanes pay NumPy's fixed per-call overhead without the width
-to amortise it, so once the prefix narrows below ``min_lanes`` the
-engine hands the surviving flows to a scalar tail with two regimes:
+to amortise it, so once the prefix narrows below the kernel's preferred
+lane count the driver hands each surviving flow to the kernel's scalar
+:meth:`~repro.core.kernels.SchemeKernel.tail_flow`.  For DISCO the tail
+has two regimes:
 
 * while ``gap(c) = b^c`` can still be jumped over by one packet, the
   memoized fast path (:class:`~repro.core.fastpath.UpdateCache`) replays
   full Algorithm-1 decisions;
 * once ``b^c`` exceeds the flow's largest remaining packet, every
   decision is ``delta = 0`` with ``p = l / b^c``, and ``u < l / b^c`` is
-  equivalent to ``c < (ln l - ln u) / ln b``.  The engine precomputes
+  equivalent to ``c < (ln l - ln u) / ln b``.  The kernel precomputes
   those thresholds for all remaining packets in one vectorised log and
   the per-packet work collapses to a float comparison — elephants spend
   nearly their whole life in this dwell regime.
 
+A **replica axis** runs R independent seeded replicas of one
+(scheme, trace) pair in the same columnar pass: lanes are laid out
+flow-major (``lane = flow * R + replica``) so the active set stays a
+contiguous prefix of ``active * R`` lanes, and one shared random stream
+drives every lane — replicas differ only through the randomness they
+consume, exactly as R separately-seeded per-packet replays would.
+
 The replay is **distributionally equivalent** to the scalar engines —
-the same Algorithm-1 advances with the same probabilities, hence the
-same estimator law (Theorem 1 unbiasedness, Theorem 2/3 moments) — but
-not bit-identical: it consumes a ``numpy.random.Generator`` stream
-column-major instead of a ``random.Random`` stream packet-major.
+the same update laws with the same probabilities, hence the same
+estimator moments — but not bit-identical: it consumes a
+``numpy.random.Generator`` stream column-major instead of a
+``random.Random`` stream packet-major.  (Deterministic kernels like
+exact counting *are* bit-identical; see
+:data:`repro.core.kernels.KernelSpec.bit_identical`.)
 """
 
 from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
-from typing import Optional, Union
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
 
 import numpy as np
 
-from repro.core.fastpath import UpdateCache
 from repro.core.functions import GeometricCountingFunction
-from repro.core.vectorized import VectorDisco
 from repro.errors import ParameterError
 from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.trace import Trace
 
-__all__ = ["BatchReplayResult", "replay_batch", "as_generator",
-           "VectorSpec", "vector_spec", "DEFAULT_MIN_LANES"]
+__all__ = ["BatchReplayResult", "ReplicaReplayResult", "replay_batch",
+           "replay_kernel", "as_generator", "VectorSpec", "vector_spec",
+           "DEFAULT_MIN_LANES"]
 
 #: Below this many active lanes a NumPy column step costs more than the
-#: scalar tail; the engine switches to the cached/dwell tail phase.
-#: Tuned empirically across b in [1.002, 1.1] on heavy-tailed traces:
-#: large b favours a wider threshold (the dwell regime starts early and
-#: beats column steps), small b a narrower one (the memoized phase rules
-#: until counters climb past log_b(maxlen)); 128 is the best all-rounder.
+#: scalar tail; the driver switches to the kernel's scalar tail phase.
+#: Tuned empirically for DISCO across b in [1.002, 1.1] on heavy-tailed
+#: traces: large b favours a wider threshold (the dwell regime starts
+#: early and beats column steps), small b a narrower one (the memoized
+#: phase rules until counters climb past log_b(maxlen)); 128 is the best
+#: all-rounder.  Kernels with cheaper tails prefer narrower cutovers —
+#: see :attr:`~repro.core.kernels.SchemeKernel.preferred_min_lanes`.
 DEFAULT_MIN_LANES = 128
 
 
@@ -83,7 +95,7 @@ def as_generator(
 
 @dataclass(frozen=True)
 class VectorSpec:
-    """The parameters under which a scheme's replay can be vectorised."""
+    """The parameters under which a DISCO replay can be vectorised."""
 
     b: float
     mode: str
@@ -136,6 +148,9 @@ class BatchReplayResult:
     vector_steps: int
     tail_packets: int
     saturation_events: int
+    #: The kernel that produced the replay (carries scheme-specific event
+    #: counters and the writeback hook); absent on hand-built results.
+    kernel: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def keys(self):
@@ -150,6 +165,187 @@ class BatchReplayResult:
         return {k: int(c) for k, c in zip(self.compiled.keys, self.counters)}
 
 
+@dataclass(frozen=True)
+class ReplicaReplayResult:
+    """Outcome of an R-replica columnar replay of one (scheme, trace) pair.
+
+    ``counters[r, i]`` / ``estimates[r, i]`` describe replica ``r``'s
+    state for flow ``compiled.keys[i]``; ``truths[i]`` is shared (every
+    replica sees the same trace).
+    """
+
+    compiled: CompiledTrace
+    counters: np.ndarray   # (R, F)
+    estimates: np.ndarray  # (R, F)
+    truths: np.ndarray     # (F,)
+    elapsed_seconds: float
+    packets: int           # per replica (= compiled.num_packets)
+    replicas: int
+    vector_steps: int
+    tail_packets: int
+    saturation_events: int
+    kernel: Optional[object] = field(default=None, compare=False, repr=False)
+
+    @property
+    def keys(self):
+        return self.compiled.keys
+
+    def estimates_dict(self, replica: int = 0):
+        """One replica's estimates keyed by original flow key."""
+        return {k: float(e)
+                for k, e in zip(self.compiled.keys, self.estimates[replica])}
+
+    def mean_estimates(self) -> np.ndarray:
+        """Per-flow estimate averaged over replicas — (F,)."""
+        return self.estimates.mean(axis=0)
+
+    def relative_errors(self) -> np.ndarray:
+        """Per-replica per-flow relative error |est - truth| / truth — (R, F).
+
+        Flows with zero truth contribute 0 when estimated 0, else the
+        absolute estimate (same convention as the per-packet harness).
+        """
+        truths = self.truths
+        safe = np.where(truths > 0, truths, 1.0)
+        errors = np.abs(self.estimates - truths) / safe
+        zero = truths == 0
+        if zero.any():
+            errors[:, zero] = np.abs(self.estimates[:, zero])
+        return errors
+
+
+def replay_kernel(
+    trace: Union[Trace, CompiledTrace],
+    factory: Callable[[int, np.random.Generator, int], object],
+    mode: str = "volume",
+    rng: Union[None, int, random.Random, np.random.Generator] = None,
+    min_lanes: Optional[int] = None,
+    replicas: int = 1,
+) -> Union[BatchReplayResult, ReplicaReplayResult]:
+    """Drive any :class:`~repro.core.kernels.SchemeKernel` over the trace.
+
+    Parameters
+    ----------
+    trace:
+        A :class:`Trace` (compiled on the fly, cached) or an already
+        compiled trace.
+    factory:
+        ``factory(lanes, gen, replicas)`` building a fresh kernel —
+        usually :attr:`~repro.core.kernels.KernelSpec.factory`.
+    mode:
+        ``"volume"`` drives lanes with packet lengths, ``"size"`` with a
+        uniform increment of 1.
+    rng:
+        Seed, ``random.Random`` or ``numpy`` Generator; one shared stream
+        drives every lane (and hence every replica).
+    min_lanes:
+        Active-prefix width (in lanes, i.e. flows x replicas) below which
+        the driver switches from column steps to the kernel's scalar
+        tail.  ``None`` uses the kernel's
+        :attr:`~repro.core.kernels.SchemeKernel.preferred_min_lanes`.
+    replicas:
+        Number of independent replicas to advance in lockstep; with
+        ``replicas=1`` the result is a plain :class:`BatchReplayResult`,
+        otherwise a :class:`ReplicaReplayResult`.
+
+    ``elapsed_seconds`` covers the update work only (column loop plus
+    scalar tail), matching the per-packet engines' timing contract.
+    """
+    if mode not in ("volume", "size"):
+        raise ParameterError(f"mode must be 'volume' or 'size', got {mode!r}")
+    if min_lanes is not None and min_lanes < 1:
+        raise ParameterError(f"min_lanes must be >= 1, got {min_lanes!r}")
+    if replicas < 1:
+        raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
+    compiled = compile_trace(trace)
+    gen = as_generator(rng)
+    num_flows = compiled.num_flows
+    R = replicas
+    kernel = factory(num_flows * R, gen, R)
+    if min_lanes is None:
+        min_lanes = kernel.preferred_min_lanes
+
+    sizes = compiled.sizes
+    offsets = compiled.offsets
+    lengths = compiled.lengths
+    columns = compiled.max_flow_packets
+    vector_steps = 0
+    tail_packets = 0
+    supports_tail = kernel.supports_tail
+
+    start = time.perf_counter()
+    t = 0
+    active = num_flows
+    # Active-prefix widths for every column in one searchsorted: flows are
+    # sorted by descending packet budget, so active(t) = #flows with
+    # budget > t, computed against the ascending reversed budgets.
+    actives = num_flows - np.searchsorted(
+        sizes[::-1], np.arange(columns, dtype=sizes.dtype), side="right")
+    # -- columnar phase: one vector step per packet column ------------------
+    while t < columns:
+        active = int(actives[t])
+        if supports_tail and active * R < min_lanes:
+            break
+        if mode == "volume":
+            column = lengths[offsets[:active] + t]
+            if R > 1:
+                column = np.repeat(column, R)
+        else:
+            column = 1.0
+        kernel.step_column(column, active * R)
+        vector_steps += 1
+        t += 1
+
+    # -- scalar tail: the few flows that outlive the wide columns -----------
+    if t < columns and active > 0:
+        for i in range(active):
+            budget = int(sizes[i])
+            if budget <= t:
+                continue
+            n = budget - t
+            if mode == "volume":
+                base = int(offsets[i])
+                lens = lengths[base + t:base + budget]
+            else:
+                lens = None
+            for r in range(R):
+                kernel.tail_flow(i * R + r, lens, n)
+            tail_packets += n
+    elapsed = time.perf_counter() - start
+
+    counters = kernel.counters()
+    estimates = kernel.estimates()
+    truths = compiled.true_totals_array(mode)
+    if R == 1:
+        return BatchReplayResult(
+            compiled=compiled,
+            counters=counters,
+            estimates=estimates,
+            truths=truths,
+            elapsed_seconds=elapsed,
+            packets=compiled.num_packets,
+            vector_steps=vector_steps,
+            tail_packets=tail_packets,
+            saturation_events=kernel.saturation_events,
+            kernel=kernel,
+        )
+    # Lanes are flow-major: reshape (F*R,) -> (F, R), transpose to (R, F)
+    # so each row is one replica's view of the whole trace.
+    return ReplicaReplayResult(
+        compiled=compiled,
+        counters=np.ascontiguousarray(counters.reshape(num_flows, R).T),
+        estimates=np.ascontiguousarray(estimates.reshape(num_flows, R).T),
+        truths=truths,
+        elapsed_seconds=elapsed,
+        packets=compiled.num_packets,
+        replicas=R,
+        vector_steps=vector_steps,
+        tail_packets=tail_packets,
+        saturation_events=kernel.saturation_events,
+        kernel=kernel,
+    )
+
+
 def replay_batch(
     trace: Union[Trace, CompiledTrace],
     b: float,
@@ -159,6 +355,11 @@ def replay_batch(
     min_lanes: int = DEFAULT_MIN_LANES,
 ) -> BatchReplayResult:
     """Replay the whole trace through DISCO, all flows in lockstep.
+
+    The historical DISCO-only entry point, now a thin wrapper binding a
+    :class:`~repro.core.kernels.DiscoKernel` into :func:`replay_kernel`.
+    Same parameters, same random-stream consumption order, same results
+    for a given seed as the PR-1 engine.
 
     Parameters
     ----------
@@ -180,135 +381,15 @@ def replay_batch(
     min_lanes:
         Active-prefix width below which the engine switches from column
         steps to the memoized scalar tail.
-
-    ``elapsed_seconds`` covers the update work only (column loop plus
-    scalar tail), matching the per-packet engines' timing contract.
     """
-    if mode not in ("volume", "size"):
-        raise ParameterError(f"mode must be 'volume' or 'size', got {mode!r}")
-    if min_lanes < 1:
-        raise ParameterError(f"min_lanes must be >= 1, got {min_lanes!r}")
     if capacity_bits is not None and capacity_bits < 1:
         raise ParameterError(f"capacity_bits must be >= 1, got {capacity_bits!r}")
-    compiled = compile_trace(trace)
-    gen = as_generator(rng)
-    num_flows = compiled.num_flows
-    state = VectorDisco(b, max(num_flows, 1), rng=gen)  # validates b
-    max_value = (1 << capacity_bits) - 1 if capacity_bits else None
+    from repro.core.kernels import DiscoKernel
 
-    sizes = compiled.sizes
-    offsets = compiled.offsets
-    lengths = compiled.lengths
-    columns = compiled.max_flow_packets
-    saturations = 0
-    vector_steps = 0
-    tail_packets = 0
+    def factory(lanes: int, gen: np.random.Generator,
+                replicas: int) -> DiscoKernel:
+        return DiscoKernel(lanes, gen, replicas, b=b,
+                           capacity_bits=capacity_bits)
 
-    start = time.perf_counter()
-    t = 0
-    active = num_flows
-    # -- columnar phase: one vector step per packet column ------------------
-    while t < columns:
-        active = compiled.active_prefix(t)
-        if active < min_lanes:
-            break
-        if mode == "volume":
-            column = lengths[offsets[:active] + t]
-        else:
-            column = 1.0
-        state.step_active(column, slice(0, active))
-        if max_value is not None:
-            over = state.counters[:active] > max_value
-            saturations += int(np.count_nonzero(over))
-            np.minimum(state.counters[:active], max_value,
-                       out=state.counters[:active])
-        vector_steps += 1
-        t += 1
-
-    # -- scalar tail: the few flows that outlive the wide columns -----------
-    if t < columns and active > 0:
-        cache = UpdateCache(GeometricCountingFunction(b))
-        # A Mersenne scalar draw is ~10x cheaper than a NumPy Generator
-        # scalar call; seed it from the shared stream so the replay stays
-        # a deterministic function of one seed.
-        draw = random.Random(int(gen.integers(1 << 63))).random
-        decision = cache.decision
-        ln_b = float(np.log(b))
-        counters = state.counters
-        for i in range(active):
-            budget = int(sizes[i])
-            if budget <= t:
-                continue
-            c = int(counters[i])
-            base = int(offsets[i])
-            n = budget - t
-            if mode == "volume":
-                lens = lengths[base + t:base + budget]
-                maxlen = float(lens.max())
-            else:
-                lens = None
-                maxlen = 1.0
-            # Smallest counter value whose gap b^c exceeds every remaining
-            # packet: past it, Algorithm 1 degenerates to delta = 0 with
-            # p = l / b^c (the dwell regime).
-            c_star = max(1, int(np.ceil(np.log(maxlen) / ln_b)))
-            while b ** c_star <= maxlen:
-                c_star += 1
-            idx = 0
-            if c < c_star:
-                # General phase: memoized full decisions.  Bulk-convert to
-                # Python floats once; per-element NumPy scalar unboxing
-                # would dominate the loop.
-                py_lens = lens.tolist() if lens is not None else None
-                while idx < n and c < c_star:
-                    l = py_lens[idx] if py_lens is not None else 1.0
-                    delta, p = decision(c, l)
-                    c += delta + (1 if draw() < p else 0)
-                    if max_value is not None and c > max_value:
-                        saturations += 1
-                        c = max_value
-                    idx += 1
-            k = n - idx
-            if k:
-                # Dwell phase: u < l / b^c  <=>  c < (ln l - ln u) / ln b.
-                # One vectorised log per flow; the loop is a bare compare.
-                # (u = 0.0 gives T = +inf = guaranteed advance, matching
-                # u < p for any p > 0.)
-                u = gen.random(k)
-                with np.errstate(divide="ignore"):
-                    if lens is not None:
-                        thresholds = (np.log(lens[idx:]) - np.log(u)) / ln_b
-                    else:
-                        thresholds = -np.log(u) / ln_b
-                cc = float(c)
-                if max_value is None:
-                    for t_i in thresholds.tolist():
-                        if t_i > cc:
-                            cc += 1.0
-                else:
-                    cap = float(max_value)
-                    for t_i in thresholds.tolist():
-                        if t_i > cc:
-                            if cc >= cap:
-                                saturations += 1
-                            else:
-                                cc += 1.0
-                c = int(cc)
-            tail_packets += n
-            counters[i] = c
-    elapsed = time.perf_counter() - start
-
-    final = state.counters[:num_flows].copy()
-    ln_b = np.log(b)
-    estimates = np.expm1(final * ln_b) / (b - 1.0)
-    return BatchReplayResult(
-        compiled=compiled,
-        counters=final,
-        estimates=estimates,
-        truths=compiled.true_totals_array(mode),
-        elapsed_seconds=elapsed,
-        packets=compiled.num_packets,
-        vector_steps=vector_steps,
-        tail_packets=tail_packets,
-        saturation_events=saturations,
-    )
+    return replay_kernel(trace, factory, mode=mode, rng=rng,
+                         min_lanes=min_lanes)

@@ -375,6 +375,12 @@ class DiscoSketch:
         """Bits of the largest counter — the paper's fixed-array sizing metric."""
         return counter_bits(self.max_counter_value())
 
+    def kernel(self):
+        """Columnar-kernel offer (see :mod:`repro.core.kernels`)."""
+        from repro.core.kernels import disco_kernel_spec
+
+        return disco_kernel_spec(self)
+
     def total_counter_bits(self) -> int:
         """Sum of per-counter bit costs (variable-length encoding view)."""
         return sum(counter_bits(c) for c in self._counters.values())

@@ -140,3 +140,9 @@ class FastDiscoSketch:
     def max_counter_bits(self) -> int:
         largest = max(self._counters.values(), default=0)
         return max(1, largest.bit_length())
+
+    def kernel(self):
+        """Columnar-kernel offer (see :mod:`repro.core.kernels`)."""
+        from repro.core.kernels import disco_kernel_spec
+
+        return disco_kernel_spec(self)

@@ -56,6 +56,11 @@ class _AnlsBase(CountingScheme):
         largest = max(self._state.values(), default=0)
         return counter_bits(int(largest))
 
+    def kernel(self):
+        from repro.core.kernels import anls_kernel_spec
+
+        return anls_kernel_spec(self)
+
 
 class Anls(_AnlsBase):
     """Original ANLS: flow-*size* counting only.

@@ -77,6 +77,18 @@ class CountingScheme(abc.ABC):
     def max_counter_bits(self) -> int:
         """Counter width this scheme requires (paper's sizing metric)."""
 
+    def kernel(self):
+        """Columnar-kernel offer for the array-native replay engine.
+
+        Return a :class:`repro.core.kernels.KernelSpec` when this
+        scheme's *current configuration* can be replayed columnar, else
+        ``None`` (the default: schemes are scalar-only unless they opt
+        in).  The harness probes through
+        :func:`repro.core.kernels.kernel_spec`, which additionally
+        rejects pre-observed schemes.
+        """
+        return None
+
     # -- shared driver ---------------------------------------------------
 
     def observe(self, flow: FlowKey, length: float = 1.0) -> None:

@@ -23,6 +23,8 @@ from __future__ import annotations
 import abc
 from typing import Dict, Hashable, List, Optional
 
+import numpy as np
+
 from repro.errors import ParameterError
 
 __all__ = ["CounterManagementAlgorithm", "LargestCounterFirst",
@@ -44,6 +46,19 @@ class CounterManagementAlgorithm(abc.ABC):
     def notify_flush(self, flow: Hashable) -> None:
         """Called after a counter was flushed to DRAM."""
 
+    def vector_policy(self):
+        """Factory of batch choosers for the columnar SD kernel.
+
+        Return a zero-argument callable building a fresh object with
+        ``choose_batch(sram: np.ndarray, m: int) -> np.ndarray`` (local
+        indices of up to ``m`` nonzero counters to flush), or ``None``
+        when this policy has no batch form — the SD kernel then declines
+        to vectorise and the scheme replays per-packet.  One chooser is
+        built per replica, so stateful policies (round-robin cursors)
+        stay replica-local.
+        """
+        return None
+
 
 class LargestCounterFirst(CounterManagementAlgorithm):
     """Scan for the largest counter (the reference LCF)."""
@@ -55,6 +70,9 @@ class LargestCounterFirst(CounterManagementAlgorithm):
             return None
         flow = max(sram, key=sram.get)
         return flow if sram[flow] > 0 else None
+
+    def vector_policy(self):
+        return _BatchLcf
 
 
 class ThresholdLcf(CounterManagementAlgorithm):
@@ -90,6 +108,10 @@ class ThresholdLcf(CounterManagementAlgorithm):
             return max(self._tracked, key=self._tracked.get)
         return self._fallback.choose(sram)
 
+    def vector_policy(self):
+        threshold = self.threshold
+        return lambda: _BatchThresholdLcf(threshold)
+
 
 class RoundRobin(CounterManagementAlgorithm):
     """Cycle through flows in insertion order."""
@@ -119,6 +141,72 @@ class RoundRobin(CounterManagementAlgorithm):
             if sram.get(flow, 0) > 0:
                 return flow
         return None
+
+    def vector_policy(self):
+        return _BatchRoundRobin
+
+
+# -- batch forms for the columnar SD kernel ---------------------------------
+#
+# A batch chooser answers "which m counters do m consecutive DRAM slots
+# evict" over an SRAM *array* (flows in compiled-trace order) instead of a
+# dict.  Flushing the chosen set at once equals m sequential single
+# flushes when no updates intervene — exactly the within-column situation
+# the kernel batches.
+
+
+class _BatchLcf:
+    """Largest-m counters first (ties broken arbitrarily, like dict LCF)."""
+
+    def choose_batch(self, sram: np.ndarray, m: int) -> np.ndarray:
+        nonzero = np.flatnonzero(sram > 0)
+        if m <= 0 or nonzero.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if m >= nonzero.size:
+            return nonzero
+        part = np.argpartition(sram[nonzero], nonzero.size - m)
+        return nonzero[part[nonzero.size - m:]]
+
+
+class _BatchRoundRobin:
+    """Cycle through lanes in array order, skipping empty counters."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose_batch(self, sram: np.ndarray, m: int) -> np.ndarray:
+        n = sram.size
+        if m <= 0 or n == 0:
+            return np.empty(0, dtype=np.int64)
+        order = (np.arange(n, dtype=np.int64) + self._cursor) % n
+        nonzero = order[sram[order] > 0]
+        chosen = nonzero[:m]
+        if chosen.size:
+            self._cursor = int(chosen[-1] + 1) % n
+        return chosen
+
+
+class _BatchThresholdLcf:
+    """Largest above-threshold counters, round-robin for leftover slots."""
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+        self._fallback = _BatchRoundRobin()
+
+    def choose_batch(self, sram: np.ndarray, m: int) -> np.ndarray:
+        if m <= 0 or sram.size == 0:
+            return np.empty(0, dtype=np.int64)
+        tracked = np.flatnonzero(sram >= self.threshold)
+        if tracked.size >= m:
+            part = np.argpartition(sram[tracked], tracked.size - m)
+            return tracked[part[tracked.size - m:]]
+        rest = m - tracked.size
+        remaining = sram.copy()
+        remaining[tracked] = 0
+        extra = self._fallback.choose_batch(remaining, rest)
+        if tracked.size == 0:
+            return extra
+        return np.concatenate([tracked, extra])
 
 
 def make_cma(name: str, threshold: int = 64) -> CounterManagementAlgorithm:

@@ -33,3 +33,8 @@ class ExactCounters(CountingScheme):
     def max_counter_bits(self) -> int:
         largest = max(self._state.values(), default=0)
         return counter_bits(int(largest))
+
+    def kernel(self):
+        from repro.core.kernels import exact_kernel_spec
+
+        return exact_kernel_spec(self)

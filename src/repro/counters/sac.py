@@ -142,6 +142,11 @@ class SmallActiveCounters(CountingScheme):
         """SAC is a fixed-width scheme: every counter costs ``k + s`` bits."""
         return self.total_bits
 
+    def kernel(self):
+        from repro.core.kernels import sac_kernel_spec
+
+        return sac_kernel_spec(self)
+
     def bits_required_for(self, value: float) -> int:
         """Bits a SAC counter needs to represent ``value`` without a global
         ``r`` change — the Figure 9 accounting.

@@ -142,6 +142,11 @@ class SdCounters(CountingScheme):
         """The fast-path SRAM width (fixed by construction)."""
         return self.sram_bits
 
+    def kernel(self):
+        from repro.core.kernels import sd_kernel_spec
+
+        return sd_kernel_spec(self)
+
     def reset(self) -> None:
         super().reset()
         self._dram.clear()

@@ -83,10 +83,11 @@ def volume_error_vs_counter_size(
 ) -> List[SizeComparisonRow]:
     """Figures 5-7 / Table II core: error vs counter size, DISCO vs SAC.
 
-    ``engine`` selects the DISCO replay engine (the comparison baselines
-    always use the per-packet path); ``"vector"`` keeps the estimator law
-    but replays array-natively — results are statistically, not
-    bit-for-bit, identical to the scalar engines.
+    ``engine`` selects the replay engine for *both* schemes — SAC has a
+    columnar kernel too, so ``"vector"`` replays the whole comparison
+    array-natively with the same update laws (statistically, not
+    bit-for-bit, identical to the per-packet path); ``"python"`` forces
+    the reference loops for auditing.
     """
     truths = trace.true_totals(mode)
     max_length = max(truths.values())
@@ -96,7 +97,7 @@ def volume_error_vs_counter_size(
         disco = DiscoSketch(b=b, mode=mode, rng=seed, capacity_bits=bits)
         sac = make_sac(bits, mode, seed=seed + 1)
         disco_result = replay(disco, trace, rng=seed + 2, engine=engine)
-        sac_result = replay(sac, trace, rng=seed + 2)
+        sac_result = replay(sac, trace, rng=seed + 2, engine=engine)
         rows.append(
             SizeComparisonRow(
                 counter_bits=bits,
@@ -116,13 +117,16 @@ def error_cdf_comparison(
     mode: str = "volume",
     engine: str = "auto",
 ) -> Dict[str, List[Tuple[float, float]]]:
-    """Figure 8: empirical CDF of relative error at a fixed counter size."""
+    """Figure 8: empirical CDF of relative error at a fixed counter size.
+
+    ``engine`` applies to both schemes (both have columnar kernels).
+    """
     truths = trace.true_totals(mode)
     max_length = max(truths.values())
     disco = make_disco(counter_bits, max_length, mode, seed=seed)
     sac = make_sac(counter_bits, mode, seed=seed + 1)
     disco_result = replay(disco, trace, rng=seed + 2, engine=engine)
-    sac_result = replay(sac, trace, rng=seed + 2)
+    sac_result = replay(sac, trace, rng=seed + 2, engine=engine)
     return {
         "disco": _error_cdf(disco_result.errors, points=points),
         "sac": _error_cdf(sac_result.errors, points=points),
@@ -167,7 +171,7 @@ def flow_size_per_flow_error(
     disco = make_disco(counter_bits, max_length, "size", seed=seed)
     sac = make_sac(counter_bits, "size", seed=seed + 1)
     disco_result = replay(disco, trace, rng=seed + 2, engine=engine)
-    sac_result = replay(sac, trace, rng=seed + 2)
+    sac_result = replay(sac, trace, rng=seed + 2, engine=engine)
 
     def scatter(result: RunResult) -> List[Tuple[int, float]]:
         pairs = []

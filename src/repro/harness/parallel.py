@@ -11,42 +11,277 @@ rather than a live scheme so that each worker constructs its own scheme
 (schemes hold ``random.Random`` state; building in-worker keeps the
 parent's objects untouched and the pickling surface tiny).
 
-For full-scale traces, pass a :class:`~repro.traces.compiled.CompiledTrace`
-(from :func:`~repro.traces.compiled.compile_trace`) as the job's trace:
-it pickles as a few NumPy buffers instead of per-flow Python lists, so
-fanning one big trace out to many workers stops re-serialising packet
-lists, and ``engine="vector"`` jobs replay the shipped arrays directly.
+Three mechanisms keep the fan-out cheap at full trace scale:
+
+* **Persistent pool** — one module-level ``ProcessPoolExecutor`` is
+  reused across ``replay_parallel`` calls (rebuilt only when the
+  requested worker count changes), so repeated experiment sweeps pay the
+  interpreter fork cost once, not per call.
+* **Shared-memory traces** — a :class:`~repro.traces.compiled.CompiledTrace`
+  above :data:`SHARE_THRESHOLD_BYTES` is published once into a
+  ``multiprocessing.shared_memory`` segment; jobs then carry a tiny
+  handle and every worker maps the same buffers instead of receiving a
+  per-job pickle of the arrays.  Segments are unlinked automatically
+  when the parent's compiled trace is garbage-collected.
+* **Replica chunks** — a job with ``replicas=R`` is split into chunks of
+  :data:`REPLICA_CHUNK` replicas, each advanced as one columnar
+  multi-replica pass (:func:`~repro.harness.runner.replay_replicas`), so
+  R independent seeded replays of one (scheme, trace) pair spread across
+  workers while each chunk still amortises one trace sweep.
+
+Degradation is always graceful: environments without working process
+pools (no ``fork``/``spawn``, sandboxed ``/dev/shm``) and pools that die
+mid-run (``BrokenProcessPool``) fall back to in-process execution of
+whatever work is unfinished.
 """
 
 from __future__ import annotations
 
+import atexit
+import pickle
+import weakref
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import ParameterError
-from repro.harness.runner import RunResult, replay
+from repro.harness.runner import RunResult, replay, replay_replicas
 from repro.traces.compiled import CompiledTrace
 from repro.traces.trace import Trace
 
-__all__ = ["ReplayJob", "replay_parallel"]
+__all__ = ["ReplayJob", "replay_parallel", "shutdown_pool",
+           "SHARE_THRESHOLD_BYTES", "REPLICA_CHUNK"]
+
+#: CompiledTrace array footprint above which the trace is shipped through
+#: a shared-memory segment instead of pickled per job.  Below it the
+#: pickle is cheaper than a segment create + attach round-trip.
+SHARE_THRESHOLD_BYTES = 1 << 18
+
+#: Replicas advanced per multi-replica unit.  Small enough that an
+#: R-replica job spreads across workers, large enough that each unit
+#: still amortises one columnar trace sweep over several replicas.
+REPLICA_CHUNK = 8
 
 
 @dataclass(frozen=True)
 class ReplayJob:
-    """One replay to run: a scheme factory, a trace, and replay options."""
+    """One replay to run: a scheme factory, a trace, and replay options.
+
+    ``replicas > 1`` requests R independent seeded replays of the same
+    (scheme, trace) pair via the columnar replica axis; the scheme must
+    expose a kernel (``engine`` ``"auto"``/``"vector"``) and the job
+    yields R results instead of one.  ``rng`` then seeds the replica
+    streams (``order`` is ignored — the vector path is order-free).
+    """
 
     scheme_factory: Callable[[], object]
     trace: Union[Trace, CompiledTrace]
     order: str = "shuffled"
     rng: Optional[int] = None
     engine: str = "auto"
+    replicas: int = 1
 
 
-def _run_job(job: ReplayJob) -> RunResult:
-    scheme = job.scheme_factory()
-    return replay(scheme, job.trace, order=job.order, rng=job.rng,
-                  engine=job.engine)
+# ---------------------------------------------------------------------------
+# shared-memory trace shipping
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _SharedTraceRef:
+    """Pickle-sized handle to a published CompiledTrace segment."""
+
+    shm_name: str
+    num_flows: int
+    num_packets: int
+    blob_size: int
+
+
+class _SharedTraceHandle:
+    """Parent-side record keeping a published segment alive."""
+
+    __slots__ = ("shm", "ref")
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 ref: _SharedTraceRef) -> None:
+        self.shm = shm
+        self.ref = ref
+
+
+#: Parent-side publications, one per live CompiledTrace object.
+_PUBLISHED: "weakref.WeakKeyDictionary[CompiledTrace, _SharedTraceHandle]" = \
+    weakref.WeakKeyDictionary()
+
+
+def _unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+        shm.unlink()
+    except Exception:
+        pass  # already gone (interpreter teardown, double finalize)
+
+
+def _publish(compiled: CompiledTrace) -> Optional[_SharedTraceRef]:
+    """Publish the trace's arrays into shared memory (once per object).
+
+    Returns ``None`` when the platform refuses shared memory — callers
+    then fall back to pickling the trace per job.
+    """
+    handle = _PUBLISHED.get(compiled)
+    if handle is not None:
+        return handle.ref
+    blob = pickle.dumps((compiled.name, compiled.keys),
+                        protocol=pickle.HIGHEST_PROTOCOL)
+    arrays = [np.ascontiguousarray(a) for a in
+              (compiled.lengths, compiled.offsets, compiled.sizes,
+               compiled.volumes)]
+    total = sum(a.nbytes for a in arrays) + len(blob)
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    except (OSError, PermissionError):
+        return None
+    offset = 0
+    for a in arrays:
+        np.frombuffer(shm.buf, dtype=a.dtype, count=a.size,
+                      offset=offset)[:] = a
+        offset += a.nbytes
+    shm.buf[offset:offset + len(blob)] = blob
+    ref = _SharedTraceRef(shm_name=shm.name, num_flows=compiled.num_flows,
+                          num_packets=compiled.num_packets,
+                          blob_size=len(blob))
+    _PUBLISHED[compiled] = _SharedTraceHandle(shm, ref)
+    # Unlink when the parent's compiled trace dies (also runs at exit).
+    weakref.finalize(compiled, _unlink_segment, shm)
+    return ref
+
+
+#: Worker-side attachments: segment name -> (segment, rebuilt trace).
+#: Lives for the worker process lifetime, so each worker maps a given
+#: trace exactly once no matter how many units replay it.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, CompiledTrace]] = {}
+
+
+def _attach(ref: _SharedTraceRef) -> CompiledTrace:
+    entry = _ATTACHED.get(ref.shm_name)
+    if entry is None:
+        # Attaching re-registers the name with the resource tracker, but
+        # the tracker is shared with the parent (inherited fd) and its
+        # cache is a set, so the extra register is a no-op and the
+        # parent's unlink performs the single unregister.  Workers must
+        # NOT unregister themselves — that would race the parent into a
+        # double-unregister.
+        shm = shared_memory.SharedMemory(name=ref.shm_name)
+        offset = 0
+        lengths = np.frombuffer(shm.buf, dtype=np.float64,
+                                count=ref.num_packets, offset=offset)
+        offset += lengths.nbytes
+        offsets = np.frombuffer(shm.buf, dtype=np.int64,
+                                count=ref.num_flows + 1, offset=offset)
+        offset += offsets.nbytes
+        sizes = np.frombuffer(shm.buf, dtype=np.int64, count=ref.num_flows,
+                              offset=offset)
+        offset += sizes.nbytes
+        volumes = np.frombuffer(shm.buf, dtype=np.int64, count=ref.num_flows,
+                                offset=offset)
+        offset += volumes.nbytes
+        name, keys = pickle.loads(bytes(shm.buf[offset:offset
+                                                + ref.blob_size]))
+        compiled = CompiledTrace(name=name, keys=keys, lengths=lengths,
+                                 offsets=offsets, sizes=sizes,
+                                 volumes=volumes)
+        entry = (shm, compiled)
+        _ATTACHED[ref.shm_name] = entry
+    return entry[1]
+
+
+# ---------------------------------------------------------------------------
+# persistent pool
+# ---------------------------------------------------------------------------
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS: Optional[int] = None
+
+
+def _get_pool(max_workers: Optional[int]) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != max_workers:
+        shutdown_pool()
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=max_workers)
+        _POOL_WORKERS = max_workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (no-op when none is live)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        try:
+            _POOL.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        _POOL = None
+        _POOL_WORKERS = None
+
+
+atexit.register(shutdown_pool)
+
+
+# ---------------------------------------------------------------------------
+# units: (job x replica-chunk) work items
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Unit:
+    """One worker-sized slice of a job: a full replay or a replica chunk."""
+
+    job_index: int
+    scheme_factory: Callable[[], object]
+    trace: Union[Trace, CompiledTrace, _SharedTraceRef]
+    order: str
+    rng: object
+    engine: str
+    replicas: int
+
+
+def _run_unit(unit: _Unit) -> List[RunResult]:
+    trace = unit.trace
+    if isinstance(trace, _SharedTraceRef):
+        trace = _attach(trace)
+    scheme = unit.scheme_factory()
+    if unit.replicas > 1:
+        return replay_replicas(scheme, trace, replicas=unit.replicas,
+                               rng=unit.rng)
+    return [replay(scheme, trace, order=unit.order, rng=unit.rng,
+                   engine=unit.engine)]
+
+
+def _expand(jobs: Sequence[ReplayJob]) -> List[_Unit]:
+    """Split jobs into units: replica jobs become seeded chunks.
+
+    Chunk seeds are spawned from ``SeedSequence(job.rng)``, so the same
+    job always produces the same replica streams regardless of worker
+    count or scheduling — pooled and serial execution agree.
+    """
+    units: List[_Unit] = []
+    for index, job in enumerate(jobs):
+        if job.replicas == 1:
+            units.append(_Unit(index, job.scheme_factory, job.trace,
+                               job.order, job.rng, job.engine, 1))
+            continue
+        n_chunks = -(-job.replicas // REPLICA_CHUNK)
+        seeds = np.random.SeedSequence(job.rng).spawn(n_chunks)
+        remaining = job.replicas
+        for chunk, seed in enumerate(seeds):
+            size = min(REPLICA_CHUNK, remaining)
+            remaining -= size
+            units.append(_Unit(index, job.scheme_factory, job.trace,
+                               job.order, np.random.default_rng(seed),
+                               job.engine, size))
+    return units
 
 
 def replay_parallel(
@@ -55,19 +290,80 @@ def replay_parallel(
 ) -> List[RunResult]:
     """Run the jobs across a process pool; results in job order.
 
-    With ``max_workers=1`` (or a single job) everything runs in-process —
-    no pool, no pickling — which is also the fallback path for
-    environments without working ``fork``.
+    A job with ``replicas=R`` contributes R consecutive results (replica
+    order), other jobs one each.  With ``max_workers=1`` (or a single
+    work unit) everything runs in-process — no pool, no pickling — which
+    is also the fallback path for environments without working process
+    pools; a pool that breaks mid-run (``BrokenProcessPool``) likewise
+    degrades by retrying the unfinished units serially.
     """
     if not jobs:
         raise ParameterError("at least one job is required")
     if max_workers is not None and max_workers < 1:
         raise ParameterError(f"max_workers must be >= 1, got {max_workers!r}")
-    if len(jobs) == 1 or max_workers == 1:
-        return [_run_job(job) for job in jobs]
+    for job in jobs:
+        if job.replicas < 1:
+            raise ParameterError(
+                f"replicas must be >= 1, got {job.replicas!r}")
+        if job.replicas > 1 and job.engine not in ("auto", "vector"):
+            raise ParameterError(
+                f"replica jobs run on the vector path; engine must be "
+                f"'auto' or 'vector', got {job.engine!r}"
+            )
+
+    units = _expand(jobs)
+    if len(units) == 1 or max_workers == 1:
+        unit_results = [_run_unit(unit) for unit in units]
+    else:
+        unit_results = _run_units_pooled(units, max_workers)
+
+    results: List[RunResult] = []
+    for unit, out in zip(units, unit_results):
+        results.extend(out)
+    return results
+
+
+def _run_units_pooled(
+    units: List[_Unit],
+    max_workers: Optional[int],
+) -> List[List[RunResult]]:
+    """Submit units to the persistent pool, shared-shipping big traces.
+
+    Units whose future dies with the pool are retried serially with the
+    original (unshared) trace, so a broken pool or a torn-down segment
+    never loses work.
+    """
+    shipped = []
+    for unit in units:
+        trace = unit.trace
+        if (isinstance(trace, CompiledTrace)
+                and trace.nbytes() >= SHARE_THRESHOLD_BYTES):
+            ref = _publish(trace)
+            if ref is not None:
+                unit = replace(unit, trace=ref)
+        shipped.append(unit)
+
     try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(_run_job, jobs))
-    except (OSError, PermissionError):
+        pool = _get_pool(max_workers)
+        futures = [pool.submit(_run_unit, unit) for unit in shipped]
+    except (OSError, PermissionError, BrokenProcessPool):
         # Restricted environments (no fork/spawn): degrade gracefully.
-        return [_run_job(job) for job in jobs]
+        shutdown_pool()
+        return [_run_unit(unit) for unit in units]
+
+    results: List[Optional[List[RunResult]]] = [None] * len(units)
+    retry: List[int] = []
+    for i, future in enumerate(futures):
+        try:
+            results[i] = future.result()
+        except BrokenProcessPool:
+            # A worker died mid-map; the whole pool is poisoned.  Drop
+            # it and finish this unit (and any others that follow) in
+            # process.
+            shutdown_pool()
+            retry.append(i)
+        except (OSError, PermissionError):
+            retry.append(i)
+    for i in retry:
+        results[i] = _run_unit(units[i])
+    return results

@@ -12,15 +12,20 @@ Three engines drive the same replay contract:
 ``"vector"``
     The array-native engine (:mod:`repro.core.batchreplay`): the trace is
     compiled to struct-of-arrays form once and all flows advance in
-    lockstep NumPy column steps.  Distributionally equivalent to the
-    scalar engines (same estimator law — unbiased mean, Theorem 2/3
-    moments) but *not* bit-identical: it consumes a NumPy random stream
-    column-major.  Plain fresh DISCO sketches only; arrival ``order`` is
-    ignored because per-flow counters are order-independent across flows.
+    lockstep NumPy column steps, driven through the scheme's columnar
+    kernel (:mod:`repro.core.kernels` — DISCO, SAC, the ANLS family, SD
+    and exact counters all expose one).  Distributionally equivalent to
+    the scalar engines (same update law, hence the same estimator
+    moments) but in general *not* bit-identical: it consumes a NumPy
+    random stream column-major.  Fresh schemes only; arrival ``order``
+    is ignored because per-flow counters are order-independent across
+    flows.
 ``"auto"``
     ``"fast"`` when the scheme supports the exact cache, else
-    ``"python"``.  Never silently picks ``"vector"``, so seeded results
-    stay reproducible unless a caller opts in.
+    ``"vector"`` when the scheme's kernel is provably *bit-identical* to
+    the reference loop (deterministic kernels such as exact counters),
+    else ``"python"``.  Randomised kernels are never picked silently, so
+    seeded results stay reproducible unless a caller opts in.
 """
 
 from __future__ import annotations
@@ -41,7 +46,8 @@ from repro.metrics.errors import (
 from repro.traces.compiled import CompiledTrace
 from repro.traces.trace import Trace
 
-__all__ = ["RunResult", "replay", "replay_stream", "resolve_engine", "ENGINES"]
+__all__ = ["RunResult", "replay", "replay_replicas", "replay_stream",
+           "resolve_engine", "ENGINES"]
 
 #: Valid values of the ``engine`` parameter.
 ENGINES = ("auto", "python", "fast", "vector")
@@ -73,9 +79,9 @@ def resolve_engine(engine: str, scheme) -> str:
     for ``"fast"`` or ``"vector"`` with an unsupported scheme raises, so
     a benchmark never silently times the wrong path.
     """
-    from repro.core.batchreplay import vector_spec
     from repro.core.disco import DiscoSketch
     from repro.core.fastpath import FastDiscoSketch
+    from repro.core.kernels import kernel_scheme_names, kernel_spec
 
     if engine not in ENGINES:
         raise ParameterError(
@@ -83,17 +89,24 @@ def resolve_engine(engine: str, scheme) -> str:
         )
     cacheable = isinstance(scheme, (DiscoSketch, FastDiscoSketch))
     if engine == "auto":
-        return "fast" if cacheable else "python"
+        if cacheable:
+            return "fast"
+        spec = kernel_spec(scheme)
+        if spec is not None and spec.bit_identical:
+            return "vector"
+        return "python"
     if engine == "fast" and not cacheable:
         raise ParameterError(
             f"engine='fast' needs a DISCO sketch, got {type(scheme).__name__}"
         )
-    if engine == "vector" and vector_spec(scheme) is None:
+    if engine == "vector" and kernel_spec(scheme) is None:
         raise ParameterError(
-            f"engine='vector' needs a fresh plain DISCO sketch with a "
-            f"geometric counting function, got {type(scheme).__name__} "
-            f"(burst aggregation, variance tracking, pre-observed flows "
-            f"and custom functions are scalar-only)"
+            f"engine='vector' needs a fresh scheme with a columnar kernel; "
+            f"{type(scheme).__name__} in its current configuration has none "
+            f"(pre-observed flows, custom counting functions, burst "
+            f"aggregation, variance tracking and custom CMAs are "
+            f"scalar-only). Schemes with kernels: "
+            f"{', '.join(kernel_scheme_names())}"
         )
     return engine
 
@@ -163,25 +176,21 @@ def replay(
 
 
 def _replay_vector(scheme, trace: AnyTrace) -> RunResult:
-    """Array-native replay; leaves ``scheme`` holding the final counters."""
-    from repro.core.batchreplay import replay_batch, vector_spec
-    from repro.core.disco import DiscoSketch
+    """Array-native replay; leaves ``scheme`` holding the final state."""
+    from repro.core.batchreplay import replay_kernel
+    from repro.core.kernels import kernel_spec
 
-    spec = vector_spec(scheme)
-    result = replay_batch(
+    spec = kernel_spec(scheme)
+    result = replay_kernel(
         trace,
-        spec.b,
+        spec.factory,
         mode=spec.mode,
         rng=scheme._rng,
-        capacity_bits=spec.capacity_bits,
     )
-    # Hand the counters back so the scheme's read-out surface (estimate /
+    # Hand the state back so the scheme's read-out surface (estimate /
     # flows / max_counter_bits) reflects the replay, as it would have
     # after a per-packet run.
-    scheme._counters = result.counters_dict()
-    if isinstance(scheme, DiscoSketch):
-        scheme.packets_observed += result.packets
-        scheme.saturation_events += result.saturation_events
+    result.kernel.writeback(scheme, result.compiled.keys, result.packets)
 
     errors_arr = relative_errors_array(result.estimates, result.truths)
     estimates = result.estimates_dict()
@@ -199,6 +208,68 @@ def _replay_vector(scheme, trace: AnyTrace) -> RunResult:
         packets=result.packets,
         engine="vector",
     )
+
+
+def replay_replicas(
+    scheme,
+    trace: AnyTrace,
+    replicas: int,
+    rng: Union[None, int, random.Random] = None,
+) -> List[RunResult]:
+    """Replay ``replicas`` independent copies of ``scheme`` in one pass.
+
+    Each replica behaves exactly like a separately-seeded ``engine=
+    "vector"`` replay of a fresh copy of ``scheme`` — the replicas share
+    one columnar sweep over the compiled trace, so R replays cost barely
+    more than one.  Returns one :class:`RunResult` per replica (engine
+    ``"vector"``, ``elapsed_seconds`` = total / R); replica 0's final
+    state is written back into ``scheme``.
+
+    ``rng`` seeds the shared replica stream; ``None`` falls back to the
+    scheme's own generator, matching ``replay(..., engine="vector")``.
+    """
+    from repro.core.batchreplay import replay_kernel
+    from repro.core.kernels import kernel_spec
+
+    resolve_engine("vector", scheme)  # strict: raises if no kernel
+    if replicas < 1:
+        raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
+    spec = kernel_spec(scheme)
+    result = replay_kernel(
+        trace,
+        spec.factory,
+        mode=spec.mode,
+        rng=rng if rng is not None else scheme._rng,
+        replicas=replicas,
+    )
+    result.kernel.writeback(scheme, result.compiled.keys, result.packets)
+
+    truths = {k: int(t) for k, t in zip(result.keys, result.truths)}
+    scheme_name = getattr(scheme, "name", type(scheme).__name__)
+    max_bits = scheme.max_counter_bits()
+    per_replica_elapsed = result.elapsed_seconds / replicas
+    if replicas == 1:
+        all_estimates = result.estimates.reshape(1, -1)
+    else:
+        all_estimates = result.estimates
+    out: List[RunResult] = []
+    for r in range(replicas):
+        errors_arr = relative_errors_array(all_estimates[r], result.truths)
+        out.append(RunResult(
+            scheme_name=scheme_name,
+            trace_name=trace.name,
+            mode=spec.mode,
+            errors=[float(e) for e in errors_arr],
+            summary=summarize_errors_array(errors_arr),
+            estimates={k: float(e)
+                       for k, e in zip(result.keys, all_estimates[r])},
+            truths=truths,
+            max_counter_bits=max_bits,
+            elapsed_seconds=per_replica_elapsed,
+            packets=result.packets,
+            engine="vector",
+        ))
+    return out
 
 
 def replay_stream(scheme, packets, trace_name: str = "stream") -> RunResult:

@@ -1,0 +1,217 @@
+"""Distributional-equivalence tests for the columnar scheme kernels.
+
+The kernels replay the *same update laws* as each scheme's reference
+``observe()`` loop but draw randomness column-by-column, so single runs
+are not bit-identical (except for the deterministic exact kernel).  What
+must hold is the distribution: the replica-axis mean matches the truth
+(or the reference loop's mean, for the deliberately biased ANLS-I straw
+man) and the empirical CoV respects the published bound where one
+exists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import cov_bound
+from repro.core.batchreplay import (
+    BatchReplayResult,
+    ReplicaReplayResult,
+    replay_kernel,
+)
+from repro.core.disco import DiscoSketch
+from repro.core.kernels import kernel_scheme_names, kernel_spec
+from repro.counters.anls import Anls, AnlsBytesNaive, AnlsPerUnit
+from repro.counters.countmin import CountMin
+from repro.counters.exact import ExactCounters
+from repro.counters.sac import SmallActiveCounters
+from repro.counters.sd import SdCounters
+from repro.errors import ParameterError
+from repro.harness.montecarlo import measure_trace_estimator
+from repro.harness.runner import replay
+from repro.traces.nlanr import nlanr_like
+from repro.traces.trace import Trace
+
+B = 1.05
+REPLICAS = 48
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return nlanr_like(num_flows=60, mean_flow_bytes=3_000,
+                      max_flow_bytes=40_000, rng=12)
+
+
+def _spec(scheme):
+    spec = kernel_spec(scheme)
+    assert spec is not None, type(scheme).__name__
+    return spec
+
+
+def _mean_total(trace, scheme, replicas=REPLICAS, rng=101):
+    spec = _spec(scheme)
+    result = replay_kernel(trace, spec.factory, mode=spec.mode,
+                           rng=rng, replicas=replicas)
+    return float(result.estimates.mean(axis=0).sum()), result
+
+
+class TestRegistry:
+    def test_scheme_names(self):
+        names = kernel_scheme_names()
+        for expected in ("disco", "sac", "anls", "anls-1", "anls-2",
+                         "sd", "exact"):
+            assert expected in names
+
+    def test_no_kernel_for_unsupported_scheme(self):
+        assert kernel_spec(CountMin(width=64, depth=2)) is None
+
+    def test_no_kernel_for_pre_observed_scheme(self):
+        scheme = SmallActiveCounters(total_bits=10, mode_bits=3, rng=0)
+        scheme.observe("f", 10)
+        assert kernel_spec(scheme) is None
+
+
+class TestDistributionalEquivalence:
+    """Replica-mean totals land on the truth for the unbiased schemes."""
+
+    def test_sac_mean_within_one_percent(self, trace):
+        truth = sum(trace.true_totals("volume").values())
+        mean, _ = _mean_total(
+            trace, SmallActiveCounters(total_bits=10, mode_bits=3,
+                                       mode="volume", rng=0))
+        assert mean == pytest.approx(truth, rel=0.01)
+
+    def test_anls_mean_within_one_percent(self, trace):
+        truth = sum(trace.true_totals("size").values())
+        mean, _ = _mean_total(trace, Anls(b=B, mode="size", rng=0))
+        assert mean == pytest.approx(truth, rel=0.01)
+
+    def test_anls2_mean_within_one_percent(self, trace):
+        truth = sum(trace.true_totals("volume").values())
+        mean, _ = _mean_total(trace, AnlsPerUnit(b=B, mode="volume", rng=0))
+        assert mean == pytest.approx(truth, rel=0.01)
+
+    def test_disco_mean_within_one_percent(self, trace):
+        truth = sum(trace.true_totals("volume").values())
+        mean, _ = _mean_total(trace, DiscoSketch(b=B, mode="volume", rng=0))
+        assert mean == pytest.approx(truth, rel=0.01)
+
+    def test_sd_totals_exact_when_provisioned(self, trace):
+        # A provisioned SD array is lossless: saturating SRAM plus DRAM
+        # flushes recover the exact totals, matching the reference loop.
+        truths = trace.true_totals("volume")
+        scheme = SdCounters(sram_bits=20, dram_access_ratio=8,
+                            mode="volume", rng=0)
+        spec = _spec(scheme)
+        result = replay_kernel(trace, spec.factory, mode="volume", rng=3)
+        for key, est in result.estimates_dict().items():
+            assert est == truths[key]
+
+    def test_exact_matches_reference_bitwise(self, trace):
+        ref = replay(ExactCounters(mode="volume"), trace, engine="python")
+        scheme = ExactCounters(mode="volume")
+        result = replay_kernel(trace, _spec(scheme).factory, mode="volume")
+        assert result.estimates_dict() == ref.estimates
+
+    def test_anls1_straw_man_matches_reference_direction(self, trace):
+        # ANLS-I (naive byte increments) is the paper's biased straw man:
+        # kernel and reference loop must agree that it wildly
+        # overestimates, not on the (astronomical, high-variance) value.
+        truth = sum(trace.true_totals("volume").values())
+        ref = replay(AnlsBytesNaive(b=B, mode="volume", rng=5), trace,
+                     rng=7, engine="python")
+        ref_total = sum(ref.estimates.values())
+        mean, _ = _mean_total(
+            trace, AnlsBytesNaive(b=B, mode="volume", rng=5), replicas=16)
+        assert ref_total > 3 * truth
+        assert mean > 3 * truth
+
+    def test_sac_kernel_vs_reference_mean(self, trace):
+        # Kernel replica-mean vs a small ensemble of reference loops:
+        # the two paths estimate the same quantity.
+        refs = [replay(SmallActiveCounters(total_bits=10, mode_bits=3,
+                                           mode="volume", rng=s),
+                       trace, rng=s + 50, engine="python")
+                for s in range(4)]
+        ref_mean = np.mean([sum(r.estimates.values()) for r in refs])
+        mean, _ = _mean_total(
+            trace, SmallActiveCounters(total_bits=10, mode_bits=3,
+                                       mode="volume", rng=0))
+        assert mean == pytest.approx(ref_mean, rel=0.05)
+
+
+class TestCovBound:
+    def test_disco_cov_within_published_bound(self, trace):
+        report = measure_trace_estimator(
+            DiscoSketch(b=B, mode="volume", rng=0), trace,
+            replicas=REPLICAS, rng=11)
+        big = report.truths >= 1_000
+        assert big.any()
+        assert (report.cov()[big] <= cov_bound(B) * 1.35).all()
+
+    def test_anls2_cov_within_published_bound(self, trace):
+        report = measure_trace_estimator(
+            AnlsPerUnit(b=B, mode="volume", rng=0), trace,
+            replicas=REPLICAS, rng=11)
+        big = report.truths >= 1_000
+        assert (report.cov()[big] <= cov_bound(B) * 1.35).all()
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        empty = Trace({}, name="empty")
+        scheme = SmallActiveCounters(total_bits=10, mode_bits=3,
+                                     mode="volume", rng=0)
+        result = replay_kernel(empty, _spec(scheme).factory,
+                               mode="volume", rng=1)
+        assert result.packets == 0
+        assert result.counters.shape == (0,)
+        assert result.estimates_dict() == {}
+
+    def test_single_packet_flows(self):
+        flows = {f"f{i}": [100 + i] for i in range(30)}
+        trace = Trace(flows, name="single")
+        scheme = ExactCounters(mode="volume")
+        result = replay_kernel(trace, _spec(scheme).factory, mode="volume")
+        assert result.packets == 30
+        assert result.estimates_dict() == {k: float(v[0])
+                                           for k, v in flows.items()}
+
+    def test_replicas_one_returns_batch_result(self, trace):
+        scheme = ExactCounters(mode="volume")
+        result = replay_kernel(trace, _spec(scheme).factory,
+                               mode="volume", replicas=1)
+        assert isinstance(result, BatchReplayResult)
+
+    def test_replica_axis_shapes_and_consistency(self, trace):
+        scheme = ExactCounters(mode="volume")
+        result = replay_kernel(trace, _spec(scheme).factory,
+                               mode="volume", replicas=3)
+        assert isinstance(result, ReplicaReplayResult)
+        flows = len(trace.flows)
+        assert result.estimates.shape == (3, flows)
+        assert result.relative_errors().shape == (3, flows)
+        # Exact counting: every replica reproduces the truth bit-for-bit.
+        for r in range(3):
+            assert (result.estimates[r] == result.truths).all()
+        assert result.estimates_dict(replica=2) == result.estimates_dict()
+
+    def test_replica_axis_unbiased_per_replica(self, trace):
+        truth = sum(trace.true_totals("volume").values())
+        scheme = SmallActiveCounters(total_bits=10, mode_bits=3,
+                                     mode="volume", rng=0)
+        result = replay_kernel(trace, _spec(scheme).factory,
+                               mode="volume", rng=9, replicas=8)
+        totals = result.estimates.sum(axis=1)
+        assert totals.shape == (8,)
+        # Each replica is an independent run of the same unbiased law.
+        assert (np.abs(totals - truth) / truth < 0.25).all()
+        assert float(np.abs(totals.mean() - truth) / truth) < 0.05
+
+    def test_validation(self, trace):
+        factory = _spec(ExactCounters(mode="volume")).factory
+        with pytest.raises(ParameterError):
+            replay_kernel(trace, factory, mode="bytes")
+        with pytest.raises(ParameterError):
+            replay_kernel(trace, factory, replicas=0)
+        with pytest.raises(ParameterError):
+            replay_kernel(trace, factory, min_lanes=0)

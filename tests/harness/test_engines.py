@@ -5,6 +5,7 @@ import pytest
 from repro.core.disco import DiscoSketch
 from repro.core.fastpath import FastDiscoSketch
 from repro.counters.countmin import CountMin
+from repro.counters.exact import ExactCounters
 from repro.counters.sac import SmallActiveCounters
 from repro.errors import ParameterError
 from repro.harness.runner import ENGINES, replay, resolve_engine
@@ -49,6 +50,26 @@ class TestResolveEngine:
         seen.observe("f", 10)
         with pytest.raises(ParameterError):
             resolve_engine("vector", seen)
+
+    def test_vector_error_lists_schemes_with_kernels(self):
+        with pytest.raises(ParameterError) as exc:
+            resolve_engine("vector", CountMin(width=64, depth=2))
+        message = str(exc.value)
+        assert "Schemes with kernels:" in message
+        for name in ("disco", "sac", "anls-2", "sd", "exact"):
+            assert name in message
+
+    def test_auto_picks_vector_for_bit_identical_kernels(self):
+        # Exact counting is deterministic and order-independent, so the
+        # kernel path is bit-identical and safe for auto.
+        assert resolve_engine("auto", ExactCounters(mode="volume")) \
+            == "vector"
+
+    def test_auto_stays_python_for_randomized_kernels(self):
+        # SAC has a kernel, but its columnar random stream differs from
+        # the per-packet one — auto must not silently change goldens.
+        assert resolve_engine("auto", SmallActiveCounters(total_bits=10)) \
+            == "python"
 
     def test_engines_tuple(self):
         assert ENGINES == ("auto", "python", "fast", "vector")

@@ -9,6 +9,7 @@ from repro.harness.montecarlo import (
     convergence_table,
     cov_within_bound,
     measure_estimator,
+    measure_trace_estimator,
 )
 
 
@@ -69,3 +70,47 @@ class TestConvergence:
         assert reports[0].replicas == 50
         assert reports[1].replicas == 800
         assert reports[1].bias_stderr < reports[0].bias_stderr
+
+
+class TestTraceEstimator:
+    def _trace(self):
+        from repro.traces.nlanr import nlanr_like
+
+        return nlanr_like(num_flows=30, mean_flow_bytes=2_000, rng=6)
+
+    def test_per_flow_bias_small(self):
+        from repro.core.disco import DiscoSketch
+
+        report = measure_trace_estimator(
+            DiscoSketch(b=1.05, mode="volume", rng=0), self._trace(),
+            replicas=64, rng=9)
+        assert report.replicas == 64
+        assert report.mean_estimates.shape == report.truths.shape
+        # Unbiased estimator: total bias washes out over flows x replicas.
+        total_bias = abs(report.mean_estimates.sum() - report.truths.sum())
+        assert total_bias / report.truths.sum() < 0.02
+
+    def test_flow_report_view(self):
+        from repro.core.disco import DiscoSketch
+
+        report = measure_trace_estimator(
+            DiscoSketch(b=1.05, mode="volume", rng=0), self._trace(),
+            replicas=16, rng=9)
+        flow = report.flow_report(0)
+        assert isinstance(flow, BiasVarianceReport)
+        assert flow.replicas == 16
+        assert flow.truth == report.truths[0]
+
+    def test_rejects_kernel_less_scheme(self):
+        from repro.counters.countmin import CountMin
+
+        with pytest.raises(ParameterError):
+            measure_trace_estimator(CountMin(width=64, depth=2),
+                                    self._trace(), replicas=8)
+
+    def test_rejects_too_few_replicas(self):
+        from repro.core.disco import DiscoSketch
+
+        with pytest.raises(ParameterError):
+            measure_trace_estimator(DiscoSketch(b=1.05, rng=0),
+                                    self._trace(), replicas=1)

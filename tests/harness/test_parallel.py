@@ -1,11 +1,16 @@
 """Tests for the parallel replay driver."""
 
+import multiprocessing
+import os
+
 import pytest
 
+import repro.harness.parallel as parallel_mod
 from repro.core.disco import DiscoSketch
 from repro.counters.exact import ExactCounters
 from repro.errors import ParameterError
-from repro.harness.parallel import ReplayJob, replay_parallel
+from repro.harness.parallel import ReplayJob, replay_parallel, shutdown_pool
+from repro.traces.compiled import compile_trace
 from repro.traces.synthetic import scenario3
 
 
@@ -15,6 +20,14 @@ def _exact_factory():
 
 def _disco_factory():
     return DiscoSketch(b=1.01, mode="volume", rng=7)
+
+
+def _worker_killing_factory():
+    # Dies only inside pool workers: the pooled attempt breaks the pool,
+    # the serial retry (parent process) succeeds.
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return ExactCounters(mode="volume")
 
 
 @pytest.fixture(scope="module")
@@ -54,3 +67,84 @@ class TestReplayParallel:
         # Same factories, same seeds, same order: identical estimates.
         assert parallel[0].estimates == serial[0].estimates
         assert parallel[1].estimates == serial[1].estimates
+
+
+class TestReplicaJobs:
+    def test_replica_job_yields_replica_results(self, trace):
+        jobs = [ReplayJob(_disco_factory, trace, engine="vector",
+                          replicas=4, rng=5)]
+        results = replay_parallel(jobs, max_workers=2)
+        assert len(results) == 4
+        assert all(r.engine == "vector" for r in results)
+        assert all(r.scheme_name == "disco" for r in results)
+        # Independent seeded replicas: same flows, different noise.
+        assert set(results[0].estimates) == set(results[1].estimates)
+
+    def test_replica_results_deterministic_across_worker_counts(self, trace):
+        jobs = [ReplayJob(_disco_factory, trace, engine="vector",
+                          replicas=10, rng=5)]
+        pooled = replay_parallel(jobs, max_workers=3)
+        serial = replay_parallel(jobs, max_workers=1)
+        assert len(pooled) == len(serial) == 10
+        for a, b in zip(pooled, serial):
+            assert a.estimates == b.estimates
+
+    def test_replica_job_interleaves_with_plain_jobs(self, trace):
+        jobs = [
+            ReplayJob(_exact_factory, trace, rng=1),
+            ReplayJob(_disco_factory, trace, engine="vector",
+                      replicas=3, rng=2),
+            ReplayJob(_exact_factory, trace, rng=1),
+        ]
+        results = replay_parallel(jobs, max_workers=2)
+        assert [r.scheme_name for r in results] == \
+            ["exact", "disco", "disco", "disco", "exact"]
+
+    def test_replica_validation(self, trace):
+        with pytest.raises(ParameterError):
+            replay_parallel([ReplayJob(_disco_factory, trace, replicas=0)])
+        with pytest.raises(ParameterError):
+            replay_parallel([ReplayJob(_disco_factory, trace,
+                                       engine="python", replicas=2)])
+
+
+class TestDegradation:
+    def test_broken_pool_retries_serially(self, trace):
+        # The factory kills every pool worker; replay_parallel must catch
+        # the broken pool and still return correct results in-process.
+        jobs = [ReplayJob(_worker_killing_factory, trace, rng=1)
+                for _ in range(3)]
+        try:
+            results = replay_parallel(jobs, max_workers=2)
+        finally:
+            shutdown_pool()  # don't leak a poisoned pool to later tests
+        assert len(results) == 3
+        assert all(r.summary.maximum == 0.0 for r in results)
+
+    def test_pool_recovers_after_breakage(self, trace):
+        jobs = [ReplayJob(_exact_factory, trace, rng=1) for _ in range(2)]
+        results = replay_parallel(jobs, max_workers=2)
+        assert len(results) == 2
+        assert all(r.summary.maximum == 0.0 for r in results)
+
+
+class TestSharedMemoryShipping:
+    def test_small_traces_are_not_published(self, trace):
+        compiled = compile_trace(trace)
+        assert compiled.nbytes() < parallel_mod.SHARE_THRESHOLD_BYTES
+        replay_parallel([ReplayJob(_exact_factory, compiled, order="asis",
+                                   rng=1) for _ in range(2)],
+                        max_workers=2)
+        assert compiled not in parallel_mod._PUBLISHED
+
+    def test_shared_trace_matches_serial(self, trace, monkeypatch):
+        # Force the shared-memory path for an arbitrarily small trace.
+        monkeypatch.setattr(parallel_mod, "SHARE_THRESHOLD_BYTES", 0)
+        compiled = compile_trace(trace)
+        jobs = [ReplayJob(_disco_factory, compiled, order="sequential",
+                          rng=3) for _ in range(2)]
+        pooled = replay_parallel(jobs, max_workers=2)
+        assert compiled in parallel_mod._PUBLISHED
+        serial = replay_parallel(jobs, max_workers=1)
+        for a, b in zip(pooled, serial):
+            assert a.estimates == b.estimates

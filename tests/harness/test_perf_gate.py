@@ -49,6 +49,16 @@ class TestCheckRegression:
         failures = perf_gate.check_regression(GOOD, {"perf_fast_speedup": 3.0})
         assert [f[0] for f in failures] == ["perf_vector_speedup"]
 
+    def test_unmeasured_keys_are_not_gated(self):
+        # A --quick run measures only the comparator ratios; DISCO keys
+        # absent from the metrics must not fail against the baseline.
+        quick_metrics = {"perf_sac_speedup": 8.0}
+        baseline = {"perf_sac_speedup": 8.0}
+        assert perf_gate.check_regression(quick_metrics, baseline) == []
+        failures = perf_gate.check_regression(
+            {"perf_sac_speedup": 5.0}, {"perf_sac_speedup": 8.0})
+        assert [f[0] for f in failures] == ["perf_sac_speedup"]
+
     def test_custom_tolerance(self):
         current = dict(GOOD, perf_fast_speedup=3.0 * 0.85)
         assert perf_gate.check_regression(current, BASELINE, tolerance=0.10)
@@ -78,6 +88,20 @@ class TestHistoryAndBaseline:
         perf_gate.update_baseline(GOOD, path=path)
         assert json.loads(path.read_text())["perf_fast_speedup"] == 3.0
 
+    def test_append_history_prunes_to_limit(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        for _ in range(perf_gate.HISTORY_LIMIT + 7):
+            perf_gate.append_history(GOOD, path=path)
+        history = json.loads(path.read_text())
+        assert len(history) == perf_gate.HISTORY_LIMIT
+
+    def test_append_history_custom_limit(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        for i in range(5):
+            perf_gate.append_history({"perf_x": float(i)}, path=path, limit=3)
+        history = json.loads(path.read_text())
+        assert [h["metrics"]["perf_x"] for h in history] == [2.0, 3.0, 4.0]
+
 
 class TestMeasure:
     def test_measure_end_to_end_on_small_trace(self):
@@ -90,6 +114,20 @@ class TestMeasure:
             "perf_vector_pps", "perf_fast_speedup", "perf_vector_speedup",
         }
         assert metrics["perf_trace_packets"] == trace.num_packets
+        assert all(v > 0 for v in metrics.values())
+
+    def test_measure_comparators_on_small_trace(self):
+        from repro.traces.nlanr import nlanr_like
+
+        trace = nlanr_like(num_flows=60, mean_flow_bytes=2_000, rng=5)
+        metrics = perf_gate.measure_comparators(trace=trace, repeats=1)
+        expected = {"perf_comparator_packets"}
+        for name in perf_gate.COMPARATOR_NAMES:
+            expected |= {f"perf_{name}_python_pps",
+                         f"perf_{name}_vector_pps",
+                         f"perf_{name}_speedup"}
+        assert set(metrics) == expected
+        assert metrics["perf_comparator_packets"] == trace.num_packets
         assert all(v > 0 for v in metrics.values())
 
 
@@ -105,3 +143,6 @@ class TestShippedPerfBaseline:
         # on the gate trace (measured on the machine that set the
         # baseline; the gate itself tracks relative drift thereafter).
         assert baseline["perf_vector_speedup"] >= 10.0
+        # And every comparator kernel clears 5x over its reference loop.
+        for name in perf_gate.COMPARATOR_NAMES:
+            assert baseline[f"perf_{name}_speedup"] >= 5.0, name
