@@ -10,7 +10,7 @@ from benchmarks.conftest import SEED
 from repro.core.analysis import cov_bound, expected_counter_upper_bound
 from repro.core.disco import DiscoSketch
 from repro.harness.formatting import render_table
-from repro.harness.runner import replay
+from repro.facade import replay
 
 B_GRID = (1.002, 1.005, 1.01, 1.02, 1.05, 1.1)
 

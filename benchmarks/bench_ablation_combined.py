@@ -22,7 +22,7 @@ from repro.core.analysis import choose_b, expected_counter_upper_bound
 from repro.counters.brick import BrickCounters, BrickDesign
 from repro.counters.combined import DiscoBrick
 from repro.harness.formatting import render_table
-from repro.harness.runner import replay
+from repro.facade import replay
 
 BUCKET_SIZE = 64
 LOAD_SLACK = 1.15  # slot provisioning above the expected flow count

@@ -14,7 +14,7 @@ from repro.core.disco import DiscoSketch
 from repro.core.functions import GeometricCountingFunction
 from repro.core.hybrid import HybridCountingFunction
 from repro.harness.formatting import render_table
-from repro.harness.runner import replay
+from repro.facade import replay
 from repro.traces.synthetic import scenario1
 
 KNEE = 64

@@ -11,7 +11,7 @@ from benchmarks.conftest import SEED
 from repro.core.analysis import choose_b, cov_bound
 from repro.core.disco import DiscoSketch
 from repro.harness.formatting import render_table
-from repro.harness.runner import replay
+from repro.facade import replay
 from repro.traces.zipf import ZipfPopularity, zipf_trace
 
 ALPHAS = (0.0, 0.8, 1.1, 1.4)

@@ -12,7 +12,7 @@ from repro.core.analysis import choose_b
 from repro.core.disco import DiscoSketch
 from repro.counters.countmin import CountMin, DiscoCountMin
 from repro.harness.formatting import render_table
-from repro.harness.runner import replay
+from repro.facade import replay
 from repro.metrics.errors import relative_errors, summarize_errors
 from repro.traces.zipf import zipf_trace
 

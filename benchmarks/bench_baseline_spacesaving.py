@@ -13,7 +13,7 @@ from repro.core.analysis import choose_b
 from repro.core.disco import DiscoSketch
 from repro.counters.spacesaving import SpaceSaving
 from repro.harness.formatting import render_table
-from repro.harness.runner import replay
+from repro.facade import replay
 from repro.traces.zipf import zipf_trace
 
 K = 20

@@ -14,7 +14,7 @@ from benchmarks.conftest import SEED
 from repro.core.analysis import choose_b, coefficient_of_variation
 from repro.core.disco import DiscoSketch
 from repro.harness.formatting import render_table
-from repro.harness.runner import replay
+from repro.facade import replay
 from repro.metrics.calibration import calibrate
 
 

@@ -90,7 +90,8 @@ def test_perf_vector_engine_replay(benchmark):
     """
     from collections import defaultdict
 
-    from repro.core.batchreplay import replay_batch
+    from repro.core.batchreplay import run_kernel
+    from repro.core.kernels import DiscoKernel
     from repro.traces.compiled import compile_trace
     from repro.traces.trace import Trace
 
@@ -99,8 +100,11 @@ def test_perf_vector_engine_replay(benchmark):
         flows[flow].append(length)
     compiled = compile_trace(Trace(dict(flows), name="perf"))
 
+    def factory(lanes, gen, replicas):
+        return DiscoKernel(lanes, gen, replicas, b=1.002)
+
     def run():
-        return replay_batch(compiled, 1.002, mode="volume", rng=1)
+        return run_kernel(compiled, factory, mode="volume", rng=1)
 
     result = benchmark(run)
     assert result.packets == PACKETS

@@ -11,7 +11,11 @@ columnar kernel (SAC, ANLS-I, ANLS-II, SD) against its pure-Python
 2. compares the engine *speedups* — vector/python ratios, which are
    stable across machines, unlike absolute packets/second — against the
    ``perf_`` keys in ``benchmarks/baseline.json`` and exits non-zero if
-   any ratio regressed by more than 20%.
+   any ratio regressed by more than 20%,
+3. measures the telemetry layer's enabled-vs-disabled replay cost
+   (:mod:`repro.obs`), records it with per-engine event counts in the
+   ``BENCH_perf.json`` trajectory, and fails if the overhead exceeds
+   :data:`OVERHEAD_LIMIT_PCT`.
 
 Run it directly (``make bench-gate`` / ``make bench-gate-quick``)::
 
@@ -54,6 +58,10 @@ GATE_KEYS = ("perf_vector_speedup", "perf_fast_speedup") + tuple(
 REGRESSION_TOLERANCE = 0.20
 #: BENCH_perf.json keeps at most this many trajectory entries.
 HISTORY_LIMIT = 50
+#: Maximum tolerated telemetry cost: enabled vs disabled vector replay.
+OVERHEAD_LIMIT_PCT = 2.0
+#: Best-of-N repeats for the overhead measurement (min discards noise).
+OVERHEAD_REPEATS = 5
 
 #: Fixed gate workload: seeded, heavy-tailed, ~100k packets — big enough
 #: that engine differences dominate noise, small enough for every commit.
@@ -115,7 +123,7 @@ def measure(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
     noise the same way timeit does.
     """
     from repro.core.disco import DiscoSketch
-    from repro.harness.runner import replay
+    from repro.facade import replay
     from repro.traces.compiled import compile_trace
 
     if trace is None:
@@ -153,7 +161,7 @@ def measure_comparators(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
     execution strategy differs, so the ratio is a pure dispatch-overhead
     measurement.
     """
-    from repro.harness.runner import replay
+    from repro.facade import replay
     from repro.traces.compiled import compile_trace
 
     if trace is None:
@@ -181,17 +189,78 @@ def measure_comparators(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
     return metrics
 
 
+def measure_overhead(trace=None,
+                     repeats: int = OVERHEAD_REPEATS) -> Dict[str, object]:
+    """Telemetry cost: best-of-N vector replays, enabled vs disabled.
+
+    Times the whole :func:`repro.replay` call (the enabled path's extra
+    work — snapshot, merge, scheme-event harvest — happens outside the
+    engine's own ``elapsed_seconds``) and returns ``obs_overhead_pct``
+    plus one per-engine event-count breakdown (``events``) from a single
+    instrumented replay of each engine.
+    """
+    from repro.core.disco import DiscoSketch
+    from repro.facade import replay
+    from repro.obs import Telemetry
+    from repro.traces.compiled import compile_trace
+
+    if trace is None:
+        trace = build_comparator_trace()
+    compiled = compile_trace(trace)
+
+    def best(instrumented: bool) -> float:
+        elapsed = []
+        for seed in range(repeats):
+            sketch = DiscoSketch(b=DISCO_B, mode="volume", rng=seed)
+            tel = Telemetry() if instrumented else None
+            start = time.perf_counter()
+            replay(sketch, compiled, order="asis", engine="vector",
+                   telemetry=tel)
+            elapsed.append(time.perf_counter() - start)
+        return min(elapsed)
+
+    # One untimed warmup so cache effects (trace columns, update tables)
+    # don't bias whichever side runs first.
+    replay(DiscoSketch(b=DISCO_B, mode="volume", rng=0), compiled,
+           order="asis", engine="vector")
+    disabled_s = best(False)
+    enabled_s = best(True)
+    overhead_pct = (enabled_s - disabled_s) / disabled_s * 100.0
+
+    events: Dict[str, Dict[str, int]] = {}
+    for engine in ("python", "fast", "vector"):
+        tel = Telemetry()
+        sketch = DiscoSketch(b=DISCO_B, mode="volume", rng=0)
+        replay(sketch, compiled, order="asis", engine=engine, telemetry=tel)
+        events[engine] = dict(sorted(tel.snapshot()["counters"].items()))
+    return {
+        "obs_overhead_pct": round(overhead_pct, 3),
+        "obs_disabled_seconds": round(disabled_s, 6),
+        "obs_enabled_seconds": round(enabled_s, 6),
+        "events": events,
+    }
+
+
 def append_history(metrics: Dict[str, float],
                    path: Path = HISTORY_PATH,
-                   limit: int = HISTORY_LIMIT) -> None:
-    """Append one trajectory entry, pruning to the last ``limit`` runs."""
+                   limit: int = HISTORY_LIMIT,
+                   telemetry: Dict[str, object] = None) -> None:
+    """Append one trajectory entry, pruning to the last ``limit`` runs.
+
+    ``telemetry`` (the :func:`measure_overhead` report) is recorded in
+    the history only — never in ``baseline.json``, whose key set the
+    accuracy gate checks exactly.
+    """
     history = []
     if path.exists():
         history = json.loads(path.read_text(encoding="utf-8"))
-    history.append({
+    entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "metrics": {k: round(v, 3) for k, v in metrics.items()},
-    })
+    }
+    if telemetry is not None:
+        entry["telemetry"] = telemetry
+    history.append(entry)
     history = history[-limit:]
     path.write_text(json.dumps(history, indent=1) + "\n", encoding="utf-8")
 
@@ -222,11 +291,17 @@ def check_regression(metrics: Dict[str, float],
 
 def update_baseline(metrics: Dict[str, float],
                     path: Path = BASELINE_PATH) -> None:
-    """Write the ``perf_`` keys into the shared baseline, keeping the rest."""
+    """Write the ``perf_`` keys into the shared baseline, keeping the rest.
+
+    Only ``perf_``-prefixed keys are written: the accuracy gate
+    (`repro.harness.ci.compare`) requires the remaining key set to match
+    exactly, so telemetry extras must never leak in here.
+    """
     baseline = {}
     if path.exists():
         baseline = json.loads(path.read_text(encoding="utf-8"))
-    baseline.update({k: round(v, 3) for k, v in metrics.items()})
+    baseline.update({k: round(v, 3) for k, v in metrics.items()
+                     if k.startswith("perf_")})
     path.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n",
                     encoding="utf-8")
 
@@ -264,8 +339,15 @@ def main(argv=None) -> int:
         print(f"  {name:>7}: {pps / 1e6:6.2f} Mpps"
               f"   ({metrics[f'perf_{name}_speedup']:.1f}x python)")
 
+    telemetry = measure_overhead()
+    overhead_pct = telemetry["obs_overhead_pct"]
+    vector_events = telemetry["events"]["vector"]
+    print(f"telemetry overhead: {overhead_pct:+.2f}% "
+          f"(limit {OVERHEAD_LIMIT_PCT:.0f}%), "
+          f"{len(vector_events)} vector event kinds recorded")
+
     if not args.no_history:
-        append_history(metrics)
+        append_history(metrics, telemetry=telemetry)
         print(f"history appended to {HISTORY_PATH}")
     if args.update_baseline:
         update_baseline(metrics)
@@ -281,6 +363,10 @@ def main(argv=None) -> int:
             print(f"  {key}: baseline {base:.2f} -> current {cur:.2f}",
                   file=sys.stderr)
         return 1
+    if overhead_pct > OVERHEAD_LIMIT_PCT:
+        print(f"PERF GATE FAILED: telemetry overhead {overhead_pct:.2f}% "
+              f"exceeds {OVERHEAD_LIMIT_PCT:.1f}%", file=sys.stderr)
+        return 1
     gated = [k for k in GATE_KEYS if k in metrics]
     summary = ", ".join(
         f"{k.removeprefix('perf_').removesuffix('_speedup')} "
@@ -288,7 +374,8 @@ def main(argv=None) -> int:
         for k in gated
     )
     print(f"perf gate passed ({summary}; "
-          f"tolerance {REGRESSION_TOLERANCE:.0%})")
+          f"tolerance {REGRESSION_TOLERANCE:.0%}; "
+          f"obs overhead {overhead_pct:+.2f}%)")
     return 0
 
 

@@ -11,9 +11,9 @@ Run:  python examples/flow_volume_monitor.py [num_flows]
 
 import sys
 
-from repro import DiscoSketch, choose_b
+from repro import DiscoSketch, choose_b, replay
 from repro.counters import ExactCounters, SdCounters, SmallActiveCounters
-from repro.harness import render_table, replay
+from repro.harness import render_table
 from repro.traces import nlanr_like
 
 NUM_FLOWS = int(sys.argv[1]) if len(sys.argv) > 1 else 300

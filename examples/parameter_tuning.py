@@ -11,9 +11,9 @@ theory:
 Run:  python examples/parameter_tuning.py
 """
 
-from repro import DiscoSketch, b_for_cov_bound, choose_b, cov_bound
+from repro import DiscoSketch, b_for_cov_bound, choose_b, cov_bound, replay
 from repro.core.analysis import expected_counter_upper_bound
-from repro.harness import render_table, replay
+from repro.harness import render_table
 from repro.traces import nlanr_like
 
 # ---------------------------------------------------------------------------

@@ -12,6 +12,29 @@ The paper's contribution::
     sketch.observe(flow="10.0.0.1->10.0.0.2", length=1420)
     sketch.estimate("10.0.0.1->10.0.0.2")
 
+Replaying a trace — :func:`repro.replay` is the single entrypoint for
+every engine (the scalar loops and the columnar vector path), with one
+``rng`` argument seeding every random stream the replay consumes::
+
+    from repro import replay
+    result = replay(sketch, trace, rng=7)              # engine="auto"
+    results = replay(sketch, trace, rng=7, replicas=32)  # vector replicas
+
+Bulk runs fan out through :class:`~repro.harness.parallel.ReplayJob` +
+:func:`~repro.harness.parallel.replay_parallel`;
+:func:`~repro.harness.runner.replay_replicas` and
+:func:`~repro.harness.montecarlo.measure_trace_estimator` wrap the
+multi-replica axis for Monte-Carlo measurement.
+
+Observability — every replay layer is threaded through
+:class:`repro.obs.Telemetry` (named counters, timers, spans), disabled
+by default and free when off::
+
+    from repro import Telemetry, replay
+    tel = Telemetry()
+    replay(sketch, trace, rng=7, telemetry=tel)
+    tel.snapshot()   # JSON-able event counts; see docs/telemetry.md
+
 Baselines (:mod:`repro.counters`), workloads (:mod:`repro.traces`),
 accuracy metrics (:mod:`repro.metrics`), the theory of Section IV
 (:mod:`repro.core.analysis`), the IXP2850 implementation model
@@ -19,6 +42,9 @@ accuracy metrics (:mod:`repro.metrics`), the theory of Section IV
 (:mod:`repro.harness`) are one import away.
 """
 
+from repro import obs
+from repro.facade import ReplayStreams, replay, seed_streams
+from repro.obs import Telemetry
 from repro.core import (
     ConfidenceInterval,
     CountingFunction,
@@ -38,6 +64,8 @@ from repro.core import (
     cov_bound,
     expected_counter_upper_bound,
     geometric,
+    kernel_scheme_names,
+    kernel_spec,
     load_sketch,
     merge_counters,
     merge_sketches,
@@ -51,11 +79,23 @@ from repro.errors import (
     ReproError,
     TraceFormatError,
 )
+from repro.harness.montecarlo import measure_trace_estimator
+from repro.harness.parallel import ReplayJob, replay_parallel
+from repro.harness.runner import RunResult, replay_replicas
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "replay",
+    "seed_streams",
+    "ReplayStreams",
+    "RunResult",
+    "replay_replicas",
+    "replay_parallel",
+    "ReplayJob",
+    "measure_trace_estimator",
+    "Telemetry",
     "DiscoCounter",
     "DiscoSketch",
     "CountingFunction",
@@ -79,6 +119,8 @@ __all__ = [
     "b_for_cov_bound",
     "choose_b",
     "expected_counter_upper_bound",
+    "kernel_spec",
+    "kernel_scheme_names",
     "ReproError",
     "ParameterError",
     "CounterOverflowError",

@@ -35,7 +35,7 @@ from repro.harness.experiments import (
     volume_error_vs_counter_size,
 )
 from repro.harness.formatting import render_series, render_table
-from repro.harness.runner import replay
+from repro.facade import replay
 from repro.traces.nlanr import nlanr_like
 from repro.traces.synthetic import scenario1, scenario2, scenario3
 from repro.traces.trace_io import read_trace, write_trace
@@ -105,11 +105,15 @@ def cmd_gen_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs import Telemetry
+
     trace = _read_any_trace(args.trace)
     truths = trace.true_totals(args.mode)
     max_length = max(truths.values())
     scheme = _make_scheme(args.scheme, args.bits, args.mode, max_length, args.seed)
-    result = replay(scheme, trace, rng=args.seed + 1, engine=args.engine)
+    tel = Telemetry() if args.telemetry else None
+    result = replay(scheme, trace, rng=args.seed + 1, engine=args.engine,
+                    telemetry=tel)
     print(f"scheme={result.scheme_name} trace={result.trace_name} "
           f"mode={result.mode} engine={result.engine}")
     print(render_table(
@@ -119,6 +123,14 @@ def cmd_replay(args: argparse.Namespace) -> int:
           result.summary.maximum, result.summary.optimistic_95,
           result.max_counter_bits, result.elapsed_seconds]],
     ))
+    if tel is not None:
+        snap = tel.snapshot()
+        print("telemetry:")
+        for name in sorted(snap["counters"]):
+            print(f"  {name} = {snap['counters'][name]}")
+        for name in sorted(snap["timers"]):
+            entry = snap["timers"][name]
+            print(f"  {name} = {entry['seconds']:.6f}s / {entry['count']}")
     return 0
 
 
@@ -328,6 +340,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=("auto", "python", "fast", "vector"),
                    default="auto",
                    help="replay engine (vector = array-native batch replay)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="record and print replay telemetry event counts")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("figure", help="regenerate a figure's data series")

@@ -18,9 +18,17 @@ analysis
 
 from repro.core.batchreplay import (
     BatchReplayResult,
+    ReplicaReplayResult,
     VectorSpec,
     replay_batch,
+    run_kernel,
     vector_spec,
+)
+from repro.core.kernels import (
+    KernelSpec,
+    SchemeKernel,
+    kernel_scheme_names,
+    kernel_spec,
 )
 from repro.core.analysis import (
     b_for_cov_bound,
@@ -83,7 +91,13 @@ __all__ = [
     "AgingDiscoSketch",
     "age_counter",
     "BatchReplayResult",
+    "ReplicaReplayResult",
     "VectorSpec",
     "replay_batch",
+    "run_kernel",
     "vector_spec",
+    "KernelSpec",
+    "SchemeKernel",
+    "kernel_spec",
+    "kernel_scheme_names",
 ]

@@ -53,19 +53,21 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from typing import Callable, Dict, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.functions import GeometricCountingFunction
 from repro.errors import ParameterError
 from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.trace import Trace
 
-__all__ = ["BatchReplayResult", "ReplicaReplayResult", "replay_batch",
-           "replay_kernel", "as_generator", "VectorSpec", "vector_spec",
-           "DEFAULT_MIN_LANES"]
+__all__ = ["BatchReplayResult", "ReplicaReplayResult", "run_kernel",
+           "replay_batch", "replay_kernel", "as_generator", "VectorSpec",
+           "vector_spec", "DEFAULT_MIN_LANES"]
 
 #: Below this many active lanes a NumPy column step costs more than the
 #: scalar tail; the driver switches to the kernel's scalar tail phase.
@@ -151,6 +153,10 @@ class BatchReplayResult:
     #: The kernel that produced the replay (carries scheme-specific event
     #: counters and the writeback hook); absent on hand-built results.
     kernel: Optional[object] = field(default=None, compare=False, repr=False)
+    #: Telemetry snapshot of this replay's events (``None`` when the run
+    #: recorded nothing) — see :mod:`repro.obs`.
+    telemetry: Optional[Dict[str, dict]] = field(default=None, compare=False,
+                                                 repr=False)
 
     @property
     def keys(self):
@@ -185,6 +191,8 @@ class ReplicaReplayResult:
     tail_packets: int
     saturation_events: int
     kernel: Optional[object] = field(default=None, compare=False, repr=False)
+    telemetry: Optional[Dict[str, dict]] = field(default=None, compare=False,
+                                                 repr=False)
 
     @property
     def keys(self):
@@ -214,15 +222,21 @@ class ReplicaReplayResult:
         return errors
 
 
-def replay_kernel(
+def run_kernel(
     trace: Union[Trace, CompiledTrace],
     factory: Callable[[int, np.random.Generator, int], object],
     mode: str = "volume",
     rng: Union[None, int, random.Random, np.random.Generator] = None,
     min_lanes: Optional[int] = None,
     replicas: int = 1,
+    telemetry: Optional[obs.Telemetry] = None,
 ) -> Union[BatchReplayResult, ReplicaReplayResult]:
     """Drive any :class:`~repro.core.kernels.SchemeKernel` over the trace.
+
+    The low-level columnar driver beneath ``repro.replay(...,
+    engine="vector")`` — call it directly when you need the array-level
+    result (aligned counter/estimate arrays, the replica matrix) rather
+    than scored :class:`~repro.harness.runner.RunResult` objects.
 
     Parameters
     ----------
@@ -236,8 +250,8 @@ def replay_kernel(
         ``"volume"`` drives lanes with packet lengths, ``"size"`` with a
         uniform increment of 1.
     rng:
-        Seed, ``random.Random`` or ``numpy`` Generator; one shared stream
-        drives every lane (and hence every replica).
+        Seed, ``random.Random``, ``numpy`` Generator or ``SeedSequence``;
+        one shared stream drives every lane (and hence every replica).
     min_lanes:
         Active-prefix width (in lanes, i.e. flows x replicas) below which
         the driver switches from column steps to the kernel's scalar
@@ -247,6 +261,14 @@ def replay_kernel(
         Number of independent replicas to advance in lockstep; with
         ``replicas=1`` the result is a plain :class:`BatchReplayResult`,
         otherwise a :class:`ReplicaReplayResult`.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` session; when it (or the
+        ambient global registry) is enabled, the run's batch shape
+        (columns, lanes, dwell-tail hits), phase timings and the
+        kernel's event counters are recorded and a per-run snapshot is
+        attached to the result's ``telemetry`` field.  Events are
+        aggregated per run — never per packet — so the enabled path
+        costs a handful of dict updates per replay.
 
     ``elapsed_seconds`` covers the update work only (column loop plus
     scalar tail), matching the per-packet engines' timing contract.
@@ -257,6 +279,7 @@ def replay_kernel(
         raise ParameterError(f"min_lanes must be >= 1, got {min_lanes!r}")
     if replicas < 1:
         raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
+    tel = obs.resolve(telemetry)
     compiled = compile_trace(trace)
     gen = as_generator(rng)
     num_flows = compiled.num_flows
@@ -295,8 +318,10 @@ def replay_kernel(
         kernel.step_column(column, active * R)
         vector_steps += 1
         t += 1
+    columnar_elapsed = time.perf_counter() - start
 
     # -- scalar tail: the few flows that outlive the wide columns -----------
+    tail_flows = 0
     if t < columns and active > 0:
         for i in range(active):
             budget = int(sizes[i])
@@ -311,7 +336,29 @@ def replay_kernel(
             for r in range(R):
                 kernel.tail_flow(i * R + r, lens, n)
             tail_packets += n
+            tail_flows += 1
     elapsed = time.perf_counter() - start
+
+    snapshot = None
+    if tel.enabled:
+        # Aggregated post-hoc: a handful of dict updates per run, nothing
+        # inside the column loop, so the enabled path stays inside the
+        # perf gate's overhead budget.
+        local = obs.Telemetry()
+        local.count("batch.replays")
+        local.count("batch.replicas", R)
+        local.count("batch.columns", vector_steps)
+        local.count("batch.column_lanes",
+                    int(actives[:vector_steps].sum()) * R)
+        local.count("batch.tail_flows", tail_flows * R)
+        local.count("batch.tail_packets", tail_packets * R)
+        local.timing("batch.columnar_phase", columnar_elapsed)
+        local.timing("batch.tail_phase", elapsed - columnar_elapsed)
+        for name, value in kernel.telemetry_events().items():
+            if value:
+                local.count(name, value)
+        snapshot = local.snapshot()
+        tel.merge(snapshot)
 
     counters = kernel.counters()
     estimates = kernel.estimates()
@@ -328,6 +375,7 @@ def replay_kernel(
             tail_packets=tail_packets,
             saturation_events=kernel.saturation_events,
             kernel=kernel,
+            telemetry=snapshot,
         )
     # Lanes are flow-major: reshape (F*R,) -> (F, R), transpose to (R, F)
     # so each row is one replica's view of the whole trace.
@@ -343,7 +391,27 @@ def replay_kernel(
         tail_packets=tail_packets,
         saturation_events=kernel.saturation_events,
         kernel=kernel,
+        telemetry=snapshot,
     )
+
+
+def replay_kernel(
+    trace: Union[Trace, CompiledTrace],
+    factory: Callable[[int, np.random.Generator, int], object],
+    mode: str = "volume",
+    rng: Union[None, int, random.Random, np.random.Generator] = None,
+    min_lanes: Optional[int] = None,
+    replicas: int = 1,
+) -> Union[BatchReplayResult, ReplicaReplayResult]:
+    """Deprecated alias for :func:`run_kernel` (same parameters, same
+    random-stream consumption, same results for a given seed)."""
+    warnings.warn(
+        "repro.core.batchreplay.replay_kernel() is deprecated; call "
+        "repro.core.batchreplay.run_kernel() (or the repro.replay() "
+        "facade) instead",
+        DeprecationWarning, stacklevel=2)
+    return run_kernel(trace, factory, mode=mode, rng=rng,
+                      min_lanes=min_lanes, replicas=replicas)
 
 
 def replay_batch(
@@ -356,10 +424,12 @@ def replay_batch(
 ) -> BatchReplayResult:
     """Replay the whole trace through DISCO, all flows in lockstep.
 
-    The historical DISCO-only entry point, now a thin wrapper binding a
-    :class:`~repro.core.kernels.DiscoKernel` into :func:`replay_kernel`.
-    Same parameters, same random-stream consumption order, same results
-    for a given seed as the PR-1 engine.
+    .. deprecated::
+        The historical DISCO-only entry point; call ``repro.replay(
+        DiscoSketch(...), trace, engine="vector")`` for scored results
+        or :func:`run_kernel` with a DISCO factory for the array-level
+        ones.  Same parameters, same random-stream consumption order,
+        same results for a given seed as the PR-1 engine.
 
     Parameters
     ----------
@@ -382,6 +452,11 @@ def replay_batch(
         Active-prefix width below which the engine switches from column
         steps to the memoized scalar tail.
     """
+    warnings.warn(
+        "repro.core.batchreplay.replay_batch() is deprecated; call "
+        "repro.replay(DiscoSketch(...), trace, engine='vector') or "
+        "repro.core.batchreplay.run_kernel() instead",
+        DeprecationWarning, stacklevel=2)
     if capacity_bits is not None and capacity_bits < 1:
         raise ParameterError(f"capacity_bits must be >= 1, got {capacity_bits!r}")
     from repro.core.kernels import DiscoKernel
@@ -391,5 +466,5 @@ def replay_batch(
         return DiscoKernel(lanes, gen, replicas, b=b,
                            capacity_bits=capacity_bits)
 
-    return replay_kernel(trace, factory, mode=mode, rng=rng,
-                         min_lanes=min_lanes)
+    return run_kernel(trace, factory, mode=mode, rng=rng,
+                      min_lanes=min_lanes)

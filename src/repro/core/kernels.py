@@ -156,6 +156,20 @@ class SchemeKernel(abc.ABC):
         surface (``estimate`` / ``flows`` / ``max_counter_bits`` / event
         counters) reflects the replay, as after a per-packet run."""
 
+    def telemetry_events(self) -> Dict[str, int]:
+        """Scheme-specific event counters, harvested after a replay.
+
+        Kernels maintain these as plain integer attributes during the
+        run (they always have — the attributes feed ``writeback``), so
+        harvesting is free: the driver reads the totals once per replay
+        and folds them into the run's :class:`repro.obs.Telemetry`
+        snapshot.  Names follow ``kernel.<scheme>.<event>``; the
+        catalogue lives in ``docs/telemetry.md``.
+        """
+        if self.saturation_events:
+            return {"kernel.saturation_events": self.saturation_events}
+        return {}
+
     # -- shared helpers ------------------------------------------------------
 
     def _replica0(self, array: np.ndarray) -> np.ndarray:
@@ -515,6 +529,14 @@ class SacKernel(SchemeKernel):
         return self.a[:lanes].astype(np.float64) * self._scale(self.m[:lanes],
                                                                rep)
 
+    def telemetry_events(self) -> Dict[str, int]:
+        events = super().telemetry_events()
+        events["kernel.sac.counter_renormalizations"] = \
+            self.counter_renormalizations
+        events["kernel.sac.global_renormalizations"] = \
+            self.global_renormalizations
+        return events
+
     def writeback(self, scheme, keys: List, packets: int) -> None:
         a = self._replica0(self.a[: self.lanes])
         m = self._replica0(self.m[: self.lanes])
@@ -622,6 +644,11 @@ class AnlsPerUnitKernel(AnlsKernel):
 
     preferred_min_lanes = 16
 
+    def __init__(self, lanes: int, gen: np.random.Generator, replicas: int,
+                 b: float) -> None:
+        super().__init__(lanes, gen, replicas, b=b)
+        self.geometric_jumps = 0
+
     def step_column(self, column, active: int) -> None:
         c = self.c
         if isinstance(column, np.ndarray):
@@ -642,6 +669,7 @@ class AnlsPerUnitKernel(AnlsKernel):
             hit = g <= rem[idx]
             jumped = idx[hit]
             c[jumped] += 1
+            self.geometric_jumps += int(jumped.size)
             rem[jumped] -= g[hit].astype(np.int64)
             idx = jumped[rem[jumped] > 0]
 
@@ -650,6 +678,7 @@ class AnlsPerUnitKernel(AnlsKernel):
         draw = self._draw()
         ln_b = self._ln_b
         c = int(self.c[lane])
+        jumps = 0
         py_lens = lengths.tolist() if lengths is not None else None
         for i in range(count):
             rem = int(py_lens[i]) if py_lens is not None else 1
@@ -664,10 +693,17 @@ class AnlsPerUnitKernel(AnlsKernel):
                     g = max(1, math.ceil(math.log(u) / math.log1p(-p)))
                 if g <= rem:
                     c += 1
+                    jumps += 1
                     rem -= g
                 else:
                     break
         self.c[lane] = c
+        self.geometric_jumps += jumps
+
+    def telemetry_events(self) -> Dict[str, int]:
+        events = super().telemetry_events()
+        events["kernel.anls2.geometric_jumps"] = self.geometric_jumps
+        return events
 
 
 def anls_kernel_spec(scheme) -> Optional[KernelSpec]:
@@ -731,6 +767,7 @@ class SdKernel(SchemeKernel):
         # columnar array is fully allocated up front, so use its width.
         self._addr_bits = max(1, flows.bit_length())
         self.flushes = 0
+        self.flush_batches = 0
         self.bus_bits_transferred = 0
         self.overflow_events = 0
         self.lost_traffic = 0
@@ -765,6 +802,7 @@ class SdKernel(SchemeKernel):
         self.dram[sl][idx] += view[idx]
         view[idx] = 0
         self.flushes += int(idx.size)
+        self.flush_batches += 1
         self.bus_bits_transferred += int(idx.size) * (self.sram_bits
                                                       + self._addr_bits)
 
@@ -798,6 +836,13 @@ class SdKernel(SchemeKernel):
     def estimates(self) -> np.ndarray:
         return (self.dram[: self.lanes]
                 + self.sram[: self.lanes]).astype(np.float64)
+
+    def telemetry_events(self) -> Dict[str, int]:
+        events = super().telemetry_events()
+        events["kernel.sd.flushes"] = self.flushes
+        events["kernel.sd.flush_batches"] = self.flush_batches
+        events["kernel.sd.overflow_events"] = self.overflow_events
+        return events
 
     def writeback(self, scheme, keys: List, packets: int) -> None:
         sram = self._replica0(self.sram[: self.lanes])

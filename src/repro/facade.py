@@ -1,0 +1,216 @@
+"""The unified replay entrypoint: one call, every engine, one rng story.
+
+Historically three APIs replayed a trace: ``harness.runner.replay`` (the
+scalar loops), ``core.batchreplay.replay_kernel`` (the columnar driver)
+and ``replay_batch`` (its DISCO-only ancestor) — each with its own
+seeding convention.  :func:`repro.replay` is now the single documented
+entrypoint; the legacy signatures survive as thin deprecated wrappers
+that delegate here.
+
+Seeding
+-------
+One ``rng`` argument seeds *everything* a replay randomises, via
+:func:`seed_streams`: the arrival shuffle (scalar engines) and the NumPy
+update stream (vector engine) are both derived from it, so the same seed
+gives the same estimates on every engine *for that engine* — the fix for
+the old split where ``replay(rng=...)`` seeded only the shuffle and the
+vector engine silently used the scheme's own generator.  ``rng=None``
+preserves the historical defaults (unseeded shuffle; vector stream from
+the scheme's generator).
+
+Telemetry
+---------
+``telemetry=`` accepts a :class:`repro.obs.Telemetry` session; ``None``
+uses the ambient global registry (disabled by default, so the plain call
+records nothing and pays nothing).  When recording, the per-call event
+snapshot is attached to the returned result's ``.telemetry`` and merged
+into the session.  See ``docs/telemetry.md`` for the event catalogue.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ParameterError
+
+__all__ = ["replay", "seed_streams", "ReplayStreams"]
+
+AnyRng = Union[None, int, random.Random, np.random.Generator,
+               np.random.SeedSequence]
+
+
+class ReplayStreams:
+    """The two random streams a replay consumes, derived from one seed.
+
+    * :attr:`shuffle` — the value handed to
+      :meth:`~repro.traces.trace.Trace.packet_pairs` for the arrival
+      shuffle.  Integers and ``random.Random`` instances pass through
+      untouched, keeping shuffled replays bit-compatible with every
+      historical seed.
+    * :meth:`update` — the ``numpy.random.Generator`` driving vectorised
+      update decisions, built through ``SeedSequence`` (an integer seed
+      ``s`` yields ``default_rng(SeedSequence(s))``, which is exactly
+      ``default_rng(s)``; a ``random.Random`` is consumed for one 128-bit
+      seed).  Derived lazily, so scalar replays never disturb a caller's
+      generator state.
+
+    ``replay_parallel`` spawns per-chunk child seeds from the same
+    ``SeedSequence`` root, which is why pooled and serial replica runs
+    agree bit-for-bit.
+    """
+
+    __slots__ = ("raw",)
+
+    def __init__(self, raw: AnyRng) -> None:
+        self.raw = raw
+
+    @property
+    def shuffle(self) -> Union[None, int, random.Random]:
+        """Seed for the arrival-order shuffle (scalar engines)."""
+        raw = self.raw
+        if raw is None or isinstance(raw, (int, random.Random)):
+            return raw
+        if isinstance(raw, np.random.SeedSequence):
+            # generate_state is a pure function of the sequence's entropy:
+            # no state is consumed, repeated calls agree.
+            return int(raw.generate_state(1, np.uint64)[0])
+        if isinstance(raw, np.random.Generator):
+            return int(raw.integers(1 << 63))
+        raise ParameterError(
+            f"unsupported rng type {type(raw).__name__}; pass None, an "
+            f"int, random.Random, numpy Generator or SeedSequence"
+        )
+
+    def update(self, fallback: AnyRng = None) -> np.random.Generator:
+        """The NumPy generator for vectorised updates.
+
+        ``fallback`` is used when this stream was built from ``rng=None``
+        — the vector engine passes the scheme's own generator, preserving
+        the historical "seeded scheme gives a deterministic vector
+        replay" contract.
+        """
+        from repro.core.batchreplay import as_generator
+
+        raw = self.raw if self.raw is not None else fallback
+        return as_generator(raw)
+
+
+def seed_streams(rng: AnyRng) -> ReplayStreams:
+    """Derive every replay-owned random stream from one ``rng`` value.
+
+    The single seeding helper behind :func:`replay`,
+    :func:`~repro.harness.runner.replay_replicas` and
+    :func:`~repro.harness.parallel.replay_parallel`: accepts ``None``, an
+    integer seed, a ``random.Random``, a ``numpy.random.Generator`` or a
+    ``numpy.random.SeedSequence`` and exposes the shuffle and update
+    streams documented on :class:`ReplayStreams`.
+    """
+    if rng is not None and not isinstance(
+            rng, (int, random.Random, np.random.Generator,
+                  np.random.SeedSequence)):
+        raise ParameterError(
+            f"unsupported rng type {type(rng).__name__}; pass None, an "
+            f"int, random.Random, numpy Generator or SeedSequence"
+        )
+    return ReplayStreams(rng)
+
+
+#: Integer event counters a scheme maintains during a replay; the facade
+#: counts their deltas as ``scheme.<attr>`` telemetry events, uniformly
+#: across engines (kernels write the same attributes back).
+_SCHEME_EVENT_ATTRS = (
+    "saturation_events",
+    "global_renormalizations",
+    "counter_renormalizations",
+    "flushes",
+    "overflow_events",
+)
+
+
+def _scheme_event_state(scheme) -> dict:
+    state = {}
+    for attr in _SCHEME_EVENT_ATTRS:
+        value = getattr(scheme, attr, None)
+        if isinstance(value, int):
+            state[attr] = value
+    return state
+
+
+def _count_scheme_events(tel, scheme, before: dict) -> None:
+    for attr, start in before.items():
+        delta = getattr(scheme, attr, start) - start
+        if delta:
+            tel.count(f"scheme.{attr}", delta)
+
+
+def replay(
+    scheme,
+    trace,
+    *,
+    order: str = "shuffled",
+    rng: AnyRng = None,
+    engine: str = "auto",
+    replicas: int = 1,
+    telemetry: Optional["obs.Telemetry"] = None,
+):
+    """Replay ``trace`` through ``scheme`` and score the estimates.
+
+    The single replay entrypoint: selects an engine
+    (``auto``/``python``/``fast``/``vector`` — see
+    :mod:`repro.harness.runner` for the contract), derives every random
+    stream from ``rng`` via :func:`seed_streams`, and returns one
+    :class:`~repro.harness.runner.RunResult` — or a list of ``replicas``
+    of them when ``replicas > 1``, in which case the columnar replica
+    axis advances all copies in a single vector pass (the scheme must
+    expose a kernel; ``order`` is ignored, the vector path is
+    order-free).  For array-level replica output
+    (:class:`~repro.core.batchreplay.ReplicaReplayResult`) use
+    :func:`repro.core.batchreplay.run_kernel` directly.
+
+    ``telemetry`` scopes event recording to a
+    :class:`repro.obs.Telemetry` session (``None`` = the ambient global
+    registry, disabled by default).
+    """
+    from repro.harness.runner import (
+        _replay_scalar,
+        _replay_vector,
+        replay_replicas,
+        resolve_engine,
+    )
+
+    if replicas < 1:
+        raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
+    if replicas > 1:
+        if engine not in ("auto", "vector"):
+            raise ParameterError(
+                f"replica replays run on the vector path; engine must be "
+                f"'auto' or 'vector', got {engine!r}"
+            )
+        return replay_replicas(scheme, trace, replicas, rng=rng,
+                               telemetry=telemetry)
+
+    session = obs.resolve(telemetry)
+    tel = obs.Telemetry() if session.enabled else obs.NULL_TELEMETRY
+    streams = seed_streams(rng)
+    resolved = resolve_engine(engine, scheme)
+    tel.count("replay.calls")
+    tel.count(f"replay.engine.{resolved}")
+    before = _scheme_event_state(scheme) if tel.enabled else {}
+    if resolved == "vector":
+        result = _replay_vector(scheme, trace,
+                                rng=None if rng is None else streams.update(),
+                                telemetry=tel)
+    else:
+        result = _replay_scalar(scheme, trace, order=order,
+                                rng=streams.shuffle, engine=resolved,
+                                telemetry=tel)
+    if tel.enabled:
+        _count_scheme_events(tel, scheme, before)
+        snap = tel.snapshot()
+        result.telemetry = snap
+        session.merge(snap)
+    return result

@@ -1,5 +1,6 @@
 """Experiment harness: replay driver, per-figure experiments, rendering."""
 
+from repro.facade import replay
 from repro.harness.experiments import (
     SizeComparisonRow,
     bound_gap,
@@ -16,19 +17,28 @@ from repro.harness.experiments import (
 from repro.harness.formatting import format_number, render_series, render_table
 from repro.harness.montecarlo import (
     BiasVarianceReport,
+    TraceReplicaReport,
     convergence_table,
     measure_estimator,
+    measure_trace_estimator,
 )
 from repro.harness.ci import collect_metrics, compare, save_baseline
 from repro.harness.parallel import ReplayJob, replay_parallel
 from repro.harness.plotting import ascii_chart
 from repro.harness.report import ReportConfig, generate_report, write_report
-from repro.harness.runner import ENGINES, RunResult, replay, replay_stream, resolve_engine
+from repro.harness.runner import (
+    ENGINES,
+    RunResult,
+    replay_replicas,
+    replay_stream,
+    resolve_engine,
+)
 from repro.harness.sweep import Sweep, SweepPoint
 
 __all__ = [
     "RunResult",
     "replay",
+    "replay_replicas",
     "SizeComparisonRow",
     "volume_error_vs_counter_size",
     "error_cdf_comparison",
@@ -44,7 +54,9 @@ __all__ = [
     "render_series",
     "format_number",
     "BiasVarianceReport",
+    "TraceReplicaReport",
     "measure_estimator",
+    "measure_trace_estimator",
     "convergence_table",
     "ReportConfig",
     "generate_report",

@@ -36,7 +36,7 @@ def collect_metrics() -> Dict[str, float]:
     from repro.core.analysis import choose_b, cov_bound
     from repro.core.disco import DiscoCounter, DiscoSketch
     from repro.counters.sac import SmallActiveCounters
-    from repro.harness.runner import replay
+    from repro.facade import replay
     from repro.ixp.throughput import run_one
     from repro.traces.nlanr import nlanr_like
 

@@ -19,7 +19,8 @@ from repro.core.disco import DiscoSketch
 from repro.core.functions import GeometricCountingFunction
 from repro.counters.anls import AnlsBytesNaive, AnlsPerUnit
 from repro.counters.sac import SmallActiveCounters
-from repro.harness.runner import RunResult, replay
+from repro.facade import replay
+from repro.harness.runner import RunResult
 from repro.metrics.errors import ErrorSummary, error_cdf as _error_cdf
 from repro.metrics.memory import (
     disco_counter_bits,

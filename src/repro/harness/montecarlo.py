@@ -135,6 +135,7 @@ def measure_trace_estimator(
     trace,
     replicas: int = 200,
     rng=None,
+    telemetry=None,
 ) -> TraceReplicaReport:
     """Measure ``scheme``'s estimator over R replicas of a whole trace.
 
@@ -143,9 +144,11 @@ def measure_trace_estimator(
     :func:`measure_estimator` — empirical per-flow bias and variance for
     *any* scheme with a kernel, not just DISCO on a single sequence.
     ``rng`` seeds the shared replica stream (``None`` uses the scheme's
-    own generator).
+    own generator).  ``telemetry`` scopes event recording to a
+    :class:`repro.obs.Telemetry` session (``None`` = the ambient global
+    registry).
     """
-    from repro.core.batchreplay import replay_kernel
+    from repro.core.batchreplay import run_kernel
     from repro.core.kernels import kernel_spec
 
     if replicas < 2:
@@ -156,10 +159,11 @@ def measure_trace_estimator(
             f"{type(scheme).__name__} has no columnar kernel; "
             f"measure_trace_estimator needs the vector path"
         )
-    result = replay_kernel(
+    result = run_kernel(
         trace, spec.factory, mode=spec.mode,
         rng=rng if rng is not None else scheme._rng,
         replicas=replicas,
+        telemetry=telemetry,
     )
     return TraceReplicaReport(
         scheme_name=getattr(scheme, "name", type(scheme).__name__),

@@ -48,8 +48,10 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
-from repro.harness.runner import RunResult, replay, replay_replicas
+from repro.facade import replay
+from repro.harness.runner import RunResult, replay_replicas
 from repro.traces.compiled import CompiledTrace
 from repro.traces.trace import Trace
 
@@ -245,21 +247,32 @@ class _Unit:
     rng: object
     engine: str
     replicas: int
+    #: Record telemetry in the (possibly remote) process running this
+    #: unit; the snapshot travels back with the results.
+    telemetry: bool = False
 
 
-def _run_unit(unit: _Unit) -> List[RunResult]:
+_UnitOutcome = Tuple[List[RunResult], Optional[dict]]
+
+
+def _run_unit(unit: _Unit) -> _UnitOutcome:
     trace = unit.trace
     if isinstance(trace, _SharedTraceRef):
         trace = _attach(trace)
+    # A fresh session per unit: workers can't share the parent's registry,
+    # so events are captured locally and merged from the snapshot.
+    tel = obs.Telemetry() if unit.telemetry else None
     scheme = unit.scheme_factory()
     if unit.replicas > 1:
-        return replay_replicas(scheme, trace, replicas=unit.replicas,
-                               rng=unit.rng)
-    return [replay(scheme, trace, order=unit.order, rng=unit.rng,
-                   engine=unit.engine)]
+        results = replay_replicas(scheme, trace, replicas=unit.replicas,
+                                  rng=unit.rng, telemetry=tel)
+    else:
+        results = [replay(scheme, trace, order=unit.order, rng=unit.rng,
+                          engine=unit.engine, telemetry=tel)]
+    return results, (tel.snapshot() if tel is not None else None)
 
 
-def _expand(jobs: Sequence[ReplayJob]) -> List[_Unit]:
+def _expand(jobs: Sequence[ReplayJob], telemetry: bool = False) -> List[_Unit]:
     """Split jobs into units: replica jobs become seeded chunks.
 
     Chunk seeds are spawned from ``SeedSequence(job.rng)``, so the same
@@ -270,7 +283,7 @@ def _expand(jobs: Sequence[ReplayJob]) -> List[_Unit]:
     for index, job in enumerate(jobs):
         if job.replicas == 1:
             units.append(_Unit(index, job.scheme_factory, job.trace,
-                               job.order, job.rng, job.engine, 1))
+                               job.order, job.rng, job.engine, 1, telemetry))
             continue
         n_chunks = -(-job.replicas // REPLICA_CHUNK)
         seeds = np.random.SeedSequence(job.rng).spawn(n_chunks)
@@ -280,13 +293,14 @@ def _expand(jobs: Sequence[ReplayJob]) -> List[_Unit]:
             remaining -= size
             units.append(_Unit(index, job.scheme_factory, job.trace,
                                job.order, np.random.default_rng(seed),
-                               job.engine, size))
+                               job.engine, size, telemetry))
     return units
 
 
 def replay_parallel(
     jobs: Sequence[ReplayJob],
     max_workers: Optional[int] = None,
+    telemetry: Optional["obs.Telemetry"] = None,
 ) -> List[RunResult]:
     """Run the jobs across a process pool; results in job order.
 
@@ -296,6 +310,13 @@ def replay_parallel(
     is also the fallback path for environments without working process
     pools; a pool that breaks mid-run (``BrokenProcessPool``) likewise
     degrades by retrying the unfinished units serially.
+
+    ``telemetry`` scopes event recording to a :class:`repro.obs.Telemetry`
+    session (``None`` = the ambient global registry, disabled by
+    default).  When recording, workers capture events locally and ship a
+    snapshot back with each unit's results; the session sees the merged
+    totals plus pool-lifecycle events (``parallel.*``, see
+    ``docs/telemetry.md``).
     """
     if not jobs:
         raise ParameterError("at least one job is required")
@@ -311,14 +332,21 @@ def replay_parallel(
                 f"'auto' or 'vector', got {job.engine!r}"
             )
 
-    units = _expand(jobs)
+    session = obs.resolve(telemetry)
+    units = _expand(jobs, telemetry=session.enabled)
+    session.count("parallel.jobs", len(jobs))
+    session.count("parallel.units", len(units))
+    chunks = sum(1 for unit in units if unit.replicas > 1)
+    if chunks:
+        session.count("parallel.replica_chunks", chunks)
     if len(units) == 1 or max_workers == 1:
         unit_results = [_run_unit(unit) for unit in units]
     else:
-        unit_results = _run_units_pooled(units, max_workers)
+        unit_results = _run_units_pooled(units, max_workers, session)
 
     results: List[RunResult] = []
-    for unit, out in zip(units, unit_results):
+    for unit, (out, snap) in zip(units, unit_results):
+        session.merge(snap)
         results.extend(out)
     return results
 
@@ -326,7 +354,8 @@ def replay_parallel(
 def _run_units_pooled(
     units: List[_Unit],
     max_workers: Optional[int],
-) -> List[List[RunResult]]:
+    session: "obs.Telemetry" = obs.NULL_TELEMETRY,
+) -> List[_UnitOutcome]:
     """Submit units to the persistent pool, shared-shipping big traces.
 
     Units whose future dies with the pool are retried serially with the
@@ -338,20 +367,29 @@ def _run_units_pooled(
         trace = unit.trace
         if (isinstance(trace, CompiledTrace)
                 and trace.nbytes() >= SHARE_THRESHOLD_BYTES):
+            fresh = trace not in _PUBLISHED
             ref = _publish(trace)
             if ref is not None:
+                if fresh:
+                    session.count("parallel.shm.published")
+                    session.count("parallel.shm.published_bytes",
+                                  trace.nbytes())
                 unit = replace(unit, trace=ref)
         shipped.append(unit)
 
     try:
+        reusing = _POOL is not None and _POOL_WORKERS == max_workers
         pool = _get_pool(max_workers)
         futures = [pool.submit(_run_unit, unit) for unit in shipped]
+        session.count("parallel.pool.reused" if reusing
+                      else "parallel.pool.created")
     except (OSError, PermissionError, BrokenProcessPool):
         # Restricted environments (no fork/spawn): degrade gracefully.
         shutdown_pool()
+        session.count("parallel.serial_fallbacks")
         return [_run_unit(unit) for unit in units]
 
-    results: List[Optional[List[RunResult]]] = [None] * len(units)
+    results: List[Optional[_UnitOutcome]] = [None] * len(units)
     retry: List[int] = []
     for i, future in enumerate(futures):
         try:
@@ -365,5 +403,6 @@ def _run_units_pooled(
         except (OSError, PermissionError):
             retry.append(i)
     for i in retry:
+        session.count("parallel.pool.broken_retries")
         results[i] = _run_unit(units[i])
     return results

@@ -38,6 +38,9 @@ class ReportConfig:
     ixp_packets: int = 40_000
     seed: int = 7
     include_ixp: bool = True
+    #: Record the calibration replay through :class:`repro.obs.Telemetry`
+    #: and append its event counts as a "Replay telemetry" section.
+    include_telemetry: bool = False
 
 
 def _md_table(headers, rows) -> str:
@@ -137,13 +140,18 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
 
     from repro.core.analysis import choose_b as _choose_b
     from repro.core.disco import DiscoSketch as _Sketch
-    from repro.harness.runner import replay as _replay
+    from repro.facade import replay as _replay
     from repro.metrics.calibration import calibrate as _calibrate
 
     cal_b = _choose_b(12, max(trace.true_totals("volume").values()), slack=1.5)
     cal_sketch = _Sketch(b=cal_b, mode="volume", rng=config.seed + 9,
                          track_variance=True)
-    _replay(cal_sketch, trace, rng=config.seed + 10)
+    cal_tel = None
+    if config.include_telemetry:
+        from repro.obs import Telemetry as _Telemetry
+
+        cal_tel = _Telemetry()
+    _replay(cal_sketch, trace, rng=config.seed + 10, telemetry=cal_tel)
     samples = []
     for flow, truth in trace.true_totals("volume").items():
         estimate = cal_sketch.estimate(flow)
@@ -154,6 +162,17 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
               f"{report.coverage_1sigma:.3f} within 1 sigma, "
               f"{report.coverage_at_level:.3f} within the 95% band "
               f"(rms z = {report.rms_z:.3f}).\n\n")
+
+    # Replay telemetry (optional observability appendix).
+    if cal_tel is not None:
+        snap = cal_tel.snapshot()
+        out.write("## Replay telemetry (calibration replay)\n\n")
+        out.write(_md_table(
+            ["event", "count"],
+            [[name, snap["counters"][name]]
+             for name in sorted(snap["counters"])],
+        ))
+        out.write("\n\n")
 
     # Table V.
     if config.include_ixp:

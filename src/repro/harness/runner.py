@@ -26,15 +26,22 @@ Three engines drive the same replay contract:
     the reference loop (deterministic kernels such as exact counters),
     else ``"python"``.  Randomised kernels are never picked silently, so
     seeded results stay reproducible unless a caller opts in.
+
+The documented entrypoint for all of this is the :func:`repro.replay`
+facade; this module holds the engine implementations, the strict
+engine resolver, and the replica/stream drivers.  The module-level
+``replay()`` survives as a deprecated wrapper.
 """
 
 from __future__ import annotations
 
 import random
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Union
+from typing import Dict, Hashable, List, Optional, Union
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.metrics.errors import (
     ErrorSummary,
@@ -70,6 +77,9 @@ class RunResult:
     elapsed_seconds: float
     packets: int
     engine: str = "python"
+    #: Per-call telemetry snapshot (:meth:`repro.obs.Telemetry.snapshot`)
+    #: when the replay recorded events; ``None`` otherwise.
+    telemetry: Optional[Dict[str, dict]] = None
 
 
 def resolve_engine(engine: str, scheme) -> str:
@@ -77,7 +87,8 @@ def resolve_engine(engine: str, scheme) -> str:
 
     ``"auto"`` degrades gracefully; explicit requests are strict — asking
     for ``"fast"`` or ``"vector"`` with an unsupported scheme raises, so
-    a benchmark never silently times the wrong path.
+    a benchmark never silently times the wrong path.  The scheme list in
+    the ``"vector"`` error is sorted, so the message is deterministic.
     """
     from repro.core.disco import DiscoSketch
     from repro.core.fastpath import FastDiscoSketch
@@ -118,33 +129,50 @@ def replay(
     rng: Union[None, int, random.Random] = None,
     engine: str = "auto",
 ) -> RunResult:
-    """Feed every packet of ``trace`` to ``scheme`` and score the estimates.
+    """Deprecated alias for the :func:`repro.replay` facade.
 
-    The scheme's ``mode`` attribute is used to pick the matching ground
-    truth (packets for ``"size"``, bytes for ``"volume"``).  Wall-clock time
-    covers only the per-packet update loop — the quantity Table IV compares.
-    ``trace`` may be a :class:`~repro.traces.trace.Trace` or an
-    already-compiled :class:`~repro.traces.compiled.CompiledTrace`.
-
-    ``engine`` selects the replay implementation (see the module
-    docstring).  ``rng`` seeds the arrival shuffle for the per-packet
-    engines; the vector engine derives its NumPy stream from the scheme's
-    own generator, so a seeded scheme gives a deterministic replay.
+    Kept so historical call sites keep working; note one semantic
+    unification: ``rng`` now also seeds the vector engine's update
+    stream (previously it seeded only the shuffle and the vector path
+    silently used the scheme's own generator).
     """
-    engine = resolve_engine(engine, scheme)
-    if engine == "vector":
-        return _replay_vector(scheme, trace)
+    warnings.warn(
+        "repro.harness.runner.replay() is deprecated; call "
+        "repro.replay(scheme, trace, ...) instead",
+        DeprecationWarning, stacklevel=2)
+    from repro.facade import replay as _facade_replay
+
+    return _facade_replay(scheme, trace, order=order, rng=rng, engine=engine)
+
+
+def _replay_scalar(
+    scheme,
+    trace: AnyTrace,
+    order: str,
+    rng: Union[None, int, random.Random],
+    engine: str,
+    telemetry: obs.Telemetry,
+) -> RunResult:
+    """The per-packet engines (``python``/``fast``); ``engine`` is resolved.
+
+    The scheme's ``mode`` attribute picks the matching ground truth
+    (packets for ``"size"``, bytes for ``"volume"``).  Wall-clock time
+    covers only the per-packet update loop — the quantity Table IV
+    compares.
+    """
     if engine == "fast" and hasattr(scheme, "enable_update_cache"):
         scheme.enable_update_cache()
 
     if order == "shuffled":
         # Materialised up front so shuffle cost stays out of the timing.
+        telemetry.count("replay.order.shuffled")
         packets = list(trace.packet_pairs(order=order, rng=rng))
         count = len(packets)
     else:
         # Order-preserving iterations ("asis"/"sequential"/"roundrobin")
         # stream straight off the trace: no second copy of the packet
         # list, which halves peak memory on full-scale replays.
+        telemetry.count("replay.order.streamed")
         packets = trace.packet_pairs(order=order, rng=rng)
         count = None
     start = time.perf_counter()
@@ -156,6 +184,7 @@ def replay(
     if hasattr(scheme, "flush"):
         scheme.flush()
     elapsed = time.perf_counter() - start
+    telemetry.timing("replay.update", elapsed)
 
     truths = trace.true_totals(scheme.mode)
     estimates = {flow: scheme.estimate(flow) for flow in truths}
@@ -175,18 +204,29 @@ def replay(
     )
 
 
-def _replay_vector(scheme, trace: AnyTrace) -> RunResult:
-    """Array-native replay; leaves ``scheme`` holding the final state."""
-    from repro.core.batchreplay import replay_kernel
+def _replay_vector(
+    scheme,
+    trace: AnyTrace,
+    rng=None,
+    telemetry: obs.Telemetry = obs.NULL_TELEMETRY,
+) -> RunResult:
+    """Array-native replay; leaves ``scheme`` holding the final state.
+
+    ``rng=None`` preserves the historical contract: the update stream
+    comes from the scheme's own generator.
+    """
+    from repro.core.batchreplay import run_kernel
     from repro.core.kernels import kernel_spec
 
     spec = kernel_spec(scheme)
-    result = replay_kernel(
+    result = run_kernel(
         trace,
         spec.factory,
         mode=spec.mode,
-        rng=scheme._rng,
+        rng=rng if rng is not None else scheme._rng,
+        telemetry=telemetry,
     )
+    telemetry.timing("replay.update", result.elapsed_seconds)
     # Hand the state back so the scheme's read-out surface (estimate /
     # flows / max_counter_bits) reflects the replay, as it would have
     # after a per-packet run.
@@ -214,7 +254,8 @@ def replay_replicas(
     scheme,
     trace: AnyTrace,
     replicas: int,
-    rng: Union[None, int, random.Random] = None,
+    rng=None,
+    telemetry: Optional[obs.Telemetry] = None,
 ) -> List[RunResult]:
     """Replay ``replicas`` independent copies of ``scheme`` in one pass.
 
@@ -223,26 +264,40 @@ def replay_replicas(
     one columnar sweep over the compiled trace, so R replays cost barely
     more than one.  Returns one :class:`RunResult` per replica (engine
     ``"vector"``, ``elapsed_seconds`` = total / R); replica 0's final
-    state is written back into ``scheme``.
+    state is written back into ``scheme``.  Equivalent to
+    ``repro.replay(..., replicas=R)``.
 
-    ``rng`` seeds the shared replica stream; ``None`` falls back to the
-    scheme's own generator, matching ``replay(..., engine="vector")``.
+    ``rng`` seeds the shared replica stream (any :func:`repro.seed_streams`
+    convention); ``None`` falls back to the scheme's own generator,
+    matching ``replay(..., engine="vector")``.  ``telemetry`` scopes
+    event recording as on the facade.
     """
-    from repro.core.batchreplay import replay_kernel
+    from repro.core.batchreplay import run_kernel
     from repro.core.kernels import kernel_spec
 
     resolve_engine("vector", scheme)  # strict: raises if no kernel
     if replicas < 1:
         raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
+    session = obs.resolve(telemetry)
+    tel = obs.Telemetry() if session.enabled else obs.NULL_TELEMETRY
+    tel.count("replay.calls")
+    tel.count("replay.engine.vector")
+    tel.count("replay.replicas", replicas)
     spec = kernel_spec(scheme)
-    result = replay_kernel(
+    result = run_kernel(
         trace,
         spec.factory,
         mode=spec.mode,
         rng=rng if rng is not None else scheme._rng,
         replicas=replicas,
+        telemetry=tel,
     )
+    tel.timing("replay.update", result.elapsed_seconds)
     result.kernel.writeback(scheme, result.compiled.keys, result.packets)
+    snap = None
+    if tel.enabled:
+        snap = tel.snapshot()
+        session.merge(snap)
 
     truths = {k: int(t) for k, t in zip(result.keys, result.truths)}
     scheme_name = getattr(scheme, "name", type(scheme).__name__)
@@ -268,6 +323,7 @@ def replay_replicas(
             elapsed_seconds=per_replica_elapsed,
             packets=result.packets,
             engine="vector",
+            telemetry=snap,
         ))
     return out
 

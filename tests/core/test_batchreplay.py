@@ -1,4 +1,10 @@
-"""Tests for the array-native whole-trace replay engine."""
+"""Tests for the array-native whole-trace replay engine.
+
+These exercise :func:`replay_batch`, now a deprecated wrapper around
+:func:`run_kernel`; the module-level mark silences the deprecation (the
+wrapper's behaviour is exactly what is under test).  The warnings
+themselves are asserted in ``tests/test_facade.py::TestLegacyWrappers``.
+"""
 
 import math
 import random
@@ -6,6 +12,8 @@ import statistics
 
 import numpy as np
 import pytest
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 from repro.core.analysis import cov_bound
 from repro.core.batchreplay import (

@@ -16,7 +16,7 @@ from repro.core.analysis import cov_bound
 from repro.core.batchreplay import (
     BatchReplayResult,
     ReplicaReplayResult,
-    replay_kernel,
+    run_kernel,
 )
 from repro.core.disco import DiscoSketch
 from repro.core.kernels import kernel_scheme_names, kernel_spec
@@ -27,7 +27,7 @@ from repro.counters.sac import SmallActiveCounters
 from repro.counters.sd import SdCounters
 from repro.errors import ParameterError
 from repro.harness.montecarlo import measure_trace_estimator
-from repro.harness.runner import replay
+from repro.facade import replay
 from repro.traces.nlanr import nlanr_like
 from repro.traces.trace import Trace
 
@@ -49,7 +49,7 @@ def _spec(scheme):
 
 def _mean_total(trace, scheme, replicas=REPLICAS, rng=101):
     spec = _spec(scheme)
-    result = replay_kernel(trace, spec.factory, mode=spec.mode,
+    result = run_kernel(trace, spec.factory, mode=spec.mode,
                            rng=rng, replicas=replicas)
     return float(result.estimates.mean(axis=0).sum()), result
 
@@ -102,14 +102,14 @@ class TestDistributionalEquivalence:
         scheme = SdCounters(sram_bits=20, dram_access_ratio=8,
                             mode="volume", rng=0)
         spec = _spec(scheme)
-        result = replay_kernel(trace, spec.factory, mode="volume", rng=3)
+        result = run_kernel(trace, spec.factory, mode="volume", rng=3)
         for key, est in result.estimates_dict().items():
             assert est == truths[key]
 
     def test_exact_matches_reference_bitwise(self, trace):
         ref = replay(ExactCounters(mode="volume"), trace, engine="python")
         scheme = ExactCounters(mode="volume")
-        result = replay_kernel(trace, _spec(scheme).factory, mode="volume")
+        result = run_kernel(trace, _spec(scheme).factory, mode="volume")
         assert result.estimates_dict() == ref.estimates
 
     def test_anls1_straw_man_matches_reference_direction(self, trace):
@@ -161,7 +161,7 @@ class TestEdgeCases:
         empty = Trace({}, name="empty")
         scheme = SmallActiveCounters(total_bits=10, mode_bits=3,
                                      mode="volume", rng=0)
-        result = replay_kernel(empty, _spec(scheme).factory,
+        result = run_kernel(empty, _spec(scheme).factory,
                                mode="volume", rng=1)
         assert result.packets == 0
         assert result.counters.shape == (0,)
@@ -171,20 +171,20 @@ class TestEdgeCases:
         flows = {f"f{i}": [100 + i] for i in range(30)}
         trace = Trace(flows, name="single")
         scheme = ExactCounters(mode="volume")
-        result = replay_kernel(trace, _spec(scheme).factory, mode="volume")
+        result = run_kernel(trace, _spec(scheme).factory, mode="volume")
         assert result.packets == 30
         assert result.estimates_dict() == {k: float(v[0])
                                            for k, v in flows.items()}
 
     def test_replicas_one_returns_batch_result(self, trace):
         scheme = ExactCounters(mode="volume")
-        result = replay_kernel(trace, _spec(scheme).factory,
+        result = run_kernel(trace, _spec(scheme).factory,
                                mode="volume", replicas=1)
         assert isinstance(result, BatchReplayResult)
 
     def test_replica_axis_shapes_and_consistency(self, trace):
         scheme = ExactCounters(mode="volume")
-        result = replay_kernel(trace, _spec(scheme).factory,
+        result = run_kernel(trace, _spec(scheme).factory,
                                mode="volume", replicas=3)
         assert isinstance(result, ReplicaReplayResult)
         flows = len(trace.flows)
@@ -199,7 +199,7 @@ class TestEdgeCases:
         truth = sum(trace.true_totals("volume").values())
         scheme = SmallActiveCounters(total_bits=10, mode_bits=3,
                                      mode="volume", rng=0)
-        result = replay_kernel(trace, _spec(scheme).factory,
+        result = run_kernel(trace, _spec(scheme).factory,
                                mode="volume", rng=9, replicas=8)
         totals = result.estimates.sum(axis=1)
         assert totals.shape == (8,)
@@ -210,8 +210,8 @@ class TestEdgeCases:
     def test_validation(self, trace):
         factory = _spec(ExactCounters(mode="volume")).factory
         with pytest.raises(ParameterError):
-            replay_kernel(trace, factory, mode="bytes")
+            run_kernel(trace, factory, mode="bytes")
         with pytest.raises(ParameterError):
-            replay_kernel(trace, factory, replicas=0)
+            run_kernel(trace, factory, replicas=0)
         with pytest.raises(ParameterError):
-            replay_kernel(trace, factory, min_lanes=0)
+            run_kernel(trace, factory, min_lanes=0)

@@ -36,7 +36,7 @@ class TestExactCounters:
         assert ExactCounters().max_counter_bits() == 1
 
     def test_zero_error_against_itself(self, tiny_trace):
-        from repro.harness.runner import replay
+        from repro.facade import replay
 
         result = replay(ExactCounters(mode="volume"), tiny_trace, rng=0)
         assert result.summary.maximum == 0.0

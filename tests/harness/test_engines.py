@@ -8,7 +8,8 @@ from repro.counters.countmin import CountMin
 from repro.counters.exact import ExactCounters
 from repro.counters.sac import SmallActiveCounters
 from repro.errors import ParameterError
-from repro.harness.runner import ENGINES, replay, resolve_engine
+from repro.facade import replay
+from repro.harness.runner import ENGINES, resolve_engine
 from repro.traces.compiled import compile_trace
 from repro.traces.nlanr import nlanr_like
 from repro.traces.trace import Trace

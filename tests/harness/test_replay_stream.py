@@ -4,7 +4,8 @@ import pytest
 
 from repro.core.disco import DiscoSketch
 from repro.counters.exact import ExactCounters
-from repro.harness.runner import replay, replay_stream
+from repro.facade import replay
+from repro.harness.runner import replay_stream
 from repro.traces.trace_io import iter_trace_packets, write_trace
 
 

@@ -5,7 +5,7 @@ import pytest
 from repro.core.disco import DiscoSketch
 from repro.counters.exact import ExactCounters
 from repro.harness.formatting import format_number, render_series, render_table
-from repro.harness.runner import replay
+from repro.facade import replay
 
 
 class TestReplay:

@@ -61,7 +61,7 @@ class TestRealisticUse:
         # A miniature of the Figure 5 grid driven through Sweep.
         from repro.core.analysis import choose_b
         from repro.core.disco import DiscoSketch
-        from repro.harness.runner import replay
+        from repro.facade import replay
         from repro.traces.synthetic import scenario3
 
         trace = scenario3(num_flows=20, rng=1)

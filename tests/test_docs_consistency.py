@@ -15,7 +15,8 @@ ROOT = Path(__file__).resolve().parent.parent
 
 DOCS = [ROOT / "README.md", ROOT / "DESIGN.md", ROOT / "EXPERIMENTS.md",
         ROOT / "docs" / "theory.md", ROOT / "docs" / "operations.md",
-        ROOT / "docs" / "reproduction.md", ROOT / "docs" / "api.md"]
+        ROOT / "docs" / "reproduction.md", ROOT / "docs" / "api.md",
+        ROOT / "docs" / "telemetry.md"]
 
 
 def read_all_docs() -> str:

@@ -1,0 +1,124 @@
+"""Unit tests for the telemetry registry (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import NULL_TELEMETRY, Telemetry
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        tel = Telemetry()
+        tel.count("a")
+        tel.count("a", 4)
+        tel.count("b", 2)
+        assert tel.counters == {"a": 5, "b": 2}
+
+    def test_disabled_records_nothing(self):
+        tel = Telemetry(enabled=False)
+        tel.count("a")
+        tel.timing("t", 1.0)
+        with tel.span("s"):
+            pass
+        assert tel.counters == {}
+        assert tel.timers == {}
+
+    def test_null_telemetry_is_disabled_and_shared(self):
+        assert NULL_TELEMETRY.enabled is False
+        NULL_TELEMETRY.count("x")
+        assert NULL_TELEMETRY.counters == {}
+
+
+class TestTimers:
+    def test_timing_accumulates_seconds_and_samples(self):
+        tel = Telemetry()
+        tel.timing("t", 0.5)
+        tel.timing("t", 0.25, samples=3)
+        assert tel.timers["t"] == [0.75, 4]
+
+    def test_span_measures_elapsed(self):
+        tel = Telemetry()
+        with tel.span("t"):
+            pass
+        seconds, count = tel.timers["t"]
+        assert count == 1
+        assert seconds >= 0.0
+
+    def test_disabled_span_is_the_shared_null_object(self):
+        tel = Telemetry(enabled=False)
+        assert tel.span("a") is tel.span("b")
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_is_json_able_copy(self):
+        tel = Telemetry()
+        tel.count("a", 2)
+        tel.timing("t", 0.5, samples=2)
+        snap = tel.snapshot()
+        json.dumps(snap)  # must serialise
+        assert snap == {"counters": {"a": 2},
+                        "timers": {"t": {"seconds": 0.5, "count": 2}}}
+        snap["counters"]["a"] = 99
+        assert tel.counters["a"] == 2  # copy, not a view
+
+    def test_merge_folds_counters_and_timers(self):
+        parent = Telemetry()
+        parent.count("a")
+        child = Telemetry()
+        child.count("a", 2)
+        child.count("b")
+        child.timing("t", 1.0)
+        parent.merge(child.snapshot())
+        assert parent.counters == {"a": 3, "b": 1}
+        assert parent.timers["t"] == [1.0, 1]
+
+    def test_merge_accepts_none_and_empty(self):
+        tel = Telemetry()
+        tel.merge(None)
+        tel.merge({})
+        assert tel.counters == {}
+
+    def test_merge_noop_when_disabled(self):
+        tel = Telemetry(enabled=False)
+        tel.merge({"counters": {"a": 1}, "timers": {}})
+        assert tel.counters == {}
+
+    def test_clear_keeps_enabled_flag(self):
+        tel = Telemetry()
+        tel.count("a")
+        tel.clear()
+        assert tel.counters == {} and tel.enabled is True
+
+
+class TestGlobalRegistry:
+    def test_resolve_none_is_global(self):
+        assert obs.resolve(None) is obs.get()
+
+    def test_resolve_explicit_session(self):
+        tel = Telemetry()
+        assert obs.resolve(tel) is tel
+
+    def test_enable_disable_roundtrip(self):
+        registry = obs.get()
+        was = registry.enabled
+        try:
+            assert obs.enable() is registry
+            assert registry.enabled is True
+            assert obs.disable() is registry
+            assert registry.enabled is False
+        finally:
+            registry.enabled = was
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("", False), ("0", False), ("off", False),
+    ])
+    def test_env_switch(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_OBS", value)
+        assert obs._env_enabled() is expected
+
+    def test_repr_mentions_state(self):
+        assert "disabled" in repr(Telemetry(enabled=False))
+        assert "enabled" in repr(Telemetry())

@@ -1,7 +1,10 @@
 """Public-API integrity: every exported name exists and imports cleanly.
 
 A stale ``__all__`` entry (renamed function, deleted class) otherwise only
-surfaces when a user's `from repro.x import y` fails.
+surfaces when a user's `from repro.x import y` fails.  The locked
+snapshots in :data:`EXPECTED_ALL` additionally pin the *exact* public
+surface of the flagship packages — adding or removing an export is an API
+decision and must be made here deliberately, not by accident.
 """
 
 import importlib
@@ -24,6 +27,8 @@ PACKAGES = [
 MODULES = [
     "repro.cli",
     "repro.errors",
+    "repro.obs",
+    "repro.facade",
     "repro.core.functions",
     "repro.core.update",
     "repro.core.disco",
@@ -61,6 +66,78 @@ MODULES = [
     "repro.export.records",
     "repro.export.collector",
 ]
+
+
+#: The locked public surface.  Keep sorted; a failure here means the
+#: package's ``__all__`` changed — update the snapshot only as part of a
+#: deliberate API change.
+EXPECTED_ALL = {
+    "repro": [
+        "ConfidenceInterval", "CounterOverflowError", "CountingFunction",
+        "DecodingError", "DiscoCounter", "DiscoSketch",
+        "GeometricCountingFunction", "HybridCountingFunction",
+        "LinearCountingFunction", "ParameterError", "ReplayJob",
+        "ReplayStreams", "ReproError", "RunResult", "Telemetry",
+        "TraceFormatError", "UpdateDecision", "__version__", "apply_update",
+        "b_for_cov_bound", "choose_b", "coefficient_of_variation",
+        "compute_update", "confidence_interval", "counter_bits", "cov_bound",
+        "expected_counter_upper_bound", "geometric", "kernel_scheme_names",
+        "kernel_spec", "load_sketch", "measure_trace_estimator",
+        "merge_counters", "merge_sketches", "merged_estimate", "replay",
+        "replay_parallel", "replay_replicas", "save_sketch", "seed_streams",
+    ],
+    "repro.core": [
+        "AgingDiscoSketch", "BatchReplayResult", "ConfidenceInterval",
+        "CountingFunction", "DiscoCounter", "DiscoSketch", "FastDiscoSketch",
+        "GeometricCountingFunction", "HybridCountingFunction", "KernelSpec",
+        "LinearCountingFunction", "ReplicaReplayResult", "SchemeKernel",
+        "UpdateCache", "UpdateDecision", "VectorSpec", "age_counter",
+        "apply_update", "b_for_cov_bound", "choose_b",
+        "coefficient_of_variation", "compute_update", "confidence_interval",
+        "counter_bits", "counter_for_error", "cov_bound", "cov_for_traffic",
+        "expected_counter_upper_bound", "expected_increment", "geometric",
+        "kernel_scheme_names", "kernel_spec", "load_sketch", "merge_counters",
+        "merge_sketches", "merged_estimate", "relative_stddev",
+        "replay_batch", "run_kernel", "save_sketch", "vector_spec",
+    ],
+    "repro.harness": [
+        "BiasVarianceReport", "ENGINES", "ReplayJob", "ReportConfig",
+        "RunResult", "SizeComparisonRow", "Sweep", "SweepPoint",
+        "TraceReplicaReport", "ascii_chart", "bound_gap", "collect_metrics",
+        "compare", "convergence_table", "counter_bits_vs_volume",
+        "error_cdf_comparison", "flow_size_per_flow_error", "format_number",
+        "generate_report", "make_disco", "make_sac", "measure_estimator",
+        "measure_trace_estimator", "render_series", "render_table", "replay",
+        "replay_parallel", "replay_replicas", "replay_stream",
+        "resolve_engine", "save_baseline", "table2", "table3", "table4",
+        "volume_error_vs_counter_size", "write_report",
+    ],
+    "repro.obs": [
+        "NULL_TELEMETRY", "Telemetry", "disable", "enable", "get", "resolve",
+    ],
+    "repro.facade": [
+        "ReplayStreams", "replay", "seed_streams",
+    ],
+}
+
+
+@pytest.mark.parametrize("package", sorted(EXPECTED_ALL))
+def test_public_surface_is_locked(package):
+    module = importlib.import_module(package)
+    assert sorted(module.__all__) == EXPECTED_ALL[package], (
+        f"{package}.__all__ drifted from the locked snapshot; if this is a "
+        f"deliberate API change, update EXPECTED_ALL"
+    )
+
+
+def test_vector_error_scheme_list_is_sorted():
+    # The engine-resolution error message enumerates kernel-capable
+    # schemes; sorted output keeps it deterministic across runs.
+    from repro.core.kernels import kernel_scheme_names
+
+    names = kernel_scheme_names()
+    assert names == sorted(names)
+    assert len(names) == len(set(names))
 
 
 @pytest.mark.parametrize("package", PACKAGES)
