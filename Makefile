@@ -2,13 +2,20 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-gate bench-gate-quick report examples all
+.PHONY: install test test-faults bench bench-gate bench-gate-quick report examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Fault-injection audit: the seeded fault-schedule suite and the
+# exactly-once telemetry regression, then the CLI invariant audit
+# (bit-identity, shm hygiene) over its built-in fault plans.
+test-faults:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/harness/test_faults.py tests/test_obs.py -q
+	PYTHONPATH=src $(PYTHON) -m repro faults
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
@@ -25,4 +32,4 @@ report:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; echo "all examples ran"
 
-all: test bench
+all: test test-faults bench

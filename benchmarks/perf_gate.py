@@ -15,7 +15,12 @@ columnar kernel (SAC, ANLS-I, ANLS-II, SD) against its pure-Python
 3. measures the telemetry layer's enabled-vs-disabled replay cost
    (:mod:`repro.obs`), records it with per-engine event counts in the
    ``BENCH_perf.json`` trajectory, and fails if the overhead exceeds
-   :data:`OVERHEAD_LIMIT_PCT`.
+   :data:`OVERHEAD_LIMIT_PCT`,
+4. times the *disarmed* fault-injection seam (:func:`repro.faults.fire`)
+   — the hook the parallel driver leaves inline on every pool/shm
+   operation — and fails if a call costs more than
+   :data:`FAULT_SEAM_LIMIT_NS`, so arming hooks for tests can never tax
+   production replays.
 
 Run it directly (``make bench-gate`` / ``make bench-gate-quick``)::
 
@@ -62,6 +67,14 @@ HISTORY_LIMIT = 50
 OVERHEAD_LIMIT_PCT = 2.0
 #: Best-of-N repeats for the overhead measurement (min discards noise).
 OVERHEAD_REPEATS = 5
+#: Maximum tolerated cost of one disarmed ``repro.faults.fire`` call.
+#: The seam is one global load plus a ``None`` check (~50-100 ns on any
+#: recent CPU); the bound is deliberately generous so only a structural
+#: regression (e.g. an attribute chain or try/except creeping into the
+#: disarmed path) trips it, never machine noise.
+FAULT_SEAM_LIMIT_NS = 2000.0
+#: Calls per timing sample for the fault-seam measurement.
+FAULT_SEAM_ITERATIONS = 200_000
 
 #: Fixed gate workload: seeded, heavy-tailed, ~100k packets — big enough
 #: that engine differences dominate noise, small enough for every commit.
@@ -241,6 +254,38 @@ def measure_overhead(trace=None,
     }
 
 
+def measure_fault_seam(iterations: int = FAULT_SEAM_ITERATIONS,
+                       repeats: int = OVERHEAD_REPEATS) -> Dict[str, float]:
+    """Time one disarmed :func:`repro.faults.fire` call, best-of-N.
+
+    The parallel driver calls this seam inline on every pool submission,
+    shm create/attach/unlink and result collection; when no fault plan
+    is armed it must cost a global load and a ``None`` check — nothing a
+    replay could measure.  Returns ``fault_seam_ns_per_op`` for the
+    trajectory and the gate.
+    """
+    from repro import faults
+
+    faults.disarm()  # measure the production (disarmed) path
+    fire = faults.fire
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fire("pool.submit")
+        best = min(best, time.perf_counter() - start)
+    # Subtract loop overhead measured the same way (empty body), so the
+    # number reported is the call itself, not ``range`` bookkeeping.
+    loop = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            pass
+        loop = min(loop, time.perf_counter() - start)
+    ns_per_op = max(0.0, (best - loop)) / iterations * 1e9
+    return {"fault_seam_ns_per_op": round(ns_per_op, 1)}
+
+
 def append_history(metrics: Dict[str, float],
                    path: Path = HISTORY_PATH,
                    limit: int = HISTORY_LIMIT,
@@ -346,6 +391,11 @@ def main(argv=None) -> int:
           f"(limit {OVERHEAD_LIMIT_PCT:.0f}%), "
           f"{len(vector_events)} vector event kinds recorded")
 
+    telemetry.update(measure_fault_seam())
+    seam_ns = telemetry["fault_seam_ns_per_op"]
+    print(f"disarmed fault seam: {seam_ns:.0f} ns/call "
+          f"(limit {FAULT_SEAM_LIMIT_NS:.0f} ns)")
+
     if not args.no_history:
         append_history(metrics, telemetry=telemetry)
         print(f"history appended to {HISTORY_PATH}")
@@ -367,6 +417,10 @@ def main(argv=None) -> int:
         print(f"PERF GATE FAILED: telemetry overhead {overhead_pct:.2f}% "
               f"exceeds {OVERHEAD_LIMIT_PCT:.1f}%", file=sys.stderr)
         return 1
+    if seam_ns > FAULT_SEAM_LIMIT_NS:
+        print(f"PERF GATE FAILED: disarmed fault seam {seam_ns:.0f} ns/call "
+              f"exceeds {FAULT_SEAM_LIMIT_NS:.0f} ns", file=sys.stderr)
+        return 1
     gated = [k for k in GATE_KEYS if k in metrics]
     summary = ", ".join(
         f"{k.removeprefix('perf_').removesuffix('_speedup')} "
@@ -375,7 +429,8 @@ def main(argv=None) -> int:
     )
     print(f"perf gate passed ({summary}; "
           f"tolerance {REGRESSION_TOLERANCE:.0%}; "
-          f"obs overhead {overhead_pct:+.2f}%)")
+          f"obs overhead {overhead_pct:+.2f}%; "
+          f"fault seam {seam_ns:.0f} ns)")
     return 0
 
 

@@ -44,6 +44,7 @@ accuracy metrics (:mod:`repro.metrics`), the theory of Section IV
 
 from repro import obs
 from repro.facade import ReplayStreams, replay, seed_streams
+from repro.faults import FaultPlan, FaultSpec
 from repro.obs import Telemetry
 from repro.core import (
     ConfidenceInterval,
@@ -96,6 +97,8 @@ __all__ = [
     "ReplayJob",
     "measure_trace_estimator",
     "Telemetry",
+    "FaultPlan",
+    "FaultSpec",
     "DiscoCounter",
     "DiscoSketch",
     "CountingFunction",

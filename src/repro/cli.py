@@ -134,6 +134,95 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _audit_factory():
+    return DiscoSketch(b=1.01, mode="volume", rng=7)
+
+
+#: The standard audit schedule: one plan per recovery path the parallel
+#: driver implements (worker death, failed attach, lost collection,
+#: refused submission, refused segment).
+_AUDIT_PLANS = (
+    "worker.run:kill:unit=0",
+    "shm.attach:raise:exception=OSError",
+    "result.collect:raise:exception=BrokenProcessPool:times=1",
+    "pool.submit:raise:exception=OSError",
+    "shm.create:raise:exception=OSError",
+)
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Audit the parallel driver's recovery paths under injected faults.
+
+    For each fault plan, replays an R-replica job through the pool with
+    the plan armed and checks the two hard invariants: results
+    bit-identical to the serial replay, and no ``repro``-prefixed
+    ``/dev/shm`` segment left behind.
+    """
+    import gc
+    import os
+
+    import repro.harness.parallel as parallel
+    from repro.harness.parallel import ReplayJob, replay_parallel, \
+        shutdown_pool
+    from repro.harness.runner import replay_replicas
+    from repro.obs import Telemetry
+    from repro.traces.compiled import clear_compile_cache, compile_trace
+
+    def segments():
+        shm_dir = "/dev/shm"
+        if not os.path.isdir(shm_dir):
+            return set()
+        return {n for n in os.listdir(shm_dir)
+                if n.startswith(f"repro_{os.getpid()}_")}
+
+    trace = scenario3(num_flows=args.flows, rng=args.seed)
+    serial = replay_replicas(_audit_factory(), trace,
+                             replicas=args.replicas, rng=args.seed)
+    expected = [r.estimates for r in serial]
+    plans = args.plan or list(_AUDIT_PLANS)
+    failures = 0
+    saved_threshold = parallel.SHARE_THRESHOLD_BYTES
+    preexisting = segments()
+    for plan in plans:
+        shutdown_pool()
+        shm_plan = plan.split(":")[0].startswith("shm.") \
+            or plan.startswith("worker.")
+        # Force the shared-memory path so shm seams and worker-death
+        # cleanup are actually exercised on this (small) audit trace.
+        parallel.SHARE_THRESHOLD_BYTES = 0 if shm_plan else saved_threshold
+        job_trace = compile_trace(trace) if shm_plan else trace
+        tel = Telemetry()
+        try:
+            results = replay_parallel(
+                [ReplayJob(_audit_factory, job_trace, engine="vector",
+                           replicas=args.replicas, rng=args.seed)],
+                max_workers=args.workers, telemetry=tel, faults=plan)
+            identical = [r.estimates for r in results] == expected
+        except Exception as exc:  # an audit must never crash the CLI
+            print(f"FAIL {plan}: {type(exc).__name__}: {exc}")
+            failures += 1
+            continue
+        finally:
+            parallel.SHARE_THRESHOLD_BYTES = saved_threshold
+        shutdown_pool()
+        del job_trace
+        clear_compile_cache()  # drop the cached compiled trace too, so
+        gc.collect()           # its finalizer unlinks the segment now
+        leaked = segments() - preexisting
+        counters = tel.snapshot()["counters"]
+        recovered = sum(n for name, n in counters.items()
+                        if name.startswith("recovery.")
+                        or name.startswith("faults.injected."))
+        ok = identical and not leaked
+        print(f"{'PASS' if ok else 'FAIL'} {plan}: "
+              f"bit-identical={identical} leaked-segments={len(leaked)} "
+              f"fault/recovery-events={recovered}")
+        if not ok:
+            failures += 1
+    print(f"{len(plans) - failures}/{len(plans)} fault plans passed")
+    return 1 if failures else 0
+
+
 def _default_trace(args: argparse.Namespace):
     return nlanr_like(num_flows=args.flows, mean_flow_bytes=30_000,
                       max_flow_bytes=3_000_000, rng=args.seed)
@@ -378,6 +467,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("volume", "size"), default="volume")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_checkpoint)
+
+    p = sub.add_parser(
+        "faults",
+        help="audit parallel-replay recovery paths under injected faults")
+    p.add_argument("--plan", action="append", default=None,
+                   help="fault plan string (repeatable; default: the "
+                        "standard audit schedule)")
+    p.add_argument("--replicas", type=int, default=10)
+    p.add_argument("--workers", type=int, default=3)
+    p.add_argument("--flows", type=int, default=15)
+    p.add_argument("--seed", type=int, default=5)
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("report", help="rerun the evaluation, write a markdown report")
     p.add_argument("--out", required=True)

@@ -64,6 +64,19 @@ class UpdateCache:
         self._cache[key] = value
         return value
 
+    def clear(self) -> None:
+        """Drop the memo and zero the accounting counters.
+
+        Unlike the capacity resets ``decision`` takes internally (which
+        bump ``clears`` and keep the hit/miss history), this is a full
+        restart: ``hits``, ``misses`` and ``clears`` all return to 0, as
+        if the cache were freshly built.
+        """
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0
+        self.clears = 0
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

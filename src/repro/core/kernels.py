@@ -683,12 +683,17 @@ class AnlsPerUnitKernel(AnlsKernel):
         for i in range(count):
             rem = int(py_lens[i]) if py_lens is not None else 1
             while rem > 0:
+                # One uniform per jump attempt, even at c == 0 (p = 1,
+                # certain success): step_column draws for every active
+                # lane before masking, so the scalar tail must advance
+                # the stream identically or the two paths disagree from
+                # the first post-boundary packet on.
+                u = draw()
                 if c == 0:
                     g = 1
+                elif u <= 0.0:
+                    break
                 else:
-                    u = draw()
-                    if u <= 0.0:
-                        break
                     p = math.exp(-c * ln_b)
                     g = max(1, math.ceil(math.log(u) / math.log1p(-p)))
                 if g <= rem:

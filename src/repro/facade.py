@@ -37,10 +37,20 @@ import numpy as np
 from repro import obs
 from repro.errors import ParameterError
 
-__all__ = ["replay", "seed_streams", "ReplayStreams"]
+__all__ = ["replay", "seed_streams", "ReplayStreams", "replica_chunks",
+           "REPLICA_CHUNK"]
 
 AnyRng = Union[None, int, random.Random, np.random.Generator,
                np.random.SeedSequence]
+
+#: Replicas advanced per multi-replica pass.  This is the *seeding* unit
+#: of the replica axis: every ``replicas=R`` replay — serial
+#: :func:`~repro.harness.runner.replay_replicas` and pooled
+#: :func:`~repro.harness.parallel.replay_parallel` alike — splits R into
+#: chunks of this size and derives one child stream per chunk through
+#: :func:`replica_chunks`, so the two paths consume identical streams
+#: and agree bit-for-bit for any R and any worker count.
+REPLICA_CHUNK = 8
 
 
 class ReplayStreams:
@@ -98,6 +108,51 @@ class ReplayStreams:
         raw = self.raw if self.raw is not None else fallback
         return as_generator(raw)
 
+    def root(self) -> np.random.SeedSequence:
+        """This stream's entropy as a ``SeedSequence`` root.
+
+        Integers and ``SeedSequence`` map losslessly; a ``random.Random``
+        or NumPy ``Generator`` is *consumed* for one 128-bit seed (so two
+        identically seeded generators derive the same root); ``None``
+        draws fresh OS entropy and is therefore non-deterministic.
+        """
+        raw = self.raw
+        if isinstance(raw, np.random.SeedSequence):
+            return raw
+        if isinstance(raw, random.Random):
+            return np.random.SeedSequence(raw.getrandbits(128))
+        if isinstance(raw, np.random.Generator):
+            words = raw.integers(0, 1 << 63, size=2)
+            return np.random.SeedSequence(
+                (int(words[0]) << 63) | int(words[1]))
+        if raw is None or isinstance(raw, int):
+            return np.random.SeedSequence(raw)
+        raise ParameterError(
+            f"unsupported rng type {type(raw).__name__}; pass None, an "
+            f"int, random.Random, numpy Generator or SeedSequence"
+        )
+
+    def spawn(self, n: int) -> List["ReplayStreams"]:
+        """``n`` independent child streams, derived deterministically.
+
+        Children are built from :meth:`root` by extending its spawn key
+        (``SeedSequence(entropy, spawn_key=root.spawn_key + (i,))``) —
+        the same derivation ``SeedSequence.spawn`` uses, but as a pure
+        function: repeated calls on equal roots yield equal children, no
+        hidden spawn counter involved.  This is the primitive behind
+        :func:`replica_chunks`, which is why pooled and serial replica
+        replays agree bit-for-bit.
+        """
+        if n < 1:
+            raise ParameterError(f"spawn count must be >= 1, got {n!r}")
+        root = self.root()
+        key = tuple(root.spawn_key)
+        return [
+            ReplayStreams(np.random.SeedSequence(entropy=root.entropy,
+                                                 spawn_key=key + (i,)))
+            for i in range(n)
+        ]
+
 
 def seed_streams(rng: AnyRng) -> ReplayStreams:
     """Derive every replay-owned random stream from one ``rng`` value.
@@ -117,6 +172,40 @@ def seed_streams(rng: AnyRng) -> ReplayStreams:
             f"int, random.Random, numpy Generator or SeedSequence"
         )
     return ReplayStreams(rng)
+
+
+def replica_chunks(replicas: int, rng: AnyRng,
+                   chunk: Optional[int] = None) -> List[tuple]:
+    """The replica axis's canonical chunking: ``[(size, child_seed), ...]``.
+
+    Splits ``replicas`` into chunks of ``chunk`` (default
+    :data:`REPLICA_CHUNK`) and derives one independent
+    ``numpy.random.SeedSequence`` per chunk via
+    :meth:`ReplayStreams.spawn`.  Both
+    :func:`~repro.harness.runner.replay_replicas` and
+    :func:`~repro.harness.parallel.replay_parallel` seed their
+    multi-replica passes through this one schedule, which is what makes
+    an R-replica replay bit-identical no matter how the chunks are
+    distributed over workers — including when R is not divisible by the
+    chunk size.  Accepts every :func:`seed_streams` rng convention;
+    ``rng=None`` derives from fresh OS entropy (non-deterministic by
+    design — there is no seed to reproduce).
+    """
+    if replicas < 1:
+        raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
+    if chunk is None:
+        chunk = REPLICA_CHUNK
+    if chunk < 1:
+        raise ParameterError(f"chunk must be >= 1, got {chunk!r}")
+    n_chunks = -(-replicas // chunk)
+    children = seed_streams(rng).spawn(n_chunks)
+    plan = []
+    remaining = replicas
+    for child in children:
+        size = min(chunk, remaining)
+        remaining -= size
+        plan.append((size, child.raw))
+    return plan
 
 
 #: Integer event counters a scheme maintains during a replay; the facade

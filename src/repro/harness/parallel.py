@@ -21,36 +21,53 @@ Three mechanisms keep the fan-out cheap at full trace scale:
   above :data:`SHARE_THRESHOLD_BYTES` is published once into a
   ``multiprocessing.shared_memory`` segment; jobs then carry a tiny
   handle and every worker maps the same buffers instead of receiving a
-  per-job pickle of the arrays.  Segments are unlinked automatically
-  when the parent's compiled trace is garbage-collected.
+  per-job pickle of the arrays.  Segments carry ``repro_<pid>_``-prefixed
+  names, are unlinked automatically when the parent's compiled trace is
+  garbage-collected (and eagerly when a pool breaks), and stale segments
+  abandoned by dead processes are swept whenever a fresh pool starts.
 * **Replica chunks** — a job with ``replicas=R`` is split into chunks of
-  :data:`REPLICA_CHUNK` replicas, each advanced as one columnar
-  multi-replica pass (:func:`~repro.harness.runner.replay_replicas`), so
-  R independent seeded replays of one (scheme, trace) pair spread across
-  workers while each chunk still amortises one trace sweep.
+  :data:`~repro.facade.REPLICA_CHUNK` replicas, each advanced as one
+  columnar multi-replica pass
+  (:func:`~repro.harness.runner.replay_replicas`), so R independent
+  seeded replays of one (scheme, trace) pair spread across workers while
+  each chunk still amortises one trace sweep.  Chunk streams come from
+  :func:`repro.facade.replica_chunks` — the *same* schedule the serial
+  path uses — so for any :func:`repro.seed_streams` rng convention,
+  pooled and serial R-replica results are bit-identical.
 
 Degradation is always graceful: environments without working process
 pools (no ``fork``/``spawn``, sandboxed ``/dev/shm``) and pools that die
 mid-run (``BrokenProcessPool``) fall back to in-process execution of
-whatever work is unfinished.
+whatever work is unfinished.  Every recovery is recorded as a
+``recovery.*`` telemetry event, and every failure path can be exercised
+deterministically through :mod:`repro.faults` — pass ``faults=`` (or set
+``REPRO_FAULTS``) to inject worker kills, shm failures and broken pools
+at the seams and assert the invariants the recovery preserves.
 """
 
 from __future__ import annotations
 
 import atexit
+import itertools
+import multiprocessing
+import os
 import pickle
+import re
+import secrets
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro import faults as _faults
 from repro import obs
 from repro.errors import ParameterError
-from repro.facade import replay
+from repro.facade import REPLICA_CHUNK, replay, replica_chunks
+from repro.faults import FaultPlan
 from repro.harness.runner import RunResult, replay_replicas
 from repro.traces.compiled import CompiledTrace
 from repro.traces.trace import Trace
@@ -62,11 +79,6 @@ __all__ = ["ReplayJob", "replay_parallel", "shutdown_pool",
 #: a shared-memory segment instead of pickled per job.  Below it the
 #: pickle is cheaper than a segment create + attach round-trip.
 SHARE_THRESHOLD_BYTES = 1 << 18
-
-#: Replicas advanced per multi-replica unit.  Small enough that an
-#: R-replica job spreads across workers, large enough that each unit
-#: still amortises one columnar trace sweep over several replicas.
-REPLICA_CHUNK = 8
 
 
 @dataclass(frozen=True)
@@ -117,13 +129,90 @@ class _SharedTraceHandle:
 _PUBLISHED: "weakref.WeakKeyDictionary[CompiledTrace, _SharedTraceHandle]" = \
     weakref.WeakKeyDictionary()
 
+#: Names already handed to :func:`_unlink_segment` — makes unlinking
+#: idempotent no matter how many paths race to clean the same segment
+#: (``weakref.finalize``, broken-pool recovery, interpreter teardown).
+_UNLINKED: Set[str] = set()
+
+_SEGMENT_COUNTER = itertools.count()
+
+#: Segment names are ``repro_<pid>_<n>_<token>`` so the startup sweep
+#: can tell which segments belong to processes that are no longer alive.
+_SEGMENT_NAME_RE = re.compile(r"^repro_(\d+)_\d+_[0-9a-f]+$")
+
+
+def _segment_name() -> str:
+    return (f"repro_{os.getpid()}_{next(_SEGMENT_COUNTER)}_"
+            f"{secrets.token_hex(4)}")
+
 
 def _unlink_segment(shm: shared_memory.SharedMemory) -> None:
+    if shm.name in _UNLINKED:
+        return
+    _UNLINKED.add(shm.name)
     try:
+        _faults.fire("shm.unlink")
         shm.close()
         shm.unlink()
     except Exception:
         pass  # already gone (interpreter teardown, double finalize)
+
+
+def _unlink_published(session: "obs.Telemetry") -> None:
+    """Eagerly unlink every published segment (broken-pool recovery).
+
+    A broken pool's workers died with their attachments; dropping the
+    parent-side publications here guarantees no segment outlives the
+    failure, instead of waiting for the compiled traces to be
+    garbage-collected.  Traces republish on the next pooled call.
+    """
+    count = 0
+    for compiled in list(_PUBLISHED):
+        handle = _PUBLISHED.pop(compiled, None)
+        if handle is not None:
+            _unlink_segment(handle.shm)
+            count += 1
+    if count:
+        session.count("recovery.shm.unlinked", count)
+
+
+def _sweep_stale_segments(session: "obs.Telemetry") -> None:
+    """Remove ``repro``-prefixed segments abandoned by dead processes.
+
+    A worker (or a whole parent) killed before its finalizers run leaves
+    its segments behind in ``/dev/shm``; sweeping at pool startup keeps
+    the leak bounded to one crashed run.  Only segments whose embedded
+    pid is no longer alive are touched.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return
+    count = 0
+    for name in names:
+        match = _SEGMENT_NAME_RE.match(name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # owner still alive
+        except ProcessLookupError:
+            pass
+        except OSError:
+            continue  # exists but not ours to probe
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+            count += 1
+        except OSError:
+            pass
+    if count:
+        session.count("recovery.shm.swept", count)
 
 
 def _publish(compiled: CompiledTrace) -> Optional[_SharedTraceRef]:
@@ -141,8 +230,18 @@ def _publish(compiled: CompiledTrace) -> Optional[_SharedTraceRef]:
               (compiled.lengths, compiled.offsets, compiled.sizes,
                compiled.volumes)]
     total = sum(a.nbytes for a in arrays) + len(blob)
+    shm = None
     try:
-        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        _faults.fire("shm.create")
+        for _ in range(3):  # name collisions are ~impossible; be safe
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, total), name=_segment_name())
+                break
+            except FileExistsError:
+                continue
+        if shm is None:
+            return None
     except (OSError, PermissionError):
         return None
     offset = 0
@@ -169,6 +268,7 @@ _ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, CompiledTrace]] = {}
 def _attach(ref: _SharedTraceRef) -> CompiledTrace:
     entry = _ATTACHED.get(ref.shm_name)
     if entry is None:
+        _faults.fire("shm.attach")
         # Attaching re-registers the name with the resource tracker, but
         # the tracker is shared with the parent (inherited fd) and its
         # cache is a set, so the extra register is a no-op and the
@@ -207,11 +307,15 @@ _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_WORKERS: Optional[int] = None
 
 
-def _get_pool(max_workers: Optional[int]) -> ProcessPoolExecutor:
+def _get_pool(max_workers: Optional[int],
+              session: "obs.Telemetry" = obs.NULL_TELEMETRY,
+              ) -> ProcessPoolExecutor:
     global _POOL, _POOL_WORKERS
     if _POOL is not None and _POOL_WORKERS != max_workers:
         shutdown_pool()
     if _POOL is None:
+        _faults.fire("pool.create")
+        _sweep_stale_segments(session)
         _POOL = ProcessPoolExecutor(max_workers=max_workers)
         _POOL_WORKERS = max_workers
     return _POOL
@@ -250,50 +354,70 @@ class _Unit:
     #: Record telemetry in the (possibly remote) process running this
     #: unit; the snapshot travels back with the results.
     telemetry: bool = False
+    #: This unit's position in the expanded unit list (fault targeting).
+    index: int = 0
+    #: Fault plan shipped to the worker; armed only inside worker
+    #: processes, so serial (in-parent) retries of the same unit run
+    #: clean — exactly the recovery the injected fault is probing.
+    faults: Optional[FaultPlan] = None
 
 
 _UnitOutcome = Tuple[List[RunResult], Optional[dict]]
 
 
 def _run_unit(unit: _Unit) -> _UnitOutcome:
-    trace = unit.trace
-    if isinstance(trace, _SharedTraceRef):
-        trace = _attach(trace)
     # A fresh session per unit: workers can't share the parent's registry,
     # so events are captured locally and merged from the snapshot.
     tel = obs.Telemetry() if unit.telemetry else None
+    in_worker = multiprocessing.parent_process() is not None
+    if in_worker:
+        # (Re-)arm this unit's plan in the worker; a unit without one
+        # disarms whatever a previous unit left behind in this process.
+        if unit.faults:
+            _faults.arm(unit.faults, telemetry=tel)
+            _faults.fire("worker.run", unit=unit.index)
+        else:
+            _faults.disarm()
+    trace = unit.trace
+    if isinstance(trace, _SharedTraceRef):
+        trace = _attach(trace)
     scheme = unit.scheme_factory()
     if unit.replicas > 1:
+        # rng is a pre-derived chunk stream (see _expand): run it as one
+        # pass rather than re-chunking.
         results = replay_replicas(scheme, trace, replicas=unit.replicas,
-                                  rng=unit.rng, telemetry=tel)
+                                  rng=unit.rng, telemetry=tel,
+                                  chunked=False)
     else:
         results = [replay(scheme, trace, order=unit.order, rng=unit.rng,
                           engine=unit.engine, telemetry=tel)]
     return results, (tel.snapshot() if tel is not None else None)
 
 
-def _expand(jobs: Sequence[ReplayJob], telemetry: bool = False) -> List[_Unit]:
+def _expand(jobs: Sequence[ReplayJob], telemetry: bool = False,
+            faults: Optional[FaultPlan] = None) -> List[_Unit]:
     """Split jobs into units: replica jobs become seeded chunks.
 
-    Chunk seeds are spawned from ``SeedSequence(job.rng)``, so the same
-    job always produces the same replica streams regardless of worker
-    count or scheduling — pooled and serial execution agree.
+    Chunk streams come from :func:`repro.facade.replica_chunks` — the
+    same schedule serial :func:`~repro.harness.runner.replay_replicas`
+    consumes — so the same job produces the same replica results
+    regardless of worker count, scheduling, or rng convention
+    (``int``/``random.Random``/``Generator``/``SeedSequence``).  An
+    unseeded replica job draws a fresh entropy root, keeping its chunks
+    independent but unreproducible, as documented.
     """
     units: List[_Unit] = []
     for index, job in enumerate(jobs):
         if job.replicas == 1:
             units.append(_Unit(index, job.scheme_factory, job.trace,
-                               job.order, job.rng, job.engine, 1, telemetry))
+                               job.order, job.rng, job.engine, 1, telemetry,
+                               len(units), faults))
             continue
-        n_chunks = -(-job.replicas // REPLICA_CHUNK)
-        seeds = np.random.SeedSequence(job.rng).spawn(n_chunks)
-        remaining = job.replicas
-        for chunk, seed in enumerate(seeds):
-            size = min(REPLICA_CHUNK, remaining)
-            remaining -= size
+        rng = job.rng if job.rng is not None else np.random.SeedSequence()
+        for size, chunk_rng in replica_chunks(job.replicas, rng):
             units.append(_Unit(index, job.scheme_factory, job.trace,
-                               job.order, np.random.default_rng(seed),
-                               job.engine, size, telemetry))
+                               job.order, chunk_rng, job.engine, size,
+                               telemetry, len(units), faults))
     return units
 
 
@@ -301,6 +425,7 @@ def replay_parallel(
     jobs: Sequence[ReplayJob],
     max_workers: Optional[int] = None,
     telemetry: Optional["obs.Telemetry"] = None,
+    faults: Union[None, str, FaultPlan] = None,
 ) -> List[RunResult]:
     """Run the jobs across a process pool; results in job order.
 
@@ -314,9 +439,14 @@ def replay_parallel(
     ``telemetry`` scopes event recording to a :class:`repro.obs.Telemetry`
     session (``None`` = the ambient global registry, disabled by
     default).  When recording, workers capture events locally and ship a
-    snapshot back with each unit's results; the session sees the merged
-    totals plus pool-lifecycle events (``parallel.*``, see
-    ``docs/telemetry.md``).
+    snapshot back with each unit's results; the session sees each unit's
+    events merged exactly once — a unit retried serially contributes
+    only its retry's snapshot — plus pool-lifecycle events
+    (``parallel.*`` / ``recovery.*``, see ``docs/telemetry.md``).
+
+    ``faults`` arms a :class:`repro.faults.FaultPlan` (or plan string)
+    for the duration of this call; ``None`` defers to the
+    ``REPRO_FAULTS`` environment variable.  See :mod:`repro.faults`.
     """
     if not jobs:
         raise ParameterError("at least one job is required")
@@ -332,17 +462,24 @@ def replay_parallel(
                 f"'auto' or 'vector', got {job.engine!r}"
             )
 
+    plan = _faults.resolve_plan(faults)
     session = obs.resolve(telemetry)
-    units = _expand(jobs, telemetry=session.enabled)
+    units = _expand(jobs, telemetry=session.enabled, faults=plan)
     session.count("parallel.jobs", len(jobs))
     session.count("parallel.units", len(units))
     chunks = sum(1 for unit in units if unit.replicas > 1)
     if chunks:
         session.count("parallel.replica_chunks", chunks)
-    if len(units) == 1 or max_workers == 1:
-        unit_results = [_run_unit(unit) for unit in units]
-    else:
-        unit_results = _run_units_pooled(units, max_workers, session)
+    if plan is not None:
+        _faults.arm(plan, telemetry=session)
+    try:
+        if len(units) == 1 or max_workers == 1:
+            unit_results = [_run_unit(unit) for unit in units]
+        else:
+            unit_results = _run_units_pooled(units, max_workers, session)
+    finally:
+        if plan is not None:
+            _faults.disarm()
 
     results: List[RunResult] = []
     for unit, (out, snap) in zip(units, unit_results):
@@ -360,7 +497,10 @@ def _run_units_pooled(
 
     Units whose future dies with the pool are retried serially with the
     original (unshared) trace, so a broken pool or a torn-down segment
-    never loses work.
+    never loses work.  Outcomes are recorded only once per unit: a
+    collected outcome that faults before being stored is discarded, and
+    the serial retry's outcome is the one that reaches the caller (and
+    therefore the telemetry merge).
     """
     shipped = []
     for unit in units:
@@ -375,34 +515,57 @@ def _run_units_pooled(
                     session.count("parallel.shm.published_bytes",
                                   trace.nbytes())
                 unit = replace(unit, trace=ref)
+            else:
+                session.count("recovery.pickle_fallback")
         shipped.append(unit)
 
     try:
         reusing = _POOL is not None and _POOL_WORKERS == max_workers
-        pool = _get_pool(max_workers)
-        futures = [pool.submit(_run_unit, unit) for unit in shipped]
+        pool = _get_pool(max_workers, session)
+        futures = []
+        for unit in shipped:
+            _faults.fire("pool.submit", unit=unit.index)
+            futures.append(pool.submit(_run_unit, unit))
         session.count("parallel.pool.reused" if reusing
                       else "parallel.pool.created")
     except (OSError, PermissionError, BrokenProcessPool):
         # Restricted environments (no fork/spawn): degrade gracefully.
         shutdown_pool()
+        _unlink_published(session)
         session.count("parallel.serial_fallbacks")
+        session.count("recovery.serial_fallback")
         return [_run_unit(unit) for unit in units]
 
     results: List[Optional[_UnitOutcome]] = [None] * len(units)
     retry: List[int] = []
+    broken = False
     for i, future in enumerate(futures):
         try:
-            results[i] = future.result()
+            outcome = future.result()
+            # The "collected but lost" seam: a fault here discards the
+            # outcome (worker snapshot included), and the serial retry
+            # below produces the only outcome that gets merged.
+            _faults.fire("result.collect", unit=i)
+            results[i] = outcome
         except BrokenProcessPool:
             # A worker died mid-map; the whole pool is poisoned.  Drop
             # it and finish this unit (and any others that follow) in
             # process.
+            broken = True
             shutdown_pool()
             retry.append(i)
-        except (OSError, PermissionError):
+        except (CancelledError, OSError, PermissionError):
+            # Cancelled: a mid-collect shutdown dropped this future
+            # before it ran; it lost no work the retry can't redo.
             retry.append(i)
+    if broken:
+        # Dead workers can't unlink their attachments; drop the parent's
+        # publications so nothing survives in /dev/shm.  Traces
+        # republish on the next pooled call.
+        _unlink_published(session)
+        session.count("recovery.pool_rebuilds")
     for i in retry:
         session.count("parallel.pool.broken_retries")
+        session.count("recovery.serial_retry")
         results[i] = _run_unit(units[i])
     return results

@@ -41,6 +41,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Union
 
+import numpy as np
+
 from repro import obs
 from repro.errors import ParameterError
 from repro.metrics.errors import (
@@ -256,24 +258,36 @@ def replay_replicas(
     replicas: int,
     rng=None,
     telemetry: Optional[obs.Telemetry] = None,
+    *,
+    chunked: bool = True,
 ) -> List[RunResult]:
-    """Replay ``replicas`` independent copies of ``scheme`` in one pass.
+    """Replay ``replicas`` independent copies of ``scheme`` columnar.
 
     Each replica behaves exactly like a separately-seeded ``engine=
-    "vector"`` replay of a fresh copy of ``scheme`` — the replicas share
-    one columnar sweep over the compiled trace, so R replays cost barely
+    "vector"`` replay of a fresh copy of ``scheme`` — replicas share
+    columnar sweeps over the compiled trace, so R replays cost barely
     more than one.  Returns one :class:`RunResult` per replica (engine
     ``"vector"``, ``elapsed_seconds`` = total / R); replica 0's final
     state is written back into ``scheme``.  Equivalent to
     ``repro.replay(..., replicas=R)``.
 
-    ``rng`` seeds the shared replica stream (any :func:`repro.seed_streams`
-    convention); ``None`` falls back to the scheme's own generator,
-    matching ``replay(..., engine="vector")``.  ``telemetry`` scopes
-    event recording as on the facade.
+    ``rng`` seeds the replica streams (any :func:`repro.seed_streams`
+    convention, including ``random.Random`` and NumPy generators);
+    ``None`` falls back to the scheme's own generator in a single pass,
+    matching ``replay(..., engine="vector")``.  A seeded replay is split
+    into chunks of :data:`repro.facade.REPLICA_CHUNK` replicas, one
+    independent child stream per chunk via
+    :func:`repro.facade.replica_chunks` — the same schedule
+    :func:`~repro.harness.parallel.replay_parallel` distributes over its
+    worker pool, so pooled and serial replica results are bit-identical
+    for the same seed.  ``chunked=False`` runs ``rng`` as one
+    already-derived chunk stream in a single pass (the parallel driver's
+    worker-side entry; the chunk seeds were derived in the parent).
+    ``telemetry`` scopes event recording as on the facade.
     """
     from repro.core.batchreplay import run_kernel
     from repro.core.kernels import kernel_spec
+    from repro.facade import replica_chunks
 
     resolve_engine("vector", scheme)  # strict: raises if no kernel
     if replicas < 1:
@@ -284,32 +298,49 @@ def replay_replicas(
     tel.count("replay.engine.vector")
     tel.count("replay.replicas", replicas)
     spec = kernel_spec(scheme)
-    result = run_kernel(
-        trace,
-        spec.factory,
-        mode=spec.mode,
-        rng=rng if rng is not None else scheme._rng,
-        replicas=replicas,
-        telemetry=tel,
-    )
-    tel.timing("replay.update", result.elapsed_seconds)
-    result.kernel.writeback(scheme, result.compiled.keys, result.packets)
+    if rng is None or not chunked:
+        plan = [(replicas, rng if rng is not None else scheme._rng)]
+    else:
+        plan = replica_chunks(replicas, rng)
+    if len(plan) > 1:
+        tel.count("replay.replica_chunks", len(plan))
+
+    first = None
+    estimate_rows = []
+    total_elapsed = 0.0
+    for size, chunk_rng in plan:
+        result = run_kernel(
+            trace,
+            spec.factory,
+            mode=spec.mode,
+            rng=chunk_rng,
+            replicas=size,
+            telemetry=tel,
+        )
+        tel.timing("replay.update", result.elapsed_seconds)
+        total_elapsed += result.elapsed_seconds
+        estimates = result.estimates
+        if size == 1:
+            estimates = estimates.reshape(1, -1)
+        estimate_rows.append(estimates)
+        if first is None:
+            first = result
+    # Replica 0 lives in the first chunk; its state becomes the scheme's.
+    first.kernel.writeback(scheme, first.compiled.keys, first.packets)
+    all_estimates = (estimate_rows[0] if len(estimate_rows) == 1
+                     else np.vstack(estimate_rows))
     snap = None
     if tel.enabled:
         snap = tel.snapshot()
         session.merge(snap)
 
-    truths = {k: int(t) for k, t in zip(result.keys, result.truths)}
+    truths = {k: int(t) for k, t in zip(first.keys, first.truths)}
     scheme_name = getattr(scheme, "name", type(scheme).__name__)
     max_bits = scheme.max_counter_bits()
-    per_replica_elapsed = result.elapsed_seconds / replicas
-    if replicas == 1:
-        all_estimates = result.estimates.reshape(1, -1)
-    else:
-        all_estimates = result.estimates
+    per_replica_elapsed = total_elapsed / replicas
     out: List[RunResult] = []
     for r in range(replicas):
-        errors_arr = relative_errors_array(all_estimates[r], result.truths)
+        errors_arr = relative_errors_array(all_estimates[r], first.truths)
         out.append(RunResult(
             scheme_name=scheme_name,
             trace_name=trace.name,
@@ -317,11 +348,11 @@ def replay_replicas(
             errors=[float(e) for e in errors_arr],
             summary=summarize_errors_array(errors_arr),
             estimates={k: float(e)
-                       for k, e in zip(result.keys, all_estimates[r])},
+                       for k, e in zip(first.keys, all_estimates[r])},
             truths=truths,
             max_counter_bits=max_bits,
             elapsed_seconds=per_replica_elapsed,
-            packets=result.packets,
+            packets=first.packets,
             engine="vector",
             telemetry=snap,
         ))

@@ -49,7 +49,11 @@ Process-global (ambient, for CLI runs and quick looks)::
 
 The global registry starts disabled unless the ``REPRO_OBS`` environment
 variable is set to ``1``/``true``/``yes``/``on``.  The catalogue of
-event names the engines emit is documented in ``docs/telemetry.md``.
+event names the engines emit is documented in ``docs/telemetry.md`` —
+including the ``faults.*`` / ``recovery.*`` events the fault-injection
+layer (:mod:`repro.faults`) and the parallel driver's recovery paths
+record, which exist precisely so failure handling is assertable through
+this module rather than merely survivable.
 """
 
 from __future__ import annotations
@@ -147,6 +151,17 @@ class Telemetry:
         if not self.enabled:
             return _NULL_SPAN
         return _Span(self, name)
+
+    # -- reading ------------------------------------------------------------
+
+    def count_of(self, name: str) -> int:
+        """The named counter's current value (0 when never counted).
+
+        Convenience for invariant assertions — ``tel.count_of(
+        "recovery.serial_retry")`` instead of reaching into the
+        ``counters`` dict with a default.
+        """
+        return self.counters.get(name, 0)
 
     # -- aggregation --------------------------------------------------------
 

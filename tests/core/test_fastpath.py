@@ -61,6 +61,43 @@ class TestUpdateCache:
         assert stats["entries"] == 1
         assert stats["max_entries"] == cache.max_entries
 
+    def test_hit_rate_on_empty_cache_is_zero(self):
+        cache = UpdateCache(GeometricCountingFunction(1.02))
+        assert cache.hit_rate == 0.0
+        assert cache.stats()["hit_rate"] == 0.0
+
+    def test_clear_resets_memo_and_accounting(self):
+        cache = UpdateCache(GeometricCountingFunction(1.02), max_entries=4)
+        for c in range(20):
+            cache.decision(c, 100.0)
+        cache.decision(19, 100.0)
+        assert cache.hits == 1 and cache.misses == 20 and cache.clears == 4
+        cache.clear()
+        assert len(cache._cache) == 0
+        # Unlike a capacity reset (which bumps ``clears`` and keeps the
+        # hit/miss history), clear() is a full restart of the accounting.
+        assert cache.hits == 0
+        assert cache.misses == 0
+        assert cache.clears == 0
+        assert cache.hit_rate == 0.0
+
+    def test_clear_then_reuse_counts_from_scratch(self):
+        fn = GeometricCountingFunction(1.02)
+        cache = UpdateCache(fn)
+        cache.decision(5, 100.0)
+        cache.decision(5, 100.0)
+        cache.clear()
+        # The memo is gone: the same key is a miss again, and the
+        # decision recomputed after clear is still exact.
+        delta, p = cache.decision(5, 100.0)
+        exact = compute_update(fn, 5, 100.0)
+        assert (delta, p) == (exact.delta, exact.probability)
+        assert cache.hits == 0
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.0
+        cache.decision(5, 100.0)
+        assert cache.hit_rate == pytest.approx(0.5)
+
 
 class TestFastDiscoSketch:
     def test_mode_validation(self):

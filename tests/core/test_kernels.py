@@ -215,3 +215,169 @@ class TestEdgeCases:
             run_kernel(trace, factory, replicas=0)
         with pytest.raises(ParameterError):
             run_kernel(trace, factory, min_lanes=0)
+
+
+class _ScriptedUniforms:
+    """A stand-in for the kernels' uniform sources with a known script.
+
+    Serves both the NumPy-generator surface the vector paths consume
+    (``random(size)``) and the scalar ``draw()`` callable the tails use,
+    popping from one shared sequence — so two kernels fed copies of the
+    same script are comparable draw-for-draw.
+    """
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def random(self, size=None):
+        if size is None:
+            return self.values.pop(0)
+        return np.array([self.values.pop(0) for _ in range(int(size))])
+
+    def __len__(self):
+        return len(self.values)
+
+
+class TestDwellBoundary:
+    """Satellite audit: scalar tails vs vector paths at regime boundaries.
+
+    The vector ANLS-II column step draws one uniform per active lane per
+    jump attempt *even when success is certain* (c = 0, p = 1); the
+    scalar tail must consume its stream identically or the two paths
+    fall out of alignment from the first boundary packet on.  Similarly
+    DISCO's two-phase tail (memoized decisions below ``c*``, dwell
+    above) must agree packet-for-packet with the pure Algorithm-1
+    reference across the ``b^c == l`` crossover.
+    """
+
+    # -- ANLS-II: geometric jumps vs per-unit tail ------------------------
+
+    @staticmethod
+    def _anls2_vector(us, lens, b):
+        from repro.core.kernels import AnlsPerUnitKernel
+
+        kernel = AnlsPerUnitKernel(1, np.random.default_rng(0), 1, b=b)
+        script = _ScriptedUniforms(us)
+        kernel.gen = script
+        for l in lens:
+            kernel.step_column(np.array([float(l)]), 1)
+        return int(kernel.c[0]), len(script)
+
+    @staticmethod
+    def _anls2_scalar(us, lens, b):
+        from repro.core.kernels import AnlsPerUnitKernel
+
+        kernel = AnlsPerUnitKernel(1, np.random.default_rng(0), 1, b=b)
+        script = _ScriptedUniforms(us)
+        kernel._tail_rand = script.random
+        kernel.tail_flow(0, np.array([float(l) for l in lens]), len(lens))
+        return int(kernel.c[0]), len(script)
+
+    def test_anls2_tail_consumes_a_draw_at_c0(self):
+        # c = 0 means certain success (p = 1): the draw's value is
+        # irrelevant but it must still be consumed.  With us[0] spent on
+        # the c = 0 jump, the remaining jumps line up with the vector
+        # path; the pre-fix tail skipped it and landed on c = 2, not 3.
+        us = [0.9, 0.3, 0.6, 0.8]
+        vec = self._anls2_vector(list(us), [5], b=2.0)
+        tail = self._anls2_scalar(list(us), [5], b=2.0)
+        assert vec == tail == (3, 1)  # same counter, same leftovers
+
+    def test_anls2_certain_jump_ignores_u_zero(self):
+        # u = 0 at c = 0 must not break the packet: success is certain.
+        vec = self._anls2_vector([0.0, 0.4, 0.9], [3], b=2.0)
+        tail = self._anls2_scalar([0.0, 0.4, 0.9], [3], b=2.0)
+        assert vec == tail
+        assert vec[0] >= 1
+
+    def test_anls2_u_zero_ends_packet_above_c0(self):
+        # u = 0 with c > 0 is the measure-zero "geometric never lands"
+        # draw: both paths spend the packet without advancing further.
+        us = [0.9, 0.0, 0.5, 0.5]
+        vec = self._anls2_vector(list(us), [10], b=2.0)
+        tail = self._anls2_scalar(list(us), [10], b=2.0)
+        assert vec == tail == (1, 2)
+
+    def test_anls2_jump_equal_to_remaining_budget_lands(self):
+        # The g == rem crossover: a jump exactly consuming the budget
+        # still advances the counter (hit is inclusive) on both paths.
+        # us[2] = 0.6 at c = 2 gives g = 2 against rem = 2.
+        us = [0.9, 0.3, 0.6]
+        vec = self._anls2_vector(list(us), [5], b=2.0)
+        tail = self._anls2_scalar(list(us), [5], b=2.0)
+        assert vec == tail == (3, 0)
+
+    @pytest.mark.parametrize("b", [2.0, 1.5, 1.05])
+    def test_anls2_paths_agree_packet_for_packet(self, b):
+        rng = np.random.default_rng(20100621)
+        lens = rng.integers(1, 40, size=25).tolist()
+        us = rng.random(2000).tolist()
+        assert self._anls2_vector(list(us), lens, b) \
+            == self._anls2_scalar(list(us), lens, b)
+
+    # -- DISCO: two-phase tail vs pure Algorithm 1 ------------------------
+
+    @staticmethod
+    def _disco_reference(b, c0, lens, us):
+        from repro.core.functions import GeometricCountingFunction
+        from repro.core.update import compute_update
+
+        fn = GeometricCountingFunction(b)
+        draws = iter(us)
+        c = c0
+        for l in lens:
+            decision = compute_update(fn, c, float(l))
+            c += decision.delta + (1 if next(draws) < decision.probability
+                                   else 0)
+        return c
+
+    @staticmethod
+    def _disco_tail(b, c0, lens, us):
+        from repro.core.kernels import DiscoKernel
+
+        kernel = DiscoKernel(1, np.random.default_rng(0), 1, b=b)
+        script = _ScriptedUniforms(us)
+        kernel.gen = script
+        kernel._tail_rand = script.random
+        kernel.state.counters[0] = c0
+        if lens is None:
+            kernel.tail_flow(0, None, len(us))
+        else:
+            kernel.tail_flow(0, np.array([float(l) for l in lens]),
+                             len(lens))
+        return int(kernel.state.counters[0])
+
+    @pytest.mark.parametrize("c0", [0, 2, 3, 4, 6])
+    def test_disco_tail_matches_reference_across_crossover(self, c0):
+        # b = 2, every length a power of two: maxlen = 8 puts the
+        # boundary exactly at b^3 == 8, so c0 = 3 starts *on* the
+        # crossover and the run sweeps memoized -> dwell mid-flow.
+        b = 2.0
+        lens = [8, 6, 8, 2, 8, 8, 1, 8, 4, 8] * 4
+        rng = np.random.default_rng(7)
+        us = rng.random(len(lens)).tolist()
+        assert self._disco_tail(b, c0, list(lens), list(us)) \
+            == self._disco_reference(b, c0, lens, us)
+
+    def test_disco_below_boundary_can_jump_by_more_than_one(self):
+        # b^c < l is the regime a mis-placed dwell phase would clamp to
+        # +1 per packet: at c = 2, l = 8 (gap 4), Algorithm 1 takes
+        # delta = 1 plus a Bernoulli(1/2) — u = 0.1 lands the extra step.
+        b = 2.0
+        assert self._disco_reference(b, 2, [8.0], [0.1]) == 4
+        assert self._disco_tail(b, 2, [8.0], [0.1]) == 4
+
+    @pytest.mark.parametrize("b", [2.0, 1.7])
+    def test_disco_tail_matches_reference_mixed_lengths(self, b):
+        rng = np.random.default_rng(42)
+        lens = rng.integers(1, 30, size=60).tolist()
+        us = rng.random(len(lens)).tolist()
+        for c0 in (0, 5, 11):
+            assert self._disco_tail(b, c0, list(lens), list(us)) \
+                == self._disco_reference(b, c0, lens, us)
+
+    def test_disco_size_mode_tail_matches_reference(self):
+        b = 2.0
+        us = np.random.default_rng(3).random(50).tolist()
+        assert self._disco_tail(b, 0, None, list(us)) \
+            == self._disco_reference(b, 0, [1.0] * len(us), us)

@@ -1,0 +1,309 @@
+"""Invariant audit for the parallel replay stack under injected faults.
+
+Every recovery path in :mod:`repro.harness.parallel` must preserve four
+properties, asserted here with :mod:`repro.faults` driving deterministic
+failure schedules:
+
+* results bit-identical to serial ``replay_replicas`` under any fault;
+* telemetry merged exactly once (no double-count on serial retry);
+* no ``/dev/shm`` segment left behind after worker death;
+* the pool rebuilt, not poisoned, for subsequent calls.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+import repro.faults as faults_mod
+import repro.harness.parallel as parallel_mod
+from repro import obs
+from repro.core.disco import DiscoSketch
+from repro.errors import ParameterError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, resolve_plan
+from repro.harness.parallel import ReplayJob, replay_parallel, shutdown_pool
+from repro.harness.runner import replay_replicas
+from repro.traces.synthetic import scenario3
+
+REPLICAS = 10  # deliberately not divisible by REPLICA_CHUNK (= 8)
+SEED = 5
+
+
+def _disco_factory():
+    return DiscoSketch(b=1.01, mode="volume", rng=7)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return scenario3(num_flows=15, rng=2)
+
+
+@pytest.fixture(scope="module")
+def serial_estimates(trace):
+    results = replay_replicas(_disco_factory(), trace, replicas=REPLICAS,
+                              rng=SEED)
+    return [r.estimates for r in results]
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    faults_mod.disarm()
+    yield
+    faults_mod.disarm()
+    shutdown_pool()
+
+
+def _shm_segments():
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return set()
+    return {name for name in os.listdir(shm_dir)
+            if name.startswith(f"repro_{os.getpid()}_")}
+
+
+# ---------------------------------------------------------------------------
+# plan grammar + injector mechanics
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_parse_full_grammar(self):
+        plan = FaultPlan.parse(
+            "worker.run:kill:unit=1;"
+            "shm.attach:raise:exception=OSError:times=2:after=1;"
+            "result.collect")
+        assert plan.specs == (
+            FaultSpec("worker.run", action="kill", unit=1),
+            FaultSpec("shm.attach", exception="OSError", times=2, after=1),
+            FaultSpec("result.collect"),
+        )
+
+    def test_parse_rejects_garbage(self):
+        for text in ("", "nope.site", "worker.run:explode",
+                     "worker.run:times=x", "worker.run:color=red",
+                     "pool.submit:kill"):  # kill only valid at worker.run
+            with pytest.raises(ParameterError):
+                FaultPlan.parse(text)
+
+    def test_spec_validation(self):
+        with pytest.raises(ParameterError):
+            FaultSpec("worker.run", times=0)
+        with pytest.raises(ParameterError):
+            FaultSpec("worker.run", after=-1)
+        with pytest.raises(ParameterError):
+            FaultSpec("worker.run", exception="KeyboardInterrupt")
+
+    def test_worker_specs_subset(self):
+        plan = FaultPlan.parse("worker.run:kill;pool.submit;shm.attach")
+        assert {s.site for s in plan.worker_specs().specs} == \
+            {"worker.run", "shm.attach"}
+
+    def test_resolve_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert resolve_plan(None) is None
+        plan = FaultPlan.parse("pool.submit")
+        assert resolve_plan(plan) is plan
+        assert resolve_plan("pool.submit").specs == plan.specs
+        monkeypatch.setenv("REPRO_FAULTS", "shm.create:times=3")
+        env_plan = resolve_plan(None)
+        assert env_plan.specs == (FaultSpec("shm.create", times=3),)
+        with pytest.raises(ParameterError):
+            resolve_plan(42)
+
+
+class TestFaultInjector:
+    def test_after_and_times_window(self):
+        tel = obs.Telemetry()
+        injector = FaultInjector(
+            FaultPlan.parse("pool.submit:after=1:times=2"), tel)
+        injector.fire("pool.submit")  # passage 1: skipped by after
+        for _ in range(2):  # passages 2-3: the times window
+            with pytest.raises(OSError):
+                injector.fire("pool.submit")
+        injector.fire("pool.submit")  # window exhausted
+        assert injector.injected == 2
+        assert tel.count_of("faults.injected.pool.submit") == 2
+
+    def test_unit_targeting(self):
+        injector = FaultInjector(FaultPlan.parse("result.collect:unit=2"))
+        injector.fire("result.collect", unit=0)
+        injector.fire("result.collect", unit=1)
+        injector.fire("result.collect")  # untargeted passage never matches
+        with pytest.raises(OSError):
+            injector.fire("result.collect", unit=2)
+
+    def test_pid_guard_makes_forked_state_inert(self):
+        injector = FaultInjector(FaultPlan.parse("pool.submit"))
+        injector._pid = os.getpid() + 1  # simulate inherited-by-fork state
+        injector.fire("pool.submit")  # would raise if it fired
+        assert injector.injected == 0
+
+    def test_disarmed_fire_is_noop(self):
+        faults_mod.disarm()
+        faults_mod.fire("pool.submit")
+        faults_mod.fire("worker.run", unit=3)
+
+
+# ---------------------------------------------------------------------------
+# the headline invariant: parallel == serial, faults or no faults
+# ---------------------------------------------------------------------------
+
+def _pooled_estimates(trace, *, rng=SEED, faults=None, telemetry=None,
+                      max_workers=3, compiled=False):
+    if compiled:
+        # Shared-memory shipping only applies to compiled traces.
+        from repro.traces.compiled import compile_trace
+        trace = compile_trace(trace)
+    jobs = [ReplayJob(_disco_factory, trace, engine="vector",
+                      replicas=REPLICAS, rng=rng)]
+    results = replay_parallel(jobs, max_workers=max_workers,
+                              telemetry=telemetry, faults=faults)
+    assert len(results) == REPLICAS
+    return [r.estimates for r in results]
+
+
+class TestParallelSerialIdentity:
+    def test_bit_identical_without_faults(self, trace, serial_estimates):
+        # REPLICAS = 10 leaves a remainder chunk of 2; the pooled driver
+        # and serial replay_replicas must still derive the same streams.
+        assert _pooled_estimates(trace) == serial_estimates
+
+    def test_bit_identical_for_every_rng_convention(self, trace):
+        conventions = [
+            lambda: 11,
+            lambda: random.Random(11),
+            lambda: np.random.default_rng(11),
+            lambda: np.random.SeedSequence(11),
+        ]
+        for make in conventions:
+            serial = replay_replicas(_disco_factory(), trace,
+                                     replicas=REPLICAS, rng=make())
+            pooled = _pooled_estimates(trace, rng=make())
+            assert pooled == [r.estimates for r in serial]
+
+    @pytest.mark.parametrize("plan", [
+        "worker.run:kill:unit=1",
+        "worker.run:kill:times=1",
+        "shm.attach:raise:exception=OSError",
+        "result.collect:raise:exception=BrokenProcessPool:after=1:times=1",
+        "pool.submit:raise:exception=OSError",
+        "pool.create:raise:exception=OSError",
+        "shm.create:raise:exception=OSError",
+    ])
+    def test_bit_identical_under_fault_plans(self, trace, serial_estimates,
+                                             plan, monkeypatch):
+        shutdown_pool()  # force pool.create (and the startup sweep) to run
+        shm_plan = plan.startswith("shm.")
+        if shm_plan:
+            monkeypatch.setattr(parallel_mod, "SHARE_THRESHOLD_BYTES", 0)
+        tel = obs.Telemetry()
+        assert _pooled_estimates(trace, faults=plan, telemetry=tel,
+                                 compiled=shm_plan) == serial_estimates
+        snap = tel.snapshot()["counters"]
+        site = plan.split(":")[0]
+        if site in ("worker.run", "shm.attach"):
+            # Worker-side injections die with (or return from) the
+            # worker; the parent's evidence is the recovery it took.
+            assert snap.get("recovery.serial_retry", 0) >= 1
+        else:
+            assert snap.get(f"faults.injected.{site}", 0) >= 1
+
+    def test_env_armed_faults(self, trace, serial_estimates, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS",
+                           "pool.submit:raise:exception=OSError")
+        tel = obs.Telemetry()
+        assert _pooled_estimates(trace, telemetry=tel) == serial_estimates
+        snap = tel.snapshot()["counters"]
+        assert snap.get("faults.injected.pool.submit", 0) == 1
+        assert snap.get("recovery.serial_fallback", 0) == 1
+
+
+# ---------------------------------------------------------------------------
+# recovery bookkeeping: exactly-once merge, shm hygiene, pool health
+# ---------------------------------------------------------------------------
+
+class TestRecoveryInvariants:
+    def test_telemetry_merged_exactly_once_on_retry(self, trace):
+        # The collected-but-lost seam: unit 0's worker outcome (snapshot
+        # included) is discarded, the serial retry's outcome is the only
+        # one merged — replay events must come out exactly once per unit.
+        tel = obs.Telemetry()
+        _pooled_estimates(
+            trace, telemetry=tel,
+            faults="result.collect:raise:exception=BrokenProcessPool"
+                   ":unit=0:times=1")
+        assert tel.count_of("parallel.units") == 2
+        assert tel.count_of("replay.calls") == 2
+        assert tel.count_of("replay.replicas") == REPLICAS
+        assert tel.count_of("faults.injected.result.collect") == 1
+        assert tel.count_of("recovery.serial_retry") >= 1
+        assert tel.count_of("recovery.pool_rebuilds") == 1
+
+    def test_no_shm_leak_after_worker_kill(self, trace, serial_estimates,
+                                           monkeypatch):
+        monkeypatch.setattr(parallel_mod, "SHARE_THRESHOLD_BYTES", 0)
+        before = _shm_segments()
+        tel = obs.Telemetry()
+        assert _pooled_estimates(trace, telemetry=tel, compiled=True,
+                                 faults="worker.run:kill:unit=0") \
+            == serial_estimates
+        # Broken-pool recovery unlinks eagerly — nothing new may survive
+        # the call, even with the compiled trace still referenced.
+        assert _shm_segments() <= before
+        assert tel.count_of("recovery.shm.unlinked") >= 1
+
+    def test_pool_rebuilt_not_poisoned(self, trace, serial_estimates):
+        tel = obs.Telemetry()
+        assert _pooled_estimates(trace, faults="worker.run:kill:times=1",
+                                 telemetry=tel) == serial_estimates
+        assert tel.count_of("recovery.pool_rebuilds") == 1
+        # Next call gets a fresh pool and runs clean.
+        after = obs.Telemetry()
+        assert _pooled_estimates(trace, telemetry=after) == serial_estimates
+        assert after.count_of("parallel.pool.created") == 1
+        assert after.count_of("recovery.pool_rebuilds") == 0
+        assert after.count_of("recovery.serial_retry") == 0
+
+    def test_unlink_segment_is_idempotent(self, trace, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "SHARE_THRESHOLD_BYTES", 0)
+        from repro.traces.compiled import compile_trace
+        compiled = compile_trace(trace)
+        ref = parallel_mod._publish(compiled)
+        assert ref is not None
+        handle = parallel_mod._PUBLISHED[compiled]
+        parallel_mod._unlink_segment(handle.shm)
+        assert ref.shm_name in parallel_mod._UNLINKED
+        parallel_mod._unlink_segment(handle.shm)  # second call: clean no-op
+        assert ref.shm_name not in _shm_segments()
+        del parallel_mod._PUBLISHED[compiled]
+
+    def test_startup_sweep_removes_dead_owner_segments(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        import multiprocessing
+        probe = multiprocessing.Process(target=lambda: None)
+        probe.start()
+        probe.join()  # probe.pid is now a dead process
+        stale = f"repro_{probe.pid}_0_deadbeef"
+        path = os.path.join("/dev/shm", stale)
+        with open(path, "wb") as fh:
+            fh.write(b"\0" * 16)
+        try:
+            tel = obs.Telemetry()
+            parallel_mod._sweep_stale_segments(tel)
+            assert not os.path.exists(path)
+            assert tel.count_of("recovery.shm.swept") >= 1
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+    def test_live_owner_segments_survive_sweep(self, trace, monkeypatch):
+        monkeypatch.setattr(parallel_mod, "SHARE_THRESHOLD_BYTES", 0)
+        from repro.traces.compiled import compile_trace
+        compiled = compile_trace(trace)
+        ref = parallel_mod._publish(compiled)
+        assert ref is not None
+        parallel_mod._sweep_stale_segments(obs.Telemetry())
+        assert ref.shm_name in _shm_segments()
+        handle = parallel_mod._PUBLISHED.pop(compiled)
+        parallel_mod._unlink_segment(handle.shm)

@@ -10,6 +10,7 @@ from repro.core.disco import DiscoSketch
 from repro.counters.exact import ExactCounters
 from repro.errors import ParameterError
 from repro.harness.parallel import ReplayJob, replay_parallel, shutdown_pool
+from repro.harness.runner import replay_replicas
 from repro.traces.compiled import compile_trace
 from repro.traces.synthetic import scenario3
 
@@ -85,6 +86,18 @@ class TestReplicaJobs:
                           replicas=10, rng=5)]
         pooled = replay_parallel(jobs, max_workers=3)
         serial = replay_parallel(jobs, max_workers=1)
+        assert len(pooled) == len(serial) == 10
+        for a, b in zip(pooled, serial):
+            assert a.estimates == b.estimates
+
+    def test_replicas_bit_identical_to_serial_replay_replicas(self, trace):
+        # 10 replicas against REPLICA_CHUNK = 8 leaves a remainder chunk
+        # of 2: both paths must derive the same per-chunk streams from
+        # one seed (facade.replica_chunks), pooled or not.
+        jobs = [ReplayJob(_disco_factory, trace, engine="vector",
+                          replicas=10, rng=5)]
+        pooled = replay_parallel(jobs, max_workers=3)
+        serial = replay_replicas(_disco_factory(), trace, replicas=10, rng=5)
         assert len(pooled) == len(serial) == 10
         for a, b in zip(pooled, serial):
             assert a.estimates == b.estimates

@@ -122,3 +122,46 @@ class TestGlobalRegistry:
     def test_repr_mentions_state(self):
         assert "disabled" in repr(Telemetry(enabled=False))
         assert "enabled" in repr(Telemetry())
+
+
+def _exact_factory():
+    from repro.counters.exact import ExactCounters
+
+    return ExactCounters(mode="volume")
+
+
+class TestExactlyOnceMerge:
+    """A unit retried serially must contribute its events exactly once.
+
+    The hazard: a worker completes a unit (snapshot included), the
+    parent loses the outcome after collection, and the serial retry
+    records the same replay again — merging both would double-count.
+    The driver discards the collected-but-lost outcome, so only the
+    retry's snapshot reaches the session.
+    """
+
+    def test_retried_unit_merges_snapshot_exactly_once(self):
+        from repro.harness.parallel import (
+            ReplayJob,
+            replay_parallel,
+            shutdown_pool,
+        )
+        from repro.traces.synthetic import scenario3
+
+        trace = scenario3(num_flows=8, rng=3)
+        tel = Telemetry()
+        jobs = [ReplayJob(_exact_factory, trace, rng=1) for _ in range(2)]
+        try:
+            results = replay_parallel(
+                jobs, max_workers=2, telemetry=tel,
+                faults="result.collect:raise"
+                       ":exception=BrokenProcessPool:unit=0:times=1")
+        finally:
+            shutdown_pool()
+        assert len(results) == 2
+        # Unit 0 ran twice (pooled, then retried in-process) but its
+        # events were merged once: two units -> exactly two replays.
+        assert tel.count_of("replay.calls") == 2
+        assert tel.count_of("parallel.units") == 2
+        assert tel.count_of("faults.injected.result.collect") == 1
+        assert tel.count_of("recovery.serial_retry") >= 1

@@ -29,6 +29,7 @@ MODULES = [
     "repro.errors",
     "repro.obs",
     "repro.facade",
+    "repro.faults",
     "repro.core.functions",
     "repro.core.update",
     "repro.core.disco",
@@ -74,8 +75,8 @@ MODULES = [
 EXPECTED_ALL = {
     "repro": [
         "ConfidenceInterval", "CounterOverflowError", "CountingFunction",
-        "DecodingError", "DiscoCounter", "DiscoSketch",
-        "GeometricCountingFunction", "HybridCountingFunction",
+        "DecodingError", "DiscoCounter", "DiscoSketch", "FaultPlan",
+        "FaultSpec", "GeometricCountingFunction", "HybridCountingFunction",
         "LinearCountingFunction", "ParameterError", "ReplayJob",
         "ReplayStreams", "ReproError", "RunResult", "Telemetry",
         "TraceFormatError", "UpdateDecision", "__version__", "apply_update",
@@ -116,7 +117,12 @@ EXPECTED_ALL = {
         "NULL_TELEMETRY", "Telemetry", "disable", "enable", "get", "resolve",
     ],
     "repro.facade": [
-        "ReplayStreams", "replay", "seed_streams",
+        "REPLICA_CHUNK", "ReplayStreams", "replay", "replica_chunks",
+        "seed_streams",
+    ],
+    "repro.faults": [
+        "FaultInjector", "FaultPlan", "FaultSpec", "SITES", "WORKER_SITES",
+        "active", "arm", "disarm", "fire", "resolve_plan",
     ],
 }
 
