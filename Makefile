@@ -2,10 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults bench bench-gate bench-gate-quick report examples all
+.PHONY: install lint test test-faults bench bench-gate bench-gate-quick report examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+# Static checks.  ruff (configured in pyproject.toml) when available;
+# otherwise fall back to a byte-compile pass so the target still
+# catches syntax errors on minimal environments.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; falling back to compileall"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -32,4 +43,4 @@ report:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; echo "all examples ran"
 
-all: test test-faults bench
+all: lint test test-faults bench

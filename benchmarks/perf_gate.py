@@ -20,7 +20,11 @@ columnar kernel (SAC, ANLS-I, ANLS-II, SD) against its pure-Python
    — the hook the parallel driver leaves inline on every pool/shm
    operation — and fails if a call costs more than
    :data:`FAULT_SEAM_LIMIT_NS`, so arming hooks for tests can never tax
-   production replays.
+   production replays,
+5. times the sharded epoch stream (``bench_stream_throughput``) against
+   the one-shot vector replay and fails if the ratio falls below the
+   absolute :data:`STREAM_FLOOR` — chunked streaming must never become
+   overhead-dominated.
 
 Run it directly (``make bench-gate`` / ``make bench-gate-quick``)::
 
@@ -61,6 +65,13 @@ GATE_KEYS = ("perf_vector_speedup", "perf_fast_speedup") + tuple(
 )
 #: Maximum tolerated relative drop of a gated ratio.
 REGRESSION_TOLERANCE = 0.20
+#: Absolute floor on ``perf_stream_vs_vector`` (sharded stream pps over
+#: one-shot vector replay pps, measured by
+#: ``bench_stream_throughput.measure_stream``).  Not baselined like the
+#: speedup keys: the claim is structural — chunked epoch streaming must
+#: stay within 2x of a monolithic replay — so the floor is a constant,
+#: never ratcheted by whatever machine last ran ``--update-baseline``.
+STREAM_FLOOR = 0.5
 #: BENCH_perf.json keeps at most this many trajectory entries.
 HISTORY_LIMIT = 50
 #: Maximum tolerated telemetry cost: enabled vs disabled vector replay.
@@ -113,19 +124,36 @@ def build_comparator_trace():
 
 
 def _comparator_schemes(seed: int):
-    """Fresh comparator instances, one per gated kernel."""
-    from repro.counters.anls import AnlsBytesNaive, AnlsPerUnit
-    from repro.counters.sac import SmallActiveCounters
-    from repro.counters.sd import SdCounters
+    """Fresh comparator instances, one per gated kernel.
+
+    Built through the public registry (:mod:`repro.schemes`) so the gate
+    times exactly what ``make_scheme`` hands every other caller.
+    """
+    from repro.schemes import make_scheme
 
     return {
-        "sac": SmallActiveCounters(total_bits=10, mode_bits=3,
-                                   mode="volume", rng=seed),
-        "anls1": AnlsBytesNaive(b=DISCO_B, mode="volume", rng=seed),
-        "anls2": AnlsPerUnit(b=DISCO_B, mode="volume", rng=seed),
-        "sd": SdCounters(sram_bits=12, dram_access_ratio=12,
-                         mode="volume", rng=seed),
+        "sac": make_scheme("sac", bits=10, mode_bits=3, seed=seed),
+        "anls1": make_scheme("anls1", b=DISCO_B, seed=seed),
+        "anls2": make_scheme("anls2", b=DISCO_B, seed=seed),
+        "sd": make_scheme("sd", sram_bits=12, dram_access_ratio=12,
+                          seed=seed),
     }
+
+
+def measure_stream_metrics() -> Dict[str, float]:
+    """Run ``bench_stream_throughput.measure_stream`` (by file path).
+
+    Loaded via ``importlib`` so the gate works both as a script (where
+    ``benchmarks/`` is ``sys.path[0]``) and imported from the test
+    suite (where it is not).
+    """
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "bench_stream_throughput", ROOT / "bench_stream_throughput.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.measure_stream()
 
 
 def measure(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
@@ -384,6 +412,13 @@ def main(argv=None) -> int:
         print(f"  {name:>7}: {pps / 1e6:6.2f} Mpps"
               f"   ({metrics[f'perf_{name}_speedup']:.1f}x python)")
 
+    metrics.update(measure_stream_metrics())
+    stream_ratio = metrics["perf_stream_vs_vector"]
+    print(f"stream throughput: "
+          f"{metrics['perf_stream_pps'] / 1e6:6.2f} Mpps "
+          f"({stream_ratio:.2f}x one-shot vector replay; "
+          f"floor {STREAM_FLOOR:.2f}x)")
+
     telemetry = measure_overhead()
     overhead_pct = telemetry["obs_overhead_pct"]
     vector_events = telemetry["events"]["vector"]
@@ -421,6 +456,11 @@ def main(argv=None) -> int:
         print(f"PERF GATE FAILED: disarmed fault seam {seam_ns:.0f} ns/call "
               f"exceeds {FAULT_SEAM_LIMIT_NS:.0f} ns", file=sys.stderr)
         return 1
+    if stream_ratio < STREAM_FLOOR:
+        print(f"PERF GATE FAILED: stream throughput {stream_ratio:.2f}x "
+              f"of the one-shot vector replay is below the "
+              f"{STREAM_FLOOR:.2f}x floor", file=sys.stderr)
+        return 1
     gated = [k for k in GATE_KEYS if k in metrics]
     summary = ", ".join(
         f"{k.removeprefix('perf_').removesuffix('_speedup')} "
@@ -430,7 +470,8 @@ def main(argv=None) -> int:
     print(f"perf gate passed ({summary}; "
           f"tolerance {REGRESSION_TOLERANCE:.0%}; "
           f"obs overhead {overhead_pct:+.2f}%; "
-          f"fault seam {seam_ns:.0f} ns)")
+          f"fault seam {seam_ns:.0f} ns; "
+          f"stream {stream_ratio:.2f}x)")
     return 0
 
 

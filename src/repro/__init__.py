@@ -26,6 +26,23 @@ Bulk runs fan out through :class:`~repro.harness.parallel.ReplayJob` +
 :func:`~repro.harness.montecarlo.measure_trace_estimator` wrap the
 multi-replica axis for Monte-Carlo measurement.
 
+Streaming — :func:`repro.stream` measures a trace the way the paper's
+linecards do: incrementally, hash-sharded, with counters exported and
+reset once per epoch (:mod:`repro.streaming` holds the session type)::
+
+    from repro import scheme_factory, stream
+    result = stream(scheme_factory("disco", b=1.02, seed=42), trace,
+                    shards=4, epoch_packets=50_000, rng=7)
+    result.snapshots      # one EpochSnapshot per rotation
+    result.estimates_dict()  # flows summed across epochs
+
+Schemes are built by name through the public registry
+(:func:`repro.make_scheme` / :func:`repro.scheme_factory` — the frozen
+factory pickles into pool workers and stream checkpoints), and every
+terminal result type satisfies the :class:`repro.results
+.MeasurementResult` protocol (``estimates_dict()`` / ``telemetry`` /
+``to_json()``).
+
 Observability — every replay layer is threaded through
 :class:`repro.obs.Telemetry` (named counters, timers, spans), disabled
 by default and free when off::
@@ -43,9 +60,18 @@ accuracy metrics (:mod:`repro.metrics`), the theory of Section IV
 """
 
 from repro import obs
-from repro.facade import ReplayStreams, replay, seed_streams
+from repro.facade import ReplayStreams, replay, seed_streams, stream
 from repro.faults import FaultPlan, FaultSpec
 from repro.obs import Telemetry
+from repro.results import MeasurementResult
+from repro.schemes import (
+    SchemeFactory,
+    SchemeSpec,
+    make_scheme,
+    scheme_factory,
+    scheme_names,
+)
+from repro.streaming import EpochSnapshot, StreamResult, StreamSession
 from repro.core import (
     ConfidenceInterval,
     CountingFunction,
@@ -89,9 +115,19 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     "replay",
+    "stream",
     "seed_streams",
     "ReplayStreams",
     "RunResult",
+    "MeasurementResult",
+    "StreamSession",
+    "StreamResult",
+    "EpochSnapshot",
+    "make_scheme",
+    "scheme_factory",
+    "scheme_names",
+    "SchemeFactory",
+    "SchemeSpec",
     "replay_replicas",
     "replay_parallel",
     "ReplayJob",

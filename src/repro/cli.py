@@ -19,12 +19,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.analysis import choose_b
-from repro.core.disco import DiscoSketch
-from repro.counters.anls import AnlsBytesNaive, AnlsPerUnit
-from repro.counters.exact import ExactCounters
-from repro.counters.sac import SmallActiveCounters
-from repro.counters.sd import SdCounters
 from repro.harness.experiments import (
     bound_gap,
     counter_bits_vs_volume,
@@ -35,7 +29,8 @@ from repro.harness.experiments import (
     volume_error_vs_counter_size,
 )
 from repro.harness.formatting import render_series, render_table
-from repro.facade import replay
+from repro.facade import replay, stream
+from repro.schemes import make_scheme, scheme_factory, scheme_names
 from repro.traces.nlanr import nlanr_like
 from repro.traces.synthetic import scenario1, scenario2, scenario3
 from repro.traces.trace_io import read_trace, write_trace
@@ -43,7 +38,8 @@ from repro.traces.trace_io import read_trace, write_trace
 __all__ = ["main", "build_parser"]
 
 TRACE_KINDS = ("nlanr", "scenario1", "scenario2", "scenario3")
-SCHEMES = ("disco", "sac", "exact", "sd", "anls1", "anls2")
+#: Valid ``--scheme`` choices — the public registry, not a local list.
+SCHEMES = scheme_names()
 
 
 def _make_trace(kind: str, flows: int, seed: int):
@@ -56,25 +52,6 @@ def _make_trace(kind: str, flows: int, seed: int):
     if kind == "scenario3":
         return scenario3(num_flows=flows, rng=seed)
     raise ValueError(kind)
-
-
-def _make_scheme(name: str, bits: int, mode: str, max_length: float, seed: int):
-    if name == "disco":
-        b = choose_b(bits, max_length, slack=1.5)
-        return DiscoSketch(b=b, mode=mode, rng=seed, capacity_bits=bits)
-    if name == "sac":
-        return SmallActiveCounters(total_bits=bits, mode_bits=3, mode=mode, rng=seed)
-    if name == "exact":
-        return ExactCounters(mode=mode)
-    if name == "sd":
-        return SdCounters(sram_bits=16, mode=mode, rng=seed)
-    if name == "anls1":
-        b = choose_b(bits, max_length, slack=1.5)
-        return AnlsBytesNaive(b=b, mode="volume", rng=seed)
-    if name == "anls2":
-        b = choose_b(bits, max_length, slack=1.5)
-        return AnlsPerUnit(b=b, mode="volume", rng=seed)
-    raise ValueError(name)
 
 
 # -- subcommand handlers -------------------------------------------------------
@@ -109,8 +86,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
     trace = _read_any_trace(args.trace)
     truths = trace.true_totals(args.mode)
-    max_length = max(truths.values())
-    scheme = _make_scheme(args.scheme, args.bits, args.mode, max_length, args.seed)
+    scheme = make_scheme(args.scheme, bits=args.bits, mode=args.mode,
+                         max_length=max(truths.values()), seed=args.seed)
     tel = Telemetry() if args.telemetry else None
     result = replay(scheme, trace, rng=args.seed + 1, engine=args.engine,
                     telemetry=tel)
@@ -134,8 +111,52 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def _audit_factory():
-    return DiscoSketch(b=1.01, mode="volume", rng=7)
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Measure a trace as an epoch-rotating, hash-sharded stream."""
+    from repro.obs import Telemetry
+
+    trace = _read_any_trace(args.trace)
+    truths = trace.true_totals(args.mode)
+    factory = scheme_factory(args.scheme, bits=args.bits, mode=args.mode,
+                             max_length=max(truths.values()), seed=args.seed)
+    tel = Telemetry() if args.telemetry else None
+    result = stream(
+        factory, trace,
+        shards=args.shards,
+        epoch_packets=args.epoch_packets,
+        epoch_bytes=args.epoch_bytes,
+        chunk_packets=args.chunk_packets,
+        rng=args.seed + 1,
+        workers=args.workers,
+        telemetry=tel,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
+    print(f"scheme={result.scheme_name} trace={result.trace_name} "
+          f"mode={result.mode} shards={result.shards} epochs={result.epochs}")
+    print(render_table(
+        ["epoch", "packets", "bytes", "flows", "max bits"],
+        [[s.index, s.packets, s.volume, s.flows, s.max_counter_bits]
+         for s in result.snapshots],
+    ))
+    estimates = result.estimates_dict()
+    stream_truths = result.truths()
+    errors = [abs(estimates.get(key, 0.0) - truth) / truth
+              for key, truth in stream_truths.items() if truth]
+    if errors:
+        print(f"avg R = {sum(errors) / len(errors):.4f} over "
+              f"{len(errors)} flows ({result.packets} packets)")
+    if tel is not None:
+        snap = tel.snapshot()
+        print("telemetry:")
+        for name in sorted(snap["counters"]):
+            print(f"  {name} = {snap['counters'][name]}")
+    return 0
+
+
+#: The faults audit's scheme recipe — a registry factory, so the same
+#: frozen spec builds the serial reference and pickles into pool workers.
+_audit_factory = scheme_factory("disco", b=1.01, seed=7)
 
 
 #: The standard audit schedule: one plan per recovery path the parallel
@@ -348,8 +369,8 @@ def cmd_export(args: argparse.Namespace) -> int:
 
     trace = _read_any_trace(args.trace)
     truths = trace.true_totals(args.mode)
-    scheme = _make_scheme("disco", args.bits, args.mode,
-                          max(truths.values()), args.seed)
+    scheme = make_scheme("disco", bits=args.bits, mode=args.mode,
+                         max_length=max(truths.values()), seed=args.seed)
     replay(scheme, trace, rng=args.seed + 1)
     batch = ExportBatch.from_sketch(scheme)
     written = write_export(batch, args.out)
@@ -378,8 +399,8 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
 
     trace = _read_any_trace(args.trace)
     truths = trace.true_totals(args.mode)
-    scheme = _make_scheme("disco", args.bits, args.mode,
-                          max(truths.values()), args.seed)
+    scheme = make_scheme("disco", bits=args.bits, mode=args.mode,
+                         max_length=max(truths.values()), seed=args.seed)
     replay(scheme, trace, rng=args.seed + 1)
     written = save_sketch(scheme, args.out)
     print(f"checkpointed {len(scheme)} flows ({written} bytes) to {args.out}")
@@ -432,6 +453,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", action="store_true",
                    help="record and print replay telemetry event counts")
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "stream",
+        help="measure a trace as an epoch-rotating, hash-sharded stream")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--scheme", choices=SCHEMES, default="disco")
+    p.add_argument("--bits", type=int, default=10)
+    p.add_argument("--mode", choices=("volume", "size"), default="volume")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--shards", type=int, default=4,
+                   help="hash-partitions of the flow space")
+    p.add_argument("--epoch-packets", type=int, default=None,
+                   help="rotate the epoch after this many packets")
+    p.add_argument("--epoch-bytes", type=int, default=None,
+                   help="rotate the epoch after this many bytes")
+    p.add_argument("--chunk-packets", type=int, default=None,
+                   help="packets per consumption chunk")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool workers for shard replays (default: serial)")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint file; enables crash-resumable streaming")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint if it exists")
+    p.add_argument("--telemetry", action="store_true",
+                   help="record and print stream telemetry event counts")
+    p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser("figure", help="regenerate a figure's data series")
     p.add_argument("id", type=int)

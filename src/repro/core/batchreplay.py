@@ -61,6 +61,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.functions import GeometricCountingFunction
+from repro.core.kernels import KernelState
 from repro.errors import ParameterError
 from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.trace import Trace
@@ -170,6 +171,22 @@ class BatchReplayResult:
         """Final integer counters keyed by original flow key."""
         return {k: int(c) for k, c in zip(self.compiled.keys, self.counters)}
 
+    def to_json(self):
+        """JSON-serialisable summary (:class:`repro.results.MeasurementResult`)."""
+        from repro.results import estimates_json
+
+        return {
+            "type": "batch",
+            "trace": self.compiled.name,
+            "packets": int(self.packets),
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "vector_steps": int(self.vector_steps),
+            "tail_packets": int(self.tail_packets),
+            "saturation_events": int(self.saturation_events),
+            "estimates": estimates_json(self.estimates_dict()),
+            "telemetry": self.telemetry,
+        }
+
 
 @dataclass(frozen=True)
 class ReplicaReplayResult:
@@ -207,6 +224,26 @@ class ReplicaReplayResult:
         """Per-flow estimate averaged over replicas — (F,)."""
         return self.estimates.mean(axis=0)
 
+    def to_json(self):
+        """JSON-serialisable summary (:class:`repro.results.MeasurementResult`).
+
+        ``estimates`` is replica 0 (the protocol's one-mapping view);
+        ``mean_estimates`` carries the replica average alongside.
+        """
+        from repro.results import estimates_json
+
+        return {
+            "type": "replica",
+            "trace": self.compiled.name,
+            "replicas": int(self.replicas),
+            "packets": int(self.packets),
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "estimates": estimates_json(self.estimates_dict()),
+            "mean_estimates": estimates_json(
+                dict(zip(self.compiled.keys, self.mean_estimates()))),
+            "telemetry": self.telemetry,
+        }
+
     def relative_errors(self) -> np.ndarray:
         """Per-replica per-flow relative error |est - truth| / truth — (R, F).
 
@@ -230,6 +267,7 @@ def run_kernel(
     min_lanes: Optional[int] = None,
     replicas: int = 1,
     telemetry: Optional[obs.Telemetry] = None,
+    resume: Optional[KernelState] = None,
 ) -> Union[BatchReplayResult, ReplicaReplayResult]:
     """Drive any :class:`~repro.core.kernels.SchemeKernel` over the trace.
 
@@ -269,6 +307,13 @@ def run_kernel(
         attached to the result's ``telemetry`` field.  Events are
         aggregated per run — never per packet — so the enabled path
         costs a handful of dict updates per replay.
+    resume:
+        Optional :class:`~repro.core.kernels.KernelState` carried out of
+        a previous replay (``result.kernel.export_state(...)``); the
+        fresh kernel loads it by flow key before the first column, so a
+        trace split into segments replays as a continuation rather than
+        from zero.  Requires a kernel with
+        :attr:`~repro.core.kernels.SchemeKernel.resumable` set.
 
     ``elapsed_seconds`` covers the update work only (column loop plus
     scalar tail), matching the per-packet engines' timing contract.
@@ -285,6 +330,11 @@ def run_kernel(
     num_flows = compiled.num_flows
     R = replicas
     kernel = factory(num_flows * R, gen, R)
+    if resume is not None:
+        if not getattr(kernel, "resumable", False):
+            raise ParameterError(
+                f"{type(kernel).__name__} does not support resumable state")
+        kernel.load_state(compiled.keys, resume)
     if min_lanes is None:
         min_lanes = kernel.preferred_min_lanes
 

@@ -54,9 +54,12 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.errors import ParameterError
+
 __all__ = [
     "SchemeKernel",
     "KernelSpec",
+    "KernelState",
     "kernel_spec",
     "kernel_scheme_names",
     "DiscoKernel",
@@ -91,12 +94,45 @@ class KernelSpec:
     bit_identical: bool = False
 
 
+@dataclass
+class KernelState:
+    """Portable carry-state of a kernel replay (the streaming carry-in/out).
+
+    ``index`` maps each flow key to its row at export time; ``arrays``
+    holds the flow-major lane arrays (``lane = row * replicas +
+    replica``), copied out so the snapshot is independent of the kernel
+    that produced it; ``scalars`` carries per-kernel extras that are not
+    per-lane (SAC's per-replica ``r``, SD's DRAM-slot carry).  A state
+    is loaded into a *fresh* kernel by key, so the receiving replay may
+    order or extend the flow set differently — unseen keys start from
+    zeroed lanes.
+    """
+
+    index: Dict
+    arrays: Dict[str, np.ndarray]
+    scalars: Dict[str, object]
+    replicas: int = 1
+
+    @property
+    def flows(self) -> int:
+        return len(self.index)
+
+    def nbytes(self) -> int:
+        """Payload size of the lane arrays (checkpoint accounting)."""
+        return sum(int(arr.nbytes) for arr in self.arrays.values())
+
+
 class SchemeKernel(abc.ABC):
     """Columnar state for one scheme over ``lanes`` (flow, replica) lanes."""
 
     #: Whether :meth:`tail_flow` is implemented; if not, the driver runs
     #: column steps all the way down to single-lane columns.
     supports_tail: bool = False
+    #: Whether the kernel can export/import :class:`KernelState` — the
+    #: hook the streaming subsystem needs to carry per-flow state across
+    #: chunk replays.  Kernels with state the snapshot cannot capture
+    #: (none in-tree) leave this False and are rejected by ``stream()``.
+    resumable: bool = False
     #: Active-prefix width (in lanes) below which the scalar tail beats a
     #: NumPy column step.  DISCO's 128 is tuned for its dwell-regime tail;
     #: plain arithmetic kernels break even far narrower.
@@ -170,6 +206,69 @@ class SchemeKernel(abc.ABC):
             return {"kernel.saturation_events": self.saturation_events}
         return {}
 
+    # -- resumable state (carry-in / carry-out) ------------------------------
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        """Live views of the per-lane state arrays, by name.
+
+        Resumable kernels override this (and optionally the scalar
+        hooks below); :meth:`export_state` / :meth:`load_state` do the
+        copying and key mapping generically.
+        """
+        raise NotImplementedError(f"{type(self).__name__} is not resumable")
+
+    def _state_scalars(self) -> Dict[str, object]:
+        """Copies of non-lane state (per-replica globals etc.)."""
+        return {}
+
+    def _load_state_scalars(self, scalars: Dict[str, object]) -> None:
+        """Restore what :meth:`_state_scalars` captured."""
+
+    def export_state(self, keys: List) -> KernelState:
+        """Snapshot the per-lane state for ``keys`` (carry-out).
+
+        ``keys`` must be the replay's flow keys in lane order — row
+        ``i`` of the returned arrays is ``keys[i]``'s lanes.
+        """
+        width = len(keys) * self.replicas
+        index = {key: row for row, key in enumerate(keys)}
+        arrays = {name: np.array(arr[:width], copy=True)
+                  for name, arr in self._state_arrays().items()}
+        return KernelState(index=index, arrays=arrays,
+                           scalars=self._state_scalars(),
+                           replicas=self.replicas)
+
+    def load_state(self, keys: List, state: KernelState) -> None:
+        """Load carried state into this (fresh) kernel (carry-in).
+
+        ``keys`` is this replay's flow ordering; rows are matched by
+        key, so the carried flow set may be ordered differently or be a
+        subset/superset of this one.  Keys absent from ``state`` keep
+        their zeroed lanes.
+        """
+        if state.replicas != self.replicas:
+            raise ParameterError(
+                f"carried state has {state.replicas} replicas, "
+                f"kernel has {self.replicas}")
+        live = self._state_arrays()
+        for name in state.arrays:
+            if name not in live:
+                raise ParameterError(
+                    f"carried state array {name!r} unknown to "
+                    f"{type(self).__name__}")
+        rows = np.fromiter((state.index.get(key, -1) for key in keys),
+                           dtype=np.int64, count=len(keys))
+        present = rows >= 0
+        if present.any():
+            dst = np.flatnonzero(present)
+            src = rows[present]
+            R = self.replicas
+            for name, arr in state.arrays.items():
+                target = live[name]
+                for rep in range(R):
+                    target[dst * R + rep] = arr[src * R + rep]
+        self._load_state_scalars(dict(state.scalars))
+
     # -- shared helpers ------------------------------------------------------
 
     def _replica0(self, array: np.ndarray) -> np.ndarray:
@@ -212,6 +311,26 @@ def kernel_spec(scheme) -> Optional[KernelSpec]:
 # DISCO
 # ---------------------------------------------------------------------------
 
+#: Process-wide Algorithm-1 decision memos, one per ``b``.  The memo is
+#: an exact pure-function table (``(c, l) -> (delta, p)``), so sharing
+#: it across kernel instances is bit-identical to a private cache — and
+#: chunked stream replays, which build a fresh kernel per shard-chunk,
+#: keep a warm table instead of re-deriving the same decisions every
+#: chunk.
+_UPDATE_CACHES: Dict[float, object] = {}
+
+
+def _shared_update_cache(b: float):
+    cache = _UPDATE_CACHES.get(b)
+    if cache is None:
+        from repro.core.fastpath import UpdateCache
+        from repro.core.functions import GeometricCountingFunction
+
+        cache = UpdateCache(GeometricCountingFunction(b))
+        _UPDATE_CACHES[b] = cache
+    return cache
+
+
 class DiscoKernel(SchemeKernel):
     """Array-native DISCO (Algorithm 1), ported from the PR-1 engine.
 
@@ -224,6 +343,7 @@ class DiscoKernel(SchemeKernel):
 
     supports_tail = True
     preferred_min_lanes = 128
+    resumable = True
 
     def __init__(self, lanes: int, gen: np.random.Generator, replicas: int,
                  b: float, capacity_bits: Optional[int] = None) -> None:
@@ -248,10 +368,7 @@ class DiscoKernel(SchemeKernel):
     def tail_flow(self, lane: int, lengths: Optional[np.ndarray],
                   count: int) -> None:
         if self._cache is None:
-            from repro.core.fastpath import UpdateCache
-            from repro.core.functions import GeometricCountingFunction
-
-            self._cache = UpdateCache(GeometricCountingFunction(self.b))
+            self._cache = _shared_update_cache(self.b)
         decision = self._cache.decision
         draw = self._draw()
         gen = self.gen
@@ -316,6 +433,9 @@ class DiscoKernel(SchemeKernel):
     def counters(self) -> np.ndarray:
         return self.state.counters[: self.lanes].copy()
 
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"counters": self.state.counters}
+
     def estimates(self) -> np.ndarray:
         final = self.state.counters[: self.lanes]
         return np.expm1(final * self._ln_b) / (self.b - 1.0)
@@ -366,6 +486,7 @@ class SacKernel(SchemeKernel):
 
     supports_tail = True
     preferred_min_lanes = 16
+    resumable = True
 
     def __init__(self, lanes: int, gen: np.random.Generator, replicas: int,
                  total_bits: int, mode_bits: int, initial_r: int) -> None:
@@ -516,6 +637,25 @@ class SacKernel(SchemeKernel):
             a = min(a, self.a_limit - 1)
         return a, m
 
+    # -- resumable state ----------------------------------------------------
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"a": self.a, "m": self.m}
+
+    def _state_scalars(self) -> Dict[str, object]:
+        return {"r": self.r.copy()}
+
+    def _load_state_scalars(self, scalars: Dict[str, object]) -> None:
+        # The (a, m) words just loaded were encoded under the carried r;
+        # adopting it *after* the lane load keeps encode and scale
+        # consistent from the first post-resume packet.
+        r = np.asarray(scalars.get("r", self.r), dtype=np.int64)
+        if r.shape != self.r.shape:
+            raise ParameterError(
+                f"carried SAC state has {r.size} replica scales, "
+                f"kernel has {self.r.size}")
+        self.r[:] = r
+
     # -- read-out -----------------------------------------------------------
 
     def counters(self) -> np.ndarray:
@@ -581,6 +721,7 @@ class AnlsKernel(SchemeKernel):
 
     supports_tail = True
     preferred_min_lanes = 8
+    resumable = True
 
     def __init__(self, lanes: int, gen: np.random.Generator, replicas: int,
                  b: float) -> None:
@@ -588,6 +729,9 @@ class AnlsKernel(SchemeKernel):
         self.b = float(b)
         self._ln_b = math.log(self.b)
         self.c = np.zeros(max(lanes, 1), dtype=np.int64)
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"c": self.c}
 
     def step_column(self, column, active: int) -> None:
         c = self.c[:active]
@@ -754,6 +898,7 @@ class SdKernel(SchemeKernel):
 
     supports_tail = True
     preferred_min_lanes = 16
+    resumable = True
 
     def __init__(self, lanes: int, gen: np.random.Generator, replicas: int,
                  sram_bits: int, dram_access_ratio: int,
@@ -834,6 +979,23 @@ class SdKernel(SchemeKernel):
                 self._flush(rep, 1)
         self._carry[rep] = carry
 
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"sram": self.sram, "dram": self.dram}
+
+    def _state_scalars(self) -> Dict[str, object]:
+        # CMA cursors (round-robin position etc.) restart fresh per
+        # resumed segment — consistent for both sides of a resume
+        # comparison, since each chunk replay builds a fresh kernel.
+        return {"carry": self._carry.copy()}
+
+    def _load_state_scalars(self, scalars: Dict[str, object]) -> None:
+        carry = np.asarray(scalars.get("carry", self._carry), dtype=np.int64)
+        if carry.shape != self._carry.shape:
+            raise ParameterError(
+                f"carried SD state has {carry.size} replica carries, "
+                f"kernel has {self._carry.size}")
+        self._carry[:] = carry
+
     def counters(self) -> np.ndarray:
         """Full per-flow totals — what the DRAM holds after a drain."""
         return self.dram[: self.lanes] + self.sram[: self.lanes]
@@ -897,11 +1059,15 @@ class ExactKernel(SchemeKernel):
 
     supports_tail = True
     preferred_min_lanes = 4
+    resumable = True
 
     def __init__(self, lanes: int, gen: np.random.Generator,
                  replicas: int) -> None:
         super().__init__(lanes, gen, replicas)
         self.totals = np.zeros(max(lanes, 1), dtype=np.int64)
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"totals": self.totals}
 
     def step_column(self, column, active: int) -> None:
         if isinstance(column, np.ndarray):

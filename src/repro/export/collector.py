@@ -43,23 +43,51 @@ class Collector:
     """
 
     def __init__(self) -> None:
-        self._batches: List[ExportBatch] = []
+        # One entry per interval; epoch snapshots (which carry no raw
+        # counters) occupy their slot as ``None``.
+        self._batches: List[Optional[ExportBatch]] = []
+        self._totals: List[float] = []
         self._series: Dict[str, FlowSeries] = {}
         self.mode: Optional[str] = None
 
+    def _check_mode(self, mode: str, what: str) -> None:
+        if self.mode is None:
+            self.mode = mode
+        elif mode != self.mode:
+            raise TraceFormatError(
+                f"mode mismatch: collector holds {self.mode!r}, {what} is "
+                f"{mode!r}"
+            )
+
     def ingest(self, batch: ExportBatch) -> None:
         """Add one interval's export."""
-        if self.mode is None:
-            self.mode = batch.mode
-        elif batch.mode != self.mode:
-            raise TraceFormatError(
-                f"mode mismatch: collector holds {self.mode!r}, batch is "
-                f"{batch.mode!r}"
-            )
+        self._check_mode(batch.mode, "batch")
         self._batches.append(batch)
+        self._totals.append(batch.total)
         for record in batch.records:
             series = self._series.setdefault(record.key, FlowSeries(record.key))
             series.estimates.append(record.estimate)
+
+    def ingest_snapshot(self, snapshot) -> None:
+        """Add one stream epoch as an interval.
+
+        Accepts anything snapshot-shaped — a ``mode`` attribute plus an
+        ``estimates_dict()`` — in practice
+        :class:`repro.streaming.EpochSnapshot`.  Flow keys are
+        stringified to match the export-record convention, so stream
+        epochs and monitor exports merge into one per-flow series.
+        Snapshots carry point estimates only (no raw counters or ``b``),
+        so :meth:`interval_confidence` cannot re-derive intervals for
+        them.
+        """
+        self._check_mode(snapshot.mode, "snapshot")
+        estimates = snapshot.estimates_dict()
+        self._batches.append(None)
+        self._totals.append(float(sum(estimates.values())))
+        for key, estimate in estimates.items():
+            name = str(key)
+            series = self._series.setdefault(name, FlowSeries(name))
+            series.estimates.append(float(estimate))
 
     @property
     def intervals(self) -> int:
@@ -80,7 +108,7 @@ class Collector:
 
     def interval_totals(self) -> List[float]:
         """Link-total estimate per interval."""
-        return [batch.total for batch in self._batches]
+        return list(self._totals)
 
     def top_flows(self, k: int) -> List[Tuple[str, float]]:
         """k largest flows by all-interval total, descending."""
@@ -100,6 +128,11 @@ class Collector:
         if not (0 <= interval < len(self._batches)):
             raise ParameterError(f"interval {interval} out of range")
         batch = self._batches[interval]
+        if batch is None:
+            raise ParameterError(
+                f"interval {interval} came from an epoch snapshot; "
+                f"confidence re-derivation needs an export batch (raw "
+                f"counter and b)")
         record = next((r for r in batch.records if r.key == key), None)
         if record is None:
             return None

@@ -37,11 +37,15 @@ import numpy as np
 from repro import obs
 from repro.errors import ParameterError
 
-__all__ = ["replay", "seed_streams", "ReplayStreams", "replica_chunks",
-           "REPLICA_CHUNK"]
+__all__ = ["replay", "stream", "seed_streams", "ReplayStreams",
+           "replica_chunks", "REPLICA_CHUNK"]
 
 AnyRng = Union[None, int, random.Random, np.random.Generator,
                np.random.SeedSequence]
+
+#: Valid arrival orders — validated eagerly by :func:`replay` so a typo
+#: fails before any packets are consumed, not deep inside an iterator.
+_ORDERS = ("shuffled", "sequential", "asis", "roundrobin")
 
 #: Replicas advanced per multi-replica pass.  This is the *seeding* unit
 #: of the replica axis: every ``replicas=R`` replay — serial
@@ -271,6 +275,9 @@ def replay(
         resolve_engine,
     )
 
+    if order not in _ORDERS:
+        raise ParameterError(
+            f"order must be one of {', '.join(_ORDERS)}, got {order!r}")
     if replicas < 1:
         raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
     if replicas > 1:
@@ -303,3 +310,81 @@ def replay(
         result.telemetry = snap
         session.merge(snap)
     return result
+
+
+def stream(
+    scheme_factory,
+    trace,
+    *,
+    shards: int = 1,
+    epoch_packets: Optional[int] = None,
+    epoch_bytes: Optional[int] = None,
+    chunk_packets: Optional[int] = None,
+    rng: AnyRng = None,
+    workers: Optional[int] = None,
+    telemetry: Optional["obs.Telemetry"] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    faults=None,
+):
+    """Measure ``trace`` as an epoch-rotating, hash-sharded stream.
+
+    The one-call wrapper around :class:`repro.streaming.StreamSession`:
+    builds the session, consumes the whole trace (chunked — the trace
+    streams through zero-copy views, it is never replayed in one pass),
+    and returns the :class:`~repro.streaming.StreamResult` with one
+    :class:`~repro.streaming.EpochSnapshot` per rotation.  For
+    incremental feeds (live pairs, multiple traces, manual rotation)
+    drive a :class:`~repro.streaming.StreamSession` directly.
+
+    ``scheme_factory`` is a zero-argument scheme builder — prefer
+    :func:`repro.scheme_factory`, which pickles into pool workers and
+    checkpoints.  ``rng`` follows the :func:`seed_streams` convention;
+    for a fixed configuration the result is same-seed deterministic
+    across ``workers`` settings, and for the exact scheme the summed
+    epoch estimates equal a one-shot :func:`replay` bit-for-bit.
+
+    ``resume=True`` (requires ``checkpoint_path=``) restores the
+    session from an existing checkpoint and skips the packets it
+    already consumed, reproducing the uninterrupted run's estimates
+    exactly; when no checkpoint file exists yet the stream simply
+    starts fresh.  ``faults=`` arms a :mod:`repro.faults` plan (plan
+    string or :class:`~repro.faults.FaultPlan`) for the duration of the
+    call — the ``shard.run`` and ``checkpoint.write`` seams plus the
+    pool seams when ``workers >= 2``.
+    """
+    import os as _os
+
+    from repro import faults as _faults
+    from repro.streaming import DEFAULT_CHUNK_PACKETS, StreamSession
+
+    if resume and checkpoint_path is None:
+        raise ParameterError("resume=True needs checkpoint_path=")
+    if chunk_packets is None:
+        chunk_packets = DEFAULT_CHUNK_PACKETS
+    plan = _faults.resolve_plan(faults)
+    session_tel = obs.resolve(telemetry)
+    if plan:
+        _faults.arm(plan, session_tel)
+    try:
+        if (resume and checkpoint_path is not None
+                and _os.path.exists(checkpoint_path)):
+            session = StreamSession.restore(
+                checkpoint_path, workers=workers, telemetry=telemetry)
+        else:
+            session = StreamSession(
+                scheme_factory,
+                shards=shards,
+                epoch_packets=epoch_packets,
+                epoch_bytes=epoch_bytes,
+                chunk_packets=chunk_packets,
+                rng=rng,
+                workers=workers,
+                telemetry=telemetry,
+                checkpoint_path=checkpoint_path,
+            )
+        session.consume(trace)
+        return session.finish()
+    finally:
+        if plan:
+            _faults.disarm()

@@ -28,10 +28,19 @@ Sites
 ``worker.run``
     A worker starting a unit (worker process only; the one site where
     ``action="kill"`` is allowed).
+``shard.run``
+    A stream session dispatching one shard's chunk replay (fired with
+    the shard index, parent side — see :mod:`repro.streaming`).
+``checkpoint.write``
+    Between serialising a stream checkpoint and atomically publishing
+    it (``os.replace``); an injected failure here leaves the previous
+    checkpoint intact, which is exactly the crash the resume tests
+    rehearse.
 
 Arming
 ------
-Pass ``faults=`` to :func:`repro.harness.parallel.replay_parallel` — a
+Pass ``faults=`` to :func:`repro.harness.parallel.replay_parallel` or
+``repro.stream(..., faults=)`` — a
 :class:`FaultPlan`, or a string in the plan grammar::
 
     site[:action][:key=value]...[;site...]
@@ -92,6 +101,8 @@ SITES = frozenset({
     "shm.unlink",
     "shm.attach",
     "worker.run",
+    "shard.run",
+    "checkpoint.write",
 })
 
 #: Seams that fire inside worker processes (shipped with each unit).

@@ -83,6 +83,30 @@ class RunResult:
     #: when the replay recorded events; ``None`` otherwise.
     telemetry: Optional[Dict[str, dict]] = None
 
+    def estimates_dict(self) -> Dict[Hashable, float]:
+        """Per-flow estimates (:class:`repro.results.MeasurementResult`)."""
+        return dict(self.estimates)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready summary (:class:`repro.results.MeasurementResult`)."""
+        from dataclasses import asdict
+
+        from repro.results import estimates_json
+
+        return {
+            "type": "run",
+            "scheme": self.scheme_name,
+            "trace": self.trace_name,
+            "mode": self.mode,
+            "engine": self.engine,
+            "packets": int(self.packets),
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "max_counter_bits": int(self.max_counter_bits),
+            "summary": asdict(self.summary),
+            "estimates": estimates_json(self.estimates),
+            "telemetry": self.telemetry,
+        }
+
 
 def resolve_engine(engine: str, scheme) -> str:
     """Map an ``engine`` request to the concrete engine used for ``scheme``.

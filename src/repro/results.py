@@ -1,0 +1,53 @@
+"""The one result contract every measurement entrypoint honours.
+
+``replay()`` returns a :class:`~repro.harness.runner.RunResult`,
+``run_kernel()`` a ``BatchReplayResult`` (or ``ReplicaReplayResult``
+with a replica axis), and ``stream()`` an ``EpochSnapshot`` per epoch
+plus a ``StreamResult``.  Report, plotting and export code used to
+special-case each shape; they now all satisfy
+:class:`MeasurementResult`:
+
+``estimates_dict()``
+    Per-flow estimates as a plain ``{flow: float}`` mapping (replica 0
+    for replicated results, merged across epochs for streams).
+
+``telemetry``
+    The attached telemetry snapshot, or ``None`` when recording was
+    off.
+
+``to_json()``
+    A JSON-serialisable summary (flow keys stringified via
+    :func:`estimates_json`) for files, pipes and dashboards.
+
+The protocol is ``runtime_checkable``, so consumers can assert
+``isinstance(result, MeasurementResult)`` instead of enumerating
+concrete classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Protocol, runtime_checkable
+
+__all__ = ["MeasurementResult", "estimates_json"]
+
+
+@runtime_checkable
+class MeasurementResult(Protocol):
+    """Structural contract shared by every measurement result type."""
+
+    @property
+    def telemetry(self):  # snapshot dict or None
+        ...
+
+    def estimates_dict(self) -> Dict[Hashable, float]:
+        """Per-flow estimates as a plain mapping."""
+        ...
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable summary of the result."""
+        ...
+
+
+def estimates_json(estimates: Dict[Hashable, float]) -> Dict[str, float]:
+    """Stringify flow keys so an estimates mapping survives ``json.dumps``."""
+    return {str(key): float(value) for key, value in estimates.items()}

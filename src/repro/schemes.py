@@ -1,0 +1,247 @@
+"""Public scheme registry: build any counting scheme from a name.
+
+The CLI, the benchmarks, the parallel harness and the streaming
+subsystem all need to construct schemes from configuration — a string
+name plus a handful of keyword parameters — and, for anything that
+crosses a process boundary, they need that recipe to be *picklable*.
+This module is the one registry they share:
+
+``make_scheme(name, **params)``
+    Build a fresh scheme instance.  Unknown names and unknown
+    parameters raise :class:`~repro.errors.ParameterError` listing the
+    valid choices.
+
+``scheme_factory(name, **params)``
+    Return a :class:`SchemeFactory` — a frozen, picklable
+    zero-argument callable that defers ``make_scheme``.  This is the
+    shape :class:`repro.harness.parallel.ReplayJob` and
+    :func:`repro.facade.stream` want: a closure cannot cross a process
+    boundary, a registry name plus a parameter tuple can.
+
+``scheme_names()`` / ``scheme_spec(name)``
+    Introspection over the registered :class:`SchemeSpec` entries.
+
+Builders share one keyword vocabulary (``bits``, ``mode``, ``seed``,
+``max_length``) so callers can pass a uniform parameter set; each
+scheme family adds its own extras (``b``, ``sram_bits``, ...).
+Parameters a family does not use are accepted and ignored, exactly as
+the historical ``cli.py:_make_scheme`` dispatcher behaved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "SchemeSpec",
+    "SchemeFactory",
+    "make_scheme",
+    "scheme_factory",
+    "scheme_names",
+    "scheme_spec",
+    "register_scheme",
+]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One registry entry: how to build a scheme family by name."""
+
+    name: str
+    summary: str
+    builder: Callable[..., object]
+    defaults: Mapping[str, object] = field(default_factory=dict)
+
+
+_SCHEMES: Dict[str, SchemeSpec] = {}
+
+
+def register_scheme(spec: SchemeSpec) -> SchemeSpec:
+    """Add ``spec`` to the registry (duplicate names are an error)."""
+    if spec.name in _SCHEMES:
+        raise ParameterError(f"scheme {spec.name!r} is already registered")
+    _SCHEMES[spec.name] = spec
+    return spec
+
+
+def scheme_names() -> Tuple[str, ...]:
+    """Registered scheme names, sorted."""
+    return tuple(sorted(_SCHEMES))
+
+
+def scheme_spec(name: str) -> SchemeSpec:
+    """Look up one :class:`SchemeSpec`; unknown names raise."""
+    spec = _SCHEMES.get(name)
+    if spec is None:
+        raise ParameterError(
+            f"unknown scheme {name!r}; choose from {', '.join(scheme_names())}"
+        )
+    return spec
+
+
+def make_scheme(name: str, **params):
+    """Build a fresh scheme instance for ``name``.
+
+    ``params`` override the spec's defaults; unknown parameters raise
+    :class:`~repro.errors.ParameterError` rather than ``TypeError`` so
+    every rejection out of this module reads the same way.
+    """
+    spec = scheme_spec(name)
+    merged = dict(spec.defaults)
+    merged.update(params)
+    try:
+        return spec.builder(**merged)
+    except TypeError as exc:
+        raise ParameterError(f"bad parameters for scheme {name!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class SchemeFactory:
+    """Picklable zero-argument scheme factory (``name`` + frozen params).
+
+    Calling the factory is ``make_scheme(name, **dict(params))``; both
+    fields are plain data, so instances survive ``pickle`` across the
+    persistent process pool and inside stream checkpoints.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __call__(self):
+        return make_scheme(self.name, **dict(self.params))
+
+
+def scheme_factory(name: str, **params) -> SchemeFactory:
+    """Build a :class:`SchemeFactory`, validating name and params eagerly.
+
+    The returned factory is exercised once so a bad parameter set fails
+    here — at configuration time — not inside a worker process.
+    """
+    factory = SchemeFactory(name, tuple(sorted(params.items(), key=lambda kv: kv[0])))
+    factory()
+    return factory
+
+
+# -- builders ------------------------------------------------------------------
+
+
+def _sized_b(bits: int, max_length: Optional[float], slack: float) -> float:
+    from repro.core.analysis import choose_b
+
+    if max_length is None:
+        raise ParameterError(
+            "scheme needs either b= or max_length= to size its counters"
+        )
+    return choose_b(bits, max_length, slack=slack)
+
+
+def _build_disco(
+    bits: int = 10,
+    mode: str = "volume",
+    seed=None,
+    max_length: Optional[float] = None,
+    b: Optional[float] = None,
+    slack: float = 1.5,
+    capacity_bits: Optional[int] = None,
+):
+    from repro.core.disco import DiscoSketch
+
+    if b is None:
+        b = _sized_b(bits, max_length, slack)
+        if capacity_bits is None:
+            capacity_bits = bits
+    return DiscoSketch(b=b, mode=mode, rng=seed, capacity_bits=capacity_bits)
+
+
+def _build_sac(
+    bits: int = 10,
+    mode: str = "volume",
+    seed=None,
+    max_length: Optional[float] = None,
+    mode_bits: int = 3,
+    initial_r: int = 1,
+):
+    from repro.counters.sac import SmallActiveCounters
+
+    return SmallActiveCounters(
+        total_bits=bits, mode_bits=mode_bits, mode=mode, rng=seed, initial_r=initial_r
+    )
+
+
+def _build_exact(
+    bits: int = 10,
+    mode: str = "volume",
+    seed=None,
+    max_length: Optional[float] = None,
+):
+    from repro.counters.exact import ExactCounters
+
+    return ExactCounters(mode=mode)
+
+
+def _build_sd(
+    bits: int = 10,
+    mode: str = "volume",
+    seed=None,
+    max_length: Optional[float] = None,
+    sram_bits: int = 16,
+    dram_access_ratio: int = 12,
+):
+    from repro.counters.sd import SdCounters
+
+    return SdCounters(
+        sram_bits=sram_bits, dram_access_ratio=dram_access_ratio, mode=mode, rng=seed
+    )
+
+
+def _build_anls1(
+    bits: int = 10,
+    mode: str = "volume",
+    seed=None,
+    max_length: Optional[float] = None,
+    b: Optional[float] = None,
+    slack: float = 1.5,
+):
+    from repro.counters.anls import AnlsBytesNaive
+
+    if b is None:
+        b = _sized_b(bits, max_length, slack)
+    # ANLS-I is a byte-counting extension: mode is pinned to "volume"
+    # regardless of the shared vocabulary, as the CLI always did.
+    return AnlsBytesNaive(b=b, mode="volume", rng=seed)
+
+
+def _build_anls2(
+    bits: int = 10,
+    mode: str = "volume",
+    seed=None,
+    max_length: Optional[float] = None,
+    b: Optional[float] = None,
+    slack: float = 1.5,
+):
+    from repro.counters.anls import AnlsPerUnit
+
+    if b is None:
+        b = _sized_b(bits, max_length, slack)
+    return AnlsPerUnit(b=b, mode="volume", rng=seed)
+
+
+register_scheme(
+    SchemeSpec("disco", "DISCO sketch (geometric Algorithm 1)", _build_disco)
+)
+register_scheme(
+    SchemeSpec("sac", "Small Active Counters (Stanojevic)", _build_sac)
+)
+register_scheme(SchemeSpec("exact", "exact per-flow totals (baseline)", _build_exact))
+register_scheme(
+    SchemeSpec("sd", "SD hybrid SRAM/DRAM counter array (LCF)", _build_sd)
+)
+register_scheme(
+    SchemeSpec("anls1", "ANLS-I naive byte-counting extension", _build_anls1)
+)
+register_scheme(
+    SchemeSpec("anls2", "ANLS-II per-unit byte-counting extension", _build_anls2)
+)

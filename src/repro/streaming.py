@@ -1,0 +1,783 @@
+"""Epoch-based, hash-sharded streaming measurement sessions.
+
+Every other entrypoint in this repo replays a whole in-memory trace and
+returns one terminal result.  The paper's deployment shape is different:
+DISCO counters live in per-linecard SRAM, are updated continuously, and
+are **exported and reset** once per measurement epoch.  This module
+reproduces that shape on top of the columnar kernel stack:
+
+* A :class:`StreamSession` consumes packets *incrementally* — chunked
+  views over a :class:`~repro.traces.compiled.CompiledTrace`
+  (:meth:`~repro.traces.compiled.CompiledTrace.iter_chunks`) or any
+  ``(flow, length)`` iterable — so traces never need to fit one replay
+  call.
+* The flow space is partitioned across ``S`` shards by
+  :func:`repro.flows.hashing.stable_hash`; each chunk drives every
+  touched shard through one columnar
+  :func:`~repro.core.batchreplay.run_kernel` pass, carrying per-flow
+  kernel state between chunks via
+  :meth:`~repro.core.kernels.SchemeKernel.export_state` /
+  ``load_state`` (the ``resume=`` hook).
+* Shard-chunk replays run serially or over the persistent process pool
+  (:func:`repro.harness.parallel.run_tasks`).  Each replay's random
+  stream is a pure ``SeedSequence`` child keyed by
+  ``(epoch, shard, chunk)``, so serial and pooled execution consume
+  identical streams — same seed, same estimates, bit for bit.
+* Epochs rotate on packet-count or byte watermarks (quantised to chunk
+  boundaries); every rotation reads the shards out into a mergeable
+  :class:`EpochSnapshot` and resets them — the paper's
+  export-and-reset.
+* ``checkpoint_path=`` persists the session after each chunk
+  (atomically: temp file + ``os.replace``), and
+  :meth:`StreamSession.restore` resumes a killed session
+  deterministically — the resumed run replays the exact chunk schedule
+  the uninterrupted run would have, with the same per-chunk seeds.
+
+Determinism
+-----------
+For the exact kernel, epoch totals summed across snapshots equal a
+single ``replay()`` of the whole trace bit-for-bit (integer sums are
+associative and epoch subtotals stay far below 2^53).  Probabilistic
+kernels are *same-seed deterministic*: a given (seed, shard count,
+chunk size, watermark) configuration always produces identical
+estimates — serial, pooled, interrupted-and-resumed alike — but a
+different sharding or chunking consumes the random streams differently,
+exactly as the columnar engine already relates to the scalar one.
+
+Failure injection
+-----------------
+Two seams (:mod:`repro.faults`): ``shard.run`` fires per dispatched
+shard (parent side, with the shard index), ``checkpoint.write`` fires
+between serialising a checkpoint and atomically publishing it — a
+fault there leaves the previous checkpoint intact, which is the crash
+the resume tests rehearse.  Events appear as ``stream.*`` telemetry
+(see ``docs/telemetry.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import faults as _faults
+from repro import obs
+from repro.core.batchreplay import run_kernel
+from repro.core.kernels import KernelState, kernel_scheme_names, kernel_spec
+from repro.errors import ParameterError
+from repro.flows.hashing import stable_hash
+from repro.traces.compiled import CompiledTrace, compile_trace
+from repro.traces.trace import Trace
+
+__all__ = ["StreamSession", "StreamResult", "EpochSnapshot",
+           "DEFAULT_CHUNK_PACKETS"]
+
+#: Default packets per consumption chunk.  Large enough that the columnar
+#: pass dominates the per-chunk Python routing, small enough that epoch
+#: watermarks stay reasonably sharp.
+DEFAULT_CHUNK_PACKETS = 8192
+
+_CHECKPOINT_MAGIC = "repro-stream-checkpoint"
+_CHECKPOINT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """One epoch's export: per-shard estimates, truths, counter widths.
+
+    The mergeable unit of a stream — :class:`repro.export.collector
+    .Collector` ingests snapshots as intervals, and
+    :meth:`StreamResult.estimates_dict` sums them.  Satisfies
+    :class:`repro.results.MeasurementResult`.
+    """
+
+    index: int
+    scheme_name: str
+    mode: str
+    packets: int
+    volume: int
+    shards: int
+    #: Per-shard ``{flow: estimate}`` read-outs; shards partition the
+    #: flow space, so the mappings are key-disjoint.
+    shard_estimates: Tuple[Dict[Hashable, float], ...]
+    #: Per-shard maximum counter bit-width at rotation (0 = empty shard).
+    shard_counter_bits: Tuple[int, ...]
+    #: Ground truth accumulated over the epoch (size or volume per mode).
+    truths: Dict[Hashable, int] = field(compare=False)
+    telemetry: Optional[Dict[str, dict]] = field(default=None, compare=False,
+                                                 repr=False)
+
+    @property
+    def flows(self) -> int:
+        return sum(len(est) for est in self.shard_estimates)
+
+    @property
+    def max_counter_bits(self) -> int:
+        return max(self.shard_counter_bits, default=0)
+
+    def estimates_dict(self) -> Dict[Hashable, float]:
+        """The epoch's estimates, shards merged (disjoint keys)."""
+        merged: Dict[Hashable, float] = {}
+        for estimates in self.shard_estimates:
+            merged.update(estimates)
+        return merged
+
+    def to_json(self) -> Dict[str, object]:
+        from repro.results import estimates_json
+
+        return {
+            "type": "epoch",
+            "index": int(self.index),
+            "scheme": self.scheme_name,
+            "mode": self.mode,
+            "packets": int(self.packets),
+            "volume": int(self.volume),
+            "shards": int(self.shards),
+            "flows": int(self.flows),
+            "max_counter_bits": int(self.max_counter_bits),
+            "shard_counter_bits": [int(b) for b in self.shard_counter_bits],
+            "estimates": estimates_json(self.estimates_dict()),
+            "telemetry": self.telemetry,
+        }
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Terminal outcome of a stream: every epoch plus merged views.
+
+    Satisfies :class:`repro.results.MeasurementResult`;
+    ``estimates_dict()`` sums each flow across epochs (for the exact
+    kernel that equals a one-shot replay bit-for-bit), and
+    :meth:`collector` exposes the same merge through the export-side
+    :class:`~repro.export.collector.Collector` interval machinery.
+    """
+
+    scheme_name: str
+    trace_name: str
+    mode: str
+    shards: int
+    snapshots: Tuple[EpochSnapshot, ...]
+    packets: int
+    volume: int
+    elapsed_seconds: float
+    telemetry: Optional[Dict[str, dict]] = field(default=None, compare=False,
+                                                 repr=False)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def max_counter_bits(self) -> int:
+        return max((s.max_counter_bits for s in self.snapshots), default=0)
+
+    def estimates_dict(self) -> Dict[Hashable, float]:
+        """Per-flow totals across every epoch (snapshot order)."""
+        totals: Dict[Hashable, float] = {}
+        for snapshot in self.snapshots:
+            for key, estimate in snapshot.estimates_dict().items():
+                totals[key] = totals.get(key, 0.0) + estimate
+        return totals
+
+    def truths(self) -> Dict[Hashable, int]:
+        """Ground truth totals across every epoch."""
+        totals: Dict[Hashable, int] = {}
+        for snapshot in self.snapshots:
+            for key, value in snapshot.truths.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def collector(self):
+        """The epochs as intervals in an export-side ``Collector``.
+
+        Flow keys are stringified (the export record convention);
+        per-flow interval series and totals then come from the standard
+        collector queries.
+        """
+        from repro.export.collector import Collector
+
+        collector = Collector()
+        for snapshot in self.snapshots:
+            collector.ingest_snapshot(snapshot)
+        return collector
+
+    def to_json(self) -> Dict[str, object]:
+        from repro.results import estimates_json
+
+        return {
+            "type": "stream",
+            "scheme": self.scheme_name,
+            "trace": self.trace_name,
+            "mode": self.mode,
+            "shards": int(self.shards),
+            "epochs": int(self.epochs),
+            "packets": int(self.packets),
+            "volume": int(self.volume),
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "max_counter_bits": int(self.max_counter_bits),
+            "estimates": estimates_json(self.estimates_dict()),
+            "epoch_packets": [int(s.packets) for s in self.snapshots],
+            "telemetry": self.telemetry,
+        }
+
+
+# ---------------------------------------------------------------------------
+# shard-chunk work items (module-level: must pickle into pool workers)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ShardChunkTask:
+    """One shard's slice of one chunk: a resumable columnar replay."""
+
+    shard: int
+    index: int  # == shard; the fault-targeting unit id
+    scheme_factory: Callable[[], object]
+    trace: CompiledTrace
+    mode: str
+    rng: np.random.SeedSequence
+    state: Optional[KernelState]
+    telemetry: bool
+
+
+def _run_shard_chunk(task: _ShardChunkTask):
+    """Replay one shard-chunk, returning its carried-out kernel state."""
+    tel = obs.Telemetry() if task.telemetry else None
+    scheme = task.scheme_factory()
+    spec = kernel_spec(scheme)
+    if spec is None:  # unreachable after session-probe; defend anyway
+        raise ParameterError(
+            f"scheme {getattr(scheme, 'name', type(scheme).__name__)!r} "
+            f"lost its kernel between probe and replay")
+    result = run_kernel(task.trace, spec.factory, mode=task.mode,
+                        rng=task.rng, telemetry=tel, resume=task.state)
+    state = result.kernel.export_state(task.trace.keys)
+    return task.shard, state, (tel.snapshot() if tel is not None else None)
+
+
+def _readout(spec, state: KernelState) -> Tuple[Dict[Hashable, float], int]:
+    """Decode a carried shard state: estimates plus max counter width.
+
+    Loads the state into a fresh kernel (no packets replayed, so the
+    throwaway generator is never drawn from) and reads the estimator
+    surface — the rotation-time export.
+    """
+    keys = list(state.index)
+    R = state.replicas
+    kernel = spec.factory(len(keys) * R, np.random.default_rng(0), R)
+    kernel.load_state(keys, state)
+    lane_estimates = kernel.estimates()[::R]
+    estimates = {key: float(e) for key, e in zip(keys, lane_estimates)}
+    max_counter = int(kernel.counters().max(initial=0))
+    bits = max_counter.bit_length() if max_counter > 0 else 0
+    return estimates, bits
+
+
+# ---------------------------------------------------------------------------
+# the session
+# ---------------------------------------------------------------------------
+
+class StreamSession:
+    """An incremental, epoch-rotating, hash-sharded measurement session.
+
+    Build one with a zero-argument ``scheme_factory`` (prefer
+    :func:`repro.scheme_factory` — it survives pickling into pool
+    workers and checkpoints), feed it packets with :meth:`consume` /
+    :meth:`extend`, and close it with :meth:`finish`.  The high-level
+    wrapper is :func:`repro.stream`.
+
+    Parameters
+    ----------
+    scheme_factory:
+        Zero-argument callable building a fresh scheme; the scheme must
+        expose a *resumable* columnar kernel (every in-tree kernel is).
+    shards:
+        Number of hash-partitions of the flow space; each shard is one
+        independent counter array, replayed per chunk.
+    epoch_packets / epoch_bytes:
+        Rotation watermarks — close the epoch once it has consumed this
+        many packets / bytes.  Either, both (first reached wins) or
+        neither (one epoch per :meth:`finish`).  Rotation is quantised
+        to chunk boundaries.
+    chunk_packets:
+        Packets consumed per internal chunk (the replay granularity).
+    rng:
+        Any :func:`repro.seed_streams` convention; the per-(epoch,
+        shard, chunk) replay streams are pure ``SeedSequence`` children
+        of its root.
+    workers:
+        ``None``/``1`` = replay shards serially in-process; ``>= 2`` =
+        fan shard-chunk replays over the persistent process pool (same
+        seeds, bit-identical results).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` session; ``stream.*``
+        events plus the per-chunk kernel events are recorded per epoch
+        (each snapshot carries its epoch's events).
+    checkpoint_path:
+        When set, the session checkpoints itself after every
+        ``checkpoint_every`` chunks (and at :meth:`finish`), atomically;
+        :meth:`restore` rebuilds a session from the file.
+    """
+
+    def __init__(
+        self,
+        scheme_factory: Callable[[], object],
+        *,
+        shards: int = 1,
+        epoch_packets: Optional[int] = None,
+        epoch_bytes: Optional[int] = None,
+        chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+        rng=None,
+        workers: Optional[int] = None,
+        telemetry: Optional[obs.Telemetry] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        name: str = "stream",
+    ) -> None:
+        from repro.facade import seed_streams
+
+        if not callable(scheme_factory):
+            raise ParameterError(
+                f"scheme_factory must be callable, got {scheme_factory!r}")
+        if shards < 1:
+            raise ParameterError(f"shards must be >= 1, got {shards!r}")
+        if chunk_packets < 1:
+            raise ParameterError(
+                f"chunk_packets must be >= 1, got {chunk_packets!r}")
+        if epoch_packets is not None and epoch_packets < 1:
+            raise ParameterError(
+                f"epoch_packets must be >= 1 or None, got {epoch_packets!r}")
+        if epoch_bytes is not None and epoch_bytes < 1:
+            raise ParameterError(
+                f"epoch_bytes must be >= 1 or None, got {epoch_bytes!r}")
+        if workers is not None and workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers!r}")
+        if checkpoint_every < 1:
+            raise ParameterError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every!r}")
+
+        scheme = scheme_factory()
+        spec = kernel_spec(scheme)
+        if spec is None:
+            raise ParameterError(
+                f"scheme {getattr(scheme, 'name', type(scheme).__name__)!r} "
+                f"has no columnar kernel; streaming needs one of: "
+                f"{', '.join(kernel_scheme_names())}")
+        probe = spec.factory(1, np.random.default_rng(0), 1)
+        if not getattr(probe, "resumable", False):
+            raise ParameterError(
+                f"{type(probe).__name__} does not support resumable state; "
+                f"streaming needs a resumable kernel")
+        if (workers is not None and workers > 1) or checkpoint_path is not None:
+            try:
+                pickle.dumps(scheme_factory)
+            except Exception:
+                raise ParameterError(
+                    "parallel or checkpointed streams need a picklable "
+                    "scheme factory; build one with repro.scheme_factory()"
+                ) from None
+
+        self.scheme_factory = scheme_factory
+        self.scheme_name = getattr(scheme, "name", type(scheme).__name__)
+        self.mode = spec.mode
+        self._spec = spec
+        self.shards = shards
+        self.epoch_packets = epoch_packets
+        self.epoch_bytes = epoch_bytes
+        self.chunk_packets = chunk_packets
+        self.workers = workers
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.name = name
+        self.trace_name = name
+
+        self._root = seed_streams(rng).root()
+        self._root_key = tuple(self._root.spawn_key)
+
+        self._session = obs.resolve(telemetry)
+        self._enabled = self._session.enabled
+        self._epoch_tel = obs.Telemetry() if self._enabled else obs.NULL_TELEMETRY
+        self._total_tel = obs.Telemetry() if self._enabled else obs.NULL_TELEMETRY
+
+        self._shard_of: Dict[Hashable, int] = {}
+        self._keys: List[Dict[Hashable, None]] = [dict() for _ in range(shards)]
+        self._state: List[Optional[KernelState]] = [None] * shards
+        self._truths: List[Dict[Hashable, int]] = [dict() for _ in range(shards)]
+
+        self.snapshots: List[EpochSnapshot] = []
+        self.epoch_index = 0
+        self.packets_consumed = 0
+        self.volume_consumed = 0
+        self.elapsed_seconds = 0.0
+        self._chunk_in_epoch = 0
+        self._epoch_packet_count = 0
+        self._epoch_volume_count = 0
+        self._chunks_since_checkpoint = 0
+        self._resume_skip = 0
+
+    # -- feeding -------------------------------------------------------------
+
+    def consume(self, source: Union[Trace, CompiledTrace, Iterable]) -> None:
+        """Feed packets from a trace (fast columnar chunks) or an iterable.
+
+        Traces stream through zero-copy
+        :meth:`~repro.traces.compiled.CompiledTrace.iter_chunks` views in
+        compiled (flow-major) packet order; any other iterable of
+        ``(flow, length)`` pairs goes through :meth:`extend`.  A restored
+        session transparently skips the prefix it already consumed — pass
+        the same trace and the stream continues where the checkpoint left
+        off.
+        """
+        if isinstance(source, (Trace, CompiledTrace)):
+            compiled = compile_trace(source)
+            if self.trace_name == self.name:
+                self.trace_name = compiled.name
+            skip = min(self._resume_skip, compiled.num_packets)
+            self._resume_skip -= skip
+            for chunk in compiled.iter_chunks(self.chunk_packets, start=skip):
+                self._ingest(chunk.keys, chunk.lengths)
+        else:
+            self.extend(source)
+
+    def extend(self, pairs: Iterable[Tuple[Hashable, float]]) -> None:
+        """Consume an iterable of ``(flow, length)`` pairs, chunking internally.
+
+        The generic path for live feeds and generators — e.g.
+        :meth:`Trace.packet_chunks <repro.traces.trace.Trace
+        .packet_chunks>` batches, or pairs straight off a capture loop.
+        """
+        batch_keys: List[Hashable] = []
+        batch_map: Dict[Hashable, List[float]] = {}
+        count = 0
+        for key, length in pairs:
+            if self._resume_skip > 0:
+                self._resume_skip -= 1
+                continue
+            lens = batch_map.get(key)
+            if lens is None:
+                batch_map[key] = lens = []
+                batch_keys.append(key)
+            lens.append(float(length))
+            count += 1
+            if count >= self.chunk_packets:
+                self._ingest(batch_keys,
+                             [np.asarray(batch_map[k], dtype=np.float64)
+                              for k in batch_keys])
+                batch_keys, batch_map, count = [], {}, 0
+        if count:
+            self._ingest(batch_keys,
+                         [np.asarray(batch_map[k], dtype=np.float64)
+                          for k in batch_keys])
+
+    # -- internals -----------------------------------------------------------
+
+    def _shard(self, key: Hashable) -> int:
+        shard = self._shard_of.get(key)
+        if shard is None:
+            shard = stable_hash(key) % self.shards
+            self._shard_of[key] = shard
+        return shard
+
+    def _shard_chunk_trace(self, shard: int,
+                           chunk_flows: Dict[Hashable, np.ndarray],
+                           ) -> CompiledTrace:
+        """Compile one shard's slice of the chunk.
+
+        The trace covers *every* key the shard has seen this epoch —
+        keys absent from the chunk get zero-packet rows — so the
+        carried-out :class:`KernelState` always spans the shard's full
+        epoch key set (SAC's global renormalisation re-encodes every
+        lane; a partial export would decode stale words under a newer
+        scale).
+        """
+        keys = list(self._keys[shard])
+        n = len(keys)
+        raw_sizes = np.fromiter(
+            (chunk_flows[k].size if k in chunk_flows else 0 for k in keys),
+            dtype=np.int64, count=n)
+        order = np.argsort(-raw_sizes, kind="stable")
+        sorted_keys = [keys[i] for i in order]
+        sizes = raw_sizes[order]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        lengths = np.empty(int(offsets[-1]), dtype=np.float64)
+        for row, key in enumerate(sorted_keys):
+            if sizes[row]:
+                lengths[offsets[row]:offsets[row + 1]] = chunk_flows[key]
+        # reduceat is only safe on the non-empty segments: zero-size rows
+        # sort to the end, so the non-empty offsets tile `lengths` exactly.
+        volumes = np.zeros(n, dtype=np.int64)
+        nonzero = np.flatnonzero(sizes > 0)
+        if nonzero.size:
+            volumes[nonzero] = np.add.reduceat(
+                lengths, offsets[:-1][nonzero]).astype(np.int64)
+        return CompiledTrace(name=f"{self.name}:shard{shard}",
+                             keys=sorted_keys, lengths=lengths,
+                             offsets=offsets, sizes=sizes, volumes=volumes)
+
+    def _ingest(self, keys: List[Hashable],
+                length_arrays: List[np.ndarray]) -> None:
+        """Route one chunk to its shards, replay them, advance watermarks."""
+        start = time.perf_counter()
+        per_shard: Dict[int, Dict[Hashable, np.ndarray]] = {}
+        packets = 0
+        volume = 0
+        for key, lens in zip(keys, length_arrays):
+            shard = self._shard(key)
+            flows = per_shard.setdefault(shard, {})
+            previous = flows.get(key)
+            flows[key] = (lens if previous is None
+                          else np.concatenate([previous, lens]))
+            n = int(lens.size)
+            total = int(round(float(lens.sum())))
+            packets += n
+            volume += total
+            seen = self._keys[shard]
+            if key not in seen:
+                seen[key] = None
+            truths = self._truths[shard]
+            amount = n if self.mode == "size" else total
+            truths[key] = truths.get(key, 0) + amount
+
+        tasks = []
+        for shard in sorted(per_shard):
+            _faults.fire("shard.run", unit=shard)
+            seed = np.random.SeedSequence(
+                entropy=self._root.entropy,
+                spawn_key=self._root_key + (self.epoch_index, shard,
+                                            self._chunk_in_epoch))
+            tasks.append(_ShardChunkTask(
+                shard=shard, index=shard,
+                scheme_factory=self.scheme_factory,
+                trace=self._shard_chunk_trace(shard, per_shard[shard]),
+                mode=self.mode, rng=seed, state=self._state[shard],
+                telemetry=self._enabled))
+
+        if self.workers is None or self.workers == 1:
+            outcomes = [_run_shard_chunk(task) for task in tasks]
+        else:
+            from repro.harness.parallel import run_tasks
+
+            outcomes = run_tasks(_run_shard_chunk, tasks,
+                                 max_workers=self.workers,
+                                 session=self._epoch_tel)
+        for shard, state, snap in outcomes:
+            self._state[shard] = state
+            self._epoch_tel.merge(snap)
+
+        self._epoch_tel.count("stream.chunks")
+        self._epoch_tel.count("stream.packets", packets)
+        self._epoch_tel.count("stream.bytes", volume)
+        self._epoch_tel.count("stream.shard_runs", len(tasks))
+        self.packets_consumed += packets
+        self.volume_consumed += volume
+        self._epoch_packet_count += packets
+        self._epoch_volume_count += volume
+        self._chunk_in_epoch += 1
+        self._chunks_since_checkpoint += 1
+
+        if ((self.epoch_packets is not None
+             and self._epoch_packet_count >= self.epoch_packets)
+                or (self.epoch_bytes is not None
+                    and self._epoch_volume_count >= self.epoch_bytes)):
+            self.rotate()
+        if (self.checkpoint_path is not None
+                and self._chunks_since_checkpoint >= self.checkpoint_every):
+            self.checkpoint()
+        self.elapsed_seconds += time.perf_counter() - start
+
+    # -- epochs --------------------------------------------------------------
+
+    def rotate(self) -> Optional[EpochSnapshot]:
+        """Close the open epoch: export every shard, then reset them.
+
+        The paper's export-and-reset — each epoch starts from zeroed
+        counters.  Returns the :class:`EpochSnapshot`, or ``None`` when
+        the epoch consumed nothing.
+        """
+        if self._epoch_packet_count == 0:
+            return None
+        shard_estimates: List[Dict[Hashable, float]] = []
+        shard_bits: List[int] = []
+        for shard in range(self.shards):
+            state = self._state[shard]
+            if state is None or not state.index:
+                shard_estimates.append({})
+                shard_bits.append(0)
+                continue
+            estimates, bits = _readout(self._spec, state)
+            shard_estimates.append(estimates)
+            shard_bits.append(bits)
+        truths: Dict[Hashable, int] = {}
+        for shard_truths in self._truths:
+            truths.update(shard_truths)
+        self._epoch_tel.count("stream.epochs")
+        snap_tel = self._epoch_tel.snapshot() if self._enabled else None
+        snapshot = EpochSnapshot(
+            index=self.epoch_index, scheme_name=self.scheme_name,
+            mode=self.mode, packets=self._epoch_packet_count,
+            volume=self._epoch_volume_count, shards=self.shards,
+            shard_estimates=tuple(shard_estimates),
+            shard_counter_bits=tuple(shard_bits),
+            truths=truths, telemetry=snap_tel)
+        self.snapshots.append(snapshot)
+        if self._enabled:
+            self._session.merge(snap_tel)
+            self._total_tel.merge(snap_tel)
+            self._epoch_tel = obs.Telemetry()
+        self._state = [None] * self.shards
+        self._keys = [dict() for _ in range(self.shards)]
+        self._truths = [dict() for _ in range(self.shards)]
+        self.epoch_index += 1
+        self._chunk_in_epoch = 0
+        self._epoch_packet_count = 0
+        self._epoch_volume_count = 0
+        return snapshot
+
+    def finish(self) -> StreamResult:
+        """Close the session: rotate any open epoch, return the result.
+
+        Also writes a final checkpoint when checkpointing is on, so
+        restoring a finished stream resumes into a no-op.
+        """
+        if self._epoch_packet_count:
+            self.rotate()
+        if self.checkpoint_path is not None:
+            self.checkpoint()
+        if self._enabled:
+            leftover = self._epoch_tel.snapshot()
+            self._session.merge(leftover)
+            self._total_tel.merge(leftover)
+            self._epoch_tel = obs.Telemetry()
+        return StreamResult(
+            scheme_name=self.scheme_name, trace_name=self.trace_name,
+            mode=self.mode, shards=self.shards,
+            snapshots=tuple(self.snapshots),
+            packets=self.packets_consumed, volume=self.volume_consumed,
+            elapsed_seconds=self.elapsed_seconds,
+            telemetry=self._total_tel.snapshot() if self._enabled else None)
+
+    # -- checkpoint / restore ------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Atomically persist the session; returns the checkpoint path.
+
+        The write is temp-file + ``os.replace``, with the
+        ``checkpoint.write`` fault seam between serialisation and
+        publication — an injected failure there (or a real crash) leaves
+        the previous checkpoint intact.
+        """
+        if self.checkpoint_path is None:
+            raise ParameterError(
+                "checkpoint() needs a session built with checkpoint_path=")
+        payload = {
+            "magic": _CHECKPOINT_MAGIC,
+            "version": _CHECKPOINT_VERSION,
+            "scheme_factory": self.scheme_factory,
+            "config": {
+                "shards": self.shards,
+                "epoch_packets": self.epoch_packets,
+                "epoch_bytes": self.epoch_bytes,
+                "chunk_packets": self.chunk_packets,
+                "checkpoint_every": self.checkpoint_every,
+                "name": self.name,
+            },
+            "entropy": self._root.entropy,
+            "spawn_key": self._root_key,
+            "trace_name": self.trace_name,
+            "epoch_index": self.epoch_index,
+            "chunk_in_epoch": self._chunk_in_epoch,
+            "packets_consumed": self.packets_consumed,
+            "volume_consumed": self.volume_consumed,
+            "epoch_packet_count": self._epoch_packet_count,
+            "epoch_volume_count": self._epoch_volume_count,
+            "elapsed_seconds": self.elapsed_seconds,
+            "keys": [list(keys) for keys in self._keys],
+            "state": list(self._state),
+            "truths": [dict(truths) for truths in self._truths],
+            "snapshots": list(self.snapshots),
+        }
+        try:
+            data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ParameterError(
+                f"stream checkpoint state must pickle (use "
+                f"repro.scheme_factory for the scheme): {exc}") from None
+        tmp = f"{self.checkpoint_path}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        try:
+            _faults.fire("checkpoint.write")
+        except BaseException:
+            # Publication never happened: drop the temp file so the
+            # previous checkpoint stays the visible one.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        os.replace(tmp, self.checkpoint_path)
+        self._chunks_since_checkpoint = 0
+        self._epoch_tel.count("stream.checkpoints")
+        self._epoch_tel.count("stream.checkpoint_bytes", len(data))
+        return self.checkpoint_path
+
+    @classmethod
+    def restore(cls, path: str, *, workers: Optional[int] = None,
+                telemetry: Optional[obs.Telemetry] = None) -> "StreamSession":
+        """Rebuild a session from a checkpoint written by :meth:`checkpoint`.
+
+        The restored session continues the original chunk schedule (its
+        per-chunk seeds are pure functions of the checkpointed root), so
+        feeding it the same source yields estimates bit-identical to the
+        uninterrupted run.  ``workers`` / ``telemetry`` are
+        execution-environment choices, not measurement state, so they
+        are chosen fresh here.
+        """
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        if (not isinstance(payload, dict)
+                or payload.get("magic") != _CHECKPOINT_MAGIC):
+            raise ParameterError(f"{path!r} is not a stream checkpoint")
+        if payload.get("version") != _CHECKPOINT_VERSION:
+            raise ParameterError(
+                f"checkpoint version {payload.get('version')!r} is not "
+                f"supported (expected {_CHECKPOINT_VERSION})")
+        config = payload["config"]
+        session = cls(
+            payload["scheme_factory"],
+            shards=config["shards"],
+            epoch_packets=config["epoch_packets"],
+            epoch_bytes=config["epoch_bytes"],
+            chunk_packets=config["chunk_packets"],
+            rng=np.random.SeedSequence(
+                entropy=payload["entropy"],
+                spawn_key=tuple(payload["spawn_key"])),
+            workers=workers,
+            telemetry=telemetry,
+            checkpoint_path=path,
+            checkpoint_every=config["checkpoint_every"],
+            name=config["name"],
+        )
+        session.trace_name = payload["trace_name"]
+        session.epoch_index = payload["epoch_index"]
+        session._chunk_in_epoch = payload["chunk_in_epoch"]
+        session.packets_consumed = payload["packets_consumed"]
+        session.volume_consumed = payload["volume_consumed"]
+        session._epoch_packet_count = payload["epoch_packet_count"]
+        session._epoch_volume_count = payload["epoch_volume_count"]
+        session.elapsed_seconds = payload["elapsed_seconds"]
+        session._keys = [dict.fromkeys(keys) for keys in payload["keys"]]
+        session._state = list(payload["state"])
+        session._truths = [dict(truths) for truths in payload["truths"]]
+        session.snapshots = list(payload["snapshots"])
+        session._resume_skip = session.packets_consumed
+        session._epoch_tel.count("stream.resumes")
+        return session

@@ -28,7 +28,38 @@ from repro.errors import ParameterError
 from repro.flows.packet import FlowKey
 from repro.traces.trace import Trace
 
-__all__ = ["CompiledTrace", "compile_trace", "clear_compile_cache"]
+__all__ = ["CompiledTrace", "TraceChunk", "compile_trace",
+           "clear_compile_cache"]
+
+
+class TraceChunk:
+    """A zero-copy window over a compiled trace's packet stream.
+
+    ``keys[j]`` owns ``lengths[j]`` — a *view* into the parent trace's
+    ``lengths`` array covering that flow's packets inside this window.
+    Chunks partition the compiled (flow-major) packet order: chunk ``k``
+    covers global packets ``[start, start + packets)``.
+    """
+
+    __slots__ = ("index", "start", "packets", "keys", "lengths")
+
+    def __init__(self, index: int, start: int, packets: int,
+                 keys: List[FlowKey], lengths: List[np.ndarray]) -> None:
+        self.index = index
+        self.start = start
+        self.packets = packets
+        self.keys = keys
+        self.lengths = lengths
+
+    def pairs(self) -> Iterator[Tuple[FlowKey, int]]:
+        """Yield the window's ``(flow, length)`` pairs (debug/interop)."""
+        for key, lens in zip(self.keys, self.lengths):
+            for l in lens:
+                yield key, int(l)
+
+    def __repr__(self) -> str:
+        return (f"TraceChunk(index={self.index}, start={self.start}, "
+                f"packets={self.packets}, flows={len(self.keys)})")
 
 
 class CompiledTrace:
@@ -164,6 +195,50 @@ class CompiledTrace:
             f"order must be 'asis', 'sequential', 'shuffled' or 'roundrobin', "
             f"got {order!r}"
         )
+
+    def iter_chunks(self, chunk_packets: int,
+                    start: int = 0) -> Iterator[TraceChunk]:
+        """Yield :class:`TraceChunk` views of ``chunk_packets`` packets each.
+
+        Chunks cover global packets ``[start, num_packets)`` in compiled
+        (flow-major) order, every chunk full except possibly the last;
+        the per-flow ``lengths`` entries are views, so iterating a trace
+        in chunks allocates O(flows-per-chunk), not O(packets).  Chunk
+        numbering stays aligned with a from-zero iteration when
+        ``start`` is a multiple of ``chunk_packets`` — what a stream
+        resume passes.
+        """
+        if chunk_packets < 1:
+            raise ParameterError(
+                f"chunk_packets must be >= 1, got {chunk_packets!r}")
+        total = self.num_packets
+        if start < 0 or start > total:
+            raise ParameterError(
+                f"start must be in [0, {total}], got {start!r}")
+        offsets = self.offsets
+        num_flows = self.num_flows
+        index = start // chunk_packets
+        p = start
+        while p < total:
+            q = min(p + chunk_packets, total)
+            # Flows overlapping [p, q): flow i owns [offsets[i],
+            # offsets[i+1]), so the first is the rightmost i with
+            # offsets[i] <= p and the last has offsets[i] < q.
+            first = int(np.searchsorted(offsets, p, side="right")) - 1
+            last = min(int(np.searchsorted(offsets, q, side="left")),
+                       num_flows)
+            keys: List[FlowKey] = []
+            lens: List[np.ndarray] = []
+            for i in range(first, last):
+                lo = max(p, int(offsets[i]))
+                hi = min(q, int(offsets[i + 1]))
+                if hi > lo:
+                    keys.append(self.keys[i])
+                    lens.append(self.lengths[lo:hi])
+            yield TraceChunk(index=index, start=p, packets=q - p,
+                             keys=keys, lengths=lens)
+            index += 1
+            p = q
 
     def active_prefix(self, column: int) -> int:
         """Number of flows with more than ``column`` packets.

@@ -30,6 +30,9 @@ MODULES = [
     "repro.obs",
     "repro.facade",
     "repro.faults",
+    "repro.schemes",
+    "repro.results",
+    "repro.streaming",
     "repro.core.functions",
     "repro.core.update",
     "repro.core.disco",
@@ -75,17 +78,20 @@ MODULES = [
 EXPECTED_ALL = {
     "repro": [
         "ConfidenceInterval", "CounterOverflowError", "CountingFunction",
-        "DecodingError", "DiscoCounter", "DiscoSketch", "FaultPlan",
-        "FaultSpec", "GeometricCountingFunction", "HybridCountingFunction",
-        "LinearCountingFunction", "ParameterError", "ReplayJob",
-        "ReplayStreams", "ReproError", "RunResult", "Telemetry",
-        "TraceFormatError", "UpdateDecision", "__version__", "apply_update",
-        "b_for_cov_bound", "choose_b", "coefficient_of_variation",
-        "compute_update", "confidence_interval", "counter_bits", "cov_bound",
+        "DecodingError", "DiscoCounter", "DiscoSketch", "EpochSnapshot",
+        "FaultPlan", "FaultSpec", "GeometricCountingFunction",
+        "HybridCountingFunction", "LinearCountingFunction",
+        "MeasurementResult", "ParameterError", "ReplayJob", "ReplayStreams",
+        "ReproError", "RunResult", "SchemeFactory", "SchemeSpec",
+        "StreamResult", "StreamSession", "Telemetry", "TraceFormatError",
+        "UpdateDecision", "__version__", "apply_update", "b_for_cov_bound",
+        "choose_b", "coefficient_of_variation", "compute_update",
+        "confidence_interval", "counter_bits", "cov_bound",
         "expected_counter_upper_bound", "geometric", "kernel_scheme_names",
-        "kernel_spec", "load_sketch", "measure_trace_estimator",
+        "kernel_spec", "load_sketch", "make_scheme", "measure_trace_estimator",
         "merge_counters", "merge_sketches", "merged_estimate", "replay",
-        "replay_parallel", "replay_replicas", "save_sketch", "seed_streams",
+        "replay_parallel", "replay_replicas", "save_sketch", "scheme_factory",
+        "scheme_names", "seed_streams", "stream",
     ],
     "repro.core": [
         "AgingDiscoSketch", "BatchReplayResult", "ConfidenceInterval",
@@ -118,7 +124,18 @@ EXPECTED_ALL = {
     ],
     "repro.facade": [
         "REPLICA_CHUNK", "ReplayStreams", "replay", "replica_chunks",
-        "seed_streams",
+        "seed_streams", "stream",
+    ],
+    "repro.schemes": [
+        "SchemeFactory", "SchemeSpec", "make_scheme", "register_scheme",
+        "scheme_factory", "scheme_names", "scheme_spec",
+    ],
+    "repro.results": [
+        "MeasurementResult", "estimates_json",
+    ],
+    "repro.streaming": [
+        "DEFAULT_CHUNK_PACKETS", "EpochSnapshot", "StreamResult",
+        "StreamSession",
     ],
     "repro.faults": [
         "FaultInjector", "FaultPlan", "FaultSpec", "SITES", "WORKER_SITES",

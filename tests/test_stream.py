@@ -1,0 +1,351 @@
+"""Streaming subsystem + public scheme/result API redesign tests.
+
+Covers the PR-5 surface end to end:
+
+* the :mod:`repro.schemes` registry (build-by-name, frozen factories,
+  parameter rejection);
+* the :class:`repro.results.MeasurementResult` protocol across every
+  terminal result type;
+* eager argument validation on :func:`repro.replay` /
+  :func:`repro.stream`;
+* stream determinism — exact-kernel bit-identity with a one-shot
+  replay, same-seed reproducibility for probabilistic kernels, and
+  serial == pooled execution;
+* epoch rotation watermarks, truths, collector ingestion;
+* checkpoint / restore under an injected ``checkpoint.write`` fault.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.faults as faults_mod
+from repro import (
+    EpochSnapshot,
+    MeasurementResult,
+    StreamSession,
+    Telemetry,
+    make_scheme,
+    replay,
+    scheme_factory,
+    scheme_names,
+    stream,
+)
+from repro.core.batchreplay import run_kernel
+from repro.core.kernels import kernel_spec
+from repro.errors import ParameterError
+from repro.harness.parallel import shutdown_pool
+from repro.schemes import SchemeFactory, scheme_spec
+from repro.traces.compiled import compile_trace
+from repro.traces.nlanr import nlanr_like
+
+B = 1.05
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return nlanr_like(num_flows=80, mean_flow_bytes=20_000,
+                      max_flow_bytes=200_000, rng=11)
+
+
+@pytest.fixture(scope="module")
+def compiled(trace):
+    return compile_trace(trace)
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults_mod.disarm()
+    yield
+    faults_mod.disarm()
+
+
+# ---------------------------------------------------------------------------
+# the scheme registry
+# ---------------------------------------------------------------------------
+
+class TestSchemeRegistry:
+    def test_names_sorted_unique(self):
+        names = scheme_names()
+        assert names == tuple(sorted(names))
+        assert {"disco", "exact", "sac", "sd", "anls1", "anls2"} <= set(names)
+
+    def test_make_scheme_builds_each(self):
+        for name in scheme_names():
+            scheme = make_scheme(name, max_length=200_000, seed=3)
+            assert getattr(scheme, "name", name)
+            assert kernel_spec(scheme) is not None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParameterError, match="unknown scheme"):
+            make_scheme("nope")
+        with pytest.raises(ParameterError):
+            scheme_spec("nope")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ParameterError):
+            make_scheme("disco", b=1.01, colour="red")
+
+    def test_factory_is_frozen_picklable_and_deterministic(self):
+        factory = scheme_factory("disco", b=1.02, seed=9)
+        assert isinstance(factory, SchemeFactory)
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+        a, b = factory(), clone()
+        assert type(a) is type(b)
+
+    def test_factory_matches_make_scheme(self, trace):
+        via_factory = replay(scheme_factory("disco", b=B, seed=4)(), trace,
+                             rng=2, engine="vector")
+        direct = replay(make_scheme("disco", b=B, seed=4), trace,
+                        rng=2, engine="vector")
+        assert via_factory.estimates == direct.estimates
+
+
+# ---------------------------------------------------------------------------
+# the MeasurementResult protocol
+# ---------------------------------------------------------------------------
+
+class TestMeasurementResultProtocol:
+    def test_run_result_conforms(self, trace):
+        result = replay(make_scheme("disco", b=B, seed=1), trace, rng=3)
+        assert isinstance(result, MeasurementResult)
+        payload = result.to_json()
+        assert payload["type"] == "run"
+        assert set(payload["estimates"]) == {str(k) for k in
+                                             result.estimates_dict()}
+
+    def test_batch_and_replica_results_conform(self, compiled):
+        spec = kernel_spec(make_scheme("disco", b=B, seed=1))
+        single = run_kernel(compiled, spec.factory, mode=spec.mode,
+                            rng=np.random.SeedSequence(5))
+        multi = run_kernel(compiled, spec.factory, mode=spec.mode,
+                           rng=np.random.SeedSequence(5), replicas=3)
+        for result in (single, multi):
+            assert isinstance(result, MeasurementResult)
+            assert result.to_json()["estimates"]
+
+    def test_stream_results_conform(self, compiled):
+        result = stream(scheme_factory("disco", b=B, seed=1), compiled,
+                        shards=2, epoch_packets=compiled.num_packets // 3,
+                        rng=7)
+        assert isinstance(result, MeasurementResult)
+        assert result.to_json()["type"] == "stream"
+        for snapshot in result.snapshots:
+            assert isinstance(snapshot, EpochSnapshot)
+            assert isinstance(snapshot, MeasurementResult)
+            assert snapshot.to_json()["type"] == "epoch"
+
+
+# ---------------------------------------------------------------------------
+# eager argument validation
+# ---------------------------------------------------------------------------
+
+class TestValidation:
+    def test_replay_rejects_bad_order(self, trace):
+        with pytest.raises(ParameterError, match="order must be one of"):
+            replay(make_scheme("disco", b=B), trace, order="sorted")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"shards": 0},
+        {"chunk_packets": 0},
+        {"epoch_packets": 0},
+        {"epoch_bytes": -5},
+        {"workers": 0},
+    ])
+    def test_stream_rejects_bad_parameters(self, trace, kwargs):
+        with pytest.raises(ParameterError):
+            stream(scheme_factory("exact"), trace, **kwargs)
+
+    def test_stream_rejects_resume_without_checkpoint(self, trace):
+        with pytest.raises(ParameterError, match="checkpoint_path"):
+            stream(scheme_factory("exact"), trace, resume=True)
+
+    def test_stream_rejects_non_callable_and_kernelless(self, trace):
+        with pytest.raises(ParameterError, match="callable"):
+            StreamSession(42)
+        with pytest.raises(ParameterError, match="no columnar kernel"):
+            stream(lambda: object(), trace)
+
+    def test_parallel_stream_needs_picklable_factory(self, trace):
+        unpicklable = lambda: make_scheme("disco", b=B)  # noqa: E731
+        with pytest.raises(ParameterError, match="picklable"):
+            StreamSession(unpicklable, workers=2)
+        with pytest.raises(ParameterError, match="picklable"):
+            StreamSession(unpicklable, checkpoint_path="x.ckpt")
+
+    def test_session_checkpoint_without_path_rejected(self):
+        session = StreamSession(scheme_factory("exact"))
+        with pytest.raises(ParameterError, match="checkpoint_path"):
+            session.checkpoint()
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+class TestStreamDeterminism:
+    def test_exact_stream_equals_one_shot_replay(self, trace, compiled):
+        result = stream(scheme_factory("exact"), compiled, shards=3,
+                        epoch_packets=compiled.num_packets // 4, rng=1)
+        one_shot = replay(make_scheme("exact"), trace, rng=1,
+                          engine="vector")
+        assert result.estimates_dict() == one_shot.estimates_dict()
+        assert result.packets == compiled.num_packets
+
+    def test_same_seed_same_estimates(self, compiled):
+        kwargs = dict(shards=2, epoch_packets=compiled.num_packets // 3)
+        a = stream(scheme_factory("disco", b=B, seed=0), compiled,
+                   rng=9, **kwargs)
+        b = stream(scheme_factory("disco", b=B, seed=0), compiled,
+                   rng=9, **kwargs)
+        assert a.estimates_dict() == b.estimates_dict()
+        assert [s.estimates_dict() for s in a.snapshots] == \
+            [s.estimates_dict() for s in b.snapshots]
+
+    def test_different_seed_differs(self, compiled):
+        a = stream(scheme_factory("disco", b=B, seed=0), compiled, rng=1)
+        b = stream(scheme_factory("disco", b=B, seed=0), compiled, rng=2)
+        assert a.estimates_dict() != b.estimates_dict()
+
+    @pytest.mark.parametrize("name,kwargs", [
+        ("sac", {"bits": 10, "mode_bits": 3}),
+        ("sd", {"sram_bits": 12, "dram_access_ratio": 12}),
+        ("anls2", {"b": 1.02}),
+    ])
+    def test_comparator_kernels_same_seed(self, compiled, name, kwargs):
+        factory = scheme_factory(name, seed=0, **kwargs)
+        run = dict(shards=2, epoch_packets=compiled.num_packets // 2, rng=4)
+        assert stream(factory, compiled, **run).estimates_dict() == \
+            stream(factory, compiled, **run).estimates_dict()
+
+    def test_pooled_equals_serial(self, compiled):
+        factory = scheme_factory("disco", b=B, seed=0)
+        kwargs = dict(shards=3, epoch_packets=compiled.num_packets // 3,
+                      rng=6)
+        try:
+            serial = stream(factory, compiled, **kwargs)
+            pooled = stream(factory, compiled, workers=2, **kwargs)
+        finally:
+            shutdown_pool()
+        assert serial.estimates_dict() == pooled.estimates_dict()
+        assert [s.packets for s in serial.snapshots] == \
+            [s.packets for s in pooled.snapshots]
+
+    def test_extend_equals_consume_for_exact(self, trace, compiled):
+        via_trace = stream(scheme_factory("exact"), compiled, shards=2,
+                           rng=3)
+        session = StreamSession(scheme_factory("exact"), shards=2, rng=3)
+        session.extend(trace.packet_pairs(order="asis"))
+        via_pairs = session.finish()
+        assert via_pairs.estimates_dict() == via_trace.estimates_dict()
+
+
+# ---------------------------------------------------------------------------
+# epochs, truths, collector
+# ---------------------------------------------------------------------------
+
+class TestEpochs:
+    def test_packet_watermark_rotates(self, compiled):
+        epoch_packets = compiled.num_packets // 4
+        result = stream(scheme_factory("exact"), compiled, shards=2,
+                        epoch_packets=epoch_packets, chunk_packets=512,
+                        rng=0)
+        assert result.epochs >= 2
+        assert sum(s.packets for s in result.snapshots) == result.packets
+        # every epoch but the last must have reached the watermark
+        for snapshot in result.snapshots[:-1]:
+            assert snapshot.packets >= epoch_packets
+
+    def test_byte_watermark_rotates(self, compiled):
+        total = int(compiled.volumes.sum())
+        result = stream(scheme_factory("exact"), compiled,
+                        epoch_bytes=total // 3, chunk_packets=512, rng=0)
+        assert result.epochs >= 2
+        assert sum(s.volume for s in result.snapshots) == result.volume
+
+    def test_no_watermark_single_epoch(self, compiled):
+        result = stream(scheme_factory("exact"), compiled, shards=4, rng=0)
+        assert result.epochs == 1
+
+    def test_truths_match_trace(self, trace, compiled):
+        result = stream(scheme_factory("disco", b=B, seed=0), compiled,
+                        shards=2, epoch_packets=compiled.num_packets // 3,
+                        rng=1)
+        assert result.truths() == trace.true_totals("volume")
+
+    def test_snapshot_shards_are_key_disjoint(self, compiled):
+        result = stream(scheme_factory("exact"), compiled, shards=4, rng=0)
+        for snapshot in result.snapshots:
+            keys = [set(est) for est in snapshot.shard_estimates]
+            assert sum(len(k) for k in keys) == len(set().union(*keys))
+
+    def test_collector_ingests_snapshots(self, compiled):
+        result = stream(scheme_factory("exact"), compiled,
+                        epoch_packets=compiled.num_packets // 3, rng=0)
+        collector = result.collector()
+        assert collector.intervals == result.epochs
+        merged = result.estimates_dict()
+        for key, value in merged.items():
+            assert collector.flow_total(str(key)) == pytest.approx(value)
+        with pytest.raises(ParameterError, match="epoch snapshot"):
+            collector.interval_confidence(0, str(next(iter(merged))))
+
+    def test_telemetry_counts_stream_events(self, compiled):
+        tel = Telemetry()
+        stream(scheme_factory("exact"), compiled, shards=2,
+               epoch_packets=compiled.num_packets // 2, rng=0,
+               telemetry=tel)
+        snap = tel.snapshot()["counters"]
+        assert snap["stream.packets"] == compiled.num_packets
+        assert snap["stream.epochs"] >= 2
+        assert snap["stream.shard_runs"] >= snap["stream.chunks"]
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / restore
+# ---------------------------------------------------------------------------
+
+class TestCheckpointRestore:
+    def _config(self, compiled, path):
+        return dict(shards=2, epoch_packets=compiled.num_packets // 3,
+                    chunk_packets=512, rng=17,
+                    checkpoint_path=str(path))
+
+    def test_resume_after_injected_crash_is_bit_identical(self, compiled,
+                                                          tmp_path):
+        factory = scheme_factory("disco", b=B, seed=0)
+        baseline = stream(factory, compiled, shards=2,
+                          epoch_packets=compiled.num_packets // 3,
+                          chunk_packets=512, rng=17)
+
+        path = tmp_path / "stream.ckpt"
+        config = self._config(compiled, path)
+        # the 4th checkpoint write dies between serialise and publish
+        with pytest.raises(OSError):
+            stream(factory, compiled,
+                   faults="checkpoint.write:raise:after=3:times=1",
+                   **config)
+        assert path.exists(), "previous checkpoint must survive the crash"
+        assert not path.with_suffix(".ckpt.tmp").exists()
+
+        resumed = stream(factory, compiled, resume=True, **config)
+        assert resumed.estimates_dict() == baseline.estimates_dict()
+        assert [s.packets for s in resumed.snapshots] == \
+            [s.packets for s in baseline.snapshots]
+        assert resumed.packets == baseline.packets
+
+    def test_restore_validates_format(self, tmp_path):
+        bogus = tmp_path / "bogus.ckpt"
+        bogus.write_bytes(pickle.dumps({"magic": "something-else"}))
+        with pytest.raises(ParameterError, match="not a stream checkpoint"):
+            StreamSession.restore(str(bogus))
+
+    def test_resuming_finished_stream_is_noop(self, compiled, tmp_path):
+        factory = scheme_factory("exact")
+        config = self._config(compiled, tmp_path / "done.ckpt")
+        done = stream(factory, compiled, **config)
+        again = stream(factory, compiled, resume=True, **config)
+        assert again.estimates_dict() == done.estimates_dict()
+        assert again.epochs == done.epochs
