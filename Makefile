@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-faults bench bench-gate bench-gate-quick report examples all
+.PHONY: install lint test test-nonative test-faults bench bench-gate bench-gate-quick report examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,6 +20,12 @@ lint:
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+# Same suite with the compiled native backend masked: proves every
+# engine="native" / engine="auto" caller degrades cleanly to the vector
+# path on machines without Numba or a C compiler.
+test-nonative:
+	REPRO_DISABLE_NATIVE=1 $(PYTHON) -m pytest tests/ -q
 
 # Fault-injection audit: the seeded fault-schedule suite and the
 # exactly-once telemetry regression, then the CLI invariant audit
@@ -43,4 +49,4 @@ report:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; echo "all examples ran"
 
-all: lint test test-faults bench
+all: lint test test-nonative test-faults bench bench-gate-quick

@@ -8,12 +8,17 @@ times both sides wall-clock on the same compiled trace and reports
 
 * ``perf_stream_pps`` — streamed packets/second (4 shards, ~4 epochs),
 * ``perf_vector_ref_pps`` — the one-shot ``engine="vector"`` reference,
-* ``perf_stream_vs_vector`` — their ratio.
+* ``perf_stream_vs_vector`` — their ratio,
+* ``perf_stream_native_pps`` / ``perf_stream_native_vs_vector`` — the
+  same stream with ``engine="native"`` shard chunks, against the same
+  one-shot vector reference (only when the native backend is available).
 
-``benchmarks/perf_gate.py`` enforces ``perf_stream_vs_vector`` as an
-absolute floor (:data:`perf_gate.STREAM_FLOOR`): unlike the speedup
-ratios it is not baselined, because the floor is a structural claim
-("chunked streaming costs at most ~2x a monolithic replay"), not a
+``benchmarks/perf_gate.py`` enforces ``perf_stream_vs_vector`` and
+``perf_stream_native_vs_vector`` as absolute floors
+(:data:`perf_gate.STREAM_FLOOR` / :data:`perf_gate.STREAM_NATIVE_FLOOR`):
+unlike the speedup ratios they are not baselined, because each floor is
+a structural claim ("chunked streaming costs at most ~2x a monolithic
+replay"; "native chunks recover the chunking overhead"), not a
 machine-relative one.  The pytest-benchmark test below times the same
 stream call for the trajectory record.
 """
@@ -74,13 +79,32 @@ def measure_stream(trace=None, repeats=REPEATS):
         stream_s = min(stream_s, time.perf_counter() - start)
         epochs = result.epochs
 
-    return {
+    metrics = {
         "perf_stream_packets": float(packets),
         "perf_stream_epochs": float(epochs),
         "perf_stream_pps": packets / stream_s,
         "perf_vector_ref_pps": packets / vector_s,
         "perf_stream_vs_vector": vector_s / stream_s,
     }
+
+    from repro.core import native
+
+    if native.available():
+        # Untimed warmup absorbs the one-off JIT/compile cost, so the
+        # ratio measures steady-state chunk replays only.
+        stream(factory, compiled, shards=STREAM_SHARDS,
+               epoch_packets=epoch_packets, chunk_packets=epoch_packets,
+               rng=0, engine="native")
+        native_s = float("inf")
+        for seed in range(repeats):
+            start = time.perf_counter()
+            stream(factory, compiled, shards=STREAM_SHARDS,
+                   epoch_packets=epoch_packets,
+                   chunk_packets=epoch_packets, rng=seed, engine="native")
+            native_s = min(native_s, time.perf_counter() - start)
+        metrics["perf_stream_native_pps"] = packets / native_s
+        metrics["perf_stream_native_vs_vector"] = vector_s / native_s
+    return metrics
 
 
 def test_perf_stream_replay(benchmark):

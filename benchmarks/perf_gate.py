@@ -1,9 +1,13 @@
 """Replay-engine throughput gate: measure, record trajectory, fail on regression.
 
-Times the three DISCO replay engines (``python``, ``fast``, ``vector``)
-on one fixed seeded NLANR-like trace, plus each comparator scheme's
-columnar kernel (SAC, ANLS-I, ANLS-II, SD) against its pure-Python
-``observe()`` loop on a smaller fixed comparator trace, and
+Times the three interpreted DISCO replay engines (``python``, ``fast``,
+``vector``) on one fixed seeded NLANR-like trace, plus each comparator
+scheme's columnar kernel (SAC, ANLS-I, ANLS-II, SD) against its
+pure-Python ``observe()`` loop on a smaller fixed comparator trace,
+plus — when the compiled backend is importable — every kernel's
+``engine="native"`` path against its ``engine="vector"`` path
+(:func:`measure_native`, gated by the absolute :data:`NATIVE_FLOORS`),
+and
 
 1. appends a trajectory entry to ``BENCH_perf.json`` (a rolling history,
    pruned to the last :data:`HISTORY_LIMIT` runs, so throughput over the
@@ -45,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -57,14 +62,38 @@ HISTORY_PATH = ROOT.parent / "BENCH_perf.json"
 #: Comparator schemes with columnar kernels, gated python-vs-vector.
 COMPARATOR_NAMES = ("sac", "anls1", "anls2", "sd")
 
+#: Kernels timed native-vs-vector by :func:`measure_native`.
+NATIVE_NAMES = ("exact",) + COMPARATOR_NAMES
+
 #: Speedup ratios gated against the baseline (machine-portable).  A key
 #: is only enforced when the run actually measured it (``--quick`` skips
-#: the DISCO trace), but every key must exist in the committed baseline.
+#: the DISCO trace), but every key a run measures must exist in the
+#: committed baseline.
 GATE_KEYS = ("perf_vector_speedup", "perf_fast_speedup") + tuple(
     f"perf_{name}_speedup" for name in COMPARATOR_NAMES
 )
 #: Maximum tolerated relative drop of a gated ratio.
 REGRESSION_TOLERANCE = 0.20
+#: Absolute floors on ``perf_native_{name}_speedup`` (native pps over
+#: vector pps, same compiled comparator trace).  ANLS-II and SD spend
+#: their vector path mostly in the per-flow Python tail / flush loops,
+#: so the compiled backend must clear 3x there; the rest are already
+#: columnar in NumPy and 1.5x is the structural claim.  Like
+#: :data:`STREAM_FLOOR` these are constants rather than
+#: baseline-ratcheted ratios: the native runs finish in well under a
+#: millisecond, so their measured speedups swing far more than the 20%
+#: ratchet tolerance while never approaching the floors.
+NATIVE_FLOORS = {
+    "anls2": 3.0,
+    "sd": 3.0,
+    "sac": 1.5,
+    "anls1": 1.5,
+    "exact": 1.5,
+}
+#: Absolute floor on ``perf_stream_native_vs_vector`` — a sharded
+#: stream whose chunks replay with ``engine="native"`` must recover the
+#: chunking overhead and stay within 10% of the one-shot vector replay.
+STREAM_NATIVE_FLOOR = 0.9
 #: Absolute floor on ``perf_stream_vs_vector`` (sharded stream pps over
 #: one-shot vector replay pps, measured by
 #: ``bench_stream_throughput.measure_stream``).  Not baselined like the
@@ -76,7 +105,12 @@ STREAM_FLOOR = 0.5
 HISTORY_LIMIT = 50
 #: Maximum tolerated telemetry cost: enabled vs disabled vector replay.
 OVERHEAD_LIMIT_PCT = 2.0
-#: Best-of-N repeats for the overhead measurement (min discards noise).
+#: Interleaved enabled/disabled replay pairs for the overhead
+#: measurement.  Per-pair noise on a busy CI box is several percent
+#: either way; the median over this many pairs keeps the estimate
+#: inside ±1.5% (measured), which is what makes the 2% limit gateable.
+OVERHEAD_PAIRS = 60
+#: Best-of-N repeats for the fault-seam measurement (min discards noise).
 OVERHEAD_REPEATS = 5
 #: Maximum tolerated cost of one disarmed ``repro.faults.fire`` call.
 #: The seam is one global load plus a ``None`` check (~50-100 ns on any
@@ -230,15 +264,76 @@ def measure_comparators(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
     return metrics
 
 
+def measure_native(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
+    """Time ``engine="native"`` against ``engine="vector"`` per kernel.
+
+    Produces ``perf_native_{name}_{pps,speedup}`` for every scheme in
+    :data:`NATIVE_NAMES` (the exact-counter kernel plus the four
+    comparators), on the same compiled comparator trace
+    :func:`measure_comparators` uses so the pps numbers are directly
+    comparable.  Returns ``{}`` when the native backend is unavailable
+    (no Numba and no C compiler, or ``REPRO_DISABLE_NATIVE=1``) — the
+    gate then simply skips the :data:`NATIVE_FLOORS` checks.
+
+    One untimed warmup run per engine precedes the timed runs, so the
+    one-off JIT/compile cost (visible separately in the
+    ``replay.native.warmup`` telemetry span) never pollutes the
+    throughput numbers.
+    """
+    from repro.core import native
+    from repro.facade import replay
+    from repro.schemes import make_scheme
+    from repro.traces.compiled import compile_trace
+
+    if not native.available():
+        return {}
+    if trace is None:
+        trace = build_comparator_trace()
+    compiled = compile_trace(trace)
+    packets = compiled.num_packets
+
+    def scheme_for(name: str, seed: int):
+        if name == "exact":
+            return make_scheme("exact", seed=seed)
+        return _comparator_schemes(seed)[name]
+
+    metrics: Dict[str, float] = {}
+    for name in NATIVE_NAMES:
+        timings: Dict[str, float] = {}
+        for engine in ("vector", "native"):
+            replay(scheme_for(name, 0), compiled, order="asis",
+                   engine=engine)  # warmup: JIT/compile + caches
+            elapsed = []
+            for seed in range(repeats):
+                result = replay(scheme_for(name, seed), compiled,
+                                order="asis", engine=engine)
+                elapsed.append(result.elapsed_seconds)
+            timings[engine] = min(elapsed)
+        metrics[f"perf_native_{name}_pps"] = packets / timings["native"]
+        metrics[f"perf_native_{name}_speedup"] = (
+            timings["vector"] / timings["native"])
+    return metrics
+
+
 def measure_overhead(trace=None,
-                     repeats: int = OVERHEAD_REPEATS) -> Dict[str, object]:
-    """Telemetry cost: best-of-N vector replays, enabled vs disabled.
+                     repeats: int = OVERHEAD_PAIRS) -> Dict[str, object]:
+    """Telemetry cost: interleaved enabled/disabled vector replay pairs.
 
     Times the whole :func:`repro.replay` call (the enabled path's extra
     work — snapshot, merge, scheme-event harvest — happens outside the
     engine's own ``elapsed_seconds``) and returns ``obs_overhead_pct``
     plus one per-engine event-count breakdown (``events``) from a single
     instrumented replay of each engine.
+
+    The measurement runs ``repeats`` (at least 3) back-to-back
+    enabled/disabled *pairs* and takes the median of the per-pair
+    overhead percentages, so a frequency ramp or scheduler hiccup that
+    lands on one side of one pair cannot swing the result the way the
+    old sequential best-of-N-per-side scheme could.  Timer noise still
+    makes individual pairs go slightly negative (the instrumentation
+    genuinely costs ~0); the *recorded* metric is clamped at 0 because a
+    negative overhead is always noise, never signal — the raw median is
+    kept alongside as ``obs_overhead_raw_pct`` for trend-watching.
     """
     from repro.core.disco import DiscoSketch
     from repro.facade import replay
@@ -248,34 +343,48 @@ def measure_overhead(trace=None,
     if trace is None:
         trace = build_comparator_trace()
     compiled = compile_trace(trace)
+    repeats = max(3, repeats)
 
-    def best(instrumented: bool) -> float:
-        elapsed = []
-        for seed in range(repeats):
-            sketch = DiscoSketch(b=DISCO_B, mode="volume", rng=seed)
-            tel = Telemetry() if instrumented else None
-            start = time.perf_counter()
-            replay(sketch, compiled, order="asis", engine="vector",
-                   telemetry=tel)
-            elapsed.append(time.perf_counter() - start)
-        return min(elapsed)
+    def one(instrumented: bool, seed: int) -> float:
+        sketch = DiscoSketch(b=DISCO_B, mode="volume", rng=seed)
+        tel = Telemetry() if instrumented else None
+        start = time.perf_counter()
+        replay(sketch, compiled, order="asis", engine="vector",
+               telemetry=tel)
+        return time.perf_counter() - start
 
     # One untimed warmup so cache effects (trace columns, update tables)
-    # don't bias whichever side runs first.
+    # don't bias the first pair.
     replay(DiscoSketch(b=DISCO_B, mode="volume", rng=0), compiled,
            order="asis", engine="vector")
-    disabled_s = best(False)
-    enabled_s = best(True)
-    overhead_pct = (enabled_s - disabled_s) / disabled_s * 100.0
+    pair_pcts = []
+    enabled_times = []
+    disabled_times = []
+    for seed in range(repeats):
+        enabled = one(True, seed)
+        disabled = one(False, seed)
+        enabled_times.append(enabled)
+        disabled_times.append(disabled)
+        pair_pcts.append((enabled - disabled) / disabled * 100.0)
+    raw_pct = statistics.median(pair_pcts)
+    overhead_pct = max(0.0, raw_pct)
+    enabled_s = statistics.median(enabled_times)
+    disabled_s = statistics.median(disabled_times)
 
+    from repro.core import native
+
+    engines = ["python", "fast", "vector"]
+    if native.available():
+        engines.append("native")
     events: Dict[str, Dict[str, int]] = {}
-    for engine in ("python", "fast", "vector"):
+    for engine in engines:
         tel = Telemetry()
         sketch = DiscoSketch(b=DISCO_B, mode="volume", rng=0)
         replay(sketch, compiled, order="asis", engine=engine, telemetry=tel)
         events[engine] = dict(sorted(tel.snapshot()["counters"].items()))
     return {
         "obs_overhead_pct": round(overhead_pct, 3),
+        "obs_overhead_raw_pct": round(raw_pct, 3),
         "obs_disabled_seconds": round(disabled_s, 6),
         "obs_enabled_seconds": round(enabled_s, 6),
         "events": events,
@@ -317,12 +426,15 @@ def measure_fault_seam(iterations: int = FAULT_SEAM_ITERATIONS,
 def append_history(metrics: Dict[str, float],
                    path: Path = HISTORY_PATH,
                    limit: int = HISTORY_LIMIT,
-                   telemetry: Dict[str, object] = None) -> None:
+                   telemetry: Dict[str, object] = None,
+                   native_backend: str = None) -> None:
     """Append one trajectory entry, pruning to the last ``limit`` runs.
 
-    ``telemetry`` (the :func:`measure_overhead` report) is recorded in
-    the history only — never in ``baseline.json``, whose key set the
-    accuracy gate checks exactly.
+    ``telemetry`` (the :func:`measure_overhead` report) and
+    ``native_backend`` (which compiled provider — ``"numba"``, ``"cc"``
+    or ``"none"`` — produced this run's ``perf_native_*`` numbers) are
+    recorded in the history only — never in ``baseline.json``, whose
+    key set the accuracy gate checks exactly.
     """
     history = []
     if path.exists():
@@ -331,6 +443,8 @@ def append_history(metrics: Dict[str, float],
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "metrics": {k: round(v, 3) for k, v in metrics.items()},
     }
+    if native_backend is not None:
+        entry["native_backend"] = native_backend
     if telemetry is not None:
         entry["telemetry"] = telemetry
     history.append(entry)
@@ -412,12 +526,35 @@ def main(argv=None) -> int:
         print(f"  {name:>7}: {pps / 1e6:6.2f} Mpps"
               f"   ({metrics[f'perf_{name}_speedup']:.1f}x python)")
 
+    from repro.core import native
+
+    native_backend = native.provider_name() or "none"
+    metrics.update(measure_native())
+    if native.available():
+        print(f"native-kernel throughput (backend: {native_backend})")
+        for name in NATIVE_NAMES:
+            pps = metrics[f"perf_native_{name}_pps"]
+            speedup = metrics[f"perf_native_{name}_speedup"]
+            print(f"  {name:>7}: {pps / 1e6:6.2f} Mpps"
+                  f"   ({speedup:.1f}x vector; "
+                  f"floor {NATIVE_FLOORS[name]:.1f}x)")
+    else:
+        print("native backend unavailable "
+              "(no Numba, no C compiler, or REPRO_DISABLE_NATIVE=1); "
+              "skipping native floors")
+
     metrics.update(measure_stream_metrics())
     stream_ratio = metrics["perf_stream_vs_vector"]
     print(f"stream throughput: "
           f"{metrics['perf_stream_pps'] / 1e6:6.2f} Mpps "
           f"({stream_ratio:.2f}x one-shot vector replay; "
           f"floor {STREAM_FLOOR:.2f}x)")
+    stream_native_ratio = metrics.get("perf_stream_native_vs_vector")
+    if stream_native_ratio is not None:
+        print(f"stream (native chunks): "
+              f"{metrics['perf_stream_native_pps'] / 1e6:6.2f} Mpps "
+              f"({stream_native_ratio:.2f}x one-shot vector replay; "
+              f"floor {STREAM_NATIVE_FLOOR:.2f}x)")
 
     telemetry = measure_overhead()
     overhead_pct = telemetry["obs_overhead_pct"]
@@ -432,7 +569,8 @@ def main(argv=None) -> int:
           f"(limit {FAULT_SEAM_LIMIT_NS:.0f} ns)")
 
     if not args.no_history:
-        append_history(metrics, telemetry=telemetry)
+        append_history(metrics, telemetry=telemetry,
+                       native_backend=native_backend)
         print(f"history appended to {HISTORY_PATH}")
     if args.update_baseline:
         update_baseline(metrics)
@@ -460,6 +598,25 @@ def main(argv=None) -> int:
         print(f"PERF GATE FAILED: stream throughput {stream_ratio:.2f}x "
               f"of the one-shot vector replay is below the "
               f"{STREAM_FLOOR:.2f}x floor", file=sys.stderr)
+        return 1
+    native_failures = [
+        (name, metrics[f"perf_native_{name}_speedup"])
+        for name in NATIVE_NAMES
+        if f"perf_native_{name}_speedup" in metrics
+        and metrics[f"perf_native_{name}_speedup"] < NATIVE_FLOORS[name]
+    ]
+    if native_failures:
+        print("PERF GATE FAILED (native below floor):", file=sys.stderr)
+        for name, speedup in native_failures:
+            print(f"  {name}: {speedup:.2f}x vector "
+                  f"(floor {NATIVE_FLOORS[name]:.1f}x)", file=sys.stderr)
+        return 1
+    if (stream_native_ratio is not None
+            and stream_native_ratio < STREAM_NATIVE_FLOOR):
+        print(f"PERF GATE FAILED: native-chunk stream "
+              f"{stream_native_ratio:.2f}x of the one-shot vector replay "
+              f"is below the {STREAM_NATIVE_FLOOR:.2f}x floor",
+              file=sys.stderr)
         return 1
     gated = [k for k in GATE_KEYS if k in metrics]
     summary = ", ".join(

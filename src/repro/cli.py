@@ -128,6 +128,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         chunk_packets=args.chunk_packets,
         rng=args.seed + 1,
         workers=args.workers,
+        engine=args.engine,
         telemetry=tel,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
@@ -447,9 +448,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bits", type=int, default=10)
     p.add_argument("--mode", choices=("volume", "size"), default="volume")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--engine", choices=("auto", "python", "fast", "vector"),
+    p.add_argument("--engine",
+                   choices=("auto", "python", "fast", "vector", "native"),
                    default="auto",
-                   help="replay engine (vector = array-native batch replay)")
+                   help="replay engine (vector = array-native batch replay, "
+                        "native = compiled kernels, falls back to vector)")
     p.add_argument("--telemetry", action="store_true",
                    help="record and print replay telemetry event counts")
     p.set_defaults(func=cmd_replay)
@@ -472,6 +475,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="packets per consumption chunk")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool workers for shard replays (default: serial)")
+    p.add_argument("--engine", choices=("vector", "native"), default="vector",
+                   help="columnar backend for shard-chunk replays")
     p.add_argument("--checkpoint", default=None,
                    help="checkpoint file; enables crash-resumable streaming")
     p.add_argument("--resume", action="store_true",

@@ -268,6 +268,7 @@ def run_kernel(
     replicas: int = 1,
     telemetry: Optional[obs.Telemetry] = None,
     resume: Optional[KernelState] = None,
+    engine: str = "vector",
 ) -> Union[BatchReplayResult, ReplicaReplayResult]:
     """Drive any :class:`~repro.core.kernels.SchemeKernel` over the trace.
 
@@ -314,12 +315,24 @@ def run_kernel(
         trace split into segments replays as a continuation rather than
         from zero.  Requires a kernel with
         :attr:`~repro.core.kernels.SchemeKernel.resumable` set.
+    engine:
+        ``"vector"`` (default) runs the NumPy columnar loop above;
+        ``"native"`` asks the kernel for a compiled whole-replay runner
+        (:meth:`~repro.core.kernels.SchemeKernel.native_step`) and falls
+        back to the columnar loop when the kernel declines or no native
+        provider is available (counted as ``batch.native_fallback``).
+        Runner resolution — including any JIT compilation — happens
+        under the ``replay.native.warmup`` span *before* the timer
+        starts, so compile time never pollutes throughput numbers.
 
     ``elapsed_seconds`` covers the update work only (column loop plus
     scalar tail), matching the per-packet engines' timing contract.
     """
     if mode not in ("volume", "size"):
         raise ParameterError(f"mode must be 'volume' or 'size', got {mode!r}")
+    if engine not in ("vector", "native"):
+        raise ParameterError(
+            f"engine must be 'vector' or 'native', got {engine!r}")
     if min_lanes is not None and min_lanes < 1:
         raise ParameterError(f"min_lanes must be >= 1, got {min_lanes!r}")
     if replicas < 1:
@@ -338,6 +351,14 @@ def run_kernel(
     if min_lanes is None:
         min_lanes = kernel.preferred_min_lanes
 
+    native_run = None
+    if engine == "native":
+        # Resolve (and, for JIT providers, compile) the runner before the
+        # timer starts: warmup cost lands in its own span, not in
+        # ``elapsed_seconds``.
+        with tel.span("replay.native.warmup"):
+            native_run = kernel.native_step()
+
     sizes = compiled.sizes
     offsets = compiled.offsets
     lengths = compiled.lengths
@@ -354,40 +375,49 @@ def run_kernel(
     # budget > t, computed against the ascending reversed budgets.
     actives = num_flows - np.searchsorted(
         sizes[::-1], np.arange(columns, dtype=sizes.dtype), side="right")
-    # -- columnar phase: one vector step per packet column ------------------
-    while t < columns:
-        active = int(actives[t])
-        if supports_tail and active * R < min_lanes:
-            break
-        if mode == "volume":
-            column = lengths[offsets[:active] + t]
-            if R > 1:
-                column = np.repeat(column, R)
-        else:
-            column = 1.0
-        kernel.step_column(column, active * R)
-        vector_steps += 1
-        t += 1
-    columnar_elapsed = time.perf_counter() - start
-
-    # -- scalar tail: the few flows that outlive the wide columns -----------
     tail_flows = 0
-    if t < columns and active > 0:
-        for i in range(active):
-            budget = int(sizes[i])
-            if budget <= t:
-                continue
-            n = budget - t
+    if native_run is not None:
+        # -- native phase: the whole replay in one compiled call ------------
+        stats = native_run(compiled, mode, min_lanes)
+        vector_steps = stats.vector_steps
+        tail_packets = stats.tail_packets
+        tail_flows = stats.tail_flows
+        columnar_elapsed = time.perf_counter() - start
+        elapsed = columnar_elapsed
+    else:
+        # -- columnar phase: one vector step per packet column --------------
+        while t < columns:
+            active = int(actives[t])
+            if supports_tail and active * R < min_lanes:
+                break
             if mode == "volume":
-                base = int(offsets[i])
-                lens = lengths[base + t:base + budget]
+                column = lengths[offsets[:active] + t]
+                if R > 1:
+                    column = np.repeat(column, R)
             else:
-                lens = None
-            for r in range(R):
-                kernel.tail_flow(i * R + r, lens, n)
-            tail_packets += n
-            tail_flows += 1
-    elapsed = time.perf_counter() - start
+                column = 1.0
+            kernel.step_column(column, active * R)
+            vector_steps += 1
+            t += 1
+        columnar_elapsed = time.perf_counter() - start
+
+        # -- scalar tail: the few flows that outlive the wide columns -------
+        if t < columns and active > 0:
+            for i in range(active):
+                budget = int(sizes[i])
+                if budget <= t:
+                    continue
+                n = budget - t
+                if mode == "volume":
+                    base = int(offsets[i])
+                    lens = lengths[base + t:base + budget]
+                else:
+                    lens = None
+                for r in range(R):
+                    kernel.tail_flow(i * R + r, lens, n)
+                tail_packets += n
+                tail_flows += 1
+        elapsed = time.perf_counter() - start
 
     snapshot = None
     if tel.enabled:
@@ -397,6 +427,10 @@ def run_kernel(
         local = obs.Telemetry()
         local.count("batch.replays")
         local.count("batch.replicas", R)
+        if native_run is not None:
+            local.count("batch.native")
+        elif engine == "native":
+            local.count("batch.native_fallback")
         local.count("batch.columns", vector_steps)
         local.count("batch.column_lanes",
                     int(actives[:vector_steps].sum()) * R)

@@ -17,6 +17,7 @@ speedup inspectable.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Dict, Hashable, Iterable, Tuple, Union
 
 from repro.core.functions import CountingFunction, GeometricCountingFunction
@@ -29,9 +30,15 @@ __all__ = ["UpdateCache", "FastDiscoSketch"]
 class UpdateCache:
     """Exact memo of Algorithm 1 decisions keyed by ``(c, l)``.
 
-    Bounded: when ``max_entries`` is reached the cache is cleared (the
-    reuse pattern is bursty, so wholesale reset beats eviction
-    bookkeeping at this scale).
+    Bounded: when ``max_entries`` is reached the cache is swapped for a
+    fresh dict (the reuse pattern is bursty, so wholesale reset beats
+    eviction bookkeeping at this scale).
+
+    Thread-safe: lookups read the dict reference lock-free (values are
+    exact, so a stale snapshot is still correct) while the miss path —
+    compute, capacity swap, insert, accounting — runs under a lock.  The
+    per-``b`` shared instances in :mod:`repro.core.kernels` are hit from
+    multiple replica threads concurrently.
     """
 
     def __init__(self, function: CountingFunction,
@@ -41,6 +48,7 @@ class UpdateCache:
         self.function = function
         self.max_entries = max_entries
         self._cache: Dict[Tuple[int, float], Tuple[int, float]] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         #: Number of wholesale resets taken when ``max_entries`` was hit.
@@ -55,13 +63,16 @@ class UpdateCache:
         if cached is not None:
             self.hits += 1
             return cached
-        self.misses += 1
         decision = compute_update(self.function, c, l)
-        if len(self._cache) >= self.max_entries:
-            self._cache.clear()
-            self.clears += 1
         value = (decision.delta, decision.probability)
-        self._cache[key] = value
+        with self._lock:
+            self.misses += 1
+            if len(self._cache) >= self.max_entries:
+                # Atomic swap, never in-place clear: concurrent readers
+                # keep their (still exact) snapshot.
+                self._cache = {}
+                self.clears += 1
+            self._cache[key] = value
         return value
 
     def clear(self) -> None:
@@ -72,10 +83,11 @@ class UpdateCache:
         restart: ``hits``, ``misses`` and ``clears`` all return to 0, as
         if the cache were freshly built.
         """
-        self._cache.clear()
-        self.hits = 0
-        self.misses = 0
-        self.clears = 0
+        with self._lock:
+            self._cache = {}
+            self.hits = 0
+            self.misses = 0
+            self.clears = 0
 
     @property
     def hit_rate(self) -> float:

@@ -49,6 +49,7 @@ from __future__ import annotations
 import abc
 import math
 import random
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -175,6 +176,17 @@ class SchemeKernel(abc.ABC):
         is ``None`` (size mode, every amount is 1).
         """
         raise NotImplementedError(f"{type(self).__name__} has no scalar tail")
+
+    def native_step(self):
+        """Compiled whole-replay hook for ``engine="native"``.
+
+        Kernels with a native lowering (:mod:`repro.core.native`) return
+        ``run(compiled, mode, min_lanes) -> NativeStats`` operating in
+        place on their state arrays; ``None`` (the default) makes the
+        driver fall back to the columnar step/tail loop — the same
+        update law, just without the compiled fast path.
+        """
+        return None
 
     @abc.abstractmethod
     def counters(self) -> np.ndarray:
@@ -318,16 +330,24 @@ def kernel_spec(scheme) -> Optional[KernelSpec]:
 #: keep a warm table instead of re-deriving the same decisions every
 #: chunk.
 _UPDATE_CACHES: Dict[float, object] = {}
+_UPDATE_CACHES_LOCK = threading.Lock()
 
 
 def _shared_update_cache(b: float):
+    # Double-checked under a lock: the native backend and daemon paths
+    # probe this memo from worker threads, and two racing creators would
+    # otherwise hand out distinct caches (breaking the shared-warmth
+    # contract) or interleave dict writes.
     cache = _UPDATE_CACHES.get(b)
     if cache is None:
-        from repro.core.fastpath import UpdateCache
-        from repro.core.functions import GeometricCountingFunction
+        with _UPDATE_CACHES_LOCK:
+            cache = _UPDATE_CACHES.get(b)
+            if cache is None:
+                from repro.core.fastpath import UpdateCache
+                from repro.core.functions import GeometricCountingFunction
 
-        cache = UpdateCache(GeometricCountingFunction(b))
-        _UPDATE_CACHES[b] = cache
+                cache = UpdateCache(GeometricCountingFunction(b))
+                _UPDATE_CACHES[b] = cache
     return cache
 
 
@@ -355,6 +375,14 @@ class DiscoKernel(SchemeKernel):
         self._ln_b = math.log(self.b)
         self.max_value = (1 << capacity_bits) - 1 if capacity_bits else None
         self._cache = None
+        #: Compiled dwell-loop implementation, injected by the native
+        #: runner for the duration of the tail phase (None = Python loop).
+        self._dwell_impl = None
+
+    def native_step(self):
+        from repro.core import native
+
+        return native.disco_runner(self)
 
     def step_column(self, column, active: int) -> None:
         self.state.step_active(column, slice(0, active))
@@ -414,20 +442,23 @@ class DiscoKernel(SchemeKernel):
                     thresholds = (np.log(lengths[idx:]) - np.log(u)) / ln_b
                 else:
                     thresholds = -np.log(u) / ln_b
-            cc = float(c)
-            if max_value is None:
-                for t_i in thresholds.tolist():
-                    if t_i > cc:
-                        cc += 1.0
+            if self._dwell_impl is not None:
+                c = self._dwell_impl(thresholds, float(c), max_value)
             else:
-                cap = float(max_value)
-                for t_i in thresholds.tolist():
-                    if t_i > cc:
-                        if cc >= cap:
-                            self.saturation_events += 1
-                        else:
+                cc = float(c)
+                if max_value is None:
+                    for t_i in thresholds.tolist():
+                        if t_i > cc:
                             cc += 1.0
-            c = int(cc)
+                else:
+                    cap = float(max_value)
+                    for t_i in thresholds.tolist():
+                        if t_i > cc:
+                            if cc >= cap:
+                                self.saturation_events += 1
+                            else:
+                                cc += 1.0
+                c = int(cc)
         counters[lane] = c
 
     def counters(self) -> np.ndarray:
@@ -504,6 +535,11 @@ class SacKernel(SchemeKernel):
         self._rep = np.arange(n, dtype=np.int64) % self.replicas
         self.global_renormalizations = 0
         self.counter_renormalizations = 0
+
+    def native_step(self):
+        from repro.core import native
+
+        return native.sac_runner(self)
 
     # -- vector internals ---------------------------------------------------
 
@@ -733,6 +769,11 @@ class AnlsKernel(SchemeKernel):
     def _state_arrays(self) -> Dict[str, np.ndarray]:
         return {"c": self.c}
 
+    def native_step(self):
+        from repro.core import native
+
+        return native.anls_runner(self)
+
     def step_column(self, column, active: int) -> None:
         c = self.c[:active]
         sampled = self.gen.random(active) < np.exp(-c * self._ln_b)
@@ -792,6 +833,11 @@ class AnlsPerUnitKernel(AnlsKernel):
                  b: float) -> None:
         super().__init__(lanes, gen, replicas, b=b)
         self.geometric_jumps = 0
+
+    def native_step(self):
+        from repro.core import native
+
+        return native.anls2_runner(self)
 
     def step_column(self, column, active: int) -> None:
         c = self.c
@@ -921,6 +967,11 @@ class SdKernel(SchemeKernel):
         self.bus_bits_transferred = 0
         self.overflow_events = 0
         self.lost_traffic = 0
+
+    def native_step(self):
+        from repro.core import native
+
+        return native.sd_runner(self)
 
     def step_column(self, column, active: int) -> None:
         if isinstance(column, np.ndarray):
@@ -1068,6 +1119,11 @@ class ExactKernel(SchemeKernel):
 
     def _state_arrays(self) -> Dict[str, np.ndarray]:
         return {"totals": self.totals}
+
+    def native_step(self):
+        from repro.core import native
+
+        return native.exact_runner(self)
 
     def step_column(self, column, active: int) -> None:
         if isinstance(column, np.ndarray):

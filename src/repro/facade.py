@@ -253,7 +253,7 @@ def replay(
     """Replay ``trace`` through ``scheme`` and score the estimates.
 
     The single replay entrypoint: selects an engine
-    (``auto``/``python``/``fast``/``vector`` — see
+    (``auto``/``python``/``fast``/``vector``/``native`` — see
     :mod:`repro.harness.runner` for the contract), derives every random
     stream from ``rng`` via :func:`seed_streams`, and returns one
     :class:`~repro.harness.runner.RunResult` — or a list of ``replicas``
@@ -296,10 +296,10 @@ def replay(
     tel.count("replay.calls")
     tel.count(f"replay.engine.{resolved}")
     before = _scheme_event_state(scheme) if tel.enabled else {}
-    if resolved == "vector":
+    if resolved in ("vector", "native"):
         result = _replay_vector(scheme, trace,
                                 rng=None if rng is None else streams.update(),
-                                telemetry=tel)
+                                telemetry=tel, engine=resolved)
     else:
         result = _replay_scalar(scheme, trace, order=order,
                                 rng=streams.shuffle, engine=resolved,
@@ -322,6 +322,7 @@ def stream(
     chunk_packets: Optional[int] = None,
     rng: AnyRng = None,
     workers: Optional[int] = None,
+    engine: str = "vector",
     telemetry: Optional["obs.Telemetry"] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
@@ -343,6 +344,9 @@ def stream(
     for a fixed configuration the result is same-seed deterministic
     across ``workers`` settings, and for the exact scheme the summed
     epoch estimates equal a one-shot :func:`replay` bit-for-bit.
+    ``engine`` picks the per-chunk columnar backend (``"vector"`` or
+    ``"native"`` — see :mod:`repro.core.native`); carried kernel state
+    round-trips through native chunks unchanged.
 
     ``resume=True`` (requires ``checkpoint_path=``) restores the
     session from an existing checkpoint and skips the packets it
@@ -380,6 +384,7 @@ def stream(
                 chunk_packets=chunk_packets,
                 rng=rng,
                 workers=workers,
+                engine=engine,
                 telemetry=telemetry,
                 checkpoint_path=checkpoint_path,
             )

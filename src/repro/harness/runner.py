@@ -1,6 +1,6 @@
 """Replay driver: push a trace through a counting scheme and score it.
 
-Three engines drive the same replay contract:
+Four engines drive the same replay contract:
 
 ``"python"``
     The reference per-packet ``observe()`` loop.  Works for every scheme.
@@ -20,11 +20,21 @@ Three engines drive the same replay contract:
     random stream column-major.  Fresh schemes only; arrival ``order``
     is ignored because per-flow counters are order-independent across
     flows.
+``"native"``
+    The vector engine's law with its per-kernel inner loops lowered to
+    compiled code (:mod:`repro.core.native`): the same CSR-compiled
+    trace arrays and, where the kernel pre-draws explicit uniforms, the
+    same random stream, consumed by gcc/ctypes (or Numba) machine code.
+    Bit-identical to ``"vector"`` for exact counters and the ANLS
+    family's uniform-stream kernels; distributionally equivalent
+    elsewhere.  Falls back to ``"vector"`` with a one-time warning when
+    no native provider is available (or ``REPRO_DISABLE_NATIVE=1``).
 ``"auto"``
-    ``"fast"`` when the scheme supports the exact cache, else
-    ``"vector"`` when the scheme's kernel is provably *bit-identical* to
-    the reference loop (deterministic kernels such as exact counters),
-    else ``"python"``.  Randomised kernels are never picked silently, so
+    ``"fast"`` when the scheme supports the exact cache, else — for
+    schemes whose kernel is provably *bit-identical* to the reference
+    loop (deterministic kernels such as exact counters) — ``"native"``
+    when the capability probe succeeds, degrading to ``"vector"``, else
+    ``"python"``.  Randomised kernels are never picked silently, so
     seeded results stay reproducible unless a caller opts in.
 
 The documented entrypoint for all of this is the :func:`repro.replay`
@@ -59,7 +69,7 @@ __all__ = ["RunResult", "replay", "replay_replicas", "replay_stream",
            "resolve_engine", "ENGINES"]
 
 #: Valid values of the ``engine`` parameter.
-ENGINES = ("auto", "python", "fast", "vector")
+ENGINES = ("auto", "python", "fast", "vector", "native")
 
 AnyTrace = Union[Trace, CompiledTrace]
 
@@ -116,6 +126,7 @@ def resolve_engine(engine: str, scheme) -> str:
     a benchmark never silently times the wrong path.  The scheme list in
     the ``"vector"`` error is sorted, so the message is deterministic.
     """
+    from repro.core import native
     from repro.core.disco import DiscoSketch
     from repro.core.fastpath import FastDiscoSketch
     from repro.core.kernels import kernel_scheme_names, kernel_spec
@@ -130,21 +141,26 @@ def resolve_engine(engine: str, scheme) -> str:
             return "fast"
         spec = kernel_spec(scheme)
         if spec is not None and spec.bit_identical:
-            return "vector"
+            # Same trajectories either way (bit-identical kernels), so
+            # auto may take the compiled path when the probe passes.
+            return "native" if native.available() else "vector"
         return "python"
     if engine == "fast" and not cacheable:
         raise ParameterError(
             f"engine='fast' needs a DISCO sketch, got {type(scheme).__name__}"
         )
-    if engine == "vector" and kernel_spec(scheme) is None:
+    if engine in ("vector", "native") and kernel_spec(scheme) is None:
         raise ParameterError(
-            f"engine='vector' needs a fresh scheme with a columnar kernel; "
+            f"engine={engine!r} needs a fresh scheme with a columnar kernel; "
             f"{type(scheme).__name__} in its current configuration has none "
             f"(pre-observed flows, custom counting functions, burst "
             f"aggregation, variance tracking and custom CMAs are "
             f"scalar-only). Schemes with kernels: "
             f"{', '.join(kernel_scheme_names())}"
         )
+    if engine == "native" and not native.available():
+        native.warn_fallback("engine='native'")
+        return "vector"
     return engine
 
 
@@ -235,11 +251,13 @@ def _replay_vector(
     trace: AnyTrace,
     rng=None,
     telemetry: obs.Telemetry = obs.NULL_TELEMETRY,
+    engine: str = "vector",
 ) -> RunResult:
     """Array-native replay; leaves ``scheme`` holding the final state.
 
     ``rng=None`` preserves the historical contract: the update stream
-    comes from the scheme's own generator.
+    comes from the scheme's own generator.  ``engine`` is the resolved
+    columnar backend (``"vector"`` or ``"native"``).
     """
     from repro.core.batchreplay import run_kernel
     from repro.core.kernels import kernel_spec
@@ -251,6 +269,7 @@ def _replay_vector(
         mode=spec.mode,
         rng=rng if rng is not None else scheme._rng,
         telemetry=telemetry,
+        engine=engine,
     )
     telemetry.timing("replay.update", result.elapsed_seconds)
     # Hand the state back so the scheme's read-out surface (estimate /
@@ -272,7 +291,7 @@ def _replay_vector(
         max_counter_bits=scheme.max_counter_bits(),
         elapsed_seconds=result.elapsed_seconds,
         packets=result.packets,
-        engine="vector",
+        engine=engine,
     )
 
 

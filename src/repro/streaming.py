@@ -245,6 +245,9 @@ class _ShardChunkTask:
     rng: np.random.SeedSequence
     state: Optional[KernelState]
     telemetry: bool
+    #: Columnar backend for this chunk ("vector" or "native"); defaulted
+    #: so checkpoints and pickles from older sessions keep loading.
+    engine: str = "vector"
 
 
 def _run_shard_chunk(task: _ShardChunkTask):
@@ -257,7 +260,8 @@ def _run_shard_chunk(task: _ShardChunkTask):
             f"scheme {getattr(scheme, 'name', type(scheme).__name__)!r} "
             f"lost its kernel between probe and replay")
     result = run_kernel(task.trace, spec.factory, mode=task.mode,
-                        rng=task.rng, telemetry=tel, resume=task.state)
+                        rng=task.rng, telemetry=tel, resume=task.state,
+                        engine=task.engine)
     state = result.kernel.export_state(task.trace.keys)
     return task.shard, state, (tel.snapshot() if tel is not None else None)
 
@@ -316,6 +320,12 @@ class StreamSession:
         ``None``/``1`` = replay shards serially in-process; ``>= 2`` =
         fan shard-chunk replays over the persistent process pool (same
         seeds, bit-identical results).
+    engine:
+        Columnar backend for shard-chunk replays: ``"vector"`` (default)
+        or ``"native"`` (:mod:`repro.core.native`; falls back to
+        ``"vector"`` with a one-time warning when no provider is
+        available).  Carried kernel state round-trips through native
+        chunks unchanged, so mixing backends across a resume is safe.
     telemetry:
         Optional :class:`repro.obs.Telemetry` session; ``stream.*``
         events plus the per-chunk kernel events are recorded per epoch
@@ -336,11 +346,13 @@ class StreamSession:
         chunk_packets: int = DEFAULT_CHUNK_PACKETS,
         rng=None,
         workers: Optional[int] = None,
+        engine: str = "vector",
         telemetry: Optional[obs.Telemetry] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
         name: str = "stream",
     ) -> None:
+        from repro.core import native
         from repro.facade import seed_streams
 
         if not callable(scheme_factory):
@@ -362,6 +374,12 @@ class StreamSession:
         if checkpoint_every < 1:
             raise ParameterError(
                 f"checkpoint_every must be >= 1, got {checkpoint_every!r}")
+        if engine not in ("vector", "native"):
+            raise ParameterError(
+                f"stream engine must be 'vector' or 'native', got {engine!r}")
+        if engine == "native" and not native.available():
+            native.warn_fallback("stream engine='native'")
+            engine = "vector"
 
         scheme = scheme_factory()
         spec = kernel_spec(scheme)
@@ -393,6 +411,7 @@ class StreamSession:
         self.epoch_bytes = epoch_bytes
         self.chunk_packets = chunk_packets
         self.workers = workers
+        self.engine = engine
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.name = name
@@ -558,7 +577,7 @@ class StreamSession:
                 scheme_factory=self.scheme_factory,
                 trace=self._shard_chunk_trace(shard, per_shard[shard]),
                 mode=self.mode, rng=seed, state=self._state[shard],
-                telemetry=self._enabled))
+                telemetry=self._enabled, engine=self.engine))
 
         if self.workers is None or self.workers == 1:
             outcomes = [_run_shard_chunk(task) for task in tasks]
@@ -688,6 +707,7 @@ class StreamSession:
                 "chunk_packets": self.chunk_packets,
                 "checkpoint_every": self.checkpoint_every,
                 "name": self.name,
+                "engine": self.engine,
             },
             "entropy": self._root.entropy,
             "spawn_key": self._root_key,
@@ -761,6 +781,7 @@ class StreamSession:
                 entropy=payload["entropy"],
                 spawn_key=tuple(payload["spawn_key"])),
             workers=workers,
+            engine=config.get("engine", "vector"),
             telemetry=telemetry,
             checkpoint_path=path,
             checkpoint_every=config["checkpoint_every"],

@@ -2,6 +2,7 @@
 
 import random
 import statistics
+import threading
 import time
 
 import pytest
@@ -97,6 +98,59 @@ class TestUpdateCache:
         assert cache.hit_rate == 0.0
         cache.decision(5, 100.0)
         assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestUpdateCacheConcurrency:
+    def test_concurrent_decisions_stay_exact(self):
+        # Many threads hammer one cache whose capacity forces constant
+        # swap-out.  Every decision returned — hit, miss, or read from
+        # a snapshot a concurrent swap already replaced — must equal
+        # the exact computation.  (Hit/miss counters are deliberately
+        # racy and not asserted here; see test_hit_accounting for the
+        # single-threaded accounting contract.)
+        fn = GeometricCountingFunction(1.02)
+        cache = UpdateCache(fn, max_entries=8)
+        expected = {(c, l): compute_update(fn, c, l)
+                    for c in range(40) for l in (40.0, 576.0, 1500.0)}
+        keys = list(expected)
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def worker(seed):
+            rand = random.Random(seed)
+            barrier.wait()
+            for _ in range(2000):
+                c, l = rand.choice(keys)
+                delta, p = cache.decision(c, l)
+                exact = expected[(c, l)]
+                if (delta, p) != (exact.delta, exact.probability):
+                    errors.append((c, l, delta, p))
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache._cache) <= cache.max_entries
+
+    def test_shared_update_cache_single_instance_across_threads(self):
+        from repro.core.kernels import _shared_update_cache
+
+        got = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            got.append(_shared_update_cache(1.0173))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(cache) for cache in got}) == 1
 
 
 class TestFastDiscoSketch:

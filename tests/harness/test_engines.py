@@ -60,11 +60,15 @@ class TestResolveEngine:
         for name in ("disco", "sac", "anls-2", "sd", "exact"):
             assert name in message
 
-    def test_auto_picks_vector_for_bit_identical_kernels(self):
+    def test_auto_picks_columnar_for_bit_identical_kernels(self):
         # Exact counting is deterministic and order-independent, so the
-        # kernel path is bit-identical and safe for auto.
+        # kernel path is bit-identical and safe for auto — native when
+        # the compiled backend is present, vector otherwise.
+        from repro.core import native
+
+        expected = "native" if native.available() else "vector"
         assert resolve_engine("auto", ExactCounters(mode="volume")) \
-            == "vector"
+            == expected
 
     def test_auto_stays_python_for_randomized_kernels(self):
         # SAC has a kernel, but its columnar random stream differs from
@@ -73,7 +77,7 @@ class TestResolveEngine:
             == "python"
 
     def test_engines_tuple(self):
-        assert ENGINES == ("auto", "python", "fast", "vector")
+        assert ENGINES == ("auto", "python", "fast", "vector", "native")
 
 
 class TestFastEngine:
