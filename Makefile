@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-nonative test-faults bench bench-gate bench-gate-quick report examples all
+.PHONY: install lint test test-nonative test-faults bench bench-gate bench-gate-quick bench-mem report examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -42,6 +42,13 @@ bench-gate:
 
 bench-gate-quick:
 	PYTHONPATH=src $(PYTHON) benchmarks/perf_gate.py --quick
+
+# Measured counter-store footprint (dense vs pools vs Morris bytes per
+# flow at the one-million-flow gate scale), then the headline
+# ten-million-flow Counter Pools run; both append to BENCH_perf.json.
+bench-mem:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_memory_stores.py
+	PYTHONPATH=src $(PYTHON) examples/ten_million_flows.py --flows 10000000 --record
 
 report:
 	$(PYTHON) -m repro report --out report.md

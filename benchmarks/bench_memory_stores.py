@@ -1,0 +1,150 @@
+"""Measured counter-store footprint: dense vs. pools vs. Morris, bytes/flow.
+
+The tentpole claim of the compact counter stores
+(:mod:`repro.core.stores`) is stated at one million concurrent flows:
+the DISCO kernel's exported state under the Counter Pools or Morris
+backend must cost at most a quarter of the dense ``int64`` columns.
+:func:`measure_memory` builds a heavy-tailed Zipf-like workload with
+exactly ``flows`` distinct flows, replays it once through the DISCO
+columnar kernel, then exports the *same* final state through every
+backend and reports the measured ``export_state`` bytes — real
+representation sizes from :func:`repro.metrics.memory.measure_store_bytes`,
+not analytic formulas.  Reported keys:
+
+* ``perf_mem_flows`` — workload size,
+* ``perf_mem_{dense,pools,morris}_bpf`` — measured bytes per flow,
+* ``perf_mem_{pools,morris}_vs_dense`` — compact/dense byte ratios,
+  gated by ``benchmarks/perf_gate.py`` against the absolute
+  :data:`perf_gate.MEM_COMPACT_LIMIT` ceiling (0.25: a compact backend
+  that fails to beat 2 of the dense 8 bytes/flow has lost its reason to
+  exist).
+
+Run it directly (``make bench-mem``) to print the comparison and append
+a trajectory entry to ``BENCH_perf.json``::
+
+    PYTHONPATH=src python benchmarks/bench_memory_stores.py
+    PYTHONPATH=src python benchmarks/bench_memory_stores.py --flows 100000
+
+The workload is built straight in struct-of-arrays
+(:class:`~repro.traces.compiled.CompiledTrace`) form: at a million-plus
+flows, a list-of-lists :class:`~repro.traces.trace.Trace` would cost
+more Python-object memory than the dense counter state under test.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent
+
+#: Full-mode workload size — the scale the 25% ceiling is stated at.
+FLOWS = 1_000_000
+#: ``perf_gate --quick`` workload size.  The compact/dense ratio is a
+#: representation property, near scale-invariant, so quick runs gate
+#: the same claim an order of magnitude faster.
+QUICK_FLOWS = 100_000
+#: Pareto tail for per-flow packet counts (fig05-like mix: a few
+#: elephants over a mouse-dominated tail) and its elephant cap.
+PARETO_SHAPE = 1.4
+MAX_PACKETS = 20_000
+SEED = 20100623
+DISCO_B = 1.02
+STORES = ("dense", "pools", "morris")
+
+
+def build_mem_trace(flows: int = FLOWS, rng: int = SEED):
+    """Compiled Zipf-like workload with exactly ``flows`` distinct flows.
+
+    Every flow gets at least one packet (the claim is bytes per
+    *concurrent tracked flow*, so no silent tail of untouched rows) and
+    a Pareto-tailed packet budget, sorted descending as the compiled
+    form requires.
+    """
+    import numpy as np
+
+    from repro.traces.compiled import CompiledTrace
+
+    gen = np.random.default_rng(rng)
+    sizes = 1 + np.minimum(gen.pareto(PARETO_SHAPE, flows) * 2.0,
+                           MAX_PACKETS).astype(np.int64)
+    sizes[::-1].sort()  # descending packet budget (active-set invariant)
+    offsets = np.zeros(flows + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    lengths = gen.integers(40, 1501, size=int(offsets[-1])) \
+        .astype(np.float64)
+    volumes = np.add.reduceat(lengths, offsets[:-1]).astype(np.int64)
+    return CompiledTrace(name=f"mem-zipf-{flows}", keys=list(range(flows)),
+                         lengths=lengths, offsets=offsets, sizes=sizes,
+                         volumes=volumes)
+
+
+def measure_memory(flows: int = FLOWS, rng: int = SEED):
+    """Measured bytes/flow per counter-store backend, DISCO at ``flows``.
+
+    One replay, one export per backend — the comparison isolates
+    representation cost from replay randomness.
+    """
+    from repro.metrics.memory import measure_store_bytes
+
+    trace = build_mem_trace(flows, rng)
+    report = measure_store_bytes(trace, scheme="disco", stores=STORES,
+                                 rng=0, b=DISCO_B, seed=0)
+    dense = report["dense"]["bytes_per_flow"]
+    metrics = {
+        "perf_mem_flows": float(flows),
+        "perf_mem_dense_bpf": dense,
+    }
+    for name in ("pools", "morris"):
+        bpf = report[name]["bytes_per_flow"]
+        metrics[f"perf_mem_{name}_bpf"] = bpf
+        metrics[f"perf_mem_{name}_vs_dense"] = bpf / dense if dense else 0.0
+    return metrics
+
+
+def test_memory_stores_compact_ratio(benchmark):
+    """Compact backends beat a quarter of dense bytes/flow (quick scale)."""
+    metrics = benchmark.pedantic(lambda: measure_memory(flows=QUICK_FLOWS),
+                                 rounds=1, iterations=1)
+    assert metrics["perf_mem_dense_bpf"] > 0
+    # The same absolute ceiling perf_gate enforces at full scale.
+    assert metrics["perf_mem_pools_vs_dense"] <= 0.25
+    assert metrics["perf_mem_morris_vs_dense"] <= 0.25
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--flows", type=int, default=FLOWS,
+                        help=f"distinct flows in the workload "
+                             f"(default {FLOWS})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending to BENCH_perf.json")
+    args = parser.parse_args(argv)
+
+    metrics = measure_memory(flows=args.flows)
+    dense = metrics["perf_mem_dense_bpf"]
+    print(f"measured counter-store footprint "
+          f"(DISCO b={DISCO_B}, {args.flows} flows)")
+    for name in STORES:
+        bpf = metrics[f"perf_mem_{name}_bpf"]
+        line = f"  {name:>6}: {bpf:6.2f} bytes/flow"
+        if name != "dense":
+            line += (f"   ({metrics[f'perf_mem_{name}_vs_dense']:.2f}x dense,"
+                     f" ceiling 0.25x)")
+        print(line)
+    print(f"  total dense state: {dense * args.flows / 1e6:.1f} MB")
+
+    if not args.no_history:
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "perf_gate", ROOT / "perf_gate.py")
+        gate = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(gate)
+        gate.append_history(metrics)
+        print(f"history appended to {gate.HISTORY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(ROOT.parent / "src"))
+    raise SystemExit(main())

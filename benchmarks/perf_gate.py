@@ -28,7 +28,17 @@ and
 5. times the sharded epoch stream (``bench_stream_throughput``) against
    the one-shot vector replay and fails if the ratio falls below the
    absolute :data:`STREAM_FLOOR` — chunked streaming must never become
-   overhead-dominated.
+   overhead-dominated,
+6. measures the compact counter stores' exported bytes-per-flow against
+   the dense backend (``bench_memory_stores``, real ``export_state``
+   sizes on a DISCO replay — one million flows in full mode, 100k under
+   ``--quick``) and fails if ``pools`` or ``morris`` costs more than
+   :data:`MEM_COMPACT_LIMIT` of dense.
+
+Every run — including ``--no-history`` and ``--update-baseline`` runs —
+also re-prunes ``BENCH_perf.json`` to :data:`HISTORY_LIMIT` entries
+(:func:`prune_history`), so the cap holds even if another writer
+appended without pruning.
 
 Run it directly (``make bench-gate`` / ``make bench-gate-quick``)::
 
@@ -101,6 +111,14 @@ STREAM_NATIVE_FLOOR = 0.9
 #: stay within 2x of a monolithic replay — so the floor is a constant,
 #: never ratcheted by whatever machine last ran ``--update-baseline``.
 STREAM_FLOOR = 0.5
+#: Absolute ceiling on a compact counter store's measured bytes-per-flow
+#: relative to the dense backend (``perf_mem_{pools,morris}_vs_dense``).
+#: Structural like :data:`STREAM_FLOOR`, never baseline-ratcheted: dense
+#: DISCO state is one ``int64`` lane per flow, so a compact backend that
+#: cannot hold a flow in 2 of those 8 bytes has lost its reason to
+#: exist.  Morris at 16 bits sits exactly on the ceiling; pools must
+#: come in under it on any heavy-tailed mix.
+MEM_COMPACT_LIMIT = 0.25
 #: BENCH_perf.json keeps at most this many trajectory entries.
 HISTORY_LIMIT = 50
 #: Maximum tolerated telemetry cost: enabled vs disabled vector replay.
@@ -174,20 +192,37 @@ def _comparator_schemes(seed: int):
     }
 
 
-def measure_stream_metrics() -> Dict[str, float]:
-    """Run ``bench_stream_throughput.measure_stream`` (by file path).
+def _load_bench(stem: str):
+    """Load a sibling ``benchmarks/<stem>.py`` module by file path.
 
-    Loaded via ``importlib`` so the gate works both as a script (where
+    Via ``importlib`` so the gate works both as a script (where
     ``benchmarks/`` is ``sys.path[0]``) and imported from the test
     suite (where it is not).
     """
     import importlib.util
 
-    spec = importlib.util.spec_from_file_location(
-        "bench_stream_throughput", ROOT / "bench_stream_throughput.py")
+    spec = importlib.util.spec_from_file_location(stem, ROOT / f"{stem}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
-    return module.measure_stream()
+    return module
+
+
+def measure_stream_metrics() -> Dict[str, float]:
+    """Run ``bench_stream_throughput.measure_stream`` (by file path)."""
+    return _load_bench("bench_stream_throughput").measure_stream()
+
+
+def measure_memory_metrics(quick: bool = False) -> Dict[str, float]:
+    """Run ``bench_memory_stores.measure_memory`` (by file path).
+
+    Full runs measure at the module's one-million-flow gate scale;
+    ``--quick`` runs at its 100k-flow scale — the gated compact/dense
+    ratios are representation properties and near scale-invariant, so
+    both modes enforce the same :data:`MEM_COMPACT_LIMIT` claim.
+    """
+    module = _load_bench("bench_memory_stores")
+    flows = module.QUICK_FLOWS if quick else module.FLOWS
+    return module.measure_memory(flows=flows)
 
 
 def measure(trace=None, repeats: int = REPEATS) -> Dict[str, float]:
@@ -452,6 +487,27 @@ def append_history(metrics: Dict[str, float],
     path.write_text(json.dumps(history, indent=1) + "\n", encoding="utf-8")
 
 
+def prune_history(path: Path = HISTORY_PATH,
+                  limit: int = HISTORY_LIMIT) -> int:
+    """Re-enforce the ``limit``-entry cap on an existing history file.
+
+    :func:`append_history` already prunes on every append, but other
+    writers (``bench_memory_stores`` script runs, the ten-million-flow
+    example) append too, and a ``--no-history`` gate run must still
+    leave the file capped.  Rewrites the file only when it is actually
+    over the cap; returns the number of entries dropped.
+    """
+    if not path.exists():
+        return 0
+    history = json.loads(path.read_text(encoding="utf-8"))
+    dropped = len(history) - limit
+    if dropped <= 0:
+        return 0
+    path.write_text(json.dumps(history[-limit:], indent=1) + "\n",
+                    encoding="utf-8")
+    return dropped
+
+
 def check_regression(metrics: Dict[str, float],
                      baseline: Dict[str, float],
                      tolerance: float = REGRESSION_TOLERANCE):
@@ -556,6 +612,17 @@ def main(argv=None) -> int:
               f"({stream_native_ratio:.2f}x one-shot vector replay; "
               f"floor {STREAM_NATIVE_FLOOR:.2f}x)")
 
+    metrics.update(measure_memory_metrics(quick=args.quick))
+    print(f"counter-store footprint (DISCO, "
+          f"{int(metrics['perf_mem_flows'])} flows, measured export_state "
+          f"bytes)")
+    print(f"   dense: {metrics['perf_mem_dense_bpf']:6.2f} bytes/flow")
+    for store in ("pools", "morris"):
+        print(f"  {store:>6}: {metrics[f'perf_mem_{store}_bpf']:6.2f} "
+              f"bytes/flow   "
+              f"({metrics[f'perf_mem_{store}_vs_dense']:.2f}x dense; "
+              f"ceiling {MEM_COMPACT_LIMIT:.2f}x)")
+
     telemetry = measure_overhead()
     overhead_pct = telemetry["obs_overhead_pct"]
     vector_events = telemetry["events"]["vector"]
@@ -572,6 +639,12 @@ def main(argv=None) -> int:
         append_history(metrics, telemetry=telemetry,
                        native_backend=native_backend)
         print(f"history appended to {HISTORY_PATH}")
+    # The cap is enforced on *every* run, --no-history included: other
+    # writers (bench-mem, the ten-million-flow example) append too.
+    dropped = prune_history()
+    if dropped:
+        print(f"pruned {dropped} old entries from {HISTORY_PATH} "
+              f"(cap {HISTORY_LIMIT})")
     if args.update_baseline:
         update_baseline(metrics)
         print(f"baseline updated at {BASELINE_PATH}")
@@ -618,6 +691,18 @@ def main(argv=None) -> int:
               f"is below the {STREAM_NATIVE_FLOOR:.2f}x floor",
               file=sys.stderr)
         return 1
+    mem_failures = [
+        (store, metrics[f"perf_mem_{store}_vs_dense"])
+        for store in ("pools", "morris")
+        if metrics[f"perf_mem_{store}_vs_dense"] > MEM_COMPACT_LIMIT
+    ]
+    if mem_failures:
+        print("PERF GATE FAILED (compact store over byte ceiling):",
+              file=sys.stderr)
+        for store, ratio in mem_failures:
+            print(f"  {store}: {ratio:.3f}x dense bytes/flow "
+                  f"(ceiling {MEM_COMPACT_LIMIT:.2f}x)", file=sys.stderr)
+        return 1
     gated = [k for k in GATE_KEYS if k in metrics]
     summary = ", ".join(
         f"{k.removeprefix('perf_').removesuffix('_speedup')} "
@@ -628,7 +713,9 @@ def main(argv=None) -> int:
           f"tolerance {REGRESSION_TOLERANCE:.0%}; "
           f"obs overhead {overhead_pct:+.2f}%; "
           f"fault seam {seam_ns:.0f} ns; "
-          f"stream {stream_ratio:.2f}x)")
+          f"stream {stream_ratio:.2f}x; "
+          f"mem pools {metrics['perf_mem_pools_vs_dense']:.2f}x / "
+          f"morris {metrics['perf_mem_morris_vs_dense']:.2f}x dense)")
     return 0
 
 

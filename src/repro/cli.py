@@ -29,6 +29,7 @@ from repro.harness.experiments import (
     volume_error_vs_counter_size,
 )
 from repro.harness.formatting import render_series, render_table
+from repro.core.stores import store_names
 from repro.facade import replay, stream
 from repro.schemes import make_scheme, scheme_factory, scheme_names
 from repro.traces.nlanr import nlanr_like
@@ -90,7 +91,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
                          max_length=max(truths.values()), seed=args.seed)
     tel = Telemetry() if args.telemetry else None
     result = replay(scheme, trace, rng=args.seed + 1, engine=args.engine,
-                    telemetry=tel)
+                    store=args.store, telemetry=tel)
     print(f"scheme={result.scheme_name} trace={result.trace_name} "
           f"mode={result.mode} engine={result.engine}")
     print(render_table(
@@ -129,6 +130,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         rng=args.seed + 1,
         workers=args.workers,
         engine=args.engine,
+        store=args.store,
         telemetry=tel,
         checkpoint_path=args.checkpoint,
         resume=args.resume,
@@ -453,6 +455,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="auto",
                    help="replay engine (vector = array-native batch replay, "
                         "native = compiled kernels, falls back to vector)")
+    p.add_argument("--store", choices=store_names(), default="dense",
+                   help="counter-store backend for the per-flow state "
+                        "(pools = lossless compact, morris = lossy compact; "
+                        "compact stores need --engine vector or native)")
     p.add_argument("--telemetry", action="store_true",
                    help="record and print replay telemetry event counts")
     p.set_defaults(func=cmd_replay)
@@ -477,6 +483,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool workers for shard replays (default: serial)")
     p.add_argument("--engine", choices=("vector", "native"), default="vector",
                    help="columnar backend for shard-chunk replays")
+    p.add_argument("--store", choices=store_names(), default="dense",
+                   help="counter-store backend for the carried per-flow "
+                        "state (persisted into checkpoints)")
     p.add_argument("--checkpoint", default=None,
                    help="checkpoint file; enables crash-resumable streaming")
     p.add_argument("--resume", action="store_true",

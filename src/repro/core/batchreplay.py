@@ -269,6 +269,7 @@ def run_kernel(
     telemetry: Optional[obs.Telemetry] = None,
     resume: Optional[KernelState] = None,
     engine: str = "vector",
+    store: Optional[str] = None,
 ) -> Union[BatchReplayResult, ReplicaReplayResult]:
     """Drive any :class:`~repro.core.kernels.SchemeKernel` over the trace.
 
@@ -324,15 +325,28 @@ def run_kernel(
         Runner resolution — including any JIT compilation — happens
         under the ``replay.native.warmup`` span *before* the timer
         starts, so compile time never pollutes throughput numbers.
+    store:
+        Optional compact counter-store backend
+        (:mod:`repro.core.stores`; ``None``/``"dense"`` = live arrays).
+        Hot loops always run on the dense columns; after the trace is
+        consumed the final kernel state is round-tripped once through
+        the store (encode + decode back into the dense scratch view),
+        so the counters, estimates and any subsequent
+        ``export_state``/``writeback`` reflect exactly what a compactly
+        stored counter array would have read out — lossless for
+        ``"pools"``, quantised for ``"morris"``.
 
     ``elapsed_seconds`` covers the update work only (column loop plus
     scalar tail), matching the per-packet engines' timing contract.
     """
+    from repro.core import stores as _stores
+
     if mode not in ("volume", "size"):
         raise ParameterError(f"mode must be 'volume' or 'size', got {mode!r}")
     if engine not in ("vector", "native"):
         raise ParameterError(
             f"engine must be 'vector' or 'native', got {engine!r}")
+    store_name = _stores.resolve_store(store)
     if min_lanes is not None and min_lanes < 1:
         raise ParameterError(f"min_lanes must be >= 1, got {min_lanes!r}")
     if replicas < 1:
@@ -343,6 +357,10 @@ def run_kernel(
     num_flows = compiled.num_flows
     R = replicas
     kernel = factory(num_flows * R, gen, R)
+    if store_name is not None and not getattr(kernel, "resumable", False):
+        raise ParameterError(
+            f"store={store!r} needs a kernel with exportable state; "
+            f"{type(kernel).__name__} is not resumable")
     if resume is not None:
         if not getattr(kernel, "resumable", False):
             raise ParameterError(
@@ -419,6 +437,14 @@ def run_kernel(
                 tail_flows += 1
         elapsed = time.perf_counter() - start
 
+    if store_name is not None:
+        # One round-trip through the compact representation: the state a
+        # real deployment would have *kept* is what gets read out.
+        # Outside the timed region — storage cost is memory, not update
+        # throughput.
+        staged = kernel.export_state(compiled.keys, store=store_name)
+        kernel.load_state(compiled.keys, staged)
+
     snapshot = None
     if tel.enabled:
         # Aggregated post-hoc: a handful of dict updates per run, nothing
@@ -436,6 +462,8 @@ def run_kernel(
                     int(actives[:vector_steps].sum()) * R)
         local.count("batch.tail_flows", tail_flows * R)
         local.count("batch.tail_packets", tail_packets * R)
+        if store_name is not None:
+            local.count(f"batch.store.{store_name}")
         local.timing("batch.columnar_phase", columnar_elapsed)
         local.timing("batch.tail_phase", elapsed - columnar_elapsed)
         for name, value in kernel.telemetry_events().items():

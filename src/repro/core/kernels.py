@@ -107,19 +107,57 @@ class KernelState:
     is loaded into a *fresh* kernel by key, so the receiving replay may
     order or extend the flow set differently — unseen keys start from
     zeroed lanes.
+
+    When exported through a compact counter store
+    (:meth:`SchemeKernel.export_state` with ``store=``), the lane
+    columns live encoded in ``store`` (a
+    :class:`repro.core.stores.CounterStore`) and ``arrays`` is empty;
+    :meth:`dense_arrays` is the uniform dense read — the *dense scratch
+    view* every consumer (``load_state``, read-outs) decodes through,
+    so hot loops never see the compact representation.
     """
 
     index: Dict
     arrays: Dict[str, np.ndarray]
     scalars: Dict[str, object]
     replicas: int = 1
+    #: Optional compact backend holding the columns instead of
+    #: ``arrays`` (default ``None`` = dense, which also keeps pickles
+    #: from pre-store sessions loading).
+    store: Optional[object] = None
 
     @property
     def flows(self) -> int:
         return len(self.index)
 
+    @property
+    def store_name(self) -> str:
+        """Backend name the columns are held in (``"dense"`` = live arrays)."""
+        store = getattr(self, "store", None)
+        return "dense" if store is None else store.name
+
+    def dense_arrays(self) -> Dict[str, np.ndarray]:
+        """The lane columns as dense arrays, whatever backend holds them.
+
+        Dense states return the live ``arrays`` dict (no copy); compact
+        states decode every column — the staging step that keeps the
+        columnar engines dense-only.
+        """
+        store = getattr(self, "store", None)
+        if store is None:
+            return self.arrays
+        return {name: store.read(name) for name in store.columns()}
+
     def nbytes(self) -> int:
-        """Payload size of the lane arrays (checkpoint accounting)."""
+        """Payload size of the lane columns as actually represented.
+
+        Dense states sum the array bytes; compact states report the
+        encoded footprint — the number checkpoint accounting and
+        :mod:`repro.metrics.memory` treat as the honest per-flow cost.
+        """
+        store = getattr(self, "store", None)
+        if store is not None:
+            return int(store.nbytes())
         return sum(int(arr.nbytes) for arr in self.arrays.values())
 
 
@@ -236,19 +274,37 @@ class SchemeKernel(abc.ABC):
     def _load_state_scalars(self, scalars: Dict[str, object]) -> None:
         """Restore what :meth:`_state_scalars` captured."""
 
-    def export_state(self, keys: List) -> KernelState:
+    def export_state(self, keys: List, store=None) -> KernelState:
         """Snapshot the per-lane state for ``keys`` (carry-out).
 
         ``keys`` must be the replay's flow keys in lane order — row
         ``i`` of the returned arrays is ``keys[i]``'s lanes.
+
+        ``store`` selects the counter-store backend holding the
+        exported columns (:mod:`repro.core.stores`): ``None``/
+        ``"dense"`` copies the live arrays as before; a compact name
+        (``"pools"``, ``"morris"``) encodes each column and the state
+        carries the store instead of dense arrays.  Loading decodes
+        transparently, so callers downstream never branch on the
+        backend.
         """
+        from repro.core import stores as _stores
+
         width = len(keys) * self.replicas
         index = {key: row for row, key in enumerate(keys)}
         arrays = {name: np.array(arr[:width], copy=True)
                   for name, arr in self._state_arrays().items()}
-        return KernelState(index=index, arrays=arrays,
+        store_name = _stores.resolve_store(store)
+        if store_name is None:
+            return KernelState(index=index, arrays=arrays,
+                               scalars=self._state_scalars(),
+                               replicas=self.replicas)
+        compact = _stores.make_store(store_name)
+        for name, arr in arrays.items():
+            compact.write(name, arr)
+        return KernelState(index=index, arrays={},
                            scalars=self._state_scalars(),
-                           replicas=self.replicas)
+                           replicas=self.replicas, store=compact)
 
     def load_state(self, keys: List, state: KernelState) -> None:
         """Load carried state into this (fresh) kernel (carry-in).
@@ -263,7 +319,8 @@ class SchemeKernel(abc.ABC):
                 f"carried state has {state.replicas} replicas, "
                 f"kernel has {self.replicas}")
         live = self._state_arrays()
-        for name in state.arrays:
+        carried = state.dense_arrays()
+        for name in carried:
             if name not in live:
                 raise ParameterError(
                     f"carried state array {name!r} unknown to "
@@ -275,7 +332,7 @@ class SchemeKernel(abc.ABC):
             dst = np.flatnonzero(present)
             src = rows[present]
             R = self.replicas
-            for name, arr in state.arrays.items():
+            for name, arr in carried.items():
                 target = live[name]
                 for rep in range(R):
                     target[dst * R + rep] = arr[src * R + rep]

@@ -248,6 +248,7 @@ def replay(
     rng: AnyRng = None,
     engine: str = "auto",
     replicas: int = 1,
+    store: Optional[str] = None,
     telemetry: Optional["obs.Telemetry"] = None,
 ):
     """Replay ``trace`` through ``scheme`` and score the estimates.
@@ -264,10 +265,19 @@ def replay(
     (:class:`~repro.core.batchreplay.ReplicaReplayResult`) use
     :func:`repro.core.batchreplay.run_kernel` directly.
 
+    ``store`` selects the counter-store backend the final per-flow
+    state is held in (:mod:`repro.core.stores`): ``None``/``"dense"``
+    keeps the live arrays; ``"pools"``/``"morris"`` round-trip the
+    state through the compact representation before read-out, so the
+    scored estimates reflect compactly stored counters.  Compact
+    backends need a columnar engine (``"vector"``/``"native"``, or an
+    ``"auto"`` resolution landing on one).
+
     ``telemetry`` scopes event recording to a
     :class:`repro.obs.Telemetry` session (``None`` = the ambient global
     registry, disabled by default).
     """
+    from repro.core.stores import resolve_store
     from repro.harness.runner import (
         _replay_scalar,
         _replay_vector,
@@ -280,6 +290,7 @@ def replay(
             f"order must be one of {', '.join(_ORDERS)}, got {order!r}")
     if replicas < 1:
         raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
+    compact_store = resolve_store(store)  # eager: bad names fail here
     if replicas > 1:
         if engine not in ("auto", "vector"):
             raise ParameterError(
@@ -287,19 +298,25 @@ def replay(
                 f"'auto' or 'vector', got {engine!r}"
             )
         return replay_replicas(scheme, trace, replicas, rng=rng,
-                               telemetry=telemetry)
+                               telemetry=telemetry, store=compact_store)
 
     session = obs.resolve(telemetry)
     tel = obs.Telemetry() if session.enabled else obs.NULL_TELEMETRY
     streams = seed_streams(rng)
     resolved = resolve_engine(engine, scheme)
+    if compact_store is not None and resolved not in ("vector", "native"):
+        raise ParameterError(
+            f"store={store!r} needs a columnar engine; engine={engine!r} "
+            f"resolved to {resolved!r} — pass engine='vector' or 'native'"
+        )
     tel.count("replay.calls")
     tel.count(f"replay.engine.{resolved}")
     before = _scheme_event_state(scheme) if tel.enabled else {}
     if resolved in ("vector", "native"):
         result = _replay_vector(scheme, trace,
                                 rng=None if rng is None else streams.update(),
-                                telemetry=tel, engine=resolved)
+                                telemetry=tel, engine=resolved,
+                                store=compact_store)
     else:
         result = _replay_scalar(scheme, trace, order=order,
                                 rng=streams.shuffle, engine=resolved,
@@ -323,6 +340,7 @@ def stream(
     rng: AnyRng = None,
     workers: Optional[int] = None,
     engine: str = "vector",
+    store: Optional[str] = None,
     telemetry: Optional["obs.Telemetry"] = None,
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
@@ -346,7 +364,11 @@ def stream(
     epoch estimates equal a one-shot :func:`replay` bit-for-bit.
     ``engine`` picks the per-chunk columnar backend (``"vector"`` or
     ``"native"`` — see :mod:`repro.core.native`); carried kernel state
-    round-trips through native chunks unchanged.
+    round-trips through native chunks unchanged.  ``store`` picks the
+    counter-store backend holding the carried per-flow state between
+    chunks (``"dense"`` default, ``"pools"`` lossless compact,
+    ``"morris"`` lossy compact — :mod:`repro.core.stores`); the choice
+    persists into checkpoints and is restored on ``resume``.
 
     ``resume=True`` (requires ``checkpoint_path=``) restores the
     session from an existing checkpoint and skips the packets it
@@ -385,6 +407,7 @@ def stream(
                 rng=rng,
                 workers=workers,
                 engine=engine,
+                store=store,
                 telemetry=telemetry,
                 checkpoint_path=checkpoint_path,
             )

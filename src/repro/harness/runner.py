@@ -252,12 +252,15 @@ def _replay_vector(
     rng=None,
     telemetry: obs.Telemetry = obs.NULL_TELEMETRY,
     engine: str = "vector",
+    store: Optional[str] = None,
 ) -> RunResult:
     """Array-native replay; leaves ``scheme`` holding the final state.
 
     ``rng=None`` preserves the historical contract: the update stream
     comes from the scheme's own generator.  ``engine`` is the resolved
-    columnar backend (``"vector"`` or ``"native"``).
+    columnar backend (``"vector"`` or ``"native"``); ``store`` the
+    counter-store backend the final state round-trips through
+    (:mod:`repro.core.stores`).
     """
     from repro.core.batchreplay import run_kernel
     from repro.core.kernels import kernel_spec
@@ -270,6 +273,7 @@ def _replay_vector(
         rng=rng if rng is not None else scheme._rng,
         telemetry=telemetry,
         engine=engine,
+        store=store,
     )
     telemetry.timing("replay.update", result.elapsed_seconds)
     # Hand the state back so the scheme's read-out surface (estimate /
@@ -303,6 +307,7 @@ def replay_replicas(
     telemetry: Optional[obs.Telemetry] = None,
     *,
     chunked: bool = True,
+    store: Optional[str] = None,
 ) -> List[RunResult]:
     """Replay ``replicas`` independent copies of ``scheme`` columnar.
 
@@ -359,6 +364,7 @@ def replay_replicas(
             rng=chunk_rng,
             replicas=size,
             telemetry=tel,
+            store=store,
         )
         tel.timing("replay.update", result.elapsed_seconds)
         total_elapsed += result.elapsed_seconds

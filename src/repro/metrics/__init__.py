@@ -20,6 +20,9 @@ from repro.metrics.memory import (
     disco_counter_bits,
     disco_counter_value,
     full_counter_bits,
+    measure_store_bytes,
+    measured_bytes_per_flow,
+    measured_state_bytes,
     sac_counter_bits,
     sac_counter_value,
 )
@@ -38,6 +41,9 @@ __all__ = [
     "sac_counter_value",
     "disco_counter_bits",
     "disco_counter_value",
+    "measured_state_bytes",
+    "measured_bytes_per_flow",
+    "measure_store_bytes",
     "SubpopulationEstimate",
     "subpopulation_estimate",
     "weighted_average_relative_error",

@@ -248,10 +248,20 @@ class _ShardChunkTask:
     #: Columnar backend for this chunk ("vector" or "native"); defaulted
     #: so checkpoints and pickles from older sessions keep loading.
     engine: str = "vector"
+    #: Counter-store backend the carried-out state is encoded in
+    #: (``None`` = dense); defaulted for the same pickle compatibility.
+    store: Optional[str] = None
 
 
 def _run_shard_chunk(task: _ShardChunkTask):
-    """Replay one shard-chunk, returning its carried-out kernel state."""
+    """Replay one shard-chunk, returning its carried-out kernel state.
+
+    The replay itself always runs on dense columns (the scratch view —
+    carried compact state was decoded by ``load_state``); only the
+    carry-*out* between chunks is re-encoded through the task's counter
+    store, so compact backends pay encode/decode once per chunk
+    boundary, never per packet.
+    """
     tel = obs.Telemetry() if task.telemetry else None
     scheme = task.scheme_factory()
     spec = kernel_spec(scheme)
@@ -262,7 +272,8 @@ def _run_shard_chunk(task: _ShardChunkTask):
     result = run_kernel(task.trace, spec.factory, mode=task.mode,
                         rng=task.rng, telemetry=tel, resume=task.state,
                         engine=task.engine)
-    state = result.kernel.export_state(task.trace.keys)
+    state = result.kernel.export_state(task.trace.keys,
+                                       store=getattr(task, "store", None))
     return task.shard, state, (tel.snapshot() if tel is not None else None)
 
 
@@ -326,6 +337,15 @@ class StreamSession:
         ``"vector"`` with a one-time warning when no provider is
         available).  Carried kernel state round-trips through native
         chunks unchanged, so mixing backends across a resume is safe.
+    store:
+        Counter-store backend for the carried per-flow state
+        (:mod:`repro.core.stores`): ``"dense"``/``None`` keeps the live
+        arrays (default, zero regression); ``"pools"`` (lossless
+        variable-width Counter Pools) or ``"morris"`` (lossy unbiased
+        floating-point counters) encode the carry-state and checkpoints
+        compactly — replays still run on dense scratch columns, the
+        store pays once per chunk boundary.  Persisted in checkpoints
+        and restored with the session.
     telemetry:
         Optional :class:`repro.obs.Telemetry` session; ``stream.*``
         events plus the per-chunk kernel events are recorded per epoch
@@ -347,12 +367,14 @@ class StreamSession:
         rng=None,
         workers: Optional[int] = None,
         engine: str = "vector",
+        store: Optional[str] = None,
         telemetry: Optional[obs.Telemetry] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
         name: str = "stream",
     ) -> None:
         from repro.core import native
+        from repro.core import stores as _stores
         from repro.facade import seed_streams
 
         if not callable(scheme_factory):
@@ -380,6 +402,7 @@ class StreamSession:
         if engine == "native" and not native.available():
             native.warn_fallback("stream engine='native'")
             engine = "vector"
+        compact_store = _stores.resolve_store(store)  # eager ParameterError
 
         scheme = scheme_factory()
         spec = kernel_spec(scheme)
@@ -412,6 +435,9 @@ class StreamSession:
         self.chunk_packets = chunk_packets
         self.workers = workers
         self.engine = engine
+        #: Canonical compact-store name, or ``None`` for dense state.
+        self._store = compact_store
+        self.store = compact_store or _stores.DEFAULT_STORE
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.name = name
@@ -577,7 +603,8 @@ class StreamSession:
                 scheme_factory=self.scheme_factory,
                 trace=self._shard_chunk_trace(shard, per_shard[shard]),
                 mode=self.mode, rng=seed, state=self._state[shard],
-                telemetry=self._enabled, engine=self.engine))
+                telemetry=self._enabled, engine=self.engine,
+                store=self._store))
 
         if self.workers is None or self.workers == 1:
             outcomes = [_run_shard_chunk(task) for task in tasks]
@@ -708,6 +735,7 @@ class StreamSession:
                 "checkpoint_every": self.checkpoint_every,
                 "name": self.name,
                 "engine": self.engine,
+                "store": self.store,
             },
             "entropy": self._root.entropy,
             "spawn_key": self._root_key,
@@ -782,6 +810,7 @@ class StreamSession:
                 spawn_key=tuple(payload["spawn_key"])),
             workers=workers,
             engine=config.get("engine", "vector"),
+            store=config.get("store", "dense"),
             telemetry=telemetry,
             checkpoint_path=path,
             checkpoint_every=config["checkpoint_every"],

@@ -146,3 +146,53 @@ class TestShippedPerfBaseline:
         # And every comparator kernel clears 5x over its reference loop.
         for name in perf_gate.COMPARATOR_NAMES:
             assert baseline[f"perf_{name}_speedup"] >= 5.0, name
+
+
+class TestPruneHistory:
+    def test_prunes_oversized_file(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        history = [{"timestamp": "t", "metrics": {"perf_x": float(i)}}
+                   for i in range(perf_gate.HISTORY_LIMIT + 9)]
+        path.write_text(json.dumps(history))
+        dropped = perf_gate.prune_history(path=path)
+        assert dropped == 9
+        kept = json.loads(path.read_text())
+        assert len(kept) == perf_gate.HISTORY_LIMIT
+        # Oldest entries go; the newest survive in order.
+        assert kept[-1]["metrics"]["perf_x"] == float(
+            perf_gate.HISTORY_LIMIT + 8)
+
+    def test_noop_under_cap_leaves_file_untouched(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        history = [{"timestamp": "t", "metrics": {"perf_x": 1.0}}]
+        payload = json.dumps(history)
+        path.write_text(payload)
+        assert perf_gate.prune_history(path=path) == 0
+        assert path.read_text() == payload
+
+    def test_missing_file_is_fine(self, tmp_path):
+        assert perf_gate.prune_history(path=tmp_path / "absent.json") == 0
+
+    def test_custom_limit(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(
+            [{"metrics": {"perf_x": float(i)}} for i in range(10)]))
+        assert perf_gate.prune_history(path=path, limit=4) == 6
+        kept = json.loads(path.read_text())
+        assert [h["metrics"]["perf_x"] for h in kept] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_shipped_history_is_within_cap(self):
+        if not perf_gate.HISTORY_PATH.exists():
+            pytest.skip("no BENCH_perf.json in this checkout")
+        history = json.loads(perf_gate.HISTORY_PATH.read_text())
+        assert len(history) <= perf_gate.HISTORY_LIMIT
+
+
+class TestMemoryFloor:
+    def test_measure_memory_metrics_quick(self):
+        metrics = perf_gate.measure_memory_metrics(quick=True)
+        assert metrics["perf_mem_flows"] == 100_000.0
+        assert metrics["perf_mem_dense_bpf"] == 8.0  # one int64 lane/flow
+        for store in ("pools", "morris"):
+            ratio = metrics[f"perf_mem_{store}_vs_dense"]
+            assert 0.0 < ratio <= perf_gate.MEM_COMPACT_LIMIT, store

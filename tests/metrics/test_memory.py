@@ -69,3 +69,57 @@ class TestDiscoAccounting:
         # f(0)=0, f(1)=1: DISCO never exceeds a full counter (Section V-B).
         for n in (1, 2, 5, 10):
             assert disco_counter_bits(n, 1.02) <= max(1, full_counter_bits(n))
+
+
+class TestMeasuredAccounting:
+    """Measured (export_state) byte accounting, not the analytic model."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        from repro.traces.nlanr import nlanr_like
+
+        return nlanr_like(num_flows=120, mean_flow_bytes=20_000,
+                          max_flow_bytes=1_000_000, rng=9)
+
+    def test_measured_state_bytes_needs_a_state(self):
+        from repro.metrics.memory import measured_state_bytes
+
+        with pytest.raises(ParameterError, match="KernelState"):
+            measured_state_bytes({"arrays": {}})
+
+    def test_dense_state_bytes_are_buffer_bytes(self, trace):
+        from repro.core.batchreplay import run_kernel
+        from repro.core.kernels import kernel_spec
+        from repro.metrics.memory import (
+            measured_bytes_per_flow,
+            measured_state_bytes,
+        )
+        from repro.schemes import make_scheme
+
+        spec = kernel_spec(make_scheme("disco", b=1.02, seed=0))
+        result = run_kernel(trace, spec.factory, mode=spec.mode, rng=0)
+        state = result.kernel.export_state(result.compiled.keys)
+        expected = sum(a.nbytes for a in state.dense_arrays().values())
+        assert measured_state_bytes(state) == expected
+        assert measured_bytes_per_flow(state) == expected / len(trace.flows)
+
+    def test_measure_store_bytes_compares_backends(self, trace):
+        from repro.metrics.memory import measure_store_bytes
+
+        report = measure_store_bytes(trace, scheme="disco", b=1.02, seed=0)
+        assert set(report) == {"dense", "morris", "pools"}
+        for entry in report.values():
+            assert entry["flows"] == float(len(trace.flows))
+            assert entry["bytes"] == pytest.approx(
+                entry["bytes_per_flow"] * entry["flows"])
+        # One int64 lane per flow dense; both compact backends undercut it.
+        assert report["dense"]["bytes_per_flow"] == 8.0
+        assert report["pools"]["bytes"] < report["dense"]["bytes"]
+        assert report["morris"]["bytes"] < report["dense"]["bytes"]
+
+    def test_measure_store_bytes_store_subset(self, trace):
+        from repro.metrics.memory import measure_store_bytes
+
+        report = measure_store_bytes(trace, scheme="exact",
+                                     stores=("dense", "pools"))
+        assert set(report) == {"dense", "pools"}

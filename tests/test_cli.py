@@ -19,6 +19,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["replay", "--trace", "t", "--scheme", "bogus"])
 
+    @pytest.mark.parametrize("command", ["replay", "stream"])
+    def test_unknown_store_rejected(self, command):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [command, "--trace", "t", "--store", "zip"])
+
 
 class TestGenAndReplay:
     def test_gen_then_replay_roundtrip(self, tmp_path, capsys):
@@ -42,6 +48,24 @@ class TestGenAndReplay:
         assert main(["replay", "--trace", trace_path, "--scheme", "exact"]) == 0
         out = capsys.readouterr().out
         assert "scheme=exact" in out
+
+    @pytest.mark.parametrize("store", ["pools", "morris"])
+    def test_replay_with_compact_store(self, store, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.trace")
+        main(["gen-trace", "--kind", "scenario3", "--flows", "12",
+              "--seed", "5", "--out", trace_path])
+        capsys.readouterr()
+        assert main(["replay", "--trace", trace_path, "--scheme", "disco",
+                     "--engine", "vector", "--store", store]) == 0
+        assert "scheme=disco" in capsys.readouterr().out
+
+    def test_stream_with_compact_store(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.trace")
+        main(["gen-trace", "--kind", "scenario3", "--flows", "12",
+              "--seed", "6", "--out", trace_path])
+        capsys.readouterr()
+        assert main(["stream", "--trace", trace_path, "--scheme", "exact",
+                     "--store", "pools"]) == 0
 
     @pytest.mark.parametrize("scheme", ["sac", "sd", "anls1"])
     def test_other_schemes_run(self, scheme, tmp_path, capsys):

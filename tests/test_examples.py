@@ -25,6 +25,7 @@ EXAMPLES = {
     "netflow_collector.py": [],
     "distributed_monitors.py": [],
     "moving_average_monitor.py": [],
+    "ten_million_flows.py": ["--flows", "100000"],
 }
 
 

@@ -349,3 +349,67 @@ class TestCheckpointRestore:
         again = stream(factory, compiled, resume=True, **config)
         assert again.estimates_dict() == done.estimates_dict()
         assert again.epochs == done.epochs
+
+
+# ---------------------------------------------------------------------------
+# counter-store backends through the stream / checkpoint path
+# ---------------------------------------------------------------------------
+
+class TestCheckpointStoreBackends:
+    """Every counter-store backend survives crash/resume bit-identically.
+
+    The carried chunk state rides through the compact store twice per
+    resume (checkpoint pickle out, ``load_state`` back in), so these
+    are the round-trip tests that matter: pools must stay lossless and
+    Morris must stay *deterministic* (content-seeded encode) across the
+    interruption.
+    """
+
+    def _config(self, compiled, path, store):
+        return dict(shards=2, epoch_packets=compiled.num_packets // 3,
+                    chunk_packets=512, rng=17, store=store,
+                    checkpoint_path=str(path))
+
+    @pytest.mark.parametrize("store", ["dense", "pools", "morris"])
+    def test_resume_is_bit_identical_per_store(self, compiled, tmp_path,
+                                               store):
+        factory = scheme_factory("disco", b=B, seed=0)
+        baseline = stream(factory, compiled, shards=2,
+                          epoch_packets=compiled.num_packets // 3,
+                          chunk_packets=512, rng=17, store=store)
+
+        path = tmp_path / f"stream-{store}.ckpt"
+        config = self._config(compiled, path, store)
+        # the 4th checkpoint write dies between serialise and publish
+        with pytest.raises(OSError):
+            stream(factory, compiled,
+                   faults="checkpoint.write:raise:after=3:times=1",
+                   **config)
+        assert path.exists(), "previous checkpoint must survive the crash"
+
+        resumed = stream(factory, compiled, resume=True, **config)
+        assert resumed.estimates_dict() == baseline.estimates_dict()
+        assert [s.packets for s in resumed.snapshots] == \
+            [s.packets for s in baseline.snapshots]
+        assert resumed.packets == baseline.packets
+
+    def test_restored_session_keeps_store_choice(self, compiled, tmp_path):
+        path = tmp_path / "pools.ckpt"
+        config = self._config(compiled, path, "pools")
+        factory = scheme_factory("disco", b=B, seed=0)
+        with pytest.raises(OSError):
+            stream(factory, compiled,
+                   faults="checkpoint.write:raise:after=3:times=1",
+                   **config)
+        session = StreamSession.restore(str(path))
+        assert session.store == "pools"
+
+    def test_pools_stream_matches_dense_bitwise(self, compiled):
+        # The pools encoding is lossless, so a streamed run staging its
+        # carried state through it must equal the dense run exactly.
+        factory = scheme_factory("disco", b=B, seed=0)
+        kwargs = dict(shards=2, epoch_packets=compiled.num_packets // 3,
+                      chunk_packets=512, rng=17)
+        dense = stream(factory, compiled, store="dense", **kwargs)
+        pools = stream(factory, compiled, store="pools", **kwargs)
+        assert pools.estimates_dict() == dense.estimates_dict()
