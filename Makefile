@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-nonative test-faults bench bench-gate bench-gate-quick bench-mem report examples all
+.PHONY: install lint test test-nonative test-faults serve-smoke bench bench-gate bench-gate-quick bench-mem report examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -34,6 +34,13 @@ test-faults:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/harness/test_faults.py tests/test_obs.py -q
 	PYTHONPATH=src $(PYTHON) -m repro faults
 
+# End-to-end daemon smoke: boot `repro serve` as a subprocess on an
+# ephemeral port, verify live queries against an offline stream() of the
+# same trace, then crash it with an injected fault and prove --resume
+# answers bit-identically.  Finishes in seconds.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/serve_smoke.py
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
 
@@ -56,4 +63,4 @@ report:
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; echo "all examples ran"
 
-all: lint test test-nonative test-faults bench bench-gate-quick
+all: lint test test-nonative test-faults serve-smoke bench bench-gate-quick

@@ -458,6 +458,43 @@ def measure_fault_seam(iterations: int = FAULT_SEAM_ITERATIONS,
     return {"fault_seam_ns_per_op": round(ns_per_op, 1)}
 
 
+def measure_serve(queries: int = 200) -> Dict[str, float]:
+    """Median query latency against a live in-process serve daemon.
+
+    Boots a :class:`~repro.serve.ServeDaemon` over a small trace on a
+    background thread, lets the feed drain, then times ``queries``
+    alternating ``GET /flows/{id}`` / ``GET /topk`` round trips through
+    :class:`~repro.serve.ServeClient`.  Returns ``serve_query_p50_ms``
+    for the trajectory only — query latency on a shared CI box is too
+    machine-bound to gate, but the history shows the trend.
+    """
+    from repro import scheme_factory
+    from repro.serve import DaemonHandle, TraceFeed, build_daemon
+    from repro.traces.nlanr import nlanr_like
+
+    trace = nlanr_like(num_flows=200, mean_flow_bytes=20_000,
+                       max_flow_bytes=100_000, rng=7)
+    feed = TraceFeed(trace)
+    packets = feed.trace.num_packets
+    daemon = build_daemon(scheme_factory("disco", b=1.02, seed=0), feed,
+                          shards=2, epoch_packets=packets // 4, rng=1)
+    samples = []
+    with DaemonHandle(daemon) as handle:
+        deadline = time.monotonic() + 30.0
+        while (handle.client.healthz()["packets_consumed"] < packets
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        flow = handle.client.topk(1)["flows"][0]["flow"]
+        for i in range(queries):
+            start = time.perf_counter()
+            if i % 2:
+                handle.client.flow(flow)
+            else:
+                handle.client.topk(10)
+            samples.append(time.perf_counter() - start)
+    return {"serve_query_p50_ms": round(statistics.median(samples) * 1e3, 3)}
+
+
 def append_history(metrics: Dict[str, float],
                    path: Path = HISTORY_PATH,
                    limit: int = HISTORY_LIMIT,
@@ -634,6 +671,10 @@ def main(argv=None) -> int:
     seam_ns = telemetry["fault_seam_ns_per_op"]
     print(f"disarmed fault seam: {seam_ns:.0f} ns/call "
           f"(limit {FAULT_SEAM_LIMIT_NS:.0f} ns)")
+
+    telemetry.update(measure_serve())
+    print(f"serve query latency: {telemetry['serve_query_p50_ms']:.3f} ms "
+          f"p50 (history only, not gated)")
 
     if not args.no_history:
         append_history(metrics, telemetry=telemetry,

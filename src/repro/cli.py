@@ -7,6 +7,13 @@ Generate a scaled NLANR-like trace and replay DISCO over it::
     python -m repro gen-trace --kind nlanr --flows 300 --out /tmp/oc192.trace
     python -m repro replay --trace /tmp/oc192.trace --scheme disco --bits 10
 
+Run the long-running measurement daemon and query it live
+(``docs/serve.md``)::
+
+    python -m repro serve --feed trace --trace /tmp/oc192.trace \
+        --epoch-packets 100000 --checkpoint /tmp/oc192.ckpt
+    curl http://127.0.0.1:<port>/topk?n=10
+
 Re-print a figure or table from the paper::
 
     python -m repro figure 5
@@ -30,6 +37,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.formatting import render_series, render_table
 from repro.core.stores import store_names
+from repro.errors import ParameterError
 from repro.facade import replay, stream
 from repro.schemes import make_scheme, scheme_factory, scheme_names
 from repro.traces.nlanr import nlanr_like
@@ -112,6 +120,17 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_engine(engine: str) -> str:
+    """Map the shared ``--engine`` flag onto the streaming backends.
+
+    The common parser accepts every replay engine; streams only run
+    columnar chunks, so ``auto`` resolves to ``vector`` here and the
+    scalar engines are rejected downstream by
+    :func:`repro.facade._validate` (exit code 2).
+    """
+    return "vector" if engine == "auto" else engine
+
+
 def cmd_stream(args: argparse.Namespace) -> int:
     """Measure a trace as an epoch-rotating, hash-sharded stream."""
     from repro.obs import Telemetry
@@ -129,7 +148,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         chunk_packets=args.chunk_packets,
         rng=args.seed + 1,
         workers=args.workers,
-        engine=args.engine,
+        engine=_stream_engine(args.engine),
         store=args.store,
         telemetry=tel,
         checkpoint_path=args.checkpoint,
@@ -157,11 +176,6 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
-#: The faults audit's scheme recipe — a registry factory, so the same
-#: frozen spec builds the serial reference and pickles into pool workers.
-_audit_factory = scheme_factory("disco", b=1.01, seed=7)
-
-
 #: The standard audit schedule: one plan per recovery path the parallel
 #: driver implements (worker death, failed attach, lost collection,
 #: refused submission, refused segment).
@@ -180,7 +194,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
     For each fault plan, replays an R-replica job through the pool with
     the plan armed and checks the two hard invariants: results
     bit-identical to the serial replay, and no ``repro``-prefixed
-    ``/dev/shm`` segment left behind.
+    ``/dev/shm`` segment left behind.  ``--scheme`` picks the audited
+    kernel (the frozen registry factory pickles into pool workers);
+    replica replays run on the vector path, so the shared ``--engine``/
+    ``--store`` flags are accepted for parity but not consulted here.
     """
     import gc
     import os
@@ -199,8 +216,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
         return {n for n in os.listdir(shm_dir)
                 if n.startswith(f"repro_{os.getpid()}_")}
 
+    # A registry factory: the same frozen spec builds the serial
+    # reference and pickles into pool workers.
+    audit_factory = scheme_factory(args.scheme, b=1.01, seed=7)
     trace = scenario3(num_flows=args.flows, rng=args.seed)
-    serial = replay_replicas(_audit_factory(), trace,
+    serial = replay_replicas(audit_factory(), trace,
                              replicas=args.replicas, rng=args.seed)
     expected = [r.estimates for r in serial]
     plans = args.plan or list(_AUDIT_PLANS)
@@ -218,7 +238,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
         tel = Telemetry()
         try:
             results = replay_parallel(
-                [ReplayJob(_audit_factory, job_trace, engine="vector",
+                [ReplayJob(audit_factory, job_trace, engine="vector",
                            replicas=args.replicas, rng=args.seed)],
                 max_workers=args.workers, telemetry=tel, faults=plan)
             identical = [r.estimates for r in results] == expected
@@ -241,10 +261,77 @@ def cmd_faults(args: argparse.Namespace) -> int:
         print(f"{'PASS' if ok else 'FAIL'} {plan}: "
               f"bit-identical={identical} leaked-segments={len(leaked)} "
               f"fault/recovery-events={recovered}")
+        if args.telemetry:
+            for name in sorted(counters):
+                print(f"  {name} = {counters[name]}")
         if not ok:
             failures += 1
     print(f"{len(plans) - failures}/{len(plans)} fault plans passed")
     return 1 if failures else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-running measurement daemon (see docs/serve.md)."""
+    from repro import faults as _faults
+    from repro.serve import build_daemon, make_feed
+
+    factory_params = dict(bits=args.bits, mode=args.mode, seed=args.seed)
+    if args.feed == "trace":
+        if args.trace is None:
+            raise ParameterError("serve --feed trace needs --trace")
+        trace = _read_any_trace(args.trace)
+        truths = trace.true_totals(args.mode)
+        factory_params["max_length"] = max(truths.values())
+        feed = make_feed("trace", trace=trace)
+    elif args.feed == "generator":
+        trace = _make_trace(args.kind, args.flows, args.seed)
+        feed = make_feed("generator",
+                         pairs=trace.packet_pairs(order="shuffled",
+                                                  rng=args.seed))
+    else:  # socket
+        feed = make_feed("socket", host=args.ingest_host,
+                         port=args.ingest_port)
+    factory = scheme_factory(args.scheme, **factory_params)
+
+    plan = _faults.resolve_plan(args.faults)
+    daemon = build_daemon(
+        factory, feed,
+        shards=args.shards,
+        epoch_packets=args.epoch_packets,
+        epoch_bytes=args.epoch_bytes,
+        chunk_packets=args.chunk_packets,
+        rng=args.seed + 1,
+        workers=args.workers,
+        engine=_stream_engine(args.engine),
+        store=args.store,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        host=args.host,
+        port=args.port,
+        pace=args.pace,
+    )
+    if plan:
+        _faults.arm(plan, daemon.telemetry)
+    try:
+        result = daemon.serve_forever()
+    except ParameterError:
+        raise
+    except Exception as exc:  # crash (e.g. injected fault): report, exit 1
+        print(f"serve daemon crashed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+    finally:
+        if plan:
+            _faults.disarm()
+    print(f"drained: scheme={result.scheme_name} epochs={result.epochs} "
+          f"packets={result.packets} volume={result.volume}")
+    if args.telemetry:
+        snap = daemon.telemetry.snapshot()
+        print("telemetry:")
+        for name in sorted(snap["counters"]):
+            print(f"  {name} = {snap['counters'][name]}")
+    return 0
 
 
 def _default_trace(args: argparse.Namespace):
@@ -428,12 +515,43 @@ def cmd_report(args: argparse.Namespace) -> int:
 # -- parser ---------------------------------------------------------------------
 
 
+#: The shared measurement flags every measuring subcommand takes —
+#: declared once on a parent parser so replay/stream/faults/serve can
+#: never drift apart (parity is asserted in tests/test_cli.py).
+COMMON_FLAGS = ("scheme", "bits", "mode", "seed", "engine", "store",
+                "telemetry")
+
+
+def _common_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scheme", choices=SCHEMES, default="disco")
+    common.add_argument("--bits", type=int, default=10)
+    common.add_argument("--mode", choices=("volume", "size"), default="volume")
+    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--engine",
+                        choices=("auto", "python", "fast", "vector", "native"),
+                        default="auto",
+                        help="replay engine (vector = array-native batch "
+                             "replay, native = compiled kernels, falls back "
+                             "to vector; streaming commands resolve auto to "
+                             "vector and reject the scalar engines)")
+    common.add_argument("--store", choices=store_names(), default="dense",
+                        help="counter-store backend for the per-flow state "
+                             "(pools = lossless compact, morris = lossy "
+                             "compact; compact stores need a columnar "
+                             "engine)")
+    common.add_argument("--telemetry", action="store_true",
+                        help="record and print telemetry event counts")
+    return common
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DISCO (ICDCS 2010) reproduction toolkit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parser()
 
     p = sub.add_parser("gen-trace", help="generate a synthetic trace file")
     p.add_argument("--kind", choices=TRACE_KINDS, default="nlanr")
@@ -444,33 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_gen_trace)
 
-    p = sub.add_parser("replay", help="replay a trace through a counting scheme")
+    p = sub.add_parser("replay", parents=[common],
+                       help="replay a trace through a counting scheme")
     p.add_argument("--trace", required=True)
-    p.add_argument("--scheme", choices=SCHEMES, default="disco")
-    p.add_argument("--bits", type=int, default=10)
-    p.add_argument("--mode", choices=("volume", "size"), default="volume")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--engine",
-                   choices=("auto", "python", "fast", "vector", "native"),
-                   default="auto",
-                   help="replay engine (vector = array-native batch replay, "
-                        "native = compiled kernels, falls back to vector)")
-    p.add_argument("--store", choices=store_names(), default="dense",
-                   help="counter-store backend for the per-flow state "
-                        "(pools = lossless compact, morris = lossy compact; "
-                        "compact stores need --engine vector or native)")
-    p.add_argument("--telemetry", action="store_true",
-                   help="record and print replay telemetry event counts")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
-        "stream",
+        "stream", parents=[common],
         help="measure a trace as an epoch-rotating, hash-sharded stream")
     p.add_argument("--trace", required=True)
-    p.add_argument("--scheme", choices=SCHEMES, default="disco")
-    p.add_argument("--bits", type=int, default=10)
-    p.add_argument("--mode", choices=("volume", "size"), default="volume")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--shards", type=int, default=4,
                    help="hash-partitions of the flow space")
     p.add_argument("--epoch-packets", type=int, default=None,
@@ -481,18 +581,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="packets per consumption chunk")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool workers for shard replays (default: serial)")
-    p.add_argument("--engine", choices=("vector", "native"), default="vector",
-                   help="columnar backend for shard-chunk replays")
-    p.add_argument("--store", choices=store_names(), default="dense",
-                   help="counter-store backend for the carried per-flow "
-                        "state (persisted into checkpoints)")
     p.add_argument("--checkpoint", default=None,
                    help="checkpoint file; enables crash-resumable streaming")
     p.add_argument("--resume", action="store_true",
                    help="resume from --checkpoint if it exists")
-    p.add_argument("--telemetry", action="store_true",
-                   help="record and print stream telemetry event counts")
     p.set_defaults(func=cmd_stream)
+
+    p = sub.add_parser(
+        "serve", parents=[common],
+        help="run the measurement daemon with a live JSON/HTTP query API")
+    p.add_argument("--feed", choices=("trace", "generator", "socket"),
+                   default="trace",
+                   help="packet source: a trace file tail, a synthetic "
+                        "generator, or a line-delimited TCP listener")
+    p.add_argument("--trace", default=None,
+                   help="trace file for --feed trace")
+    p.add_argument("--kind", choices=TRACE_KINDS, default="nlanr",
+                   help="synthetic trace family for --feed generator")
+    p.add_argument("--flows", type=int, default=300,
+                   help="synthetic flow count for --feed generator")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="query-API listen address")
+    p.add_argument("--port", type=int, default=0,
+                   help="query-API port (0 = ephemeral, printed at startup)")
+    p.add_argument("--ingest-host", default="127.0.0.1",
+                   help="packet listener address for --feed socket")
+    p.add_argument("--ingest-port", type=int, default=0,
+                   help="packet listener port for --feed socket")
+    p.add_argument("--shards", type=int, default=4,
+                   help="hash-partitions of the flow space")
+    p.add_argument("--epoch-packets", type=int, default=None,
+                   help="rotate the epoch after this many packets")
+    p.add_argument("--epoch-bytes", type=int, default=None,
+                   help="rotate the epoch after this many bytes")
+    p.add_argument("--chunk-packets", type=int, default=None,
+                   help="packets per ingestion chunk")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool workers for shard replays (default: serial)")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint file; enables crash-resumable serving")
+    p.add_argument("--checkpoint-every", type=int, default=4,
+                   help="ingested chunks between scheduled checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from --checkpoint if it exists")
+    p.add_argument("--pace", type=float, default=0.0,
+                   help="seconds slept between ingested chunks")
+    p.add_argument("--faults", default=None,
+                   help="fault plan to arm for the daemon's lifetime "
+                        "(also honours REPRO_FAULTS)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("figure", help="regenerate a figure's data series")
     p.add_argument("id", type=int)
@@ -530,7 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_checkpoint)
 
     p = sub.add_parser(
-        "faults",
+        "faults", parents=[common],
         help="audit parallel-replay recovery paths under injected faults")
     p.add_argument("--plan", action="append", default=None,
                    help="fault plan string (repeatable; default: the "
@@ -538,8 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--replicas", type=int, default=10)
     p.add_argument("--workers", type=int, default=3)
     p.add_argument("--flows", type=int, default=15)
-    p.add_argument("--seed", type=int, default=5)
-    p.set_defaults(func=cmd_faults)
+    p.set_defaults(func=cmd_faults, seed=5)
 
     p = sub.add_parser("report", help="rerun the evaluation, write a markdown report")
     p.add_argument("--out", required=True)
@@ -554,10 +690,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Eager-validation failures (:class:`~repro.errors.ParameterError`,
+    raised by :func:`repro.facade._validate` and friends) print one line
+    to stderr and exit 2 — the same code argparse uses for bad flags, so
+    callers see one contract for "your arguments were wrong".
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ParameterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

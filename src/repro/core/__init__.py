@@ -20,7 +20,6 @@ from repro.core.batchreplay import (
     BatchReplayResult,
     ReplicaReplayResult,
     VectorSpec,
-    replay_batch,
     run_kernel,
     vector_spec,
 )
@@ -93,7 +92,6 @@ __all__ = [
     "BatchReplayResult",
     "ReplicaReplayResult",
     "VectorSpec",
-    "replay_batch",
     "run_kernel",
     "vector_spec",
     "KernelSpec",

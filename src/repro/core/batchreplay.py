@@ -53,7 +53,6 @@ from __future__ import annotations
 
 import random
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Union
 
@@ -67,7 +66,7 @@ from repro.traces.compiled import CompiledTrace, compile_trace
 from repro.traces.trace import Trace
 
 __all__ = ["BatchReplayResult", "ReplicaReplayResult", "run_kernel",
-           "replay_batch", "replay_kernel", "as_generator", "VectorSpec",
+           "as_generator", "VectorSpec",
            "vector_spec", "DEFAULT_MIN_LANES"]
 
 #: Below this many active lanes a NumPy column step costs more than the
@@ -505,78 +504,3 @@ def run_kernel(
         kernel=kernel,
         telemetry=snapshot,
     )
-
-
-def replay_kernel(
-    trace: Union[Trace, CompiledTrace],
-    factory: Callable[[int, np.random.Generator, int], object],
-    mode: str = "volume",
-    rng: Union[None, int, random.Random, np.random.Generator] = None,
-    min_lanes: Optional[int] = None,
-    replicas: int = 1,
-) -> Union[BatchReplayResult, ReplicaReplayResult]:
-    """Deprecated alias for :func:`run_kernel` (same parameters, same
-    random-stream consumption, same results for a given seed)."""
-    warnings.warn(
-        "repro.core.batchreplay.replay_kernel() is deprecated; call "
-        "repro.core.batchreplay.run_kernel() (or the repro.replay() "
-        "facade) instead",
-        DeprecationWarning, stacklevel=2)
-    return run_kernel(trace, factory, mode=mode, rng=rng,
-                      min_lanes=min_lanes, replicas=replicas)
-
-
-def replay_batch(
-    trace: Union[Trace, CompiledTrace],
-    b: float,
-    mode: str = "volume",
-    rng: Union[None, int, random.Random, np.random.Generator] = None,
-    capacity_bits: Optional[int] = None,
-    min_lanes: int = DEFAULT_MIN_LANES,
-) -> BatchReplayResult:
-    """Replay the whole trace through DISCO, all flows in lockstep.
-
-    .. deprecated::
-        The historical DISCO-only entry point; call ``repro.replay(
-        DiscoSketch(...), trace, engine="vector")`` for scored results
-        or :func:`run_kernel` with a DISCO factory for the array-level
-        ones.  Same parameters, same random-stream consumption order,
-        same results for a given seed as the PR-1 engine.
-
-    Parameters
-    ----------
-    trace:
-        A :class:`Trace` (compiled on the fly, cached) or an already
-        compiled trace.
-    b:
-        Geometric growth base (``b > 1``).
-    mode:
-        ``"volume"`` drives counters with packet lengths, ``"size"`` with
-        a uniform increment of 1.
-    rng:
-        Seed, ``random.Random`` or ``numpy`` Generator; one shared stream
-        drives every lane.
-    capacity_bits:
-        Optional fixed counter width; counters saturate at
-        ``2**capacity_bits - 1`` exactly as
-        :class:`~repro.core.disco.DiscoSketch` clamps them.
-    min_lanes:
-        Active-prefix width below which the engine switches from column
-        steps to the memoized scalar tail.
-    """
-    warnings.warn(
-        "repro.core.batchreplay.replay_batch() is deprecated; call "
-        "repro.replay(DiscoSketch(...), trace, engine='vector') or "
-        "repro.core.batchreplay.run_kernel() instead",
-        DeprecationWarning, stacklevel=2)
-    if capacity_bits is not None and capacity_bits < 1:
-        raise ParameterError(f"capacity_bits must be >= 1, got {capacity_bits!r}")
-    from repro.core.kernels import DiscoKernel
-
-    def factory(lanes: int, gen: np.random.Generator,
-                replicas: int) -> DiscoKernel:
-        return DiscoKernel(lanes, gen, replicas, b=b,
-                           capacity_bits=capacity_bits)
-
-    return run_kernel(trace, factory, mode=mode, rng=rng,
-                      min_lanes=min_lanes)

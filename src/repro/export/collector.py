@@ -49,6 +49,12 @@ class Collector:
         self._totals: List[float] = []
         self._series: Dict[str, FlowSeries] = {}
         self.mode: Optional[str] = None
+        # Scheme / store pinned by the first ingested snapshot; estimates
+        # from different schemes (or counter-store backends) are not
+        # comparable, so mixing them is rejected rather than silently
+        # summed into nonsense.
+        self._snapshot_scheme: Optional[str] = None
+        self._snapshot_store: Optional[str] = None
 
     def _check_mode(self, mode: str, what: str) -> None:
         if self.mode is None:
@@ -79,8 +85,31 @@ class Collector:
         Snapshots carry point estimates only (no raw counters or ``b``),
         so :meth:`interval_confidence` cannot re-derive intervals for
         them.
+
+        Snapshots must come from one measurement configuration: the
+        first ingested snapshot pins its ``scheme_name`` and ``store``,
+        and a later snapshot disagreeing on either raises
+        :class:`~repro.errors.ParameterError` — merging epochs measured
+        by different schemes (or decoded from different counter-store
+        backends) would sum incomparable estimates silently.
         """
         self._check_mode(snapshot.mode, "snapshot")
+        scheme = getattr(snapshot, "scheme_name", None)
+        store = getattr(snapshot, "store", None)
+        if self._snapshot_scheme is None:
+            self._snapshot_scheme = scheme
+            self._snapshot_store = store
+        else:
+            if scheme != self._snapshot_scheme:
+                raise ParameterError(
+                    f"snapshot scheme mismatch: collector holds epochs from "
+                    f"{self._snapshot_scheme!r}, got {scheme!r} — merged "
+                    f"epochs must come from one scheme configuration")
+            if store != self._snapshot_store:
+                raise ParameterError(
+                    f"snapshot store mismatch: collector holds epochs from "
+                    f"store={self._snapshot_store!r}, got {store!r} — merged "
+                    f"epochs must come from one store configuration")
         estimates = snapshot.estimates_dict()
         self._batches.append(None)
         self._totals.append(float(sum(estimates.values())))

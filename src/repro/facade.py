@@ -3,9 +3,17 @@
 Historically three APIs replayed a trace: ``harness.runner.replay`` (the
 scalar loops), ``core.batchreplay.replay_kernel`` (the columnar driver)
 and ``replay_batch`` (its DISCO-only ancestor) — each with its own
-seeding convention.  :func:`repro.replay` is now the single documented
-entrypoint; the legacy signatures survive as thin deprecated wrappers
-that delegate here.
+seeding convention.  :func:`repro.replay` is the single entrypoint; the
+legacy wrappers have been removed (see ``docs/api.md`` for the one-line
+migrations).
+
+This module also owns the *shared eager validation* for every
+measurement entrypoint: :func:`_validate` holds the ``ParameterError``
+checks that :func:`replay`, :func:`stream`,
+:class:`~repro.streaming.StreamSession` and the :mod:`repro.serve`
+daemon all apply, so a bad ``shards=`` or an incompatible
+``store``/``engine`` pair is rejected with the identical message no
+matter which door the configuration came through.
 
 Seeding
 -------
@@ -46,6 +54,80 @@ AnyRng = Union[None, int, random.Random, np.random.Generator,
 #: Valid arrival orders — validated eagerly by :func:`replay` so a typo
 #: fails before any packets are consumed, not deep inside an iterator.
 _ORDERS = ("shuffled", "sequential", "asis", "roundrobin")
+
+#: Columnar backends a stream (and the serve daemon) may run chunks on.
+_STREAM_ENGINES = ("vector", "native")
+
+_UNSET = object()
+
+
+def _validate(
+    *,
+    order=_UNSET,
+    replicas=_UNSET,
+    shards=_UNSET,
+    chunk_packets=_UNSET,
+    epoch_packets=_UNSET,
+    epoch_bytes=_UNSET,
+    workers=_UNSET,
+    checkpoint_every=_UNSET,
+    stream_engine=_UNSET,
+    store_engine=_UNSET,
+    resume=_UNSET,
+) -> None:
+    """The one home of the eager ``ParameterError`` checks.
+
+    Each keyword is only checked when passed, so callers name exactly the
+    parameters they accept: :func:`replay` checks ``order``/``replicas``
+    and the ``store_engine`` pairing, :func:`stream` adds ``resume``,
+    :class:`~repro.streaming.StreamSession` the shard/watermark bounds
+    and ``stream_engine``, and ``repro.serve`` reuses the whole set.
+    Having one implementation keeps the error messages identical across
+    entrypoints (asserted in ``tests/test_stream.py``).
+
+    ``store_engine`` is a ``(store, engine, resolved)`` triple — the
+    requested compact store (canonical name or ``None``), the caller's
+    ``engine=`` argument, and what it resolved to.  ``resume`` is a
+    ``(resume, checkpoint_path)`` pair.
+    """
+    if order is not _UNSET and order not in _ORDERS:
+        raise ParameterError(
+            f"order must be one of {', '.join(_ORDERS)}, got {order!r}")
+    if replicas is not _UNSET and replicas < 1:
+        raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
+    if shards is not _UNSET and shards < 1:
+        raise ParameterError(f"shards must be >= 1, got {shards!r}")
+    if chunk_packets is not _UNSET and chunk_packets < 1:
+        raise ParameterError(
+            f"chunk_packets must be >= 1, got {chunk_packets!r}")
+    if (epoch_packets is not _UNSET and epoch_packets is not None
+            and epoch_packets < 1):
+        raise ParameterError(
+            f"epoch_packets must be >= 1 or None, got {epoch_packets!r}")
+    if (epoch_bytes is not _UNSET and epoch_bytes is not None
+            and epoch_bytes < 1):
+        raise ParameterError(
+            f"epoch_bytes must be >= 1 or None, got {epoch_bytes!r}")
+    if workers is not _UNSET and workers is not None and workers < 1:
+        raise ParameterError(f"workers must be >= 1, got {workers!r}")
+    if checkpoint_every is not _UNSET and checkpoint_every < 1:
+        raise ParameterError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every!r}")
+    if stream_engine is not _UNSET and stream_engine not in _STREAM_ENGINES:
+        raise ParameterError(
+            f"stream engine must be 'vector' or 'native', "
+            f"got {stream_engine!r}")
+    if store_engine is not _UNSET:
+        store, engine, resolved = store_engine
+        if store is not None and resolved not in ("vector", "native"):
+            raise ParameterError(
+                f"store={store!r} needs a columnar engine; engine={engine!r} "
+                f"resolved to {resolved!r} — pass engine='vector' or 'native'"
+            )
+    if resume is not _UNSET:
+        wants_resume, checkpoint_path = resume
+        if wants_resume and checkpoint_path is None:
+            raise ParameterError("resume=True needs checkpoint_path=")
 
 #: Replicas advanced per multi-replica pass.  This is the *seeding* unit
 #: of the replica axis: every ``replicas=R`` replay — serial
@@ -285,11 +367,7 @@ def replay(
         resolve_engine,
     )
 
-    if order not in _ORDERS:
-        raise ParameterError(
-            f"order must be one of {', '.join(_ORDERS)}, got {order!r}")
-    if replicas < 1:
-        raise ParameterError(f"replicas must be >= 1, got {replicas!r}")
+    _validate(order=order, replicas=replicas)
     compact_store = resolve_store(store)  # eager: bad names fail here
     if replicas > 1:
         if engine not in ("auto", "vector"):
@@ -304,11 +382,7 @@ def replay(
     tel = obs.Telemetry() if session.enabled else obs.NULL_TELEMETRY
     streams = seed_streams(rng)
     resolved = resolve_engine(engine, scheme)
-    if compact_store is not None and resolved not in ("vector", "native"):
-        raise ParameterError(
-            f"store={store!r} needs a columnar engine; engine={engine!r} "
-            f"resolved to {resolved!r} — pass engine='vector' or 'native'"
-        )
+    _validate(store_engine=(compact_store, engine, resolved))
     tel.count("replay.calls")
     tel.count(f"replay.engine.{resolved}")
     before = _scheme_event_state(scheme) if tel.enabled else {}
@@ -384,8 +458,7 @@ def stream(
     from repro import faults as _faults
     from repro.streaming import DEFAULT_CHUNK_PACKETS, StreamSession
 
-    if resume and checkpoint_path is None:
-        raise ParameterError("resume=True needs checkpoint_path=")
+    _validate(resume=(resume, checkpoint_path))
     if chunk_packets is None:
         chunk_packets = DEFAULT_CHUNK_PACKETS
     plan = _faults.resolve_plan(faults)

@@ -36,6 +36,13 @@ Sites
     it (``os.replace``); an injected failure here leaves the previous
     checkpoint intact, which is exactly the crash the resume tests
     rehearse.
+``serve.ingest``
+    The serve daemon about to ingest one feed batch (fired with the
+    batch index) — see :mod:`repro.serve`.
+``serve.checkpoint``
+    The serve daemon about to write a scheduled checkpoint; an injected
+    failure here crashes the daemon *between* checkpoints, the scenario
+    the ``serve --resume`` bit-identity tests rehearse.
 
 Arming
 ------
@@ -103,6 +110,8 @@ SITES = frozenset({
     "worker.run",
     "shard.run",
     "checkpoint.write",
+    "serve.ingest",
+    "serve.checkpoint",
 })
 
 #: Seams that fire inside worker processes (shipped with each unit).

@@ -39,15 +39,15 @@ Four engines drive the same replay contract:
 
 The documented entrypoint for all of this is the :func:`repro.replay`
 facade; this module holds the engine implementations, the strict
-engine resolver, and the replica/stream drivers.  The module-level
-``replay()`` survives as a deprecated wrapper.
+engine resolver, and the replica/stream drivers.  (The historical
+module-level ``replay()`` wrapper has been removed — call
+:func:`repro.replay`; see ``docs/api.md`` for the migration.)
 """
 
 from __future__ import annotations
 
 import random
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Union
 
@@ -65,7 +65,7 @@ from repro.metrics.errors import (
 from repro.traces.compiled import CompiledTrace
 from repro.traces.trace import Trace
 
-__all__ = ["RunResult", "replay", "replay_replicas", "replay_stream",
+__all__ = ["RunResult", "replay_replicas", "replay_stream",
            "resolve_engine", "ENGINES"]
 
 #: Valid values of the ``engine`` parameter.
@@ -162,29 +162,6 @@ def resolve_engine(engine: str, scheme) -> str:
         native.warn_fallback("engine='native'")
         return "vector"
     return engine
-
-
-def replay(
-    scheme,
-    trace: AnyTrace,
-    order: str = "shuffled",
-    rng: Union[None, int, random.Random] = None,
-    engine: str = "auto",
-) -> RunResult:
-    """Deprecated alias for the :func:`repro.replay` facade.
-
-    Kept so historical call sites keep working; note one semantic
-    unification: ``rng`` now also seeds the vector engine's update
-    stream (previously it seeded only the shuffle and the vector path
-    silently used the scheme's own generator).
-    """
-    warnings.warn(
-        "repro.harness.runner.replay() is deprecated; call "
-        "repro.replay(scheme, trace, ...) instead",
-        DeprecationWarning, stacklevel=2)
-    from repro.facade import replay as _facade_replay
-
-    return _facade_replay(scheme, trace, order=order, rng=rng, engine=engine)
 
 
 def _replay_scalar(

@@ -1,0 +1,45 @@
+"""``repro.serve`` — the long-running measurement daemon.
+
+The production deployment shape the paper's linecard model implies:
+``python -m repro serve`` runs a :class:`~repro.serve.daemon.ServeDaemon`
+that ingests packets from a pluggable :mod:`~repro.serve.feeds` feed
+through a sharded :class:`~repro.streaming.StreamSession`, rotates and
+checkpoints epochs, and answers live JSON-over-HTTP queries —
+``GET /flows/{id}`` (estimate + confidence interval), ``GET /topk?n=``,
+``GET /epochs``, ``GET /telemetry``, ``GET /healthz`` and
+``POST /control/rotate|checkpoint|drain``.  See ``docs/serve.md``.
+
+Programmatic use::
+
+    from repro import scheme_factory
+    from repro.serve import DaemonHandle, TraceFeed, build_daemon
+
+    daemon = build_daemon(scheme_factory("disco", b=1.02), TraceFeed(trace),
+                          epoch_packets=4096, checkpoint_path="m.ckpt")
+    with DaemonHandle(daemon) as handle:
+        print(handle.client.topk(5))
+"""
+
+from repro.serve.client import DaemonHandle, ServeClient
+from repro.serve.daemon import ServeDaemon, build_daemon
+from repro.serve.feeds import (
+    Feed,
+    GeneratorFeed,
+    SocketFeed,
+    TraceFeed,
+    make_feed,
+)
+from repro.serve.queries import QueryEngine
+
+__all__ = [
+    "DaemonHandle",
+    "Feed",
+    "GeneratorFeed",
+    "QueryEngine",
+    "ServeClient",
+    "ServeDaemon",
+    "SocketFeed",
+    "TraceFeed",
+    "build_daemon",
+    "make_feed",
+]

@@ -114,6 +114,12 @@ class EpochSnapshot:
     truths: Dict[Hashable, int] = field(compare=False)
     telemetry: Optional[Dict[str, dict]] = field(default=None, compare=False,
                                                  repr=False)
+    #: Counter-store backend the carried state was held in
+    #: (``"dense"``/``"pools"``/``"morris"``); ``None`` on snapshots
+    #: unpickled from pre-store checkpoints.  Merge guards (the export
+    #: :class:`~repro.export.collector.Collector`) refuse to mix
+    #: snapshots whose scheme or store differ.
+    store: Optional[str] = field(default=None, compare=False)
 
     @property
     def flows(self) -> int:
@@ -144,6 +150,7 @@ class EpochSnapshot:
             "flows": int(self.flows),
             "max_counter_bits": int(self.max_counter_bits),
             "shard_counter_bits": [int(b) for b in self.shard_counter_bits],
+            "store": self.store,
             "estimates": estimates_json(self.estimates_dict()),
             "telemetry": self.telemetry,
         }
@@ -295,6 +302,21 @@ def _readout(spec, state: KernelState) -> Tuple[Dict[Hashable, float], int]:
     return estimates, bits
 
 
+def _readout_counters(spec, state: KernelState) -> Dict[Hashable, int]:
+    """Decode a carried shard state into raw per-flow counter values.
+
+    The query-side companion of :func:`_readout`: the serve daemon needs
+    the *counter* (not the estimate) to attach a
+    :func:`~repro.core.confidence.confidence_interval` to a live flow.
+    """
+    keys = list(state.index)
+    R = state.replicas
+    kernel = spec.factory(len(keys) * R, np.random.default_rng(0), R)
+    kernel.load_state(keys, state)
+    counters = kernel.counters()[::R]
+    return {key: int(c) for key, c in zip(keys, counters)}
+
+
 # ---------------------------------------------------------------------------
 # the session
 # ---------------------------------------------------------------------------
@@ -375,30 +397,15 @@ class StreamSession:
     ) -> None:
         from repro.core import native
         from repro.core import stores as _stores
-        from repro.facade import seed_streams
+        from repro.facade import _validate, seed_streams
 
         if not callable(scheme_factory):
             raise ParameterError(
                 f"scheme_factory must be callable, got {scheme_factory!r}")
-        if shards < 1:
-            raise ParameterError(f"shards must be >= 1, got {shards!r}")
-        if chunk_packets < 1:
-            raise ParameterError(
-                f"chunk_packets must be >= 1, got {chunk_packets!r}")
-        if epoch_packets is not None and epoch_packets < 1:
-            raise ParameterError(
-                f"epoch_packets must be >= 1 or None, got {epoch_packets!r}")
-        if epoch_bytes is not None and epoch_bytes < 1:
-            raise ParameterError(
-                f"epoch_bytes must be >= 1 or None, got {epoch_bytes!r}")
-        if workers is not None and workers < 1:
-            raise ParameterError(f"workers must be >= 1, got {workers!r}")
-        if checkpoint_every < 1:
-            raise ParameterError(
-                f"checkpoint_every must be >= 1, got {checkpoint_every!r}")
-        if engine not in ("vector", "native"):
-            raise ParameterError(
-                f"stream engine must be 'vector' or 'native', got {engine!r}")
+        _validate(shards=shards, chunk_packets=chunk_packets,
+                  epoch_packets=epoch_packets, epoch_bytes=epoch_bytes,
+                  workers=workers, checkpoint_every=checkpoint_every,
+                  stream_engine=engine)
         if engine == "native" and not native.available():
             native.warn_fallback("stream engine='native'")
             engine = "vector"
@@ -520,6 +527,59 @@ class StreamSession:
             self._ingest(batch_keys,
                          [np.asarray(batch_map[k], dtype=np.float64)
                           for k in batch_keys])
+
+    def ingest_chunk(self, keys: List[Hashable],
+                     length_arrays: List[np.ndarray]) -> None:
+        """Consume one pre-batched chunk: parallel key / length-array lists.
+
+        The chunk-at-a-time feeding surface (used by :mod:`repro.serve`
+        feeds, which batch upstream): ``keys[i]`` is a flow key and
+        ``length_arrays[i]`` its packet lengths for this chunk, exactly
+        the shape :meth:`~repro.traces.compiled.CompiledTrace.iter_chunks`
+        yields.  Watermark rotation and auto-checkpointing apply as for
+        :meth:`consume`.
+        """
+        if len(keys) != len(length_arrays):
+            raise ParameterError(
+                f"ingest_chunk needs parallel lists; got {len(keys)} keys "
+                f"and {len(length_arrays)} length arrays")
+        if keys:
+            self._ingest(list(keys),
+                         [np.asarray(lens, dtype=np.float64)
+                          for lens in length_arrays])
+
+    # -- live queries --------------------------------------------------------
+
+    def live_estimates(self) -> Dict[Hashable, float]:
+        """Per-flow estimates for the *open* (not yet rotated) epoch.
+
+        Decodes the carried shard states without resetting them — the
+        read side of the serve daemon's ``/flows`` and ``/topk`` while
+        ingestion continues.  Consistent at chunk boundaries: the
+        daemon's single-threaded loop never interleaves a query with a
+        half-applied chunk.
+        """
+        merged: Dict[Hashable, float] = {}
+        for state in self._state:
+            if state is None or not state.index:
+                continue
+            estimates, _ = _readout(self._spec, state)
+            merged.update(estimates)
+        return merged
+
+    def live_counters(self) -> Dict[Hashable, int]:
+        """Raw per-flow counter values for the open epoch.
+
+        The companion of :meth:`live_estimates` for confidence
+        intervals: :func:`~repro.core.confidence.confidence_interval`
+        takes the counter value, not the estimate.
+        """
+        merged: Dict[Hashable, int] = {}
+        for state in self._state:
+            if state is None or not state.index:
+                continue
+            merged.update(_readout_counters(self._spec, state))
+        return merged
 
     # -- internals -----------------------------------------------------------
 
@@ -672,7 +732,7 @@ class StreamSession:
             volume=self._epoch_volume_count, shards=self.shards,
             shard_estimates=tuple(shard_estimates),
             shard_counter_bits=tuple(shard_bits),
-            truths=truths, telemetry=snap_tel)
+            truths=truths, telemetry=snap_tel, store=self.store)
         self.snapshots.append(snapshot)
         if self._enabled:
             self._session.merge(snap_tel)

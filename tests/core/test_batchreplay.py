@@ -1,35 +1,45 @@
 """Tests for the array-native whole-trace replay engine.
 
-These exercise :func:`replay_batch`, now a deprecated wrapper around
-:func:`run_kernel`; the module-level mark silences the deprecation (the
-wrapper's behaviour is exactly what is under test).  The warnings
-themselves are asserted in ``tests/test_facade.py::TestLegacyWrappers``.
+These drive :func:`run_kernel` directly through a local ``replay_disco``
+helper (a :class:`~repro.core.kernels.DiscoKernel` factory with the
+historical lane default) — the shape the removed ``replay_batch``
+wrapper used to provide.
 """
 
-import math
 import random
 import statistics
 
 import numpy as np
 import pytest
 
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
-
 from repro.core.analysis import cov_bound
 from repro.core.batchreplay import (
+    DEFAULT_MIN_LANES,
     as_generator,
-    replay_batch,
+    run_kernel,
     vector_spec,
 )
 from repro.core.disco import DiscoSketch
 from repro.core.fastpath import FastDiscoSketch
 from repro.core.fastsim import simulate_uniform_stream
 from repro.core.functions import GeometricCountingFunction, LinearCountingFunction
+from repro.core.kernels import DiscoKernel
 from repro.core.vectorized import VectorDisco
 from repro.errors import ParameterError
 from repro.traces.compiled import compile_trace
 from repro.traces.nlanr import nlanr_like
 from repro.traces.trace import Trace
+
+
+def replay_disco(trace, b, mode="volume", rng=None,
+                 min_lanes=DEFAULT_MIN_LANES, capacity_bits=None):
+    """Single-replica DISCO batch replay over ``run_kernel``."""
+    def factory(lanes, gen, replicas):
+        return DiscoKernel(lanes, gen, replicas, b=b,
+                           capacity_bits=capacity_bits)
+
+    return run_kernel(trace, factory, mode=mode, rng=rng,
+                      min_lanes=min_lanes)
 
 
 class TestStepActive:
@@ -66,31 +76,31 @@ class TestStepActive:
 class TestValidation:
     def test_bad_mode(self):
         with pytest.raises(ParameterError):
-            replay_batch(Trace({"f": [10]}), 1.1, mode="bytes")
+            replay_disco(Trace({"f": [10]}), 1.1, mode="bytes")
 
     def test_bad_b(self):
         with pytest.raises(ParameterError):
-            replay_batch(Trace({"f": [10]}), 1.0)
+            replay_disco(Trace({"f": [10]}), 1.0)
 
     def test_bad_min_lanes(self):
         with pytest.raises(ParameterError):
-            replay_batch(Trace({"f": [10]}), 1.1, min_lanes=0)
+            replay_disco(Trace({"f": [10]}), 1.1, min_lanes=0)
 
     def test_bad_capacity(self):
         with pytest.raises(ParameterError):
-            replay_batch(Trace({"f": [10]}), 1.1, capacity_bits=0)
+            DiscoSketch(b=1.1, capacity_bits=0)
 
 
 class TestEdgeCases:
     def test_empty_trace(self):
-        result = replay_batch(Trace({}), 1.1, rng=0)
+        result = replay_disco(Trace({}), 1.1, rng=0)
         assert result.packets == 0
         assert result.counters.shape == (0,)
         assert result.estimates_dict() == {}
 
     def test_all_single_packet_flows(self):
         trace = Trace({i: [500] for i in range(200)})
-        result = replay_batch(trace, 1.01, rng=0)
+        result = replay_disco(trace, 1.01, rng=0)
         assert result.packets == 200
         # One packet: estimate is f(c) for one update, unbiased over lanes.
         assert statistics.mean(result.estimates.tolist()) == pytest.approx(
@@ -101,7 +111,7 @@ class TestEdgeCases:
         # A single flow can never fill min_lanes lanes: everything goes
         # through the cached scalar tail and must still be unbiased.
         trace = Trace({"elephant": [1500] * 20_000})
-        result = replay_batch(trace, 1.01, rng=1)
+        result = replay_disco(trace, 1.01, rng=1)
         assert result.vector_steps == 0
         assert result.tail_packets == 20_000
         assert float(result.estimates[0]) == pytest.approx(
@@ -110,7 +120,7 @@ class TestEdgeCases:
 
     def test_b_near_one(self):
         trace = Trace({i: [40, 1500, 576] for i in range(64)})
-        result = replay_batch(trace, 1.0005, rng=2)
+        result = replay_disco(trace, 1.0005, rng=2)
         # b -> 1 approaches exact counting: tight mean, small worst case
         # (cov_bound(1.0005) ~ 1.6%; 6 sigma headroom for the max).
         assert float(result.estimates.mean()) == pytest.approx(2116, rel=0.01)
@@ -119,7 +129,7 @@ class TestEdgeCases:
 
     def test_size_mode_counts_packets(self):
         trace = Trace({i: [999] * (i + 1) for i in range(80)})
-        result = replay_batch(trace, 1.005, mode="size", rng=3)
+        result = replay_disco(trace, 1.005, mode="size", rng=3)
         truths = result.truths
         assert truths.sum() == trace.num_packets
         errors = np.abs(result.estimates - truths) / truths
@@ -127,21 +137,21 @@ class TestEdgeCases:
 
     def test_capacity_bits_saturate(self):
         trace = Trace({"big": [1500] * 500, "small": [40]})
-        result = replay_batch(trace, 1.05, rng=4, capacity_bits=4, min_lanes=1)
+        result = replay_disco(trace, 1.05, rng=4, capacity_bits=4, min_lanes=1)
         assert result.counters.max() <= 15
         assert result.saturation_events > 0
 
     def test_deterministic_given_seed(self):
         trace = nlanr_like(num_flows=40, mean_flow_bytes=5_000, rng=5)
-        a = replay_batch(trace, 1.02, rng=42)
-        b = replay_batch(trace, 1.02, rng=42)
+        a = replay_disco(trace, 1.02, rng=42)
+        b = replay_disco(trace, 1.02, rng=42)
         assert (a.counters == b.counters).all()
 
     def test_accepts_compiled_or_raw(self):
         trace = Trace({i: [100] * 10 for i in range(8)})
         compiled = compile_trace(trace)
-        a = replay_batch(trace, 1.05, rng=0)
-        b = replay_batch(compiled, 1.05, rng=0)
+        a = replay_disco(trace, 1.05, rng=0)
+        b = replay_disco(compiled, 1.05, rng=0)
         assert (a.counters == b.counters).all()
 
 
@@ -164,7 +174,7 @@ class TestDistributionalEquivalence:
         total_truth = sum(trace.true_totals("volume").values())
 
         batch_totals = [
-            float(replay_batch(trace, b, rng=seed).estimates.sum())
+            float(replay_disco(trace, b, rng=seed).estimates.sum())
             for seed in range(8)
         ]
         batch_mean = statistics.mean(batch_totals)
@@ -182,7 +192,7 @@ class TestDistributionalEquivalence:
         assert batch_mean == pytest.approx(scalar_mean, rel=0.01)
 
         # Per-flow relative errors stay inside ~3 sigma of Theorem 2.
-        batch = replay_batch(trace, b, rng=7)
+        batch = replay_disco(trace, b, rng=7)
         errors = np.abs(batch.estimates - batch.truths) / batch.truths
         assert errors.mean() <= 1.5 * cov_bound(b)
         assert errors.max() <= 6 * cov_bound(b)
@@ -194,7 +204,7 @@ class TestDistributionalEquivalence:
         rand = random.Random(3)
         lengths = [rand.choice([40, 576, 1500]) for _ in range(300)]
         trace = Trace({i: lengths for i in range(600)})
-        result = replay_batch(trace, b, rng=9)
+        result = replay_disco(trace, b, rng=9)
         estimates = result.estimates
         mean = float(estimates.mean())
         cov = float(estimates.std()) / mean
@@ -206,8 +216,8 @@ class TestDistributionalEquivalence:
         # compare with the columnar result: same law either way.
         b = 1.03
         trace = Trace({i: [1000] * 200 for i in range(100)})
-        columnar = replay_batch(trace, b, rng=1, min_lanes=1)
-        tail = replay_batch(trace, b, rng=1, min_lanes=10_000)
+        columnar = replay_disco(trace, b, rng=1, min_lanes=1)
+        tail = replay_disco(trace, b, rng=1, min_lanes=10_000)
         assert tail.vector_steps == 0 and columnar.tail_packets == 0
         assert float(tail.estimates.mean()) == pytest.approx(
             float(columnar.estimates.mean()), rel=0.02

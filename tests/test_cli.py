@@ -107,3 +107,44 @@ class TestTables:
 
     def test_unknown_table(self, capsys):
         assert main(["table", "42"]) == 2
+
+
+class TestFlagParity:
+    """replay/stream/serve/faults share one parent parser — the common
+    flags must spell identically on every subcommand."""
+
+    @pytest.mark.parametrize("command", ["replay", "stream", "serve", "faults"])
+    def test_common_flags_present(self, command):
+        from repro.cli import COMMON_FLAGS
+
+        parser = build_parser()
+        sub = next(
+            action for action in parser._actions
+            if hasattr(action, "choices") and command in (action.choices or {})
+        ).choices[command]
+        flags = {
+            opt.lstrip("-").replace("-", "_")
+            for action in sub._actions
+            for opt in action.option_strings
+        }
+        missing = set(COMMON_FLAGS) - flags
+        assert not missing, f"{command} lacks common flags: {sorted(missing)}"
+
+    @pytest.mark.parametrize("command", ["replay", "stream", "serve", "faults"])
+    def test_common_defaults_parse(self, command):
+        argv = {
+            "replay": ["replay", "--trace", "t"],
+            "stream": ["stream", "--trace", "t"],
+            "serve": ["serve", "--feed", "generator"],
+            "faults": ["faults"],
+        }[command]
+        args = build_parser().parse_args(argv)
+        for flag in ("scheme", "bits", "mode", "seed", "engine", "store",
+                     "telemetry"):
+            assert hasattr(args, flag), f"{command} missing --{flag}"
+
+    def test_serve_bad_engine_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "--feed", "generator",
+                                       "--engine", "warp"])
+        assert excinfo.value.code == 2

@@ -1,10 +1,9 @@
 """Tests for the unified replay facade (repro.replay) and its seeding.
 
-The legacy entrypoints (``repro.harness.runner.replay``,
-``repro.core.batchreplay.replay_kernel`` / ``replay_batch``) survive as
-deprecated wrappers; the equivalence tests here run them under
-``pytest.warns`` — everywhere else the pytest configuration turns their
-warnings into errors.
+The historical entrypoints (``repro.harness.runner.replay``,
+``repro.core.batchreplay.replay_kernel`` / ``replay_batch``) are gone;
+``repro.replay`` / ``run_kernel`` are the only ways in, and
+``test_legacy_entrypoints_removed`` locks the removal.
 """
 
 import random
@@ -21,11 +20,8 @@ from repro import (
     replay_replicas,
     seed_streams,
 )
-from repro.core.batchreplay import replay_batch, replay_kernel, run_kernel
-from repro.core.kernels import DiscoKernel, kernel_spec
 from repro.errors import ParameterError
 from repro.facade import ReplayStreams
-from repro.harness import runner
 from repro.traces.nlanr import nlanr_like
 
 B = 1.05
@@ -114,32 +110,24 @@ class TestReplicas:
             replay(_sketch(), trace, replicas=2, engine="python")
 
 
-class TestLegacyWrappers:
-    def test_runner_replay_warns_and_matches_facade(self, trace):
-        with pytest.warns(DeprecationWarning,
-                          match=r"^repro\.harness\.runner\.replay"):
-            legacy = runner.replay(_sketch(), trace, rng=5, engine="fast")
-        new = replay(_sketch(), trace, rng=5, engine="fast")
-        assert legacy.estimates == new.estimates
+class TestLegacyRemoval:
+    def test_legacy_entrypoints_removed(self):
+        from repro.core import batchreplay
+        from repro.harness import runner
 
-    def test_replay_kernel_warns_and_matches_run_kernel(self, trace):
-        spec = kernel_spec(_sketch())
-        with pytest.warns(DeprecationWarning,
-                          match=r"^repro\.core\.batchreplay\.replay_kernel"):
-            legacy = replay_kernel(trace, spec.factory, mode=spec.mode, rng=2)
-        new = run_kernel(trace, spec.factory, mode=spec.mode, rng=2)
-        assert np.array_equal(legacy.estimates, new.estimates)
+        with pytest.raises(AttributeError):
+            runner.replay  # noqa: B018 — removed wrapper must not resolve
+        with pytest.raises(AttributeError):
+            batchreplay.replay_kernel  # noqa: B018
+        with pytest.raises(AttributeError):
+            batchreplay.replay_batch  # noqa: B018
+        assert "replay" not in runner.__all__
+        assert "replay_batch" not in batchreplay.__all__
 
-    def test_replay_batch_warns_and_matches_run_kernel(self, trace):
-        with pytest.warns(DeprecationWarning,
-                          match=r"^repro\.core\.batchreplay\.replay_batch"):
-            legacy = replay_batch(trace, B, rng=4)
+    def test_harness_package_still_reexports_facade_replay(self):
+        import repro.harness
 
-        def factory(lanes, gen, replicas):
-            return DiscoKernel(lanes, gen, replicas, b=B, capacity_bits=None)
-
-        new = run_kernel(trace, factory, mode="volume", rng=4)
-        assert np.array_equal(legacy.counters, new.counters)
+        assert repro.harness.replay is replay
 
 
 class TestTelemetryIntegration:

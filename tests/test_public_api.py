@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.harness",
     "repro.apps",
     "repro.export",
+    "repro.serve",
 ]
 
 MODULES = [
@@ -69,6 +70,11 @@ MODULES = [
     "repro.apps.distribution",
     "repro.export.records",
     "repro.export.collector",
+    "repro.serve.client",
+    "repro.serve.daemon",
+    "repro.serve.feeds",
+    "repro.serve.httpd",
+    "repro.serve.queries",
 ]
 
 
@@ -105,7 +111,7 @@ EXPECTED_ALL = {
         "expected_counter_upper_bound", "expected_increment", "geometric",
         "kernel_scheme_names", "kernel_spec", "load_sketch", "merge_counters",
         "merge_sketches", "merged_estimate", "relative_stddev",
-        "replay_batch", "run_kernel", "save_sketch", "vector_spec",
+        "run_kernel", "save_sketch", "vector_spec",
     ],
     "repro.harness": [
         "BiasVarianceReport", "ENGINES", "ReplayJob", "ReportConfig",
@@ -140,6 +146,10 @@ EXPECTED_ALL = {
     "repro.faults": [
         "FaultInjector", "FaultPlan", "FaultSpec", "SITES", "WORKER_SITES",
         "active", "arm", "disarm", "fire", "resolve_plan",
+    ],
+    "repro.serve": [
+        "DaemonHandle", "Feed", "GeneratorFeed", "QueryEngine", "ServeClient",
+        "ServeDaemon", "SocketFeed", "TraceFeed", "build_daemon", "make_feed",
     ],
 }
 

@@ -35,7 +35,9 @@ from repro import (
 from repro.core.batchreplay import run_kernel
 from repro.core.kernels import kernel_spec
 from repro.errors import ParameterError
+from repro.export.collector import Collector
 from repro.harness.parallel import shutdown_pool
+from repro.serve import GeneratorFeed, build_daemon
 from repro.schemes import SchemeFactory, scheme_spec
 from repro.traces.compiled import compile_trace
 from repro.traces.nlanr import nlanr_like
@@ -413,3 +415,111 @@ class TestCheckpointStoreBackends:
         dense = stream(factory, compiled, store="dense", **kwargs)
         pools = stream(factory, compiled, store="pools", **kwargs)
         assert pools.estimates_dict() == dense.estimates_dict()
+
+
+# ---------------------------------------------------------------------------
+# snapshot merge guards
+# ---------------------------------------------------------------------------
+
+class TestSnapshotMergeGuards:
+    """A collector must refuse to merge epochs from incomparable runs."""
+
+    def _snapshots(self, compiled, factory, **kwargs):
+        return stream(factory, compiled,
+                      epoch_packets=compiled.num_packets // 3, rng=0,
+                      **kwargs).snapshots
+
+    def test_collector_rejects_scheme_mismatch(self, compiled):
+        exact = self._snapshots(compiled, scheme_factory("exact"))
+        disco = self._snapshots(compiled, scheme_factory("disco", b=B, seed=0))
+        collector = Collector()
+        collector.ingest_snapshot(exact[0])
+        with pytest.raises(ParameterError, match="snapshot scheme mismatch"):
+            collector.ingest_snapshot(disco[0])
+
+    def test_collector_rejects_store_mismatch(self, compiled):
+        factory = scheme_factory("disco", b=B, seed=0)
+        dense = self._snapshots(compiled, factory, store="dense")
+        pools = self._snapshots(compiled, factory, store="pools")
+        collector = Collector()
+        collector.ingest_snapshot(dense[0])
+        with pytest.raises(ParameterError, match="snapshot store mismatch"):
+            collector.ingest_snapshot(pools[0])
+
+    def test_same_config_epochs_still_merge(self, compiled):
+        snapshots = self._snapshots(compiled, scheme_factory("exact"))
+        assert len(snapshots) >= 2
+        collector = Collector()
+        for snapshot in snapshots:
+            collector.ingest_snapshot(snapshot)
+        assert collector.intervals == len(snapshots)
+
+    def test_snapshot_json_carries_store(self, compiled):
+        snapshot = self._snapshots(compiled,
+                                   scheme_factory("disco", b=B, seed=0),
+                                   store="pools")[0]
+        assert snapshot.store == "pools"
+        assert snapshot.to_json()["store"] == "pools"
+
+
+# ---------------------------------------------------------------------------
+# validation-message parity
+# ---------------------------------------------------------------------------
+
+class TestValidationParity:
+    """Every entrypoint funnels through ``repro.facade._validate``, so the
+    same bad argument must raise the *identical* message everywhere —
+    replay, stream, StreamSession and the serve daemon builder."""
+
+    def _msg(self, fn):
+        with pytest.raises(ParameterError) as excinfo:
+            fn()
+        return str(excinfo.value)
+
+    def test_shards_message_identical(self, compiled):
+        factory = scheme_factory("exact")
+        messages = {
+            self._msg(lambda: stream(factory, compiled, shards=0)),
+            self._msg(lambda: StreamSession(factory, shards=0)),
+            self._msg(lambda: build_daemon(factory, GeneratorFeed([]),
+                                           shards=0)),
+        }
+        assert messages == {"shards must be >= 1, got 0"}
+
+    def test_chunk_packets_message_identical(self, compiled):
+        factory = scheme_factory("exact")
+        messages = {
+            self._msg(lambda: stream(factory, compiled, chunk_packets=0)),
+            self._msg(lambda: StreamSession(factory, chunk_packets=0)),
+        }
+        assert messages == {"chunk_packets must be >= 1, got 0"}
+
+    def test_stream_engine_message_identical(self, compiled):
+        factory = scheme_factory("exact")
+        messages = {
+            self._msg(lambda: StreamSession(factory, engine="python")),
+            self._msg(lambda: build_daemon(factory, GeneratorFeed([]),
+                                           engine="python")),
+        }
+        assert messages == {
+            "stream engine must be 'vector' or 'native', got 'python'"
+        }
+
+    def test_resume_message_identical(self, compiled):
+        factory = scheme_factory("exact")
+        messages = {
+            self._msg(lambda: stream(factory, compiled, resume=True)),
+            self._msg(lambda: build_daemon(factory, GeneratorFeed([]),
+                                           resume=True)),
+        }
+        assert messages == {"resume=True needs checkpoint_path="}
+
+    def test_workers_message_identical(self, compiled):
+        factory = scheme_factory("exact")
+        messages = {
+            self._msg(lambda: stream(factory, compiled, workers=0)),
+            self._msg(lambda: StreamSession(factory, workers=0)),
+            self._msg(lambda: build_daemon(factory, GeneratorFeed([]),
+                                           workers=0)),
+        }
+        assert messages == {"workers must be >= 1, got 0"}
