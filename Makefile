@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-nonative test-faults serve-smoke bench bench-gate bench-gate-quick bench-mem report examples all
+.PHONY: install lint test test-nonative test-faults serve-smoke bench bench-gate bench-gate-quick bench-mem bench-shootout bench-shootout-quick report examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -57,10 +57,19 @@ bench-mem:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_memory_stores.py
 	PYTHONPATH=src $(PYTHON) examples/ten_million_flows.py --flows 10000000 --record
 
+# Beyond-the-paper comparator shootout (DISCO / SAC / ANLS / SD / ICE /
+# AEE): the full run regenerates docs/shootout.md from measurements;
+# the quick run (<60s) prints the table without touching the doc.
+bench-shootout:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_shootout.py
+
+bench-shootout-quick:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_shootout.py --quick
+
 report:
 	$(PYTHON) -m repro report --out report.md
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; echo "all examples ran"
 
-all: lint test test-nonative test-faults serve-smoke bench bench-gate-quick
+all: lint test test-nonative test-faults serve-smoke bench bench-gate-quick bench-shootout-quick

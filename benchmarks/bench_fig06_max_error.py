@@ -12,10 +12,15 @@ def test_fig06_max_error(benchmark, volume_sweep):
     print()
     print("Figure 6 — maximum relative error (flow volume), NLANR-like trace")
     print(render_table(
-        ["counter bits", "DISCO max R", "SAC max R"],
-        [[r.counter_bits, r.disco.maximum, r.sac.maximum] for r in rows],
+        ["counter bits", "DISCO max R", "SAC max R", "ICE max R",
+         "AEE max R"],
+        [[r.counter_bits, r.disco.maximum, r.sac.maximum, r.ice.maximum,
+          r.aee.maximum] for r in rows],
     ))
     for r in rows:
         assert r.disco.maximum < r.sac.maximum
+        # The comparators' worst case is well-defined (no flow lost).
+        assert 0.0 < r.ice.maximum < 1.0
+        assert r.aee.maximum > 0.0
     disco = [r.disco.maximum for r in rows]
     assert disco == sorted(disco, reverse=True)

@@ -13,12 +13,18 @@ def test_fig07_optimistic_error(benchmark, volume_sweep):
     print()
     print("Figure 7 — 0.95-optimistic relative error (flow volume)")
     print(render_table(
-        ["counter bits", "DISCO R_o(0.95)", "SAC R_o(0.95)"],
-        [[r.counter_bits, r.disco.optimistic_95, r.sac.optimistic_95] for r in rows],
+        ["counter bits", "DISCO R_o(0.95)", "SAC R_o(0.95)",
+         "ICE R_o(0.95)", "AEE R_o(0.95)"],
+        [[r.counter_bits, r.disco.optimistic_95, r.sac.optimistic_95,
+          r.ice.optimistic_95, r.aee.optimistic_95] for r in rows],
     ))
     for r in rows:
         assert r.disco.optimistic_95 < r.sac.optimistic_95
         # The quantile sits between the average and the maximum.
         assert r.disco.average <= r.disco.optimistic_95 <= r.disco.maximum
+        assert r.ice.average <= r.ice.optimistic_95 <= r.ice.maximum
+        # AEE's heavy-tailed relative errors can pull the *mean* above
+        # the 95th percentile, so only the quantile/max ordering holds.
+        assert 0.0 < r.aee.optimistic_95 <= r.aee.maximum
     disco = [r.disco.optimistic_95 for r in rows]
     assert disco == sorted(disco, reverse=True)

@@ -1,0 +1,275 @@
+"""Beyond-the-paper shootout: accuracy vs. memory vs. throughput.
+
+The paper compares DISCO against SAC and ANLS on accuracy alone.  This
+bench widens the field to every registered comparator with a columnar
+kernel — DISCO, SAC, ANLS (per-unit), SD, ICE Buckets and AEE — and
+scores all three axes a deployment actually trades between:
+
+* **accuracy** — mean and 0.95-quantile relative error over a few
+  seeded replays of the NLANR-like trace,
+* **memory** — the per-flow counter word the scheme's exported state
+  needs (``RunResult.max_counter_bits``),
+* **throughput** — replayed packets per second on the columnar vector
+  engine, plus the compiled native engine when available.
+
+Every scheme is sized from the *same* per-budget word width, so a row
+answers "what does this scheme give me for N bits per flow?".  SD is
+the oddball: the budget sizes its SRAM tier, its table word is the
+full-size DRAM counter behind it, and its error is traffic lost to
+SRAM saturation between DRAM flush slots — the generated doc says so
+rather than hiding it.
+
+Run it directly (``make bench-shootout``) to regenerate
+``docs/shootout.md`` from measurements::
+
+    PYTHONPATH=src python benchmarks/bench_shootout.py           # full
+    PYTHONPATH=src python benchmarks/bench_shootout.py --quick   # <60s
+
+Quick mode shrinks the trace, budget list and seed count and prints the
+table without rewriting the committed doc (pass ``--out`` to force a
+write).  Under ``pytest`` (``make bench``) the tiny
+:func:`test_shootout_ranks_schemes` keeps the harness honest.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent
+#: The committed, generated artifact (full mode's default ``--out``).
+DOC_PATH = ROOT.parent / "docs" / "shootout.md"
+
+SEED = 20100621
+#: Counter-word budgets swept in full / quick mode.
+FULL_BUDGETS = (8, 10, 12, 16)
+QUICK_BUDGETS = (8, 12)
+FULL_SEEDS = 3
+QUICK_SEEDS = 2
+
+#: Registry names in presentation order, with display labels.
+SCHEMES = ("disco", "sac", "anls2", "sd", "ice", "aee")
+LABELS = {
+    "disco": "DISCO",
+    "sac": "SAC",
+    "anls2": "ANLS",
+    "sd": "SD",
+    "ice": "ICE",
+    "aee": "AEE",
+}
+
+
+def build_shootout_trace(quick: bool = False, rng: int = SEED):
+    """The compiled NLANR-like workload both axes are measured on.
+
+    Full mode uses 5x the flow count of the figure benches: the same
+    heavy-tailed mix, but enough packets that the timed vector pass
+    dominates per-replay overhead and the pps column means something.
+    """
+    from repro.traces.compiled import compile_trace
+    from repro.traces.nlanr import nlanr_like
+
+    if quick:
+        trace = nlanr_like(num_flows=300, mean_flow_bytes=10_000,
+                           max_flow_bytes=400_000, rng=rng)
+    else:
+        trace = nlanr_like(num_flows=2_000, mean_flow_bytes=30_000,
+                           max_flow_bytes=3_000_000, rng=rng)
+    return compile_trace(trace)
+
+
+def _build(name: str, bits: int, max_length: float, seed: int):
+    from repro.schemes import make_scheme
+
+    if name == "sd":
+        # SD's word budget is its SRAM tier; the generic bits= knob is
+        # unused by its builder.
+        return make_scheme("sd", sram_bits=bits, seed=seed)
+    if name in ("sac", "ice"):
+        return make_scheme(name, bits=bits, seed=seed)
+    # disco / anls2 / aee size their estimator from the largest flow.
+    return make_scheme(name, bits=bits, max_length=max_length, seed=seed)
+
+
+def run_shootout(trace, budgets, seeds: int, include_native: bool = True):
+    """Measure every scheme at every budget; returns one dict per row.
+
+    Accuracy is averaged over ``seeds`` independently seeded replays;
+    throughput is the best (least noisy) of those timed vector passes.
+    The optional native column is one extra compiled replay per row.
+    """
+    from repro.core import native
+    from repro.facade import replay
+
+    truths = trace.true_totals("volume")
+    max_length = max(truths.values())
+    use_native = include_native and native.available()
+    rows = []
+    for bits in budgets:
+        for name in SCHEMES:
+            avg_errors, p95_errors, pps = [], [], []
+            word_bits = bits
+            for s in range(seeds):
+                scheme = _build(name, bits, max_length, SEED + 17 + s)
+                result = replay(scheme, trace, rng=SEED + 29 + s,
+                                engine="vector")
+                avg_errors.append(result.summary.average)
+                p95_errors.append(result.summary.optimistic_95)
+                pps.append(result.packets / result.elapsed_seconds)
+                word_bits = result.max_counter_bits
+            native_pps = None
+            if use_native:
+                scheme = _build(name, bits, max_length, SEED + 17)
+                result = replay(scheme, trace, rng=SEED + 29,
+                                engine="native")
+                native_pps = result.packets / result.elapsed_seconds
+            rows.append({
+                "scheme": LABELS[name],
+                "budget_bits": bits,
+                "word_bits": word_bits,
+                "avg_error": sum(avg_errors) / len(avg_errors),
+                "p95_error": sum(p95_errors) / len(p95_errors),
+                "vector_mpps": max(pps) / 1e6,
+                "native_mpps": None if native_pps is None
+                else native_pps / 1e6,
+            })
+    return rows
+
+
+def render_ascii(rows) -> str:
+    from repro.harness.formatting import render_table
+
+    return render_table(
+        ["scheme", "budget", "word bits", "avg rel err", "p95 rel err",
+         "vector Mpps", "native Mpps"],
+        [[r["scheme"], r["budget_bits"], r["word_bits"], r["avg_error"],
+          r["p95_error"], r["vector_mpps"],
+          "-" if r["native_mpps"] is None else r["native_mpps"]]
+         for r in rows],
+    )
+
+
+def render_markdown(rows, trace, seeds: int) -> str:
+    """The committed ``docs/shootout.md`` body, fully generated."""
+    budgets = sorted({r["budget_bits"] for r in rows})
+    have_native = any(r["native_mpps"] is not None for r in rows)
+    lines = [
+        "<!-- generated by benchmarks/bench_shootout.py -- do not "
+        "hand-edit; run `make bench-shootout` to refresh -->",
+        "",
+        "# Scheme shootout: accuracy vs. memory vs. throughput",
+        "",
+        "The paper's evaluation compares DISCO with SAC and ANLS on",
+        "accuracy alone.  This table goes beyond it: every registered",
+        "comparator with a columnar kernel, scored on the three axes a",
+        "deployment trades between — relative error, counter word width,",
+        "and replay throughput on this repo's engines.  All schemes at a",
+        "given budget are sized from the same word width; DISCO, ANLS",
+        "and AEE derive their estimator parameter from the trace's",
+        f"largest flow.  Workload: `{trace.name}`, "
+        f"{trace.num_flows} flows, {trace.num_packets} packets;",
+        f"errors averaged over {seeds} seeded vector replays,",
+        "throughput is the best timed pass.",
+        "",
+    ]
+    header = ("| scheme | word bits | mean rel. error | p95 rel. error "
+              "| vector Mpps |")
+    divider = "|---|---|---|---|---|"
+    if have_native:
+        header += " native Mpps |"
+        divider += "---|"
+    for bits in budgets:
+        lines.append(f"## {bits}-bit budget")
+        lines.append("")
+        lines.append(header)
+        lines.append(divider)
+        for r in rows:
+            if r["budget_bits"] != bits:
+                continue
+            cells = [r["scheme"], str(r["word_bits"]),
+                     f"{r['avg_error']:.4f}", f"{r['p95_error']:.4f}",
+                     f"{r['vector_mpps']:.2f}"]
+            if have_native:
+                cells.append("-" if r["native_mpps"] is None
+                             else f"{r['native_mpps']:.2f}")
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    lines += [
+        "## Reading the table",
+        "",
+        "* **DISCO / SAC / ANLS** give *multiplicative* guarantees:",
+        "  relative error falls roughly geometrically with the word",
+        "  width.  DISCO holds the best error across the paper's 8-12",
+        "  bit range; by 16 bits SAC and ICE catch up on this trace.",
+        "* **ICE Buckets** spends its bits on per-bucket independent",
+        "  scales: mice in quiet buckets stay exact while an elephant",
+        "  coarsens only its own bucket, so its error sits between SAC",
+        "  and DISCO at equal width.",
+        "* **AEE**'s guarantee is *additive* (~1/sqrt(p)): sized from",
+        "  the largest flow, its sampling probability stays small at",
+        "  every width here and mouse flows dominate the *relative*-",
+        "  error mean — the regime contrast with the multiplicative",
+        "  schemes is the point of the column.  It buys the fastest",
+        "  update path in the field in exchange.",
+        "* **SD** keeps full-size DRAM counters (the wider word shown)",
+        "  behind a small SRAM tier sized by the budget; it is exact",
+        "  while the LCF flush keeps up, and its error at small widths",
+        "  is traffic lost to SRAM saturation between DRAM slots.  Its",
+        "  real deployment cost — off-chip DRAM bandwidth — is not",
+        "  visible in bits/flow on this host.",
+        "",
+        "Regenerate with `make bench-shootout` (full) or preview with",
+        "`make bench-shootout-quick` (<60s, prints without rewriting",
+        "this file).",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def test_shootout_ranks_schemes(benchmark):
+    """Tiny end-to-end shootout: all six schemes, sane orderings."""
+    trace = build_shootout_trace(quick=True)
+    rows = benchmark.pedantic(
+        lambda: run_shootout(trace, budgets=(10,), seeds=1,
+                             include_native=False),
+        rounds=1, iterations=1)
+    by = {r["scheme"]: r for r in rows}
+    assert set(by) == set(LABELS.values())
+    assert by["DISCO"]["avg_error"] < by["SAC"]["avg_error"]
+    # SD's table word is the full-size DRAM counter behind its SRAM tier.
+    assert by["SD"]["word_bits"] > 10
+    for r in rows:
+        assert r["vector_mpps"] > 0.0
+        assert 0.0 <= r["avg_error"] == r["avg_error"]
+        assert r["p95_error"] >= 0.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small trace, fewer budgets/seeds; prints "
+                             "without rewriting the committed doc")
+    parser.add_argument("--out", type=Path, default=None,
+                        help=f"markdown output path (full-mode default: "
+                             f"{DOC_PATH})")
+    args = parser.parse_args(argv)
+
+    budgets = QUICK_BUDGETS if args.quick else FULL_BUDGETS
+    seeds = QUICK_SEEDS if args.quick else FULL_SEEDS
+    trace = build_shootout_trace(quick=args.quick)
+    print(f"shootout on {trace.name}: {trace.num_flows} flows, "
+          f"{trace.num_packets} packets; budgets {budgets}, "
+          f"{seeds} seeds per cell")
+    rows = run_shootout(trace, budgets, seeds)
+    print(render_ascii(rows))
+
+    out = args.out
+    if out is None and not args.quick:
+        out = DOC_PATH
+    if out is not None:
+        out.write_text(render_markdown(rows, trace, seeds))
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(ROOT.parent / "src"))
+    raise SystemExit(main())

@@ -70,7 +70,7 @@ BASELINE_PATH = ROOT / "baseline.json"
 HISTORY_PATH = ROOT.parent / "BENCH_perf.json"
 
 #: Comparator schemes with columnar kernels, gated python-vs-vector.
-COMPARATOR_NAMES = ("sac", "anls1", "anls2", "sd")
+COMPARATOR_NAMES = ("sac", "anls1", "anls2", "sd", "ice", "aee")
 
 #: Kernels timed native-vs-vector by :func:`measure_native`.
 NATIVE_NAMES = ("exact",) + COMPARATOR_NAMES
@@ -99,6 +99,8 @@ NATIVE_FLOORS = {
     "sac": 1.5,
     "anls1": 1.5,
     "exact": 1.5,
+    "ice": 1.5,
+    "aee": 1.5,
 }
 #: Absolute floor on ``perf_stream_native_vs_vector`` — a sharded
 #: stream whose chunks replay with ``engine="native"`` must recover the
@@ -189,6 +191,9 @@ def _comparator_schemes(seed: int):
         "anls2": make_scheme("anls2", b=DISCO_B, seed=seed),
         "sd": make_scheme("sd", sram_bits=12, dram_access_ratio=12,
                           seed=seed),
+        "ice": make_scheme("ice", bits=10, seed=seed),
+        "aee": make_scheme("aee", bits=16, max_length=COMPARATOR_MAX_BYTES,
+                           seed=seed),
     }
 
 

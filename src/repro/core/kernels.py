@@ -69,6 +69,8 @@ __all__ = [
     "AnlsPerUnitKernel",
     "SdKernel",
     "ExactKernel",
+    "AeeKernel",
+    "IceKernel",
 ]
 
 
@@ -1221,3 +1223,309 @@ def exact_kernel_spec(scheme) -> Optional[KernelSpec]:
 
 
 _register("exact", "always (bit-identical: deterministic integer sums)")
+
+
+# ---------------------------------------------------------------------------
+# AEE — additive error estimation
+# ---------------------------------------------------------------------------
+
+class AeeKernel(SchemeKernel):
+    """Columnar AEE: one Bernoulli(``p``) trial per packet, constant ``p``.
+
+    The sampling probability never depends on the counter value, so the
+    update law is a bare compare-add — the cheapest law in the kernel
+    zoo, and the reason AEE's native lowering
+    (:func:`repro.core.native.aee_runner`) is *bit-identical* to this
+    vector path where the multiplicative schemes (SAC, DISCO) only
+    manage distributional equivalence: the whole replay's uniform
+    stream can be pre-drawn because nothing about its consumption is
+    data-dependent.
+    """
+
+    supports_tail = True
+    preferred_min_lanes = 8
+    resumable = True
+
+    def __init__(self, lanes: int, gen: np.random.Generator, replicas: int,
+                 p: float, total_bits: int) -> None:
+        super().__init__(lanes, gen, replicas)
+        self.p = float(p)
+        self.total_bits = int(total_bits)
+        self.max_value = (1 << self.total_bits) - 1
+        self.c = np.zeros(max(lanes, 1), dtype=np.int64)
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"c": self.c}
+
+    def native_step(self):
+        from repro.core import native
+
+        return native.aee_runner(self)
+
+    def step_column(self, column, active: int) -> None:
+        c = self.c[:active]
+        sampled = self.gen.random(active) < self.p
+        if isinstance(column, np.ndarray):
+            c += np.where(sampled, column.astype(np.int64), 0)
+        else:
+            c += sampled.astype(np.int64) * int(column)
+        over = c > self.max_value
+        n_over = int(np.count_nonzero(over))
+        if n_over:
+            self.saturation_events += n_over
+            np.minimum(c, self.max_value, out=c)
+
+    def tail_flow(self, lane: int, lengths: Optional[np.ndarray],
+                  count: int) -> None:
+        # Constant p: the whole tail is one Bernoulli mask and a masked
+        # sum — no per-packet loop, and nothing reads the running
+        # counter, so the native runner reuses this method verbatim
+        # (clamp-at-end equals clamp-per-packet for non-negative adds).
+        hit = self.gen.random(count) < self.p
+        c = int(self.c[lane])
+        if lengths is None:
+            c += int(np.count_nonzero(hit))
+        else:
+            c += int(lengths[hit].astype(np.int64).sum())
+        if c > self.max_value:
+            self.saturation_events += 1
+            c = self.max_value
+        self.c[lane] = c
+
+    def counters(self) -> np.ndarray:
+        return self.c[: self.lanes].copy()
+
+    def estimates(self) -> np.ndarray:
+        return self.c[: self.lanes].astype(np.float64) / self.p
+
+    def writeback(self, scheme, keys: List, packets: int) -> None:
+        final = self._replica0(self.c[: self.lanes])
+        scheme._state = {k: int(c) for k, c in zip(keys, final)}
+        scheme.saturation_events += self.saturation_events
+        scheme.packets_observed += packets
+
+
+def aee_kernel_spec(scheme) -> Optional[KernelSpec]:
+    from repro.counters.aee import AeeCounters
+
+    if type(scheme) is not AeeCounters:
+        return None
+    p, total_bits = scheme.p, scheme.total_bits
+    return KernelSpec(
+        scheme=scheme.name,
+        mode=scheme.mode,
+        factory=lambda lanes, gen, replicas: AeeKernel(
+            lanes, gen, replicas, p=p, total_bits=total_bits),
+    )
+
+
+_register("aee", "any fresh AEE array (constant-p compare-add)")
+
+
+# ---------------------------------------------------------------------------
+# ICE Buckets — per-bucket independent estimation scale
+# ---------------------------------------------------------------------------
+
+class IceKernel(SchemeKernel):
+    """Columnar ICE Buckets: per-lane counters, per-bucket scale level.
+
+    Lanes are flow-major, so a bucket's lanes for one replica are the
+    strided slice ``fb * bucket_flows * R + rep :: R`` — replicas are
+    independent arrays and carry independent bucket scales.  The scale
+    is *stored per lane* (mirroring the bucket's shared level into every
+    member) so exported :class:`KernelState` rows are self-describing:
+    a by-key load can land carried rows in different buckets and
+    :meth:`_rebucket` restores the shared-scale invariant afterwards.
+    """
+
+    supports_tail = True
+    preferred_min_lanes = 16
+    resumable = True
+
+    def __init__(self, lanes: int, gen: np.random.Generator, replicas: int,
+                 total_bits: int, bucket_flows: int) -> None:
+        super().__init__(lanes, gen, replicas)
+        self.total_bits = int(total_bits)
+        self.bucket_flows = int(bucket_flows)
+        self.limit = 1 << self.total_bits
+        n = max(lanes, 1)
+        self.c = np.zeros(n, dtype=np.int64)
+        self.s = np.zeros(n, dtype=np.int64)
+        # Per-lane 2^-s, maintained alongside ``s`` on the (rare) scale
+        # changes so the per-column hot path is a multiply, not an exp2.
+        self._inv = np.ones(n, dtype=np.float64)
+        lane_idx = np.arange(n, dtype=np.int64)
+        self._rep = lane_idx % self.replicas
+        self._fb = lane_idx // self.replicas // self.bucket_flows
+        # Lane -> bucket id ((fb, rep) flattened) for the batched drain.
+        self._bid = self._fb * self.replicas + self._rep
+        self._nb = int(self._bid.max()) + 1
+        self.bucket_upscales = 0
+
+    def native_step(self):
+        from repro.core import native
+
+        return native.ice_runner(self)
+
+    # -- vector internals ---------------------------------------------------
+
+    def _prob_round(self, x: np.ndarray) -> np.ndarray:
+        """Unbiased rounding: floor(x) + Bernoulli(frac(x)), elementwise."""
+        base = np.floor(x)
+        frac = x - base
+        return base.astype(np.int64) + (self.gen.random(x.shape) < frac)
+
+    def _bucket_slice(self, lane: int) -> slice:
+        rep = int(lane) % self.replicas
+        fb = int(lane) // self.replicas // self.bucket_flows
+        start = fb * self.bucket_flows * self.replicas + rep
+        stop = min((fb + 1) * self.bucket_flows * self.replicas, self.c.size)
+        return slice(start, stop, self.replicas)
+
+    def _upscale(self, lane: int) -> None:
+        """Grow ``lane``'s bucket scale: halve every member, prob-rounded.
+
+        Local O(bucket_flows) work — the whole point of ICE versus SAC's
+        global renormalisation sweep.
+        """
+        sl = self._bucket_slice(lane)
+        self.s[sl] += 1
+        self._inv[sl] *= 0.5
+        self.c[sl] = self._prob_round(self.c[sl] * 0.5)
+        self.bucket_upscales += 1
+
+    def step_column(self, column, active: int) -> None:
+        # One fused unbiased round: floor(x + u) with u ~ U[0,1) adds
+        # ceil(x) with probability frac(x) — same law as
+        # :meth:`_prob_round` in half the array passes.
+        if isinstance(column, np.ndarray):
+            x = column * self._inv[:active]
+        else:
+            x = float(column) * self._inv[:active]
+        x += self.gen.random(active)
+        self.c[:active] += np.floor(x).astype(np.int64)
+        self._drain(active)
+
+    def _drain(self, active: int) -> None:
+        """Up-scale buckets until every counter fits its word again.
+
+        Batched: every over-limit bucket is halved in one gather —
+        including members past ``active`` (shorter flows already
+        finished still share the bucket's scale), exactly as the
+        per-lane :meth:`_upscale` slices do.
+        """
+        while True:
+            view = self.c[:active]
+            if view.max(initial=0) < self.limit:
+                return
+            over_bids = np.unique(self._bid[:active][view >= self.limit])
+            btab = np.zeros(self._nb, dtype=bool)
+            btab[over_bids] = True
+            mask = btab[self._bid]
+            self.s[mask] += 1
+            self._inv[mask] *= 0.5
+            self.c[mask] = self._prob_round(self.c[mask] * 0.5)
+            self.bucket_upscales += int(over_bids.size)
+
+    # -- scalar tail --------------------------------------------------------
+
+    def tail_flow(self, lane: int, lengths: Optional[np.ndarray],
+                  count: int) -> None:
+        draw = self._draw()
+        limit = self.limit
+        c_arr, s_arr = self.c, self.s
+        py_lens = lengths.tolist() if lengths is not None else None
+        for i in range(count):
+            amount = py_lens[i] if py_lens is not None else 1.0
+            x = amount / float(1 << int(s_arr[lane]))
+            base = math.floor(x)
+            frac = x - base
+            c_arr[lane] += int(base) + (1 if frac > 0.0 and draw() < frac
+                                        else 0)
+            while c_arr[lane] >= limit:
+                # Rare: upscale the whole bucket vectorised (gen-driven),
+                # same law as the column phase's drain.
+                self._upscale(lane)
+
+    # -- resumable state ----------------------------------------------------
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        return {"c": self.c, "s": self.s}
+
+    def load_state(self, keys: List, state: KernelState) -> None:
+        super().load_state(keys, state)
+        np.exp2(-self.s.astype(np.float64), out=self._inv)
+        self._rebucket()
+
+    def _rebucket(self) -> None:
+        """Restore the shared-scale invariant after a by-key load.
+
+        Carried rows land wherever this replay's key order puts them, so
+        one bucket can receive lanes exported under different scales.
+        Bring every lagging lane up to its bucket's deepest scale with
+        one unbiased probabilistic re-encode (``c / 2^(smax - s)``,
+        prob-rounded).  Draws come from the kernel's seeded generator,
+        so a resumed replay stays a deterministic function of its seed.
+        """
+        n = self.c.size
+        R = self.replicas
+        width = self.bucket_flows * R
+        for base in range(0, n, width):
+            for rep in range(R):
+                sl = slice(base + rep, min(base + width, n), R)
+                s = self.s[sl]
+                smax = int(s.max(initial=0))
+                if smax == 0 or not (s < smax).any():
+                    continue
+                shift = np.exp2((smax - s).astype(np.float64))
+                self.c[sl] = self._prob_round(self.c[sl] / shift)
+                self.s[sl] = smax
+                self._inv[sl] = np.exp2(-float(smax))
+
+    # -- read-out -----------------------------------------------------------
+
+    def counters(self) -> np.ndarray:
+        return self.c[: self.lanes].copy()
+
+    def estimates(self) -> np.ndarray:
+        lanes = self.lanes
+        return self.c[:lanes].astype(np.float64) * np.exp2(
+            self.s[:lanes].astype(np.float64))
+
+    def telemetry_events(self) -> Dict[str, int]:
+        events = super().telemetry_events()
+        events["kernel.ice.bucket_upscales"] = self.bucket_upscales
+        return events
+
+    def writeback(self, scheme, keys: List, packets: int) -> None:
+        final_c = self._replica0(self.c[: self.lanes])
+        final_s = self._replica0(self.s[: self.lanes])
+        bf = self.bucket_flows
+        scheme._state = {k: int(c) for k, c in zip(keys, final_c)}
+        scheme._bucket_of = {k: i // bf for i, k in enumerate(keys)}
+        members: Dict[int, List] = {}
+        for i, k in enumerate(keys):
+            members.setdefault(i // bf, []).append(k)
+        scheme._members = members
+        scheme._scale = {b: int(final_s[b * bf])
+                         for b in range((len(keys) + bf - 1) // bf)}
+        scheme.bucket_upscales += self.bucket_upscales
+        scheme.packets_observed += packets
+
+
+def ice_kernel_spec(scheme) -> Optional[KernelSpec]:
+    from repro.counters.ice import IceBuckets
+
+    if type(scheme) is not IceBuckets:
+        return None
+    total_bits, bucket_flows = scheme.total_bits, scheme.bucket_flows
+    return KernelSpec(
+        scheme=scheme.name,
+        mode=scheme.mode,
+        factory=lambda lanes, gen, replicas: IceKernel(
+            lanes, gen, replicas, total_bits=total_bits,
+            bucket_flows=bucket_flows),
+    )
+
+
+_register("ice", "any fresh ICE bucket array")

@@ -41,14 +41,18 @@ Bit-identity
   counter, so the native path pre-draws the identical stream (NumPy
   ``Generator.random`` is chunk-transparent) and compares against a
   NumPy-computed probability table: bit-identical.
+* **AEE** — the easiest case of all: the sampling probability is a
+  *constant*, so the column phase is a pre-drawn compare-add and the
+  tail reuses the kernel's own vectorised mask-and-sum: bit-identical.
 * **DISCO** — the columnar update recomputes transcendentals in C
   (libm's last-ulp behaviour may differ from NumPy's SIMD kernels), so
   it is distributionally equivalent; the dwell tail, a bare float
   compare loop over NumPy-computed thresholds, stays bit-identical.
-* **SAC / ANLS-II / SD** — the vector paths draw data-dependent amounts
-  of randomness (renormalisation cascades, geometric jump rounds) that
-  no pre-drawn stream can mirror; the native lowerings replay the same
-  update law with their own draw order: distributionally equivalent.
+* **SAC / ANLS-II / SD / ICE** — the vector paths draw data-dependent
+  amounts of randomness (renormalisation cascades, geometric jump
+  rounds, bucket up-scales) that no pre-drawn stream can mirror; the
+  native lowerings replay the same update law with their own draw
+  order: distributionally equivalent.
 """
 
 from __future__ import annotations
@@ -79,6 +83,8 @@ __all__ = [
     "anls2_runner",
     "sd_runner",
     "exact_runner",
+    "aee_runner",
+    "ice_runner",
 ]
 
 #: Environment kill-switch: set to any non-empty value to mask every
@@ -176,6 +182,75 @@ void repro_anls_tail(const double *thresholds, const double *lengths,
             if (c < thresholds[k]) c += 1.0;
     }
     *c_io = (int64_t)c;
+}
+
+/* ---------------- AEE: constant-p compare-add ---------------- */
+
+void repro_aee_columns(const double *lengths, const int64_t *offsets,
+                       const int64_t *actives, int64_t t_end, int64_t R,
+                       int64_t volume, const double *u, double p,
+                       int64_t max_value, int64_t *c, int64_t *sat)
+{
+    int64_t ui = 0;
+    for (int64_t t = 0; t < t_end; t++) {
+        int64_t act = actives[t];
+        for (int64_t i = 0; i < act; i++) {
+            int64_t amount = volume ? (int64_t)lengths[offsets[i] + t] : 1;
+            for (int64_t r = 0; r < R; r++) {
+                int64_t lane = i * R + r;
+                if (u[ui++] < p) {
+                    int64_t nc = c[lane] + amount;
+                    if (nc > max_value) {
+                        (*sat)++;
+                        nc = max_value;
+                    }
+                    c[lane] = nc;
+                }
+            }
+        }
+    }
+}
+
+/* ---------------- ICE Buckets: per-bucket scale ---------------- */
+
+void repro_ice(const double *lengths, const int64_t *offsets,
+               const int64_t *actives, int64_t ncols, int64_t nflows,
+               int64_t R, int64_t volume, int64_t limit,
+               int64_t bucket_flows, double *ubuf, int64_t ucap,
+               refill_t refill, int64_t *c, int64_t *s,
+               int64_t *upscales)
+{
+    ustream us = {ubuf, ucap, 0, 0, refill};
+    int64_t lanes = nflows * R;
+    for (int64_t t = 0; t < ncols; t++) {
+        int64_t act = actives[t];
+        for (int64_t i = 0; i < act; i++) {
+            double amount = volume ? lengths[offsets[i] + t] : 1.0;
+            for (int64_t rep = 0; rep < R; rep++) {
+                int64_t lane = i * R + rep;
+                double x = amount / ldexp(1.0, (int)s[lane]);
+                double base = floor(x);
+                double frac = x - base;
+                c[lane] += (int64_t)base + (u_next(&us) < frac ? 1 : 0);
+                while (c[lane] >= limit) {
+                    /* up-scale the whole bucket: halve every member
+                     * with probabilistic rounding (local O(bucket)) */
+                    int64_t fb = (lane / R) / bucket_flows;
+                    int64_t start = fb * bucket_flows * R + rep;
+                    int64_t stop = (fb + 1) * bucket_flows * R;
+                    if (stop > lanes) stop = lanes;
+                    for (int64_t ln = start; ln < stop; ln += R) {
+                        double xv = (double)c[ln] * 0.5;
+                        double b2 = floor(xv);
+                        double f2 = xv - b2;
+                        c[ln] = (int64_t)b2 + (u_next(&us) < f2 ? 1 : 0);
+                        s[ln]++;
+                    }
+                    (*upscales)++;
+                }
+            }
+        }
+    }
 }
 
 /* ---------------- DISCO (Algorithm 1) ---------------- */
@@ -1068,6 +1143,96 @@ def sac_runner(kernel):
             _p(counts[0:1]), _p(counts[1:2]))
         kernel.counter_renormalizations += int(counts[0])
         kernel.global_renormalizations += int(counts[1])
+        return NativeStats(columns, 0, 0)
+
+    return run
+
+
+def aee_runner(kernel):
+    """AEE: bit-identical to the vector path (constant-p compare-add).
+
+    The sampling probability is a constant, so the column phase
+    pre-draws the exact uniform stream the vector path would consume
+    (like ANLS, but without even a probability table) and the tail calls
+    the kernel's own :meth:`~repro.core.kernels.AeeKernel.tail_flow` —
+    already a vectorised mask-and-sum with no per-packet Python loop, so
+    there is nothing left to lower.
+    """
+    _probe()
+    cc = _cc
+    if cc is None:
+        return None
+
+    def run(compiled, mode: str, min_lanes: int) -> NativeStats:
+        volume = 1 if mode == "volume" else 0
+        R = kernel.replicas
+        gen = kernel.gen
+        actives, columns, t_end = _geometry(compiled, R, min_lanes)
+        total = int(actives[:t_end].sum()) * R
+        u = gen.random(total)
+        sat = np.zeros(1, dtype=np.int64)
+        cc.repro_aee_columns(
+            _p(compiled.lengths), _p(compiled.offsets), _p(actives),
+            ctypes.c_int64(t_end), ctypes.c_int64(R),
+            ctypes.c_int64(volume), _p(u), ctypes.c_double(kernel.p),
+            ctypes.c_int64(kernel.max_value), _p(kernel.c), _p(sat))
+        kernel.saturation_events += int(sat[0])
+        tail_packets = tail_flows = 0
+        if t_end < columns:
+            sizes = compiled.sizes
+            offsets = compiled.offsets
+            lengths = compiled.lengths
+            active = int(actives[t_end])
+            for i in range(active):
+                budget = int(sizes[i])
+                if budget <= t_end:
+                    continue
+                n = budget - t_end
+                lens = None
+                if volume:
+                    base = int(offsets[i])
+                    lens = lengths[base + t_end:base + budget]
+                for r in range(R):
+                    kernel.tail_flow(i * R + r, lens, n)
+                tail_packets += n
+                tail_flows += 1
+        return NativeStats(t_end, tail_packets, tail_flows)
+
+    return run
+
+
+def ice_runner(kernel):
+    """ICE Buckets: the full column-major replay in C.
+
+    A bucket up-scale re-encodes every member lane, consuming a
+    data-dependent amount of randomness no pre-drawn stream can mirror
+    (the SAC situation, bucket-local instead of replica-global), so the
+    native path keeps the column order end to end with a refillable
+    uniform buffer: distributionally equivalent.
+    """
+    _probe()
+    cc = _cc
+    if cc is None:
+        return None
+
+    def run(compiled, mode: str, min_lanes: int) -> NativeStats:
+        volume = 1 if mode == "volume" else 0
+        nflows = compiled.num_flows
+        R = kernel.replicas
+        gen = kernel.gen
+        actives, columns, _ = _geometry(compiled, R, min_lanes)
+        buf = np.empty(65536, dtype=np.float64)
+        refill = _make_refill(gen.random)
+        ups = np.zeros(1, dtype=np.int64)
+        cc.repro_ice(
+            _p(compiled.lengths), _p(compiled.offsets), _p(actives),
+            ctypes.c_int64(columns), ctypes.c_int64(nflows),
+            ctypes.c_int64(R), ctypes.c_int64(volume),
+            ctypes.c_int64(kernel.limit),
+            ctypes.c_int64(kernel.bucket_flows),
+            _p(buf), ctypes.c_int64(len(buf)), refill,
+            _p(kernel.c), _p(kernel.s), _p(ups))
+        kernel.bucket_upscales += int(ups[0])
         return NativeStats(columns, 0, 0)
 
     return run

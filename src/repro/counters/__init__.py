@@ -9,10 +9,15 @@
   the ANLS-I / ANLS-II straw men from Tables III and IV.
 * :class:`BrickCounters` / :class:`CounterBraids` / :class:`DiscoBrick` —
   the complementary variable-length architectures and the composition.
+* :class:`IceBuckets` / :class:`AeeCounters` — beyond-the-paper
+  comparators: per-bucket independent estimation scale (ICE Buckets)
+  and constant-probability additive-error counting (AEE).
 """
 
+from repro.counters.aee import AeeCounters
 from repro.counters.anls import Anls, AnlsBytesNaive, AnlsPerUnit
 from repro.counters.base import CountingScheme
+from repro.counters.ice import IceBuckets
 from repro.counters.brick import BrickCounters, BrickDesign
 from repro.counters.cma import (
     CounterManagementAlgorithm,
@@ -42,6 +47,8 @@ __all__ = [
     "Anls",
     "AnlsBytesNaive",
     "AnlsPerUnit",
+    "AeeCounters",
+    "IceBuckets",
     "BrickCounters",
     "BrickDesign",
     "CounterBraids",

@@ -1,0 +1,91 @@
+"""AEE — Additive Error Estimation counters (arXiv:2004.10332).
+
+AEE trades the *multiplicative* error of compression schemes like ANLS,
+SAC and DISCO for a flow-independent **additive** error: every update is
+sampled with one *constant* probability ``p`` (independent of the
+counter's current value) and, when sampled, the counter advances by the
+full update amount.  The estimator is ``c / p`` — unbiased, with a
+variance that does not grow with the flow's size, so elephants are
+estimated almost exactly while mice carry the fixed additive noise.
+
+The constant ``p`` is AEE's whole performance pitch: the per-packet work
+is one uniform draw, one compare and one add — no counting-function
+gaps, no renormalisation cascades, no per-unit loops.  That makes the
+update law a *bare compare-add*, which is why this scheme's columnar
+kernel has a bit-identical native lowering (see
+:func:`repro.core.native.aee_runner`) where the multiplicative schemes
+only manage distributional equivalence.
+
+This implementation keeps the sampled counter in a fixed ``total_bits``
+word and saturates (clamping, with an event count) instead of the
+paper's downsampling stage — downsampling would re-couple the update law
+to the counter value and forfeit the compare-add fast path; sizing ``p``
+from the traffic budget (see ``repro.schemes``) keeps saturation a
+telemetry event, not a regime.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.counters.base import CountingScheme
+from repro.errors import ParameterError
+
+__all__ = ["AeeCounters"]
+
+
+class AeeCounters(CountingScheme):
+    """Per-flow AEE counter array.
+
+    Parameters
+    ----------
+    p:
+        Constant sampling probability in ``(0, 1]``.  Every update is
+        admitted with probability ``p`` regardless of the counter value;
+        the estimator divides it back out.
+    total_bits:
+        Fixed counter width; the counter saturates at ``2^total_bits - 1``
+        (counted in ``saturation_events``).
+    mode, rng:
+        As for every :class:`~repro.counters.base.CountingScheme`.
+    """
+
+    name = "aee"
+
+    def __init__(self, p: float, total_bits: int = 16,
+                 mode: str = "volume", rng=None) -> None:
+        super().__init__(mode=mode, rng=rng)
+        if not (0.0 < p <= 1.0):
+            raise ParameterError(f"p must be in (0, 1], got {p!r}")
+        if total_bits < 1:
+            raise ParameterError(f"total_bits must be >= 1, got {total_bits!r}")
+        self.p = float(p)
+        self.total_bits = int(total_bits)
+        self._max_value = (1 << self.total_bits) - 1
+        self.saturation_events = 0
+
+    # -- CountingScheme hooks ---------------------------------------------
+
+    def _update(self, flow: Hashable, amount: float) -> None:
+        c = self._state.setdefault(flow, 0)
+        if self._rng.random() < self.p:
+            c += int(amount)
+            if c > self._max_value:
+                self.saturation_events += 1
+                c = self._max_value
+            self._state[flow] = c
+
+    def estimate(self, flow: Hashable) -> float:
+        return self._state.get(flow, 0) / self.p
+
+    def counter_value(self, flow: Hashable) -> int:
+        return self._state.get(flow, 0)
+
+    def max_counter_bits(self) -> int:
+        """AEE is a fixed-width scheme: every counter costs ``total_bits``."""
+        return self.total_bits
+
+    def kernel(self):
+        from repro.core.kernels import aee_kernel_spec
+
+        return aee_kernel_spec(self)

@@ -67,12 +67,19 @@ def make_sac(counter_bits: int, mode: str, seed: Optional[int] = None) -> SmallA
 
 @dataclass(frozen=True)
 class SizeComparisonRow:
-    """DISCO-vs-SAC error summaries at one counter size."""
+    """DISCO-vs-SAC error summaries at one counter size.
+
+    ``ice`` and ``aee`` carry the beyond-the-paper comparators (ICE
+    Buckets, AEE) when the sweep includes them; they default to ``None``
+    so rows built by older callers stay valid.
+    """
 
     counter_bits: int
     disco: ErrorSummary
     sac: ErrorSummary
     disco_b: float
+    ice: Optional[ErrorSummary] = None
+    aee: Optional[ErrorSummary] = None
 
 
 def volume_error_vs_counter_size(
@@ -90,6 +97,8 @@ def volume_error_vs_counter_size(
     bit-for-bit, identical to the per-packet path); ``"python"`` forces
     the reference loops for auditing.
     """
+    from repro.schemes import make_scheme
+
     truths = trace.true_totals(mode)
     max_length = max(truths.values())
     rows: List[SizeComparisonRow] = []
@@ -97,14 +106,21 @@ def volume_error_vs_counter_size(
         b = choose_b(bits, max_length, slack=DEFAULT_SLACK)
         disco = DiscoSketch(b=b, mode=mode, rng=seed, capacity_bits=bits)
         sac = make_sac(bits, mode, seed=seed + 1)
+        ice = make_scheme("ice", bits=bits, mode=mode, seed=seed + 3)
+        aee = make_scheme("aee", bits=bits, mode=mode, seed=seed + 4,
+                          max_length=max_length)
         disco_result = replay(disco, trace, rng=seed + 2, engine=engine)
         sac_result = replay(sac, trace, rng=seed + 2, engine=engine)
+        ice_result = replay(ice, trace, rng=seed + 2, engine=engine)
+        aee_result = replay(aee, trace, rng=seed + 2, engine=engine)
         rows.append(
             SizeComparisonRow(
                 counter_bits=bits,
                 disco=disco_result.summary,
                 sac=sac_result.summary,
                 disco_b=b,
+                ice=ice_result.summary,
+                aee=aee_result.summary,
             )
         )
     return rows
@@ -122,17 +138,28 @@ def error_cdf_comparison(
 
     ``engine`` applies to both schemes (both have columnar kernels).
     """
+    from repro.schemes import make_scheme
+
     truths = trace.true_totals(mode)
     max_length = max(truths.values())
     disco = make_disco(counter_bits, max_length, mode, seed=seed)
     sac = make_sac(counter_bits, mode, seed=seed + 1)
+    ice = make_scheme("ice", bits=counter_bits, mode=mode, seed=seed + 3)
+    aee = make_scheme("aee", bits=counter_bits, mode=mode, seed=seed + 4,
+                      max_length=max_length)
     disco_result = replay(disco, trace, rng=seed + 2, engine=engine)
     sac_result = replay(sac, trace, rng=seed + 2, engine=engine)
+    ice_result = replay(ice, trace, rng=seed + 2, engine=engine)
+    aee_result = replay(aee, trace, rng=seed + 2, engine=engine)
     return {
         "disco": _error_cdf(disco_result.errors, points=points),
         "sac": _error_cdf(sac_result.errors, points=points),
+        "ice": _error_cdf(ice_result.errors, points=points),
+        "aee": _error_cdf(aee_result.errors, points=points),
         "disco_errors": disco_result.errors,
         "sac_errors": sac_result.errors,
+        "ice_errors": ice_result.errors,
+        "aee_errors": aee_result.errors,
     }
 
 
@@ -203,6 +230,8 @@ def table2(
                     "counter_bits": row.counter_bits,
                     "sac_avg_error": row.sac.average,
                     "disco_avg_error": row.disco.average,
+                    "ice_avg_error": row.ice.average,
+                    "aee_avg_error": row.aee.average,
                 }
             )
     return rows

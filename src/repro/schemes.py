@@ -229,6 +229,42 @@ def _build_anls2(
     return AnlsPerUnit(b=b, mode="volume", rng=seed)
 
 
+def _build_ice(
+    bits: int = 10,
+    mode: str = "volume",
+    seed=None,
+    max_length: Optional[float] = None,
+    bucket_flows: int = 16,
+):
+    from repro.counters.ice import IceBuckets
+
+    return IceBuckets(total_bits=bits, bucket_flows=bucket_flows, mode=mode, rng=seed)
+
+
+def _build_aee(
+    bits: int = 16,
+    mode: str = "volume",
+    seed=None,
+    max_length: Optional[float] = None,
+    p: Optional[float] = None,
+    slack: float = 1.5,
+):
+    from repro.counters.aee import AeeCounters
+
+    if p is None:
+        # Size p so the counter's word covers the largest expected flow
+        # with the same slack convention choose_b uses: the counter holds
+        # about p * total traffic of a flow, so p = (2^bits - 1) /
+        # (slack * max_length) keeps saturation an outlier event.
+        if max_length is None:
+            raise ParameterError(
+                "scheme 'aee' needs either p= or max_length= to size its "
+                "sampling probability"
+            )
+        p = min(1.0, ((1 << bits) - 1) / (slack * float(max_length)))
+    return AeeCounters(p=p, total_bits=bits, mode=mode, rng=seed)
+
+
 register_scheme(
     SchemeSpec("disco", "DISCO sketch (geometric Algorithm 1)", _build_disco)
 )
@@ -244,4 +280,10 @@ register_scheme(
 )
 register_scheme(
     SchemeSpec("anls2", "ANLS-II per-unit byte-counting extension", _build_anls2)
+)
+register_scheme(
+    SchemeSpec("ice", "ICE Buckets: per-bucket independent scale", _build_ice)
+)
+register_scheme(
+    SchemeSpec("aee", "AEE additive-error counters (constant-p)", _build_aee)
 )

@@ -95,6 +95,9 @@ class ServeDaemon:
         self.result = None
         self._drain: Optional[asyncio.Event] = None
         self._chunks_since_checkpoint = 0
+        # malformed_lines already folded into the telemetry counter, so
+        # repeated exports count each dropped line exactly once.
+        self._malformed_reported = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -200,6 +203,7 @@ class ServeDaemon:
                 return 200, self.queries.epochs()
             if path == "/telemetry":
                 self.telemetry.count("serve.query.telemetry")
+                self._sync_feed_health()
                 return 200, {"type": "telemetry",
                              "telemetry": self.telemetry.snapshot()}
             if path == "/healthz":
@@ -223,9 +227,28 @@ class ServeDaemon:
             return 404, {"error": f"no route for POST {path}"}
         return 405, {"error": f"method {method} not allowed"}
 
+    def _sync_feed_health(self) -> Optional[int]:
+        """Fold the feed's malformed-line count into ``serve.*`` telemetry.
+
+        :class:`~repro.serve.feeds.SocketFeed` counts lines it drops
+        (bad field count, non-numeric length) but the counter only lives
+        on the feed object — a daemon silently eating garbage input
+        would look healthy.  Exported here (delta-counted, so telemetry
+        totals stay exact) and surfaced by ``/healthz``.  Returns the
+        current total, or ``None`` for feeds without the counter.
+        """
+        malformed = getattr(self.feed, "malformed_lines", None)
+        if malformed is None:
+            return None
+        delta = int(malformed) - self._malformed_reported
+        if delta > 0:
+            self.telemetry.count("serve.feed.malformed_lines", delta)
+            self._malformed_reported = int(malformed)
+        return int(malformed)
+
     def _healthz(self) -> dict:
         session = self.session
-        return {
+        health = {
             "status": "ok",
             "feed": self.feed.name,
             "scheme": session.scheme_name,
@@ -239,6 +262,10 @@ class ServeDaemon:
             "draining": bool(self._drain is not None
                              and self._drain.is_set()),
         }
+        malformed = self._sync_feed_health()
+        if malformed is not None:
+            health["malformed_lines"] = malformed
+        return health
 
 
 def build_daemon(

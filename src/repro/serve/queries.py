@@ -114,7 +114,18 @@ class QueryEngine:
         }
 
     def topk(self, n: int) -> Dict[str, object]:
-        """Heavy hitters over closed epochs plus the open one, merged."""
+        """Heavy hitters over closed epochs plus the open one, merged.
+
+        ``n`` is validated eagerly — a bad count must be a
+        :class:`ParameterError` (the daemon's 400) before any collector
+        work happens, whoever the caller is.  Ties rank by
+        ``(-estimate, flow_id)`` so repeated queries at the same chunk
+        boundary return a stable order.
+        """
+        # bool is an int subclass; reject it explicitly so topk(True)
+        # cannot masquerade as topk(1).
+        if isinstance(n, bool) or not isinstance(n, int):
+            raise ParameterError(f"n must be an integer, got {n!r}")
         if n < 1:
             raise ParameterError(f"n must be >= 1, got {n!r}")
         self.sync()
@@ -124,7 +135,7 @@ class QueryEngine:
         }
         for key, estimate in self._live().items():
             totals[key] = totals.get(key, 0.0) + estimate
-        ranked = sorted(totals.items(), key=lambda kv: kv[1], reverse=True)
+        ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
         return {
             "type": "topk",
             "n": int(n),

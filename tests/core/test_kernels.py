@@ -20,9 +20,11 @@ from repro.core.batchreplay import (
 )
 from repro.core.disco import DiscoSketch
 from repro.core.kernels import kernel_scheme_names, kernel_spec
+from repro.counters.aee import AeeCounters
 from repro.counters.anls import Anls, AnlsBytesNaive, AnlsPerUnit
 from repro.counters.countmin import CountMin
 from repro.counters.exact import ExactCounters
+from repro.counters.ice import IceBuckets
 from repro.counters.sac import SmallActiveCounters
 from repro.counters.sd import SdCounters
 from repro.errors import ParameterError
@@ -58,7 +60,7 @@ class TestRegistry:
     def test_scheme_names(self):
         names = kernel_scheme_names()
         for expected in ("disco", "sac", "anls", "anls-1", "anls-2",
-                         "sd", "exact"):
+                         "sd", "exact", "ice", "aee"):
             assert expected in names
 
     def test_no_kernel_for_unsupported_scheme(self):
@@ -124,6 +126,42 @@ class TestDistributionalEquivalence:
             trace, AnlsBytesNaive(b=B, mode="volume", rng=5), replicas=16)
         assert ref_total > 3 * truth
         assert mean > 3 * truth
+
+    def test_ice_mean_within_one_percent(self, trace):
+        truth = sum(trace.true_totals("volume").values())
+        mean, _ = _mean_total(
+            trace, IceBuckets(total_bits=10, mode="volume", rng=0))
+        assert mean == pytest.approx(truth, rel=0.01)
+
+    def test_aee_mean_within_three_percent(self, trace):
+        truth = sum(trace.true_totals("volume").values())
+        mean, _ = _mean_total(
+            trace, AeeCounters(p=0.3, total_bits=20, mode="volume", rng=0))
+        assert mean == pytest.approx(truth, rel=0.03)
+
+    def test_ice_kernel_vs_reference_mean(self, trace):
+        refs = [replay(IceBuckets(total_bits=10, mode="volume", rng=s),
+                       trace, rng=s + 50, engine="python")
+                for s in range(4)]
+        ref_mean = np.mean([sum(r.estimates.values()) for r in refs])
+        mean, _ = _mean_total(
+            trace, IceBuckets(total_bits=10, mode="volume", rng=0))
+        assert mean == pytest.approx(ref_mean, rel=0.05)
+
+    def test_ice_kernel_upscale_accounting(self, trace):
+        # Narrow counters force bucket upscales; the kernel must surface
+        # them both on the written-back scheme and in telemetry events.
+        scheme = IceBuckets(total_bits=6, mode="volume", rng=0)
+        result = replay(scheme, trace, rng=3, engine="vector")
+        assert scheme.bucket_upscales > 0
+        assert result.estimates  # replay completed with a full read-out
+
+    def test_aee_kernel_saturation_accounting(self, trace):
+        # p=1 with a tiny word: every long flow clamps, deterministically.
+        scheme = AeeCounters(p=1.0, total_bits=6, mode="volume", rng=0)
+        replay(scheme, trace, rng=3, engine="vector")
+        assert scheme.saturation_events > 0
+        assert max(scheme._state.values()) == (1 << 6) - 1
 
     def test_sac_kernel_vs_reference_mean(self, trace):
         # Kernel replica-mean vs a small ensemble of reference loops:

@@ -3,12 +3,12 @@
 Three groups, mirroring the backend's contract:
 
 * **Bit-identity** — kernels whose native path consumes the same
-  pre-drawn uniform stream as the vector path (exact, ANLS, ANLS-I)
-  must match ``engine="vector"`` bit for bit.
+  pre-drawn uniform stream as the vector path (exact, ANLS, ANLS-I,
+  AEE) must match ``engine="vector"`` bit for bit.
 * **Distributional equivalence** — kernels whose native path draws a
-  data-dependent number of uniforms (DISCO, SAC, ANLS-II, SD) follow
-  the same law on a different stream; their error statistics must
-  agree with the vector engine's.
+  data-dependent number of uniforms (DISCO, SAC, ANLS-II, SD, ICE)
+  follow the same law on a different stream; their error statistics
+  must agree with the vector engine's.
 * **Fallback** — without any provider (no Numba, no C compiler, or
   ``REPRO_DISABLE_NATIVE=1``) the backend must warn once, run the
   vector path, and produce identical results; ``engine="auto"`` must
@@ -88,6 +88,31 @@ class TestBitIdentity:
                               compiled)
         assert rv.estimates == rn.estimates
 
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_aee_byte_counting(self, compiled, seed):
+        # Constant-p compare-add: the native columns consume the same
+        # pre-drawn uniform stream lane for lane, and the tail reuses
+        # the kernel's own vectorised tail — bit-identical end to end.
+        rv, rn = both_engines(
+            lambda: make_scheme("aee", p=0.3, seed=seed), compiled)
+        assert rv.estimates == rn.estimates
+
+    def test_aee_size_counting(self, compiled):
+        rv, rn = both_engines(
+            lambda: make_scheme("aee", p=0.25, mode="size", seed=1),
+            compiled)
+        assert rv.estimates == rn.estimates
+
+    def test_aee_saturation_counts_match(self, compiled):
+        # A clamping configuration: the saturation ledger is part of
+        # the bit-identity contract, not just the estimates.
+        sv = make_scheme("aee", p=0.5, bits=12, seed=2)
+        sn = make_scheme("aee", p=0.5, bits=12, seed=2)
+        replay(sv, compiled, order="asis", engine="vector")
+        replay(sn, compiled, order="asis", engine="native")
+        assert sn.saturation_events > 0
+        assert sn.saturation_events == sv.saturation_events
+
     def test_replicas_reject_native(self, compiled):
         # The replica axis runs on the vector path; native is a
         # single-replay engine and must be rejected eagerly.
@@ -132,6 +157,29 @@ class TestDistributionalEquivalence:
             lambda s: make_scheme("sac", bits=10, mode_bits=3, seed=s),
             compiled)
         assert abs(v - n) < 0.02
+
+    def test_ice(self, compiled):
+        v, n = self._avg_errors(
+            lambda s: make_scheme("ice", bits=10, seed=s), compiled)
+        assert abs(v - n) < 0.02
+        assert n < 0.2
+
+    def test_ice_size_mode(self, compiled):
+        v, n = self._avg_errors(
+            lambda s: make_scheme("ice", bits=8, mode="size", seed=s),
+            compiled)
+        assert abs(v - n) < 0.02
+
+    def test_ice_upscale_counts_same_order(self, compiled):
+        # Upscales are data-driven, so the two engines need not agree
+        # exactly — but both must see the same pressure regime.
+        sv = make_scheme("ice", bits=8, seed=0)
+        sn = make_scheme("ice", bits=8, seed=0)
+        replay(sv, compiled, order="asis", engine="vector")
+        replay(sn, compiled, order="asis", engine="native")
+        assert sv.bucket_upscales > 0
+        assert sn.bucket_upscales > 0
+        assert 0.5 < sn.bucket_upscales / sv.bucket_upscales < 2.0
 
     def test_sd_exact_when_not_saturating(self, compiled):
         # SD with generous SRAM never loses traffic: both engines must
@@ -194,6 +242,27 @@ class TestStreamNative:
         session.checkpoint()
         restored = StreamSession.restore(str(path))
         assert restored.engine == "native"
+
+    def test_native_stream_matches_vector_stream_bitwise_for_aee(
+            self, compiled):
+        # AEE's chunk replays are bit-identical and its carried state is
+        # a plain counter array, so the whole sharded stream matches.
+        factory = scheme_factory("aee", p=0.3, seed=3)
+        kwargs = dict(shards=2, epoch_packets=compiled.num_packets // 2,
+                      chunk_packets=1024, rng=11)
+        rv = stream(factory, compiled, engine="vector", **kwargs)
+        rn = stream(factory, compiled, engine="native", **kwargs)
+        assert rv.estimates_dict() == rn.estimates_dict()
+
+    def test_ice_stream_runs_on_native_chunks(self, compiled):
+        result = stream(scheme_factory("ice", bits=10, seed=0), compiled,
+                        shards=2, epoch_packets=compiled.num_packets // 2,
+                        rng=5, engine="native")
+        assert result.packets == compiled.num_packets
+        errors = [abs(e - t) / t for e, t in
+                  ((result.estimates_dict()[f], t)
+                   for f, t in compiled.true_totals("volume").items())]
+        assert sum(errors) / len(errors) < 0.2
 
     def test_disco_stream_runs_on_native_chunks(self, compiled):
         result = stream(scheme_factory("disco", b=B, seed=0), compiled,

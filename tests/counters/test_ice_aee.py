@@ -1,0 +1,140 @@
+"""Tests for the beyond-the-paper comparators: ICE Buckets and AEE."""
+
+import statistics
+
+import pytest
+
+from repro.counters.aee import AeeCounters
+from repro.counters.ice import IceBuckets
+from repro.errors import ParameterError
+from repro.schemes import make_scheme
+
+
+class TestIceConstruction:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            IceBuckets(total_bits=0)
+        with pytest.raises(ParameterError):
+            IceBuckets(bucket_flows=0)
+
+    def test_max_counter_bits_is_fixed_width(self):
+        assert IceBuckets(total_bits=10).max_counter_bits() == 10
+
+    def test_registry_builder(self):
+        scheme = make_scheme("ice", bits=8, bucket_flows=4, seed=0)
+        assert isinstance(scheme, IceBuckets)
+        assert scheme.total_bits == 8
+        assert scheme.bucket_flows == 4
+
+
+class TestIceCounting:
+    def test_small_counts_exact_at_scale_zero(self):
+        ice = IceBuckets(total_bits=10, mode="size", rng=0)
+        for _ in range(50):
+            ice.observe("f", 1)
+        assert ice.estimate("f") == 50.0
+        assert ice.bucket_scale("f") == 0
+
+    def test_unseen_flow(self):
+        ice = IceBuckets(total_bits=10)
+        assert ice.estimate("nope") == 0.0
+        assert ice.bucket_scale("nope") == 0
+
+    def test_bucket_assignment_by_arrival_order(self):
+        ice = IceBuckets(total_bits=10, bucket_flows=2, rng=0)
+        for flow in ("a", "b", "c", "d", "e"):
+            ice.observe(flow, 1)
+        assert ice._bucket_of == {"a": 0, "b": 0, "c": 1, "d": 1, "e": 2}
+
+    def test_overflow_upscales_the_whole_bucket(self):
+        # 4-bit counters saturate at 16; the elephant forces the bucket
+        # scale up, and its bucket-mate's counter is halved with it.
+        ice = IceBuckets(total_bits=4, bucket_flows=2, mode="volume", rng=0)
+        ice.observe("mouse", 8)
+        for _ in range(20):
+            ice.observe("elephant", 10)
+        assert ice.bucket_upscales > 0
+        assert ice.bucket_scale("elephant") > 0
+        assert ice.bucket_scale("mouse") == ice.bucket_scale("elephant")
+        assert ice.counter_value("mouse") < 8
+        assert ice._state["elephant"] < ice._limit
+
+    def test_scale_isolation_between_buckets(self):
+        # The point of ICE: an elephant coarsens only its own bucket.
+        ice = IceBuckets(total_bits=4, bucket_flows=1, mode="volume", rng=0)
+        ice.observe("mouse", 3)
+        for _ in range(50):
+            ice.observe("elephant", 10)
+        assert ice.bucket_scale("elephant") > 0
+        assert ice.bucket_scale("mouse") == 0
+        assert ice.estimate("mouse") == 3.0
+
+    def test_estimator_unbiased_over_seeds(self):
+        truth = 37 * 700
+        estimates = []
+        for seed in range(40):
+            ice = IceBuckets(total_bits=6, mode="volume", rng=seed)
+            for _ in range(37):
+                ice.observe("f", 700)
+            estimates.append(ice.estimate("f"))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_reset_clears_bucket_state(self):
+        ice = IceBuckets(total_bits=4, bucket_flows=1, mode="volume", rng=0)
+        for _ in range(50):
+            ice.observe("f", 10)
+        ice.reset()
+        assert ice.bucket_upscales == 0
+        assert ice._bucket_of == {} and ice._scale == {}
+        ice.observe("f", 3)
+        assert ice.estimate("f") == 3.0
+
+
+class TestAeeConstruction:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            AeeCounters(p=0.0)
+        with pytest.raises(ParameterError):
+            AeeCounters(p=1.5)
+        with pytest.raises(ParameterError):
+            AeeCounters(p=0.5, total_bits=0)
+
+    def test_registry_sizes_p_from_max_length(self):
+        scheme = make_scheme("aee", bits=16, max_length=120_000, seed=0)
+        assert isinstance(scheme, AeeCounters)
+        assert 0.0 < scheme.p < 1.0
+        assert scheme.p == pytest.approx(((1 << 16) - 1) / (1.5 * 120_000))
+
+    def test_registry_requires_p_or_max_length(self):
+        with pytest.raises(ParameterError, match="p= or max_length="):
+            make_scheme("aee")
+
+
+class TestAeeCounting:
+    def test_p_one_is_exact(self):
+        aee = AeeCounters(p=1.0, total_bits=20, mode="volume", rng=0)
+        aee.observe("f", 100)
+        aee.observe("f", 250)
+        assert aee.counter_value("f") == 350
+        assert aee.estimate("f") == 350.0
+
+    def test_unseen_flow(self):
+        assert AeeCounters(p=0.5).estimate("nope") == 0.0
+
+    def test_estimator_unbiased_over_seeds(self):
+        truth = 80 * 120
+        estimates = []
+        for seed in range(40):
+            aee = AeeCounters(p=0.3, total_bits=20, mode="volume", rng=seed)
+            for _ in range(80):
+                aee.observe("f", 120)
+            estimates.append(aee.estimate("f"))
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.05)
+
+    def test_saturation_clamps_and_counts(self):
+        aee = AeeCounters(p=1.0, total_bits=4, mode="volume", rng=0)
+        for _ in range(10):
+            aee.observe("f", 7)
+        assert aee.counter_value("f") == 15
+        assert aee.saturation_events > 0
+        assert aee.estimate("f") == 15.0

@@ -74,6 +74,24 @@ class TestQueries:
         with pytest.raises(ParameterError):
             collector.interval_confidence(9, "a")
 
+    def test_interval_confidence_on_snapshot_interval(self):
+        # Epoch snapshots carry point estimates only — no raw counter,
+        # no b — so confidence re-derivation must refuse with an error
+        # naming the offending interval, not crash or fabricate bounds.
+        from repro.streaming import EpochSnapshot
+
+        collector = Collector()
+        collector.ingest(batch(a=(10, 100.0)))
+        collector.ingest_snapshot(EpochSnapshot(
+            index=0, scheme_name="disco", mode="volume", packets=5,
+            volume=500, shards=1, shard_estimates=({"a": 120.0},),
+            shard_counter_bits=(4,), truths={"a": 118}))
+        # The export-batch interval still re-derives fine.
+        assert collector.interval_confidence(0, "zzz") is None
+        with pytest.raises(ParameterError,
+                           match="interval 1 came from an epoch snapshot"):
+            collector.interval_confidence(1, "a")
+
 
 class TestEndToEnd:
     def test_monitor_export_collect_cycle(self, tmp_path):

@@ -14,6 +14,7 @@ load-bearing properties are
 """
 
 import asyncio
+import socket
 import time
 
 import pytest
@@ -138,6 +139,36 @@ class TestFeeds:
             for key, lens in zip(keys, arrays):
                 totals[key] = totals.get(key, 0.0) + float(lens.sum())
         assert totals == {"f1": 300.0, "f2": 75.0}
+
+    def test_trace_feed_start_boundary_cases(self, compiled):
+        chunk = 256
+        full = _collect(TraceFeed(compiled), chunk)
+        # start=0 is the unskipped schedule, bit for bit.
+        fresh = _collect(TraceFeed(compiled), chunk, start=0)
+        assert len(fresh) == len(full)
+        for (keys_a, arrays_a), (keys_b, arrays_b) in zip(fresh, full):
+            assert keys_a == keys_b
+            assert all((a == b).all()
+                       for a, b in zip(arrays_a, arrays_b))
+        # start on an exact chunk boundary mid-trace: the resumed feed
+        # continues the original schedule bit-identically.
+        k = 2
+        assert len(full) > k + 1
+        resumed = _collect(TraceFeed(compiled), chunk, start=k * chunk)
+        assert len(resumed) == len(full) - k
+        for (keys_a, arrays_a), (keys_b, arrays_b) in zip(resumed,
+                                                          full[k:]):
+            assert keys_a == keys_b
+            assert all((a == b).all()
+                       for a, b in zip(arrays_a, arrays_b))
+        # start == num_packets: a fully consumed feed yields nothing.
+        done = _collect(TraceFeed(compiled), chunk,
+                        start=compiled.num_packets)
+        assert done == []
+        # start past end-of-trace is a configuration error, not silence.
+        with pytest.raises(ParameterError, match="start must be in"):
+            _collect(TraceFeed(compiled), chunk,
+                     start=compiled.num_packets + 1)
 
     def test_make_feed_dispatch(self, compiled):
         assert isinstance(make_feed("trace", trace=compiled), TraceFeed)
@@ -277,6 +308,47 @@ class TestQuerySurface:
                     if f["flow"] in expected}
             for key, value in expected.items():
                 assert live[key] == pytest.approx(value)
+        assert handle.error is None
+
+
+# ---------------------------------------------------------------------------
+# feed health
+# ---------------------------------------------------------------------------
+
+class TestFeedHealth:
+    def test_socket_daemon_surfaces_malformed_lines(self):
+        # A daemon silently eating garbage input must not look healthy:
+        # the feed's malformed-line count has to reach /telemetry and
+        # /healthz, and repeated exports must not double-count.
+        feed = SocketFeed(flush_seconds=0.05)
+        daemon = build_daemon(_factory(), feed, chunk_packets=4,
+                              rng=3, engine="vector")
+        with DaemonHandle(daemon) as handle:
+            deadline = time.monotonic() + 10.0
+            while feed._server is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert feed._server is not None, "socket feed never bound"
+            with socket.create_connection((feed.host, feed.port)) as conn:
+                conn.sendall(b"f1 100\nbogus\nf2 50\nf3 abc\nf1 25\nf2 75\n")
+            _wait_ingested(handle.client, 4)
+            counters = handle.client.telemetry()["telemetry"]["counters"]
+            assert counters["serve.feed.malformed_lines"] == 2
+            health = handle.client.healthz()
+            assert health["malformed_lines"] == 2
+            counters = handle.client.telemetry()["telemetry"]["counters"]
+            assert counters["serve.feed.malformed_lines"] == 2
+        assert handle.error is None
+
+    def test_trace_daemon_healthz_omits_malformed_lines(self, compiled):
+        # Feeds without a malformed-line counter (trace replay cannot
+        # produce garbage) must not fake a zero in /healthz.
+        daemon = build_daemon(_factory(), TraceFeed(compiled),
+                              **_config(compiled))
+        with DaemonHandle(daemon) as handle:
+            health = _wait_ingested(handle.client, compiled.num_packets)
+            assert "malformed_lines" not in health
+            counters = handle.client.telemetry()["telemetry"]["counters"]
+            assert "serve.feed.malformed_lines" not in counters
         assert handle.error is None
 
 
