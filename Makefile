@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install lint test test-nonative test-faults serve-smoke bench bench-gate bench-gate-quick bench-mem bench-shootout bench-shootout-quick report examples all
+.PHONY: install lint test test-nonative test-faults serve-smoke bench bench-gate bench-gate-quick bench-mem bench-shootout bench-shootout-quick scenarios scenarios-quick report examples all
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -66,10 +66,19 @@ bench-shootout:
 bench-shootout-quick:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_shootout.py --quick
 
+# Scheme × scenario × memory-budget matrix (repro.harness.scenarios):
+# both runs regenerate docs/scenarios.md; the quick slice (<60s) skips
+# the native engine and the largest budget.
+scenarios:
+	PYTHONPATH=src $(PYTHON) -m repro scenarios
+
+scenarios-quick:
+	PYTHONPATH=src $(PYTHON) -m repro scenarios --quick
+
 report:
 	$(PYTHON) -m repro report --out report.md
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done; echo "all examples ran"
 
-all: lint test test-nonative test-faults serve-smoke bench bench-gate-quick bench-shootout-quick
+all: lint test test-nonative test-faults serve-smoke bench bench-gate-quick bench-shootout-quick scenarios-quick

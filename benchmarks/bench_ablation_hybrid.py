@@ -15,14 +15,15 @@ from repro.core.functions import GeometricCountingFunction
 from repro.core.hybrid import HybridCountingFunction
 from repro.harness.formatting import render_table
 from repro.facade import replay
-from repro.traces.synthetic import scenario1
+from repro.traces import make_trace
 
 KNEE = 64
 B = 1.02
 
 
 def compute():
-    trace = scenario1(num_flows=400, rng=SEED + 40, max_flow_packets=20_000)
+    trace = make_trace("scenario1", num_flows=400, seed=SEED + 40,
+                       max_flow_packets=20_000)
     truths = trace.true_totals("size")
     mice = {f for f, n in truths.items() if n <= KNEE}
 

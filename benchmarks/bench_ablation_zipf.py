@@ -12,7 +12,8 @@ from repro.core.analysis import choose_b, cov_bound
 from repro.core.disco import DiscoSketch
 from repro.harness.formatting import render_table
 from repro.facade import replay
-from repro.traces.zipf import ZipfPopularity, zipf_trace
+from repro.traces import make_trace
+from repro.traces.zipf import ZipfPopularity
 
 ALPHAS = (0.0, 0.8, 1.1, 1.4)
 COUNTER_BITS = 11
@@ -21,7 +22,8 @@ COUNTER_BITS = 11
 def compute():
     rows = []
     for alpha in ALPHAS:
-        trace = zipf_trace(40_000, 300, alpha=alpha, rng=SEED + 70)
+        trace = make_trace("zipf", num_packets=40_000, num_flows=300,
+                           alpha=alpha, seed=SEED + 70)
         truths = trace.true_totals("volume")
         b = choose_b(COUNTER_BITS, max(truths.values()), slack=1.5)
         sketch = DiscoSketch(b=b, mode="volume", rng=SEED + 71,

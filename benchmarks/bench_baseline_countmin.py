@@ -14,13 +14,14 @@ from repro.counters.countmin import CountMin, DiscoCountMin
 from repro.harness.formatting import render_table
 from repro.facade import replay
 from repro.metrics.errors import relative_errors, summarize_errors
-from repro.traces.zipf import zipf_trace
+from repro.traces import make_trace
 
 WIDTH, DEPTH = 512, 3
 
 
 def compute():
-    trace = zipf_trace(50_000, 600, alpha=1.0, rng=SEED + 80)
+    trace = make_trace("zipf", num_packets=50_000, num_flows=600, alpha=1.0,
+                       seed=SEED + 80)
     truths = {f: float(v) for f, v in trace.true_totals("volume").items()}
     b = choose_b(12, max(truths.values()), slack=1.5)
 

@@ -14,12 +14,12 @@ from repro.counters.netflow import SampledNetflow
 from repro.harness.formatting import render_table
 from repro.facade import replay
 from repro.metrics.errors import relative_errors, summarize_errors
-from repro.traces.nlanr import nlanr_like
+from repro.traces import make_trace
 
 
 def compute():
-    trace = nlanr_like(num_flows=250, mean_flow_bytes=25_000,
-                       max_flow_bytes=1_000_000, rng=SEED + 60)
+    trace = make_trace("nlanr", num_flows=250, mean_flow_bytes=25_000,
+                       max_flow_bytes=1_000_000, seed=SEED + 60)
     truths = {f: float(v) for f, v in trace.true_totals("volume").items()}
     max_volume = max(truths.values())
 

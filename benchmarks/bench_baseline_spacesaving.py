@@ -14,14 +14,15 @@ from repro.core.disco import DiscoSketch
 from repro.counters.spacesaving import SpaceSaving
 from repro.harness.formatting import render_table
 from repro.facade import replay
-from repro.traces.zipf import zipf_trace
+from repro.traces import make_trace
 
 K = 20
 CAPACITY = 64  # Space-Saving entries
 
 
 def compute():
-    trace = zipf_trace(60_000, 800, alpha=1.1, rng=SEED + 90)
+    trace = make_trace("zipf", num_packets=60_000, num_flows=800, alpha=1.1,
+                       seed=SEED + 90)
     truths = trace.true_totals("volume")
     true_top = [f for f, _ in sorted(truths.items(), key=lambda kv: kv[1],
                                      reverse=True)[:K]]

@@ -65,29 +65,26 @@ def build_shootout_trace(quick: bool = False, rng: int = SEED):
     heavy-tailed mix, but enough packets that the timed vector pass
     dominates per-replay overhead and the pps column means something.
     """
+    from repro.traces import make_trace
     from repro.traces.compiled import compile_trace
-    from repro.traces.nlanr import nlanr_like
 
     if quick:
-        trace = nlanr_like(num_flows=300, mean_flow_bytes=10_000,
-                           max_flow_bytes=400_000, rng=rng)
+        trace = make_trace("nlanr", num_flows=300, mean_flow_bytes=10_000,
+                           max_flow_bytes=400_000, seed=rng)
     else:
-        trace = nlanr_like(num_flows=2_000, mean_flow_bytes=30_000,
-                           max_flow_bytes=3_000_000, rng=rng)
+        trace = make_trace("nlanr", num_flows=2_000, mean_flow_bytes=30_000,
+                           max_flow_bytes=3_000_000, seed=rng)
     return compile_trace(trace)
 
 
 def _build(name: str, bits: int, max_length: float, seed: int):
-    from repro.schemes import make_scheme
+    # The budget→scheme sizing convention is shared with the scenario
+    # matrix (SD's budget is its SRAM tier; SAC/ICE take the word
+    # directly; DISCO/ANLS/AEE derive their estimator from the largest
+    # flow).
+    from repro.harness.scenarios import build_sized_scheme
 
-    if name == "sd":
-        # SD's word budget is its SRAM tier; the generic bits= knob is
-        # unused by its builder.
-        return make_scheme("sd", sram_bits=bits, seed=seed)
-    if name in ("sac", "ice"):
-        return make_scheme(name, bits=bits, seed=seed)
-    # disco / anls2 / aee size their estimator from the largest flow.
-    return make_scheme(name, bits=bits, max_length=max_length, seed=seed)
+    return build_sized_scheme(name, bits, max_length, seed)
 
 
 def run_shootout(trace, budgets, seeds: int, include_native: bool = True):

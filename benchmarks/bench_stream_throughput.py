@@ -36,12 +36,12 @@ REPEATS = 3
 
 
 def build_stream_trace():
-    from repro.traces.nlanr import nlanr_like
+    from repro.traces import make_trace
 
-    return nlanr_like(num_flows=STREAM_FLOWS,
+    return make_trace("nlanr", num_flows=STREAM_FLOWS,
                       mean_flow_bytes=STREAM_MEAN_BYTES,
                       max_flow_bytes=STREAM_MAX_BYTES,
-                      rng=STREAM_SEED)
+                      seed=STREAM_SEED)
 
 
 def measure_stream(trace=None, repeats=REPEATS):

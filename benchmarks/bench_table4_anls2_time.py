@@ -10,17 +10,17 @@ but the per-trace packet-length structure is the paper's.
 from benchmarks.conftest import SEED
 from repro.harness.experiments import table4
 from repro.harness.formatting import render_table
-from repro.traces.nlanr import nlanr_like
-from repro.traces.synthetic import scenario1, scenario2, scenario3
+from repro.traces import make_trace
 
 
 def build_traces():
     return {
-        "scenario1": scenario1(num_flows=60, rng=SEED + 11, max_flow_packets=5_000),
-        "scenario2": scenario2(num_flows=25, rng=SEED + 12),
-        "scenario3": scenario3(num_flows=25, rng=SEED + 13),
-        "real trace": nlanr_like(num_flows=30, mean_flow_bytes=25_000,
-                                 max_flow_bytes=400_000, rng=SEED + 14),
+        "scenario1": make_trace("scenario1", num_flows=60, seed=SEED + 11,
+                                max_flow_packets=5_000),
+        "scenario2": make_trace("scenario2", num_flows=25, seed=SEED + 12),
+        "scenario3": make_trace("scenario3", num_flows=25, seed=SEED + 13),
+        "real trace": make_trace("nlanr", num_flows=30, mean_flow_bytes=25_000,
+                                 max_flow_bytes=400_000, seed=SEED + 14),
     }
 
 

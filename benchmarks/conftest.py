@@ -10,8 +10,7 @@ are three views of the same sweep).
 import pytest
 
 from repro.harness.experiments import volume_error_vs_counter_size
-from repro.traces.nlanr import nlanr_like
-from repro.traces.synthetic import scenario1, scenario2, scenario3
+from repro.traces import make_trace
 
 #: Counter sizes swept in the Figure 5-7 experiments.
 COUNTER_SIZES = (8, 9, 10, 11, 12)
@@ -22,17 +21,18 @@ SEED = 20100621  # ICDCS 2010 week, for flavour
 @pytest.fixture(scope="session")
 def nlanr_trace():
     """The scaled NLANR-like 'real trace' used by Figs. 5-8, 10, Tables II-IV."""
-    return nlanr_like(num_flows=400, mean_flow_bytes=30_000,
-                      max_flow_bytes=3_000_000, rng=SEED)
+    return make_trace("nlanr", num_flows=400, mean_flow_bytes=30_000,
+                      max_flow_bytes=3_000_000, seed=SEED)
 
 
 @pytest.fixture(scope="session")
 def scenario_traces():
     """Table II's three synthetic scenarios (scaled flow counts)."""
     return {
-        "scenario1": scenario1(num_flows=400, rng=SEED + 1, max_flow_packets=20_000),
-        "scenario2": scenario2(num_flows=150, rng=SEED + 2),
-        "scenario3": scenario3(num_flows=150, rng=SEED + 3),
+        "scenario1": make_trace("scenario1", num_flows=400, seed=SEED + 1,
+                                max_flow_packets=20_000),
+        "scenario2": make_trace("scenario2", num_flows=150, seed=SEED + 2),
+        "scenario3": make_trace("scenario3", num_flows=150, seed=SEED + 3),
     }
 
 

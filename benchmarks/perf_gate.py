@@ -33,7 +33,12 @@ and
    the dense backend (``bench_memory_stores``, real ``export_state``
    sizes on a DISCO replay — one million flows in full mode, 100k under
    ``--quick``) and fails if ``pools`` or ``morris`` costs more than
-   :data:`MEM_COMPACT_LIMIT` of dense.
+   :data:`MEM_COMPACT_LIMIT` of dense,
+7. streams the scenario matrix's churn cell (trajectory only) and a
+   chunk-only :data:`BIG_RSS_FLOWS`-flow big workload end-to-end in a
+   subprocess, failing if the child's peak RSS exceeds
+   :data:`BIG_RSS_LIMIT_MB` — the BigTrace memory contract, measured
+   for real.
 
 Every run — including ``--no-history`` and ``--update-baseline`` runs —
 also re-prunes ``BENCH_perf.json`` to :data:`HISTORY_LIMIT` entries
@@ -121,6 +126,22 @@ STREAM_FLOOR = 0.5
 #: exist.  Morris at 16 bits sits exactly on the ceiling; pools must
 #: come in under it on any heavy-tailed mix.
 MEM_COMPACT_LIMIT = 0.25
+#: Counter-word budget for the trajectory-only churn stream measurement
+#: (the scenario matrix's own DISCO cell, quick-sized).
+CHURN_STREAM_BITS = 12
+#: Big-workload RSS gate: a chunk-only :func:`repro.traces.big_trace`
+#: this many flows wide must stream end-to-end through ``stream()`` in a
+#: subprocess whose peak RSS stays under :data:`BIG_RSS_LIMIT_MB`.
+BIG_RSS_FLOWS = 100_000
+#: Absolute ceiling on the big-workload subprocess's peak RSS, in MB.
+#: Structural like :data:`STREAM_FLOOR`, never baseline-ratcheted: the
+#: workload is ~3.5M packets whose materialised flow lists alone would
+#: cost several hundred MB, while the chunked path holds only
+#: O(num_flows) sizes plus one segment's arrays — about 100 MB
+#: including the interpreter and NumPy.  2x headroom means only a
+#: structural regression (a full materialisation creeping into the
+#: streaming path) can trip it, never allocator noise.
+BIG_RSS_LIMIT_MB = 200.0
 #: BENCH_perf.json keeps at most this many trajectory entries.
 HISTORY_LIMIT = 50
 #: Maximum tolerated telemetry cost: enabled vs disabled vector replay.
@@ -162,19 +183,20 @@ COMPARATOR_SEED = TRACE_SEED + 1
 
 
 def build_trace():
-    from repro.traces.nlanr import nlanr_like
+    from repro.traces import make_trace
 
-    return nlanr_like(num_flows=TRACE_FLOWS, mean_flow_bytes=TRACE_MEAN_BYTES,
-                      max_flow_bytes=TRACE_MAX_BYTES, rng=TRACE_SEED)
+    return make_trace("nlanr", num_flows=TRACE_FLOWS,
+                      mean_flow_bytes=TRACE_MEAN_BYTES,
+                      max_flow_bytes=TRACE_MAX_BYTES, seed=TRACE_SEED)
 
 
 def build_comparator_trace():
-    from repro.traces.nlanr import nlanr_like
+    from repro.traces import make_trace
 
-    return nlanr_like(num_flows=COMPARATOR_FLOWS,
+    return make_trace("nlanr", num_flows=COMPARATOR_FLOWS,
                       mean_flow_bytes=COMPARATOR_MEAN_BYTES,
                       max_flow_bytes=COMPARATOR_MAX_BYTES,
-                      rng=COMPARATOR_SEED)
+                      seed=COMPARATOR_SEED)
 
 
 def _comparator_schemes(seed: int):
@@ -463,6 +485,87 @@ def measure_fault_seam(iterations: int = FAULT_SEAM_ITERATIONS,
     return {"fault_seam_ns_per_op": round(ns_per_op, 1)}
 
 
+def measure_churn_stream() -> Dict[str, float]:
+    """Sharded-stream throughput on the churn scenario (trajectory only).
+
+    Streams the quick churn scenario from the scenario matrix
+    (:mod:`repro.harness.scenarios`) through ``stream()`` with the
+    matrix's own sized DISCO factory and records packets/second as
+    ``perf_churn_stream_pps``.  History-only, never gated: absolute
+    throughput is machine-bound, and the cross-machine-stable claim
+    (stream vs one-shot replay) is already enforced by
+    :data:`STREAM_FLOOR` on the NLANR workload.  What the trajectory
+    adds is the *churn* shape — thousands of short-lived flows arriving
+    and dying per epoch — which stresses the per-epoch flush path the
+    steady NLANR mix never touches.
+    """
+    from repro.facade import stream
+    from repro.harness import scenarios
+
+    trace = scenarios.build_scenario("churn", quick=True)
+    max_length = max(trace.true_totals("volume").values())
+    factory = scenarios._sized_factory("disco", CHURN_STREAM_BITS,
+                                       max_length, scenarios.SEED + 17)
+    result = stream(factory, trace, shards=2,
+                    epoch_packets=max(1, trace.num_packets // 3),
+                    rng=scenarios.SEED + 29, engine="vector")
+    return {
+        "perf_churn_stream_pps": result.packets / result.elapsed_seconds,
+    }
+
+
+#: Driver for :func:`measure_big_rss` — runs in a fresh interpreter so
+#: ``ru_maxrss`` reflects exactly one streamed big workload, not
+#: whatever the gate process has already paged in.
+_BIG_RSS_DRIVER = """\
+import resource
+import sys
+
+from repro.facade import stream
+from repro.schemes import scheme_factory
+from repro.traces import make_trace
+
+flows = int(sys.argv[1])
+big = make_trace("big", num_flows=flows, seed=1)
+result = stream(scheme_factory("disco", b=1.02, seed=0), big, shards=2,
+                epoch_packets=big.num_packets // 4 or 1, rng=1)
+assert result.packets == big.num_packets, (result.packets, big.num_packets)
+peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(result.packets, result.elapsed_seconds, peak_kb)
+"""
+
+
+def measure_big_rss(flows: int = BIG_RSS_FLOWS) -> Dict[str, float]:
+    """Stream a chunk-only big workload in a subprocess; report peak RSS.
+
+    The whole point of :class:`repro.traces.BigTrace` is that a workload
+    with ``flows`` flows streams in memory bounded by one segment, so
+    the gate measures the real thing: a child interpreter builds the
+    trace, pushes every chunk through a sharded ``stream()``, and
+    reports ``resource.getrusage`` peak RSS.  A subprocess rather than
+    an in-process run because ``ru_maxrss`` is a process-lifetime
+    high-water mark — the gate's earlier million-flow memory benchmark
+    would otherwise dominate it.  Returns ``perf_big_peak_rss_mb`` and
+    ``perf_big_stream_pps`` (the latter trajectory-only, like every
+    absolute throughput).
+    """
+    import os
+    import subprocess
+
+    env = dict(os.environ)
+    src = str(ROOT.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _BIG_RSS_DRIVER, str(flows)],
+        capture_output=True, text=True, env=env, check=True)
+    packets, elapsed, peak_kb = proc.stdout.split()
+    return {
+        "perf_big_flows": float(flows),
+        "perf_big_stream_pps": float(packets) / float(elapsed),
+        "perf_big_peak_rss_mb": round(float(peak_kb) / 1024.0, 1),
+    }
+
+
 def measure_serve(queries: int = 200) -> Dict[str, float]:
     """Median query latency against a live in-process serve daemon.
 
@@ -475,10 +578,10 @@ def measure_serve(queries: int = 200) -> Dict[str, float]:
     """
     from repro import scheme_factory
     from repro.serve import DaemonHandle, TraceFeed, build_daemon
-    from repro.traces.nlanr import nlanr_like
+    from repro.traces import make_trace
 
-    trace = nlanr_like(num_flows=200, mean_flow_bytes=20_000,
-                       max_flow_bytes=100_000, rng=7)
+    trace = make_trace("nlanr", num_flows=200, mean_flow_bytes=20_000,
+                       max_flow_bytes=100_000, seed=7)
     feed = TraceFeed(trace)
     packets = feed.trace.num_packets
     daemon = build_daemon(scheme_factory("disco", b=1.02, seed=0), feed,
@@ -654,6 +757,18 @@ def main(argv=None) -> int:
               f"({stream_native_ratio:.2f}x one-shot vector replay; "
               f"floor {STREAM_NATIVE_FLOOR:.2f}x)")
 
+    metrics.update(measure_churn_stream())
+    print(f"churn stream throughput: "
+          f"{metrics['perf_churn_stream_pps'] / 1e6:6.2f} Mpps "
+          f"(scenario-matrix churn cell; history only, not gated)")
+
+    metrics.update(measure_big_rss())
+    big_rss_mb = metrics["perf_big_peak_rss_mb"]
+    print(f"big-workload stream: {int(metrics['perf_big_flows'])} flows, "
+          f"{metrics['perf_big_stream_pps'] / 1e6:6.2f} Mpps, "
+          f"peak RSS {big_rss_mb:.0f} MB "
+          f"(ceiling {BIG_RSS_LIMIT_MB:.0f} MB)")
+
     metrics.update(measure_memory_metrics(quick=args.quick))
     print(f"counter-store footprint (DISCO, "
           f"{int(metrics['perf_mem_flows'])} flows, measured export_state "
@@ -749,6 +864,13 @@ def main(argv=None) -> int:
             print(f"  {store}: {ratio:.3f}x dense bytes/flow "
                   f"(ceiling {MEM_COMPACT_LIMIT:.2f}x)", file=sys.stderr)
         return 1
+    if big_rss_mb > BIG_RSS_LIMIT_MB:
+        print(f"PERF GATE FAILED: big-workload stream peaked at "
+              f"{big_rss_mb:.0f} MB RSS, over the "
+              f"{BIG_RSS_LIMIT_MB:.0f} MB ceiling — the chunked path "
+              f"must stay bounded by one segment, not the whole trace",
+              file=sys.stderr)
+        return 1
     gated = [k for k in GATE_KEYS if k in metrics]
     summary = ", ".join(
         f"{k.removeprefix('perf_').removesuffix('_speedup')} "
@@ -761,7 +883,8 @@ def main(argv=None) -> int:
           f"fault seam {seam_ns:.0f} ns; "
           f"stream {stream_ratio:.2f}x; "
           f"mem pools {metrics['perf_mem_pools_vs_dense']:.2f}x / "
-          f"morris {metrics['perf_mem_morris_vs_dense']:.2f}x dense)")
+          f"morris {metrics['perf_mem_morris_vs_dense']:.2f}x dense; "
+          f"big RSS {big_rss_mb:.0f} MB)")
     return 0
 
 

@@ -72,6 +72,14 @@ from repro.schemes import (
     scheme_names,
 )
 from repro.streaming import EpochSnapshot, StreamResult, StreamSession
+from repro.traces.registry import (
+    TraceFactory,
+    TraceSpec,
+    make_trace,
+    trace_factory,
+    trace_names,
+    trace_spec,
+)
 from repro.core import (
     ConfidenceInterval,
     CountingFunction,
@@ -128,6 +136,12 @@ __all__ = [
     "scheme_names",
     "SchemeFactory",
     "SchemeSpec",
+    "make_trace",
+    "trace_factory",
+    "trace_names",
+    "trace_spec",
+    "TraceFactory",
+    "TraceSpec",
     "replay_replicas",
     "replay_parallel",
     "ReplayJob",

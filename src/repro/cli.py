@@ -2,10 +2,17 @@
 
 Examples
 --------
-Generate a scaled NLANR-like trace and replay DISCO over it::
+Replay DISCO over a registry workload — ``--trace`` takes either a
+registry spec ``name[:key=value,...]`` or a trace file path::
 
+    python -m repro replay --trace nlanr:num_flows=300 --scheme disco --bits 10
     python -m repro gen-trace --kind nlanr --flows 300 --out /tmp/oc192.trace
     python -m repro replay --trace /tmp/oc192.trace --scheme disco --bits 10
+
+Sweep every scheme over the toolkit's stress scenarios and regenerate
+``docs/scenarios.md``::
+
+    python -m repro scenarios --quick
 
 Run the long-running measurement daemon and query it live
 (``docs/serve.md``)::
@@ -23,7 +30,9 @@ Re-print a figure or table from the paper::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.harness.experiments import (
@@ -40,27 +49,67 @@ from repro.core.stores import store_names
 from repro.errors import ParameterError
 from repro.facade import replay, stream
 from repro.schemes import make_scheme, scheme_factory, scheme_names
-from repro.traces.nlanr import nlanr_like
-from repro.traces.synthetic import scenario1, scenario2, scenario3
+from repro.traces.registry import make_trace, trace_names
 from repro.traces.trace_io import read_trace, write_trace
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "resolve_trace"]
 
-TRACE_KINDS = ("nlanr", "scenario1", "scenario2", "scenario3")
+#: ``gen-trace --kind`` choices: every registry trace that can be
+#: written to a file (``big`` is chunk-only / streaming-only).
+TRACE_KINDS = tuple(n for n in trace_names() if n != "big")
 #: Valid ``--scheme`` choices — the public registry, not a local list.
 SCHEMES = scheme_names()
 
 
 def _make_trace(kind: str, flows: int, seed: int):
-    if kind == "nlanr":
-        return nlanr_like(num_flows=flows, rng=seed)
-    if kind == "scenario1":
-        return scenario1(num_flows=flows, rng=seed)
-    if kind == "scenario2":
-        return scenario2(num_flows=flows, rng=seed)
-    if kind == "scenario3":
-        return scenario3(num_flows=flows, rng=seed)
-    raise ValueError(kind)
+    """Build a registry trace from gen-trace's ``--kind``/``--flows``.
+
+    Every kind routes through :func:`repro.traces.make_trace`; the
+    single ``--flows`` knob maps onto the kind's natural count.
+    """
+    params = {"seed": seed}
+    if kind == "churn":
+        params["flows_per_epoch"] = flows
+    elif kind == "adversarial":
+        params["num_mice"] = flows
+    else:
+        params["num_flows"] = flows
+    return make_trace(kind, **params)
+
+
+def _coerce_param(text: str):
+    """Parse a ``--trace`` spec value: int, then float, else string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def resolve_trace(spec: str):
+    """Resolve a ``--trace`` argument: registry spec or trace file path.
+
+    ``name[:key=value,...]`` builds through the public registry
+    (:func:`repro.traces.make_trace`); anything that looks like a file
+    (a path separator, a trace suffix, or an existing file) loads via
+    the trace readers.  Bad parameters raise
+    :class:`~repro.errors.ParameterError` (exit code 2).
+    """
+    if (os.sep in spec or spec.endswith((".trace", ".pcap", ".gz"))
+            or os.path.exists(spec)):
+        return _read_any_trace(spec)
+    name, _, rest = spec.partition(":")
+    params = {}
+    if rest:
+        for pair in rest.split(","):
+            key, sep, value = pair.partition("=")
+            if not sep or not key.strip():
+                raise ParameterError(
+                    f"bad --trace parameter {pair!r} in {spec!r}; "
+                    f"expected name:key=value[,key=value...]")
+            params[key.strip()] = _coerce_param(value.strip())
+    return make_trace(name, **params)
 
 
 # -- subcommand handlers -------------------------------------------------------
@@ -93,7 +142,10 @@ def cmd_gen_trace(args: argparse.Namespace) -> int:
 def cmd_replay(args: argparse.Namespace) -> int:
     from repro.obs import Telemetry
 
-    trace = _read_any_trace(args.trace)
+    if args.trace is None:
+        raise ParameterError("replay needs --trace (registry spec "
+                             "`name[:key=value,...]` or a trace file)")
+    trace = resolve_trace(args.trace)
     truths = trace.true_totals(args.mode)
     scheme = make_scheme(args.scheme, bits=args.bits, mode=args.mode,
                          max_length=max(truths.values()), seed=args.seed)
@@ -135,7 +187,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
     """Measure a trace as an epoch-rotating, hash-sharded stream."""
     from repro.obs import Telemetry
 
-    trace = _read_any_trace(args.trace)
+    if args.trace is None:
+        raise ParameterError("stream needs --trace (registry spec "
+                             "`name[:key=value,...]` or a trace file)")
+    trace = resolve_trace(args.trace)
     truths = trace.true_totals(args.mode)
     factory = scheme_factory(args.scheme, bits=args.bits, mode=args.mode,
                              max_length=max(truths.values()), seed=args.seed)
@@ -219,7 +274,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     # A registry factory: the same frozen spec builds the serial
     # reference and pickles into pool workers.
     audit_factory = scheme_factory(args.scheme, b=1.01, seed=7)
-    trace = scenario3(num_flows=args.flows, rng=args.seed)
+    trace = make_trace("scenario3", num_flows=args.flows, seed=args.seed)
     serial = replay_replicas(audit_factory(), trace,
                              replicas=args.replicas, rng=args.seed)
     expected = [r.estimates for r in serial]
@@ -279,12 +334,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.feed == "trace":
         if args.trace is None:
             raise ParameterError("serve --feed trace needs --trace")
-        trace = _read_any_trace(args.trace)
+        trace = resolve_trace(args.trace)
         truths = trace.true_totals(args.mode)
         factory_params["max_length"] = max(truths.values())
         feed = make_feed("trace", trace=trace)
     elif args.feed == "generator":
-        trace = _make_trace(args.kind, args.flows, args.seed)
+        spec = args.trace if args.trace is not None \
+            else f"nlanr:num_flows=300,seed={args.seed}"
+        trace = resolve_trace(spec)
+        if not hasattr(trace, "packet_pairs"):
+            raise ParameterError(
+                f"--trace {spec!r} is a chunk-only workload; feed it "
+                f"through `repro stream` instead")
+        truths = trace.true_totals(args.mode)
+        factory_params["max_length"] = max(truths.values())
         feed = make_feed("generator",
                          pairs=trace.packet_pairs(order="shuffled",
                                                   rng=args.seed))
@@ -335,8 +398,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _default_trace(args: argparse.Namespace):
-    return nlanr_like(num_flows=args.flows, mean_flow_bytes=30_000,
-                      max_flow_bytes=3_000_000, rng=args.seed)
+    return make_trace("nlanr", num_flows=args.flows, mean_flow_bytes=30_000,
+                      max_flow_bytes=3_000_000, seed=args.seed)
 
 
 def cmd_figure(args: argparse.Namespace) -> int:
@@ -403,12 +466,14 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_table(args: argparse.Namespace) -> int:
     if args.id == 2:
         traces = {
-            "scenario1": scenario1(num_flows=args.flows, rng=args.seed,
-                                   max_flow_packets=20_000),
-            "scenario2": scenario2(num_flows=max(20, args.flows // 3),
-                                   rng=args.seed + 1),
-            "scenario3": scenario3(num_flows=max(20, args.flows // 3),
-                                   rng=args.seed + 2),
+            "scenario1": make_trace("scenario1", num_flows=args.flows,
+                                    seed=args.seed, max_flow_packets=20_000),
+            "scenario2": make_trace("scenario2",
+                                    num_flows=max(20, args.flows // 3),
+                                    seed=args.seed + 1),
+            "scenario3": make_trace("scenario3",
+                                    num_flows=max(20, args.flows // 3),
+                                    seed=args.seed + 2),
             "real trace": _default_trace(args),
         }
         rows = table2(traces, seed=args.seed)
@@ -428,10 +493,9 @@ def cmd_table(args: argparse.Namespace) -> int:
         ))
         return 0
     if args.id == 4:
-        traces = {"real trace": nlanr_like(num_flows=max(10, args.flows // 10),
-                                           mean_flow_bytes=25_000,
-                                           max_flow_bytes=400_000,
-                                           rng=args.seed)}
+        traces = {"real trace": make_trace(
+            "nlanr", num_flows=max(10, args.flows // 10),
+            mean_flow_bytes=25_000, max_flow_bytes=400_000, seed=args.seed)}
         rows = table4(traces, seed=args.seed)
         print(render_table(
             ["scenario", "DISCO s", "ANLS-II s", "ratio"],
@@ -457,7 +521,7 @@ def cmd_export(args: argparse.Namespace) -> int:
     """Replay a trace through DISCO and write a flow-record export."""
     from repro.export.records import ExportBatch, write_export
 
-    trace = _read_any_trace(args.trace)
+    trace = resolve_trace(args.trace)
     truths = trace.true_totals(args.mode)
     scheme = make_scheme("disco", bits=args.bits, mode=args.mode,
                          max_length=max(truths.values()), seed=args.seed)
@@ -487,13 +551,34 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
     """Replay a trace through DISCO and checkpoint the sketch state."""
     from repro.core.checkpoint import save_sketch
 
-    trace = _read_any_trace(args.trace)
+    trace = resolve_trace(args.trace)
     truths = trace.true_totals(args.mode)
     scheme = make_scheme("disco", bits=args.bits, mode=args.mode,
                          max_length=max(truths.values()), seed=args.seed)
     replay(scheme, trace, rng=args.seed + 1)
     written = save_sketch(scheme, args.out)
     print(f"checkpointed {len(scheme)} flows ({written} bytes) to {args.out}")
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Sweep scheme × scenario × memory budget; regenerate docs/scenarios.md."""
+    from repro.harness import scenarios as sc
+
+    budgets = sc.QUICK_BUDGETS if args.quick else sc.FULL_BUDGETS
+    seeds = sc.QUICK_SEEDS if args.quick else sc.FULL_SEEDS
+    names = args.scenario or None
+    print(f"scenario matrix: {', '.join(names or sc.scenario_names())} × "
+          f"{len(sc.SCHEMES)} schemes × budgets {budgets} "
+          f"({'quick' if args.quick else 'full'} mode)")
+    rows, infos = sc.run_matrix(
+        scenarios=names, budgets=budgets, seeds=seeds, quick=args.quick,
+        include_native=not args.quick)
+    print(sc.render_ascii(rows))
+    out = args.out if args.out is not None else sc.DOC_PATH
+    out.write_text(sc.render_markdown(rows, infos, quick=args.quick,
+                                      seeds=seeds))
+    print(f"wrote {out}")
     return 0
 
 
@@ -520,6 +605,21 @@ def cmd_report(args: argparse.Namespace) -> int:
 #: never drift apart (parity is asserted in tests/test_cli.py).
 COMMON_FLAGS = ("scheme", "bits", "mode", "seed", "engine", "store",
                 "telemetry")
+
+#: The shared workload flag — one parent parser so replay/stream/serve
+#: spell ``--trace`` (and its registry-spec syntax) identically; parity
+#: is asserted in tests/test_cli.py.
+TRACE_FLAG_HELP = (
+    "workload: a registry spec `name[:key=value,...]` "
+    "(see repro.trace_names()) or a trace file path "
+    "(.trace / .pcap)")
+
+
+def _trace_parser() -> argparse.ArgumentParser:
+    trace = argparse.ArgumentParser(add_help=False)
+    trace.add_argument("--trace", default=None, metavar="SPEC|PATH",
+                       help=TRACE_FLAG_HELP)
+    return trace
 
 
 def _common_parser() -> argparse.ArgumentParser:
@@ -552,6 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     common = _common_parser()
+    trace_flag = _trace_parser()
 
     p = sub.add_parser("gen-trace", help="generate a synthetic trace file")
     p.add_argument("--kind", choices=TRACE_KINDS, default="nlanr")
@@ -562,15 +663,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(func=cmd_gen_trace)
 
-    p = sub.add_parser("replay", parents=[common],
+    p = sub.add_parser("replay", parents=[common, trace_flag],
                        help="replay a trace through a counting scheme")
-    p.add_argument("--trace", required=True)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
-        "stream", parents=[common],
+        "stream", parents=[common, trace_flag],
         help="measure a trace as an epoch-rotating, hash-sharded stream")
-    p.add_argument("--trace", required=True)
     p.add_argument("--shards", type=int, default=4,
                    help="hash-partitions of the flow space")
     p.add_argument("--epoch-packets", type=int, default=None,
@@ -588,18 +687,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser(
-        "serve", parents=[common],
+        "serve", parents=[common, trace_flag],
         help="run the measurement daemon with a live JSON/HTTP query API")
     p.add_argument("--feed", choices=("trace", "generator", "socket"),
                    default="trace",
                    help="packet source: a trace file tail, a synthetic "
-                        "generator, or a line-delimited TCP listener")
-    p.add_argument("--trace", default=None,
-                   help="trace file for --feed trace")
-    p.add_argument("--kind", choices=TRACE_KINDS, default="nlanr",
-                   help="synthetic trace family for --feed generator")
-    p.add_argument("--flows", type=int, default=300,
-                   help="synthetic flow count for --feed generator")
+                        "generator (--trace picks its registry spec), or a "
+                        "line-delimited TCP listener")
     p.add_argument("--host", default="127.0.0.1",
                    help="query-API listen address")
     p.add_argument("--port", type=int, default=0,
@@ -676,6 +770,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=3)
     p.add_argument("--flows", type=int, default=15)
     p.set_defaults(func=cmd_faults, seed=5)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="sweep scheme × scenario × memory budget; regenerate "
+             "docs/scenarios.md")
+    p.add_argument("--quick", action="store_true",
+                   help="small workloads, fewer budgets/seeds, no native "
+                        "engine pass (<60s)")
+    p.add_argument("--scenario", action="append", default=None,
+                   help="restrict to one scenario (repeatable; default: all)")
+    p.add_argument("--out", type=Path, default=None,
+                   help="markdown output path (default: the committed "
+                        "docs/scenarios.md)")
+    p.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser("report", help="rerun the evaluation, write a markdown report")
     p.add_argument("--out", required=True)

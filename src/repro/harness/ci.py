@@ -38,7 +38,7 @@ def collect_metrics() -> Dict[str, float]:
     from repro.counters.sac import SmallActiveCounters
     from repro.facade import replay
     from repro.ixp.throughput import run_one
-    from repro.traces.nlanr import nlanr_like
+    from repro.traces import make_trace
 
     metrics: Dict[str, float] = {}
     metrics["theorem2_bound_b1002"] = cov_bound(1.002)
@@ -50,8 +50,8 @@ def collect_metrics() -> Dict[str, float]:
         counters.append(counter.value)
     metrics["fig01_counter_b101"] = statistics.mean(counters)
 
-    trace = nlanr_like(num_flows=150, mean_flow_bytes=25_000,
-                       max_flow_bytes=1_000_000, rng=404)
+    trace = make_trace("nlanr", num_flows=150, mean_flow_bytes=25_000,
+                       max_flow_bytes=1_000_000, seed=404)
     truths = trace.true_totals("volume")
     b = choose_b(10, max(truths.values()), slack=1.5)
     disco = DiscoSketch(b=b, mode="volume", rng=405, capacity_bits=10)

@@ -21,8 +21,7 @@ from repro.harness.experiments import (
     volume_error_vs_counter_size,
 )
 from repro.metrics.errors import optimistic_relative_error
-from repro.traces.nlanr import nlanr_like
-from repro.traces.synthetic import scenario1, scenario2, scenario3
+from repro.traces.registry import make_trace
 from repro.traces.trace import Trace
 
 __all__ = ["ReportConfig", "generate_report", "write_report"]
@@ -62,8 +61,9 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
     out.write(f"Workloads: NLANR-like {config.nlanr_flows} flows; scenarios "
               f"{config.scenario_flows} flows; seed {config.seed}.\n\n")
 
-    trace = nlanr_like(num_flows=config.nlanr_flows, mean_flow_bytes=30_000,
-                       max_flow_bytes=3_000_000, rng=config.seed)
+    trace = make_trace("nlanr", num_flows=config.nlanr_flows,
+                       mean_flow_bytes=30_000, max_flow_bytes=3_000_000,
+                       seed=config.seed)
     stats = trace.stats()
     out.write(f"NLANR-like trace: {stats.num_packets} packets, "
               f"{stats.total_bytes / 1e6:.1f} MB, mean flow "
@@ -96,12 +96,12 @@ def generate_report(config: ReportConfig = ReportConfig()) -> str:
     # Table II.
     out.write("## Average error per scenario (Table II)\n\n")
     traces: Dict[str, Trace] = {
-        "scenario1": scenario1(num_flows=config.scenario_flows,
-                               rng=config.seed + 1, max_flow_packets=20_000),
-        "scenario2": scenario2(num_flows=config.scenario_flows,
-                               rng=config.seed + 2),
-        "scenario3": scenario3(num_flows=config.scenario_flows,
-                               rng=config.seed + 3),
+        "scenario1": make_trace("scenario1", num_flows=config.scenario_flows,
+                                seed=config.seed + 1, max_flow_packets=20_000),
+        "scenario2": make_trace("scenario2", num_flows=config.scenario_flows,
+                                seed=config.seed + 2),
+        "scenario3": make_trace("scenario3", num_flows=config.scenario_flows,
+                                seed=config.seed + 3),
         "real-like": trace,
     }
     rows = table2(traces, counter_sizes=config.counter_sizes, seed=config.seed)

@@ -481,19 +481,24 @@ class StreamSession:
 
         Traces stream through zero-copy
         :meth:`~repro.traces.compiled.CompiledTrace.iter_chunks` views in
-        compiled (flow-major) packet order; any other iterable of
+        compiled (flow-major) packet order.  Any other chunk provider —
+        an object exposing ``iter_chunks(chunk_packets, start=)`` and
+        ``num_packets``, such as the chunk-only
+        :class:`repro.traces.toolkit.BigTrace` — streams the same way
+        without ever materialising a trace.  Any other iterable of
         ``(flow, length)`` pairs goes through :meth:`extend`.  A restored
         session transparently skips the prefix it already consumed — pass
         the same trace and the stream continues where the checkpoint left
         off.
         """
-        if isinstance(source, (Trace, CompiledTrace)):
-            compiled = compile_trace(source)
+        if isinstance(source, Trace):
+            source = compile_trace(source)
+        if hasattr(source, "iter_chunks"):
             if self.trace_name == self.name:
-                self.trace_name = compiled.name
-            skip = min(self._resume_skip, compiled.num_packets)
+                self.trace_name = getattr(source, "name", self.name)
+            skip = min(self._resume_skip, source.num_packets)
             self._resume_skip -= skip
-            for chunk in compiled.iter_chunks(self.chunk_packets, start=skip):
+            for chunk in source.iter_chunks(self.chunk_packets, start=skip):
                 self._ingest(chunk.keys, chunk.lengths)
         else:
             self.extend(source)

@@ -1,4 +1,12 @@
-"""Workload substrate: distributions, synthetic scenarios, NLANR-like trace, I/O."""
+"""Workload substrate: distributions, synthetic scenarios, NLANR-like trace, I/O.
+
+Workloads are built by name through the public registry —
+:func:`make_trace` / :func:`trace_factory` mirror
+:func:`repro.make_scheme` / :func:`repro.scheme_factory` — and composed
+or stressed through the :mod:`repro.traces.toolkit` helpers
+(:func:`merge_traces`, :func:`renormalize`, churn / adversarial / burst
+generators, and the chunk-only :func:`big_trace`).
+"""
 
 from repro.traces.distributions import (
     Constant,
@@ -26,6 +34,24 @@ from repro.traces.synthetic import (
     scenario2,
     scenario3,
 )
+from repro.traces.registry import (
+    TraceFactory,
+    TraceSpec,
+    make_trace,
+    register_trace,
+    trace_factory,
+    trace_names,
+    trace_spec,
+)
+from repro.traces.toolkit import (
+    BigTrace,
+    adversarial_trace,
+    big_trace,
+    bursty_trace,
+    churn_trace,
+    merge_traces,
+    renormalize,
+)
 from repro.traces.trace import Trace, TraceStats
 from repro.traces.zipf import ZipfPopularity, zipf_packets, zipf_trace
 from repro.traces.trace_io import iter_trace_packets, read_trace, write_trace
@@ -36,6 +62,20 @@ __all__ = [
     "CompiledTrace",
     "compile_trace",
     "clear_compile_cache",
+    "TraceSpec",
+    "TraceFactory",
+    "make_trace",
+    "trace_factory",
+    "trace_names",
+    "trace_spec",
+    "register_trace",
+    "merge_traces",
+    "renormalize",
+    "churn_trace",
+    "adversarial_trace",
+    "bursty_trace",
+    "big_trace",
+    "BigTrace",
     "Pareto",
     "Exponential",
     "UniformInt",

@@ -7,10 +7,13 @@ in one contiguous ``float64`` array with CSR-style offsets, flows ordered
 by descending packet budget so the still-active set at any replay column
 is a prefix.
 
-:func:`compile_trace` performs that conversion exactly once per
-:class:`Trace` object (a ``WeakKeyDictionary`` cache keyed by trace
-identity), so repeated replays — the Figure 5-7 sweep replays one trace
-ten times — and :mod:`repro.harness.parallel` workers reuse the arrays.
+:func:`compile_trace` performs that conversion exactly once per trace
+*content*: the cache is keyed by a content fingerprint (name, flow keys
+and packet lengths), so repeated replays — the Figure 5-7 sweep replays
+one trace ten times — and :mod:`repro.harness.parallel` workers reuse
+the arrays, equal-content trace objects share one compilation, and a
+derived trace that happens to reuse a source's name (merged or
+renormalized workloads) can never be served the source's stale arrays.
 A :class:`CompiledTrace` also pickles as a handful of NumPy buffers
 rather than a dict of per-flow Python lists, which shrinks the
 process-pool transfer for full-scale traces by an order of magnitude.
@@ -18,6 +21,7 @@ process-pool transfer for full-scale traces by an order of magnitude.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import weakref
 from typing import Dict, Iterator, List, Tuple, Union
@@ -29,7 +33,7 @@ from repro.flows.packet import FlowKey
 from repro.traces.trace import Trace
 
 __all__ = ["CompiledTrace", "TraceChunk", "compile_trace",
-           "clear_compile_cache"]
+           "clear_compile_cache", "trace_fingerprint"]
 
 
 class TraceChunk:
@@ -261,29 +265,67 @@ class CompiledTrace:
                 f"packets={self.num_packets})")
 
 
-#: Per-process compile cache.  Keyed by Trace *identity* (Trace does not
-#: define __eq__/__hash__), entries die with their trace.
-_COMPILE_CACHE: "weakref.WeakKeyDictionary[Trace, CompiledTrace]" = \
+def trace_fingerprint(trace: Trace) -> bytes:
+    """Content fingerprint of a trace: name, flow keys, packet lengths.
+
+    Two traces fingerprint equal exactly when they would compile to the
+    same :class:`CompiledTrace` (same name, same flows in the same
+    insertion order, same packet lengths).  This is the compile-cache
+    key: identity-keyed caching served stale arrays whenever a derived
+    trace reused a source object or a source name with different
+    contents.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(trace.name.encode("utf-8", "surrogatepass"))
+    for flow, lengths in trace.flows.items():
+        digest.update(repr(flow).encode("utf-8", "surrogatepass"))
+        digest.update(np.asarray(lengths, dtype=np.float64).tobytes())
+    return digest.digest()
+
+
+#: Identity fast path: maps a live Trace to its (fingerprint, compiled)
+#: pair.  The fingerprint is re-derived on every hit, so in-place
+#: mutation of ``trace.flows`` forces a recompile instead of serving
+#: stale arrays.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Trace, Tuple[bytes, CompiledTrace]]" = \
     weakref.WeakKeyDictionary()
+#: Content dedupe: equal-content Trace objects share one compilation.
+#: Values are weak so an unreferenced compilation can be collected.
+_FINGERPRINT_CACHE: "weakref.WeakValueDictionary[bytes, CompiledTrace]" = \
+    weakref.WeakValueDictionary()
 
 
 def compile_trace(trace: Union[Trace, CompiledTrace]) -> CompiledTrace:
     """Compile ``trace`` to struct-of-arrays form, reusing a cached result.
 
     Passing an already-compiled trace is a no-op, so callers can accept
-    either form.  The cache holds one entry per live :class:`Trace`
-    object; mutating ``trace.flows`` in place after compiling is not
-    supported (no Trace API does that).
+    either form.  The cache is keyed by :func:`trace_fingerprint`
+    (content, not object identity or name alone): equal-content traces
+    share one compilation, and a mutated or derived trace always
+    recompiles.
     """
     if isinstance(trace, CompiledTrace):
         return trace
-    cached = _COMPILE_CACHE.get(trace)
-    if cached is None:
-        cached = CompiledTrace.from_trace(trace)
-        _COMPILE_CACHE[trace] = cached
-    return cached
+    if not isinstance(trace, Trace):
+        hint = ("; chunk-only workloads (iter_chunks providers) are "
+                "streaming-only — consume them via stream()"
+                if hasattr(trace, "iter_chunks") else "")
+        raise ParameterError(
+            f"compile_trace needs a Trace or CompiledTrace, got "
+            f"{type(trace).__name__}{hint}")
+    fingerprint = trace_fingerprint(trace)
+    entry = _COMPILE_CACHE.get(trace)
+    if entry is not None and entry[0] == fingerprint:
+        return entry[1]
+    compiled = _FINGERPRINT_CACHE.get(fingerprint)
+    if compiled is None:
+        compiled = CompiledTrace.from_trace(trace)
+        _FINGERPRINT_CACHE[fingerprint] = compiled
+    _COMPILE_CACHE[trace] = (fingerprint, compiled)
+    return compiled
 
 
 def clear_compile_cache() -> None:
     """Drop all cached compilations (tests and memory-pressure hooks)."""
     _COMPILE_CACHE.clear()
+    _FINGERPRINT_CACHE.clear()

@@ -1,0 +1,263 @@
+"""Public trace registry: build any workload from a name.
+
+The CLI, the benchmarks and the scenario-matrix harness all construct
+workloads from configuration — a string name plus keyword parameters —
+exactly the shape :mod:`repro.schemes` already solved for counting
+schemes.  This module is the same registry pattern for traces:
+
+``make_trace(name, **params)``
+    Build a fresh workload.  Unknown names and unknown parameters raise
+    :class:`~repro.errors.ParameterError` listing the valid choices.
+
+``trace_factory(name, **params)``
+    Return a :class:`TraceFactory` — a frozen, picklable zero-argument
+    callable that defers ``make_trace``.  Name and parameters are
+    validated eagerly (against the builder's signature), so a bad recipe
+    fails at configuration time, not inside a worker process; the
+    build itself is deferred because workloads can be large.
+
+``trace_names()`` / ``trace_spec(name)``
+    Introspection over the registered :class:`TraceSpec` entries.
+
+Builders share one keyword vocabulary (``num_flows``, ``seed``) so
+callers can pass a uniform parameter set; each family adds its own
+extras (``mean_flow_bytes``, ``epochs``, ``alpha``, ...).  Most names
+build a :class:`~repro.traces.trace.Trace`; ``big`` builds the
+chunk-only :class:`~repro.traces.toolkit.BigTrace`, which only the
+streaming paths accept (its spec says so via ``streaming_only``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "TraceSpec",
+    "TraceFactory",
+    "make_trace",
+    "trace_factory",
+    "trace_names",
+    "trace_spec",
+    "register_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """One registry entry: how to build a workload family by name."""
+
+    name: str
+    summary: str
+    builder: Callable[..., object]
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    #: True for workloads that never materialise a Trace (chunk-only);
+    #: the one-shot replay paths reject these, streaming accepts them.
+    streaming_only: bool = False
+
+
+_TRACES: Dict[str, TraceSpec] = {}
+
+
+def register_trace(spec: TraceSpec) -> TraceSpec:
+    """Add ``spec`` to the registry (duplicate names are an error)."""
+    if spec.name in _TRACES:
+        raise ParameterError(f"trace {spec.name!r} is already registered")
+    _TRACES[spec.name] = spec
+    return spec
+
+
+def trace_names() -> Tuple[str, ...]:
+    """Registered trace names, sorted."""
+    return tuple(sorted(_TRACES))
+
+
+def trace_spec(name: str) -> TraceSpec:
+    """Look up one :class:`TraceSpec`; unknown names raise."""
+    spec = _TRACES.get(name)
+    if spec is None:
+        raise ParameterError(
+            f"unknown trace {name!r}; choose from {', '.join(trace_names())}"
+        )
+    return spec
+
+
+def _validate_params(spec: TraceSpec, params: Mapping[str, object]) -> None:
+    """Reject unknown keywords against the builder's signature, eagerly."""
+    try:
+        inspect.signature(spec.builder).bind(**params)
+    except TypeError as exc:
+        raise ParameterError(
+            f"bad parameters for trace {spec.name!r}: {exc}") from None
+
+
+def make_trace(name: str, **params):
+    """Build a fresh workload for ``name``.
+
+    ``params`` override the spec's defaults; unknown parameters raise
+    :class:`~repro.errors.ParameterError` rather than ``TypeError`` so
+    every rejection out of this module reads the same way.
+    """
+    spec = trace_spec(name)
+    merged = dict(spec.defaults)
+    merged.update(params)
+    try:
+        return spec.builder(**merged)
+    except TypeError as exc:
+        raise ParameterError(
+            f"bad parameters for trace {name!r}: {exc}") from None
+
+
+@dataclass(frozen=True)
+class TraceFactory:
+    """Picklable zero-argument trace factory (``name`` + frozen params).
+
+    Calling the factory is ``make_trace(name, **dict(params))``; both
+    fields are plain data, so instances survive ``pickle`` across
+    process pools and inside checkpoints.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __call__(self):
+        return make_trace(self.name, **dict(self.params))
+
+
+def trace_factory(name: str, **params) -> TraceFactory:
+    """Build a :class:`TraceFactory`, validating name and params eagerly.
+
+    Unlike :func:`repro.schemes.scheme_factory` the factory is *not*
+    exercised here — workloads can run to millions of packets — but the
+    name is resolved and the parameter set is bound against the
+    builder's signature, so the classic misconfigurations (typo'd trace
+    name, typo'd keyword) still fail at configuration time.
+    """
+    spec = trace_spec(name)
+    merged = dict(spec.defaults)
+    merged.update(params)
+    _validate_params(spec, merged)
+    return TraceFactory(
+        name, tuple(sorted(params.items(), key=lambda kv: kv[0])))
+
+
+# -- builders ------------------------------------------------------------------
+#
+# Thin adapters over the generator modules: they translate the shared
+# ``seed`` keyword onto each generator's ``rng``/``seed`` argument and
+# pin the registry-level defaults.
+
+
+def _build_scenario1(num_flows: int = 1000, seed=None,
+                     max_flow_packets: Optional[int] = 100_000):
+    from repro.traces.synthetic import scenario1
+
+    return scenario1(num_flows=num_flows, rng=seed,
+                     max_flow_packets=max_flow_packets)
+
+
+def _build_scenario2(num_flows: int = 1000, seed=None):
+    from repro.traces.synthetic import scenario2
+
+    return scenario2(num_flows=num_flows, rng=seed)
+
+
+def _build_scenario3(num_flows: int = 1000, seed=None):
+    from repro.traces.synthetic import scenario3
+
+    return scenario3(num_flows=num_flows, rng=seed)
+
+
+def _build_nlanr(num_flows: int = 500, mean_flow_bytes: float = 40_000.0,
+                 pareto_shape: float = 1.2, max_flow_bytes: float = 50_000_000.0,
+                 seed=None):
+    from repro.traces.nlanr import nlanr_like
+
+    return nlanr_like(num_flows=num_flows, mean_flow_bytes=mean_flow_bytes,
+                      pareto_shape=pareto_shape, max_flow_bytes=max_flow_bytes,
+                      rng=seed)
+
+
+def _build_zipf(num_packets: int = 20_000, num_flows: int = 200,
+                alpha: float = 1.0, min_length: int = 40,
+                max_length: int = 1500, seed=None):
+    from repro.traces.zipf import zipf_trace
+
+    return zipf_trace(num_packets=num_packets, num_flows=num_flows,
+                      alpha=alpha, min_length=min_length,
+                      max_length=max_length, rng=seed)
+
+
+def _build_churn(epochs: int = 8, flows_per_epoch: int = 120,
+                 lifetime: int = 2, mean_flow_packets: float = 32.0,
+                 seed=None):
+    from repro.traces.toolkit import churn_trace
+
+    return churn_trace(epochs=epochs, flows_per_epoch=flows_per_epoch,
+                       lifetime=lifetime,
+                       mean_flow_packets=mean_flow_packets, rng=seed)
+
+
+def _build_adversarial(num_elephants: int = 32, elephant_packets: int = 2048,
+                       num_mice: int = 256, mice_packets: int = 4,
+                       ramp_flows: int = 12, ramp_start: float = 4.0,
+                       ramp_factor: float = 2.0, seed=None):
+    from repro.traces.toolkit import adversarial_trace
+
+    return adversarial_trace(
+        num_elephants=num_elephants, elephant_packets=elephant_packets,
+        num_mice=num_mice, mice_packets=mice_packets, ramp_flows=ramp_flows,
+        ramp_start=ramp_start, ramp_factor=ramp_factor, rng=seed)
+
+
+def _build_burst(num_flows: int = 160, mean_bursts: float = 4.0,
+                 mean_burst_packets: float = 32.0, peak_length: int = 1500,
+                 idle_length: int = 40, seed=None):
+    from repro.traces.toolkit import bursty_trace
+
+    return bursty_trace(num_flows=num_flows, mean_bursts=mean_bursts,
+                        mean_burst_packets=mean_burst_packets,
+                        peak_length=peak_length, idle_length=idle_length,
+                        rng=seed)
+
+
+def _build_big(num_flows: int = 100_000, mean_flow_packets: float = 40.0,
+               pareto_shape: float = 1.2, seed: Optional[int] = 0,
+               segment_flows: int = 8192, max_flow_packets: int = 50_000):
+    from repro.traces.toolkit import big_trace
+
+    return big_trace(num_flows=num_flows, mean_flow_packets=mean_flow_packets,
+                     pareto_shape=pareto_shape, seed=seed,
+                     segment_flows=segment_flows,
+                     max_flow_packets=max_flow_packets)
+
+
+register_trace(TraceSpec(
+    "scenario1", "Pareto(1.053, 4) flow sizes (paper Scenario 1)",
+    _build_scenario1))
+register_trace(TraceSpec(
+    "scenario2", "Exponential(mean 800) flow sizes (paper Scenario 2)",
+    _build_scenario2))
+register_trace(TraceSpec(
+    "scenario3", "Uniform[2, 1600] flow sizes (paper Scenario 3)",
+    _build_scenario3))
+register_trace(TraceSpec(
+    "nlanr", "NLANR-OC192-like heavy-tailed backbone trace", _build_nlanr))
+register_trace(TraceSpec(
+    "zipf", "Zipf-popularity packet stream materialised as a trace",
+    _build_zipf))
+register_trace(TraceSpec(
+    "churn", "per-epoch flow cohorts arriving and departing", _build_churn))
+register_trace(TraceSpec(
+    "adversarial",
+    "bucket-concentrated elephants + saturation ramp + mice",
+    _build_adversarial))
+register_trace(TraceSpec(
+    "burst", "on/off bursty flows (peak trains + idle markers)",
+    _build_burst))
+register_trace(TraceSpec(
+    "big", "chunk-only NLANR-class workload (100k+ flows, streaming only)",
+    _build_big, streaming_only=True))

@@ -148,3 +148,59 @@ class TestFlagParity:
             build_parser().parse_args(["serve", "--feed", "generator",
                                        "--engine", "warp"])
         assert excinfo.value.code == 2
+
+
+class TestTraceFlagParity:
+    """replay/stream/serve share one --trace parent parser — the flag
+    must spell (and document) identically on every subcommand."""
+
+    COMMANDS = ("replay", "stream", "serve")
+
+    @staticmethod
+    def _trace_action(command):
+        parser = build_parser()
+        sub = next(
+            action for action in parser._actions
+            if hasattr(action, "choices") and command in (action.choices or {})
+        ).choices[command]
+        return next(a for a in sub._actions if "--trace" in a.option_strings)
+
+    @pytest.mark.parametrize("command", COMMANDS)
+    def test_trace_flag_present_and_optional(self, command):
+        action = self._trace_action(command)
+        assert action.required is False
+        assert action.default is None
+
+    def test_trace_flag_help_identical_everywhere(self):
+        helps = {c: self._trace_action(c).help for c in self.COMMANDS}
+        assert len(set(helps.values())) == 1, helps
+        metavars = {self._trace_action(c).metavar for c in self.COMMANDS}
+        assert metavars == {"SPEC|PATH"}
+
+
+class TestRegistrySpecs:
+    def test_replay_accepts_registry_spec(self, capsys):
+        assert main(["replay", "--trace", "scenario3:num_flows=8",
+                     "--scheme", "exact", "--seed", "1"]) == 0
+        assert "scheme=exact" in capsys.readouterr().out
+
+    def test_stream_accepts_registry_spec(self, capsys):
+        assert main(["stream", "--trace", "burst:num_flows=10",
+                     "--scheme", "exact", "--seed", "1"]) == 0
+        assert "avg R" in capsys.readouterr().out
+
+    def test_replay_without_trace_exits_2(self, capsys):
+        assert main(["replay", "--scheme", "exact"]) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_bad_spec_parameter_exits_2(self, capsys):
+        assert main(["replay", "--trace", "scenario3:flowz=8"]) == 2
+        assert "bad parameters" in capsys.readouterr().err
+
+    def test_malformed_spec_pair_exits_2(self, capsys):
+        assert main(["replay", "--trace", "scenario3:num_flows"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_unknown_registry_name_exits_2(self, capsys):
+        assert main(["replay", "--trace", "wavelet"]) == 2
+        assert "unknown trace" in capsys.readouterr().err

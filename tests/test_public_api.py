@@ -54,11 +54,14 @@ MODULES = [
     "repro.traces.pcap",
     "repro.traces.arrival",
     "repro.traces.mixer",
+    "repro.traces.registry",
+    "repro.traces.toolkit",
     "repro.traces.zipf",
     "repro.ixp.isa",
     "repro.ixp.validate",
     "repro.ixp.threads",
     "repro.ixp.ring",
+    "repro.harness.scenarios",
     "repro.harness.sweep",
     "repro.harness.montecarlo",
     "repro.harness.plotting",
@@ -89,15 +92,31 @@ EXPECTED_ALL = {
         "HybridCountingFunction", "LinearCountingFunction",
         "MeasurementResult", "ParameterError", "ReplayJob", "ReplayStreams",
         "ReproError", "RunResult", "SchemeFactory", "SchemeSpec",
-        "StreamResult", "StreamSession", "Telemetry", "TraceFormatError",
-        "UpdateDecision", "__version__", "apply_update", "b_for_cov_bound",
-        "choose_b", "coefficient_of_variation", "compute_update",
-        "confidence_interval", "counter_bits", "cov_bound",
-        "expected_counter_upper_bound", "geometric", "kernel_scheme_names",
-        "kernel_spec", "load_sketch", "make_scheme", "measure_trace_estimator",
+        "StreamResult", "StreamSession", "Telemetry", "TraceFactory",
+        "TraceFormatError", "TraceSpec", "UpdateDecision", "__version__",
+        "apply_update", "b_for_cov_bound", "choose_b",
+        "coefficient_of_variation", "compute_update", "confidence_interval",
+        "counter_bits", "cov_bound", "expected_counter_upper_bound",
+        "geometric", "kernel_scheme_names", "kernel_spec", "load_sketch",
+        "make_scheme", "make_trace", "measure_trace_estimator",
         "merge_counters", "merge_sketches", "merged_estimate", "replay",
         "replay_parallel", "replay_replicas", "save_sketch", "scheme_factory",
-        "scheme_names", "seed_streams", "stream",
+        "scheme_names", "seed_streams", "stream", "trace_factory",
+        "trace_names", "trace_spec",
+    ],
+    "repro.traces": [
+        "BigTrace", "CompiledTrace", "Constant", "Exponential",
+        "NLANR_PROFILE_MIX", "Pareto", "Sampler", "Trace", "TraceFactory",
+        "TraceSpec", "TraceStats", "TruncatedExponential", "UniformInt",
+        "ZipfPopularity", "adversarial_trace", "attack_overlay", "big_trace",
+        "bursty_trace", "churn_trace", "clear_compile_cache", "compile_trace",
+        "constant_rate", "filter_flows", "generate_flows",
+        "iter_pcap_packets", "iter_trace_packets", "make_trace", "merge",
+        "merge_traces", "nlanr_like", "on_off", "packet_length_sampler",
+        "poisson", "read_pcap", "read_trace", "register_trace", "relabel",
+        "renormalize", "scale_volume", "scenario1", "scenario2", "scenario3",
+        "trace_factory", "trace_names", "trace_spec", "write_pcap",
+        "write_trace", "zipf_packets", "zipf_trace",
     ],
     "repro.core": [
         "AgingDiscoSketch", "BatchReplayResult", "ConfidenceInterval",

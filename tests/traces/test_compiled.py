@@ -140,16 +140,55 @@ class TestCacheAndPickle:
         trace = sample_trace()
         assert compile_trace(trace) is compile_trace(trace)
 
-    def test_distinct_traces_compile_separately(self):
-        assert compile_trace(sample_trace()) is not compile_trace(
-            sample_trace()
-        )
+    def test_equal_content_traces_share_compilation(self):
+        # The cache keys by content fingerprint, not object identity:
+        # two traces with the same name/flows/lengths dedupe.
+        assert compile_trace(sample_trace()) is compile_trace(sample_trace())
 
     def test_clear_compile_cache(self):
         trace = sample_trace()
         first = compile_trace(trace)
         clear_compile_cache()
         assert compile_trace(trace) is not first
+
+    def test_mutated_trace_recompiles(self):
+        # Regression: the identity-keyed cache served stale arrays after
+        # in-place mutation of trace.flows.
+        trace = sample_trace()
+        first = compile_trace(trace)
+        trace.flows["e"] = [999]
+        second = compile_trace(trace)
+        assert second is not first
+        assert "e" in second.keys
+        assert "e" not in first.keys
+
+    def test_name_reuse_with_different_content_recompiles(self):
+        # Regression: a derived trace reusing a source's *name* must
+        # never be served the source's arrays.
+        a = Trace({"x": [10, 20]}, name="same-name")
+        b = Trace({"y": [5]}, name="same-name")
+        ca, cb = compile_trace(a), compile_trace(b)
+        assert ca is not cb
+        assert ca.keys == ["x"] and cb.keys == ["y"]
+
+    def test_fingerprint_sensitive_to_content(self):
+        from repro.traces.compiled import trace_fingerprint
+
+        base = Trace({"x": [10, 20]}, name="t")
+        assert trace_fingerprint(base) == trace_fingerprint(
+            Trace({"x": [10, 20]}, name="t"))
+        assert trace_fingerprint(base) != trace_fingerprint(
+            Trace({"x": [10, 21]}, name="t"))
+        assert trace_fingerprint(base) != trace_fingerprint(
+            Trace({"x": [10, 20]}, name="u"))
+        assert trace_fingerprint(base) != trace_fingerprint(
+            Trace({"y": [10, 20]}, name="t"))
+
+    def test_chunk_only_workload_rejected_with_hint(self):
+        from repro.traces.toolkit import big_trace
+
+        with pytest.raises(ParameterError, match="streaming-only"):
+            compile_trace(big_trace(num_flows=64, segment_flows=32))
 
     def test_compiled_passthrough(self):
         compiled = compile_trace(sample_trace())

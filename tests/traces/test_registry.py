@@ -1,0 +1,124 @@
+"""Tests for the public trace registry (make_trace / trace_factory)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.traces.registry import (
+    TraceFactory,
+    TraceSpec,
+    make_trace,
+    register_trace,
+    trace_factory,
+    trace_names,
+    trace_spec,
+)
+
+
+class TestRegistryLookup:
+    def test_names_sorted_and_complete(self):
+        names = trace_names()
+        assert names == tuple(sorted(names))
+        for expected in ("adversarial", "big", "burst", "churn", "nlanr",
+                         "scenario1", "scenario2", "scenario3", "zipf"):
+            assert expected in names
+
+    def test_spec_lookup(self):
+        spec = trace_spec("nlanr")
+        assert spec.name == "nlanr"
+        assert spec.summary
+        assert not spec.streaming_only
+
+    def test_big_is_streaming_only(self):
+        assert trace_spec("big").streaming_only
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ParameterError, match="scenario1"):
+            trace_spec("bogus")
+        with pytest.raises(ParameterError, match="unknown trace"):
+            make_trace("bogus")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ParameterError, match="already registered"):
+            register_trace(TraceSpec("nlanr", "dup", lambda: None))
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.make_trace is make_trace
+        assert repro.trace_names is trace_names
+        assert repro.trace_spec is trace_spec
+        assert repro.trace_factory is trace_factory
+        assert repro.TraceFactory is TraceFactory
+        assert repro.TraceSpec is TraceSpec
+
+
+class TestMakeTrace:
+    def test_matches_direct_builders(self):
+        from repro.traces.nlanr import nlanr_like
+        from repro.traces.synthetic import scenario1
+
+        via_registry = make_trace("scenario1", num_flows=20, seed=3)
+        direct = scenario1(num_flows=20, rng=3, max_flow_packets=100_000)
+        assert via_registry.flows == direct.flows
+
+        via_registry = make_trace("nlanr", num_flows=15, seed=4)
+        direct = nlanr_like(num_flows=15, rng=4)
+        assert via_registry.flows == direct.flows
+
+    def test_same_seed_is_deterministic(self):
+        a = make_trace("churn", epochs=3, flows_per_epoch=10, seed=5)
+        b = make_trace("churn", epochs=3, flows_per_epoch=10, seed=5)
+        assert a.flows == b.flows
+
+    def test_unknown_parameter_rejected_eagerly(self):
+        with pytest.raises(ParameterError, match="bad parameters"):
+            make_trace("scenario2", num_flowz=10)
+
+    def test_every_materialising_name_builds(self):
+        for name in trace_names():
+            if trace_spec(name).streaming_only:
+                continue
+            params = {"seed": 1}
+            if name == "churn":
+                params.update(epochs=2, flows_per_epoch=5)
+            elif name == "adversarial":
+                params.update(num_elephants=2, elephant_packets=8,
+                              num_mice=4, ramp_flows=2)
+            elif name == "zipf":
+                params.update(num_packets=200, num_flows=10)
+            else:
+                params.update(num_flows=5)
+            trace = make_trace(name, **params)
+            assert trace.num_packets > 0, name
+
+    def test_big_builds_chunk_only(self):
+        big = make_trace("big", num_flows=100, segment_flows=64)
+        assert not hasattr(big, "flows")
+        assert hasattr(big, "iter_chunks")
+
+
+class TestTraceFactory:
+    def test_factory_defers_and_builds(self):
+        factory = trace_factory("scenario3", num_flows=8, seed=2)
+        assert isinstance(factory, TraceFactory)
+        trace = factory()
+        assert trace.flows == make_trace("scenario3", num_flows=8,
+                                         seed=2).flows
+
+    def test_factory_is_frozen_and_picklable(self):
+        factory = trace_factory("nlanr", num_flows=10, seed=1)
+        with pytest.raises(Exception):
+            factory.name = "zipf"
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone == factory
+        assert clone().flows == factory().flows
+
+    def test_bad_name_fails_at_configuration_time(self):
+        with pytest.raises(ParameterError, match="unknown trace"):
+            trace_factory("nope")
+
+    def test_bad_keyword_fails_at_configuration_time(self):
+        with pytest.raises(ParameterError, match="bad parameters"):
+            trace_factory("burst", burst_count=3)
